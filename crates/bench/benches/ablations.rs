@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! level-set reordering on/off, DCSR storage on/off, adaptive selection vs
+//! fixed kernels, and the recursion-depth rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recblock::adaptive::{Selector, TriKernel};
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_gpu_sim::cost::SpmvKind;
+use recblock_matrix::generate;
+use std::time::Duration;
+
+fn base_opts(depth: usize) -> BlockedOptions {
+    BlockedOptions { depth: DepthRule::Fixed(depth), ..BlockedOptions::default() }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    let l = generate::hub_power_law::<f64>(25_000, 20, 3, 300, 11);
+    let b: Vec<f64> = (0..25_000).map(|i| (i % 23) as f64 - 11.0).collect();
+
+    // ablation_reorder: level-set reordering on/off.
+    for (name, reorder) in [("reorder_on", true), ("reorder_off", false)] {
+        let opts = BlockedOptions { reorder, ..base_opts(4) };
+        let s = BlockedTri::build(&l, &opts).unwrap();
+        g.bench_with_input(BenchmarkId::new("ablation_reorder", name), &s, |bench, s| {
+            bench.iter(|| s.solve(&b).unwrap())
+        });
+    }
+
+    // ablation_dcsr: DCSR storage for hyper-sparse squares on/off.
+    for (name, allow_dcsr) in [("dcsr_on", true), ("dcsr_off", false)] {
+        let opts = BlockedOptions { allow_dcsr, ..base_opts(4) };
+        let s = BlockedTri::build(&l, &opts).unwrap();
+        g.bench_with_input(BenchmarkId::new("ablation_dcsr", name), &s, |bench, s| {
+            bench.iter(|| s.solve(&b).unwrap())
+        });
+    }
+
+    // ablation_adaptive: adaptive selection vs forcing one kernel pair.
+    let fixed_variants = [
+        ("adaptive", Selector::default()),
+        ("fixed_syncfree", Selector::Fixed(TriKernel::SyncFree, SpmvKind::ScalarCsr)),
+        ("fixed_levelset", Selector::Fixed(TriKernel::LevelSet, SpmvKind::VectorCsr)),
+    ];
+    for (name, selector) in fixed_variants {
+        let opts = BlockedOptions { selector, ..base_opts(4) };
+        let s = BlockedTri::build(&l, &opts).unwrap();
+        g.bench_with_input(BenchmarkId::new("ablation_adaptive", name), &s, |bench, s| {
+            bench.iter(|| s.solve(&b).unwrap())
+        });
+    }
+
+    // ablation_depth: the recursion-depth rule.
+    for depth in [1usize, 3, 5] {
+        let s = BlockedTri::build(&l, &base_opts(depth)).unwrap();
+        g.bench_with_input(BenchmarkId::new("ablation_depth", depth), &s, |bench, s| {
+            bench.iter(|| s.solve(&b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

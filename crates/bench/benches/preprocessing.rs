@@ -1,0 +1,40 @@
+//! CPU wall-clock cost of the preprocessing stages (Table 5's first
+//! column): level analysis, sync-free in-degree counting, cuSPARSE-like
+//! analysis, recursive level-set reorder, and the full blocked build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock::reorder::recursive_levelset_reorder;
+use recblock_kernels::sptrsv::{CusparseLikeSolver, SyncFreeSolver};
+use recblock_matrix::generate;
+use recblock_matrix::levelset::LevelSets;
+use std::time::Duration;
+
+fn bench_prep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprocessing");
+    g.measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    let l = generate::layered::<f64>(30_000, 25, 3.0, generate::LayerShape::Uniform, 9);
+
+    g.bench_function("levelset_analysis", |bench| {
+        bench.iter(|| LevelSets::analyse_unchecked(&l))
+    });
+    g.bench_function("syncfree_prep", |bench| {
+        bench.iter(|| SyncFreeSolver::with_threads(&l, 4).unwrap())
+    });
+    g.bench_function("cusparse_analysis", |bench| {
+        bench.iter(|| CusparseLikeSolver::analyse(l.clone()).unwrap())
+    });
+    g.bench_function("recursive_reorder_d4", |bench| {
+        bench.iter(|| recursive_levelset_reorder(&l, 4).unwrap())
+    });
+    g.bench_function("blocked_build_d4", |bench| {
+        let opts = BlockedOptions { depth: DepthRule::Fixed(4), ..BlockedOptions::default() };
+        bench.iter(|| BlockedTri::build(&l, &opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prep);
+criterion_main!(benches);

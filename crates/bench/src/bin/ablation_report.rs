@@ -1,0 +1,6 @@
+//! Simulated ablation report: what each ingredient of the improved
+//! recursive block algorithm buys (complements `cargo bench ablations`).
+use recblock_bench::HarnessConfig;
+fn main() {
+    print!("{}", recblock_bench::experiments::ablation::run(&HarnessConfig::default()));
+}

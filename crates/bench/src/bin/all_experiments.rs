@@ -1,0 +1,30 @@
+//! Run every table/figure harness in paper order.
+//!
+//! Optional integer argument: corpus shrink factor (default 1 = full scale).
+use recblock_bench::{experiments, HarnessConfig};
+fn main() {
+    let shrink: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let cfg = HarnessConfig::default();
+    print!("{}", experiments::table1_2::run());
+    println!();
+    print!("{}", experiments::table3::run());
+    println!();
+    print!("{}", experiments::figure4::run(&cfg));
+    println!();
+    print!("{}", experiments::figure5::run(&cfg));
+    println!();
+    let f6 = experiments::figure6::evaluate(&cfg, shrink);
+    print!("{}", experiments::figure6::render(f6));
+    println!();
+    let f7 = experiments::figure7::evaluate(&cfg, shrink);
+    print!("{}", experiments::figure7::render(&f7));
+    println!();
+    let t4 = experiments::table4::evaluate(&cfg, shrink);
+    print!("{}", experiments::table4::render(&t4));
+    println!();
+    let t5 = experiments::table5::evaluate(&cfg, shrink, 4);
+    print!("{}", experiments::table5::render(&t5));
+    println!();
+    let ab = experiments::ablation::evaluate(&cfg, shrink);
+    print!("{}", experiments::ablation::render(&ab));
+}

@@ -1,0 +1,19 @@
+//! Regenerate the paper's Figure 4 (SpMV time of the three block algorithms).
+//!
+//! Pass `--measure` to additionally report CPU wall-clock SpMV-part times.
+use recblock_bench::HarnessConfig;
+fn main() {
+    let cfg = HarnessConfig::default();
+    print!("{}", recblock_bench::experiments::figure4::run(&cfg));
+    if std::env::args().any(|a| a == "--measure") {
+        println!();
+        print!(
+            "{}",
+            recblock_bench::experiments::figure4::run_measured(
+                1,
+                &recblock_bench::experiments::figure4::PART_COUNTS,
+                5
+            )
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerate the paper's Figure 5 (best-kernel heatmaps).
+//!
+//! Pass `--measure` to additionally run the CPU-measured sweep with the
+//! real kernels (the paper's methodology, on this machine).
+use recblock_bench::HarnessConfig;
+fn main() {
+    let cfg = HarnessConfig::default();
+    print!("{}", recblock_bench::experiments::figure5::run(&cfg));
+    println!();
+    print!("{}", recblock_bench::experiments::figure5::corpus_agreement(&cfg, 4, 4));
+    if std::env::args().any(|a| a == "--measure") {
+        println!();
+        print!("{}", recblock_bench::experiments::figure5::run_measured(4096, 5));
+    }
+}

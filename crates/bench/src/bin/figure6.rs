@@ -1,0 +1,9 @@
+//! Regenerate the paper's Figure 6 (159-matrix corpus performance sweep).
+//!
+//! Pass an integer argument to shrink the corpus by that factor (faster).
+use recblock_bench::HarnessConfig;
+fn main() {
+    let shrink: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let eval = recblock_bench::experiments::figure6::evaluate(&HarnessConfig::default(), shrink);
+    print!("{}", recblock_bench::experiments::figure6::render(eval));
+}

@@ -1,0 +1,9 @@
+//! Regenerate the paper's Figure 7 (double/single precision ratio).
+//!
+//! Pass an integer argument to shrink the corpus by that factor (faster).
+use recblock_bench::HarnessConfig;
+fn main() {
+    let shrink: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let samples = recblock_bench::experiments::figure7::evaluate(&HarnessConfig::default(), shrink);
+    print!("{}", recblock_bench::experiments::figure7::render(&samples));
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Tables 1–2 (traffic formulas and counters).
+fn main() {
+    print!("{}", recblock_bench::experiments::table1_2::run());
+}

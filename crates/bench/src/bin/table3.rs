@@ -1,0 +1,4 @@
+//! Print the paper's Table 3 (devices and algorithms).
+fn main() {
+    print!("{}", recblock_bench::experiments::table3::run());
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 4 (six representative matrices).
+use recblock_bench::HarnessConfig;
+fn main() {
+    let shrink: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let rows = recblock_bench::experiments::table4::evaluate(&HarnessConfig::default(), shrink);
+    print!("{}", recblock_bench::experiments::table4::render(&rows));
+}

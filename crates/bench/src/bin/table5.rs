@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 5 (preprocessing amortisation).
+use recblock_bench::HarnessConfig;
+fn main() {
+    let shrink: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let stats = recblock_bench::experiments::table5::evaluate(&HarnessConfig::default(), shrink, 4);
+    print!("{}", recblock_bench::experiments::table5::render(&stats));
+}

@@ -1,0 +1,211 @@
+//! The synthetic 159-matrix corpus.
+//!
+//! The paper evaluates on all 159 SuiteSparse matrices with n ≥ 500 000 and
+//! 5 M ≤ nnz ≤ 500 M. Those matrices span a handful of structural families;
+//! this module generates a corpus of the same *size and family mix*, scaled
+//! down by [`SCALE`] (≈ 1/50 in rows and nonzeros) so the whole sweep runs
+//! on a laptop. The scaling is matched in the GPU model by shrinking the
+//! device's L2 by the same factor ([`crate::harness`]), preserving the
+//! cached/uncached boundary that drives the locality results.
+//!
+//! Family mix (counts chosen to mirror the SuiteSparse population in the
+//! paper's size band): FEM/banded 44, structured grids 24, optimisation/KKT
+//! 22, circuit/power-law 26, network/heavy-hitter 15, generic layered DAGs
+//! 28 — total 159.
+
+use recblock_matrix::generate::{self, LayerShape};
+use recblock_matrix::{Csr, Scalar};
+
+/// Row/nonzero scale-down factor relative to the paper's dataset.
+pub const SCALE: usize = 50;
+
+/// Structural family of a corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixFamily {
+    /// Banded FEM-like structure.
+    FemBanded,
+    /// 2-D structured grid (wavefront levels).
+    Grid,
+    /// Optimisation/KKT two-layer structure.
+    Kkt,
+    /// Circuit-like power-law with a serial tail.
+    Circuit,
+    /// Network-like power-law (few levels, extreme hubs).
+    Network,
+    /// Generic layered DAG (controlled level count).
+    Layered,
+}
+
+impl MatrixFamily {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixFamily::FemBanded => "fem",
+            MatrixFamily::Grid => "grid",
+            MatrixFamily::Kkt => "kkt",
+            MatrixFamily::Circuit => "circuit",
+            MatrixFamily::Network => "network",
+            MatrixFamily::Layered => "layered",
+        }
+    }
+}
+
+/// One corpus matrix: a named, seeded generator invocation.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Stable name (`fem_007`, `circuit_012`, …).
+    pub name: String,
+    /// Structural family.
+    pub family: MatrixFamily,
+    /// Rows.
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Family-specific shape knob (bandwidth / layers / degree).
+    pub knob: usize,
+}
+
+impl CorpusEntry {
+    /// Build the lower-triangular matrix for this entry.
+    pub fn build<S: Scalar>(&self) -> Csr<S> {
+        match self.family {
+            MatrixFamily::FemBanded => generate::banded(self.n, self.knob, 0.6, self.seed),
+            MatrixFamily::Grid => {
+                let nx = (self.n as f64).sqrt() as usize;
+                let ny = self.n / nx.max(1);
+                generate::grid2d(nx.max(2), ny.max(2), self.seed)
+            }
+            MatrixFamily::Kkt => {
+                generate::kkt_like(self.n, self.n / 2, self.knob, self.seed)
+            }
+            MatrixFamily::Circuit => {
+                let base = generate::hub_power_law(
+                    self.n,
+                    (self.n as f64).sqrt() as usize / 4 + 4,
+                    self.knob,
+                    self.n / 200,
+                    self.seed,
+                );
+                // Circuit matrices are power-law in both directions: a few
+                // enormous rows serialize sync-free atomics.
+                generate::with_heavy_rows(&base, 2, self.n / 8, self.seed)
+            }
+            MatrixFamily::Network => {
+                generate::hub_power_law(self.n, 8 + self.knob, 2, 16, self.seed)
+            }
+            MatrixFamily::Layered => generate::layered(
+                self.n,
+                self.knob.max(2).min(self.n),
+                3.0,
+                LayerShape::Uniform,
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// The full 159-entry corpus, scaled by [`SCALE`]. Deterministic.
+pub fn corpus_159() -> Vec<CorpusEntry> {
+    corpus_scaled(1)
+}
+
+/// The corpus with an *additional* shrink factor on top of [`SCALE`]
+/// (used by tests; `extra_shrink = 1` is the real corpus).
+pub fn corpus_scaled(extra_shrink: usize) -> Vec<CorpusEntry> {
+    let mut out = Vec::with_capacity(159);
+    let mut push = |family: MatrixFamily, idx: usize, n: usize, seed: u64, knob: usize| {
+        let n = (n / extra_shrink).max(64);
+        out.push(CorpusEntry {
+            name: format!("{}_{:03}", family.name(), idx),
+            family,
+            n,
+            seed,
+            knob,
+        });
+    };
+    // 44 FEM/banded: n 12k–120k, bandwidth 4–20.
+    for i in 0..44usize {
+        let n = 12_000 + (i * 2_500) % 108_000;
+        push(MatrixFamily::FemBanded, i, n, 1_000 + i as u64, 4 + i % 17);
+    }
+    // 24 grids: n 10k–90k.
+    for i in 0..24usize {
+        let n = 10_000 + i * 3_400;
+        push(MatrixFamily::Grid, i, n, 2_000 + i as u64, 0);
+    }
+    // 22 KKT: n 20k–240k, coupling degree 3–13.
+    for i in 0..22usize {
+        let n = 20_000 + i * 10_000;
+        push(MatrixFamily::Kkt, i, n, 3_000 + i as u64, 3 + i % 11);
+    }
+    // 26 circuit power-law: n 15k–140k, 2–5 links/row.
+    for i in 0..26usize {
+        let n = 15_000 + i * 4_800;
+        push(MatrixFamily::Circuit, i, n, 4_000 + i as u64, 2 + i % 4);
+    }
+    // 15 network heavy-hitter: n 40k–300k.
+    for i in 0..15usize {
+        let n = 40_000 + i * 17_500;
+        push(MatrixFamily::Network, i, n, 5_000 + i as u64, i);
+    }
+    // 28 layered DAGs: level counts sweeping 2 … ~30k (log spaced).
+    for i in 0..28usize {
+        let n = 25_000 + (i * 7_000) % 130_000;
+        let layers = (2.0f64 * 1.45f64.powi(i as i32)) as usize;
+        push(MatrixFamily::Layered, i, n, 6_000 + i as u64, layers.min(n / 2));
+    }
+    assert_eq!(out.len(), 159);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::levelset::LevelSets;
+
+    #[test]
+    fn corpus_has_159_unique_names() {
+        let c = corpus_159();
+        assert_eq!(c.len(), 159);
+        let mut names: Vec<&str> = c.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 159);
+    }
+
+    #[test]
+    fn entries_build_solvable_matrices() {
+        // Build a shrunken sample of each family.
+        for entry in corpus_scaled(64).iter().step_by(13) {
+            let l = entry.build::<f64>();
+            assert!(l.is_solvable_lower(), "{} not solvable", entry.name);
+            assert!(LevelSets::analyse(&l).is_ok(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn families_span_level_spectrum() {
+        let sample = corpus_scaled(16);
+        let mut min_levels = usize::MAX;
+        let mut max_levels = 0usize;
+        for entry in sample.iter().step_by(7) {
+            let l = entry.build::<f64>();
+            let nl = LevelSets::analyse_unchecked(&l).nlevels();
+            min_levels = min_levels.min(nl);
+            max_levels = max_levels.max(nl);
+        }
+        assert!(min_levels <= 4, "min levels {min_levels}");
+        assert!(max_levels >= 100, "max levels {max_levels}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus_159();
+        let b = corpus_159();
+        assert_eq!(a[17].name, b[17].name);
+        assert_eq!(
+            a[17].build::<f64>().nnz(),
+            b[17].build::<f64>().nnz()
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 6: GFlops of the three methods on the 159-matrix corpus, on both
+//! devices, plus the speedup summary (the paper: block is on average 4.72×
+//! over cuSPARSE and 9.95× over Sync-free, up to 72.03× / 61.08×, and
+//! "almost never slower").
+
+use crate::corpus::{corpus_scaled, CorpusEntry};
+use crate::harness::{evaluate_methods_with, fmt_gf, fmt_x, HarnessConfig, Table};
+use recblock_gpu_sim::TriProfile;
+use recblock_matrix::levelset::LevelSets;
+
+/// One matrix's evaluation on one device.
+#[derive(Debug, Clone)]
+pub struct Figure6Row {
+    /// Matrix name.
+    pub name: String,
+    /// Rows.
+    pub n: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Level count.
+    pub nlevels: usize,
+    /// GFlops (cuSPARSE, Sync-free, block).
+    pub gflops: (f64, f64, f64),
+    /// Speedups of block (vs cuSPARSE, vs Sync-free).
+    pub speedups: (f64, f64),
+}
+
+/// Aggregate statistics per device.
+#[derive(Debug, Clone)]
+pub struct Figure6Summary {
+    /// Device name.
+    pub device: String,
+    /// Arithmetic mean speedup vs cuSPARSE.
+    pub avg_vs_cusparse: f64,
+    /// Max speedup vs cuSPARSE.
+    pub max_vs_cusparse: f64,
+    /// Arithmetic mean speedup vs Sync-free.
+    pub avg_vs_syncfree: f64,
+    /// Max speedup vs Sync-free.
+    pub max_vs_syncfree: f64,
+    /// Matrices where block was slower than the best competitor by > 10%.
+    pub slower_count: usize,
+    /// Total matrices.
+    pub total: usize,
+}
+
+/// Evaluate the corpus (optionally shrunken for tests) on every device.
+pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<(Vec<Figure6Row>, Figure6Summary)> {
+    let entries = corpus_scaled(extra_shrink);
+    let mut per_device = Vec::new();
+    for dev in &cfg.devices {
+        let mut rows = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            rows.push(eval_entry(entry, dev, cfg));
+        }
+        rows.sort_by_key(|r: &Figure6Row| r.nnz);
+        let summary = summarise(dev.name, &rows);
+        per_device.push((rows, summary));
+    }
+    per_device
+}
+
+fn eval_entry(
+    entry: &CorpusEntry,
+    dev: &recblock_gpu_sim::DeviceSpec,
+    cfg: &HarnessConfig,
+) -> Figure6Row {
+    let l = entry.build::<f64>();
+    let levels = LevelSets::analyse_unchecked(&l);
+    let profile = TriProfile::analyse(&l, &levels);
+    let blocked = crate::harness::build_blocked(&l, dev, cfg);
+    let eval = evaluate_methods_with(&profile, &blocked, l.nrows(), 8, dev, cfg);
+    Figure6Row {
+        name: entry.name.clone(),
+        n: l.nrows(),
+        nnz: l.nnz(),
+        nlevels: levels.nlevels(),
+        gflops: eval.gflops(),
+        speedups: eval.speedups(),
+    }
+}
+
+fn summarise(device: &str, rows: &[Figure6Row]) -> Figure6Summary {
+    let n = rows.len().max(1) as f64;
+    let avg_cu = rows.iter().map(|r| r.speedups.0).sum::<f64>() / n;
+    let avg_sf = rows.iter().map(|r| r.speedups.1).sum::<f64>() / n;
+    let max_cu = rows.iter().map(|r| r.speedups.0).fold(0.0, f64::max);
+    let max_sf = rows.iter().map(|r| r.speedups.1).fold(0.0, f64::max);
+    let slower = rows
+        .iter()
+        .filter(|r| r.speedups.0 < 0.9 && r.speedups.1 < 0.9)
+        .count();
+    Figure6Summary {
+        device: device.to_string(),
+        avg_vs_cusparse: avg_cu,
+        max_vs_cusparse: max_cu,
+        avg_vs_syncfree: avg_sf,
+        max_vs_syncfree: max_sf,
+        slower_count: slower,
+        total: rows.len(),
+    }
+}
+
+/// Render the full report.
+pub fn run(cfg: &HarnessConfig) -> String {
+    render(evaluate(cfg, 1))
+}
+
+/// Render a precomputed evaluation.
+pub fn render(per_device: Vec<(Vec<Figure6Row>, Figure6Summary)>) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 6: SpTRSV performance on the synthetic 159-matrix corpus ==\n");
+    for (rows, summary) in &per_device {
+        out.push_str(&format!(
+            "\n-- {} (double precision, sorted by nnz) --\n",
+            summary.device
+        ));
+        let mut t = Table::new([
+            "matrix", "n", "nnz", "nlevels", "cuSP GF", "Sync GF", "blk GF", "vs cuSP", "vs Sync",
+        ]);
+        for r in rows {
+            t.row([
+                r.name.clone(),
+                r.n.to_string(),
+                r.nnz.to_string(),
+                r.nlevels.to_string(),
+                fmt_gf(r.gflops.0),
+                fmt_gf(r.gflops.1),
+                fmt_gf(r.gflops.2),
+                fmt_x(r.speedups.0),
+                fmt_x(r.speedups.1),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nSummary [{}]: avg speedup vs cuSPARSE {} (max {}), vs Sync-free {} (max {});\n\
+             block >10% slower than both on {}/{} matrices.\n",
+            summary.device,
+            fmt_x(summary.avg_vs_cusparse),
+            fmt_x(summary.max_vs_cusparse),
+            fmt_x(summary.avg_vs_syncfree),
+            fmt_x(summary.max_vs_syncfree),
+            summary.slower_count,
+            summary.total,
+        ));
+    }
+    out.push_str("\nPaper: avg 4.72x (max 72.03x) vs cuSPARSE, avg 9.95x (max 61.08x) vs Sync-free\n");
+    out.push_str("(Titan RTX); Titan X: avg 5.00x (max 113.84x) and 10.34x (max 57.97x).\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrunken_corpus_shows_block_advantage() {
+        let cfg = HarnessConfig::default();
+        let per_device = evaluate(&cfg, 16);
+        for (rows, summary) in &per_device {
+            assert_eq!(rows.len(), 159);
+            assert!(
+                summary.avg_vs_cusparse > 1.0,
+                "[{}] avg vs cuSPARSE {}",
+                summary.device,
+                summary.avg_vs_cusparse
+            );
+            assert!(
+                summary.avg_vs_syncfree > 1.0,
+                "[{}] avg vs Sync-free {}",
+                summary.device,
+                summary.avg_vs_syncfree
+            );
+            // "almost never slower": at most a small fraction.
+            assert!(
+                summary.slower_count * 5 <= summary.total,
+                "[{}] slower on {}/{}",
+                summary.device,
+                summary.slower_count,
+                summary.total
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper artefact. Every experiment exposes a `run`
+//! function returning the rendered report, so binaries stay thin and tests
+//! can execute shrunken versions.
+
+pub mod ablation;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod table1_2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,29 @@
+//! Benchmark harness for the recblock reproduction.
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (see `DESIGN.md` §4 for the experiment index):
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `table1_2` | Tables 1–2: traffic formulas vs instrumented counters |
+//! | `table3` | Table 3: the two simulated GPUs and three algorithms |
+//! | `figure4` | Fig. 4: SpMV time of the 3 block algorithms vs #parts |
+//! | `figure5` | Fig. 5: best-kernel heatmaps and derived thresholds |
+//! | `figure6` | Fig. 6: GFlops of the 3 methods on the 159-matrix corpus |
+//! | `figure7` | Fig. 7: double/single precision ratio box plots |
+//! | `table4` | Table 4: the six representative matrices |
+//! | `table5` | Table 5: preprocessing amortisation |
+//!
+//! Each experiment lives in [`experiments`] as a library function so the
+//! binaries stay thin and integration tests can run shrunken versions.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod harness;
+pub mod representatives;
+
+pub use corpus::{corpus_159, CorpusEntry, MatrixFamily};
+pub use harness::HarnessConfig;
+pub use representatives::{representatives, Representative};

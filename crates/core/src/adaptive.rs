@@ -1,0 +1,276 @@
+//! Adaptive kernel selection (the paper's Section 3.4, Figure 5 and
+//! Algorithm 7).
+//!
+//! Triangular blocks are classified by `(nnz/row, nlevels)` into one of four
+//! SpTRSV kernels; square blocks by `(nnz/row, emptyratio)` into one of four
+//! SpMV kernels. The default thresholds are the ones the paper derived from
+//! 373,814 measured kernel timings; the [`tuning`] submodule re-derives a
+//! threshold grid from any measurement source (the Figure 5 harness feeds it
+//! the GPU cost model).
+
+use recblock_gpu_sim::cost::SpmvKind;
+
+/// The four SpTRSV kernels of Algorithm 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriKernel {
+    /// Diagonal-only block: perfect parallelism.
+    CompletelyParallel,
+    /// Few large levels: the basic level-set schedule.
+    LevelSet,
+    /// Tens to thousands of levels: the sync-free dataflow.
+    SyncFree,
+    /// Very many levels: the cuSPARSE-style merged-launch solver.
+    CusparseLike,
+}
+
+impl TriKernel {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriKernel::CompletelyParallel => "completely-parallel",
+            TriKernel::LevelSet => "level-set",
+            TriKernel::SyncFree => "sync-free",
+            TriKernel::CusparseLike => "cuSPARSE-like",
+        }
+    }
+}
+
+/// Selection thresholds (defaults = the paper's Figure 5 values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Level count above which the cuSPARSE-like solver wins (paper: 20000).
+    pub cusparse_levels: usize,
+    /// `nnz/row` at or below which level-set is considered (paper: 15).
+    pub levelset_nnz_per_row: f64,
+    /// Level count at or below which level-set is used with the above
+    /// (paper: 20).
+    pub levelset_levels: usize,
+    /// Level count at or below which *unit* rows (`nnz/row ≈ 1`) still use
+    /// level-set (paper: 100).
+    pub levelset_unit_levels: usize,
+    /// `nnz/row` separating scalar from vector SpMV kernels (paper: 12).
+    pub spmv_nnz_per_row: f64,
+    /// `emptyratio` above which scalar kernels switch to DCSR (paper: 0.5).
+    pub scalar_empty_ratio: f64,
+    /// `emptyratio` above which vector kernels switch to DCSR (paper: 0.15).
+    pub vector_empty_ratio: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            cusparse_levels: 20_000,
+            levelset_nnz_per_row: 15.0,
+            levelset_levels: 20,
+            levelset_unit_levels: 100,
+            spmv_nnz_per_row: 12.0,
+            scalar_empty_ratio: 0.5,
+            vector_empty_ratio: 0.15,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Select the SpTRSV kernel for a triangular block (Algorithm 7, lines
+    /// 4–11).
+    pub fn select_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriKernel {
+        if nlevels <= 1 {
+            TriKernel::CompletelyParallel
+        } else if nlevels > self.cusparse_levels {
+            TriKernel::CusparseLike
+        } else if (nnz_per_row <= 1.0 + 1e-9 && nlevels <= self.levelset_unit_levels)
+            || (nnz_per_row <= self.levelset_nnz_per_row && nlevels <= self.levelset_levels)
+        {
+            TriKernel::LevelSet
+        } else {
+            TriKernel::SyncFree
+        }
+    }
+
+    /// Select the SpMV kernel for a square block (Algorithm 7, lines 13–21).
+    pub fn select_spmv(&self, nnz_per_row: f64, empty_ratio: f64) -> SpmvKind {
+        if nnz_per_row <= self.spmv_nnz_per_row {
+            if empty_ratio <= self.scalar_empty_ratio {
+                SpmvKind::ScalarCsr
+            } else {
+                SpmvKind::ScalarDcsr
+            }
+        } else if empty_ratio <= self.vector_empty_ratio {
+            SpmvKind::VectorCsr
+        } else {
+            SpmvKind::VectorDcsr
+        }
+    }
+}
+
+/// How the blocked solver picks kernels per block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// The adaptive decision tree with the given thresholds.
+    Adaptive(Thresholds),
+    /// Force one SpTRSV kernel and one SpMV kernel everywhere (ablation
+    /// baseline). `CompletelyParallel` is still used for diagonal blocks,
+    /// where the fixed kernel would be semantically identical but slower.
+    Fixed(TriKernel, SpmvKind),
+}
+
+impl Default for Selector {
+    fn default() -> Self {
+        Selector::Adaptive(Thresholds::default())
+    }
+}
+
+impl Selector {
+    /// Resolve the SpTRSV kernel for a block.
+    pub fn tri(&self, nnz_per_row: f64, nlevels: usize) -> TriKernel {
+        match self {
+            Selector::Adaptive(t) => t.select_tri(nnz_per_row, nlevels),
+            Selector::Fixed(k, _) => {
+                if nlevels <= 1 {
+                    TriKernel::CompletelyParallel
+                } else {
+                    *k
+                }
+            }
+        }
+    }
+
+    /// Resolve the SpMV kernel for a block.
+    pub fn spmv(&self, nnz_per_row: f64, empty_ratio: f64) -> SpmvKind {
+        match self {
+            Selector::Adaptive(t) => t.select_spmv(nnz_per_row, empty_ratio),
+            Selector::Fixed(_, k) => *k,
+        }
+    }
+}
+
+pub mod tuning {
+    //! Re-derive selection maps from measurements (the Figure 5 harness).
+    //!
+    //! The paper collected 203,251 SpTRSV and 170,563 SpMV timings over
+    //! sub-matrices of its dataset, bucketed them by parameter pair, and
+    //! picked the overall fastest kernel per bucket. [`BestKernelGrid`]
+    //! reproduces that aggregation for any measurement closure.
+
+    /// A 2-D grid of "best kernel" decisions with labelled axes.
+    #[derive(Debug, Clone)]
+    pub struct BestKernelGrid<K> {
+        /// Axis values along x (e.g. `nnz/row` buckets).
+        pub x_values: Vec<f64>,
+        /// Axis values along y (e.g. `nlevels` or `emptyratio` buckets).
+        pub y_values: Vec<f64>,
+        /// `cells[y][x]` = the winning kernel for that parameter pair.
+        pub cells: Vec<Vec<K>>,
+    }
+
+    impl<K: Copy + PartialEq> BestKernelGrid<K> {
+        /// Build the grid by evaluating `measure(kernel, x, y) → seconds`
+        /// for every candidate at every cell and keeping the fastest.
+        pub fn collect<F>(
+            x_values: Vec<f64>,
+            y_values: Vec<f64>,
+            kernels: &[K],
+            mut measure: F,
+        ) -> Self
+        where
+            F: FnMut(K, f64, f64) -> f64,
+        {
+            assert!(!kernels.is_empty());
+            let cells = y_values
+                .iter()
+                .map(|&y| {
+                    x_values
+                        .iter()
+                        .map(|&x| {
+                            let mut best = kernels[0];
+                            let mut best_t = f64::INFINITY;
+                            for &k in kernels {
+                                let t = measure(k, x, y);
+                                if t < best_t {
+                                    best_t = t;
+                                    best = k;
+                                }
+                            }
+                            best
+                        })
+                        .collect()
+                })
+                .collect();
+            BestKernelGrid { x_values, y_values, cells }
+        }
+
+        /// Fraction of cells won by `kernel`.
+        pub fn share(&self, kernel: K) -> f64 {
+            let total: usize = self.cells.iter().map(|r| r.len()).sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let won: usize =
+                self.cells.iter().flatten().filter(|&&c| c == kernel).count();
+            won as f64 / total as f64
+        }
+
+        /// The winning kernel at `(xi, yi)` (indices into the axis vectors).
+        pub fn at(&self, xi: usize, yi: usize) -> K {
+            self.cells[yi][xi]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm7_tri_branches() {
+        let t = Thresholds::default();
+        // Diagonal block.
+        assert_eq!(t.select_tri(1.0, 1), TriKernel::CompletelyParallel);
+        // Very many levels → cuSPARSE.
+        assert_eq!(t.select_tri(3.0, 50_000), TriKernel::CusparseLike);
+        // Few levels, short rows → level-set.
+        assert_eq!(t.select_tri(8.0, 10), TriKernel::LevelSet);
+        // Unit rows, up to 100 levels → level-set.
+        assert_eq!(t.select_tri(1.0, 80), TriKernel::LevelSet);
+        // Everything else → sync-free.
+        assert_eq!(t.select_tri(8.0, 500), TriKernel::SyncFree);
+        assert_eq!(t.select_tri(40.0, 10), TriKernel::SyncFree);
+        assert_eq!(t.select_tri(1.0, 150), TriKernel::SyncFree);
+    }
+
+    #[test]
+    fn algorithm7_spmv_branches() {
+        let t = Thresholds::default();
+        assert_eq!(t.select_spmv(5.0, 0.2), SpmvKind::ScalarCsr);
+        assert_eq!(t.select_spmv(5.0, 0.8), SpmvKind::ScalarDcsr);
+        assert_eq!(t.select_spmv(30.0, 0.1), SpmvKind::VectorCsr);
+        assert_eq!(t.select_spmv(30.0, 0.4), SpmvKind::VectorDcsr);
+        // Boundary values fall to the "≤" side, as in Algorithm 7.
+        assert_eq!(t.select_spmv(12.0, 0.5), SpmvKind::ScalarCsr);
+        assert_eq!(t.select_spmv(13.0, 0.15), SpmvKind::VectorCsr);
+    }
+
+    #[test]
+    fn fixed_selector_overrides() {
+        let s = Selector::Fixed(TriKernel::SyncFree, SpmvKind::VectorCsr);
+        assert_eq!(s.tri(2.0, 5), TriKernel::SyncFree);
+        assert_eq!(s.spmv(2.0, 0.9), SpmvKind::VectorCsr);
+        // Diagonal blocks still take the trivial kernel.
+        assert_eq!(s.tri(1.0, 1), TriKernel::CompletelyParallel);
+    }
+
+    #[test]
+    fn grid_picks_fastest() {
+        use tuning::BestKernelGrid;
+        let grid = BestKernelGrid::collect(
+            vec![1.0, 10.0],
+            vec![0.0, 1.0],
+            &["a", "b"],
+            |k, x, y| if k == "a" { x + y } else { 10.0 - x - y },
+        );
+        // a wins where x + y < 5, b elsewhere.
+        assert_eq!(grid.at(0, 0), "a");
+        assert_eq!(grid.at(1, 1), "b");
+        assert!(grid.share("a") > 0.0 && grid.share("b") > 0.0);
+    }
+}

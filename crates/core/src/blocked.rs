@@ -1,0 +1,680 @@
+//! The improved recursive block data structure (the paper's Section 3.3)
+//! and its loop executor (Algorithm 7's driver).
+//!
+//! [`BlockedTri`] is built once in a preprocessing stage:
+//!
+//! 1. the matrix is **recursively reordered** by level sets ([`crate::reorder`],
+//!    Figure 3),
+//! 2. the recursive bisection is **flattened into execution order** — the
+//!    in-order sequence `T₀ S₀ T₁ S₁ …` of Figure 3(d) — so the solve phase
+//!    is a plain loop rather than a recursion,
+//! 3. every triangular block gets the SpTRSV kernel and every square block
+//!    the SpMV kernel and storage (CSR or DCSR) the **adaptive selection**
+//!    chooses from its statistics (Algorithm 7).
+//!
+//! Solving then gathers `b` into the reordered space, walks the block list,
+//! and scatters the solution back.
+
+use crate::adaptive::{Selector, TriKernel};
+use crate::partition::{self, PlanNode};
+use crate::report::{SimBreakdown, SolveBreakdown};
+use crate::sqsolver::SqSolver;
+use crate::traffic::TrafficCounts;
+use crate::trisolver::TriSolver;
+use recblock_gpu_sim::cost::SpmvKind;
+use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
+use recblock_gpu_sim::TriProfile;
+use recblock_matrix::permute::Permutation;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+use std::ops::Range;
+use std::time::Instant;
+
+/// How the recursion depth is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepthRule {
+    /// The paper's rule: halve until the next block would drop below
+    /// `20 × cuda_cores` rows of the given device.
+    Auto(DeviceSpec),
+    /// Fixed depth (`2^depth` leaves).
+    Fixed(usize),
+}
+
+/// Preprocessing options for [`BlockedTri`].
+#[derive(Debug, Clone)]
+pub struct BlockedOptions {
+    /// Recursion-depth rule.
+    pub depth: DepthRule,
+    /// Apply the recursive level-set reordering (Section 3.3). Disabling it
+    /// is the `ablation_reorder` baseline.
+    pub reorder: bool,
+    /// Kernel selection policy (adaptive Algorithm 7 by default).
+    pub selector: Selector,
+    /// Allow DCSR storage for hyper-sparse squares. Disabling it is the
+    /// `ablation_dcsr` baseline.
+    pub allow_dcsr: bool,
+    /// Worker threads for sync-free blocks.
+    pub syncfree_threads: usize,
+}
+
+impl Default for BlockedOptions {
+    fn default() -> Self {
+        BlockedOptions {
+            depth: DepthRule::Auto(DeviceSpec::titan_rtx_turing()),
+            reorder: true,
+            selector: Selector::default(),
+            allow_dcsr: true,
+            syncfree_threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(16),
+        }
+    }
+}
+
+/// The payload of one block in execution order.
+#[derive(Debug, Clone)]
+enum BlockData<S> {
+    Tri { solver: TriSolver<S>, profile: TriProfile },
+    Square(SqSolver<S>),
+}
+
+/// One block of the execution-order list.
+#[derive(Debug, Clone)]
+struct Block<S> {
+    rows: Range<usize>,
+    cols: Range<usize>,
+    data: BlockData<S>,
+}
+
+/// Reusable buffers for [`BlockedTri::solve_into`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace<S> {
+    work: Vec<S>,
+    x: Vec<S>,
+}
+
+impl<S: Scalar> SolveWorkspace<S> {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        SolveWorkspace { work: Vec::new(), x: Vec::new() }
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.work.resize(n, S::ZERO);
+        self.x.resize(n, S::ZERO);
+    }
+}
+
+/// Public structural summary of one block (see
+/// [`BlockedTri::block_summaries`]).
+#[derive(Debug, Clone)]
+pub struct BlockSummary {
+    /// Row range in the reordered matrix.
+    pub rows: Range<usize>,
+    /// Column range in the reordered matrix.
+    pub cols: Range<usize>,
+    /// Shape-specific payload.
+    pub kind: BlockKindSummary,
+}
+
+/// Shape-specific part of a [`BlockSummary`].
+#[derive(Debug, Clone)]
+pub enum BlockKindSummary {
+    /// Triangular block: selected SpTRSV kernel and cost-model profile.
+    Tri {
+        /// The kernel the selection assigned.
+        kernel: TriKernel,
+        /// The block's structural profile.
+        profile: recblock_gpu_sim::TriProfile,
+    },
+    /// Square block: selected SpMV kernel and profile.
+    Square {
+        /// The kernel the selection assigned.
+        kernel: SpmvKind,
+        /// The block's structural profile.
+        profile: recblock_gpu_sim::SpmvProfile,
+    },
+}
+
+/// Census of which kernels the adaptive selection assigned.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelCensus {
+    /// `(kernel, block count)` for the triangular blocks.
+    pub tri: Vec<(TriKernel, usize)>,
+    /// `(kernel, block count)` for the square blocks.
+    pub spmv: Vec<(SpmvKind, usize)>,
+}
+
+/// The improved recursive block structure: reordered, flattened, with
+/// per-block kernels selected — ready to solve many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct BlockedTri<S> {
+    n: usize,
+    nnz: usize,
+    depth: usize,
+    perm: Permutation,
+    blocks: Vec<Block<S>>,
+    traffic: TrafficCounts,
+}
+
+impl<S: Scalar> BlockedTri<S> {
+    /// Preprocess `l` (the paper's whole preprocessing stage).
+    pub fn build(l: &Csr<S>, opts: &BlockedOptions) -> Result<Self, MatrixError> {
+        recblock_matrix::triangular::check_solvable_lower(l)?;
+        let n = l.nrows();
+        let depth = match &opts.depth {
+            DepthRule::Auto(dev) => partition::depth_for(n, dev.min_block_rows()),
+            DepthRule::Fixed(d) => *d,
+        };
+        let (matrix, perm) = if opts.reorder {
+            crate::reorder::recursive_levelset_reorder(l, depth)?
+        } else {
+            (l.clone(), Permutation::identity(n))
+        };
+        let plan = partition::recursive_plan(n, depth);
+        let mut traffic = TrafficCounts::default();
+        for node in &plan {
+            match node {
+                PlanNode::Tri { rows } => traffic.tri(rows.len()),
+                PlanNode::Square { rows, cols } => traffic.spmv(rows.len(), cols.len()),
+            }
+        }
+        // Blocks are independent once the matrix is reordered: extract,
+        // profile and preprocess them in parallel (this is the bulk of the
+        // Table 5 preprocessing cost).
+        use rayon::prelude::*;
+        let blocks: Vec<Block<S>> = plan
+            .into_par_iter()
+            .map(|node| -> Result<Block<S>, MatrixError> {
+                match node {
+                    PlanNode::Tri { rows } => {
+                        let tri = matrix.submatrix(rows.clone(), rows.clone());
+                        let (solver, profile) =
+                            TriSolver::build_adaptive(tri, &opts.selector, opts.syncfree_threads)?;
+                        Ok(Block {
+                            rows: rows.clone(),
+                            cols: rows,
+                            data: BlockData::Tri { solver, profile },
+                        })
+                    }
+                    PlanNode::Square { rows, cols } => {
+                        let sq = matrix.submatrix(rows.clone(), cols.clone());
+                        let solver = SqSolver::build(sq, &opts.selector, opts.allow_dcsr);
+                        Ok(Block { rows, cols, data: BlockData::Square(solver) })
+                    }
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, blocks, traffic })
+    }
+
+    /// Rows of the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros of the system.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Recursion depth used.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of blocks in execution order (`2^(d+1) − 1`).
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The reordering permutation (`perm[new] = old`).
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Dense-counted traffic of one solve (Tables 1–2 accounting).
+    pub fn traffic(&self) -> TrafficCounts {
+        self.traffic
+    }
+
+    /// Structural summaries of every block in execution order — the
+    /// introspection surface for tuning/agreement studies (Figure 5's data
+    /// collection over real blocks).
+    pub fn block_summaries(&self) -> Vec<BlockSummary> {
+        self.blocks
+            .iter()
+            .map(|b| match &b.data {
+                BlockData::Tri { solver, profile } => BlockSummary {
+                    rows: b.rows.clone(),
+                    cols: b.cols.clone(),
+                    kind: BlockKindSummary::Tri {
+                        kernel: solver.kernel(),
+                        profile: profile.clone(),
+                    },
+                },
+                BlockData::Square(sq) => BlockSummary {
+                    rows: b.rows.clone(),
+                    cols: b.cols.clone(),
+                    kind: BlockKindSummary::Square { kernel: sq.kind(), profile: *sq.profile() },
+                },
+            })
+            .collect()
+    }
+
+    /// Which kernels the selection assigned, per block count.
+    pub fn census(&self) -> KernelCensus {
+        let mut census = KernelCensus::default();
+        for b in &self.blocks {
+            match &b.data {
+                BlockData::Tri { solver, .. } => bump_tri(&mut census.tri, solver.kernel()),
+                BlockData::Square(sq) => bump_spmv(&mut census.spmv, sq.kind()),
+            }
+        }
+        census
+    }
+
+    /// Solve `L x = b`.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        Ok(self.solve_instrumented(b)?.0)
+    }
+
+    /// Solve into caller-provided buffers, reusing a [`SolveWorkspace`] so
+    /// repeated solves (the iterative scenario) avoid the gather/scatter
+    /// allocations.
+    pub fn solve_into(
+        &self,
+        b: &[S],
+        x_out: &mut [S],
+        ws: &mut SolveWorkspace<S>,
+    ) -> Result<(), MatrixError> {
+        if b.len() != self.n || x_out.len() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked solve buffers",
+                expected: self.n,
+                actual: b.len().min(x_out.len()),
+            });
+        }
+        ws.resize(self.n);
+        // Gather b into the reordered space.
+        for (new, &old) in self.perm.forward().iter().enumerate() {
+            ws.work[new] = b[old];
+        }
+        for block in &self.blocks {
+            match &block.data {
+                BlockData::Tri { solver, .. } => {
+                    let xs = solver.solve(&ws.work[block.rows.clone()])?;
+                    ws.x[block.rows.clone()].copy_from_slice(&xs);
+                }
+                BlockData::Square(sq) => {
+                    sq.apply(&ws.x[block.cols.clone()], &mut ws.work[block.rows.clone()])?;
+                }
+            }
+        }
+        // Scatter back to the original ordering.
+        for (new, &old) in self.perm.forward().iter().enumerate() {
+            x_out[old] = ws.x[new];
+        }
+        Ok(())
+    }
+
+    /// Solve and report the wall-clock tri/SpMV split.
+    pub fn solve_instrumented(&self, b: &[S]) -> Result<(Vec<S>, SolveBreakdown), MatrixError> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked rhs",
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let mut work = self.perm.gather(b);
+        let mut x = vec![S::ZERO; self.n];
+        let mut br = SolveBreakdown::default();
+        for block in &self.blocks {
+            match &block.data {
+                BlockData::Tri { solver, .. } => {
+                    let t0 = Instant::now();
+                    let xs = solver.solve(&work[block.rows.clone()])?;
+                    br.tri_s += t0.elapsed().as_secs_f64();
+                    x[block.rows.clone()].copy_from_slice(&xs);
+                }
+                BlockData::Square(sq) => {
+                    let t1 = Instant::now();
+                    sq.apply(&x[block.cols.clone()], &mut work[block.rows.clone()])?;
+                    br.spmv_s += t1.elapsed().as_secs_f64();
+                }
+            }
+        }
+        Ok((self.perm.scatter(&x), br))
+    }
+
+    /// Fused multi-right-hand-side solve: the block list is walked **once**,
+    /// each block processing every column before the next block starts —
+    /// so block data is loaded once per solve batch instead of once per
+    /// column (the cache behaviour that makes the paper's multi-RHS
+    /// amortisation argument work).
+    pub fn solve_multi(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+    ) -> Result<recblock_kernels::sptrsm::MultiVector<S>, MatrixError> {
+        use recblock_kernels::sptrsm::MultiVector;
+        if b.n() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked multi-rhs rows",
+                expected: self.n,
+                actual: b.n(),
+            });
+        }
+        let k = b.k();
+        // Strategy: walking the block list once with all columns amortises
+        // the *matrix* traffic; iterating whole solves keeps the *vector*
+        // working set (one column) hot. Pick by which is bigger — matrix
+        // bytes versus the k-column batch.
+        let matrix_bytes = self.nnz * (std::mem::size_of::<usize>() + S::BYTES);
+        let batch_bytes = 2 * k * self.n * S::BYTES;
+        if matrix_bytes < batch_bytes {
+            let mut out = recblock_kernels::sptrsm::MultiVector::zeros(self.n, k);
+            for j in 0..k {
+                let xj = self.solve(b.col(j))?;
+                out.col_mut(j).copy_from_slice(&xj);
+            }
+            return Ok(out);
+        }
+        let mut work: Vec<Vec<S>> = (0..k).map(|j| self.perm.gather(b.col(j))).collect();
+        let mut x: Vec<Vec<S>> = vec![vec![S::ZERO; self.n]; k];
+        use rayon::prelude::*;
+        for block in &self.blocks {
+            match &block.data {
+                // Diagonal blocks solve in place, columns in parallel — no
+                // segment staging needed.
+                BlockData::Tri { solver: crate::trisolver::TriSolver::Diag(dm), .. } => {
+                    let d = dm.vals();
+                    x.par_iter_mut().zip(work.par_iter()).for_each(|(xj, wj)| {
+                        for (di, i) in block.rows.clone().enumerate() {
+                            xj[i] = wj[i] / d[di];
+                        }
+                    });
+                }
+                BlockData::Tri { solver, .. } => {
+                    let w = block.rows.len();
+                    let mut seg = Vec::with_capacity(w * k);
+                    for wj in work.iter() {
+                        seg.extend_from_slice(&wj[block.rows.clone()]);
+                    }
+                    let seg = MultiVector::from_columns(w, k, seg)?;
+                    let xs = solver.solve_multi(&seg)?;
+                    for (j, xj) in x.iter_mut().enumerate() {
+                        xj[block.rows.clone()].copy_from_slice(xs.col(j));
+                    }
+                }
+                BlockData::Square(sq) => {
+                    for j in 0..k {
+                        sq.apply(&x[j][block.cols.clone()], &mut work[j][block.rows.clone()])?;
+                    }
+                }
+            }
+        }
+        let mut out = MultiVector::zeros(self.n, k);
+        for (j, xj) in x.iter().enumerate() {
+            out.col_mut(j).copy_from_slice(&self.perm.scatter(xj));
+        }
+        Ok(out)
+    }
+
+    /// Predicted GPU time per part under the cost model.
+    pub fn simulated_breakdown(&self, dev: &DeviceSpec, params: &CostParams) -> SimBreakdown {
+        self.simulated_breakdown_bytes(S::BYTES, dev, params)
+    }
+
+    /// As [`BlockedTri::simulated_breakdown`] with an explicit element
+    /// width, so one built structure prices both precisions (Figure 7).
+    pub fn simulated_breakdown_bytes(
+        &self,
+        scalar_bytes: usize,
+        dev: &DeviceSpec,
+        params: &CostParams,
+    ) -> SimBreakdown {
+        let mut sim = SimBreakdown::default();
+        for block in &self.blocks {
+            match &block.data {
+                BlockData::Tri { solver, profile } => {
+                    let ws = block.rows.len() * 3 * scalar_bytes;
+                    sim.tri = sim.tri.seq(
+                        solver.simulated_time_bytes(profile, scalar_bytes, ws, dev, params),
+                    );
+                }
+                BlockData::Square(sq) => {
+                    let ws = (block.rows.len() + block.cols.len()) * 2 * scalar_bytes;
+                    sim.spmv =
+                        sim.spmv.seq(sq.simulated_time_bytes(scalar_bytes, ws, dev, params));
+                }
+            }
+        }
+        sim
+    }
+
+    /// Total predicted GPU solve time.
+    pub fn simulated_time(&self, dev: &DeviceSpec, params: &CostParams) -> KernelTime {
+        self.simulated_breakdown(dev, params).total()
+    }
+
+    /// Predicted GPU preprocessing time (reorder + rebuild; Table 5).
+    pub fn simulated_prep_time(&self, params: &CostParams) -> f64 {
+        recblock_gpu_sim::cost::block_prep_time(self.nnz, params)
+    }
+}
+
+fn bump_tri(v: &mut Vec<(TriKernel, usize)>, k: TriKernel) {
+    if let Some(e) = v.iter_mut().find(|(kk, _)| *kk == k) {
+        e.1 += 1;
+    } else {
+        v.push((k, 1));
+    }
+}
+
+fn bump_spmv(v: &mut Vec<(SpmvKind, usize)>, k: SpmvKind) {
+    if let Some(e) = v.iter_mut().find(|(kk, _)| *kk == k) {
+        e.1 += 1;
+    } else {
+        v.push((k, 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_kernels::sptrsv::serial_csr;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn opts(depth: usize) -> BlockedOptions {
+        BlockedOptions { depth: DepthRule::Fixed(depth), ..BlockedOptions::default() }
+    }
+
+    fn check(l: Csr<f64>, depth: usize) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 29) as f64) - 14.0).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let s = BlockedTri::build(&l, &opts(depth)).unwrap();
+        let x = s.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-10, "depth={depth}");
+    }
+
+    #[test]
+    fn matches_serial_various_depths() {
+        let l = generate::random_lower::<f64>(700, 4.0, 51);
+        for depth in 0..6usize {
+            check(l.clone(), depth);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_structures() {
+        check(generate::grid2d::<f64>(26, 25, 52), 3);
+        check(generate::chain::<f64>(400, 53), 4);
+        check(generate::kkt_like::<f64>(1200, 500, 3, 54), 3);
+        check(generate::hub_power_law::<f64>(900, 7, 2, 40, 55), 3);
+        check(generate::layered::<f64>(800, 15, 2.0, generate::LayerShape::Uniform, 56), 3);
+    }
+
+    #[test]
+    fn no_reorder_still_correct() {
+        let l = generate::layered::<f64>(600, 10, 2.0, generate::LayerShape::Uniform, 57);
+        let o = BlockedOptions { reorder: false, ..opts(3) };
+        let s = BlockedTri::build(&l, &o).unwrap();
+        let b = vec![1.5; 600];
+        assert!(max_rel_diff(&s.solve(&b).unwrap(), &serial_csr(&l, &b).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn no_dcsr_still_correct() {
+        let l = generate::hub_power_law::<f64>(800, 6, 2, 0, 58);
+        let o = BlockedOptions { allow_dcsr: false, ..opts(3) };
+        let s = BlockedTri::build(&l, &o).unwrap();
+        let b = vec![0.5; 800];
+        assert!(max_rel_diff(&s.solve(&b).unwrap(), &serial_csr(&l, &b).unwrap()) < 1e-10);
+        for (k, _) in s.census().spmv {
+            assert!(!matches!(k, SpmvKind::ScalarDcsr | SpmvKind::VectorDcsr));
+        }
+    }
+
+    #[test]
+    fn block_count_matches_plan() {
+        let l = generate::random_lower::<f64>(512, 3.0, 59);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        assert_eq!(s.nblocks(), (1 << 4) - 1);
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn auto_depth_follows_device_rule() {
+        let l = generate::random_lower::<f64>(2000, 3.0, 60);
+        let dev = DeviceSpec::titan_rtx_turing();
+        let o = BlockedOptions { depth: DepthRule::Auto(dev.clone()), ..BlockedOptions::default() };
+        let s = BlockedTri::build(&l, &o).unwrap();
+        // 2000 rows ≪ 92160: no split.
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.nblocks(), 1);
+    }
+
+    #[test]
+    fn reordering_creates_diagonal_leaves() {
+        // Two-level KKT: after reorder, early leaves are pure diagonal and
+        // take the completely-parallel kernel.
+        let l = generate::kkt_like::<f64>(2048, 800, 3, 61);
+        let s = BlockedTri::build(&l, &opts(2)).unwrap();
+        let census = s.census();
+        let diag_blocks = census
+            .tri
+            .iter()
+            .find(|(k, _)| *k == TriKernel::CompletelyParallel)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(diag_blocks >= 1, "census: {:?}", census);
+    }
+
+    #[test]
+    fn repeated_solves_consistent() {
+        let l = generate::grid2d::<f64>(30, 30, 62);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let b: Vec<f64> = (0..900).map(|i| (i as f64 * 0.1).cos()).collect();
+        let x1 = s.solve(&b).unwrap();
+        let x2 = s.solve(&b).unwrap();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn traffic_matches_recursive_formula_on_dense() {
+        let n = 256;
+        let l = generate::dense_lower::<f64>(n, 63);
+        let o = BlockedOptions { reorder: false, ..opts(3) };
+        let s = BlockedTri::build(&l, &o).unwrap();
+        let t = s.traffic();
+        assert_eq!(t.b_updates as f64, crate::traffic::recursive_b_updates(n, 8));
+        assert_eq!(t.x_loads as f64, crate::traffic::recursive_x_loads(n, 8));
+    }
+
+    #[test]
+    fn simulated_times_positive_and_composed() {
+        let l = generate::layered::<f64>(1000, 8, 2.0, generate::LayerShape::Uniform, 64);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let dev = DeviceSpec::titan_rtx_turing();
+        let params = CostParams::default();
+        let sim = s.simulated_breakdown(&dev, &params);
+        assert!(sim.tri.total_s > 0.0 && sim.spmv.total_s > 0.0);
+        let total = s.simulated_time(&dev, &params);
+        assert!((total.total_s - sim.total().total_s).abs() < 1e-12);
+        assert!(s.simulated_prep_time(&params) > 0.0);
+    }
+
+    #[test]
+    fn solve_multi_matches_per_column_solve() {
+        use recblock_kernels::sptrsm::MultiVector;
+        let l = generate::kkt_like::<f64>(900, 350, 3, 72);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let k = 5;
+        let data: Vec<f64> = (0..900 * k).map(|i| ((i % 41) as f64) - 20.0).collect();
+        let b = MultiVector::from_columns(900, k, data).unwrap();
+        let fused = s.solve_multi(&b).unwrap();
+        for j in 0..k {
+            let per_col = s.solve(b.col(j)).unwrap();
+            assert!(
+                recblock_matrix::vector::max_rel_diff(fused.col(j), &per_col) < 1e-12,
+                "column {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_multi_checks_rows() {
+        use recblock_kernels::sptrsm::MultiVector;
+        let l = generate::diagonal::<f64>(40, 73);
+        let s = BlockedTri::build(&l, &opts(1)).unwrap();
+        assert!(s.solve_multi(&MultiVector::<f64>::zeros(30, 2)).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let l = generate::layered::<f64>(600, 9, 2.0, generate::LayerShape::Uniform, 70);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let b: Vec<f64> = (0..600).map(|i| (i % 7) as f64 - 3.0).collect();
+        let expected = s.solve(&b).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0; 600];
+        s.solve_into(&b, &mut x, &mut ws).unwrap();
+        assert_eq!(x, expected);
+        // Workspace reuse across different right-hand sides.
+        let b2: Vec<f64> = b.iter().map(|v| v * 2.0).collect();
+        s.solve_into(&b2, &mut x, &mut ws).unwrap();
+        assert_eq!(x, s.solve(&b2).unwrap());
+    }
+
+    #[test]
+    fn solve_into_checks_buffer_sizes() {
+        let l = generate::diagonal::<f64>(50, 71);
+        let s = BlockedTri::build(&l, &opts(1)).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0; 49];
+        assert!(s.solve_into(&vec![1.0; 50], &mut x, &mut ws).is_err());
+    }
+
+    #[test]
+    fn f32_blocked_solve() {
+        let l = generate::random_lower::<f32>(500, 4.0, 65);
+        let s = BlockedTri::build(&l, &opts(2)).unwrap();
+        let b = vec![1.0f32; 500];
+        let x = s.solve(&b).unwrap();
+        let r = recblock_matrix::vector::residual_inf(&l, &x, &b).unwrap();
+        assert!(r < 1e-4);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let l = generate::random_lower::<f64>(100, 3.0, 66);
+        let s = BlockedTri::build(&l, &opts(2)).unwrap();
+        assert!(s.solve(&[1.0; 99]).is_err());
+        let bad = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
+            .unwrap();
+        assert!(BlockedTri::build(&bad, &opts(1)).is_err());
+    }
+}

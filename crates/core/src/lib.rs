@@ -1,0 +1,66 @@
+//! # recblock — block algorithms for parallel sparse triangular solve
+//!
+//! Reproduction of Lu, Niu & Liu, *"Efficient Block Algorithms for Parallel
+//! Sparse Triangular Solve"* (ICPP 2020). The crate implements the paper's
+//! three block algorithms and its improved adaptive recursive variant:
+//!
+//! * [`column::ColumnBlockSolver`] — vertical strips: solve the triangular
+//!   block on top of each strip, then one SpMV updates the entire remaining
+//!   right-hand side (the paper's Algorithm 4);
+//! * [`row::RowBlockSolver`] — horizontal strips: one SpMV consumes the
+//!   already-solved prefix of `x`, then the strip's triangular block is
+//!   solved (Algorithm 5);
+//! * [`recursive::RecursiveBlockSolver`] — recursive bisection into
+//!   top-triangle / square / bottom-triangle (Algorithm 6);
+//! * [`blocked::BlockedTri`] — the improved data structure of Section 3.3:
+//!   recursive level-set reordering, blocks stored in execution order,
+//!   triangular parts solved by adaptively selected SpTRSV kernels and
+//!   square parts by adaptively selected SpMV kernels (Algorithm 7);
+//! * [`solver::RecBlockSolver`] — the user-facing API: preprocess once,
+//!   solve many right-hand sides, query simulated GPU timings.
+//!
+//! Supporting modules: [`traffic`] reproduces the `b`-update / `x`-load
+//! accounting of the paper's Tables 1–2; [`adaptive`] holds the kernel
+//! selection thresholds of Figure 5 / Algorithm 7 plus a tuning harness to
+//! re-derive them; [`reorder`] implements the recursive level-set
+//! permutation of Figure 3.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use recblock::solver::{RecBlockSolver, SolverOptions};
+//! use recblock_matrix::generate;
+//!
+//! // A lower-triangular system with a KKT-like two-level structure.
+//! let l = generate::kkt_like::<f64>(4096, 1600, 4, 7);
+//! let b = vec![1.0; 4096];
+//!
+//! let solver = RecBlockSolver::new(&l, SolverOptions::default()).unwrap();
+//! let x = solver.solve(&b).unwrap();
+//!
+//! let r = recblock_matrix::vector::residual_inf(&l, &x, &b).unwrap();
+//! assert!(r < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod blocked;
+pub mod column;
+pub mod packed;
+pub mod partition;
+pub mod precond;
+pub mod recursive;
+pub mod reorder;
+pub mod report;
+pub mod row;
+pub mod solver;
+pub mod sqsolver;
+pub mod traffic;
+pub mod trisolver;
+pub mod upper;
+
+pub use adaptive::{Selector, TriKernel};
+pub use blocked::{BlockedOptions, BlockedTri, DepthRule};
+pub use solver::{RecBlockSolver, SolverOptions};
+pub use traffic::TrafficCounts;

@@ -1,0 +1,418 @@
+//! Packed execution-order storage — the faithful Figure 3(d) layout.
+//!
+//! The paper stores the whole blocked matrix in **three contiguous
+//! arrays**: triangular parts in CSC (diagonal handled separately), square
+//! parts transposed into CSR, hyper-sparse squares doubly compressed into
+//! DCSR, all concatenated in execution order so the solve phase streams one
+//! arena front to back. [`PackedBlocked`] reproduces that layout exactly —
+//! one pointer array, one index array, one value array, plus a small
+//! descriptor table — and executes the solve as a single loop of
+//! slice-level kernels over the arena.
+//!
+//! [`crate::blocked::BlockedTri`] remains the *performance* representation
+//! (per-block structs so each block can carry its preprocessed parallel
+//! solver); `PackedBlocked` is the *storage* representation, used to
+//! measure the format's memory footprint and to validate the layout
+//! round-trips. Both solve identically (tests cross-check them).
+
+use crate::partition::{self, PlanNode};
+use recblock_matrix::permute::Permutation;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+use std::ops::Range;
+
+/// How one block is laid out inside the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedShape {
+    /// Triangular block in CSC, diagonal stored separately in `diag`.
+    TriCsc,
+    /// Square block in CSR.
+    SquareCsr,
+    /// Square block in DCSR (pointer array covers only non-empty rows,
+    /// whose original indices live in `aux`).
+    SquareDcsr,
+}
+
+/// Descriptor of one block: where it sits in the matrix and in the arena.
+#[derive(Debug, Clone)]
+pub struct PackedBlock {
+    /// Storage shape.
+    pub shape: PackedShape,
+    /// Row range in the reordered matrix.
+    pub rows: Range<usize>,
+    /// Column range in the reordered matrix.
+    pub cols: Range<usize>,
+    /// Slice of the shared pointer array (`len = lanes + 1`).
+    ptr: Range<usize>,
+    /// Slice of the shared index/value arrays.
+    data: Range<usize>,
+    /// Slice of the auxiliary array (DCSR row ids; empty otherwise).
+    aux: Range<usize>,
+}
+
+/// Options for the packed build.
+#[derive(Debug, Clone)]
+pub struct PackedOptions {
+    /// Recursion depth (`2^depth` leaves).
+    pub depth: usize,
+    /// Apply the recursive level-set reordering first.
+    pub reorder: bool,
+    /// Squares with at least this fraction of empty rows are stored DCSR
+    /// (the paper's hyper-sparse case).
+    pub dcsr_empty_ratio: f64,
+}
+
+impl Default for PackedOptions {
+    fn default() -> Self {
+        PackedOptions { depth: 3, reorder: true, dcsr_empty_ratio: 0.5 }
+    }
+}
+
+/// The packed blocked matrix: three shared arrays plus descriptors.
+#[derive(Debug, Clone)]
+pub struct PackedBlocked<S> {
+    n: usize,
+    nnz: usize,
+    depth: usize,
+    perm: Permutation,
+    /// Per-component diagonal values (stored separately, as in Figure 3(d)).
+    diag: Vec<S>,
+    /// Concatenated pointer arrays of every block.
+    ptr: Vec<usize>,
+    /// Concatenated index arrays (CSC row indices / CSR column indices),
+    /// block-local.
+    idx: Vec<usize>,
+    /// Concatenated value arrays.
+    vals: Vec<S>,
+    /// DCSR non-empty-row indices, block-local.
+    aux: Vec<usize>,
+    /// Block descriptors in execution order.
+    blocks: Vec<PackedBlock>,
+}
+
+impl<S: Scalar> PackedBlocked<S> {
+    /// Build the packed representation of a solvable lower-triangular
+    /// matrix.
+    pub fn build(l: &Csr<S>, opts: &PackedOptions) -> Result<Self, MatrixError> {
+        recblock_matrix::triangular::check_solvable_lower(l)?;
+        let n = l.nrows();
+        let (matrix, perm) = if opts.reorder {
+            crate::reorder::recursive_levelset_reorder(l, opts.depth)?
+        } else {
+            (l.clone(), Permutation::identity(n))
+        };
+        let mut packed = PackedBlocked {
+            n,
+            nnz: l.nnz(),
+            depth: opts.depth,
+            perm,
+            diag: vec![S::ZERO; n],
+            ptr: Vec::new(),
+            idx: Vec::with_capacity(l.nnz()),
+            vals: Vec::with_capacity(l.nnz()),
+            aux: Vec::new(),
+            blocks: Vec::new(),
+        };
+        for i in 0..n {
+            packed.diag[i] = matrix.get(i, i).ok_or(MatrixError::SingularDiagonal { row: i })?;
+        }
+        for node in partition::recursive_plan(n, opts.depth) {
+            match node {
+                PlanNode::Tri { rows } => packed.push_tri(&matrix, rows),
+                PlanNode::Square { rows, cols } => {
+                    packed.push_square(&matrix, rows, cols, opts.dcsr_empty_ratio)
+                }
+            }
+        }
+        debug_assert_eq!(packed.vals.len() + n, l.nnz());
+        Ok(packed)
+    }
+
+    /// Append a triangular block in CSC, diagonal excluded.
+    fn push_tri(&mut self, m: &Csr<S>, rows: Range<usize>) {
+        let sub = m.submatrix(rows.clone(), rows.clone());
+        let csc = sub.to_csc();
+        let w = rows.len();
+        let ptr_start = self.ptr.len();
+        let data_start = self.idx.len();
+        // Strip the diagonal (first entry of each column) while packing.
+        let mut running = 0usize;
+        self.ptr.push(0);
+        for j in 0..w {
+            let (r, v) = csc.col(j);
+            for k in 0..r.len() {
+                if r[k] == j {
+                    continue; // diagonal lives in `diag`
+                }
+                self.idx.push(r[k]);
+                self.vals.push(v[k]);
+                running += 1;
+            }
+            self.ptr.push(running);
+        }
+        self.blocks.push(PackedBlock {
+            shape: PackedShape::TriCsc,
+            rows: rows.clone(),
+            cols: rows,
+            ptr: ptr_start..self.ptr.len(),
+            data: data_start..self.idx.len(),
+            aux: 0..0,
+        });
+    }
+
+    /// Append a square block in CSR, or DCSR when hyper-sparse.
+    fn push_square(
+        &mut self,
+        m: &Csr<S>,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        dcsr_threshold: f64,
+    ) {
+        let sub = m.submatrix(rows.clone(), cols.clone());
+        let empty = sub.empty_rows() as f64 / sub.nrows().max(1) as f64;
+        let ptr_start = self.ptr.len();
+        let data_start = self.idx.len();
+        let aux_start = self.aux.len();
+        let shape = if empty > dcsr_threshold {
+            // DCSR: only non-empty rows get a pointer slot.
+            let mut running = 0usize;
+            self.ptr.push(0);
+            for i in 0..sub.nrows() {
+                let (c, v) = sub.row(i);
+                if c.is_empty() {
+                    continue;
+                }
+                self.aux.push(i);
+                self.idx.extend_from_slice(c);
+                self.vals.extend_from_slice(v);
+                running += c.len();
+                self.ptr.push(running);
+            }
+            PackedShape::SquareDcsr
+        } else {
+            let mut running = 0usize;
+            self.ptr.push(0);
+            for i in 0..sub.nrows() {
+                let (c, v) = sub.row(i);
+                self.idx.extend_from_slice(c);
+                self.vals.extend_from_slice(v);
+                running += c.len();
+                self.ptr.push(running);
+            }
+            PackedShape::SquareCsr
+        };
+        self.blocks.push(PackedBlock {
+            shape,
+            rows,
+            cols,
+            ptr: ptr_start..self.ptr.len(),
+            data: data_start..self.idx.len(),
+            aux: aux_start..self.aux.len(),
+        });
+    }
+
+    /// Rows of the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros of the original matrix (diagonal included).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Recursion depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Block descriptors in execution order.
+    pub fn blocks(&self) -> &[PackedBlock] {
+        &self.blocks
+    }
+
+    /// Total bytes of the arena (the paper's memory argument: one pointer
+    /// array, one index array, one value array, the separate diagonal and
+    /// the DCSR aux indices).
+    pub fn bytes(&self) -> usize {
+        (self.ptr.len() + self.idx.len() + self.aux.len()) * std::mem::size_of::<usize>()
+            + (self.vals.len() + self.diag.len()) * S::BYTES
+    }
+
+    /// Solve `L x = b` by streaming the arena front to back.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "packed rhs",
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let mut work = self.perm.gather(b);
+        let mut x = vec![S::ZERO; self.n];
+        for blk in &self.blocks {
+            let ptr = &self.ptr[blk.ptr.clone()];
+            let idx = &self.idx[blk.data.clone()];
+            let vals = &self.vals[blk.data.clone()];
+            match blk.shape {
+                PackedShape::TriCsc => {
+                    // Column-sweep forward substitution over the slice; the
+                    // diagonal comes from the shared diag array.
+                    let base = blk.rows.start;
+                    for j in 0..blk.rows.len() {
+                        let xj = work[base + j] / self.diag[base + j];
+                        x[base + j] = xj;
+                        for k in ptr[j]..ptr[j + 1] {
+                            let upd = vals[k] * xj;
+                            work[base + idx[k]] -= upd;
+                        }
+                    }
+                }
+                PackedShape::SquareCsr => {
+                    let (rb, cb) = (blk.rows.start, blk.cols.start);
+                    for i in 0..blk.rows.len() {
+                        let mut acc = S::ZERO;
+                        for k in ptr[i]..ptr[i + 1] {
+                            acc += vals[k] * x[cb + idx[k]];
+                        }
+                        work[rb + i] -= acc;
+                    }
+                }
+                PackedShape::SquareDcsr => {
+                    let (rb, cb) = (blk.rows.start, blk.cols.start);
+                    let aux = &self.aux[blk.aux.clone()];
+                    for (lane, &i) in aux.iter().enumerate() {
+                        let mut acc = S::ZERO;
+                        for k in ptr[lane]..ptr[lane + 1] {
+                            acc += vals[k] * x[cb + idx[k]];
+                        }
+                        work[rb + i] -= acc;
+                    }
+                }
+            }
+        }
+        Ok(self.perm.scatter(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::{BlockedOptions, BlockedTri, DepthRule};
+    use recblock_kernels::sptrsv::serial_csr;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn opts(depth: usize) -> PackedOptions {
+        PackedOptions { depth, ..PackedOptions::default() }
+    }
+
+    fn check(l: Csr<f64>, depth: usize) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 31) as f64) - 15.0).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let p = PackedBlocked::build(&l, &opts(depth)).unwrap();
+        let x = p.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-10, "depth={depth}");
+    }
+
+    #[test]
+    fn matches_serial_various_depths() {
+        let l = generate::random_lower::<f64>(500, 4.0, 91);
+        for depth in 0..5usize {
+            check(l.clone(), depth);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_structures() {
+        check(generate::chain::<f64>(300, 92), 3);
+        check(generate::grid2d::<f64>(20, 20, 93), 3);
+        check(generate::kkt_like::<f64>(800, 300, 3, 94), 3);
+        check(generate::hub_power_law::<f64>(600, 5, 2, 30, 95), 3);
+        check(generate::diagonal::<f64>(200, 96), 2);
+    }
+
+    #[test]
+    fn agrees_with_blocked_tri() {
+        let l = generate::layered::<f64>(700, 11, 2.0, generate::LayerShape::Uniform, 97);
+        let b: Vec<f64> = (0..700).map(|i| (i as f64 * 0.01).sin()).collect();
+        let packed = PackedBlocked::build(&l, &opts(3)).unwrap();
+        let blocked = BlockedTri::build(
+            &l,
+            &BlockedOptions { depth: DepthRule::Fixed(3), ..BlockedOptions::default() },
+        )
+        .unwrap();
+        let xp = packed.solve(&b).unwrap();
+        let xb = blocked.solve(&b).unwrap();
+        assert!(max_rel_diff(&xp, &xb) < 1e-10);
+    }
+
+    #[test]
+    fn arena_conserves_nonzeros() {
+        let l = generate::random_lower::<f64>(400, 5.0, 98);
+        let p = PackedBlocked::build(&l, &opts(3)).unwrap();
+        // diag + off-diagonal values = original nnz.
+        assert_eq!(p.nnz(), l.nnz());
+        assert_eq!(p.blocks().len(), (1 << 4) - 1);
+    }
+
+    #[test]
+    fn hypersparse_squares_use_dcsr() {
+        // Hub structure leaves most square rows empty at deep levels.
+        let l = generate::hub_power_law::<f64>(800, 4, 1, 0, 99);
+        let p = PackedBlocked::build(&l, &opts(3)).unwrap();
+        let dcsr_count = p
+            .blocks()
+            .iter()
+            .filter(|b| b.shape == PackedShape::SquareDcsr)
+            .count();
+        assert!(dcsr_count > 0, "expected DCSR squares");
+    }
+
+    #[test]
+    fn dcsr_saves_memory_on_hypersparse() {
+        let l = generate::hub_power_law::<f64>(3000, 4, 1, 0, 100);
+        let with_dcsr = PackedBlocked::build(&l, &opts(4)).unwrap();
+        let without = PackedBlocked::build(
+            &l,
+            &PackedOptions { depth: 4, reorder: true, dcsr_empty_ratio: 1.1 },
+        )
+        .unwrap();
+        assert!(
+            with_dcsr.bytes() < without.bytes(),
+            "dcsr {} vs csr {}",
+            with_dcsr.bytes(),
+            without.bytes()
+        );
+    }
+
+    #[test]
+    fn no_reorder_still_correct() {
+        let l = generate::grid2d::<f64>(15, 15, 101);
+        let o = PackedOptions { reorder: false, ..opts(2) };
+        let p = PackedBlocked::build(&l, &o).unwrap();
+        let b = vec![1.0; 225];
+        let x = p.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &serial_csr(&l, &b).unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let l = generate::random_lower::<f64>(50, 3.0, 102);
+        let p = PackedBlocked::build(&l, &opts(2)).unwrap();
+        assert!(p.solve(&[1.0; 49]).is_err());
+        let bad = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
+            .unwrap();
+        assert!(PackedBlocked::build(&bad, &opts(1)).is_err());
+    }
+
+    #[test]
+    fn f32_packed_solve() {
+        let l = generate::banded::<f32>(300, 4, 0.6, 103);
+        let p = PackedBlocked::build(&l, &opts(2)).unwrap();
+        let b = vec![1.0f32; 300];
+        let x = p.solve(&b).unwrap();
+        let r = recblock_matrix::vector::residual_inf(&l, &x, &b).unwrap();
+        assert!(r < 1e-4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Partition plans: how a triangular matrix is cut into blocks.
+
+use std::ops::Range;
+
+/// Split `0..n` into `parts` contiguous segments of (near-)equal size.
+/// Earlier segments take the remainder, so sizes differ by at most one.
+pub fn equal_segments(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts >= 1, "need at least one segment");
+    let parts = parts.min(n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// The paper's recursion-depth rule: halve until the *next* split would
+/// produce blocks smaller than `min_rows` ("less than 20 times the GPU core
+/// counts"). Returns the recursion depth (0 = no split).
+pub fn depth_for(n: usize, min_rows: usize) -> usize {
+    let mut depth = 0usize;
+    let mut rows = n;
+    while rows / 2 >= min_rows.max(1) {
+        rows /= 2;
+        depth += 1;
+    }
+    depth
+}
+
+/// One node of the recursive bisection, flattened in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanNode {
+    /// A leaf triangular block over `rows` (equal column range).
+    Tri {
+        /// Row (= column) range of the leaf.
+        rows: Range<usize>,
+    },
+    /// A square/near-square block: `rows × cols`, with `cols` immediately
+    /// preceding `rows` on the diagonal.
+    Square {
+        /// Row range (the bottom half of its parent).
+        rows: Range<usize>,
+        /// Column range (the top half of its parent).
+        cols: Range<usize>,
+    },
+}
+
+/// Flatten the recursive bisection of `0..n` at `depth` into execution
+/// order: in-order traversal, each internal node contributing its square
+/// block between its two halves. `2^depth` leaves, `2^depth − 1` squares.
+pub fn recursive_plan(n: usize, depth: usize) -> Vec<PlanNode> {
+    let mut out = Vec::with_capacity((1usize << depth.min(30)) * 2);
+    rec(0..n, depth, &mut out);
+    out
+}
+
+fn rec(range: Range<usize>, depth: usize, out: &mut Vec<PlanNode>) {
+    if depth == 0 || range.len() < 2 {
+        out.push(PlanNode::Tri { rows: range });
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    rec(range.start..mid, depth - 1, out);
+    out.push(PlanNode::Square { rows: mid..range.end, cols: range.start..mid });
+    rec(mid..range.end, depth - 1, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_segments_cover_exactly() {
+        for (n, parts) in [(10usize, 3usize), (7, 7), (100, 4), (5, 10)] {
+            let segs = equal_segments(n, parts);
+            assert_eq!(segs.first().unwrap().start, 0);
+            assert_eq!(segs.last().unwrap().end, n);
+            for w in segs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let sizes: Vec<usize> = segs.iter().map(|r| r.len()).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn segments_clamped_to_n() {
+        // More parts than rows: one row per segment.
+        let segs = equal_segments(3, 10);
+        assert_eq!(segs.len(), 3);
+    }
+
+    #[test]
+    fn depth_rule_matches_paper_example() {
+        // Titan RTX: min block 92160. A 16.24M-row matrix (nlpkkt200) can be
+        // halved 7 times before the halves drop below 92160 · 2 ... check
+        // the invariant rather than a specific constant:
+        let d = depth_for(16_240_000, 92_160);
+        assert!(16_240_000 >> d >= 92_160);
+        assert!(16_240_000 >> (d + 1) < 92_160);
+    }
+
+    #[test]
+    fn depth_zero_for_small_matrices() {
+        assert_eq!(depth_for(1000, 92_160), 0);
+        assert_eq!(depth_for(0, 10), 0);
+    }
+
+    #[test]
+    fn plan_counts_blocks() {
+        for depth in 0..5usize {
+            let plan = recursive_plan(1 << 10, depth);
+            let tris = plan.iter().filter(|p| matches!(p, PlanNode::Tri { .. })).count();
+            let sqs = plan.iter().filter(|p| matches!(p, PlanNode::Square { .. })).count();
+            assert_eq!(tris, 1 << depth);
+            assert_eq!(sqs, (1 << depth) - 1);
+        }
+    }
+
+    #[test]
+    fn plan_is_executable_in_order() {
+        // Every square's columns must be fully covered by tri leaves that
+        // appear before it.
+        let plan = recursive_plan(64, 3);
+        let mut solved = 0usize; // tri leaves cover a prefix in-order
+        for node in &plan {
+            match node {
+                PlanNode::Tri { rows } => {
+                    assert_eq!(rows.start, solved, "leaves must tile in order");
+                    solved = rows.end;
+                }
+                PlanNode::Square { rows, cols } => {
+                    assert!(cols.end <= solved, "square consumed unsolved x");
+                    assert_eq!(cols.end, rows.start, "square sits under its columns");
+                }
+            }
+        }
+        assert_eq!(solved, 64);
+    }
+
+    #[test]
+    fn plan_squares_partition_strictly_lower_area() {
+        // At depth d the union of squares plus leaf triangles must tile the
+        // full lower triangle: check row/col ranges are disjoint per level
+        // by verifying total covered area.
+        let n = 128usize;
+        let depth = 3usize;
+        let plan = recursive_plan(n, depth);
+        let mut sq_area = 0usize;
+        for node in &plan {
+            if let PlanNode::Square { rows, cols } = node {
+                sq_area += rows.len() * cols.len();
+            }
+        }
+        // Dense lower triangle below the leaf diagonal blocks:
+        let leaf = n >> depth;
+        let tri_strict = n * (n + 1) / 2 - (1 << depth) * (leaf * (leaf + 1) / 2);
+        assert_eq!(sq_area, tri_strict);
+    }
+
+    #[test]
+    fn odd_sizes_still_tile() {
+        let plan = recursive_plan(101, 4);
+        let covered: usize = plan
+            .iter()
+            .filter_map(|p| match p {
+                PlanNode::Tri { rows } => Some(rows.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(covered, 101);
+    }
+}

@@ -1,0 +1,137 @@
+//! `b`-update and `x`-load accounting (the paper's Tables 1 and 2).
+//!
+//! The paper quantifies the three block algorithms' data traffic on dense
+//! lower-triangular matrices: how many items of the right-hand side `b` are
+//! updated and how many items of the solution `x` are loaded across the
+//! whole solve, as a function of the number of triangular parts. The
+//! accounting convention (recovered from the table values) is:
+//!
+//! * a triangular solve over `s` components updates `s` items of `b`;
+//! * an SpMV over an `r × c` block updates `r` items of `b` and loads `c`
+//!   items of `x` (for the *dense* analysis, blocks are full).
+//!
+//! [`TrafficCounts`] implements that convention as counters the block
+//! solvers increment, and the `*_formula` functions give the paper's
+//! closed forms; tests and the Table 1–2 harness check they coincide on
+//! dense matrices.
+
+/// Accumulated traffic of one solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficCounts {
+    /// Items of `b` updated (Table 1).
+    pub b_updates: usize,
+    /// Items of `x` loaded by SpMV (Table 2).
+    pub x_loads: usize,
+}
+
+impl TrafficCounts {
+    /// Account one triangular solve over `s` components.
+    pub fn tri(&mut self, s: usize) {
+        self.b_updates += s;
+    }
+
+    /// Account one (dense-counted) SpMV over an `r × c` block.
+    pub fn spmv(&mut self, r: usize, c: usize) {
+        self.b_updates += r;
+        self.x_loads += c;
+    }
+}
+
+/// Table 1, column block: `2^(x−1)·n + 0.5·n` where `x = log2(parts)` —
+/// equivalently `n·(parts + 1) / 2`.
+pub fn column_b_updates(n: usize, parts: usize) -> f64 {
+    n as f64 * (parts as f64 + 1.0) / 2.0
+}
+
+/// Table 1, row block: `2n − 2^(−x)·n` — equivalently `2n − n/parts`.
+pub fn row_b_updates(n: usize, parts: usize) -> f64 {
+    2.0 * n as f64 - n as f64 / parts as f64
+}
+
+/// Table 1, recursive block: `0.5·n·x + n` where `x = log2(parts)`.
+pub fn recursive_b_updates(n: usize, parts: usize) -> f64 {
+    0.5 * n as f64 * (parts as f64).log2() + n as f64
+}
+
+/// Table 2, column block: `n − 2^(−x)·n` — equivalently `n − n/parts`.
+pub fn column_x_loads(n: usize, parts: usize) -> f64 {
+    n as f64 - n as f64 / parts as f64
+}
+
+/// Table 2, row block: `2^(x−1)·n − 0.5·n` — equivalently `n·(parts − 1)/2`.
+pub fn row_x_loads(n: usize, parts: usize) -> f64 {
+    n as f64 * (parts as f64 - 1.0) / 2.0
+}
+
+/// Table 2, recursive block: `0.5·n·x`.
+pub fn recursive_x_loads(n: usize, parts: usize) -> f64 {
+    0.5 * n as f64 * (parts as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1000;
+
+    #[test]
+    fn table1_values() {
+        // The paper's Table 1 row by row (coefficients of n).
+        assert_eq!(column_b_updates(N, 4), 2.5 * N as f64);
+        assert_eq!(column_b_updates(N, 16), 8.5 * N as f64);
+        assert_eq!(column_b_updates(N, 256), 128.5 * N as f64);
+        assert_eq!(column_b_updates(N, 65536), 32768.5 * N as f64);
+
+        assert_eq!(row_b_updates(N, 4), 1.75 * N as f64);
+        assert!((row_b_updates(N, 16) - 1.9375 * N as f64).abs() < 1e-9);
+
+        assert_eq!(recursive_b_updates(N, 4), 2.0 * N as f64);
+        assert_eq!(recursive_b_updates(N, 16), 3.0 * N as f64);
+        assert_eq!(recursive_b_updates(N, 256), 5.0 * N as f64);
+        assert_eq!(recursive_b_updates(N, 65536), 9.0 * N as f64);
+    }
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(column_x_loads(N, 4), 0.75 * N as f64);
+        assert!((column_x_loads(N, 16) - 0.9375 * N as f64).abs() < 1e-9);
+
+        assert_eq!(row_x_loads(N, 4), 1.5 * N as f64);
+        assert_eq!(row_x_loads(N, 16), 7.5 * N as f64);
+        assert_eq!(row_x_loads(N, 256), 127.5 * N as f64);
+        assert_eq!(row_x_loads(N, 65536), 32767.5 * N as f64);
+
+        assert_eq!(recursive_x_loads(N, 4), N as f64);
+        assert_eq!(recursive_x_loads(N, 16), 2.0 * N as f64);
+        assert_eq!(recursive_x_loads(N, 256), 4.0 * N as f64);
+        assert_eq!(recursive_x_loads(N, 65536), 8.0 * N as f64);
+    }
+
+    #[test]
+    fn recursive_is_the_tradeoff() {
+        // The paper's argument: for any nontrivial part count, recursive
+        // beats column on updates and row on loads, and its combined traffic
+        // is the lowest at scale.
+        for parts in [4usize, 16, 256, 65536] {
+            assert!(recursive_b_updates(N, parts) <= column_b_updates(N, parts));
+            assert!(recursive_x_loads(N, parts) <= row_x_loads(N, parts));
+        }
+        let combined = |b: f64, x: f64| b + x;
+        for parts in [256usize, 65536] {
+            let rec = combined(recursive_b_updates(N, parts), recursive_x_loads(N, parts));
+            let col = combined(column_b_updates(N, parts), column_x_loads(N, parts));
+            let row = combined(row_b_updates(N, parts), row_x_loads(N, parts));
+            assert!(rec < col && rec < row);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = TrafficCounts::default();
+        t.tri(10);
+        t.spmv(20, 5);
+        t.tri(3);
+        assert_eq!(t.b_updates, 33);
+        assert_eq!(t.x_loads, 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-block triangular solver: one preprocessed kernel instance per
+//! triangular block, built according to the adaptive selection.
+
+use crate::adaptive::TriKernel;
+use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime, TriProfile};
+use recblock_kernels::sptrsv::{parallel_diag, CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// A triangular block bound to its selected kernel, ready to solve.
+#[derive(Debug, Clone)]
+pub enum TriSolver<S> {
+    /// Diagonal-only block (`SPTRSV-COMPLETELYPARALLEL`).
+    Diag(Csr<S>),
+    /// Level-set schedule.
+    LevelSet(LevelSetSolver<S>),
+    /// Sync-free dataflow.
+    SyncFree(SyncFreeSolver<S>),
+    /// cuSPARSE-like merged-launch schedule.
+    Cusparse(CusparseLikeSolver<S>),
+}
+
+impl<S: Scalar> TriSolver<S> {
+    /// Build the solver variant the selection chose. `levels` must be the
+    /// decomposition of `l` (the caller has it from block profiling).
+    pub fn build(
+        kernel: TriKernel,
+        l: Csr<S>,
+        levels: &LevelSets,
+        syncfree_threads: usize,
+    ) -> Result<Self, MatrixError> {
+        Ok(match kernel {
+            TriKernel::CompletelyParallel => TriSolver::Diag(l),
+            TriKernel::LevelSet => TriSolver::LevelSet(LevelSetSolver::with_levels(l, levels.clone())),
+            TriKernel::SyncFree => {
+                TriSolver::SyncFree(SyncFreeSolver::with_threads(&l, syncfree_threads)?)
+            }
+            TriKernel::CusparseLike => TriSolver::Cusparse(CusparseLikeSolver::analyse(l)?),
+        })
+    }
+
+    /// Analyse a triangular block, run the adaptive selection, and build the
+    /// chosen solver together with the block's cost-model profile.
+    pub fn build_adaptive(
+        l: Csr<S>,
+        selector: &crate::adaptive::Selector,
+        syncfree_threads: usize,
+    ) -> Result<(Self, TriProfile), MatrixError> {
+        recblock_matrix::triangular::check_solvable_lower(&l)?;
+        let levels = LevelSets::analyse_unchecked(&l);
+        let profile = TriProfile::analyse(&l, &levels);
+        let kernel = selector.tri(profile.nnz_per_row(), profile.nlevels());
+        let solver = Self::build(kernel, l, &levels, syncfree_threads)?;
+        Ok((solver, profile))
+    }
+
+    /// Which kernel this solver embodies.
+    pub fn kernel(&self) -> TriKernel {
+        match self {
+            TriSolver::Diag(_) => TriKernel::CompletelyParallel,
+            TriSolver::LevelSet(_) => TriKernel::LevelSet,
+            TriSolver::SyncFree(_) => TriKernel::SyncFree,
+            TriSolver::Cusparse(_) => TriKernel::CusparseLike,
+        }
+    }
+
+    /// Solve `L x = b` for this block.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        match self {
+            TriSolver::Diag(l) => parallel_diag(l, b),
+            TriSolver::LevelSet(s) => s.solve(b),
+            TriSolver::SyncFree(s) => s.solve(b),
+            TriSolver::Cusparse(s) => s.solve(b),
+        }
+    }
+
+    /// Solve `L X = B` for several right-hand sides. The level-set variant
+    /// fuses the columns through one shared schedule; the others iterate
+    /// (their per-solve state is not shareable across columns).
+    pub fn solve_multi(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+    ) -> Result<recblock_kernels::sptrsm::MultiVector<S>, MatrixError> {
+        use rayon::prelude::*;
+        use recblock_kernels::sptrsm::{sptrsm_levelset, MultiVector};
+        match self {
+            TriSolver::Diag(l) => {
+                let n = l.nrows();
+                let mut x = MultiVector::zeros(n, b.k());
+                let d = l.vals();
+                x.as_mut_slice()
+                    .par_chunks_mut(n.max(1))
+                    .zip(b.as_slice().par_chunks(n.max(1)))
+                    .for_each(|(xc, bc)| {
+                        for i in 0..n {
+                            xc[i] = bc[i] / d[i];
+                        }
+                    });
+                Ok(x)
+            }
+            TriSolver::LevelSet(s) => sptrsm_levelset(s.matrix(), s.levels(), b),
+            TriSolver::SyncFree(s) => s.solve_multi(b),
+            TriSolver::Cusparse(s) => {
+                let mut x = MultiVector::zeros(b.n(), b.k());
+                for j in 0..b.k() {
+                    let xj = s.solve(b.col(j))?;
+                    x.col_mut(j).copy_from_slice(&xj);
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    /// Predicted GPU time of this block's solve under the cost model.
+    pub fn simulated_time(
+        &self,
+        profile: &TriProfile,
+        working_set: usize,
+        dev: &DeviceSpec,
+        params: &CostParams,
+    ) -> KernelTime {
+        self.simulated_time_bytes(profile, S::BYTES, working_set, dev, params)
+    }
+
+    /// As [`TriSolver::simulated_time`] but with an explicit element width,
+    /// so one built structure can be priced at both precisions (Figure 7).
+    pub fn simulated_time_bytes(
+        &self,
+        profile: &TriProfile,
+        scalar_bytes: usize,
+        working_set: usize,
+        dev: &DeviceSpec,
+        params: &CostParams,
+    ) -> KernelTime {
+        use recblock_gpu_sim::cost;
+        match self.kernel() {
+            TriKernel::CompletelyParallel => {
+                cost::sptrsv_diag(profile.n, scalar_bytes, working_set, dev, params)
+            }
+            TriKernel::LevelSet => {
+                cost::sptrsv_levelset(profile, scalar_bytes, working_set, dev, params)
+            }
+            TriKernel::SyncFree => {
+                cost::sptrsv_syncfree(profile, scalar_bytes, working_set, dev, params)
+            }
+            TriKernel::CusparseLike => {
+                cost::sptrsv_cusparse(profile, scalar_bytes, working_set, dev, params)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_kernels::sptrsv::serial_csr;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn check_kernel(kernel: TriKernel, l: Csr<f64>) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let levels = LevelSets::analyse(&l).unwrap();
+        let s = TriSolver::build(kernel, l, &levels, 4).unwrap();
+        assert_eq!(s.kernel(), kernel);
+        let x = s.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-10, "{:?}", kernel);
+    }
+
+    #[test]
+    fn all_variants_solve_correctly() {
+        check_kernel(TriKernel::CompletelyParallel, generate::diagonal::<f64>(300, 1));
+        check_kernel(TriKernel::LevelSet, generate::grid2d::<f64>(20, 20, 2));
+        check_kernel(TriKernel::SyncFree, generate::random_lower::<f64>(500, 4.0, 3));
+        check_kernel(TriKernel::CusparseLike, generate::chain::<f64>(300, 4));
+    }
+
+    #[test]
+    fn simulated_time_positive() {
+        let l = generate::grid2d::<f64>(15, 15, 5);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let profile = TriProfile::analyse(&l, &levels);
+        let s = TriSolver::build(TriKernel::LevelSet, l, &levels, 4).unwrap();
+        let t = s.simulated_time(
+            &profile,
+            1 << 20,
+            &DeviceSpec::titan_rtx_turing(),
+            &CostParams::default(),
+        );
+        assert!(t.total_s > 0.0);
+        assert_eq!(t.launches, profile.nlevels());
+    }
+}

@@ -1,0 +1,178 @@
+//! Upper-triangular solves (`U x = b`).
+//!
+//! The paper states the problem as `L x = b` *(or `U x = b`)*; every
+//! algorithm transfers to the upper case by index reversal: with the
+//! reversal permutation `J` (`J[i] = n−1−i`), `J U Jᵀ` is lower triangular,
+//! and `U x = b  ⇔  (J U Jᵀ)(J x) = J b`. [`UpperRecBlockSolver`] wraps the
+//! whole lower-triangular machinery behind that transformation, so upper
+//! systems get the identical blocked treatment (reordering, adaptive
+//! kernels, simulated timing) at the cost of two vector reversals per
+//! solve.
+
+use crate::solver::{RecBlockSolver, SolverOptions};
+use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
+use recblock_matrix::permute::{permute_symmetric, Permutation};
+use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// The index-reversal permutation on `0..n` (`perm[new] = n − 1 − new`).
+pub fn reversal(n: usize) -> Permutation {
+    Permutation::from_forward((0..n).rev().collect())
+        .expect("reversal is a bijection")
+}
+
+/// Validate that `u` is square, upper triangular, with a stored nonzero
+/// diagonal as the *first* entry of each row.
+pub fn check_solvable_upper<S: Scalar>(u: &Csr<S>) -> Result<(), MatrixError> {
+    if u.nrows() != u.ncols() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "solvable upper check",
+            expected: u.nrows(),
+            actual: u.ncols(),
+        });
+    }
+    for i in 0..u.nrows() {
+        let (cols, vals) = u.row(i);
+        match cols.first() {
+            Some(&j) if j < i => return Err(MatrixError::NotTriangular { row: i, col: j }),
+            Some(&j) if j == i && vals[0] != S::ZERO => {}
+            _ => return Err(MatrixError::SingularDiagonal { row: i }),
+        }
+    }
+    Ok(())
+}
+
+/// A recursive-block solver for upper-triangular systems.
+#[derive(Debug, Clone)]
+pub struct UpperRecBlockSolver<S> {
+    inner: RecBlockSolver<S>,
+    reversal: Permutation,
+}
+
+impl<S: Scalar> UpperRecBlockSolver<S> {
+    /// Preprocess an upper-triangular matrix: reverse it into a lower
+    /// system and run the full lower preprocessing pipeline.
+    pub fn new(u: &Csr<S>, opts: SolverOptions) -> Result<Self, MatrixError> {
+        check_solvable_upper(u)?;
+        let rev = reversal(u.nrows());
+        let lower = permute_symmetric(u, &rev)?;
+        debug_assert!(lower.is_solvable_lower());
+        let inner = RecBlockSolver::new(&lower, opts)?;
+        Ok(UpperRecBlockSolver { inner, reversal: rev })
+    }
+
+    /// The wrapped lower-triangular solver (for census/traffic queries).
+    pub fn inner(&self) -> &RecBlockSolver<S> {
+        &self.inner
+    }
+
+    /// Solve `U x = b`.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        if b.len() != self.reversal.len() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "upper solve rhs",
+                expected: self.reversal.len(),
+                actual: b.len(),
+            });
+        }
+        let rb = self.reversal.gather(b);
+        let ry = self.inner.solve(&rb)?;
+        Ok(self.reversal.scatter(&ry))
+    }
+
+    /// Predicted GPU solve time (identical to the reversed lower system's).
+    pub fn simulated_time(&self, dev: &DeviceSpec, params: &CostParams) -> KernelTime {
+        self.inner.simulated_time(dev, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::DepthRule;
+    use recblock_kernels::ilu::serial_csr_upper;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    /// Random solvable upper-triangular matrix (transpose of a lower one).
+    fn upper(n: usize, seed: u64) -> Csr<f64> {
+        generate::random_lower::<f64>(n, 4.0, seed).transpose()
+    }
+
+    fn opts() -> SolverOptions {
+        SolverOptions { depth: DepthRule::Fixed(3), ..SolverOptions::default() }
+    }
+
+    #[test]
+    fn reversal_is_self_inverse() {
+        let r = reversal(7);
+        for i in 0..7 {
+            assert_eq!(r.old_of(r.old_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn check_accepts_valid_upper() {
+        assert!(check_solvable_upper(&upper(50, 1)).is_ok());
+        assert!(check_solvable_upper(&Csr::<f64>::identity(5)).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_lower_entry() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 2., 1.])
+            .unwrap();
+        assert!(matches!(
+            check_solvable_upper(&a),
+            Err(MatrixError::NotTriangular { row: 1, col: 0 })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_missing_diag() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 1], vec![1], vec![1.]).unwrap();
+        assert!(check_solvable_upper(&a).is_err());
+    }
+
+    #[test]
+    fn upper_solve_matches_backward_substitution() {
+        for seed in [2u64, 3, 4] {
+            let u = upper(400, seed);
+            let b: Vec<f64> = (0..400).map(|i| ((i % 19) as f64) - 9.0).collect();
+            let reference = serial_csr_upper(&u, &b).unwrap();
+            let solver = UpperRecBlockSolver::new(&u, opts()).unwrap();
+            let x = solver.solve(&b).unwrap();
+            assert!(max_rel_diff(&x, &reference) < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn upper_solve_residual() {
+        let u = generate::grid2d::<f64>(18, 18, 5).transpose();
+        let b = vec![1.0; 324];
+        let solver = UpperRecBlockSolver::new(&u, opts()).unwrap();
+        let x = solver.solve(&b).unwrap();
+        let r = recblock_matrix::vector::residual_inf(&u, &x, &b).unwrap();
+        assert!(r < 1e-10);
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_len() {
+        let solver = UpperRecBlockSolver::new(&upper(30, 6), opts()).unwrap();
+        assert!(solver.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_upper_input() {
+        let l = generate::random_lower::<f64>(30, 3.0, 7);
+        assert!(UpperRecBlockSolver::new(&l, opts()).is_err());
+    }
+
+    #[test]
+    fn simulated_time_available() {
+        let solver = UpperRecBlockSolver::new(&upper(200, 8), opts()).unwrap();
+        let t = solver.simulated_time(
+            &DeviceSpec::titan_rtx_turing(),
+            &CostParams::default(),
+        );
+        assert!(t.total_s > 0.0);
+    }
+}

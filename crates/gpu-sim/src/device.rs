@@ -1,0 +1,125 @@
+//! GPU device descriptions (the paper's Table 3).
+
+/// Hardware parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Microarchitecture, used in reports.
+    pub architecture: &'static str,
+    /// Total CUDA cores.
+    pub cuda_cores: usize,
+    /// Streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Device memory in GiB.
+    pub memory_gib: usize,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Last-level (L2) cache in bytes.
+    pub l2_cache_bytes: usize,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Titan X (Pascal): 3072 CUDA cores @ 1075 MHz, 12 GB,
+    /// 336.5 GB/s — the first platform of the paper's Table 3.
+    pub fn titan_x_pascal() -> Self {
+        DeviceSpec {
+            name: "Titan X",
+            architecture: "Pascal",
+            cuda_cores: 3072,
+            sm_count: 24,
+            warp_size: 32,
+            clock_mhz: 1075.0,
+            memory_gib: 12,
+            mem_bandwidth_gbs: 336.5,
+            l2_cache_bytes: 3 << 20,
+        }
+    }
+
+    /// NVIDIA Titan RTX (Turing): 4608 CUDA cores @ 1770 MHz, 24 GB,
+    /// 672 GB/s — the second platform of the paper's Table 3.
+    pub fn titan_rtx_turing() -> Self {
+        DeviceSpec {
+            name: "Titan RTX",
+            architecture: "Turing",
+            cuda_cores: 4608,
+            sm_count: 72,
+            warp_size: 32,
+            clock_mhz: 1770.0,
+            memory_gib: 24,
+            mem_bandwidth_gbs: 672.0,
+            l2_cache_bytes: 6 << 20,
+        }
+    }
+
+    /// Maximum concurrently resident warps the model assumes (one warp per
+    /// component in the warp-per-row kernels).
+    pub fn max_resident_warps(&self) -> usize {
+        // 32 resident warps per SM is a reasonable occupancy assumption for
+        // these latency-bound kernels.
+        self.sm_count * 32
+    }
+
+    /// Peak DRAM bandwidth in bytes/second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.mem_bandwidth_gbs * 1e9
+    }
+
+    /// Fraction of the device occupied by `warps` concurrent warps (the
+    /// utilisation factor of the cost model).
+    pub fn utilisation(&self, warps: usize) -> f64 {
+        if warps == 0 {
+            return 0.0;
+        }
+        (warps as f64 / self.max_resident_warps() as f64).min(1.0)
+    }
+
+    /// The paper's recursion-stop rule: "divide the matrix until the number
+    /// of rows of the next smallest block is less than 20 times the GPU core
+    /// counts (e.g., on Titan RTX of 4608 CUDA cores, the block size should
+    /// not be smaller than 92160)".
+    pub fn min_block_rows(&self) -> usize {
+        20 * self.cuda_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_specs() {
+        let x = DeviceSpec::titan_x_pascal();
+        assert_eq!(x.cuda_cores, 3072);
+        assert_eq!(x.mem_bandwidth_gbs, 336.5);
+        let rtx = DeviceSpec::titan_rtx_turing();
+        assert_eq!(rtx.cuda_cores, 4608);
+        assert_eq!(rtx.memory_gib, 24);
+    }
+
+    #[test]
+    fn paper_min_block_rule() {
+        // The paper's own example: Titan RTX → 92160.
+        assert_eq!(DeviceSpec::titan_rtx_turing().min_block_rows(), 92_160);
+    }
+
+    #[test]
+    fn utilisation_clamps() {
+        let d = DeviceSpec::titan_rtx_turing();
+        assert_eq!(d.utilisation(0), 0.0);
+        assert!(d.utilisation(10) < 0.01);
+        assert_eq!(d.utilisation(10_000_000), 1.0);
+    }
+
+    #[test]
+    fn rtx_outclasses_pascal() {
+        let x = DeviceSpec::titan_x_pascal();
+        let rtx = DeviceSpec::titan_rtx_turing();
+        assert!(rtx.bandwidth_bytes_per_sec() > x.bandwidth_bytes_per_sec());
+        assert!(rtx.max_resident_warps() > x.max_resident_warps());
+    }
+}

@@ -1,0 +1,35 @@
+//! Analytic GPU performance model for SpTRSV/SpMV kernels.
+//!
+//! The paper's evaluation ran CUDA kernels on an NVIDIA Titan X (Pascal) and
+//! a Titan RTX (Turing). Without those GPUs, this crate supplies the
+//! substitute the reproduction uses for every timing figure: an analytic
+//! cost model that charges each algorithm for exactly the effects the
+//! paper's own analysis attributes its results to —
+//!
+//! * **kernel-launch overhead per level** — why cuSPARSE/level-set methods
+//!   collapse on matrices with hundreds of thousands of levels (`tmt_sym`);
+//! * **dependency-chain latency and atomic fan-out** — why Sync-free
+//!   collapses on power-law matrices with very long columns (`FullChip`,
+//!   `vas_stokes_4M`);
+//! * **device utilisation** — why tiny levels waste a 4608-core GPU;
+//! * **cache residency of the `x`/`b` working set** — why the recursive
+//!   block algorithm's small segments win (`nlpkkt200`), and why its
+//!   advantage grows with matrix size;
+//! * **bytes per element** — why double/single precision ratios differ per
+//!   algorithm (Figure 7).
+//!
+//! The model is deliberately *not* a cycle-accurate simulator: it predicts
+//! relative behaviour (who wins, by what factor, where crossovers fall), not
+//! absolute hardware timings. A small discrete-event warp simulator
+//! ([`microsim`]) validates the critical-path terms on small matrices.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod microsim;
+pub mod profile;
+
+pub use cost::{CostParams, KernelTime};
+pub use device::DeviceSpec;
+pub use profile::{SpmvProfile, TriProfile};

@@ -1,0 +1,320 @@
+//! Discrete-event warp-level micro-simulator for the sync-free dataflow.
+//!
+//! The analytic model in [`crate::cost`] charges the sync-free kernel a
+//! critical path of `Σ_levels (dep_latency + fanout_chunks · chunk)`. This
+//! module validates that abstraction: it *executes* the sync-free schedule —
+//! one warp per component, static cyclic assignment over a finite warp pool,
+//! dependency-driven start times — as a discrete-event simulation and
+//! reports the exact makespan. Tests check the analytic critical path is a
+//! lower bound and becomes tight as the warp pool grows.
+//!
+//! The simulation exploits the same property as the CPU port: components are
+//! processed per-warp in ascending order, so a single ascending pass
+//! computes every start/finish time exactly.
+
+use crate::device::DeviceSpec;
+use recblock_matrix::{Csr, Scalar};
+
+/// Timing constants of the simulated warp machine (nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrosimParams {
+    /// Fixed cost of one component's solve (busy-wait exit, divide, store).
+    pub solve_ns: f64,
+    /// Cost per 32-element chunk of the component's notification column.
+    pub chunk_ns: f64,
+    /// Latency from a producer's finish to a consumer observing it.
+    pub notify_ns: f64,
+}
+
+impl Default for MicrosimParams {
+    fn default() -> Self {
+        MicrosimParams { solve_ns: 400.0, chunk_ns: 250.0, notify_ns: 600.0 }
+    }
+}
+
+/// Result of one simulated sync-free execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrosimReport {
+    /// Simulated end-to-end kernel time (ns).
+    pub makespan_ns: f64,
+    /// Dependency-only lower bound (infinite warps) (ns).
+    pub critical_path_ns: f64,
+    /// Warps simulated.
+    pub warps: usize,
+    /// Average warp busy fraction.
+    pub occupancy: f64,
+}
+
+/// Simulate the sync-free solve of lower-triangular `l` on `warps` warps.
+pub fn simulate_syncfree<S: Scalar>(
+    l: &Csr<S>,
+    warps: usize,
+    params: &MicrosimParams,
+) -> MicrosimReport {
+    assert!(warps > 0, "need at least one warp");
+    let n = l.nrows();
+    let csc = l.to_csc();
+    // Processing time of component i: solve + notification of its column.
+    let proc = |i: usize| -> f64 {
+        let fanout = csc.col_nnz(i).saturating_sub(1);
+        params.solve_ns + (fanout as f64 / 32.0).ceil() * params.chunk_ns
+    };
+
+    let mut ready = vec![0.0f64; n]; // earliest time deps are satisfied
+    let mut finish = vec![0.0f64; n];
+    let mut warp_avail = vec![0.0f64; warps.min(n.max(1))];
+    let nwarps = warp_avail.len();
+    let mut busy = 0.0f64;
+    let mut crit_finish = vec![0.0f64; n]; // infinite-warp finish times
+
+    for i in 0..n {
+        let w = i % nwarps;
+        let start = warp_avail[w].max(ready[i]);
+        let f = start + proc(i);
+        finish[i] = f;
+        warp_avail[w] = f;
+        busy += proc(i);
+        let crit = ready_crit(&crit_finish, l, i, params) + proc(i);
+        crit_finish[i] = crit;
+        // Propagate readiness to dependents down column i.
+        let (rows, _) = csc.col(i);
+        for &r in rows.iter().skip(1) {
+            let t = f + params.notify_ns;
+            if t > ready[r] {
+                ready[r] = t;
+            }
+        }
+    }
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    let critical = crit_finish.iter().copied().fold(0.0, f64::max);
+    let occupancy = if makespan > 0.0 { busy / (makespan * nwarps as f64) } else { 1.0 };
+    MicrosimReport { makespan_ns: makespan, critical_path_ns: critical, warps: nwarps, occupancy }
+}
+
+/// Infinite-warp readiness of component `i` (dependencies only).
+fn ready_crit<S: Scalar>(
+    crit_finish: &[f64],
+    l: &Csr<S>,
+    i: usize,
+    params: &MicrosimParams,
+) -> f64 {
+    let (cols, _) = l.row(i);
+    let mut r = 0.0f64;
+    for &j in cols {
+        if j < i {
+            let t = crit_finish[j] + params.notify_ns;
+            if t > r {
+                r = t;
+            }
+        }
+    }
+    r
+}
+
+/// Convenience: simulate with one warp per resident-warp slot of a device.
+pub fn simulate_on_device<S: Scalar>(l: &Csr<S>, dev: &DeviceSpec) -> MicrosimReport {
+    simulate_syncfree(l, dev.max_resident_warps(), &MicrosimParams::default())
+}
+
+/// Timing constants of the simulated level-scheduled machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelsimParams {
+    /// Kernel launch overhead per level (ns).
+    pub launch_ns: f64,
+    /// Fixed solve cost per component (ns).
+    pub solve_ns: f64,
+    /// Cost per 32-element chunk of a row traversal (ns).
+    pub chunk_ns: f64,
+}
+
+impl Default for LevelsimParams {
+    fn default() -> Self {
+        LevelsimParams { launch_ns: 4_000.0, solve_ns: 400.0, chunk_ns: 250.0 }
+    }
+}
+
+/// Result of one simulated level-scheduled execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelsimReport {
+    /// Simulated end-to-end time (ns).
+    pub makespan_ns: f64,
+    /// Portion spent in kernel launches (ns).
+    pub launch_ns: f64,
+    /// Levels executed.
+    pub levels: usize,
+}
+
+/// Simulate a level-scheduled solve (one launch per level, a warp per
+/// component, waves when a level exceeds the warp pool). Each level's time
+/// is the number of scheduling waves times the slowest row in the level —
+/// the barrier semantics the analytic `sptrsv_levelset` formula abstracts.
+pub fn simulate_levelset<S: Scalar>(
+    l: &Csr<S>,
+    warps: usize,
+    params: &LevelsimParams,
+) -> LevelsimReport {
+    assert!(warps > 0, "need at least one warp");
+    let levels = recblock_matrix::levelset::LevelSets::analyse_unchecked(l);
+    let mut makespan = 0.0f64;
+    let mut launch_total = 0.0f64;
+    for lv in 0..levels.nlevels() {
+        let items = levels.level_items(lv);
+        launch_total += params.launch_ns;
+        makespan += params.launch_ns;
+        // Rows are dispatched in waves of `warps`; each wave lasts as long
+        // as its slowest row.
+        for wave in items.chunks(warps) {
+            let slowest = wave
+                .iter()
+                .map(|&i| {
+                    let r = l.row_nnz(i);
+                    params.solve_ns + (r as f64 / 32.0).ceil() * params.chunk_ns
+                })
+                .fold(0.0f64, f64::max);
+            makespan += slowest;
+        }
+    }
+    LevelsimReport { makespan_ns: makespan, launch_ns: launch_total, levels: levels.nlevels() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+
+    fn params() -> MicrosimParams {
+        MicrosimParams::default()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_embarrassingly_parallel() {
+        let l = generate::diagonal::<f64>(1024, 1);
+        let r = simulate_syncfree(&l, 1024, &params());
+        // Every component independent: makespan = one solve.
+        assert_eq!(r.makespan_ns, params().solve_ns);
+        assert_eq!(r.critical_path_ns, params().solve_ns);
+    }
+
+    #[test]
+    fn chain_is_fully_serial() {
+        let n = 200;
+        let l = generate::chain::<f64>(n, 2);
+        let r = simulate_syncfree(&l, 64, &params());
+        // n solves + (n-1) notifications + per-component fanout chunk.
+        let per = params().solve_ns + params().chunk_ns;
+        let expected = n as f64 * per - params().chunk_ns + (n - 1) as f64 * params().notify_ns;
+        assert!((r.makespan_ns - expected).abs() < 1.0, "{} vs {}", r.makespan_ns, expected);
+        // More warps cannot help a chain.
+        let r1 = simulate_syncfree(&l, 1, &params());
+        assert!((r.makespan_ns - r1.makespan_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn critical_path_is_lower_bound() {
+        for warps in [1usize, 4, 32, 256] {
+            let l = generate::random_lower::<f64>(600, 4.0, 3);
+            let r = simulate_syncfree(&l, warps, &params());
+            assert!(
+                r.makespan_ns >= r.critical_path_ns - 1e-6,
+                "warps={warps}: makespan {} < crit {}",
+                r.makespan_ns,
+                r.critical_path_ns
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_warps() {
+        let l = generate::grid2d::<f64>(30, 30, 4);
+        let mut prev = f64::INFINITY;
+        for warps in [1usize, 2, 8, 64, 1024] {
+            let r = simulate_syncfree(&l, warps, &params());
+            assert!(r.makespan_ns <= prev + 1e-6, "warps={warps} regressed");
+            prev = r.makespan_ns;
+        }
+    }
+
+    #[test]
+    fn converges_to_critical_path_with_many_warps() {
+        let l = generate::layered::<f64>(800, 10, 2.0, generate::LayerShape::Uniform, 5);
+        let r = simulate_syncfree(&l, 4096, &params());
+        // With far more warps than rows the schedule is dependency-bound.
+        assert!(
+            r.makespan_ns <= r.critical_path_ns * 1.05,
+            "makespan {} crit {}",
+            r.makespan_ns,
+            r.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn hub_fanout_appears_on_critical_path() {
+        // One hub with huge fan-out: its notification chunks serialize.
+        // Compare against a two-level KKT structure of the same size and
+        // depth whose fan-outs are uniform and tiny.
+        let few_hubs = generate::hub_power_law::<f64>(2000, 2, 1, 0, 6);
+        let uniform = generate::kkt_like::<f64>(2000, 667, 1, 6);
+        let rh = simulate_syncfree(&few_hubs, 4096, &params());
+        let rs = simulate_syncfree(&uniform, 4096, &params());
+        assert!(
+            rh.critical_path_ns > 2.0 * rs.critical_path_ns,
+            "hub {} vs uniform {}",
+            rh.critical_path_ns,
+            rs.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn occupancy_bounded() {
+        let l = generate::random_lower::<f64>(500, 3.0, 7);
+        let r = simulate_syncfree(&l, 8, &params());
+        assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn levelset_sim_chain_is_launch_bound() {
+        let n = 100;
+        let l = generate::chain::<f64>(n, 10);
+        let r = simulate_levelset(&l, 64, &LevelsimParams::default());
+        assert_eq!(r.levels, n);
+        // One launch per level dominates a chain.
+        assert!(r.launch_ns / r.makespan_ns > 0.8, "launch share {}", r.launch_ns / r.makespan_ns);
+    }
+
+    #[test]
+    fn levelset_sim_diagonal_single_launch() {
+        let l = generate::diagonal::<f64>(256, 11);
+        let p = LevelsimParams::default();
+        let r = simulate_levelset(&l, 256, &p);
+        assert_eq!(r.levels, 1);
+        assert!((r.makespan_ns - (p.launch_ns + p.solve_ns + p.chunk_ns)).abs() < 1.0);
+    }
+
+    #[test]
+    fn levelset_sim_waves_scale_with_warp_pool() {
+        let l = generate::kkt_like::<f64>(2048, 1024, 2, 12);
+        let p = LevelsimParams::default();
+        let small = simulate_levelset(&l, 64, &p);
+        let big = simulate_levelset(&l, 4096, &p);
+        assert!(small.makespan_ns > big.makespan_ns);
+        assert_eq!(small.levels, big.levels);
+    }
+
+    #[test]
+    fn syncfree_beats_levelset_on_many_small_levels() {
+        // The structural reason the paper's mid-range selects sync-free:
+        // level launches dominate when levels are many and small.
+        let l = generate::layered::<f64>(1000, 100, 1.0, generate::LayerShape::Uniform, 13);
+        let lv = simulate_levelset(&l, 2304, &LevelsimParams::default());
+        let sf = simulate_syncfree(&l, 2304, &params());
+        assert!(sf.makespan_ns < lv.makespan_ns, "sf {} vs lv {}", sf.makespan_ns, lv.makespan_ns);
+    }
+
+    #[test]
+    fn device_helper_runs() {
+        let l = generate::banded::<f64>(300, 3, 0.5, 8);
+        let r = simulate_on_device(&l, &DeviceSpec::titan_rtx_turing());
+        assert!(r.makespan_ns > 0.0);
+        assert_eq!(r.warps, DeviceSpec::titan_rtx_turing().max_resident_warps().min(300));
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural profiles the cost model consumes.
+//!
+//! A profile condenses a (sub-)matrix into the handful of per-level and
+//! aggregate quantities the analytic formulas need, so the expensive
+//! structural analysis happens once per matrix/block (at preprocessing time)
+//! and each timing query is O(#levels).
+
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, Scalar};
+
+/// Profile of a lower-triangular (sub-)matrix for the SpTRSV cost formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriProfile {
+    /// Rows (= columns).
+    pub n: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Rows per level.
+    pub level_rows: Vec<usize>,
+    /// Entries per level (summed over the level's rows).
+    pub level_nnz: Vec<usize>,
+    /// Longest row in each level (drives warp-serial row traversal).
+    pub level_max_row: Vec<usize>,
+    /// Longest *column* whose owner sits in each level (drives the
+    /// sync-free atomic fan-out on that level's critical path).
+    pub level_max_col: Vec<usize>,
+}
+
+impl TriProfile {
+    /// Analyse a triangular matrix against its level decomposition.
+    pub fn analyse<S: Scalar>(l: &Csr<S>, levels: &LevelSets) -> Self {
+        let n = l.nrows();
+        let nlv = levels.nlevels();
+        let mut level_rows = vec![0usize; nlv];
+        let mut level_nnz = vec![0usize; nlv];
+        let mut level_max_row = vec![0usize; nlv];
+        let mut level_max_col = vec![0usize; nlv];
+        // Column lengths (fan-out degree of each solved component).
+        let mut col_nnz = vec![0usize; n];
+        for &j in l.col_idx() {
+            col_nnz[j] += 1;
+        }
+        // `i` is simultaneously a row index, a level key and a column key;
+        // iterator forms would obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let lvl = levels.level_of(i);
+            let r = l.row_nnz(i);
+            level_rows[lvl] += 1;
+            level_nnz[lvl] += r;
+            level_max_row[lvl] = level_max_row[lvl].max(r);
+            level_max_col[lvl] = level_max_col[lvl].max(col_nnz[i]);
+        }
+        TriProfile { n, nnz: l.nnz(), level_rows, level_nnz, level_max_row, level_max_col }
+    }
+
+    /// Build a profile directly from per-level data (used by tests and the
+    /// corpus descriptors, which know their structure analytically).
+    pub fn from_levels(
+        level_rows: Vec<usize>,
+        level_nnz: Vec<usize>,
+        level_max_row: Vec<usize>,
+        level_max_col: Vec<usize>,
+    ) -> Self {
+        let n = level_rows.iter().sum();
+        let nnz = level_nnz.iter().sum();
+        TriProfile { n, nnz, level_rows, level_nnz, level_max_row, level_max_col }
+    }
+
+    /// Number of levels.
+    pub fn nlevels(&self) -> usize {
+        self.level_rows.len()
+    }
+
+    /// Average entries per row.
+    pub fn nnz_per_row(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.n as f64
+        }
+    }
+
+    /// `true` if the matrix is purely diagonal (one level, one entry/row).
+    pub fn is_diagonal(&self) -> bool {
+        self.nlevels() == 1 && self.nnz == self.n
+    }
+
+    /// Scale the profile to represent a matrix `f×` larger with the same
+    /// structure: per-level rows/nonzeros multiply by `f`; extreme row and
+    /// column lengths scale only in their excess over the level mean
+    /// (hub-like outliers grow with the matrix, uniform rows do not).
+    pub fn scaled(&self, f: f64) -> TriProfile {
+        if (f - 1.0).abs() < 1e-12 {
+            return self.clone();
+        }
+        let scale_extreme = |max: usize, avg: f64| -> usize {
+            (avg + (max as f64 - avg).max(0.0) * f).round() as usize
+        };
+        let mut level_rows = Vec::with_capacity(self.nlevels());
+        let mut level_nnz = Vec::with_capacity(self.nlevels());
+        let mut level_max_row = Vec::with_capacity(self.nlevels());
+        let mut level_max_col = Vec::with_capacity(self.nlevels());
+        for l in 0..self.nlevels() {
+            let avg = if self.level_rows[l] == 0 {
+                0.0
+            } else {
+                self.level_nnz[l] as f64 / self.level_rows[l] as f64
+            };
+            level_rows.push(((self.level_rows[l] as f64) * f).round() as usize);
+            level_nnz.push(((self.level_nnz[l] as f64) * f).round() as usize);
+            level_max_row.push(scale_extreme(self.level_max_row[l], avg));
+            level_max_col.push(scale_extreme(self.level_max_col[l], avg));
+        }
+        TriProfile {
+            n: ((self.n as f64) * f).round() as usize,
+            nnz: ((self.nnz as f64) * f).round() as usize,
+            level_rows,
+            level_nnz,
+            level_max_row,
+            level_max_col,
+        }
+    }
+}
+
+/// Profile of a square/rectangular (sub-)matrix for the SpMV cost formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvProfile {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Non-empty rows (DCSR lanes).
+    pub lanes: usize,
+    /// Longest row.
+    pub max_row: usize,
+}
+
+impl SpmvProfile {
+    /// Analyse a rectangular matrix.
+    pub fn analyse<S: Scalar>(a: &Csr<S>) -> Self {
+        let mut lanes = 0usize;
+        let mut max_row = 0usize;
+        for i in 0..a.nrows() {
+            let r = a.row_nnz(i);
+            if r > 0 {
+                lanes += 1;
+            }
+            max_row = max_row.max(r);
+        }
+        SpmvProfile { nrows: a.nrows(), ncols: a.ncols(), nnz: a.nnz(), lanes, max_row }
+    }
+
+    /// Average entries per (logical) row.
+    pub fn nnz_per_row(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.nrows as f64
+        }
+    }
+
+    /// Fraction of rows with no entries — the paper's `emptyratio`.
+    pub fn empty_ratio(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            (self.nrows - self.lanes) as f64 / self.nrows as f64
+        }
+    }
+
+    /// Scale to a matrix `f×` larger with the same structure (see
+    /// [`TriProfile::scaled`] for the extreme-length heuristic).
+    pub fn scaled(&self, f: f64) -> SpmvProfile {
+        if (f - 1.0).abs() < 1e-12 {
+            return *self;
+        }
+        let avg = if self.lanes == 0 { 0.0 } else { self.nnz as f64 / self.lanes as f64 };
+        SpmvProfile {
+            nrows: ((self.nrows as f64) * f).round() as usize,
+            ncols: ((self.ncols as f64) * f).round() as usize,
+            nnz: ((self.nnz as f64) * f).round() as usize,
+            lanes: ((self.lanes as f64) * f).round() as usize,
+            max_row: (avg + (self.max_row as f64 - avg).max(0.0) * f).round() as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+
+    #[test]
+    fn tri_profile_of_chain() {
+        let l = generate::chain::<f64>(10, 1);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let p = TriProfile::analyse(&l, &levels);
+        assert_eq!(p.nlevels(), 10);
+        assert_eq!(p.level_rows, vec![1; 10]);
+        assert_eq!(p.level_nnz[0], 1);
+        assert_eq!(p.level_nnz[5], 2);
+        assert!(!p.is_diagonal());
+    }
+
+    #[test]
+    fn tri_profile_of_diagonal() {
+        let l = generate::diagonal::<f64>(64, 2);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let p = TriProfile::analyse(&l, &levels);
+        assert!(p.is_diagonal());
+        assert_eq!(p.level_rows, vec![64]);
+        assert_eq!(p.level_max_row, vec![1]);
+    }
+
+    #[test]
+    fn tri_profile_tracks_long_columns() {
+        // Hub structure: hub columns live in level 0 and have huge fan-out.
+        let l = generate::hub_power_law::<f64>(2000, 4, 2, 0, 3);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let p = TriProfile::analyse(&l, &levels);
+        assert!(p.level_max_col[0] > 300, "hub fan-out {}", p.level_max_col[0]);
+    }
+
+    #[test]
+    fn tri_profile_sums_match() {
+        let l = generate::grid2d::<f64>(15, 15, 4);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let p = TriProfile::analyse(&l, &levels);
+        assert_eq!(p.level_rows.iter().sum::<usize>(), 225);
+        assert_eq!(p.level_nnz.iter().sum::<usize>(), l.nnz());
+    }
+
+    #[test]
+    fn spmv_profile_counts() {
+        let a = generate::rect_random::<f64>(1000, 500, 3.0, 0.4, 0.0, 5);
+        let p = SpmvProfile::analyse(&a);
+        assert_eq!(p.nrows, 1000);
+        assert!((p.empty_ratio() - 0.4).abs() < 0.02);
+        assert!(p.max_row >= 1);
+        assert_eq!(p.nnz, a.nnz());
+    }
+
+    #[test]
+    fn from_levels_aggregates() {
+        let p = TriProfile::from_levels(vec![3, 2], vec![3, 5], vec![1, 3], vec![2, 1]);
+        assert_eq!(p.n, 5);
+        assert_eq!(p.nnz, 8);
+        assert_eq!(p.nnz_per_row(), 1.6);
+    }
+}

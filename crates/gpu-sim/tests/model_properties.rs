@@ -1,0 +1,145 @@
+//! Property tests over the analytic cost model: whatever the constants,
+//! the model must respect basic physical monotonicities, or comparisons
+//! built on it are meaningless.
+
+use proptest::prelude::*;
+use recblock_gpu_sim::cost::{self, SpmvKind};
+use recblock_gpu_sim::{CostParams, DeviceSpec, SpmvProfile, TriProfile};
+
+/// Strategy: a plausible triangular profile.
+fn arb_tri() -> impl Strategy<Value = TriProfile> {
+    (1usize..40, 1usize..2000, 1u32..40).prop_map(|(nlevels, rows_per_level, nnzr)| {
+        let rows = vec![rows_per_level; nlevels];
+        let nnz = vec![rows_per_level * nnzr as usize; nlevels];
+        let maxr = vec![(nnzr as usize) + 2; nlevels];
+        let maxc = vec![(nnzr as usize) + 1; nlevels];
+        TriProfile::from_levels(rows, nnz, maxr, maxc)
+    })
+}
+
+/// Strategy: a plausible square-block profile.
+fn arb_sq() -> impl Strategy<Value = SpmvProfile> {
+    (64usize..100_000, 1u32..60, 0u32..95).prop_map(|(nrows, nnzr, empty_pct)| {
+        let lanes = (nrows as f64 * (1.0 - empty_pct as f64 / 100.0)).max(1.0) as usize;
+        let nnz = nrows * nnzr as usize;
+        SpmvProfile { nrows, ncols: nrows, nnz, lanes, max_row: 2 * nnzr as usize + 1 }
+    })
+}
+
+fn devices() -> (DeviceSpec, DeviceSpec) {
+    (DeviceSpec::titan_x_pascal(), DeviceSpec::titan_rtx_turing())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sptrsv_times_positive_and_finite(t in arb_tri(), ws in 1usize..1_000_000_000) {
+        let (_, rtx) = devices();
+        let p = CostParams::default();
+        for time in [
+            cost::sptrsv_levelset(&t, 8, ws, &rtx, &p),
+            cost::sptrsv_cusparse(&t, 8, ws, &rtx, &p),
+            cost::sptrsv_syncfree(&t, 8, ws, &rtx, &p),
+        ] {
+            prop_assert!(time.total_s > 0.0 && time.total_s.is_finite());
+            prop_assert!(time.total_s + 1e-15 >= time.launch_s);
+        }
+    }
+
+    #[test]
+    fn better_device_is_never_slower(t in arb_tri()) {
+        let (x, rtx) = devices();
+        let p = CostParams::default();
+        let ws = 1 << 26;
+        prop_assert!(
+            cost::sptrsv_syncfree(&t, 8, ws, &rtx, &p).total_s
+                <= cost::sptrsv_syncfree(&t, 8, ws, &x, &p).total_s * 1.0001
+        );
+        prop_assert!(
+            cost::sptrsv_cusparse(&t, 8, ws, &rtx, &p).total_s
+                <= cost::sptrsv_cusparse(&t, 8, ws, &x, &p).total_s * 1.0001
+        );
+    }
+
+    #[test]
+    fn single_precision_is_never_slower(t in arb_tri(), ws in 1usize..1_000_000_000) {
+        let (_, rtx) = devices();
+        let p = CostParams::default();
+        prop_assert!(
+            cost::sptrsv_syncfree(&t, 4, ws, &rtx, &p).total_s
+                <= cost::sptrsv_syncfree(&t, 8, ws, &rtx, &p).total_s * 1.0001
+        );
+        prop_assert!(
+            cost::sptrsv_levelset(&t, 4, ws, &rtx, &p).total_s
+                <= cost::sptrsv_levelset(&t, 8, ws, &rtx, &p).total_s * 1.0001
+        );
+    }
+
+    #[test]
+    fn worse_locality_is_never_faster(t in arb_tri()) {
+        let (_, rtx) = devices();
+        let p = CostParams::default();
+        let hot = cost::sptrsv_syncfree(&t, 8, 1 << 16, &rtx, &p).total_s;
+        let cold = cost::sptrsv_syncfree(&t, 8, 1 << 30, &rtx, &p).total_s;
+        prop_assert!(hot <= cold * 1.0001, "hot {hot} cold {cold}");
+    }
+
+    #[test]
+    fn data_scale_grows_time(t in arb_tri(), scale in 2u32..64) {
+        let (_, rtx) = devices();
+        let base = CostParams::default();
+        let scaled = CostParams { data_scale: scale as f64, ..CostParams::default() };
+        let ws = 1 << 24;
+        prop_assert!(
+            cost::sptrsv_syncfree(&t, 8, ws, &rtx, &scaled).total_s
+                >= cost::sptrsv_syncfree(&t, 8, ws, &rtx, &base).total_s * 0.9999
+        );
+    }
+
+    #[test]
+    fn spmv_times_positive_all_kernels(s in arb_sq(), ws in 1usize..1_000_000_000) {
+        let (_, rtx) = devices();
+        let p = CostParams::default();
+        for kind in SpmvKind::ALL {
+            let t = cost::spmv(kind, &s, 8, ws, &rtx, &p);
+            prop_assert!(t.total_s > 0.0 && t.total_s.is_finite(), "{kind:?}");
+            prop_assert_eq!(t.launches, 1);
+        }
+    }
+
+    #[test]
+    fn dcsr_never_loses_badly_on_hypersparse(s in arb_sq()) {
+        // Deep in the hyper-sparse regime (≥ 65% empty, realistically sized
+        // blocks) DCSR must be at least competitive with CSR for the same
+        // scheduling flavour. A modest tolerance remains: skipping rows also
+        // reduces the scheduled-unit count, which legitimately costs some
+        // memory-level parallelism near the boundary.
+        // Large enough that both kernels saturate the device (the regime
+        // the selector actually prices: scaled full-size blocks).
+        prop_assume!(s.empty_ratio() > 0.65 && s.nrows >= 65_536);
+        let (_, rtx) = devices();
+        let p = CostParams::default();
+        let ws = 1 << 22;
+        let scalar_csr = cost::spmv(SpmvKind::ScalarCsr, &s, 8, ws, &rtx, &p).work_s();
+        let scalar_dcsr = cost::spmv(SpmvKind::ScalarDcsr, &s, 8, ws, &rtx, &p).work_s();
+        prop_assert!(scalar_dcsr <= scalar_csr * 1.10);
+    }
+
+    #[test]
+    fn gflops_inverse_to_time(nnz in 1usize..1_000_000_000, ms in 1u32..100_000) {
+        let t = ms as f64 * 1e-3;
+        let g = cost::gflops(nnz, t);
+        prop_assert!((g * t * 1e9 - 2.0 * nnz as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn profile_scaling_preserves_structure(t in arb_tri(), f in 2u32..64) {
+        let s = t.scaled(f as f64);
+        prop_assert_eq!(s.nlevels(), t.nlevels());
+        // Rows and nnz scale by f (within rounding).
+        prop_assert!((s.n as f64 - t.n as f64 * f as f64).abs() <= t.nlevels() as f64);
+        // nnz/row is preserved (within rounding).
+        prop_assert!((s.nnz_per_row() - t.nnz_per_row()).abs() < 0.05 * t.nnz_per_row().max(1.0));
+    }
+}

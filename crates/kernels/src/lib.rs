@@ -1,0 +1,35 @@
+//! SpTRSV and SpMV kernel zoo for the recblock suite.
+//!
+//! This crate implements, as real multithreaded CPU code, every kernel the
+//! paper's adaptive recursive block algorithm chooses among (Section 3.4):
+//!
+//! **Four SpTRSV kernels** for triangular (sub-)matrices:
+//! * [`sptrsv::parallel_diag`] — "completely parallel": the block is purely
+//!   diagonal, every component solves independently;
+//! * [`sptrsv::LevelSetSolver`] — the classic Anderson/Saad–Saltz level-set
+//!   schedule (Algorithm 2), one parallel sweep per level with a barrier
+//!   between levels;
+//! * [`sptrsv::SyncFreeSolver`] — the synchronisation-free algorithm of Liu
+//!   et al. (Algorithm 3): CSC storage, atomic in-degree counters, atomic
+//!   accumulation, busy-waiting — one "kernel launch", no barriers;
+//! * [`sptrsv::CusparseLikeSolver`] — a cuSPARSE-csrsv2-style baseline:
+//!   a separate (expensive) analysis phase plus a level-scheduled solve that
+//!   merges small adjacent levels per launch, after Naumov's report.
+//!
+//! **Four SpMV kernels** for square/rectangular sub-matrices
+//! ([`spmv`]): scalar-CSR, vector-CSR, scalar-DCSR and vector-DCSR, all in
+//! the *update* form `y ← y − A·x` that the block algorithms consume.
+//!
+//! Plus the serial reference ([`sptrsv::serial_csr`]), multi-RHS solves
+//! ([`sptrsm`]) and an ILU(0) factorisation ([`ilu`]) used by the
+//! preconditioned-iterative-solver example.
+
+#![warn(missing_docs)]
+
+pub mod ilu;
+pub mod krylov;
+pub mod spmv;
+pub mod sptrsm;
+pub mod sptrsv;
+
+pub use sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};

@@ -1,0 +1,219 @@
+//! Multi-right-hand-side triangular solve (SpTRSM).
+//!
+//! The paper motivates block SpTRSV with "direct solvers with multiple
+//! right-hand sides" and amortises preprocessing over many solves (its
+//! Table 5). This module provides the multi-RHS counterpart used by the
+//! direct-solver example: `L X = B` with `B` an `n × k` dense matrix stored
+//! column-major, solved either column-by-column or with the level schedule
+//! shared across all columns (one analysis, `k` solves' worth of work, and
+//! per-level parallelism `level_size × k`).
+
+use rayon::prelude::*;
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// Dense `n × k` multi-vector, column-major (`col(j)` is contiguous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVector<S> {
+    n: usize,
+    k: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> MultiVector<S> {
+    /// Zero-filled `n × k` multi-vector.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        MultiVector { n, k, data: vec![S::ZERO; n * k] }
+    }
+
+    /// Build from column-major data (`data.len() == n·k`).
+    pub fn from_columns(n: usize, k: usize, data: Vec<S>) -> Result<Self, MatrixError> {
+        if data.len() != n * k {
+            return Err(MatrixError::DimensionMismatch {
+                what: "multivector data",
+                expected: n * k,
+                actual: data.len(),
+            });
+        }
+        Ok(MultiVector { n, k, data })
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (right-hand sides).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column `j` as a slice.
+    pub fn col(&self, j: usize) -> &[S] {
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Column `j` as a mutable slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> S {
+        self.data[j * self.n + i]
+    }
+
+    /// The whole column-major backing slice (column `j` occupies
+    /// `j*n..(j+1)*n`).
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable column-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Set entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        self.data[j * self.n + i] = v;
+    }
+}
+
+/// Solve `L X = B` column-by-column with the serial kernel (reference).
+pub fn sptrsm_serial<S: Scalar>(
+    l: &Csr<S>,
+    b: &MultiVector<S>,
+) -> Result<MultiVector<S>, MatrixError> {
+    if b.n() != l.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsm rhs rows",
+            expected: l.nrows(),
+            actual: b.n(),
+        });
+    }
+    let mut x = MultiVector::zeros(b.n(), b.k());
+    for j in 0..b.k() {
+        let xj = crate::sptrsv::serial_csr(l, b.col(j))?;
+        x.col_mut(j).copy_from_slice(&xj);
+    }
+    Ok(x)
+}
+
+/// Solve `L X = B` with one shared level analysis: columns are independent,
+/// so they run in parallel, and within each column levels run in order.
+///
+/// With `k` right-hand sides every level has `k ×` the parallelism of the
+/// single-RHS case, which is exactly why the paper's preprocessing cost
+/// "can be easily amortized" in multi-RHS scenarios.
+pub fn sptrsm_levelset<S: Scalar>(
+    l: &Csr<S>,
+    levels: &LevelSets,
+    b: &MultiVector<S>,
+) -> Result<MultiVector<S>, MatrixError> {
+    if b.n() != l.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsm rhs rows",
+            expected: l.nrows(),
+            actual: b.n(),
+        });
+    }
+    let n = b.n();
+    let k = b.k();
+    let mut x = MultiVector::zeros(n, k);
+    // Columns are fully independent: parallelise across them, each column
+    // sweeping its levels serially (per-column level order is preserved).
+    let cols: Vec<Vec<S>> = (0..k)
+        .into_par_iter()
+        .map(|j| {
+            let bj = b.col(j);
+            let mut xj = vec![S::ZERO; n];
+            for lvl in 0..levels.nlevels() {
+                for &i in levels.level_items(lvl) {
+                    let (cols_i, vals) = l.row(i);
+                    let last = cols_i.len() - 1;
+                    let mut left = S::ZERO;
+                    for t in 0..last {
+                        left += vals[t] * xj[cols_i[t]];
+                    }
+                    xj[i] = (bj[i] - left) / vals[last];
+                }
+            }
+            xj
+        })
+        .collect();
+    for (j, xj) in cols.into_iter().enumerate() {
+        x.col_mut(j).copy_from_slice(&xj);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn rhs(n: usize, k: usize) -> MultiVector<f64> {
+        let data: Vec<f64> = (0..n * k).map(|i| ((i * 31 % 97) as f64) - 48.0).collect();
+        MultiVector::from_columns(n, k, data).unwrap()
+    }
+
+    #[test]
+    fn multivector_accessors() {
+        let mut m = MultiVector::<f64>::zeros(3, 2);
+        m.set(1, 1, 5.0);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.col(1), &[0.0, 5.0, 0.0]);
+        m.col_mut(0)[2] = 7.0;
+        assert_eq!(m.get(2, 0), 7.0);
+    }
+
+    #[test]
+    fn from_columns_validates_len() {
+        assert!(MultiVector::<f64>::from_columns(3, 2, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn serial_and_levelset_agree() {
+        let l = generate::random_lower::<f64>(400, 4.0, 81);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let b = rhs(400, 6);
+        let x1 = sptrsm_serial(&l, &b).unwrap();
+        let x2 = sptrsm_levelset(&l, &levels, &b).unwrap();
+        for j in 0..6 {
+            assert!(max_rel_diff(x1.col(j), x2.col(j)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn each_column_solves_its_system() {
+        let l = generate::grid2d::<f64>(12, 12, 82);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let b = rhs(144, 3);
+        let x = sptrsm_levelset(&l, &levels, &b).unwrap();
+        for j in 0..3 {
+            let r = recblock_matrix::vector::residual_inf(&l, x.col(j), b.col(j)).unwrap();
+            assert!(r < 1e-12, "column {j} residual {r}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_rows() {
+        let l = Csr::<f64>::identity(4);
+        let b = MultiVector::<f64>::zeros(3, 2);
+        assert!(sptrsm_serial(&l, &b).is_err());
+        let levels = LevelSets::analyse(&l).unwrap();
+        assert!(sptrsm_levelset(&l, &levels, &b).is_err());
+    }
+
+    #[test]
+    fn single_column_matches_sptrsv() {
+        let l = generate::chain::<f64>(100, 83);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let b = rhs(100, 1);
+        let x = sptrsm_levelset(&l, &levels, &b).unwrap();
+        let x_ref = crate::sptrsv::serial_csr(&l, b.col(0)).unwrap();
+        assert!(max_rel_diff(x.col(0), &x_ref) < 1e-13);
+    }
+}

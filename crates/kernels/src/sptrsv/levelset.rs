@@ -1,0 +1,186 @@
+//! Level-set parallel SpTRSV (the paper's Algorithm 2).
+//!
+//! Preprocessing finds the level sets once; the solve phase processes levels
+//! in order, solving all components of a level in parallel and placing a
+//! barrier (here: the end of a rayon parallel region) between levels —
+//! exactly the structure of the GPU implementation, where each level is one
+//! kernel launch.
+
+use rayon::prelude::*;
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// Below this many components a level is solved serially — the rayon
+/// fork/join overhead dwarfs the work otherwise (the CPU analogue of the
+/// kernel-launch cost the GPU model charges per level).
+const PAR_LEVEL_THRESHOLD: usize = 256;
+
+/// A level-scheduled triangular solver: analysis happens once in
+/// [`LevelSetSolver::new`], after which [`LevelSetSolver::solve`] may be
+/// called for many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LevelSetSolver<S> {
+    l: Csr<S>,
+    levels: LevelSets,
+}
+
+impl<S: Scalar> LevelSetSolver<S> {
+    /// Analyse `l` (level-set construction; the preprocessing stage of
+    /// Algorithm 2).
+    pub fn new(l: Csr<S>) -> Result<Self, MatrixError> {
+        let levels = LevelSets::analyse(&l)?;
+        Ok(LevelSetSolver { l, levels })
+    }
+
+    /// Build from an existing level decomposition (used by the blocked
+    /// executor, which has already analysed the block during reordering).
+    pub fn with_levels(l: Csr<S>, levels: LevelSets) -> Self {
+        LevelSetSolver { l, levels }
+    }
+
+    /// The analysed level sets.
+    pub fn levels(&self) -> &LevelSets {
+        &self.levels
+    }
+
+    /// The matrix being solved.
+    pub fn matrix(&self) -> &Csr<S> {
+        &self.l
+    }
+
+    /// Solve `L x = b`.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv rhs",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut x = vec![S::ZERO; n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solve into a caller-provided buffer (avoids the allocation when the
+    /// solver runs inside an iteration loop).
+    pub fn solve_into(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
+        let n = self.l.nrows();
+        if b.len() != n || x.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv buffers",
+                expected: n,
+                actual: b.len().min(x.len()),
+            });
+        }
+        // SAFETY-free sharing: rows within one level never read each other's
+        // x entries (that is the defining property of a level set), so we
+        // hand each component a raw view through an index-disjoint write.
+        // We express it safely via a per-level gather/scatter instead.
+        let l = &self.l;
+        for lvl in 0..self.levels.nlevels() {
+            let items = self.levels.level_items(lvl);
+            if items.len() < PAR_LEVEL_THRESHOLD {
+                for &i in items {
+                    x[i] = solve_row(l, b, x, i);
+                }
+            } else {
+                let solved: Vec<(usize, S)> = items
+                    .par_iter()
+                    .map(|&i| (i, solve_row(l, b, x, i)))
+                    .collect();
+                for (i, xi) in solved {
+                    x[i] = xi;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Forward-substitute one row given all its dependencies already solved.
+#[inline]
+fn solve_row<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
+    let (cols, vals) = l.row(i);
+    let last = cols.len() - 1;
+    debug_assert_eq!(cols[last], i, "diagonal must be last in row");
+    let mut left_sum = S::ZERO;
+    for k in 0..last {
+        left_sum += vals[k] * x[cols[k]];
+    }
+    (b[i] - left_sum) / vals[last]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sptrsv::serial_csr;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn check_matches_serial(l: Csr<f64>, seed: u64) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37 + seed as f64).sin()).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let solver = LevelSetSolver::new(l).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-12);
+    }
+
+    #[test]
+    fn matches_serial_on_random() {
+        check_matches_serial(generate::random_lower::<f64>(800, 5.0, 31), 1);
+    }
+
+    #[test]
+    fn matches_serial_on_grid() {
+        check_matches_serial(generate::grid2d::<f64>(30, 25, 32), 2);
+    }
+
+    #[test]
+    fn matches_serial_on_chain() {
+        check_matches_serial(generate::chain::<f64>(300, 33), 3);
+    }
+
+    #[test]
+    fn matches_serial_on_kkt() {
+        check_matches_serial(generate::kkt_like::<f64>(2000, 900, 4, 34), 4);
+    }
+
+    #[test]
+    fn matches_serial_on_large_parallel_levels() {
+        // Levels large enough to trigger the parallel path.
+        check_matches_serial(generate::kkt_like::<f64>(5000, 2500, 3, 35), 5);
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let l = generate::banded::<f64>(200, 4, 0.6, 36);
+        let b = vec![1.0; 200];
+        let solver = LevelSetSolver::new(l).unwrap();
+        let mut x = vec![0.0; 200];
+        solver.solve_into(&b, &mut x).unwrap();
+        assert!(max_rel_diff(&x, &solver.solve(&b).unwrap()) == 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let solver = LevelSetSolver::new(Csr::<f64>::identity(4)).unwrap();
+        assert!(solver.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_triangular_matrix() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
+            .unwrap();
+        assert!(LevelSetSolver::new(a).is_err());
+    }
+
+    #[test]
+    fn exposes_levels() {
+        let solver = LevelSetSolver::new(generate::chain::<f64>(10, 37)).unwrap();
+        assert_eq!(solver.levels().nlevels(), 10);
+        assert_eq!(solver.matrix().nrows(), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! The "completely parallel" SpTRSV kernel.
+//!
+//! Section 3.4 of the paper, sparsity structure (1): after recursive
+//! level-set reordering, many small triangular blocks contain *only* a
+//! diagonal, so every component solves independently with perfect
+//! parallelism (`SPTRSV-COMPLETELYPARALLEL` in Algorithm 7).
+
+use rayon::prelude::*;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// `true` if the matrix stores exactly its diagonal (one entry per row at
+/// `(i, i)`).
+pub fn is_diagonal_only<S: Scalar>(l: &Csr<S>) -> bool {
+    l.nrows() == l.ncols()
+        && l.nnz() == l.nrows()
+        && (0..l.nrows()).all(|i| {
+            let (cols, _) = l.row(i);
+            cols == [i]
+        })
+}
+
+/// Solve a purely diagonal system: `x[i] = b[i] / d[i]` in one parallel map.
+pub fn parallel_diag<S: Scalar>(l: &Csr<S>, b: &[S]) -> Result<Vec<S>, MatrixError> {
+    let n = l.nrows();
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsv rhs",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    if !is_diagonal_only(l) {
+        return Err(MatrixError::NotTriangular { row: 0, col: 0 });
+    }
+    let vals = l.vals();
+    Ok(b.par_iter().zip(vals.par_iter()).map(|(&bi, &di)| bi / di).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+
+    #[test]
+    fn detects_diagonal_matrix() {
+        assert!(is_diagonal_only(&Csr::<f64>::identity(5)));
+        assert!(is_diagonal_only(&generate::diagonal::<f64>(100, 1)));
+        assert!(!is_diagonal_only(&generate::chain::<f64>(10, 1)));
+        assert!(!is_diagonal_only(&Csr::<f64>::zero(3, 3)));
+    }
+
+    #[test]
+    fn solves_diagonal_system() {
+        let l = Csr::<f64>::try_new(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![2., 4., 8.])
+            .unwrap();
+        let x = parallel_diag(&l, &[2.0, 8.0, 32.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn matches_serial_reference() {
+        let l = generate::diagonal::<f64>(10_000, 7);
+        let b: Vec<f64> = (0..10_000).map(|i| (i as f64).cos()).collect();
+        let x1 = parallel_diag(&l, &b).unwrap();
+        let x2 = super::super::serial_csr(&l, &b).unwrap();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn rejects_non_diagonal() {
+        let l = generate::chain::<f64>(5, 1);
+        assert!(parallel_diag(&l, &[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_rhs() {
+        let l = Csr::<f64>::identity(3);
+        assert!(parallel_diag(&l, &[1.0]).is_err());
+    }
+}

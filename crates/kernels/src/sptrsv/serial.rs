@@ -1,0 +1,132 @@
+//! Serial reference SpTRSV (the paper's Algorithm 1, plus a CSC variant).
+//!
+//! Every parallel solver in the suite is validated against these.
+
+use recblock_matrix::{Csc, Csr, MatrixError, Scalar};
+
+/// Solve `L x = b` serially with `L` in CSR (forward substitution; the
+/// paper's Algorithm 1, with `left_sum` folded into the accumulation loop).
+///
+/// Requires `L` square, lower triangular, diagonal stored last in each row
+/// and nonzero ([`Csr::is_solvable_lower`]).
+pub fn serial_csr<S: Scalar>(l: &Csr<S>, b: &[S]) -> Result<Vec<S>, MatrixError> {
+    let n = l.nrows();
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsv rhs",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    let mut x = vec![S::ZERO; n];
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let (last, rest) = match cols.len() {
+            0 => return Err(MatrixError::SingularDiagonal { row: i }),
+            m => (m - 1, m - 1),
+        };
+        if cols[last] != i {
+            return Err(MatrixError::NotTriangular { row: i, col: cols[last] });
+        }
+        let mut left_sum = S::ZERO;
+        for k in 0..rest {
+            left_sum += vals[k] * x[cols[k]];
+        }
+        x[i] = (b[i] - left_sum) / vals[last];
+    }
+    Ok(x)
+}
+
+/// Solve `L x = b` serially with `L` in CSC (column-sweep forward
+/// substitution: once `x[j]` is known, its column updates all later rows).
+///
+/// Requires the diagonal stored first in each column and nonzero
+/// ([`Csc::is_solvable_lower`]).
+pub fn serial_csc<S: Scalar>(l: &Csc<S>, b: &[S]) -> Result<Vec<S>, MatrixError> {
+    let n = l.ncols();
+    if b.len() != n {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsv rhs",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    let mut x: Vec<S> = b.to_vec();
+    for j in 0..n {
+        let (rows, vals) = l.col(j);
+        if rows.first() != Some(&j) {
+            return Err(MatrixError::SingularDiagonal { row: j });
+        }
+        let xj = x[j] / vals[0];
+        x[j] = xj;
+        for k in 1..rows.len() {
+            let i = rows[k];
+            let upd = vals[k] * xj;
+            x[i] -= upd;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::residual_inf;
+
+    #[test]
+    fn identity_solve() {
+        let l = Csr::<f64>::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(serial_csr(&l, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn hand_computed_2x2() {
+        // [2 0; 1 4] x = [2, 9]  =>  x = [1, 2]
+        let l = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![2., 1., 4.])
+            .unwrap();
+        let x = serial_csr(&l, &[2.0, 9.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csr_and_csc_agree() {
+        let l = generate::random_lower::<f64>(500, 4.0, 21);
+        let b: Vec<f64> = (0..500).map(|i| (i % 7) as f64 - 3.0).collect();
+        let x1 = serial_csr(&l, &b).unwrap();
+        let csc = l.to_csc();
+        let x2 = serial_csc(&csc, &b).unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn residual_is_tiny() {
+        let l = generate::grid2d::<f64>(20, 20, 5);
+        let b: Vec<f64> = (0..400).map(|i| (i as f64).sin()).collect();
+        let x = serial_csr(&l, &b).unwrap();
+        assert!(residual_inf(&l, &x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_len() {
+        let l = Csr::<f64>::identity(3);
+        assert!(serial_csr(&l, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_diagonal() {
+        let l = Csr::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1., 1.]).unwrap();
+        assert!(serial_csr(&l, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn f32_solve_works() {
+        let l = generate::banded::<f32>(100, 3, 0.7, 9);
+        let b = vec![1.0f32; 100];
+        let x = serial_csr(&l, &b).unwrap();
+        assert!(residual_inf(&l, &x, &b).unwrap() < 1e-5);
+    }
+}

@@ -1,0 +1,388 @@
+//! Synchronisation-free parallel SpTRSV (the paper's Algorithm 3, after Liu
+//! et al., Euro-Par '16).
+//!
+//! The matrix is held in CSC with the diagonal first in each column. A light
+//! preprocessing pass counts each component's in-degree (its row length,
+//! diagonal included). In the solve phase every component busy-waits until
+//! its in-degree has dropped to 1 (only the diagonal left), computes
+//! `x[i] = (b[i] − left_sum[i]) / d[i]`, then walks its column and notifies
+//! every dependent row with an atomic `left_sum` addition and an atomic
+//! in-degree decrement. One "kernel launch", no barriers.
+//!
+//! ## CPU port and deadlock freedom
+//!
+//! On the GPU each component is a warp and the hardware scheduler guarantees
+//! (on Pascal+) that runnable warps make progress. On the CPU we have `P ≪ n`
+//! threads, so the assignment of components to threads matters: we use
+//! **static cyclic assignment processed in ascending order** — thread `t`
+//! handles components `t, t+P, t+2P, …` in that order. This is deadlock-free:
+//! consider the smallest unsolved component `i`. All of its dependencies are
+//! solved (they are smaller than `i`), and the thread owning `i` has already
+//! finished every smaller component it owns, so it is either at `i` or
+//! busy-waiting at `i` — and its wait condition is already satisfied. Hence
+//! `i` completes, and by induction the whole solve completes.
+
+use recblock_matrix::scalar::ScalarAtomic;
+use recblock_matrix::{Csc, Csr, MatrixError, Scalar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sync-free triangular solver. Preprocessing (CSC conversion + in-degree
+/// base counts) happens once in [`SyncFreeSolver::new`]; `solve` may then be
+/// called repeatedly.
+#[derive(Debug, Clone)]
+pub struct SyncFreeSolver<S> {
+    csc: Csc<S>,
+    /// In-degree of every component (row length incl. diagonal), precomputed.
+    in_degree_base: Vec<usize>,
+    /// Number of worker threads used by `solve`.
+    nthreads: usize,
+}
+
+impl<S: Scalar> SyncFreeSolver<S> {
+    /// Preprocess a lower-triangular CSR matrix (converted to CSC internally,
+    /// as in the paper) using all available CPU parallelism for the solve.
+    pub fn new(l: &Csr<S>) -> Result<Self, MatrixError> {
+        Self::with_threads(l, default_threads())
+    }
+
+    /// Preprocess with an explicit worker-thread count.
+    pub fn with_threads(l: &Csr<S>, nthreads: usize) -> Result<Self, MatrixError> {
+        recblock_matrix::triangular::check_solvable_lower(l)?;
+        let in_degree_base: Vec<usize> = (0..l.nrows()).map(|i| l.row_nnz(i)).collect();
+        let csc = l.to_csc();
+        Ok(SyncFreeSolver { csc, in_degree_base, nthreads: nthreads.max(1) })
+    }
+
+    /// Build directly from CSC (diagonal first in each column) — the format
+    /// Algorithm 3 is written against. The in-degree preprocessing pass
+    /// (`PREPROCESS-SYNCFREE`) scans all row indices.
+    pub fn from_csc(csc: Csc<S>, nthreads: usize) -> Result<Self, MatrixError> {
+        if !csc.is_solvable_lower() {
+            return Err(MatrixError::SingularDiagonal { row: 0 });
+        }
+        let n = csc.nrows();
+        let mut in_degree_base = vec![0usize; n];
+        for &i in csc.row_idx() {
+            in_degree_base[i] += 1;
+        }
+        Ok(SyncFreeSolver { csc, in_degree_base, nthreads: nthreads.max(1) })
+    }
+
+    /// The CSC matrix being solved.
+    pub fn matrix(&self) -> &Csc<S> {
+        &self.csc
+    }
+
+    /// Worker threads used per solve.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Solve `L x = b`.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        let n = self.csc.ncols();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv rhs",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        let in_degree: Vec<AtomicUsize> =
+            self.in_degree_base.iter().map(|&d| AtomicUsize::new(d)).collect();
+        let left_sum: Vec<S::Atomic> = (0..n).map(|_| S::Atomic::new(S::ZERO)).collect();
+        let x: Vec<S::Atomic> = (0..n).map(|_| S::Atomic::new(S::ZERO)).collect();
+
+        let nthreads = self.nthreads.min(n);
+        let csc = &self.csc;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let in_degree = &in_degree;
+                let left_sum = &left_sum;
+                let x = &x;
+                scope.spawn(move |_| {
+                    // Static cyclic assignment in ascending order (see the
+                    // module docs for why this cannot deadlock).
+                    let mut i = t;
+                    while i < n {
+                        // Busy-wait until only the diagonal dependency
+                        // remains (Algorithm 3, lines 8–10).
+                        let mut spins = 0u32;
+                        while in_degree[i].load(Ordering::Acquire) != 1 {
+                            spins += 1;
+                            if spins & 0x3f == 0 {
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let (rows, vals) = csc.col(i);
+                        // Diagonal first: x_i = (b_i − left_sum_i) / d_i.
+                        let xi = (b[i] - left_sum[i].load()) / vals[0];
+                        x[i].store(xi);
+                        // Notify dependents (lines 12–15).
+                        for k in 1..rows.len() {
+                            let r = rows[k];
+                            left_sum[r].fetch_add(vals[k] * xi);
+                            in_degree[r].fetch_sub(1, Ordering::AcqRel);
+                        }
+                        i += nthreads;
+                    }
+                });
+            }
+        })
+        .expect("sync-free worker panicked");
+
+        Ok(x.iter().map(|a| a.load()).collect())
+    }
+}
+
+impl<S: Scalar> SyncFreeSolver<S> {
+    /// Fused multi-right-hand-side solve (the algorithm of Liu et al.'s
+    /// follow-up paper, "Fast Synchronization-Free Algorithms for Parallel
+    /// Sparse Triangular Solves with Multiple Right-Hand Sides"): the
+    /// dependency dataflow runs **once** — each component busy-waits once,
+    /// then computes and propagates all `k` columns — so the matrix and the
+    /// synchronisation cost are amortised over every right-hand side.
+    pub fn solve_multi(
+        &self,
+        b: &crate::sptrsm::MultiVector<S>,
+    ) -> Result<crate::sptrsm::MultiVector<S>, MatrixError> {
+        use crate::sptrsm::MultiVector;
+        let n = self.csc.ncols();
+        if b.n() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsm rhs rows",
+                expected: n,
+                actual: b.n(),
+            });
+        }
+        let k = b.k();
+        if n == 0 || k == 0 {
+            return Ok(MultiVector::zeros(n, k));
+        }
+
+        let in_degree: Vec<AtomicUsize> =
+            self.in_degree_base.iter().map(|&d| AtomicUsize::new(d)).collect();
+        // Row-major k-wide accumulators and solutions: component i owns
+        // slots i*k..(i+1)*k.
+        let left_sum: Vec<S::Atomic> = (0..n * k).map(|_| S::Atomic::new(S::ZERO)).collect();
+        let x: Vec<S::Atomic> = (0..n * k).map(|_| S::Atomic::new(S::ZERO)).collect();
+
+        let nthreads = self.nthreads.min(n);
+        let csc = &self.csc;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let in_degree = &in_degree;
+                let left_sum = &left_sum;
+                let x = &x;
+                let b = &b;
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < n {
+                        let mut spins = 0u32;
+                        while in_degree[i].load(Ordering::Acquire) != 1 {
+                            spins += 1;
+                            if spins & 0x3f == 0 {
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let (rows, vals) = csc.col(i);
+                        let diag = vals[0];
+                        // Solve all k columns of component i at once.
+                        for c in 0..k {
+                            let xi = (b.get(i, c) - left_sum[i * k + c].load()) / diag;
+                            x[i * k + c].store(xi);
+                        }
+                        // One notification per dependent, k value updates.
+                        for kk in 1..rows.len() {
+                            let r = rows[kk];
+                            let v = vals[kk];
+                            for c in 0..k {
+                                left_sum[r * k + c].fetch_add(v * x[i * k + c].load());
+                            }
+                            in_degree[r].fetch_sub(1, Ordering::AcqRel);
+                        }
+                        i += nthreads;
+                    }
+                });
+            }
+        })
+        .expect("sync-free multi-rhs worker panicked");
+
+        let mut out = MultiVector::zeros(n, k);
+        for c in 0..k {
+            let col = out.col_mut(c);
+            for i in 0..n {
+                col[i] = x[i * k + c].load();
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Default worker count: physical parallelism, capped to keep busy-wait
+/// pressure sane on very wide machines.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sptrsv::serial_csr;
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn check(l: Csr<f64>, nthreads: usize) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let solver = SyncFreeSolver::with_threads(&l, nthreads).unwrap();
+        let x = solver.solve(&b).unwrap();
+        // Atomic accumulation reorders additions; tolerance must allow for it.
+        assert!(
+            max_rel_diff(&x, &reference) < 1e-10,
+            "nthreads={nthreads} diff={}",
+            max_rel_diff(&x, &reference)
+        );
+    }
+
+    #[test]
+    fn single_thread_matches_serial() {
+        check(generate::random_lower::<f64>(500, 4.0, 41), 1);
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_random() {
+        for t in [2, 4, 8] {
+            check(generate::random_lower::<f64>(1000, 5.0, 42), t);
+        }
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_chain() {
+        // Fully serial dependency chain: worst case for busy-waiting.
+        check(generate::chain::<f64>(2000, 43), 8);
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_grid() {
+        check(generate::grid2d::<f64>(40, 40, 44), 4);
+    }
+
+    #[test]
+    fn multi_thread_matches_serial_power_law() {
+        // Long columns exercise the atomic notification fan-out.
+        check(generate::hub_power_law::<f64>(3000, 12, 3, 50, 45), 8);
+    }
+
+    #[test]
+    fn diagonal_matrix_fast_path() {
+        check(generate::diagonal::<f64>(500, 46), 4);
+    }
+
+    #[test]
+    fn kkt_two_level_case() {
+        check(generate::kkt_like::<f64>(3000, 1200, 4, 47), 8);
+    }
+
+    #[test]
+    fn from_csc_constructor() {
+        let l = generate::random_lower::<f64>(300, 3.0, 48);
+        let b = vec![1.0; 300];
+        let reference = serial_csr(&l, &b).unwrap();
+        let solver = SyncFreeSolver::from_csc(l.to_csc(), 4).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_rhs_len() {
+        let solver = SyncFreeSolver::new(&Csr::<f64>::identity(3)).unwrap();
+        assert!(solver.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let l = Csr::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1., 1.]).unwrap();
+        assert!(SyncFreeSolver::new(&l).is_err());
+    }
+
+    #[test]
+    fn empty_system() {
+        let solver = SyncFreeSolver::new(&Csr::<f64>::zero(0, 0)).unwrap();
+        assert_eq!(solver.solve(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn f32_precision_works() {
+        let l = generate::banded::<f32>(400, 4, 0.5, 49);
+        let b = vec![1.0f32; 400];
+        let reference = serial_csr(&l, &b).unwrap();
+        let solver = SyncFreeSolver::with_threads(&l, 4).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(max_rel_diff(&x, &reference) < 1e-4);
+    }
+
+    #[test]
+    fn multi_rhs_matches_per_column() {
+        use crate::sptrsm::MultiVector;
+        let l = generate::layered::<f64>(900, 14, 2.0, generate::LayerShape::Uniform, 51);
+        let solver = SyncFreeSolver::with_threads(&l, 6).unwrap();
+        let k = 4;
+        let data: Vec<f64> = (0..900 * k).map(|i| ((i * 13 % 31) as f64) - 15.0).collect();
+        let b = MultiVector::from_columns(900, k, data).unwrap();
+        let fused = solver.solve_multi(&b).unwrap();
+        for j in 0..k {
+            let per_col = solver.solve(b.col(j)).unwrap();
+            assert!(
+                max_rel_diff(fused.col(j), &per_col) < 1e-10,
+                "column {j}: {}",
+                max_rel_diff(fused.col(j), &per_col)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_rhs_power_law_under_contention() {
+        use crate::sptrsm::MultiVector;
+        let l = generate::hub_power_law::<f64>(1500, 8, 2, 40, 52);
+        let solver = SyncFreeSolver::with_threads(&l, 8).unwrap();
+        let k = 3;
+        let data: Vec<f64> = (0..1500 * k).map(|i| (i as f64 * 0.01).sin()).collect();
+        let b = MultiVector::from_columns(1500, k, data).unwrap();
+        let x = solver.solve_multi(&b).unwrap();
+        for j in 0..k {
+            let r = recblock_matrix::vector::residual_inf(&l, x.col(j), b.col(j)).unwrap();
+            assert!(r < 1e-10, "column {j} residual {r}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_dimension_checks() {
+        use crate::sptrsm::MultiVector;
+        let solver = SyncFreeSolver::new(&Csr::<f64>::identity(5)).unwrap();
+        assert!(solver.solve_multi(&MultiVector::<f64>::zeros(4, 2)).is_err());
+        let empty = solver.solve_multi(&MultiVector::<f64>::zeros(5, 0)).unwrap();
+        assert_eq!(empty.k(), 0);
+    }
+
+    #[test]
+    fn repeated_solves_are_consistent() {
+        let l = generate::layered::<f64>(1500, 20, 2.0, generate::LayerShape::Uniform, 50);
+        let solver = SyncFreeSolver::with_threads(&l, 8).unwrap();
+        let b = vec![2.5; 1500];
+        let x1 = solver.solve(&b).unwrap();
+        for _ in 0..5 {
+            let x2 = solver.solve(&b).unwrap();
+            assert!(max_rel_diff(&x1, &x2) < 1e-12);
+        }
+    }
+}

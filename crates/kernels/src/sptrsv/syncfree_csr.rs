@@ -1,0 +1,181 @@
+//! Row-driven (CSR) synchronisation-free SpTRSV.
+//!
+//! The paper notes that "a CSR version of the Sync-free method is given by
+//! Dufrechou and Ezzatti". Where the CSC formulation (Algorithm 3) is
+//! *producer-driven* — a solved component pushes atomic updates into its
+//! dependents' `left_sum` — the CSR formulation is *consumer-driven*: each
+//! component walks its own row, busy-waiting on a per-component ready flag
+//! for any dependency that has not been published yet, accumulating the dot
+//! product locally. No atomic arithmetic at all; the only shared state is
+//! the `x` values and their ready flags.
+//!
+//! Deadlock freedom on a finite thread pool follows from the same argument
+//! as the CSC port (static cyclic assignment, in-order processing — see
+//! `syncfree.rs`); here a waiting thread spins *inside* its row walk, which
+//! is how the GPU kernel behaves too.
+
+use recblock_matrix::scalar::ScalarAtomic;
+use recblock_matrix::{Csr, MatrixError, Scalar};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A row-driven sync-free solver (CSR, busy-wait on ready flags).
+#[derive(Debug, Clone)]
+pub struct SyncFreeCsrSolver<S> {
+    l: Csr<S>,
+    nthreads: usize,
+}
+
+impl<S: Scalar> SyncFreeCsrSolver<S> {
+    /// Validate the matrix and fix the worker-thread count.
+    pub fn with_threads(l: &Csr<S>, nthreads: usize) -> Result<Self, MatrixError> {
+        recblock_matrix::triangular::check_solvable_lower(l)?;
+        Ok(SyncFreeCsrSolver { l: l.clone(), nthreads: nthreads.max(1) })
+    }
+
+    /// Preprocess with all available CPU parallelism.
+    pub fn new(l: &Csr<S>) -> Result<Self, MatrixError> {
+        Self::with_threads(l, super::syncfree_default_threads())
+    }
+
+    /// The matrix being solved.
+    pub fn matrix(&self) -> &Csr<S> {
+        &self.l
+    }
+
+    /// Solve `L x = b`.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv rhs",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let x: Vec<S::Atomic> = (0..n).map(|_| S::Atomic::new(S::ZERO)).collect();
+        let ready: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let nthreads = self.nthreads.min(n);
+        let l = &self.l;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let x = &x;
+                let ready = &ready;
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < n {
+                        let (cols, vals) = l.row(i);
+                        let last = cols.len() - 1;
+                        let mut acc = S::ZERO;
+                        for k in 0..last {
+                            let j = cols[k];
+                            // Busy-wait until x[j] is published.
+                            let mut spins = 0u32;
+                            while !ready[j].load(Ordering::Acquire) {
+                                spins += 1;
+                                if spins & 0x3f == 0 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            acc += vals[k] * x[j].load();
+                        }
+                        x[i].store((b[i] - acc) / vals[last]);
+                        ready[i].store(true, Ordering::Release);
+                        i += nthreads;
+                    }
+                });
+            }
+        })
+        .expect("sync-free CSR worker panicked");
+        Ok(x.iter().map(|a| a.load()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sptrsv::{serial_csr, SyncFreeSolver};
+    use recblock_matrix::generate;
+    use recblock_matrix::vector::max_rel_diff;
+
+    fn check(l: Csr<f64>, nthreads: usize) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+        let reference = serial_csr(&l, &b).unwrap();
+        let solver = SyncFreeCsrSolver::with_threads(&l, nthreads).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(
+            max_rel_diff(&x, &reference) < 1e-10,
+            "threads {nthreads}, diff {}",
+            max_rel_diff(&x, &reference)
+        );
+    }
+
+    #[test]
+    fn matches_serial_single_thread() {
+        check(generate::random_lower::<f64>(600, 4.0, 111), 1);
+    }
+
+    #[test]
+    fn matches_serial_multi_thread() {
+        for t in [2usize, 4, 8] {
+            check(generate::random_lower::<f64>(1200, 5.0, 112), t);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_chain() {
+        check(generate::chain::<f64>(1500, 113), 8);
+    }
+
+    #[test]
+    fn matches_serial_on_power_law() {
+        check(generate::hub_power_law::<f64>(2500, 10, 3, 60, 114), 8);
+    }
+
+    #[test]
+    fn matches_serial_with_heavy_rows() {
+        let base = generate::layered::<f64>(1500, 12, 2.0, generate::LayerShape::Uniform, 115);
+        check(generate::with_heavy_rows(&base, 2, 400, 115), 8);
+    }
+
+    #[test]
+    fn csc_and_csr_variants_agree() {
+        let l = generate::grid2d::<f64>(35, 35, 116);
+        let b = vec![1.5; 1225];
+        let csc = SyncFreeSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap();
+        let csr = SyncFreeCsrSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap();
+        assert!(max_rel_diff(&csc, &csr) < 1e-10);
+    }
+
+    #[test]
+    fn csr_variant_is_exactly_deterministic() {
+        // No atomic arithmetic → bitwise-identical results across runs and
+        // thread counts (unlike the CSC variant, whose atomic accumulation
+        // order varies).
+        let l = generate::random_lower::<f64>(800, 5.0, 117);
+        let b: Vec<f64> = (0..800).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x1 = SyncFreeCsrSolver::with_threads(&l, 1).unwrap().solve(&b).unwrap();
+        let x8 = SyncFreeCsrSolver::with_threads(&l, 8).unwrap().solve(&b).unwrap();
+        assert_eq!(x1, x8);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let l = generate::diagonal::<f64>(10, 118);
+        let s = SyncFreeCsrSolver::new(&l).unwrap();
+        assert!(s.solve(&[1.0]).is_err());
+        let bad = Csr::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1., 1.]).unwrap();
+        assert!(SyncFreeCsrSolver::new(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = SyncFreeCsrSolver::new(&Csr::<f64>::zero(0, 0)).unwrap();
+        assert_eq!(s.solve(&[]).unwrap(), Vec::<f64>::new());
+    }
+}

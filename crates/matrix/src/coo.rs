@@ -1,0 +1,203 @@
+//! Coordinate (triplet) format — the assembly/builder format.
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// A sparse matrix as an unordered list of `(row, col, value)` triplets.
+///
+/// Duplicates are allowed during assembly and are summed on conversion to
+/// CSR, matching the convention of finite-element assembly and of the Matrix
+/// Market format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<S> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<S>,
+}
+
+impl<S: Scalar> Coo<S> {
+    /// An empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append a triplet.
+    pub fn push(&mut self, i: usize, j: usize, v: S) -> Result<(), MatrixError> {
+        if i >= self.nrows {
+            return Err(MatrixError::IndexOutOfBounds { what: "row", index: i, bound: self.nrows });
+        }
+        if j >= self.ncols {
+            return Err(MatrixError::IndexOutOfBounds { what: "col", index: j, bound: self.ncols });
+        }
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+        Ok(())
+    }
+
+    /// Iterate over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&i, &j), &v)| (i, j, v))
+    }
+
+    /// Convert to CSR. Triplets are sorted `(row, col)` and duplicates are
+    /// summed; entries that cancel to exactly zero are kept (structural
+    /// nonzeros), matching standard sparse-library behaviour.
+    pub fn to_csr(&self) -> Csr<S> {
+        let nnz = self.nnz();
+        // Counting sort by row first for O(nnz + n) overall.
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &i in &self.rows {
+            row_counts[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; nnz];
+        let mut next = row_counts.clone();
+        for k in 0..nnz {
+            let i = self.rows[k];
+            order[next[i]] = k;
+            next[i] += 1;
+        }
+        // Sort each row's slice by column, then merge duplicates.
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(nnz);
+        let mut vals: Vec<S> = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, S)> = Vec::new();
+        for i in 0..self.nrows {
+            scratch.clear();
+            scratch.extend(
+                order[row_counts[i]..row_counts[i + 1]]
+                    .iter()
+                    .map(|&k| (self.cols[k], self.vals[k])),
+            );
+            scratch.sort_unstable_by_key(|&(j, _)| j);
+            let mut iter = scratch.iter().copied();
+            if let Some((mut cur_j, mut acc)) = iter.next() {
+                for (j, v) in iter {
+                    if j == cur_j {
+                        acc += v;
+                    } else {
+                        col_idx.push(cur_j);
+                        vals.push(acc);
+                        cur_j = j;
+                        acc = v;
+                    }
+                }
+                col_idx.push(cur_j);
+                vals.push(acc);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, vals)
+    }
+}
+
+impl<S: Scalar> From<&Csr<S>> for Coo<S> {
+    fn from(a: &Csr<S>) -> Self {
+        let mut coo = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz());
+        for (i, j, v) in a.iter() {
+            coo.rows.push(i);
+            coo.cols.push(j);
+            coo.vals.push(v);
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert() {
+        let mut c = Coo::<f64>::new(2, 2);
+        c.push(1, 0, 2.0).unwrap();
+        c.push(0, 0, 1.0).unwrap();
+        c.push(1, 1, 3.0).unwrap();
+        let a = c.to_csr();
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(1, 0), Some(2.0));
+        assert_eq!(a.get(1, 1), Some(3.0));
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut c = Coo::<f64>::new(1, 1);
+        c.push(0, 0, 1.5).unwrap();
+        c.push(0, 0, 2.5).unwrap();
+        let a = c.to_csr();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), Some(4.0));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut c = Coo::<f64>::new(2, 2);
+        assert!(c.push(2, 0, 1.0).is_err());
+        assert!(c.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut c = Coo::<f64>::new(3, 3);
+        for &(i, j, v) in &[(2, 2, 9.0), (0, 1, 2.0), (2, 0, 7.0), (0, 0, 1.0)] {
+            c.push(i, j, v).unwrap();
+        }
+        let a = c.to_csr();
+        assert_eq!(a.row(0), (&[0usize, 1][..], &[1.0, 2.0][..]));
+        assert_eq!(a.row(2), (&[0usize, 2][..], &[7.0, 9.0][..]));
+    }
+
+    #[test]
+    fn csr_roundtrip_through_coo() {
+        let a = Csr::<f64>::identity(5);
+        let coo = Coo::from(&a);
+        assert_eq!(coo.to_csr(), a);
+    }
+
+    #[test]
+    fn empty_builder_yields_zero_matrix() {
+        let c = Coo::<f64>::new(3, 4);
+        let a = c.to_csr();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Compressed sparse column storage (the sync-free kernel's native format,
+//! Algorithm 3 of the paper).
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Invariants mirror [`Csr`]: `col_ptr.len() == ncols + 1`, non-decreasing,
+/// row indices strictly increasing within each column and `< nrows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<S> {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<S>,
+}
+
+impl<S: Scalar> Csc<S> {
+    /// Build a CSC matrix, validating all structural invariants.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        vals: Vec<S>,
+    ) -> Result<Self, MatrixError> {
+        if col_ptr.len() != ncols + 1 {
+            return Err(MatrixError::MalformedPointer("col_ptr length must be ncols + 1"));
+        }
+        if col_ptr[0] != 0 {
+            return Err(MatrixError::MalformedPointer("col_ptr must start at 0"));
+        }
+        if *col_ptr.last().expect("non-empty by construction") != row_idx.len() {
+            return Err(MatrixError::MalformedPointer("col_ptr must end at nnz"));
+        }
+        if row_idx.len() != vals.len() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "row_idx vs vals",
+                expected: row_idx.len(),
+                actual: vals.len(),
+            });
+        }
+        for w in col_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(MatrixError::MalformedPointer("col_ptr must be non-decreasing"));
+            }
+        }
+        for j in 0..ncols {
+            let lane = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+            for w in lane.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(MatrixError::UnsortedIndices { lane: j });
+                }
+            }
+            if let Some(&last) = lane.last() {
+                if last >= nrows {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        what: "row_idx",
+                        index: last,
+                        bound: nrows,
+                    });
+                }
+            }
+        }
+        Ok(Csc { nrows, ncols, col_ptr, row_idx, vals })
+    }
+
+    /// Build without validation (see [`Csr::from_parts_unchecked`]).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        vals: Vec<S>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), ncols + 1);
+        debug_assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        debug_assert_eq!(row_idx.len(), vals.len());
+        Csc { nrows, ncols, col_ptr, row_idx, vals }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointer array (`len == ncols + 1`).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array.
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[S] {
+        &self.vals
+    }
+
+    /// Row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[usize], &[S]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Iterate over `(row, col, value)` triplets in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&i, &v)| (i, j, v))
+        })
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<S> {
+        let (rows, vals) = self.col(j);
+        rows.binary_search(&i).ok().map(|k| vals[k])
+    }
+
+    /// Convert to CSR — `O(nnz)` counting sort.
+    pub fn to_csr(&self) -> Csr<S> {
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &i in &self.row_idx {
+            row_counts[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let row_ptr = row_counts.clone();
+        let nnz = self.nnz();
+        let mut col_idx = vec![0usize; nnz];
+        let mut vals = vec![S::ZERO; nnz];
+        let mut next = row_counts;
+        for j in 0..self.ncols {
+            let (rows, v) = self.col(j);
+            for (&i, &val) in rows.iter().zip(v) {
+                let dst = next[i];
+                col_idx[dst] = j;
+                vals[dst] = val;
+                next[i] += 1;
+            }
+        }
+        Csr::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, vals)
+    }
+
+    /// `true` if square, lower triangular and every diagonal entry is the
+    /// *first* entry of its column and nonzero — the layout the sync-free
+    /// kernel assumes (`val[col_ptr[i]]` is the diagonal, Algorithm 3).
+    pub fn is_solvable_lower(&self) -> bool {
+        self.nrows == self.ncols
+            && (0..self.ncols).all(|j| {
+                let (rows, vals) = self.col(j);
+                match rows.first() {
+                    Some(&i) => i == j && vals[0] != S::ZERO,
+                    None => false,
+                }
+            })
+    }
+
+    /// Memory footprint of the three arrays in bytes.
+    pub fn bytes(&self) -> usize {
+        self.col_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_idx.len() * std::mem::size_of::<usize>()
+            + self.vals.len() * S::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> Csr<f64> {
+        // [1 0 0]
+        // [2 3 0]
+        // [0 4 5]
+        Csr::try_new(3, 3, vec![0, 1, 3, 5], vec![0, 0, 1, 1, 2], vec![1., 2., 3., 4., 5.])
+            .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_to_csr_roundtrip() {
+        let a = small_csr();
+        assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    #[test]
+    fn csc_columns_are_correct() {
+        let c = small_csr().to_csc();
+        let (rows, vals) = c.col(1);
+        assert_eq!(rows, &[1, 2]);
+        assert_eq!(vals, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn csc_get() {
+        let c = small_csr().to_csc();
+        assert_eq!(c.get(1, 0), Some(2.0));
+        assert_eq!(c.get(0, 1), None);
+    }
+
+    #[test]
+    fn solvable_lower_wants_diag_first_in_column() {
+        let c = small_csr().to_csc();
+        assert!(c.is_solvable_lower());
+    }
+
+    #[test]
+    fn missing_diag_is_not_solvable() {
+        // Column 2 empty.
+        let c = Csc::<f64>::try_new(3, 3, vec![0, 1, 2, 2], vec![0, 1], vec![1., 1.]).unwrap();
+        assert!(!c.is_solvable_lower());
+    }
+
+    #[test]
+    fn try_new_rejects_row_out_of_bounds() {
+        let r = Csc::<f64>::try_new(2, 1, vec![0, 1], vec![7], vec![1.]);
+        assert!(matches!(r, Err(MatrixError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_rows() {
+        let r = Csc::<f64>::try_new(3, 1, vec![0, 2], vec![2, 1], vec![1., 1.]);
+        assert!(matches!(r, Err(MatrixError::UnsortedIndices { lane: 0 })));
+    }
+
+    #[test]
+    fn iter_visits_column_major() {
+        let c = small_csr().to_csc();
+        let triplets: Vec<_> = c.iter().collect();
+        assert_eq!(triplets[0], (0, 0, 1.0));
+        assert_eq!(triplets[1], (1, 0, 2.0));
+        assert_eq!(triplets.len(), 5);
+    }
+
+    #[test]
+    fn col_nnz_counts() {
+        let c = small_csr().to_csc();
+        assert_eq!(c.col_nnz(0), 2);
+        assert_eq!(c.col_nnz(2), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Doubly-compressed sparse row storage.
+//!
+//! Section 3.3 of the paper: "the square blocks may be very sparse, meaning
+//! that a large portion of rows are probably empty. In such case, we use a
+//! method similar to the DCSC format proposed by Buluç and Gilbert and store
+//! the CSR data with a simplified row pointer with an extra array saving the
+//! actual indices. We call this format DCSR."
+//!
+//! Only rows that actually hold entries are represented: `row_ids[k]` is the
+//! original row index of compressed lane `k`, and `row_ptr` has one slot per
+//! *non-empty* row. SpMV kernels over DCSR therefore never touch empty rows,
+//! which is where the scalar-DCSR/vector-DCSR kernels win on hyper-sparse
+//! square blocks (Figure 5(b)).
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// A sparse matrix storing only its non-empty rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsr<S> {
+    nrows: usize,
+    ncols: usize,
+    /// Original indices of the non-empty rows, strictly increasing.
+    row_ids: Vec<usize>,
+    /// Pointer array over compressed lanes: `len == row_ids.len() + 1`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<S>,
+}
+
+impl<S: Scalar> Dcsr<S> {
+    /// Compress a CSR matrix, dropping empty rows from the pointer array.
+    pub fn from_csr(a: &Csr<S>) -> Self {
+        let mut row_ids = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::with_capacity(a.nnz());
+        let mut vals = Vec::with_capacity(a.nnz());
+        for i in 0..a.nrows() {
+            let (cols, v) = a.row(i);
+            if cols.is_empty() {
+                continue;
+            }
+            row_ids.push(i);
+            col_idx.extend_from_slice(cols);
+            vals.extend_from_slice(v);
+            row_ptr.push(col_idx.len());
+        }
+        Dcsr { nrows: a.nrows(), ncols: a.ncols(), row_ids, row_ptr, col_idx, vals }
+    }
+
+    /// Build from parts, validating invariants.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        row_ids: Vec<usize>,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<S>,
+    ) -> Result<Self, MatrixError> {
+        if row_ptr.len() != row_ids.len() + 1 {
+            return Err(MatrixError::MalformedPointer("row_ptr length must be row_ids + 1"));
+        }
+        if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap_or(&0) != col_idx.len() {
+            return Err(MatrixError::MalformedPointer("row_ptr must span 0..=nnz"));
+        }
+        if col_idx.len() != vals.len() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "col_idx vs vals",
+                expected: col_idx.len(),
+                actual: vals.len(),
+            });
+        }
+        for w in row_ids.windows(2) {
+            if w[1] <= w[0] {
+                return Err(MatrixError::MalformedPointer("row_ids must be strictly increasing"));
+            }
+        }
+        if let Some(&last) = row_ids.last() {
+            if last >= nrows {
+                return Err(MatrixError::IndexOutOfBounds {
+                    what: "row_ids",
+                    index: last,
+                    bound: nrows,
+                });
+            }
+        }
+        for (k, w) in row_ptr.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(MatrixError::MalformedPointer("row_ptr must be non-decreasing"));
+            }
+            if w[1] == w[0] {
+                // An empty lane contradicts double compression.
+                return Err(MatrixError::UnsortedIndices { lane: k });
+            }
+        }
+        for &j in &col_idx {
+            if j >= ncols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    what: "col_idx",
+                    index: j,
+                    bound: ncols,
+                });
+            }
+        }
+        Ok(Dcsr { nrows, ncols, row_ids, row_ptr, col_idx, vals })
+    }
+
+    /// Logical number of rows (including empty ones).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of non-empty rows (compressed lanes).
+    pub fn n_lanes(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Original row indices of the compressed lanes.
+    pub fn row_ids(&self) -> &[usize] {
+        &self.row_ids
+    }
+
+    /// Pointer array over compressed lanes.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[S] {
+        &self.vals
+    }
+
+    /// Column indices and values of compressed lane `k` (original row
+    /// `row_ids()[k]`).
+    pub fn lane(&self, k: usize) -> (usize, &[usize], &[S]) {
+        let (lo, hi) = (self.row_ptr[k], self.row_ptr[k + 1]);
+        (self.row_ids[k], &self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Ratio of empty rows to total rows — the paper's `emptyratio` selector
+    /// parameter.
+    pub fn empty_ratio(&self) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        (self.nrows - self.row_ids.len()) as f64 / self.nrows as f64
+    }
+
+    /// Expand back to plain CSR (empty rows restored).
+    pub fn to_csr(&self) -> Csr<S> {
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for k in 0..self.n_lanes() {
+            row_ptr[self.row_ids[k] + 1] = self.row_ptr[k + 1] - self.row_ptr[k];
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_parts_unchecked(
+            self.nrows,
+            self.ncols,
+            row_ptr,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    /// Memory footprint in bytes. For hyper-sparse matrices this is far below
+    /// the CSR footprint because the `nrows + 1` pointer array is replaced by
+    /// two arrays of length `n_lanes`.
+    pub fn bytes(&self) -> usize {
+        (self.row_ids.len() + self.row_ptr.len() + self.col_idx.len())
+            * std::mem::size_of::<usize>()
+            + self.vals.len() * S::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_square() -> Csr<f64> {
+        // 6×6 with rows 1 and 4 non-empty.
+        Csr::try_new(
+            6,
+            6,
+            vec![0, 0, 2, 2, 2, 3, 3],
+            vec![0, 3, 5],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_csr_drops_empty_rows() {
+        let d = sparse_square().to_dcsr();
+        assert_eq!(d.n_lanes(), 2);
+        assert_eq!(d.row_ids(), &[1, 4]);
+        assert_eq!(d.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_ratio_matches() {
+        let d = sparse_square().to_dcsr();
+        assert!((d.empty_ratio() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_to_csr() {
+        let a = sparse_square();
+        assert_eq!(a.to_dcsr().to_csr(), a);
+    }
+
+    #[test]
+    fn lane_access() {
+        let d = sparse_square().to_dcsr();
+        let (row, cols, vals) = d.lane(1);
+        assert_eq!(row, 4);
+        assert_eq!(cols, &[5]);
+        assert_eq!(vals, &[3.0]);
+    }
+
+    #[test]
+    fn dcsr_is_smaller_for_hypersparse() {
+        let a = Csr::<f64>::try_new(
+            1000,
+            1000,
+            {
+                let mut p = vec![0usize; 1001];
+                p[501..].iter_mut().for_each(|x| *x = 1);
+                p
+            },
+            vec![0],
+            vec![1.0],
+        )
+        .unwrap();
+        let d = a.to_dcsr();
+        assert!(d.bytes() < a.bytes() / 10);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_lane() {
+        let r = Dcsr::<f64>::try_new(4, 4, vec![0, 2], vec![0, 1, 1], vec![0], vec![1.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_row_ids() {
+        let r =
+            Dcsr::<f64>::try_new(4, 4, vec![2, 1], vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_rows_matrix() {
+        let a = Csr::<f64>::zero(5, 5);
+        let d = a.to_dcsr();
+        assert_eq!(d.n_lanes(), 0);
+        assert_eq!(d.empty_ratio(), 1.0);
+        assert_eq!(d.to_csr(), a);
+    }
+}

@@ -1,0 +1,595 @@
+//! Deterministic synthetic matrix generators.
+//!
+//! The paper evaluates on 159 SuiteSparse matrices spanning a handful of
+//! structural families; its analysis attributes each result to a structural
+//! feature (number of level sets, parallelism per level, row/column length
+//! skew, empty-row ratio). These generators produce matrices with those
+//! features *directly controllable*, which is what lets the benchmark
+//! harness reproduce the shape of every experiment without the original
+//! dataset:
+//!
+//! | generator | SuiteSparse family it mimics | key features |
+//! |---|---|---|
+//! | [`diagonal`] | trivially parallel triangles | 1 level |
+//! | [`kkt_like`] | `nlpkkt200` (optimisation) | 2 levels, huge parallelism |
+//! | [`hub_power_law`] | `mawi_*`, `FullChip` (network/circuit) | few levels, extreme column-length skew |
+//! | [`layered`] | `kkt_power`, `vas_stokes_4M` | exact level count, tunable parallelism |
+//! | [`banded`] | FEM/structural | bandwidth-bound levels |
+//! | [`grid2d`] | structured grids | wavefront levels |
+//! | [`chain`] | `tmt_sym` | fully serial (n levels) |
+//! | [`random_lower`] | generic irregular | uniform randomness |
+//! | [`rect_random`] | square/rect sub-blocks | controlled `emptyratio` and row skew |
+//! | [`dense_lower`] | the paper's Tables 1–2 analysis | dense traffic counting |
+//!
+//! All triangular generators return CSR lower-triangular matrices with a full
+//! diagonally-dominant diagonal (`d_ii = 1 + Σ|l_ij|`), so every generated
+//! system is well conditioned and solver comparisons are numerically clean.
+//! Every generator is deterministic in its seed.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Finish a lower-triangular matrix: collect off-diagonal triplets, add a
+/// dominant diagonal and convert to CSR.
+fn finish_lower<S: Scalar>(n: usize, offdiag: Vec<(usize, usize)>, seed: u64) -> Csr<S> {
+    let mut r = rng(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut coo = Coo::<S>::with_capacity(n, n, offdiag.len() + n);
+    let mut row_abs = vec![0.0f64; n];
+    for (i, j) in offdiag {
+        debug_assert!(j < i, "off-diagonal entries must be strictly lower");
+        let v = r.gen_range(0.1..1.0);
+        row_abs[i] += v;
+        coo.push(i, j, S::from_f64(v)).expect("generator indices in range");
+    }
+    for (i, &acc) in row_abs.iter().enumerate() {
+        coo.push(i, i, S::from_f64(1.0 + acc)).expect("diagonal in range");
+    }
+    coo.to_csr()
+}
+
+/// Purely diagonal lower-triangular matrix — one level set, perfect
+/// parallelism (the paper's "completely parallel" case).
+pub fn diagonal<S: Scalar>(n: usize, seed: u64) -> Csr<S> {
+    finish_lower(n, Vec::new(), seed)
+}
+
+/// Dense lower triangle (all `j ≤ i` stored). Used by the traffic-formula
+/// experiments (Tables 1–2), which the paper derives for dense cases.
+pub fn dense_lower<S: Scalar>(n: usize, seed: u64) -> Csr<S> {
+    let mut off = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in 0..i {
+            off.push((i, j));
+        }
+    }
+    finish_lower(n, off, seed)
+}
+
+/// Bidiagonal chain: row `i` depends on row `i−1`. Exactly `n` level sets of
+/// size 1 — the `tmt_sym` analogue (parallelism min = avg = max = 1).
+pub fn chain<S: Scalar>(n: usize, seed: u64) -> Csr<S> {
+    let off = (1..n).map(|i| (i, i - 1)).collect();
+    finish_lower(n, off, seed)
+}
+
+/// Banded lower triangle: entries `(i, i−k)` for `k ≤ bandwidth` kept with
+/// probability `fill`. FEM-like structure whose level count tracks `n /
+/// bandwidth`-ish wavefronts.
+pub fn banded<S: Scalar>(n: usize, bandwidth: usize, fill: f64, seed: u64) -> Csr<S> {
+    let mut r = rng(seed);
+    let mut off = Vec::new();
+    for i in 1..n {
+        for k in 1..=bandwidth.min(i) {
+            if r.gen_bool(fill) {
+                off.push((i, i - k));
+            }
+        }
+    }
+    finish_lower(n, off, seed)
+}
+
+/// Lower triangle of the 5-point stencil on an `nx × ny` grid (row-major
+/// numbering): row `(x, y)` depends on `(x−1, y)` and `(x, y−1)`. Level sets
+/// are the anti-diagonal wavefronts: `nx + ny − 1` levels.
+pub fn grid2d<S: Scalar>(nx: usize, ny: usize, seed: u64) -> Csr<S> {
+    let n = nx * ny;
+    let mut off = Vec::with_capacity(2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            if x > 0 {
+                off.push((i, i - 1));
+            }
+            if y > 0 {
+                off.push((i, i - nx));
+            }
+        }
+    }
+    finish_lower(n, off, seed)
+}
+
+/// Uniform random lower triangle: each row `i > 0` gets
+/// `~avg_row_nnz` off-diagonal entries drawn uniformly from `0..i`.
+pub fn random_lower<S: Scalar>(n: usize, avg_row_nnz: f64, seed: u64) -> Csr<S> {
+    let mut r = rng(seed);
+    let mut off = Vec::new();
+    let mut cols = Vec::new();
+    for i in 1..n {
+        let k = sample_count(&mut r, avg_row_nnz).min(i);
+        cols.clear();
+        while cols.len() < k {
+            let j = r.gen_range(0..i);
+            if !cols.contains(&j) {
+                cols.push(j);
+            }
+        }
+        off.extend(cols.iter().map(|&j| (i, j)));
+    }
+    finish_lower(n, off, seed)
+}
+
+/// KKT-like two-level structure (the `nlpkkt200` analogue): the first
+/// `n_top` rows are pure diagonal; every later row depends on `deps` random
+/// columns inside the top block. Exactly 2 level sets, each huge.
+pub fn kkt_like<S: Scalar>(n: usize, n_top: usize, deps: usize, seed: u64) -> Csr<S> {
+    assert!(n_top > 0 && n_top < n, "top block must be a proper prefix");
+    let mut r = rng(seed);
+    let mut off = Vec::new();
+    let mut cols = Vec::new();
+    for i in n_top..n {
+        cols.clear();
+        while cols.len() < deps.min(n_top) {
+            let j = r.gen_range(0..n_top);
+            if !cols.contains(&j) {
+                cols.push(j);
+            }
+        }
+        off.extend(cols.iter().map(|&j| (i, j)));
+    }
+    finish_lower(n, off, seed)
+}
+
+/// Hub-dominated power-law structure (the `mawi`/`FullChip` analogue): a
+/// small set of `n_hubs` early "hub" rows carry almost all dependencies, so
+/// a few *columns* become extremely long (the load-imbalance pathology the
+/// paper's Section 2.2 calls out), while the level count stays small.
+///
+/// `extra_chain` appends a serial chain over the last `extra_chain` rows to
+/// push the level count up without adding parallel work (FullChip has 324
+/// levels with min parallelism 1).
+pub fn hub_power_law<S: Scalar>(
+    n: usize,
+    n_hubs: usize,
+    links_per_row: usize,
+    extra_chain: usize,
+    seed: u64,
+) -> Csr<S> {
+    assert!(n_hubs > 0 && n_hubs < n);
+    let mut r = rng(seed);
+    let mut off = Vec::new();
+    let mut cols = Vec::new();
+    let chain_start = n - extra_chain.min(n.saturating_sub(n_hubs + 1));
+    for i in n_hubs..n {
+        cols.clear();
+        // Zipf-ish hub choice: hub h with weight 1/(h+1).
+        let k = links_per_row.min(n_hubs);
+        while cols.len() < k {
+            let u: f64 = r.gen_range(0.0f64..1.0);
+            // Inverse-CDF of the 1/(h+1) weights over 0..n_hubs.
+            let h = (((n_hubs as f64 + 1.0).powf(u)) - 1.0).floor() as usize;
+            let h = h.min(n_hubs - 1);
+            if !cols.contains(&h) {
+                cols.push(h);
+            }
+        }
+        off.extend(cols.iter().map(|&j| (i, j)));
+        if i > chain_start && i >= 1 {
+            off.push((i, i - 1));
+        }
+    }
+    finish_lower(n, off, seed)
+}
+
+/// Shape of the per-layer sizes used by [`layered`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerShape {
+    /// All layers the same size.
+    Uniform,
+    /// Layer sizes decay geometrically by the given ratio (< 1.0 front-loads
+    /// parallelism, > 1.0 back-loads it).
+    Geometric(f64),
+}
+
+/// DAG with an exact number of level sets (the workhorse generator for
+/// `kkt_power`/`vas_stokes` analogues and for the Figure 5 selector sweep).
+///
+/// Rows are partitioned into `nlayers` layers; each row in layer `l > 0`
+/// receives one dependency pinned to layer `l−1` (so the level count is
+/// exactly `nlayers`) plus `avg_extra_deps` further dependencies drawn
+/// uniformly from all earlier rows.
+pub fn layered<S: Scalar>(
+    n: usize,
+    nlayers: usize,
+    avg_extra_deps: f64,
+    shape: LayerShape,
+    seed: u64,
+) -> Csr<S> {
+    assert!(nlayers >= 1 && nlayers <= n, "need 1 <= nlayers <= n");
+    let sizes = layer_sizes(n, nlayers, shape);
+    let mut starts = Vec::with_capacity(nlayers + 1);
+    starts.push(0usize);
+    for &s in &sizes {
+        starts.push(starts.last().unwrap() + s);
+    }
+    let mut r = rng(seed);
+    let mut off = Vec::new();
+    for l in 1..nlayers {
+        let (prev_lo, prev_hi) = (starts[l - 1], starts[l]);
+        for i in starts[l]..starts[l + 1] {
+            // Pin the level.
+            off.push((i, r.gen_range(prev_lo..prev_hi)));
+            let extra = sample_count(&mut r, avg_extra_deps);
+            for _ in 0..extra {
+                let j = r.gen_range(0..starts[l]);
+                off.push((i, j));
+            }
+        }
+    }
+    // Duplicate (i, j) pairs are merged by the COO→CSR conversion; values sum
+    // but diagonal dominance keeps the system solvable.
+    finish_lower_dedup(n, off, seed)
+}
+
+/// Rectangular (or square) random matrix with controlled empty-row ratio and
+/// row-length skew. `skew = 0` gives uniform row lengths; larger values give
+/// a heavier tail (`max_row ≈ avg · e^skew`). Used for SpMV kernel tests and
+/// the Figure 5(b) sweep.
+pub fn rect_random<S: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    avg_row_nnz: f64,
+    empty_ratio: f64,
+    skew: f64,
+    seed: u64,
+) -> Csr<S> {
+    assert!((0.0..=1.0).contains(&empty_ratio));
+    let mut r = rng(seed);
+    let mut coo = Coo::<S>::new(nrows, ncols);
+    if ncols == 0 || nrows == 0 {
+        return coo.to_csr();
+    }
+    let filled_target = ((1.0 - empty_ratio) * nrows as f64).round() as usize;
+    // Choose which rows are non-empty deterministically spread out.
+    let mut rows: Vec<usize> = (0..nrows).collect();
+    rows.shuffle(&mut r);
+    let filled = &rows[..filled_target.min(nrows)];
+    // Compensate average so overall nnz/nrows matches `avg_row_nnz`.
+    let per_filled = if filled.is_empty() {
+        0.0
+    } else {
+        avg_row_nnz * nrows as f64 / filled.len() as f64
+    };
+    let mut seen = Vec::new();
+    for &i in filled {
+        let boost = if skew > 0.0 && r.gen_bool(0.05) { skew.exp() } else { 1.0 };
+        let k = sample_count(&mut r, per_filled * boost).clamp(1, ncols);
+        seen.clear();
+        while seen.len() < k {
+            let j = r.gen_range(0..ncols);
+            if !seen.contains(&j) {
+                seen.push(j);
+            }
+        }
+        for &j in &seen {
+            coo.push(i, j, S::from_f64(r.gen_range(0.1..1.0))).expect("in range");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Add a few extremely long rows to an existing lower-triangular matrix —
+/// the power-law *in-degree* pathology of circuit matrices (`FullChip`,
+/// `vas_stokes_4M`), which serializes the sync-free method's atomic
+/// accumulation into those rows' `left_sum`.
+///
+/// `n_heavy` rows are chosen from the last quarter of the index range (so
+/// plenty of columns exist below them) and receive ≈`degree` uniformly
+/// random dependencies each. The diagonal is re-dominated afterwards so the
+/// system stays well conditioned.
+pub fn with_heavy_rows<S: Scalar>(
+    l: &Csr<S>,
+    n_heavy: usize,
+    degree: usize,
+    seed: u64,
+) -> Csr<S> {
+    let n = l.nrows();
+    if n < 8 || n_heavy == 0 || degree == 0 {
+        return l.clone();
+    }
+    let mut r = rng(seed ^ 0x5bd1_e995);
+    let mut coo = Coo::<S>::with_capacity(n, n, l.nnz() + n_heavy * degree);
+    let mut row_abs = vec![0.0f64; n];
+    for (i, j, v) in l.iter() {
+        if i != j {
+            coo.push(i, j, v).expect("existing entries in range");
+            row_abs[i] += v.abs().to_f64();
+        }
+    }
+    // Pick distinct heavy rows in the last quarter.
+    let lo = n - n / 4;
+    let mut heavy: Vec<usize> = Vec::with_capacity(n_heavy);
+    while heavy.len() < n_heavy.min(n / 4) {
+        let i = r.gen_range(lo..n);
+        if !heavy.contains(&i) {
+            heavy.push(i);
+        }
+    }
+    for &i in &heavy {
+        let d = degree.min(i);
+        // Dense sampling without replacement via a shuffled stride walk.
+        let stride = (i / d).max(1);
+        let offset = r.gen_range(0..stride);
+        let mut added = 0usize;
+        let mut j = offset;
+        while j < i && added < d {
+            let v = r.gen_range(0.01..0.1);
+            // Duplicates with existing entries are merged by the CSR build.
+            coo.push(i, j, S::from_f64(v)).expect("heavy entry in range");
+            row_abs[i] += v;
+            added += 1;
+            j += stride;
+        }
+    }
+    for (i, &acc) in row_abs.iter().enumerate() {
+        coo.push(i, i, S::from_f64(1.0 + acc)).expect("diagonal in range");
+    }
+    coo.to_csr()
+}
+
+/// Split `n` into `nlayers` positive sizes with the requested shape.
+fn layer_sizes(n: usize, nlayers: usize, shape: LayerShape) -> Vec<usize> {
+    match shape {
+        LayerShape::Uniform => {
+            let base = n / nlayers;
+            let rem = n % nlayers;
+            (0..nlayers).map(|l| base + usize::from(l < rem)).collect()
+        }
+        LayerShape::Geometric(ratio) => {
+            assert!(ratio > 0.0, "geometric ratio must be positive");
+            let mut weights: Vec<f64> = Vec::with_capacity(nlayers);
+            let mut w = 1.0;
+            for _ in 0..nlayers {
+                weights.push(w);
+                w *= ratio;
+            }
+            let total: f64 = weights.iter().sum();
+            let mut sizes: Vec<usize> = weights
+                .iter()
+                .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+                .collect();
+            // Fix up rounding drift while keeping every layer non-empty.
+            let mut assigned: usize = sizes.iter().sum();
+            let mut l = 0usize;
+            while assigned < n {
+                sizes[l % nlayers] += 1;
+                assigned += 1;
+                l += 1;
+            }
+            while assigned > n {
+                let idx = sizes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .expect("nlayers >= 1");
+                assert!(sizes[idx] > 1, "cannot shrink below one row per layer");
+                sizes[idx] -= 1;
+                assigned -= 1;
+            }
+            sizes
+        }
+    }
+}
+
+/// Poisson-like small-count sampler around `avg` (geometric tail, cheap and
+/// deterministic enough for structure generation).
+fn sample_count<R: Rng>(r: &mut R, avg: f64) -> usize {
+    if avg <= 0.0 {
+        return 0;
+    }
+    let base = avg.floor() as usize;
+    let frac = avg - base as f64;
+    base + usize::from(r.gen_bool(frac.clamp(0.0, 1.0)))
+}
+
+/// Like [`finish_lower`] but tolerant of duplicate `(i, j)` pairs.
+fn finish_lower_dedup<S: Scalar>(n: usize, mut offdiag: Vec<(usize, usize)>, seed: u64) -> Csr<S> {
+    offdiag.sort_unstable();
+    offdiag.dedup();
+    finish_lower(n, offdiag, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelset::LevelSets;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn diagonal_has_one_level() {
+        let l = diagonal::<f64>(100, 1);
+        assert!(l.is_solvable_lower());
+        assert_eq!(LevelSets::analyse(&l).unwrap().nlevels(), 1);
+    }
+
+    #[test]
+    fn chain_has_n_levels() {
+        let l = chain::<f64>(50, 2);
+        assert!(l.is_solvable_lower());
+        assert_eq!(LevelSets::analyse(&l).unwrap().nlevels(), 50);
+    }
+
+    #[test]
+    fn dense_lower_is_dense() {
+        let l = dense_lower::<f64>(10, 3);
+        assert_eq!(l.nnz(), 10 * 11 / 2);
+        assert!(l.is_solvable_lower());
+        assert_eq!(LevelSets::analyse(&l).unwrap().nlevels(), 10);
+    }
+
+    #[test]
+    fn grid2d_wavefront_levels() {
+        let l = grid2d::<f64>(7, 5, 4);
+        assert!(l.is_solvable_lower());
+        assert_eq!(LevelSets::analyse(&l).unwrap().nlevels(), 7 + 5 - 1);
+    }
+
+    #[test]
+    fn kkt_like_has_two_levels() {
+        let l = kkt_like::<f64>(1000, 400, 3, 5);
+        assert!(l.is_solvable_lower());
+        let ls = LevelSets::analyse(&l).unwrap();
+        assert_eq!(ls.nlevels(), 2);
+        assert_eq!(ls.level_size(0), 400);
+        assert_eq!(ls.level_size(1), 600);
+    }
+
+    #[test]
+    fn layered_hits_exact_level_count() {
+        for &nl in &[1usize, 2, 7, 33] {
+            let l = layered::<f64>(600, nl, 1.5, LayerShape::Uniform, 6);
+            assert!(l.is_solvable_lower());
+            assert_eq!(LevelSets::analyse(&l).unwrap().nlevels(), nl, "nlayers={nl}");
+        }
+    }
+
+    #[test]
+    fn layered_geometric_shape() {
+        let l = layered::<f64>(1000, 10, 0.5, LayerShape::Geometric(0.7), 7);
+        assert!(l.is_solvable_lower());
+        let ls = LevelSets::analyse(&l).unwrap();
+        assert_eq!(ls.nlevels(), 10);
+        // Front-loaded: first layer larger than last.
+        assert!(ls.level_size(0) > ls.level_size(9));
+    }
+
+    #[test]
+    fn hub_power_law_has_long_columns() {
+        let l = hub_power_law::<f64>(2000, 10, 2, 0, 8);
+        assert!(l.is_solvable_lower());
+        let csc = l.to_csc();
+        let max_col = (0..2000).map(|j| csc.col_nnz(j)).max().unwrap();
+        // Hub columns collect a large share of the ~4000 links.
+        assert!(max_col > 400, "max column length {max_col} not hub-like");
+        let ls = LevelSets::analyse(&l).unwrap();
+        assert!(ls.nlevels() <= 3, "hubs only: {} levels", ls.nlevels());
+    }
+
+    #[test]
+    fn hub_power_law_chain_extends_levels() {
+        let l = hub_power_law::<f64>(500, 8, 1, 100, 9);
+        let ls = LevelSets::analyse(&l).unwrap();
+        assert!(ls.nlevels() > 50, "chain tail should add levels, got {}", ls.nlevels());
+    }
+
+    #[test]
+    fn random_lower_avg_degree() {
+        let l = random_lower::<f64>(2000, 4.0, 10);
+        assert!(l.is_solvable_lower());
+        let s = MatrixStats::of_matrix(&l);
+        // avg includes the diagonal: expect ≈ 5.
+        assert!((s.nnz_per_row - 5.0).abs() < 0.5, "nnz/row = {}", s.nnz_per_row);
+    }
+
+    #[test]
+    fn rect_random_controls_empty_ratio() {
+        let a = rect_random::<f64>(1000, 500, 2.0, 0.6, 0.0, 11);
+        let s = MatrixStats::of_matrix(&a);
+        assert!((s.empty_ratio - 0.6).abs() < 0.02, "emptyratio = {}", s.empty_ratio);
+    }
+
+    #[test]
+    fn rect_random_skew_creates_long_rows() {
+        let uniform = rect_random::<f64>(2000, 2000, 4.0, 0.0, 0.0, 12);
+        let skewed = rect_random::<f64>(2000, 2000, 4.0, 0.0, 3.0, 12);
+        let m_u = MatrixStats::of_matrix(&uniform).max_row_nnz;
+        let m_s = MatrixStats::of_matrix(&skewed).max_row_nnz;
+        assert!(m_s > m_u, "skewed max row {m_s} should exceed uniform {m_u}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_lower::<f64>(300, 3.0, 42), random_lower::<f64>(300, 3.0, 42));
+        assert_eq!(
+            layered::<f64>(300, 5, 1.0, LayerShape::Uniform, 42),
+            layered::<f64>(300, 5, 1.0, LayerShape::Uniform, 42)
+        );
+        assert_ne!(random_lower::<f64>(300, 3.0, 1), random_lower::<f64>(300, 3.0, 2));
+    }
+
+    #[test]
+    fn heavy_rows_inflate_max_row() {
+        let base = layered::<f64>(2000, 20, 2.0, LayerShape::Uniform, 15);
+        let heavy = with_heavy_rows(&base, 2, 800, 15);
+        assert!(heavy.is_solvable_lower());
+        let base_max = (0..2000).map(|i| base.row_nnz(i)).max().unwrap();
+        let heavy_max = (0..2000).map(|i| heavy.row_nnz(i)).max().unwrap();
+        assert!(heavy_max > 500, "heavy max {heavy_max}");
+        assert!(heavy_max > 5 * base_max, "{heavy_max} vs {base_max}");
+        // Still diagonally dominant.
+        for i in 0..2000 {
+            let (cols, vals) = heavy.row(i);
+            let mut off = 0.0;
+            let mut diag = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i} lost dominance");
+        }
+    }
+
+    #[test]
+    fn heavy_rows_noop_cases() {
+        let base = chain::<f64>(100, 16);
+        assert_eq!(with_heavy_rows(&base, 0, 50, 1), base);
+        assert_eq!(with_heavy_rows(&base, 2, 0, 1), base);
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let l = banded::<f64>(200, 5, 0.8, 13);
+        assert!(l.is_solvable_lower());
+        for (i, j, _) in l.iter() {
+            assert!(i - j <= 5);
+        }
+    }
+
+    #[test]
+    fn diagonal_dominance_holds() {
+        let l = random_lower::<f64>(500, 6.0, 14);
+        for i in 0..500 {
+            let (cols, vals) = l.row(i);
+            let mut off = 0.0;
+            let mut diag = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i} not diagonally dominant");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Sparse-matrix substrate for the recblock SpTRSV suite.
+//!
+//! This crate provides everything the block algorithms of the ICPP 2020 paper
+//! *"Efficient Block Algorithms for Parallel Sparse Triangular Solve"* need
+//! from a sparse-matrix library:
+//!
+//! * the storage formats the paper uses — [`Csr`], [`Csc`], [`Dcsr`] (the
+//!   paper's doubly-compressed row format for hyper-sparse square blocks,
+//!   after Buluç & Gilbert's DCSC) and a builder-friendly [`Coo`];
+//! * conversions and transposition between them;
+//! * triangular extraction (`lower triangular part plus a diagonal to avoid
+//!   singular`, exactly the paper's dataset preparation rule);
+//! * symmetric permutations, used by the recursive level-set reordering;
+//! * [`levelset`] analysis (the classic Anderson/Saad–Saltz construction) and
+//!   per-matrix [`stats`] (`nnz/row`, `nlevels`, parallelism profile,
+//!   `emptyratio`) that drive the paper's adaptive kernel selector;
+//! * deterministic synthetic [`generate`]-ors covering the structural
+//!   families of the paper's 159-matrix SuiteSparse dataset;
+//! * Matrix Market I/O so real SuiteSparse files can be dropped in.
+//!
+//! Everything is generic over [`Scalar`] (`f32`/`f64`), including the atomic
+//! accumulation support that the sync-free solver needs.
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dcsr;
+pub mod error;
+pub mod generate;
+pub mod levelset;
+pub mod mm;
+pub mod permute;
+pub mod scalar;
+pub mod stats;
+pub mod triangular;
+pub mod vector;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dcsr::Dcsr;
+pub use error::MatrixError;
+pub use levelset::LevelSets;
+pub use scalar::{AtomicF32, AtomicF64, Scalar, ScalarAtomic};
+pub use stats::MatrixStats;
+pub use triangular::TriangularKind;

@@ -1,0 +1,223 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! Enough of the format to load SuiteSparse matrices the way the paper does:
+//! `matrix coordinate real|integer|pattern general|symmetric`. Pattern
+//! entries get value 1; symmetric files are expanded to both triangles.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Read a Matrix Market file from any reader.
+pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, MatrixError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Parse("empty file".into()))?
+        .map_err(MatrixError::from)?;
+    let toks: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(MatrixError::Parse(format!("bad header: {header}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(MatrixError::Parse(format!("unsupported format: {}", toks[2])));
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(MatrixError::Parse(format!("unsupported field: {other}"))),
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => return Err(MatrixError::Parse(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(MatrixError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MatrixError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| MatrixError::Parse(format!("size: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::<S>::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(MatrixError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let i: usize = parts
+            .next()
+            .ok_or_else(|| MatrixError::Parse("missing row".into()))?
+            .parse()
+            .map_err(|e| MatrixError::Parse(format!("row: {e}")))?;
+        let j: usize = parts
+            .next()
+            .ok_or_else(|| MatrixError::Parse("missing col".into()))?
+            .parse()
+            .map_err(|e| MatrixError::Parse(format!("col: {e}")))?;
+        if i == 0 || j == 0 {
+            return Err(MatrixError::Parse("matrix market indices are 1-based".into()));
+        }
+        let v = match field {
+            Field::Pattern => S::ONE,
+            Field::Real | Field::Integer => {
+                let raw = parts
+                    .next()
+                    .ok_or_else(|| MatrixError::Parse("missing value".into()))?;
+                S::from_f64(
+                    raw.parse::<f64>().map_err(|e| MatrixError::Parse(format!("value: {e}")))?,
+                )
+            }
+        };
+        coo.push(i - 1, j - 1, v)?;
+        if symmetry == Symmetry::Symmetric && i != j {
+            coo.push(j - 1, i - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Parse(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<S: Scalar, P: AsRef<Path>>(path: P) -> Result<Csr<S>, MatrixError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write a matrix in `coordinate real general` form.
+pub fn write_matrix_market<S: Scalar, W: Write>(a: &Csr<S>, writer: W) -> Result<(), MatrixError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by recblock-matrix")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {:e}", i + 1, j + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<S: Scalar, P: AsRef<Path>>(
+    a: &Csr<S>,
+    path: P,
+) -> Result<(), MatrixError> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(a, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 2.5\n3 2 -1.0\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.get(0, 0), Some(2.5));
+        assert_eq!(a.get(2, 1), Some(-1.0));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 1 5.0\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), Some(5.0));
+        assert_eq!(a.get(1, 0), Some(5.0));
+    }
+
+    #[test]
+    fn parse_pattern_gets_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn reject_bad_header() {
+        let text = "%%NotMatrixMarket nope\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reject_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reject_zero_based_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = crate::generate::random_lower::<f64>(50, 3.0, 77);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: Csr<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.nnz(), b.nnz());
+        for ((i1, j1, v1), (i2, j2, v2)) in a.iter().zip(b.iter()) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert!((v1 - v2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = crate::generate::chain::<f64>(10, 3);
+        let dir = std::env::temp_dir().join("recblock_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.mtx");
+        write_matrix_market_file(&a, &path).unwrap();
+        let b: Csr<f64> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a.nnz(), b.nnz());
+        std::fs::remove_file(&path).ok();
+    }
+}

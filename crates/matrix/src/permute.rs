@@ -1,0 +1,242 @@
+//! Symmetric permutations `B = P A Pᵀ`.
+//!
+//! The improved recursive block data structure (Section 3.3 of the paper)
+//! reorders "the components, i.e., both rows and columns, of any triangular
+//! matrix according to its level-set order". That is a symmetric permutation,
+//! implemented here together with the vector scatter/gather needed to map
+//! right-hand sides and solutions between orderings.
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// A permutation of `0..n`, stored as `perm[new_index] = old_index`.
+///
+/// Applying it to a matrix produces `B[i][j] = A[perm[i]][perm[j]]`; applying
+/// it to a vector produces `y[i] = x[perm[i]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>, // forward[new] = old
+    inverse: Vec<usize>, // inverse[old] = new
+}
+
+impl Permutation {
+    /// Build from `perm[new] = old`, validating bijectivity.
+    pub fn from_forward(forward: Vec<usize>) -> Result<Self, MatrixError> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (new, &old) in forward.iter().enumerate() {
+            if old >= n {
+                return Err(MatrixError::InvalidPermutation("index out of range"));
+            }
+            if inverse[old] != usize::MAX {
+                return Err(MatrixError::InvalidPermutation("duplicate index"));
+            }
+            inverse[old] = new;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation { forward: (0..n).collect(), inverse: (0..n).collect() }
+    }
+
+    /// Length of the permuted index range.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// `perm[new] = old` mapping.
+    pub fn forward(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// `inv[old] = new` mapping.
+    pub fn inverse(&self) -> &[usize] {
+        &self.inverse
+    }
+
+    /// Old index at new position `new`.
+    pub fn old_of(&self, new: usize) -> usize {
+        self.forward[new]
+    }
+
+    /// New position of old index `old`.
+    pub fn new_of(&self, old: usize) -> usize {
+        self.inverse[old]
+    }
+
+    /// Compose with another permutation applied *after* this one on the new
+    /// index space: `result.old_of(i) = self.old_of(next.old_of(i))`.
+    pub fn then(&self, next: &Permutation) -> Permutation {
+        debug_assert_eq!(self.len(), next.len());
+        let forward: Vec<usize> = next.forward.iter().map(|&mid| self.forward[mid]).collect();
+        Permutation::from_forward(forward).expect("composition of bijections is a bijection")
+    }
+
+    /// Compose with a permutation of a sub-range `range` of the new index
+    /// space (identity elsewhere). Used by the recursive reordering, which
+    /// reorders the two triangular halves independently.
+    pub fn then_local(&self, start: usize, local: &Permutation) -> Permutation {
+        let mut forward = self.forward.clone();
+        for (k, &l) in local.forward.iter().enumerate() {
+            forward[start + k] = self.forward[start + l];
+        }
+        Permutation::from_forward(forward).expect("local composition preserves bijectivity")
+    }
+
+    /// Gather a vector into the new ordering: `out[new] = x[old]`.
+    pub fn gather<S: Scalar>(&self, x: &[S]) -> Vec<S> {
+        self.forward.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Scatter a vector back to the old ordering: `out[old] = y[new]`.
+    pub fn scatter<S: Scalar>(&self, y: &[S]) -> Vec<S> {
+        let mut out = vec![S::ZERO; y.len()];
+        for (new, &old) in self.forward.iter().enumerate() {
+            out[old] = y[new];
+        }
+        out
+    }
+}
+
+/// Symmetric permutation of a square CSR matrix: `B = P A Pᵀ`, i.e.
+/// `B[new_i][new_j] = A[perm[new_i]][perm[new_j]]`, with rows re-sorted.
+pub fn permute_symmetric<S: Scalar>(
+    a: &Csr<S>,
+    p: &Permutation,
+) -> Result<Csr<S>, MatrixError> {
+    if a.nrows() != a.ncols() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "symmetric permutation (matrix must be square)",
+            expected: a.nrows(),
+            actual: a.ncols(),
+        });
+    }
+    if p.len() != a.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "permutation length",
+            expected: a.nrows(),
+            actual: p.len(),
+        });
+    }
+    let n = a.nrows();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(a.nnz());
+    let mut vals = Vec::with_capacity(a.nnz());
+    let mut scratch: Vec<(usize, S)> = Vec::new();
+    for new_i in 0..n {
+        let old_i = p.old_of(new_i);
+        let (cols, v) = a.row(old_i);
+        scratch.clear();
+        scratch.extend(cols.iter().zip(v).map(|(&old_j, &val)| (p.new_of(old_j), val)));
+        scratch.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, val) in &scratch {
+            col_idx.push(j);
+            vals.push(val);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let a = Csr::<f64>::identity(4);
+        let p = Permutation::identity(4);
+        assert_eq!(permute_symmetric(&a, &p).unwrap(), a);
+    }
+
+    #[test]
+    fn from_forward_rejects_duplicates() {
+        assert!(Permutation::from_forward(vec![0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn from_forward_rejects_out_of_range() {
+        assert!(Permutation::from_forward(vec![0, 5]).is_err());
+    }
+
+    #[test]
+    fn forward_inverse_consistency() {
+        let p = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+        for new in 0..3 {
+            assert_eq!(p.new_of(p.old_of(new)), new);
+        }
+        for old in 0..3 {
+            assert_eq!(p.old_of(p.new_of(old)), old);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let p = Permutation::from_forward(vec![2, 0, 3, 1]).unwrap();
+        let x = vec![10.0, 11.0, 12.0, 13.0];
+        let y = p.gather(&x);
+        assert_eq!(y, vec![12.0, 10.0, 13.0, 11.0]);
+        assert_eq!(p.scatter(&y), x);
+    }
+
+    #[test]
+    fn symmetric_permutation_moves_entries() {
+        // A = [[1,0],[5,2]]; swap rows/cols.
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 5., 2.])
+            .unwrap();
+        let p = Permutation::from_forward(vec![1, 0]).unwrap();
+        let b = permute_symmetric(&a, &p).unwrap();
+        // B[0][0] = A[1][1] = 2, B[0][1] = A[1][0] = 5, B[1][1] = A[0][0] = 1.
+        assert_eq!(b.get(0, 0), Some(2.0));
+        assert_eq!(b.get(0, 1), Some(5.0));
+        assert_eq!(b.get(1, 1), Some(1.0));
+        assert_eq!(b.get(1, 0), None);
+    }
+
+    #[test]
+    fn permutation_composition() {
+        let p = Permutation::from_forward(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_forward(vec![2, 1, 0]).unwrap();
+        let r = p.then(&q);
+        for i in 0..3 {
+            assert_eq!(r.old_of(i), p.old_of(q.old_of(i)));
+        }
+    }
+
+    #[test]
+    fn local_composition_touches_only_range() {
+        let p = Permutation::identity(5);
+        let local = Permutation::from_forward(vec![1, 0]).unwrap();
+        let r = p.then_local(2, &local);
+        assert_eq!(r.forward(), &[0, 1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn permute_preserves_solution_correspondence() {
+        // If B = P A Pᵀ and y solves B y = P b, then x = Pᵀ y solves A x = b.
+        let a = Csr::<f64>::try_new(
+            3,
+            3,
+            vec![0, 1, 3, 5],
+            vec![0, 0, 1, 1, 2],
+            vec![2., 1., 4., 3., 5.],
+        )
+        .unwrap();
+        let p = Permutation::from_forward(vec![0, 2, 1]).unwrap();
+        // Pick x, compute b = A x; then check B (P x) == P b.
+        let x = vec![1.0, 2.0, 3.0];
+        let b = a.spmv_dense(&x).unwrap();
+        let bp = permute_symmetric(&a, &p).unwrap();
+        let bx = bp.spmv_dense(&p.gather(&x)).unwrap();
+        assert_eq!(bx, p.gather(&b));
+    }
+}

@@ -1,0 +1,257 @@
+//! Floating-point scalar abstraction (`f32`/`f64`) with atomic accumulation.
+//!
+//! The sync-free SpTRSV kernel (Algorithm 3 of the paper) accumulates partial
+//! sums into `left_sum` with atomic additions. CUDA provides `atomicAdd` for
+//! both precisions; on the CPU we reproduce it with a compare-and-swap loop
+//! over the bit representation, exposed through [`ScalarAtomic`].
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Atomic cell holding a floating-point value.
+///
+/// `load`/`store` use acquire/release ordering so that a value published by
+/// one solver thread is visible to the busy-waiting consumer, mirroring the
+/// GPU memory-fence semantics the sync-free algorithm relies on.
+pub trait ScalarAtomic: Send + Sync {
+    /// The scalar type stored in the cell.
+    type Value: Copy;
+
+    /// Create a cell holding `v`.
+    fn new(v: Self::Value) -> Self;
+    /// Acquire-load the current value.
+    fn load(&self) -> Self::Value;
+    /// Release-store `v`.
+    fn store(&self, v: Self::Value);
+    /// Atomically add `v` to the cell (CAS loop — the CPU analogue of CUDA
+    /// `atomicAdd` on floats).
+    fn fetch_add(&self, v: Self::Value);
+}
+
+/// Atomic `f32` built on [`AtomicU32`].
+#[derive(Debug, Default)]
+pub struct AtomicF32(AtomicU32);
+
+/// Atomic `f64` built on [`AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl ScalarAtomic for AtomicF32 {
+    type Value = f32;
+
+    fn new(v: f32) -> Self {
+        AtomicF32(AtomicU32::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Release);
+    }
+
+    fn fetch_add(&self, v: f32) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f32::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl ScalarAtomic for AtomicF64 {
+    type Value = f64;
+
+    fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Release);
+    }
+
+    fn fetch_add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Floating-point element type of all matrices and vectors in the suite.
+///
+/// Implemented for `f32` and `f64`. The paper evaluates both precisions
+/// (its Figure 7); keeping every kernel generic over `Scalar` lets a single
+/// code path serve both.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes — the GPU cost model charges memory
+    /// traffic per element, which is what makes the double/single precision
+    /// ratio experiment (Figure 7) meaningful.
+    const BYTES: usize;
+    /// Short name used in reports ("f32"/"f64").
+    const NAME: &'static str;
+
+    /// Atomic cell type for this scalar.
+    type Atomic: ScalarAtomic<Value = Self>;
+
+    /// Lossy conversion from `f64` (used by generators and test fixtures).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by norms and reports).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `true` if the value is finite (not NaN/±inf).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    type Atomic = AtomicF32;
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const NAME: &'static str = "f64";
+
+    type Atomic = AtomicF64;
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomic_f64_roundtrip() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+    }
+
+    #[test]
+    fn atomic_f32_roundtrip() {
+        let a = AtomicF32::new(0.5);
+        assert_eq!(a.load(), 0.5);
+        a.store(3.75);
+        assert_eq!(a.load(), 3.75);
+    }
+
+    #[test]
+    fn atomic_fetch_add_accumulates() {
+        let a = AtomicF64::new(0.0);
+        for _ in 0..100 {
+            a.fetch_add(0.25);
+        }
+        assert_eq!(a.load(), 25.0);
+    }
+
+    #[test]
+    fn atomic_fetch_add_is_thread_safe() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn scalar_constants() {
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f32 as Scalar>::ONE, 1.0);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(2.5f64.to_f64(), 2.5);
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert!(!(f64::NAN).is_finite());
+        assert!(1.0f32.is_finite());
+    }
+}

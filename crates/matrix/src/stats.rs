@@ -1,0 +1,116 @@
+//! Per-matrix structural statistics.
+//!
+//! These are exactly the features the paper's adaptive kernel selector keys
+//! on: `nnz/row` and `nlevels` for SpTRSV kernels (Figure 5(a)), `nnz/row`
+//! and `emptyratio` for SpMV kernels (Figure 5(b)), plus the parallelism
+//! profile reported in Table 4.
+
+use crate::csr::Csr;
+use crate::levelset::LevelSets;
+use crate::scalar::Scalar;
+
+/// Structural statistics of a sparse matrix (triangular or rectangular).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+    /// Average row length (`nnz / nrows`), the paper's `nnz/row`.
+    pub nnz_per_row: f64,
+    /// Longest row.
+    pub max_row_nnz: usize,
+    /// Number of rows with no stored entries.
+    pub empty_rows: usize,
+    /// `empty_rows / nrows`, the paper's `emptyratio`.
+    pub empty_ratio: f64,
+    /// Number of level sets (only meaningful for triangular matrices;
+    /// `None` for rectangular inputs).
+    pub nlevels: Option<usize>,
+    /// (min, avg, max) components per level, the paper's "Parallelism".
+    pub parallelism: Option<(usize, f64, usize)>,
+}
+
+impl MatrixStats {
+    /// Statistics of a rectangular/square matrix (no level analysis).
+    pub fn of_matrix<S: Scalar>(a: &Csr<S>) -> Self {
+        let nrows = a.nrows();
+        let nnz = a.nnz();
+        let mut max_row_nnz = 0usize;
+        let mut empty_rows = 0usize;
+        for i in 0..nrows {
+            let r = a.row_nnz(i);
+            max_row_nnz = max_row_nnz.max(r);
+            if r == 0 {
+                empty_rows += 1;
+            }
+        }
+        MatrixStats {
+            nrows,
+            ncols: a.ncols(),
+            nnz,
+            nnz_per_row: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            max_row_nnz,
+            empty_rows,
+            empty_ratio: if nrows == 0 { 0.0 } else { empty_rows as f64 / nrows as f64 },
+            nlevels: None,
+            parallelism: None,
+        }
+    }
+
+    /// Statistics of a solvable lower-triangular matrix, including the level
+    /// decomposition.
+    pub fn of_lower_triangular<S: Scalar>(l: &Csr<S>, levels: &LevelSets) -> Self {
+        let mut s = Self::of_matrix(l);
+        s.nlevels = Some(levels.nlevels());
+        s.parallelism = Some(levels.parallelism());
+        s
+    }
+
+    /// Convenience: analyse levels and compute statistics in one call.
+    pub fn analyse_lower<S: Scalar>(l: &Csr<S>) -> Self {
+        let levels = LevelSets::analyse_unchecked(l);
+        Self::of_lower_triangular(l, &levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn rectangular_stats() {
+        let mut coo = Coo::<f64>::new(4, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(2, 2, 1.0).unwrap();
+        let a = coo.to_csr();
+        let s = MatrixStats::of_matrix(&a);
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.max_row_nnz, 2);
+        assert_eq!(s.empty_rows, 2);
+        assert!((s.empty_ratio - 0.5).abs() < 1e-12);
+        assert!((s.nnz_per_row - 0.75).abs() < 1e-12);
+        assert_eq!(s.nlevels, None);
+    }
+
+    #[test]
+    fn triangular_stats_include_levels() {
+        let l = Csr::<f64>::identity(6);
+        let s = MatrixStats::analyse_lower(&l);
+        assert_eq!(s.nlevels, Some(1));
+        assert_eq!(s.parallelism, Some((6, 6.0, 6)));
+        assert_eq!(s.empty_rows, 0);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let a = Csr::<f64>::zero(0, 0);
+        let s = MatrixStats::of_matrix(&a);
+        assert_eq!(s.nnz_per_row, 0.0);
+        assert_eq!(s.empty_ratio, 0.0);
+    }
+}

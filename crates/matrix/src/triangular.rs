@@ -1,0 +1,203 @@
+//! Triangular extraction.
+//!
+//! Section 4.1 of the paper: "Their lower triangular parts (plus a diagonal
+//! to avoid singular) are tested in `Lx = b`." This module implements exactly
+//! that dataset-preparation rule, for both lower and upper triangles.
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// Which triangle of a matrix to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriangularKind {
+    /// On-or-below-diagonal entries (`L`).
+    Lower,
+    /// On-or-above-diagonal entries (`U`).
+    Upper,
+}
+
+/// Extract the lower-triangular part of `a` (including the diagonal) and
+/// force a nonzero diagonal: rows whose diagonal entry is absent or exactly
+/// zero get a unit diagonal instead, so the result is always solvable.
+pub fn lower_with_diag<S: Scalar>(a: &Csr<S>) -> Result<Csr<S>, MatrixError> {
+    extract_with_diag(a, TriangularKind::Lower)
+}
+
+/// Extract the upper-triangular part with a forced nonzero diagonal.
+pub fn upper_with_diag<S: Scalar>(a: &Csr<S>) -> Result<Csr<S>, MatrixError> {
+    extract_with_diag(a, TriangularKind::Upper)
+}
+
+/// Shared implementation of the two extraction helpers.
+pub fn extract_with_diag<S: Scalar>(
+    a: &Csr<S>,
+    kind: TriangularKind,
+) -> Result<Csr<S>, MatrixError> {
+    if a.nrows() != a.ncols() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "triangular extraction (matrix must be square)",
+            expected: a.nrows(),
+            actual: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        let (cols, v) = a.row(i);
+        let mut have_diag = false;
+        match kind {
+            TriangularKind::Lower => {
+                let hi = cols.partition_point(|&j| j <= i);
+                for k in 0..hi {
+                    if cols[k] == i {
+                        if v[k] != S::ZERO {
+                            have_diag = true;
+                            col_idx.push(i);
+                            vals.push(v[k]);
+                        }
+                    } else {
+                        col_idx.push(cols[k]);
+                        vals.push(v[k]);
+                    }
+                }
+                if !have_diag {
+                    col_idx.push(i);
+                    vals.push(S::ONE);
+                }
+            }
+            TriangularKind::Upper => {
+                let lo = cols.partition_point(|&j| j < i);
+                // Diagonal (if present and nonzero) comes first in the row.
+                if lo < cols.len() && cols[lo] == i && v[lo] != S::ZERO {
+                    have_diag = true;
+                }
+                if !have_diag {
+                    col_idx.push(i);
+                    vals.push(S::ONE);
+                }
+                for k in lo..cols.len() {
+                    if cols[k] == i && !have_diag {
+                        continue; // zero diagonal already replaced by 1
+                    }
+                    col_idx.push(cols[k]);
+                    vals.push(v[k]);
+                }
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Csr::from_parts_unchecked(n, n, row_ptr, col_idx, vals))
+}
+
+/// Validate that `l` satisfies the SpTRSV precondition (square, lower
+/// triangular, full nonzero diagonal) and report the first violation.
+pub fn check_solvable_lower<S: Scalar>(l: &Csr<S>) -> Result<(), MatrixError> {
+    if l.nrows() != l.ncols() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "solvable lower check",
+            expected: l.nrows(),
+            actual: l.ncols(),
+        });
+    }
+    for i in 0..l.nrows() {
+        let (cols, vals) = l.row(i);
+        match cols.last() {
+            Some(&j) if j > i => return Err(MatrixError::NotTriangular { row: i, col: j }),
+            Some(&j) if j == i && vals[cols.len() - 1] != S::ZERO => {}
+            _ => return Err(MatrixError::SingularDiagonal { row: i }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn general() -> Csr<f64> {
+        // [1 7 0]
+        // [2 0 8]   <- zero diag at (1,1) is absent
+        // [3 4 5]
+        Csr::try_new(
+            3,
+            3,
+            vec![0, 2, 4, 7],
+            vec![0, 1, 0, 2, 0, 1, 2],
+            vec![1., 7., 2., 8., 3., 4., 5.],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lower_extraction_keeps_lower_entries() {
+        let l = lower_with_diag(&general()).unwrap();
+        assert!(l.is_solvable_lower());
+        assert_eq!(l.get(0, 1), None); // upper entry dropped
+        assert_eq!(l.get(2, 0), Some(3.0));
+        assert_eq!(l.get(2, 2), Some(5.0));
+    }
+
+    #[test]
+    fn missing_diag_becomes_unit() {
+        let l = lower_with_diag(&general()).unwrap();
+        assert_eq!(l.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn explicit_zero_diag_becomes_unit() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![0.0, 2.0, 3.0])
+            .unwrap();
+        let l = lower_with_diag(&a).unwrap();
+        assert_eq!(l.get(0, 0), Some(1.0));
+        assert_eq!(l.get(1, 1), Some(3.0));
+    }
+
+    #[test]
+    fn upper_extraction() {
+        let u = upper_with_diag(&general()).unwrap();
+        assert!(u.is_upper_triangular());
+        assert_eq!(u.get(0, 1), Some(7.0));
+        assert_eq!(u.get(1, 1), Some(1.0)); // forced unit
+        assert_eq!(u.get(1, 2), Some(8.0));
+        assert_eq!(u.get(2, 0), None);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Csr::<f64>::zero(2, 3);
+        assert!(lower_with_diag(&a).is_err());
+    }
+
+    #[test]
+    fn check_solvable_accepts_valid() {
+        let l = lower_with_diag(&general()).unwrap();
+        assert!(check_solvable_lower(&l).is_ok());
+    }
+
+    #[test]
+    fn check_solvable_flags_upper_entry() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 5., 1.])
+            .unwrap();
+        assert!(matches!(
+            check_solvable_lower(&a),
+            Err(MatrixError::NotTriangular { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn check_solvable_flags_missing_diag() {
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1., 1.]).unwrap();
+        assert!(matches!(check_solvable_lower(&a), Err(MatrixError::SingularDiagonal { row: 1 })));
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_triangle() {
+        let d = Csr::<f64>::identity(4);
+        assert_eq!(lower_with_diag(&d).unwrap(), d);
+        assert_eq!(upper_with_diag(&d).unwrap(), d);
+    }
+}

@@ -1,0 +1,102 @@
+//! Dense-vector helpers: norms, residuals and solution verification.
+
+use crate::csr::Csr;
+use crate::error::MatrixError;
+use crate::scalar::Scalar;
+
+/// Infinity norm `max |v_i|` (as `f64` for reporting).
+pub fn norm_inf<S: Scalar>(v: &[S]) -> f64 {
+    v.iter().map(|x| x.abs().to_f64()).fold(0.0, f64::max)
+}
+
+/// Euclidean norm (as `f64`).
+pub fn norm2<S: Scalar>(v: &[S]) -> f64 {
+    v.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+}
+
+/// `a - b` elementwise.
+pub fn sub<S: Scalar>(a: &[S], b: &[S]) -> Vec<S> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Relative infinity-norm residual `||A x − b||∞ / max(||b||∞, 1)`.
+pub fn residual_inf<S: Scalar>(a: &Csr<S>, x: &[S], b: &[S]) -> Result<f64, MatrixError> {
+    let ax = a.spmv_dense(x)?;
+    if ax.len() != b.len() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "residual rhs",
+            expected: ax.len(),
+            actual: b.len(),
+        });
+    }
+    let num = norm_inf(&sub(&ax, b));
+    Ok(num / norm_inf(b).max(1.0))
+}
+
+/// `true` if a candidate solution solves `A x = b` to the given relative
+/// tolerance — the acceptance test every solver in the suite is held to.
+pub fn verify_solution<S: Scalar>(
+    a: &Csr<S>,
+    x: &[S],
+    b: &[S],
+    tol: f64,
+) -> Result<bool, MatrixError> {
+    Ok(residual_inf(a, x, b)? <= tol)
+}
+
+/// Maximum relative component-wise difference between two vectors, used to
+/// compare a solver's output against the serial reference.
+pub fn max_rel_diff<S: Scalar>(x: &[S], y: &[S]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let denom = a.abs().to_f64().max(b.abs().to_f64()).max(1.0);
+            (a.to_f64() - b.to_f64()).abs() / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let v = [3.0f64, -4.0];
+        assert_eq!(norm_inf(&v), 4.0);
+        assert!((norm2(&v) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Csr::<f64>::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(residual_inf(&a, &x, &x).unwrap(), 0.0);
+        assert!(verify_solution(&a, &x, &x, 1e-14).unwrap());
+    }
+
+    #[test]
+    fn residual_detects_wrong_solution() {
+        let a = Csr::<f64>::identity(2);
+        let x = [1.0, 1.0];
+        let b = [1.0, 2.0];
+        assert!(residual_inf(&a, &x, &b).unwrap() > 0.4);
+        assert!(!verify_solution(&a, &x, &b, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn max_rel_diff_behaviour() {
+        assert_eq!(max_rel_diff::<f64>(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_diff::<f64>(&[1.0], &[1.1]) > 0.09);
+        // Small absolute values use an absolute floor of 1.
+        assert!(max_rel_diff::<f64>(&[0.0], &[1e-9]) < 1e-8);
+    }
+
+    #[test]
+    fn residual_rejects_dim_mismatch() {
+        let a = Csr::<f64>::identity(2);
+        assert!(residual_inf(&a, &[1.0, 1.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulated-GPU comparison: price one matrix's solve under the analytic
+//! performance model on both of the paper's devices for all three methods,
+//! and cross-check the sync-free critical path against the discrete-event
+//! warp micro-simulator.
+//!
+//! Uses the benchmark harness's scaled pricing (`data_scale = 50`, L2 scaled
+//! to match) so the laptop-sized matrix is priced as its paper-sized
+//! counterpart — see DESIGN.md §2 for the substitution rationale.
+//!
+//! Run with: `cargo run --release --example gpu_comparison`
+
+use recblock_bench::harness::{evaluate_methods, fmt_x, HarnessConfig};
+use recblock_gpu_sim::microsim::simulate_on_device;
+use recblock_gpu_sim::{DeviceSpec, TriProfile};
+use recblock_matrix::generate;
+use recblock_matrix::levelset::LevelSets;
+
+fn main() {
+    // A power-law circuit-style matrix: the structure where the method gaps
+    // are widest (the paper's FullChip row).
+    let n = 120_000;
+    let base = generate::hub_power_law::<f64>(n, 40, 3, 400, 3);
+    let l = generate::with_heavy_rows(&base, 3, n / 8, 3);
+    let levels = LevelSets::analyse(&l).expect("solvable");
+    let profile = TriProfile::analyse(&l, &levels);
+    println!(
+        "matrix: n = {}, nnz = {}, levels = {}, nnz/row = {:.2} (priced at 50x scale)",
+        l.nrows(),
+        l.nnz(),
+        levels.nlevels(),
+        profile.nnz_per_row()
+    );
+
+    let cfg = HarnessConfig::default();
+    for dev in &cfg.devices {
+        println!("\n=== {} ({}) ===", dev.name, dev.architecture);
+        let eval = evaluate_methods(&l, dev, &cfg);
+        let (g_cu, g_sf, g_blk) = eval.gflops();
+        println!(
+            "cuSPARSE-like : {:9.3} ms ({:6.2} GFlops, {:5} launches)",
+            eval.cusparse.total_s * 1e3,
+            g_cu,
+            eval.cusparse.launches
+        );
+        println!(
+            "sync-free     : {:9.3} ms ({:6.2} GFlops, {:5} launch)",
+            eval.syncfree.total_s * 1e3,
+            g_sf,
+            eval.syncfree.launches
+        );
+        println!(
+            "block         : {:9.3} ms ({:6.2} GFlops, {:5} launches)",
+            eval.block.total_s * 1e3,
+            g_blk,
+            eval.block.launches
+        );
+        let (s_cu, s_sf) = eval.speedups();
+        println!("block speedups: {} vs cuSPARSE, {} vs sync-free", fmt_x(s_cu), fmt_x(s_sf));
+        println!(
+            "preprocessing : cuSPARSE {:.1} ms, sync-free {:.2} ms, block {:.1} ms",
+            eval.cusparse_prep * 1e3,
+            eval.syncfree_prep * 1e3,
+            eval.block_prep * 1e3
+        );
+    }
+
+    // Validate the analytic critical-path abstraction against the
+    // discrete-event warp simulator on a shrunken instance.
+    let small = generate::hub_power_law::<f64>(4_000, 16, 3, 60, 4);
+    let report = simulate_on_device(&small, &DeviceSpec::titan_rtx_turing());
+    println!(
+        "\nmicrosim (n=4000): makespan {:.1} µs, critical path {:.1} µs, occupancy {:.1}%",
+        report.makespan_ns / 1e3,
+        report.critical_path_ns / 1e3,
+        report.occupancy * 100.0
+    );
+    assert!(report.makespan_ns >= report.critical_path_ns);
+}

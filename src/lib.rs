@@ -1,0 +1,8 @@
+//! Workspace facade for the recblock suite: re-exports the public crates so
+//! examples and integration tests have a single import root.
+
+pub use recblock;
+pub use recblock_bench as bench;
+pub use recblock_gpu_sim as gpu_sim;
+pub use recblock_kernels as kernels;
+pub use recblock_matrix as matrix;

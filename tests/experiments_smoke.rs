@@ -1,0 +1,86 @@
+//! Smoke tests for the benchmark harness: every experiment runs end to end
+//! (shrunken where the full corpus would be slow) and its report carries the
+//! paper's signature content.
+
+use recblock_bench::{experiments, HarnessConfig};
+
+#[test]
+fn table1_2_reproduces_paper_values() {
+    let report = experiments::table1_2::run_sized(64);
+    // Paper Table 1: column block at 65536 parts = 32768.5 n.
+    assert!(report.contains("32768.5000n"));
+    // Paper Table 2: recursive at 256 parts = 4 n.
+    assert!(report.contains("4.0000n"));
+    assert!(report.contains("Instrumented counters"));
+}
+
+#[test]
+fn table3_lists_hardware() {
+    let report = experiments::table3::run();
+    assert!(report.contains("Pascal"));
+    assert!(report.contains("Turing"));
+    assert!(report.contains("336.5"));
+    assert!(report.contains("672.0"));
+}
+
+#[test]
+fn figure4_report_has_both_matrices() {
+    let cfg = HarnessConfig::default();
+    let report = experiments::figure4::run_shrunk(&cfg, 8, &[4, 16, 64]);
+    assert!(report.contains("kkt_power-s"));
+    assert!(report.contains("FullChip-s"));
+    assert!(report.lines().filter(|l| l.trim_start().starts_with("64")).count() >= 2);
+}
+
+#[test]
+fn figure5_grids_and_thresholds() {
+    let cfg = HarnessConfig::default();
+    let report = experiments::figure5::run(&cfg);
+    assert!(report.contains("Figure 5(a)"));
+    assert!(report.contains("Figure 5(b)"));
+    // Every kernel code appears somewhere in the maps.
+    for code in ["P", "L", "S", "C"] {
+        assert!(report.contains(code), "missing SpTRSV code {code}");
+    }
+    assert!(report.contains("scalar->vector at nnz/row"));
+}
+
+#[test]
+fn figure6_summary_shows_block_advantage() {
+    let cfg = HarnessConfig::default();
+    let eval = experiments::figure6::evaluate(&cfg, 24);
+    let report = experiments::figure6::render(eval);
+    assert!(report.contains("Titan X"));
+    assert!(report.contains("Titan RTX"));
+    assert!(report.contains("avg speedup vs cuSPARSE"));
+}
+
+#[test]
+fn figure7_box_stats_render() {
+    let cfg = HarnessConfig::default();
+    let samples = experiments::figure7::evaluate(&cfg, 32);
+    let report = experiments::figure7::render(&samples);
+    assert!(report.contains("median"));
+    assert!(report.contains("block algorithm"));
+}
+
+#[test]
+fn table4_renders_all_six() {
+    let cfg = HarnessConfig::default();
+    let rows = experiments::table4::evaluate(&cfg, 8);
+    let report = experiments::table4::render(&rows);
+    for name in
+        ["nlpkkt200-s", "mawi-s", "kkt_power-s", "FullChip-s", "vas_stokes-s", "tmt_sym-s"]
+    {
+        assert!(report.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn table5_amortisation_renders() {
+    let cfg = HarnessConfig::default();
+    let stats = experiments::table5::evaluate(&cfg, 8, 16);
+    let report = experiments::table5::render(&stats);
+    assert!(report.contains("1000 iters"));
+    assert!(report.contains("paper: 9.16x"));
+}
