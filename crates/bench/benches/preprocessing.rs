@@ -17,9 +17,7 @@ fn bench_prep(c: &mut Criterion) {
         .sample_size(10);
     let l = generate::layered::<f64>(30_000, 25, 3.0, generate::LayerShape::Uniform, 9);
 
-    g.bench_function("levelset_analysis", |bench| {
-        bench.iter(|| LevelSets::analyse_unchecked(&l))
-    });
+    g.bench_function("levelset_analysis", |bench| bench.iter(|| LevelSets::analyse_unchecked(&l)));
     g.bench_function("syncfree_prep", |bench| {
         bench.iter(|| SyncFreeSolver::with_threads(&l, 4).unwrap())
     });

@@ -1,0 +1,72 @@
+//! Throughput of the batched solve service versus naive per-request
+//! serving. The service amortises two things: preprocessing (plan cache —
+//! one build instead of one per request) and matrix traffic (multi-RHS
+//! batches walk the block list once per batch instead of once per column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recblock::{RecBlockSolver, SolverOptions};
+use recblock_matrix::generate;
+use recblock_serve::{ServeConfig, SolveService};
+use std::time::Duration;
+
+const N: usize = 20_000;
+const REQUESTS: usize = 16;
+
+fn rhs(j: usize) -> Vec<f64> {
+    (0..N).map(|i| ((i + 17 * j) as f64 * 0.007).sin() + 2.0).collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_throughput");
+    g.measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    let l = generate::random_lower::<f64>(N, 6.0, 11);
+    let bs: Vec<Vec<f64>> = (0..REQUESTS).map(rhs).collect();
+
+    // Naive per-request serving: every request preprocesses from scratch,
+    // then solves one column.
+    g.bench_function(BenchmarkId::new("naive", format!("prep+solve x{REQUESTS}")), |bench| {
+        bench.iter(|| {
+            for b in &bs {
+                let solver = RecBlockSolver::new(&l, SolverOptions::default()).unwrap();
+                criterion::black_box(solver.solve(b).unwrap());
+            }
+        })
+    });
+
+    // Shared-plan serving without batching: preprocessing amortised, each
+    // column still walks the matrix alone.
+    g.bench_function(BenchmarkId::new("shared_plan", format!("solve x{REQUESTS}")), |bench| {
+        let solver = RecBlockSolver::new(&l, SolverOptions::default()).unwrap();
+        bench.iter(|| {
+            for b in &bs {
+                criterion::black_box(solver.solve(b).unwrap());
+            }
+        })
+    });
+
+    // The full service: plan cache + coalesced multi-RHS batches.
+    for max_batch in [1usize, 8] {
+        g.bench_function(BenchmarkId::new("service", format!("max_batch={max_batch}")), |bench| {
+            let service = SolveService::<f64>::new(
+                ServeConfig::default()
+                    .with_workers(1)
+                    .with_max_batch(max_batch)
+                    .with_queue_capacity(64),
+            );
+            service.warm(&l).unwrap();
+            bench.iter(|| {
+                let handles: Vec<_> =
+                    bs.iter().map(|b| service.submit(&l, b.clone()).unwrap()).collect();
+                for h in handles {
+                    criterion::black_box(h.wait().unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -23,7 +23,13 @@ fn main() {
         MatrixFamily::Layered,
     ];
     let mut table = Table::new([
-        "family", "count", "n range", "nnz range", "levels range", "avg nnz/row", "max row skew",
+        "family",
+        "count",
+        "n range",
+        "nnz range",
+        "levels range",
+        "avg nnz/row",
+        "max row skew",
     ]);
     for fam in families {
         let mut count = 0usize;

@@ -75,9 +75,7 @@ impl CorpusEntry {
                 let ny = self.n / nx.max(1);
                 generate::grid2d(nx.max(2), ny.max(2), self.seed)
             }
-            MatrixFamily::Kkt => {
-                generate::kkt_like(self.n, self.n / 2, self.knob, self.seed)
-            }
+            MatrixFamily::Kkt => generate::kkt_like(self.n, self.n / 2, self.knob, self.seed),
             MatrixFamily::Circuit => {
                 let base = generate::hub_power_law(
                     self.n,
@@ -203,9 +201,6 @@ mod tests {
         let a = corpus_159();
         let b = corpus_159();
         assert_eq!(a[17].name, b[17].name);
-        assert_eq!(
-            a[17].build::<f64>().nnz(),
-            b[17].build::<f64>().nnz()
-        );
+        assert_eq!(a[17].build::<f64>().nnz(), b[17].build::<f64>().nnz());
     }
 }

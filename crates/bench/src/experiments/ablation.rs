@@ -43,10 +43,7 @@ pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<AblationRow> {
         syncfree_threads: 4,
     };
     let time = |opts: &BlockedOptions| -> f64 {
-        BlockedTri::build(&l, opts)
-            .expect("solvable")
-            .simulated_time(&dev, &cfg.params)
-            .total_s
+        BlockedTri::build(&l, opts).expect("solvable").simulated_time(&dev, &cfg.params).total_s
     };
     let full = time(&base);
     let variants: Vec<(String, BlockedOptions)> = vec![
@@ -67,7 +64,10 @@ pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<AblationRow> {
                 ..base.clone()
             },
         ),
-        ("depth 0 (no blocking)".into(), BlockedOptions { depth: DepthRule::Fixed(0), ..base.clone() }),
+        (
+            "depth 0 (no blocking)".into(),
+            BlockedOptions { depth: DepthRule::Fixed(0), ..base.clone() },
+        ),
         (
             format!("depth {} (over-divided)", depth + 3),
             BlockedOptions { depth: DepthRule::Fixed(depth + 3), ..base },

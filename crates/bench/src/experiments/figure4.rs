@@ -45,12 +45,7 @@ pub fn run_shrunk(cfg: &HarnessConfig, extra: usize, parts: &[usize]) -> String 
     out
 }
 
-fn sweep<S: Scalar>(
-    l: &Csr<S>,
-    parts: &[usize],
-    dev: &DeviceSpec,
-    cfg: &HarnessConfig,
-) -> Table {
+fn sweep<S: Scalar>(l: &Csr<S>, parts: &[usize], dev: &DeviceSpec, cfg: &HarnessConfig) -> Table {
     let sel = Selector::default();
     let mut t = Table::new(["parts", "col (ms)", "row (ms)", "rec (ms)"]);
     for &p in parts {
@@ -69,11 +64,7 @@ fn sweep<S: Scalar>(
 /// The machine-checkable claim of Figure 4: at larger part counts the
 /// recursive SpMV time is the smallest of the three. Returns `(col, row,
 /// rec)` simulated SpMV seconds at the given part count.
-pub fn spmv_times_at<S: Scalar>(
-    l: &Csr<S>,
-    parts: usize,
-    cfg: &HarnessConfig,
-) -> (f64, f64, f64) {
+pub fn spmv_times_at<S: Scalar>(l: &Csr<S>, parts: usize, cfg: &HarnessConfig) -> (f64, f64, f64) {
     let dev = scale_device(&DeviceSpec::titan_rtx_turing(), cfg.scale);
     let sel = Selector::default();
     let depth = parts.trailing_zeros() as usize;

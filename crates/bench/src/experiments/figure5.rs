@@ -50,7 +50,13 @@ fn sq_profile(nnz_per_row: f64, empty_ratio: f64) -> SpmvProfile {
 
 /// Price one SpTRSV kernel for a cell (total time: per-level launches are a
 /// real cost of the level-scheduled kernels inside the blocked execution).
-fn tri_time(k: TriKernel, nnz_per_row: f64, nlevels: f64, dev: &DeviceSpec, cfg: &HarnessConfig) -> f64 {
+fn tri_time(
+    k: TriKernel,
+    nnz_per_row: f64,
+    nlevels: f64,
+    dev: &DeviceSpec,
+    cfg: &HarnessConfig,
+) -> f64 {
     let p = tri_profile(nnz_per_row, nlevels as usize);
     let ws = p.n * 3 * 8;
     match k {
@@ -68,7 +74,13 @@ fn tri_time(k: TriKernel, nnz_per_row: f64, nlevels: f64, dev: &DeviceSpec, cfg:
 }
 
 /// Price one SpMV kernel for a cell.
-fn sq_time(k: SpmvKind, nnz_per_row: f64, empty_ratio: f64, dev: &DeviceSpec, cfg: &HarnessConfig) -> f64 {
+fn sq_time(
+    k: SpmvKind,
+    nnz_per_row: f64,
+    empty_ratio: f64,
+    dev: &DeviceSpec,
+    cfg: &HarnessConfig,
+) -> f64 {
     let p = sq_profile(nnz_per_row, empty_ratio);
     let ws = p.nrows * 2 * 8;
     cost::spmv(k, &p, 8, ws, dev, &cfg.params).total_s
@@ -157,7 +169,9 @@ pub fn run(cfg: &HarnessConfig) -> String {
 
     out.push_str("\nPaper thresholds: SpTRSV level-set iff (nnz/row<=15 & nlevels<=20) or\n");
     out.push_str("(nnz/row=1 & nlevels<=100); cuSPARSE iff nlevels>20000; else sync-free.\n");
-    out.push_str("SpMV: scalar iff nnz/row<=12; DCSR iff emptyratio>50% (scalar) / >15% (vector).\n");
+    out.push_str(
+        "SpMV: scalar iff nnz/row<=12; DCSR iff emptyratio>50% (scalar) / >15% (vector).\n",
+    );
     out.push_str(&threshold_summary(cfg));
     out
 }
@@ -327,13 +341,7 @@ pub fn run_measured(cell_rows: usize, repeats: usize) -> String {
         let l = if nlevels == 1 {
             generate::diagonal::<f64>(cell_rows, 77)
         } else {
-            generate::layered::<f64>(
-                cell_rows,
-                nlevels,
-                extra,
-                generate::LayerShape::Uniform,
-                77,
-            )
+            generate::layered::<f64>(cell_rows, nlevels, extra, generate::LayerShape::Uniform, 77)
         };
         let b = vec![1.0f64; cell_rows];
         let run = |f: &dyn Fn()| -> f64 {

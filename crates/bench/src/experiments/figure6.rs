@@ -45,7 +45,10 @@ pub struct Figure6Summary {
 }
 
 /// Evaluate the corpus (optionally shrunken for tests) on every device.
-pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<(Vec<Figure6Row>, Figure6Summary)> {
+pub fn evaluate(
+    cfg: &HarnessConfig,
+    extra_shrink: usize,
+) -> Vec<(Vec<Figure6Row>, Figure6Summary)> {
     let entries = corpus_scaled(extra_shrink);
     let mut per_device = Vec::new();
     for dev in &cfg.devices {
@@ -86,10 +89,7 @@ fn summarise(device: &str, rows: &[Figure6Row]) -> Figure6Summary {
     let avg_sf = rows.iter().map(|r| r.speedups.1).sum::<f64>() / n;
     let max_cu = rows.iter().map(|r| r.speedups.0).fold(0.0, f64::max);
     let max_sf = rows.iter().map(|r| r.speedups.1).fold(0.0, f64::max);
-    let slower = rows
-        .iter()
-        .filter(|r| r.speedups.0 < 0.9 && r.speedups.1 < 0.9)
-        .count();
+    let slower = rows.iter().filter(|r| r.speedups.0 < 0.9 && r.speedups.1 < 0.9).count();
     Figure6Summary {
         device: device.to_string(),
         avg_vs_cusparse: avg_cu,
@@ -111,10 +111,7 @@ pub fn render(per_device: Vec<(Vec<Figure6Row>, Figure6Summary)>) -> String {
     let mut out = String::new();
     out.push_str("== Figure 6: SpTRSV performance on the synthetic 159-matrix corpus ==\n");
     for (rows, summary) in &per_device {
-        out.push_str(&format!(
-            "\n-- {} (double precision, sorted by nnz) --\n",
-            summary.device
-        ));
+        out.push_str(&format!("\n-- {} (double precision, sorted by nnz) --\n", summary.device));
         let mut t = Table::new([
             "matrix", "n", "nnz", "nlevels", "cuSP GF", "Sync GF", "blk GF", "vs cuSP", "vs Sync",
         ]);
@@ -144,7 +141,9 @@ pub fn render(per_device: Vec<(Vec<Figure6Row>, Figure6Summary)>) -> String {
             summary.total,
         ));
     }
-    out.push_str("\nPaper: avg 4.72x (max 72.03x) vs cuSPARSE, avg 9.95x (max 61.08x) vs Sync-free\n");
+    out.push_str(
+        "\nPaper: avg 4.72x (max 72.03x) vs cuSPARSE, avg 9.95x (max 61.08x) vs Sync-free\n",
+    );
     out.push_str("(Titan RTX); Titan X: avg 5.00x (max 113.84x) and 10.34x (max 57.97x).\n");
     out
 }

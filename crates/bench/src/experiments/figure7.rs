@@ -103,11 +103,9 @@ mod tests {
         let cfg = HarnessConfig::default();
         let samples = evaluate(&cfg, 24);
         for dev in &samples {
-            for (name, vals) in [
-                ("cusparse", &dev.cusparse),
-                ("syncfree", &dev.syncfree),
-                ("block", &dev.block),
-            ] {
+            for (name, vals) in
+                [("cusparse", &dev.cusparse), ("syncfree", &dev.syncfree), ("block", &dev.block)]
+            {
                 let s = box_stats(vals);
                 // All methods: ratio well above the dense 0.5, at most ~1.
                 assert!(s.median > 0.55, "{name} median {}", s.median);

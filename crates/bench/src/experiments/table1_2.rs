@@ -45,7 +45,9 @@ pub fn run_sized(n: usize) -> String {
     ]);
     out.push_str(&t.render());
 
-    out.push_str("\n== Table 2: items loaded from solution vector x (formula, coefficient of n) ==\n");
+    out.push_str(
+        "\n== Table 2: items loaded from solution vector x (formula, coefficient of n) ==\n",
+    );
     let mut t = Table::new(["method", "4", "16", "256", "65536"]);
     t.row([
         "col. block".to_string(),

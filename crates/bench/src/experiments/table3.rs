@@ -9,7 +9,14 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("== Table 3: devices (simulated presets) and algorithms ==\n");
     let mut t = Table::new([
-        "device", "arch", "cores", "clock MHz", "mem GiB", "B/W GB/s", "L2 KiB", "min blk rows",
+        "device",
+        "arch",
+        "cores",
+        "clock MHz",
+        "mem GiB",
+        "B/W GB/s",
+        "L2 KiB",
+        "min blk rows",
     ]);
     for dev in [DeviceSpec::titan_x_pascal(), DeviceSpec::titan_rtx_turing()] {
         t.row([

@@ -2,9 +2,7 @@
 //! per-method GFlops and the block algorithm's speedups, next to the
 //! paper's reported speedups (Titan RTX).
 
-use crate::harness::{
-    evaluate_methods_with, fmt_gf, fmt_x, scale_device, HarnessConfig, Table,
-};
+use crate::harness::{evaluate_methods_with, fmt_gf, fmt_x, scale_device, HarnessConfig, Table};
 use crate::representatives::{representatives, Representative};
 use recblock_gpu_sim::{DeviceSpec, TriProfile};
 use recblock_matrix::levelset::LevelSets;
@@ -33,10 +31,7 @@ pub struct Table4Row {
 /// Evaluate all six analogues on the (scaled) Titan RTX.
 pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<Table4Row> {
     let dev = scale_device(&DeviceSpec::titan_rtx_turing(), cfg.scale);
-    representatives()
-        .iter()
-        .map(|rep| eval_one(rep, extra_shrink, &dev, cfg))
-        .collect()
+    representatives().iter().map(|rep| eval_one(rep, extra_shrink, &dev, cfg)).collect()
 }
 
 fn eval_one(

@@ -69,7 +69,12 @@ pub fn render(stats: &Table5Stats) -> String {
         stats.sampled
     ));
     let mut t = Table::new([
-        "method", "preprocess", "single solve", "100 iters", "500 iters", "1000 iters",
+        "method",
+        "preprocess",
+        "single solve",
+        "100 iters",
+        "500 iters",
+        "1000 iters",
     ]);
     for (name, m) in [
         ("cuSPARSE v2", stats.cusparse),

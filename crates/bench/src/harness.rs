@@ -39,10 +39,7 @@ impl Default for HarnessConfig {
 /// Compute resources stay untouched — the corpus keeps its matrices large
 /// enough to saturate them.
 pub fn scale_device(dev: &DeviceSpec, factor: usize) -> DeviceSpec {
-    DeviceSpec {
-        l2_cache_bytes: (dev.l2_cache_bytes / factor.max(1)).max(16 << 10),
-        ..dev.clone()
-    }
+    DeviceSpec { l2_cache_bytes: (dev.l2_cache_bytes / factor.max(1)).max(16 << 10), ..dev.clone() }
 }
 
 /// The recursion-stop rule scaled with the corpus: the paper's
@@ -87,10 +84,7 @@ impl MethodEval {
 
     /// Speedups of the block algorithm `(vs cusparse, vs syncfree)`.
     pub fn speedups(&self) -> (f64, f64) {
-        (
-            self.cusparse.total_s / self.block.total_s,
-            self.syncfree.total_s / self.block.total_s,
-        )
+        (self.cusparse.total_s / self.block.total_s, self.syncfree.total_s / self.block.total_s)
     }
 }
 

@@ -64,8 +64,7 @@ impl Representative {
             // with the moderate heavy-row tail of power-network matrices.
             Kind::KktPower => {
                 let n = d(41_270);
-                let base =
-                    generate::layered(n, 17, 2.1, LayerShape::Geometric(0.85), self.seed);
+                let base = generate::layered(n, 17, 2.1, LayerShape::Geometric(0.85), self.seed);
                 generate::with_heavy_rows(&base, 2, n / 64, self.seed)
             }
             // FullChip: 324 levels, min parallelism 1, power-law both ways —

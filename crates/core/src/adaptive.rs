@@ -205,8 +205,7 @@ pub mod tuning {
             if total == 0 {
                 return 0.0;
             }
-            let won: usize =
-                self.cells.iter().flatten().filter(|&&c| c == kernel).count();
+            let won: usize = self.cells.iter().flatten().filter(|&&c| c == kernel).count();
             won as f64 / total as f64
         }
 
@@ -262,12 +261,14 @@ mod tests {
     #[test]
     fn grid_picks_fastest() {
         use tuning::BestKernelGrid;
-        let grid = BestKernelGrid::collect(
-            vec![1.0, 10.0],
-            vec![0.0, 1.0],
-            &["a", "b"],
-            |k, x, y| if k == "a" { x + y } else { 10.0 - x - y },
-        );
+        let grid =
+            BestKernelGrid::collect(vec![1.0, 10.0], vec![0.0, 1.0], &["a", "b"], |k, x, y| {
+                if k == "a" {
+                    x + y
+                } else {
+                    10.0 - x - y
+                }
+            });
         // a wins where x + y < 5, b elsewhere.
         assert_eq!(grid.at(0, 0), "a");
         assert_eq!(grid.at(1, 1), "b");

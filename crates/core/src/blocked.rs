@@ -22,8 +22,8 @@ use crate::sqsolver::SqSolver;
 use crate::traffic::TrafficCounts;
 use crate::trisolver::TriSolver;
 use recblock_gpu_sim::cost::SpmvKind;
-use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
 use recblock_gpu_sim::TriProfile;
+use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
 use recblock_matrix::permute::Permutation;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 use std::ops::Range;
@@ -357,12 +357,32 @@ impl<S: Scalar> BlockedTri<S> {
         &self,
         b: &recblock_kernels::sptrsm::MultiVector<S>,
     ) -> Result<recblock_kernels::sptrsm::MultiVector<S>, MatrixError> {
+        let mut out = recblock_kernels::sptrsm::MultiVector::zeros(self.n, b.k());
+        self.solve_multi_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// As [`BlockedTri::solve_multi`], writing into a caller-provided
+    /// output batch — a serving layer reuses the same output buffer across
+    /// requests instead of allocating per batch.
+    pub fn solve_multi_into(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+        out: &mut recblock_kernels::sptrsm::MultiVector<S>,
+    ) -> Result<(), MatrixError> {
         use recblock_kernels::sptrsm::MultiVector;
         if b.n() != self.n {
             return Err(MatrixError::DimensionMismatch {
                 what: "blocked multi-rhs rows",
                 expected: self.n,
                 actual: b.n(),
+            });
+        }
+        if out.n() != self.n || out.k() != b.k() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked multi-rhs output shape",
+                expected: self.n * b.k(),
+                actual: out.n() * out.k(),
             });
         }
         let k = b.k();
@@ -373,12 +393,11 @@ impl<S: Scalar> BlockedTri<S> {
         let matrix_bytes = self.nnz * (std::mem::size_of::<usize>() + S::BYTES);
         let batch_bytes = 2 * k * self.n * S::BYTES;
         if matrix_bytes < batch_bytes {
-            let mut out = recblock_kernels::sptrsm::MultiVector::zeros(self.n, k);
             for j in 0..k {
                 let xj = self.solve(b.col(j))?;
                 out.col_mut(j).copy_from_slice(&xj);
             }
-            return Ok(out);
+            return Ok(());
         }
         let mut work: Vec<Vec<S>> = (0..k).map(|j| self.perm.gather(b.col(j))).collect();
         let mut x: Vec<Vec<S>> = vec![vec![S::ZERO; self.n]; k];
@@ -414,11 +433,10 @@ impl<S: Scalar> BlockedTri<S> {
                 }
             }
         }
-        let mut out = MultiVector::zeros(self.n, k);
         for (j, xj) in x.iter().enumerate() {
             out.col_mut(j).copy_from_slice(&self.perm.scatter(xj));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Predicted GPU time per part under the cost model.
@@ -439,14 +457,17 @@ impl<S: Scalar> BlockedTri<S> {
             match &block.data {
                 BlockData::Tri { solver, profile } => {
                     let ws = block.rows.len() * 3 * scalar_bytes;
-                    sim.tri = sim.tri.seq(
-                        solver.simulated_time_bytes(profile, scalar_bytes, ws, dev, params),
-                    );
+                    sim.tri = sim.tri.seq(solver.simulated_time_bytes(
+                        profile,
+                        scalar_bytes,
+                        ws,
+                        dev,
+                        params,
+                    ));
                 }
                 BlockData::Square(sq) => {
                     let ws = (block.rows.len() + block.cols.len()) * 2 * scalar_bytes;
-                    sim.spmv =
-                        sim.spmv.seq(sq.simulated_time_bytes(scalar_bytes, ws, dev, params));
+                    sim.spmv = sim.spmv.seq(sq.simulated_time_bytes(scalar_bytes, ws, dev, params));
                 }
             }
         }
@@ -673,8 +694,8 @@ mod tests {
         let l = generate::random_lower::<f64>(100, 3.0, 66);
         let s = BlockedTri::build(&l, &opts(2)).unwrap();
         assert!(s.solve(&[1.0; 99]).is_err());
-        let bad = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
-            .unwrap();
+        let bad =
+            Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.]).unwrap();
         assert!(BlockedTri::build(&bad, &opts(1)).is_err());
     }
 }

@@ -184,10 +184,7 @@ mod tests {
     fn simulated_breakdown_positive() {
         let l = generate::random_lower::<f64>(500, 4.0, 19);
         let s = ColumnBlockSolver::new(&l, 4, &Selector::default(), 2).unwrap();
-        let sim = s.simulated_breakdown(
-            &DeviceSpec::titan_rtx_turing(),
-            &CostParams::default(),
-        );
+        let sim = s.simulated_breakdown(&DeviceSpec::titan_rtx_turing(), &CostParams::default());
         assert!(sim.tri.total_s > 0.0);
         assert!(sim.spmv.total_s > 0.0);
     }

@@ -361,11 +361,7 @@ mod tests {
         // Hub structure leaves most square rows empty at deep levels.
         let l = generate::hub_power_law::<f64>(800, 4, 1, 0, 99);
         let p = PackedBlocked::build(&l, &opts(3)).unwrap();
-        let dcsr_count = p
-            .blocks()
-            .iter()
-            .filter(|b| b.shape == PackedShape::SquareDcsr)
-            .count();
+        let dcsr_count = p.blocks().iter().filter(|b| b.shape == PackedShape::SquareDcsr).count();
         assert!(dcsr_count > 0, "expected DCSR squares");
     }
 
@@ -401,8 +397,8 @@ mod tests {
         let l = generate::random_lower::<f64>(50, 3.0, 102);
         let p = PackedBlocked::build(&l, &opts(2)).unwrap();
         assert!(p.solve(&[1.0; 49]).is_err());
-        let bad = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
-            .unwrap();
+        let bad =
+            Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.]).unwrap();
         assert!(PackedBlocked::build(&bad, &opts(1)).is_err());
     }
 

@@ -87,8 +87,7 @@ mod tests {
         let blocked = BlockIlu::new(&f, opts()).unwrap();
         let r: Vec<f64> = (0..400).map(|i| ((i % 13) as f64) - 6.0).collect();
         let z_serial = f.apply(&r).unwrap();
-        let z_blocked =
-            recblock_kernels::krylov::Preconditioner::apply(&blocked, &r).unwrap();
+        let z_blocked = recblock_kernels::krylov::Preconditioner::apply(&blocked, &r).unwrap();
         assert!(max_rel_diff(&z_serial, &z_blocked) < 1e-9);
     }
 

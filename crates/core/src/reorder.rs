@@ -119,13 +119,8 @@ mod tests {
         let mut improved = 0usize;
         let mut total = 0usize;
         for seed in 0..8u64 {
-            let l = generate::layered::<f64>(
-                512,
-                12,
-                2.0,
-                generate::LayerShape::Uniform,
-                100 + seed,
-            );
+            let l =
+                generate::layered::<f64>(512, 12, 2.0, generate::LayerShape::Uniform, 100 + seed);
             let before = square_part_nnz(&l, 3);
             let (r, _) = recursive_levelset_reorder(&l, 3).unwrap();
             let after = square_part_nnz(&r, 3);
@@ -163,8 +158,7 @@ mod tests {
 
     #[test]
     fn rejects_non_triangular() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.]).unwrap();
         assert!(recursive_levelset_reorder(&a, 1).is_err());
     }
 }

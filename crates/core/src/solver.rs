@@ -31,6 +31,13 @@ impl<S: Scalar> RecBlockSolver<S> {
         Ok(RecBlockSolver { blocked, preprocess_time: t0.elapsed() })
     }
 
+    /// Wrap an already-built blocked structure, recording `preprocess_time`
+    /// as its construction cost. Lets a caching layer rebuild a solver from
+    /// parts it persisted (or measured) elsewhere.
+    pub fn from_blocked(blocked: BlockedTri<S>, preprocess_time: Duration) -> Self {
+        RecBlockSolver { blocked, preprocess_time }
+    }
+
     /// Wall-clock preprocessing cost of [`RecBlockSolver::new`].
     pub fn preprocess_time(&self) -> Duration {
         self.preprocess_time
@@ -65,6 +72,16 @@ impl<S: Scalar> RecBlockSolver<S> {
         b: &recblock_kernels::sptrsm::MultiVector<S>,
     ) -> Result<recblock_kernels::sptrsm::MultiVector<S>, MatrixError> {
         self.blocked.solve_multi(b)
+    }
+
+    /// As [`RecBlockSolver::solve_multi`], writing into a caller-provided
+    /// output batch ([`BlockedTri::solve_multi_into`]).
+    pub fn solve_multi_into(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+        out: &mut recblock_kernels::sptrsm::MultiVector<S>,
+    ) -> Result<(), MatrixError> {
+        self.blocked.solve_multi_into(b, out)
     }
 
     /// Which kernels the adaptive selection assigned.

@@ -159,7 +159,11 @@ mod tests {
         let mut reference = vec![0.0; 500];
         spmv::scalar_csr(&a, &x, &mut reference).unwrap();
         for kind in SpmvKind::ALL {
-            let s = SqSolver::build(a.clone(), &Selector::Fixed(crate::adaptive::TriKernel::SyncFree, kind), true);
+            let s = SqSolver::build(
+                a.clone(),
+                &Selector::Fixed(crate::adaptive::TriKernel::SyncFree, kind),
+                true,
+            );
             assert_eq!(s.kind(), kind);
             let mut y = vec![0.0; 500];
             s.apply(&x, &mut y).unwrap();

@@ -31,7 +31,9 @@ impl<S: Scalar> TriSolver<S> {
     ) -> Result<Self, MatrixError> {
         Ok(match kernel {
             TriKernel::CompletelyParallel => TriSolver::Diag(l),
-            TriKernel::LevelSet => TriSolver::LevelSet(LevelSetSolver::with_levels(l, levels.clone())),
+            TriKernel::LevelSet => {
+                TriSolver::LevelSet(LevelSetSolver::with_levels(l, levels.clone()))
+            }
             TriKernel::SyncFree => {
                 TriSolver::SyncFree(SyncFreeSolver::with_threads(&l, syncfree_threads)?)
             }

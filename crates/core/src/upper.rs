@@ -16,8 +16,7 @@ use recblock_matrix::{Csr, MatrixError, Scalar};
 
 /// The index-reversal permutation on `0..n` (`perm[new] = n − 1 − new`).
 pub fn reversal(n: usize) -> Permutation {
-    Permutation::from_forward((0..n).rev().collect())
-        .expect("reversal is a bijection")
+    Permutation::from_forward((0..n).rev().collect()).expect("reversal is a bijection")
 }
 
 /// Validate that `u` is square, upper triangular, with a stored nonzero
@@ -118,8 +117,7 @@ mod tests {
 
     #[test]
     fn check_rejects_lower_entry() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 2., 1.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 2., 1.]).unwrap();
         assert!(matches!(
             check_solvable_upper(&a),
             Err(MatrixError::NotTriangular { row: 1, col: 0 })
@@ -169,10 +167,7 @@ mod tests {
     #[test]
     fn simulated_time_available() {
         let solver = UpperRecBlockSolver::new(&upper(200, 8), opts()).unwrap();
-        let t = solver.simulated_time(
-            &DeviceSpec::titan_rtx_turing(),
-            &CostParams::default(),
-        );
+        let t = solver.simulated_time(&DeviceSpec::titan_rtx_turing(), &CostParams::default());
         assert!(t.total_s > 0.0);
     }
 }

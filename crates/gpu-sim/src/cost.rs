@@ -155,7 +155,13 @@ pub struct KernelTime {
 impl KernelTime {
     fn assemble(launches: usize, latency_s: f64, memory_s: f64, p: &CostParams) -> Self {
         let launch_s = launches as f64 * p.launch_us * 1e-6;
-        KernelTime { total_s: launch_s + latency_s + memory_s, launch_s, latency_s, memory_s, launches }
+        KernelTime {
+            total_s: launch_s + latency_s + memory_s,
+            launch_s,
+            latency_s,
+            memory_s,
+            launches,
+        }
     }
 
     /// Time excluding launch overhead — the right quantity for *comparing*
@@ -235,8 +241,8 @@ fn level_time(
     p: &CostParams,
 ) -> (f64, f64) {
     let util = dev.utilisation(rows);
-    let matrix_bytes =
-        nnz as f64 * (p.idx_bytes + sb) + rows as f64 * (2.0 * p.ptr_bytes + 2.0 * sb + extra_row_bytes);
+    let matrix_bytes = nnz as f64 * (p.idx_bytes + sb)
+        + rows as f64 * (2.0 * p.ptr_bytes + 2.0 * sb + extra_row_bytes);
     let loads = (nnz - rows) as f64; // off-diagonal x reads
     let mem = mem_time(matrix_bytes, x_bytes(loads, sb, hit, p), hit, util, dev, p);
     let chunks = (max_row as f64 / dev.warp_size as f64).ceil();
@@ -259,16 +265,8 @@ pub fn sptrsv_levelset(
     let mut lat = 0.0;
     let mut mem = 0.0;
     for l in 0..t.nlevels() {
-        let (a, b) = level_time(
-            t.level_rows[l],
-            t.level_nnz[l],
-            t.level_max_row[l],
-            sb,
-            hit,
-            0.0,
-            dev,
-            p,
-        );
+        let (a, b) =
+            level_time(t.level_rows[l], t.level_nnz[l], t.level_max_row[l], sb, hit, 0.0, dev, p);
         lat += a;
         mem += b;
     }
@@ -373,7 +371,8 @@ pub fn sptrsv_syncfree(
     let serial = max_row_overall as f64 * p.atomic_serial_ns * 1e-9;
     let util = dev.utilisation(t.n);
     let off = (t.nnz - t.n) as f64;
-    let matrix_bytes = t.nnz as f64 * (p.idx_bytes + sb) + t.n as f64 * (2.0 * p.ptr_bytes + 3.0 * sb);
+    let matrix_bytes =
+        t.nnz as f64 * (p.idx_bytes + sb) + t.n as f64 * (2.0 * p.ptr_bytes + 3.0 * sb);
     // The column-driven dataflow scatters atomic `left_sum` updates across
     // the whole vector: each update is a potential L2 miss (one sector fill,
     // write-back amortised). This is exactly the traffic the row-driven
@@ -475,11 +474,8 @@ pub fn spmv(
     let units = if dcsr { s.lanes } else { s.nrows } as f64;
     // Pointer traffic: CSR reads nrows+1 pointers; DCSR reads lanes pointers
     // plus the row-id indirection array.
-    let ptr_bytes = if dcsr {
-        lanes * (p.ptr_bytes + p.idx_bytes)
-    } else {
-        s.nrows as f64 * p.ptr_bytes
-    };
+    let ptr_bytes =
+        if dcsr { lanes * (p.ptr_bytes + p.idx_bytes) } else { s.nrows as f64 * p.ptr_bytes };
     let avg_lane = if s.lanes == 0 { 0.0 } else { nnz / lanes };
     let mut matrix_bytes = nnz * (p.idx_bytes + sb) + ptr_bytes + lanes * 2.0 * sb;
     if !vector {
@@ -698,7 +694,8 @@ mod tests {
     #[test]
     fn dcsr_wins_on_hypersparse() {
         // 90% empty rows: DCSR skips them.
-        let s = SpmvProfile { nrows: 100_000, ncols: 100_000, nnz: 40_000, lanes: 10_000, max_row: 6 };
+        let s =
+            SpmvProfile { nrows: 100_000, ncols: 100_000, nnz: 40_000, lanes: 10_000, max_row: 6 };
         let csr = spmv(SpmvKind::ScalarCsr, &s, 8, WS_HOT, &dev(), &p()).work_s();
         let dcsr = spmv(SpmvKind::ScalarDcsr, &s, 8, WS_HOT, &dev(), &p()).work_s();
         assert!(dcsr < csr, "dcsr {dcsr} vs csr {csr}");
@@ -709,8 +706,10 @@ mod tests {
 
     #[test]
     fn scalar_csr_penalised_by_long_rows() {
-        let uniform = SpmvProfile { nrows: 8192, ncols: 8192, nnz: 8192 * 8, lanes: 8192, max_row: 10 };
-        let skewed = SpmvProfile { nrows: 8192, ncols: 8192, nnz: 8192 * 8, lanes: 8192, max_row: 30_000 };
+        let uniform =
+            SpmvProfile { nrows: 8192, ncols: 8192, nnz: 8192 * 8, lanes: 8192, max_row: 10 };
+        let skewed =
+            SpmvProfile { nrows: 8192, ncols: 8192, nnz: 8192 * 8, lanes: 8192, max_row: 30_000 };
         let tu = spmv(SpmvKind::ScalarCsr, &uniform, 8, WS_HOT, &dev(), &p()).work_s();
         let ts = spmv(SpmvKind::ScalarCsr, &skewed, 8, WS_HOT, &dev(), &p()).work_s();
         assert!(ts > 3.0 * tu, "skewed {ts} vs uniform {tu}");
@@ -731,7 +730,12 @@ mod tests {
     fn prep_costs_are_in_paper_ballpark() {
         // Average paper matrix ~30M nnz: cuSPARSE ≈ 91ms, sync-free ≈ 2.3ms,
         // block ≈ 104ms.
-        let t = TriProfile::from_levels(vec![15_000; 2_000], vec![15_000; 2_000], vec![8; 2_000], vec![8; 2_000]);
+        let t = TriProfile::from_levels(
+            vec![15_000; 2_000],
+            vec![15_000; 2_000],
+            vec![8; 2_000],
+            vec![8; 2_000],
+        );
         let t = TriProfile { nnz: 30_000_000, ..t };
         let cu = cusparse_analysis_time(&t, &p());
         assert!(cu > 0.05 && cu < 0.2, "cusparse analysis {cu}");

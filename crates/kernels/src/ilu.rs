@@ -238,8 +238,7 @@ mod tests {
     #[test]
     fn upper_solve_reference() {
         // U = [2 1; 0 4], b = [4, 8] => x = [1, 2]... check: x2=2, x1=(4-2)/2=1.
-        let u = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![2., 1., 4.])
-            .unwrap();
+        let u = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![2., 1., 4.]).unwrap();
         let x = serial_csr_upper(&u, &[4.0, 8.0]).unwrap();
         assert_eq!(x, vec![1.0, 2.0]);
     }

@@ -27,12 +27,7 @@ const PAR_THRESHOLD: usize = 512;
 /// for a warp's strided partial sums).
 const LANES: usize = 4;
 
-fn check_dims<S: Scalar>(
-    nrows: usize,
-    ncols: usize,
-    x: &[S],
-    y: &[S],
-) -> Result<(), MatrixError> {
+fn check_dims<S: Scalar>(nrows: usize, ncols: usize, x: &[S], y: &[S]) -> Result<(), MatrixError> {
     if x.len() != ncols {
         return Err(MatrixError::DimensionMismatch {
             what: "spmv x",

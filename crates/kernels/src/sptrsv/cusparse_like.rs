@@ -192,8 +192,7 @@ mod tests {
 
     #[test]
     fn groups_cover_all_levels_exactly_once() {
-        let solver =
-            CusparseLikeSolver::analyse(generate::grid2d::<f64>(25, 25, 67)).unwrap();
+        let solver = CusparseLikeSolver::analyse(generate::grid2d::<f64>(25, 25, 67)).unwrap();
         let mut next = 0usize;
         let mut total_rows = 0usize;
         for g in solver.launch_groups() {

@@ -86,10 +86,8 @@ impl<S: Scalar> LevelSetSolver<S> {
                     x[i] = solve_row(l, b, x, i);
                 }
             } else {
-                let solved: Vec<(usize, S)> = items
-                    .par_iter()
-                    .map(|&i| (i, solve_row(l, b, x, i)))
-                    .collect();
+                let solved: Vec<(usize, S)> =
+                    items.par_iter().map(|&i| (i, solve_row(l, b, x, i))).collect();
                 for (i, xi) in solved {
                     x[i] = xi;
                 }
@@ -172,8 +170,7 @@ mod tests {
 
     #[test]
     fn rejects_non_triangular_matrix() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.]).unwrap();
         assert!(LevelSetSolver::new(a).is_err());
     }
 

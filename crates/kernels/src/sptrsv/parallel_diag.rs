@@ -51,8 +51,8 @@ mod tests {
 
     #[test]
     fn solves_diagonal_system() {
-        let l = Csr::<f64>::try_new(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![2., 4., 8.])
-            .unwrap();
+        let l =
+            Csr::<f64>::try_new(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![2., 4., 8.]).unwrap();
         let x = parallel_diag(&l, &[2.0, 8.0, 32.0]).unwrap();
         assert_eq!(x, vec![1.0, 2.0, 4.0]);
     }

@@ -84,8 +84,7 @@ mod tests {
     #[test]
     fn hand_computed_2x2() {
         // [2 0; 1 4] x = [2, 9]  =>  x = [1, 2]
-        let l = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![2., 1., 4.])
-            .unwrap();
+        let l = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![2., 1., 4.]).unwrap();
         let x = serial_csr(&l, &[2.0, 9.0]).unwrap();
         assert_eq!(x, vec![1.0, 2.0]);
     }

@@ -99,12 +99,12 @@ impl<S: Scalar> SyncFreeSolver<S> {
 
         let nthreads = self.nthreads.min(n);
         let csc = &self.csc;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let in_degree = &in_degree;
                 let left_sum = &left_sum;
                 let x = &x;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Static cyclic assignment in ascending order (see the
                     // module docs for why this cannot deadlock).
                     let mut i = t;
@@ -134,8 +134,7 @@ impl<S: Scalar> SyncFreeSolver<S> {
                     }
                 });
             }
-        })
-        .expect("sync-free worker panicked");
+        });
 
         Ok(x.iter().map(|a| a.load()).collect())
     }
@@ -175,13 +174,13 @@ impl<S: Scalar> SyncFreeSolver<S> {
 
         let nthreads = self.nthreads.min(n);
         let csc = &self.csc;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let in_degree = &in_degree;
                 let left_sum = &left_sum;
                 let x = &x;
                 let b = &b;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut i = t;
                     while i < n {
                         let mut spins = 0u32;
@@ -213,8 +212,7 @@ impl<S: Scalar> SyncFreeSolver<S> {
                     }
                 });
             }
-        })
-        .expect("sync-free multi-rhs worker panicked");
+        });
 
         let mut out = MultiVector::zeros(n, k);
         for c in 0..k {

@@ -59,11 +59,11 @@ impl<S: Scalar> SyncFreeCsrSolver<S> {
         let ready: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let nthreads = self.nthreads.min(n);
         let l = &self.l;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let x = &x;
                 let ready = &ready;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut i = t;
                     while i < n {
                         let (cols, vals) = l.row(i);
@@ -89,8 +89,7 @@ impl<S: Scalar> SyncFreeCsrSolver<S> {
                     }
                 });
             }
-        })
-        .expect("sync-free CSR worker panicked");
+        });
         Ok(x.iter().map(|a| a.load()).collect())
     }
 }

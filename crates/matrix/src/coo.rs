@@ -66,11 +66,7 @@ impl<S: Scalar> Coo<S> {
 
     /// Iterate over the stored triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
-        self.rows
-            .iter()
-            .zip(&self.cols)
-            .zip(&self.vals)
-            .map(|((&i, &j), &v)| (i, j, v))
+        self.rows.iter().zip(&self.cols).zip(&self.vals).map(|((&i, &j), &v)| (i, j, v))
     }
 
     /// Convert to CSR. Triplets are sorted `(row, col)` and duplicates are

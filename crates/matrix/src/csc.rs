@@ -193,8 +193,7 @@ mod tests {
         // [1 0 0]
         // [2 3 0]
         // [0 4 5]
-        Csr::try_new(3, 3, vec![0, 1, 3, 5], vec![0, 0, 1, 1, 2], vec![1., 2., 3., 4., 5.])
-            .unwrap()
+        Csr::try_new(3, 3, vec![0, 1, 3, 5], vec![0, 0, 1, 1, 2], vec![1., 2., 3., 4., 5.]).unwrap()
     }
 
     #[test]

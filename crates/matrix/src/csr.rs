@@ -236,11 +236,7 @@ impl<S: Scalar> Csr<S> {
 
     /// Extract the sub-matrix of `rows × cols` (half-open ranges), reindexed
     /// to start at zero. Entries outside `cols` are dropped.
-    pub fn submatrix(
-        &self,
-        rows: std::ops::Range<usize>,
-        cols: std::ops::Range<usize>,
-    ) -> Csr<S> {
+    pub fn submatrix(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Csr<S> {
         let nrows = rows.len();
         let ncols = cols.len();
         let mut row_ptr = Vec::with_capacity(nrows + 1);
@@ -300,8 +296,7 @@ mod tests {
         // [1 0 2]
         // [0 3 0]
         // [4 0 5]
-        Csr::try_new(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![1., 2., 3., 4., 5.])
-            .unwrap()
+        Csr::try_new(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![1., 2., 3., 4., 5.]).unwrap()
     }
 
     #[test]

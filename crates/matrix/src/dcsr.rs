@@ -196,14 +196,7 @@ mod tests {
 
     fn sparse_square() -> Csr<f64> {
         // 6×6 with rows 1 and 4 non-empty.
-        Csr::try_new(
-            6,
-            6,
-            vec![0, 0, 2, 2, 2, 3, 3],
-            vec![0, 3, 5],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap()
+        Csr::try_new(6, 6, vec![0, 0, 2, 2, 2, 3, 3], vec![0, 3, 5], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -261,8 +254,7 @@ mod tests {
 
     #[test]
     fn try_new_rejects_unsorted_row_ids() {
-        let r =
-            Dcsr::<f64>::try_new(4, 4, vec![2, 1], vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        let r = Dcsr::<f64>::try_new(4, 4, vec![2, 1], vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
         assert!(r.is_err());
     }
 

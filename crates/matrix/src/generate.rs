@@ -271,11 +271,8 @@ pub fn rect_random<S: Scalar>(
     rows.shuffle(&mut r);
     let filled = &rows[..filled_target.min(nrows)];
     // Compensate average so overall nnz/nrows matches `avg_row_nnz`.
-    let per_filled = if filled.is_empty() {
-        0.0
-    } else {
-        avg_row_nnz * nrows as f64 / filled.len() as f64
-    };
+    let per_filled =
+        if filled.is_empty() { 0.0 } else { avg_row_nnz * nrows as f64 / filled.len() as f64 };
     let mut seen = Vec::new();
     for &i in filled {
         let boost = if skew > 0.0 && r.gen_bool(0.05) { skew.exp() } else { 1.0 };
@@ -303,16 +300,18 @@ pub fn rect_random<S: Scalar>(
 /// plenty of columns exist below them) and receive ≈`degree` uniformly
 /// random dependencies each. The diagonal is re-dominated afterwards so the
 /// system stays well conditioned.
-pub fn with_heavy_rows<S: Scalar>(
-    l: &Csr<S>,
-    n_heavy: usize,
-    degree: usize,
-    seed: u64,
-) -> Csr<S> {
+///
+/// The added dependencies are restricted to rows on strictly **shallower
+/// level sets** than the heavy row, so the transformation lengthens rows
+/// without deepening the dependency DAG: the level-set structure of `l` is
+/// preserved exactly, for any seed. (Heavy rows model hub *bandwidth*
+/// pressure, not extra serialisation.)
+pub fn with_heavy_rows<S: Scalar>(l: &Csr<S>, n_heavy: usize, degree: usize, seed: u64) -> Csr<S> {
     let n = l.nrows();
     if n < 8 || n_heavy == 0 || degree == 0 {
         return l.clone();
     }
+    let levels = crate::levelset::LevelSets::analyse_unchecked(l);
     let mut r = rng(seed ^ 0x5bd1_e995);
     let mut coo = Coo::<S>::with_capacity(n, n, l.nnz() + n_heavy * degree);
     let mut row_abs = vec![0.0f64; n];
@@ -339,11 +338,17 @@ pub fn with_heavy_rows<S: Scalar>(
         let mut added = 0usize;
         let mut j = offset;
         while j < i && added < d {
-            let v = r.gen_range(0.01..0.1);
-            // Duplicates with existing entries are merged by the CSR build.
-            coo.push(i, j, S::from_f64(v)).expect("heavy entry in range");
-            row_abs[i] += v;
-            added += 1;
+            // Only depend on strictly shallower levels, so the heavy row's
+            // own level — and hence the whole level-set profile — is
+            // unchanged.
+            if levels.level_of(j) < levels.level_of(i) {
+                let v = r.gen_range(0.01..0.1);
+                // Duplicates with existing entries are merged by the CSR
+                // build.
+                coo.push(i, j, S::from_f64(v)).expect("heavy entry in range");
+                row_abs[i] += v;
+                added += 1;
+            }
             j += stride;
         }
     }

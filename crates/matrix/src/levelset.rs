@@ -304,8 +304,7 @@ mod tests {
         let mut pos = 0usize;
         for lv in 0..ls.nlevels() {
             let size = ls.level_size(lv);
-            let lens: Vec<usize> =
-                (pos..pos + size).map(|new| l.row_nnz(p.old_of(new))).collect();
+            let lens: Vec<usize> = (pos..pos + size).map(|new| l.row_nnz(p.old_of(new))).collect();
             assert!(lens.windows(2).all(|w| w[0] <= w[1]), "level {lv} unsorted");
             pos += size;
         }
@@ -313,8 +312,7 @@ mod tests {
 
     #[test]
     fn analyse_rejects_non_triangular() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 1., 1.]).unwrap();
         assert!(LevelSets::analyse(&a).is_err());
     }
 

@@ -28,6 +28,7 @@ pub mod csc;
 pub mod csr;
 pub mod dcsr;
 pub mod error;
+pub mod fingerprint;
 pub mod generate;
 pub mod levelset;
 pub mod mm;
@@ -42,6 +43,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dcsr::Dcsr;
 pub use error::MatrixError;
+pub use fingerprint::Fingerprint;
 pub use levelset::LevelSets;
 pub use scalar::{AtomicF32, AtomicF64, Scalar, ScalarAtomic};
 pub use stats::MatrixStats;

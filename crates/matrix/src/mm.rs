@@ -100,9 +100,7 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, Matri
         let v = match field {
             Field::Pattern => S::ONE,
             Field::Real | Field::Integer => {
-                let raw = parts
-                    .next()
-                    .ok_or_else(|| MatrixError::Parse("missing value".into()))?;
+                let raw = parts.next().ok_or_else(|| MatrixError::Parse("missing value".into()))?;
                 S::from_f64(
                     raw.parse::<f64>().map_err(|e| MatrixError::Parse(format!("value: {e}")))?,
                 )
@@ -154,7 +152,8 @@ mod tests {
 
     #[test]
     fn parse_general_real() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 2.5\n3 2 -1.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 2.5\n3 2 -1.0\n";
         let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(a.nrows(), 3);
         assert_eq!(a.get(0, 0), Some(2.5));

@@ -108,10 +108,7 @@ impl Permutation {
 
 /// Symmetric permutation of a square CSR matrix: `B = P A Pᵀ`, i.e.
 /// `B[new_i][new_j] = A[perm[new_i]][perm[new_j]]`, with rows re-sorted.
-pub fn permute_symmetric<S: Scalar>(
-    a: &Csr<S>,
-    p: &Permutation,
-) -> Result<Csr<S>, MatrixError> {
+pub fn permute_symmetric<S: Scalar>(a: &Csr<S>, p: &Permutation) -> Result<Csr<S>, MatrixError> {
     if a.nrows() != a.ncols() {
         return Err(MatrixError::DimensionMismatch {
             what: "symmetric permutation (matrix must be square)",
@@ -191,8 +188,7 @@ mod tests {
     #[test]
     fn symmetric_permutation_moves_entries() {
         // A = [[1,0],[5,2]]; swap rows/cols.
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 5., 2.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1., 5., 2.]).unwrap();
         let p = Permutation::from_forward(vec![1, 0]).unwrap();
         let b = permute_symmetric(&a, &p).unwrap();
         // B[0][0] = A[1][1] = 2, B[0][1] = A[1][0] = 5, B[1][1] = A[0][0] = 1.

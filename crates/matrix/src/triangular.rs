@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn explicit_zero_diag_becomes_unit() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![0.0, 2.0, 3.0])
-            .unwrap();
+        let a =
+            Csr::<f64>::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![0.0, 2.0, 3.0]).unwrap();
         let l = lower_with_diag(&a).unwrap();
         assert_eq!(l.get(0, 0), Some(1.0));
         assert_eq!(l.get(1, 1), Some(3.0));
@@ -180,8 +180,7 @@ mod tests {
 
     #[test]
     fn check_solvable_flags_upper_entry() {
-        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 5., 1.])
-            .unwrap();
+        let a = Csr::<f64>::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1., 5., 1.]).unwrap();
         assert!(matches!(
             check_solvable_lower(&a),
             Err(MatrixError::NotTriangular { row: 0, col: 1 })

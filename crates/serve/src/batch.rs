@@ -1,0 +1,197 @@
+//! Bounded request queue with per-matrix coalescing.
+//!
+//! Requests for the same plan land in one per-matrix queue; a round-robin
+//! ready list hands matrices to workers, and each worker drains up to
+//! `max_batch` right-hand sides from its matrix in one go — that drained
+//! slice becomes a single multi-RHS solve. The global bound counts
+//! individual right-hand sides: when it is reached, `try_push` fails fast
+//! with [`ServeError::Overloaded`] and `push_blocking` parks the caller
+//! until a worker frees space.
+
+use crate::cache::PlanKey;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use recblock::RecBlockSolver;
+use recblock_matrix::Scalar;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One accepted right-hand side awaiting solution.
+pub(crate) struct Pending<S> {
+    pub rhs: Vec<S>,
+    pub tx: mpsc::Sender<Result<Vec<S>, ServeError>>,
+    pub submitted: Instant,
+}
+
+/// What a worker takes in one drain: a plan and 1..=max_batch requests.
+pub(crate) struct Batch<S> {
+    pub plan: Arc<RecBlockSolver<S>>,
+    pub requests: Vec<Pending<S>>,
+}
+
+struct MatrixQueue<S> {
+    plan: Arc<RecBlockSolver<S>>,
+    pending: VecDeque<Pending<S>>,
+}
+
+struct Inner<S> {
+    queues: HashMap<PlanKey, MatrixQueue<S>>,
+    /// Keys with non-empty queues, each present at most once; popped
+    /// round-robin so no matrix starves.
+    ready: VecDeque<PlanKey>,
+    depth: usize,
+    shutting_down: bool,
+}
+
+pub(crate) struct BatchQueue<S> {
+    inner: Mutex<Inner<S>>,
+    /// Workers wait here for work (or shutdown).
+    work_cv: Condvar,
+    /// Blocking submitters wait here for space.
+    space_cv: Condvar,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl<S: Scalar> BatchQueue<S> {
+    pub(crate) fn new(capacity: usize, metrics: Arc<Metrics>) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                ready: VecDeque::new(),
+                depth: 0,
+                shutting_down: false,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity,
+            metrics,
+        }
+    }
+
+    /// Enqueue without blocking; `Overloaded` when the bound is hit.
+    pub(crate) fn try_push(
+        &self,
+        key: PlanKey,
+        plan: &Arc<RecBlockSolver<S>>,
+        req: Pending<S>,
+    ) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.depth >= self.capacity {
+            self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(ServeError::Overloaded { depth: inner.depth, capacity: self.capacity });
+        }
+        self.enqueue(&mut inner, key, plan, req);
+        Ok(())
+    }
+
+    /// Enqueue, parking the caller while the queue is full.
+    pub(crate) fn push_blocking(
+        &self,
+        key: PlanKey,
+        plan: &Arc<RecBlockSolver<S>>,
+        req: Pending<S>,
+    ) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.depth >= self.capacity && !inner.shutting_down {
+            inner = self.space_cv.wait(inner).unwrap();
+        }
+        if inner.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.enqueue(&mut inner, key, plan, req);
+        Ok(())
+    }
+
+    fn enqueue(
+        &self,
+        inner: &mut Inner<S>,
+        key: PlanKey,
+        plan: &Arc<RecBlockSolver<S>>,
+        req: Pending<S>,
+    ) {
+        let queue = inner
+            .queues
+            .entry(key)
+            .or_insert_with(|| MatrixQueue { plan: plan.clone(), pending: VecDeque::new() });
+        let was_empty = queue.pending.is_empty();
+        queue.pending.push_back(req);
+        if was_empty {
+            inner.ready.push_back(key);
+        }
+        inner.depth += 1;
+        self.metrics.submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.queue_depth_changed(inner.depth);
+        self.work_cv.notify_one();
+    }
+
+    /// Next batch for a worker. Blocks while the queue is empty; returns
+    /// `None` only at shutdown **after** everything queued has been handed
+    /// out — that is the graceful-drain guarantee.
+    pub(crate) fn next_batch(&self, max_batch: usize) -> Option<Batch<S>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(key) = inner.ready.pop_front() {
+                let (batch, exhausted) = {
+                    let queue = inner.queues.get_mut(&key).expect("ready key has a queue");
+                    let take = queue.pending.len().min(max_batch.max(1));
+                    let requests: Vec<Pending<S>> = queue.pending.drain(..take).collect();
+                    (Batch { plan: queue.plan.clone(), requests }, queue.pending.is_empty())
+                };
+                if exhausted {
+                    // Drop the per-matrix queue; the plan stays alive in the
+                    // cache (and in the batch being solved).
+                    inner.queues.remove(&key);
+                } else {
+                    inner.ready.push_back(key);
+                }
+                inner.depth -= batch.requests.len();
+                self.metrics.queue_depth_changed(inner.depth);
+                self.space_cv.notify_all();
+                return Some(batch);
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self.work_cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Flip into shutdown: submitters are refused from now on, workers keep
+    /// draining until the queue is empty.
+    pub(crate) fn begin_shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shutting_down = true;
+        drop(inner);
+        self.work_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Cancel whatever is still queued (only possible when no workers are
+    /// draining, e.g. a zero-worker service). Each pending request receives
+    /// [`ServeError::ShuttingDown`].
+    pub(crate) fn cancel_remaining(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.ready.clear();
+        let queues = std::mem::take(&mut inner.queues);
+        inner.depth = 0;
+        self.metrics.queue_depth_changed(0);
+        drop(inner);
+        for (_, q) in queues {
+            for req in q.pending {
+                self.metrics.cancelled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let _ = req.tx.send(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+
+    /// Queued right-hand sides right now.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().unwrap().depth
+    }
+}

@@ -1,0 +1,311 @@
+//! Sharded, capacity-bounded plan cache with single-flight builds.
+//!
+//! Preprocessing dominates a one-shot solve (the paper's Table 5 puts it at
+//! ≈ 9× one SpTRSV), so the cache's job is to make sure each distinct matrix
+//! is preprocessed **once** no matter how many threads ask concurrently:
+//! the first requester installs a `Building` slot and runs the build outside
+//! every lock; the rest find the slot and wait on its condvar. Plans are
+//! keyed by structure *and* values — a [`recblock::RecBlockSolver`] embeds
+//! the factor's numeric entries, so a structure-only key would alias
+//! matrices that solve differently.
+//!
+//! Capacity is enforced per shard with least-recently-used eviction;
+//! in-flight (`Building`) entries are never chosen as victims.
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use recblock::RecBlockSolver;
+use recblock_matrix::{Csr, Fingerprint, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Cache key: structural fingerprint plus a digest of the numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structure digest (dims + `row_ptr` + `col_idx`).
+    pub structure: Fingerprint,
+    /// Value digest (bit patterns of the stored entries).
+    pub values: u64,
+}
+
+impl PlanKey {
+    /// Compute the key for a matrix.
+    pub fn of<S: Scalar>(l: &Csr<S>) -> Self {
+        PlanKey { structure: l.fingerprint(), values: l.value_digest() }
+    }
+}
+
+enum SlotState<S> {
+    Building,
+    Ready(Arc<RecBlockSolver<S>>),
+    Failed(String),
+}
+
+struct Slot<S> {
+    state: Mutex<SlotState<S>>,
+    cv: Condvar,
+}
+
+struct Entry<S> {
+    slot: Arc<Slot<S>>,
+    /// Logical LRU timestamp (global tick at last touch).
+    stamp: u64,
+}
+
+type Shard<S> = HashMap<PlanKey, Entry<S>>;
+
+/// Sharded LRU of preprocessed plans. See the module docs.
+pub struct PlanCache<S> {
+    shards: Vec<Mutex<Shard<S>>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    metrics: Arc<Metrics>,
+}
+
+impl<S: Scalar> PlanCache<S> {
+    pub(crate) fn new(capacity: usize, shards: usize, metrics: Arc<Metrics>) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        PlanCache {
+            per_shard_capacity: capacity.div_ceil(shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            tick: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    fn shard_of(&self, key: &PlanKey) -> &Mutex<Shard<S>> {
+        let h = key.structure.hash ^ key.values.rotate_left(17);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Plans currently resident (including in-flight builds).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Return the cached plan for `key`, building it with `build` on a miss.
+    ///
+    /// Exactly one caller runs `build` per resident key; concurrent callers
+    /// block until that build resolves. A failed build is not cached — the
+    /// error is reported to everyone waiting, then the next request retries.
+    pub fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<RecBlockSolver<S>, recblock_matrix::MatrixError>,
+    ) -> Result<Arc<RecBlockSolver<S>>, ServeError> {
+        let stamp = self.tick.fetch_add(1, Relaxed);
+        let slot = {
+            let mut shard = self.shard_of(&key).lock().unwrap();
+            if let Some(entry) = shard.get_mut(&key) {
+                entry.stamp = stamp;
+                self.metrics.cache_hits.fetch_add(1, Relaxed);
+                let slot = entry.slot.clone();
+                drop(shard);
+                return self.wait_ready(&slot);
+            }
+            self.metrics.cache_misses.fetch_add(1, Relaxed);
+            let slot =
+                Arc::new(Slot { state: Mutex::new(SlotState::Building), cv: Condvar::new() });
+            shard.insert(key, Entry { slot: slot.clone(), stamp });
+            self.evict_over_capacity(&mut shard, &key);
+            slot
+        };
+
+        let t0 = Instant::now();
+        let built = build();
+        let elapsed = t0.elapsed();
+        match built {
+            Ok(solver) => {
+                self.metrics.plan_builds.fetch_add(1, Relaxed);
+                self.metrics.preprocess_ns.fetch_add(elapsed.as_nanos() as u64, Relaxed);
+                let plan = Arc::new(solver);
+                let mut state = slot.state.lock().unwrap();
+                *state = SlotState::Ready(plan.clone());
+                drop(state);
+                slot.cv.notify_all();
+                Ok(plan)
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                let mut state = slot.state.lock().unwrap();
+                *state = SlotState::Failed(msg.clone());
+                drop(state);
+                slot.cv.notify_all();
+                // Un-cache the failure so a later submit retries the build.
+                let mut shard = self.shard_of(&key).lock().unwrap();
+                if let Some(entry) = shard.get(&key) {
+                    if Arc::ptr_eq(&entry.slot, &slot) {
+                        shard.remove(&key);
+                    }
+                }
+                Err(ServeError::PlanBuild(msg))
+            }
+        }
+    }
+
+    fn wait_ready(&self, slot: &Slot<S>) -> Result<Arc<RecBlockSolver<S>>, ServeError> {
+        let mut state = slot.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Ready(plan) => {
+                    self.metrics
+                        .preprocess_saved_ns
+                        .fetch_add(plan.preprocess_time().as_nanos() as u64, Relaxed);
+                    return Ok(plan.clone());
+                }
+                SlotState::Failed(msg) => return Err(ServeError::PlanBuild(msg.clone())),
+                SlotState::Building => state = slot.cv.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Evict least-recently-used resolved entries until the shard fits.
+    /// `Building` entries are skipped: their builder and waiters hold the
+    /// slot regardless, and evicting one would only duplicate the build.
+    fn evict_over_capacity(&self, shard: &mut Shard<S>, keep: &PlanKey) {
+        while shard.len() > self.per_shard_capacity {
+            let victim = shard
+                .iter()
+                .filter(|(k, entry)| {
+                    *k != keep
+                        && entry
+                            .slot
+                            .state
+                            .try_lock()
+                            .map(|s| !matches!(*s, SlotState::Building))
+                            .unwrap_or(false)
+                })
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    shard.remove(&k);
+                    self.metrics.cache_evictions.fetch_add(1, Relaxed);
+                }
+                // Everything else is mid-build; tolerate transient overshoot.
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock::SolverOptions;
+    use recblock_matrix::generate;
+
+    fn cache(capacity: usize, shards: usize) -> (PlanCache<f64>, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::default());
+        (PlanCache::new(capacity, shards, metrics.clone()), metrics)
+    }
+
+    fn build_for(l: &Csr<f64>) -> Result<RecBlockSolver<f64>, recblock_matrix::MatrixError> {
+        RecBlockSolver::new(l, SolverOptions::default())
+    }
+
+    #[test]
+    fn hit_returns_same_plan_without_rebuild() {
+        let (cache, metrics) = cache(4, 2);
+        let l = generate::random_lower::<f64>(200, 3.0, 31);
+        let key = PlanKey::of(&l);
+        let p1 = cache.get_or_build(key, || build_for(&l)).unwrap();
+        let p2 = cache.get_or_build(key, || panic!("must not rebuild")).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(metrics.plan_builds.load(Relaxed), 1);
+        assert_eq!(metrics.cache_hits.load(Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn value_change_is_a_different_key() {
+        let l = generate::random_lower::<f64>(100, 3.0, 32);
+        let mut l2 = l.clone();
+        let v0 = l2.vals()[0];
+        l2.vals_mut()[0] = v0 * 3.0;
+        assert_ne!(PlanKey::of(&l), PlanKey::of(&l2));
+        assert_eq!(PlanKey::of(&l).structure, PlanKey::of(&l2).structure);
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_capacity() {
+        // Single shard so the LRU order is global and deterministic.
+        let (cache, metrics) = cache(2, 1);
+        let mats: Vec<_> =
+            (0..3).map(|i| generate::random_lower::<f64>(120 + i, 3.0, 40 + i as u64)).collect();
+        for m in &mats {
+            cache.get_or_build(PlanKey::of(m), || build_for(m)).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(metrics.cache_evictions.load(Relaxed), 1);
+        // mats[0] was evicted (least recently used) → rebuilding it is a miss.
+        cache.get_or_build(PlanKey::of(&mats[0]), || build_for(&mats[0])).unwrap();
+        assert_eq!(metrics.cache_misses.load(Relaxed), 4);
+        // mats[2] is still resident → hit.
+        cache.get_or_build(PlanKey::of(&mats[2]), || panic!("mats[2] should be cached")).unwrap();
+        assert_eq!(metrics.cache_hits.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order() {
+        let (cache, _metrics) = cache(2, 1);
+        let a = generate::random_lower::<f64>(100, 3.0, 50);
+        let b = generate::random_lower::<f64>(101, 3.0, 51);
+        let c = generate::random_lower::<f64>(102, 3.0, 52);
+        cache.get_or_build(PlanKey::of(&a), || build_for(&a)).unwrap();
+        cache.get_or_build(PlanKey::of(&b), || build_for(&b)).unwrap();
+        // Touch `a`, making `b` the LRU victim when `c` arrives.
+        cache.get_or_build(PlanKey::of(&a), || panic!("a is cached")).unwrap();
+        cache.get_or_build(PlanKey::of(&c), || build_for(&c)).unwrap();
+        cache.get_or_build(PlanKey::of(&a), || panic!("a must survive")).unwrap();
+    }
+
+    #[test]
+    fn failed_build_reported_and_retried() {
+        let (cache, metrics) = cache(4, 1);
+        let l = generate::random_lower::<f64>(80, 3.0, 60);
+        let key = PlanKey::of(&l);
+        let err = cache
+            .get_or_build(key, || Err(recblock_matrix::MatrixError::SingularDiagonal { row: 0 }))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::PlanBuild(_)));
+        assert!(cache.is_empty(), "failures are not cached");
+        // Retry succeeds and builds fresh.
+        cache.get_or_build(key, || build_for(&l)).unwrap();
+        assert_eq!(metrics.plan_builds.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn single_flight_under_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        let (cache, metrics) = cache(4, 2);
+        let l = generate::random_lower::<f64>(400, 4.0, 61);
+        let key = PlanKey::of(&l);
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let plan = cache
+                        .get_or_build(key, || {
+                            builds.fetch_add(1, Relaxed);
+                            // Widen the race window so waiters really wait.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            build_for(&l)
+                        })
+                        .unwrap();
+                    assert_eq!(plan.n(), 400);
+                });
+            }
+        });
+        assert_eq!(builds.load(Relaxed), 1, "exactly one thread builds");
+        assert_eq!(metrics.plan_builds.load(Relaxed), 1);
+        assert_eq!(metrics.cache_hits.load(Relaxed) + metrics.cache_misses.load(Relaxed), 8);
+    }
+}

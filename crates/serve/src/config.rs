@@ -1,0 +1,82 @@
+//! Service tuning knobs.
+
+use recblock::SolverOptions;
+
+/// Configuration for [`crate::SolveService`].
+///
+/// The defaults are sized for an interactive service on the current host:
+/// one worker per available core, batches capped at 8 columns (past that
+/// the multi-RHS walk's vector working set stops fitting alongside the
+/// matrix), and a queue a few hundred requests deep.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Solver worker threads. `0` is accepted (useful in tests: nothing
+    /// drains, so backpressure is exercised deterministically).
+    pub workers: usize,
+    /// Maximum right-hand sides coalesced into one multi-RHS solve.
+    pub max_batch: usize,
+    /// Bound on queued (accepted, not yet solved) requests across all
+    /// matrices. Beyond it [`crate::SolveService::try_submit`] fails fast
+    /// with [`crate::ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Total cached plans across all shards. Least-recently-used plans are
+    /// evicted once the bound is exceeded.
+    pub cache_capacity: usize,
+    /// Lock shards for the plan cache. More shards reduce contention when
+    /// many distinct matrices are in flight.
+    pub cache_shards: usize,
+    /// Preprocessing options handed to every plan build.
+    pub solver: SolverOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        ServeConfig {
+            workers: cores,
+            max_batch: 8,
+            queue_capacity: 256,
+            cache_capacity: 16,
+            cache_shards: 8,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the per-solve batching cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Set the queue bound that triggers backpressure.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the plan-cache capacity (total across shards).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the plan-cache shard count.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Set the preprocessing options used for plan builds.
+    pub fn with_solver(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+}

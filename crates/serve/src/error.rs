@@ -1,0 +1,60 @@
+//! Typed service errors.
+
+use recblock_matrix::MatrixError;
+use std::fmt;
+
+/// Everything that can go wrong between `submit` and a delivered solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is full. The caller should back off and retry;
+    /// nothing was enqueued.
+    Overloaded {
+        /// Queued requests at rejection time.
+        depth: usize,
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The right-hand side length does not match the matrix.
+    BadRequest {
+        /// Rows of the submitted matrix.
+        expected: usize,
+        /// Length of the submitted right-hand side.
+        actual: usize,
+    },
+    /// Preprocessing the matrix failed; the message is the underlying
+    /// builder error. The failed plan is not cached — a later submit
+    /// retries the build.
+    PlanBuild(String),
+    /// The solve itself failed.
+    Solver(MatrixError),
+    /// The request was dropped without an answer (worker loss or shutdown
+    /// racing the response channel).
+    Cancelled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "service overloaded: {depth} queued requests (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest { expected, actual } => {
+                write!(f, "rhs length {actual} does not match matrix rows {expected}")
+            }
+            ServeError::PlanBuild(msg) => write!(f, "plan preprocessing failed: {msg}"),
+            ServeError::Solver(e) => write!(f, "solve failed: {e}"),
+            ServeError::Cancelled => write!(f, "request cancelled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<MatrixError> for ServeError {
+    fn from(e: MatrixError) -> Self {
+        ServeError::Solver(e)
+    }
+}

@@ -1,0 +1,292 @@
+//! Built-in service metrics.
+//!
+//! Everything is lock-free atomics so the hot path (submit, batch drain,
+//! solve completion) never serialises on a metrics mutex. A
+//! [`MetricsSnapshot`] is a consistent-enough point-in-time copy — counters
+//! are read individually, so cross-counter invariants (e.g. `submitted ==
+//! completed + rejected + in flight`) hold only at quiescence.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Exact batch sizes are tracked up to this; larger batches land in the
+/// final overflow bucket.
+pub const BATCH_BUCKETS: usize = 33;
+/// Log₂ nanosecond buckets for solve latency: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` ns, with the last bucket open-ended (≥ ~9.2 s).
+pub const LATENCY_BUCKETS: usize = 34;
+
+/// Shared atomic counters. One instance lives behind an `Arc` shared by the
+/// cache, the queue, the workers and the service front end.
+#[derive(Debug)]
+pub struct Metrics {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) cache_evictions: AtomicU64,
+    pub(crate) plan_builds: AtomicU64,
+    pub(crate) preprocess_ns: AtomicU64,
+    pub(crate) preprocess_saved_ns: AtomicU64,
+
+    pub(crate) batches: AtomicU64,
+    pub(crate) multi_column_batches: AtomicU64,
+    pub(crate) batched_columns: AtomicU64,
+    pub(crate) batch_hist: [AtomicU64; BATCH_BUCKETS],
+
+    pub(crate) latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    pub(crate) latency_ns_sum: AtomicU64,
+    pub(crate) latency_count: AtomicU64,
+
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) queue_depth_peak: AtomicUsize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        // `[AtomicU64; N]: Default` stops at N = 32, so spell it out.
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            plan_builds: AtomicU64::new(0),
+            preprocess_ns: AtomicU64::new(0),
+            preprocess_saved_ns: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            multi_column_batches: AtomicU64::new(0),
+            batched_columns: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_ns_sum: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_depth_peak: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    pub(crate) fn record_batch(&self, k: usize) {
+        self.batches.fetch_add(1, Relaxed);
+        self.batched_columns.fetch_add(k as u64, Relaxed);
+        if k > 1 {
+            self.multi_column_batches.fetch_add(1, Relaxed);
+        }
+        self.batch_hist[k.min(BATCH_BUCKETS - 1)].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, elapsed: Duration) {
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        let idx = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_hist[idx].fetch_add(1, Relaxed);
+        self.latency_ns_sum.fetch_add(ns, Relaxed);
+        self.latency_count.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn queue_depth_changed(&self, depth: usize) {
+        self.queue_depth.store(depth, Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// Copy every counter into a plain struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batch_sizes = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter_map(|(k, c)| {
+                let c = c.load(Relaxed);
+                (c > 0).then_some((k, c))
+            })
+            .collect();
+        let latency_buckets = self
+            .latency_hist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.load(Relaxed);
+                (c > 0).then_some((1u64 << (i + 1).min(63), c))
+            })
+            .collect();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            cancelled: self.cancelled.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            cache_evictions: self.cache_evictions.load(Relaxed),
+            plan_builds: self.plan_builds.load(Relaxed),
+            preprocess_time: Duration::from_nanos(self.preprocess_ns.load(Relaxed)),
+            preprocess_time_saved: Duration::from_nanos(self.preprocess_saved_ns.load(Relaxed)),
+            batches: self.batches.load(Relaxed),
+            multi_column_batches: self.multi_column_batches.load(Relaxed),
+            batched_columns: self.batched_columns.load(Relaxed),
+            batch_sizes,
+            latency_buckets,
+            mean_latency: mean(self.latency_ns_sum.load(Relaxed), self.latency_count.load(Relaxed)),
+            queue_depth: self.queue_depth.load(Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Relaxed),
+        }
+    }
+}
+
+fn mean(sum_ns: u64, count: u64) -> Duration {
+    Duration::from_nanos(sum_ns.checked_div(count).unwrap_or(0))
+}
+
+/// Point-in-time copy of the service counters. See [`Metrics::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a solution.
+    pub completed: u64,
+    /// Requests refused with [`crate::ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests answered with a solve error.
+    pub failed: u64,
+    /// Requests dropped at shutdown without an answer.
+    pub cancelled: u64,
+    /// Plan-cache lookups that found (or joined an in-flight build of) an
+    /// existing plan.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that had to start a build.
+    pub cache_misses: u64,
+    /// Plans dropped to respect the capacity bound.
+    pub cache_evictions: u64,
+    /// Preprocessing runs actually executed.
+    pub plan_builds: u64,
+    /// Wall-clock spent preprocessing (across all builds).
+    pub preprocess_time: Duration,
+    /// Preprocessing wall-clock avoided by cache hits: each hit credits the
+    /// cached plan's own build time — the quantity the paper's Table 5
+    /// amortisation argument is about.
+    pub preprocess_time_saved: Duration,
+    /// Solve batches executed.
+    pub batches: u64,
+    /// Batches that coalesced more than one right-hand side.
+    pub multi_column_batches: u64,
+    /// Total right-hand sides across all batches.
+    pub batched_columns: u64,
+    /// `(batch size, count)` pairs; sizes ≥ [`BATCH_BUCKETS`]`-1` share the
+    /// final bucket.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// `(upper bound in ns, count)` log₂ latency buckets (submit → answer).
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Mean submit→answer latency.
+    pub mean_latency: Duration,
+    /// Queued requests right now.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub queue_depth_peak: usize,
+}
+
+impl MetricsSnapshot {
+    /// Mean columns per executed batch (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_columns as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} rejected, {} failed, {} cancelled",
+            self.submitted, self.completed, self.rejected, self.failed, self.cancelled
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits / {} misses, {} builds ({:?} building, {:?} saved), {} evictions",
+            self.cache_hits,
+            self.cache_misses,
+            self.plan_builds,
+            self.preprocess_time,
+            self.preprocess_time_saved,
+            self.cache_evictions
+        )?;
+        writeln!(
+            f,
+            "batching: {} batches ({} multi-column), {} columns, mean size {:.2}",
+            self.batches,
+            self.multi_column_batches,
+            self.batched_columns,
+            self.mean_batch_size()
+        )?;
+        write!(
+            f,
+            "latency: mean {:?}; queue depth {} (peak {})",
+            self.mean_latency, self.queue_depth, self.queue_depth_peak
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_counts_and_overflow() {
+        let m = Metrics::default();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.record_batch(4);
+        m.record_batch(500);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.multi_column_batches, 3);
+        assert_eq!(s.batched_columns, 509);
+        assert!(s.batch_sizes.contains(&(1, 1)));
+        assert!(s.batch_sizes.contains(&(4, 2)));
+        assert!(s.batch_sizes.contains(&(BATCH_BUCKETS - 1, 1)));
+        assert!((s.mean_batch_size() - 509.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        let m = Metrics::default();
+        m.record_latency(Duration::from_nanos(1100)); // bucket [1024, 2048) ns
+        m.record_latency(Duration::from_nanos(1500));
+        m.record_latency(Duration::from_secs(1));
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        assert!(s.latency_buckets.iter().any(|&(ub, c)| ub == 2048 && c == 2));
+        assert!(s.mean_latency > Duration::from_millis(300));
+    }
+
+    #[test]
+    fn queue_depth_peak_tracks_maximum() {
+        let m = Metrics::default();
+        m.queue_depth_changed(3);
+        m.queue_depth_changed(9);
+        m.queue_depth_changed(2);
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_peak, 9);
+    }
+
+    #[test]
+    fn snapshot_display_mentions_key_counters() {
+        let m = Metrics::default();
+        m.record_batch(2);
+        let text = m.snapshot().to_string();
+        assert!(text.contains("plan cache"));
+        assert!(text.contains("multi-column"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Worker threads: drain batches, run the fused multi-RHS solve, answer.
+
+use crate::batch::{Batch, BatchQueue};
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use recblock_kernels::sptrsm::MultiVector;
+use recblock_matrix::Scalar;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+pub(crate) fn run<S: Scalar>(queue: Arc<BatchQueue<S>>, metrics: Arc<Metrics>, max_batch: usize) {
+    // Reused across batches whenever the (n, k) shape repeats — the common
+    // case of a stream of same-matrix requests — so the steady state does
+    // not allocate an output block per solve.
+    let mut out: Option<MultiVector<S>> = None;
+    while let Some(batch) = queue.next_batch(max_batch) {
+        solve_batch(batch, &metrics, &mut out);
+    }
+}
+
+fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, out: &mut Option<MultiVector<S>>) {
+    let k = batch.requests.len();
+    metrics.record_batch(k);
+    let n = batch.plan.n();
+
+    if k == 1 {
+        let req = &batch.requests[0];
+        let result = batch.plan.solve(&req.rhs).map_err(ServeError::from);
+        finish(metrics, req, result);
+        return;
+    }
+
+    let mut data = Vec::with_capacity(n * k);
+    for req in &batch.requests {
+        data.extend_from_slice(&req.rhs);
+    }
+    let solved: Result<&MultiVector<S>, ServeError> = (|| {
+        let b = MultiVector::from_columns(n, k, data)?;
+        if !matches!(out, Some(m) if m.n() == n && m.k() == k) {
+            *out = Some(MultiVector::zeros(n, k));
+        }
+        let reuse = out.as_mut().expect("just ensured");
+        batch.plan.solve_multi_into(&b, reuse)?;
+        Ok(&*reuse)
+    })();
+    match solved {
+        Ok(x) => {
+            for (j, req) in batch.requests.iter().enumerate() {
+                finish(metrics, req, Ok(x.col(j).to_vec()));
+            }
+        }
+        Err(e) => {
+            for req in &batch.requests {
+                finish(metrics, req, Err(e.clone()));
+            }
+        }
+    }
+}
+
+fn finish<S: Scalar>(
+    metrics: &Metrics,
+    req: &crate::batch::Pending<S>,
+    result: Result<Vec<S>, ServeError>,
+) {
+    match &result {
+        Ok(_) => {
+            metrics.completed.fetch_add(1, Relaxed);
+        }
+        Err(_) => {
+            metrics.failed.fetch_add(1, Relaxed);
+        }
+    }
+    metrics.record_latency(req.submitted.elapsed());
+    // A dropped handle is fine — the requester stopped listening.
+    let _ = req.tx.send(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Pending;
+    use crate::cache::PlanKey;
+    use recblock::{RecBlockSolver, SolverOptions};
+    use recblock_matrix::generate;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    #[test]
+    fn worker_drains_and_answers_then_exits_on_shutdown() {
+        let metrics = Arc::new(Metrics::default());
+        let queue = Arc::new(BatchQueue::<f64>::new(64, metrics.clone()));
+        let l = generate::random_lower::<f64>(300, 4.0, 70);
+        let plan = Arc::new(RecBlockSolver::new(&l, SolverOptions::default()).unwrap());
+        let key = PlanKey::of(&l);
+
+        let mut rxs = Vec::new();
+        for i in 0..5 {
+            let (tx, rx) = mpsc::channel();
+            let rhs: Vec<f64> = (0..300).map(|r| ((r + i * 37) as f64 * 0.01).cos()).collect();
+            queue.try_push(key, &plan, Pending { rhs, tx, submitted: Instant::now() }).unwrap();
+            rxs.push(rx);
+        }
+
+        let handle = {
+            let (q, m) = (queue.clone(), metrics.clone());
+            std::thread::spawn(move || run(q, m, 4))
+        };
+        for rx in rxs {
+            let x = rx.recv().unwrap().unwrap();
+            assert_eq!(x.len(), 300);
+        }
+        queue.begin_shutdown();
+        handle.join().unwrap();
+        assert_eq!(metrics.completed.load(Relaxed), 5);
+        assert_eq!(metrics.batched_columns.load(Relaxed), 5);
+        assert!(metrics.multi_column_batches.load(Relaxed) >= 1);
+        assert_eq!(queue.depth(), 0);
+    }
+}

@@ -30,7 +30,8 @@ fn main() {
     println!("preprocessing: {:.1} ms (paid once)", prep.as_secs_f64() * 1e3);
 
     // Assemble B column-major.
-    let data: Vec<f64> = (0..n * k).map(|i| ((i * 2_654_435_761) % 1000) as f64 / 500.0 - 1.0).collect();
+    let data: Vec<f64> =
+        (0..n * k).map(|i| ((i * 2_654_435_761) % 1000) as f64 / 500.0 - 1.0).collect();
     let b = MultiVector::from_columns(n, k, data).expect("dimensions");
 
     // solve_multi picks its strategy adaptively: walk the block list once

@@ -21,10 +21,7 @@ fn structures() -> Vec<(&'static str, Csr<f64>)> {
         ("random", generate::random_lower::<f64>(600, 4.0, 5)),
         ("kkt", generate::kkt_like::<f64>(800, 300, 4, 6)),
         ("hub", generate::hub_power_law::<f64>(700, 6, 2, 40, 7)),
-        (
-            "layered",
-            generate::layered::<f64>(650, 13, 2.0, generate::LayerShape::Uniform, 8),
-        ),
+        ("layered", generate::layered::<f64>(650, 13, 2.0, generate::LayerShape::Uniform, 8)),
         (
             "heavy-rows",
             generate::with_heavy_rows(
@@ -53,14 +50,8 @@ fn every_kernel_matches_serial_on_every_structure() {
         };
 
         check(LevelSetSolver::new(l.clone()).unwrap().solve(&b).unwrap(), "levelset");
-        check(
-            SyncFreeSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap(),
-            "syncfree",
-        );
-        check(
-            CusparseLikeSolver::analyse(l.clone()).unwrap().solve(&b).unwrap(),
-            "cusparse-like",
-        );
+        check(SyncFreeSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap(), "syncfree");
+        check(CusparseLikeSolver::analyse(l.clone()).unwrap().solve(&b).unwrap(), "cusparse-like");
     }
 }
 
@@ -77,10 +68,7 @@ fn every_block_algorithm_matches_serial_on_every_structure() {
 
         check(ColumnBlockSolver::new(&l, 6, &sel, 4).unwrap().solve(&b).unwrap(), "column");
         check(RowBlockSolver::new(&l, 6, &sel, 4).unwrap().solve(&b).unwrap(), "row");
-        check(
-            RecursiveBlockSolver::new(&l, 3, &sel, 4).unwrap().solve(&b).unwrap(),
-            "recursive",
-        );
+        check(RecursiveBlockSolver::new(&l, 3, &sel, 4).unwrap().solve(&b).unwrap(), "recursive");
         let opts = BlockedOptions { depth: DepthRule::Fixed(3), ..BlockedOptions::default() };
         check(BlockedTri::build(&l, &opts).unwrap().solve(&b).unwrap(), "blocked");
     }

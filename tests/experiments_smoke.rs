@@ -69,8 +69,7 @@ fn table4_renders_all_six() {
     let cfg = HarnessConfig::default();
     let rows = experiments::table4::evaluate(&cfg, 8);
     let report = experiments::table4::render(&rows);
-    for name in
-        ["nlpkkt200-s", "mawi-s", "kkt_power-s", "FullChip-s", "vas_stokes-s", "tmt_sym-s"]
+    for name in ["nlpkkt200-s", "mawi-s", "kkt_power-s", "FullChip-s", "vas_stokes-s", "tmt_sym-s"]
     {
         assert!(report.contains(name), "missing {name}");
     }

@@ -21,9 +21,8 @@ use recblock_matrix::{generate, Csr};
 
 /// Strategy: a random solvable lower-triangular matrix.
 fn arb_lower() -> impl Strategy<Value = Csr<f64>> {
-    (20usize..300, 0u64..1000, 1u32..60).prop_map(|(n, seed, deg10)| {
-        generate::random_lower::<f64>(n, deg10 as f64 / 10.0, seed)
-    })
+    (20usize..300, 0u64..1000, 1u32..60)
+        .prop_map(|(n, seed, deg10)| generate::random_lower::<f64>(n, deg10 as f64 / 10.0, seed))
 }
 
 /// Strategy: a structured matrix from one of the generator families.

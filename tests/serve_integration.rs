@@ -1,0 +1,137 @@
+//! End-to-end tests for the `recblock-serve` solve service: concurrent
+//! clients against one shared matrix must match the serial reference while
+//! the plan cache preprocesses exactly once and the batcher coalesces
+//! multi-column solves.
+
+use recblock_kernels::sptrsv::serial_csr;
+use recblock_matrix::generate;
+use recblock_matrix::vector::max_rel_diff;
+use recblock_serve::{ServeConfig, ServeError, SolveService};
+use std::sync::Barrier;
+
+const N: usize = 2000;
+const CLIENTS: usize = 8;
+const RHS_PER_CLIENT: usize = 4;
+
+fn rhs_for(client: usize, j: usize) -> Vec<f64> {
+    (0..N).map(|i| ((i + 31 * client + 7 * j) as f64 * 0.013).sin() + 1.5).collect()
+}
+
+#[test]
+fn concurrent_clients_share_one_plan_and_batch() {
+    let l = generate::random_lower::<f64>(N, 5.0, 90);
+    let service =
+        SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_max_batch(8));
+
+    // Reference solutions, computed serially.
+    let reference: Vec<Vec<Vec<f64>>> = (0..CLIENTS)
+        .map(|c| (0..RHS_PER_CLIENT).map(|j| serial_csr(&l, &rhs_for(c, j)).unwrap()).collect())
+        .collect();
+
+    // Bursts of 8 clients × 4 RHS each, until the batcher demonstrably
+    // coalesced at least one multi-column solve. One burst against a single
+    // worker all but guarantees it; the retry bound keeps the test immune
+    // to freak scheduling.
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let barrier = Barrier::new(CLIENTS);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let (l, service, barrier) = (&l, &service, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let handles: Vec<_> = (0..RHS_PER_CLIENT)
+                            .map(|j| service.submit(l, rhs_for(c, j)).unwrap())
+                            .collect();
+                        handles.into_iter().map(|h| h.wait().unwrap()).collect::<Vec<Vec<f64>>>()
+                    })
+                })
+                .collect();
+            for (c, h) in handles.into_iter().enumerate() {
+                for (j, x) in h.join().unwrap().into_iter().enumerate() {
+                    assert!(
+                        max_rel_diff(&x, &reference[c][j]) < 1e-10,
+                        "client {c} rhs {j} diverged from serial reference"
+                    );
+                }
+            }
+        });
+        let stats = service.metrics();
+        if stats.multi_column_batches >= 1 || rounds >= 10 {
+            break;
+        }
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.plan_builds, 1, "one shared matrix ⇒ exactly one preprocessing build");
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(
+        stats.cache_hits,
+        (rounds * CLIENTS * RHS_PER_CLIENT - 1) as u64,
+        "every other submit hits the cached plan"
+    );
+    assert!(stats.multi_column_batches >= 1, "batcher never coalesced columns");
+    assert_eq!(stats.completed, (rounds * CLIENTS * RHS_PER_CLIENT) as u64);
+    assert_eq!(stats.failed + stats.cancelled + stats.rejected, 0);
+    assert!(stats.preprocess_time_saved > std::time::Duration::ZERO);
+}
+
+#[test]
+fn cache_evicts_under_tiny_capacity_and_rebuilds() {
+    let service = SolveService::<f64>::new(
+        ServeConfig::default().with_workers(1).with_cache_capacity(2).with_cache_shards(1),
+    );
+    let mats: Vec<_> =
+        (0..3).map(|i| generate::random_lower::<f64>(300 + i, 3.0, 91 + i as u64)).collect();
+    for m in &mats {
+        service.submit(m, vec![1.0; m.nrows()]).unwrap().wait().unwrap();
+    }
+    assert_eq!(service.cached_plans(), 2);
+    // mats[0] was evicted: resubmitting it rebuilds (4th build overall).
+    service.submit(&mats[0], vec![2.0; mats[0].nrows()]).unwrap().wait().unwrap();
+    let stats = service.shutdown();
+    assert!(stats.cache_evictions >= 1);
+    assert_eq!(stats.plan_builds, 4);
+}
+
+#[test]
+fn backpressure_fails_fast_and_shutdown_drains() {
+    // Zero workers: the queue cannot drain, so capacity is hit exactly.
+    let service =
+        SolveService::<f64>::new(ServeConfig::default().with_workers(0).with_queue_capacity(3));
+    let l = generate::diagonal::<f64>(16, 95);
+    let handles: Vec<_> = (0..3).map(|_| service.try_submit(&l, vec![1.0; 16]).unwrap()).collect();
+    match service.try_submit(&l, vec![1.0; 16]) {
+        Err(ServeError::Overloaded { depth: 3, capacity: 3 }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(service.queue_depth(), 3);
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.cancelled, 3, "zero-worker shutdown cancels the queue");
+    for h in handles {
+        assert_eq!(h.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+}
+
+#[test]
+fn graceful_shutdown_completes_accepted_work() {
+    let service =
+        SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_max_batch(4));
+    let l = generate::random_lower::<f64>(800, 4.0, 96);
+    let handles: Vec<_> = (0..12)
+        .map(|j| {
+            let b: Vec<f64> = (0..800).map(|i| ((i * (j + 1)) as f64 * 0.001).cos()).collect();
+            service.submit(&l, b).unwrap()
+        })
+        .collect();
+    // Shut down immediately: everything accepted must still be answered.
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.cancelled, 0);
+    for h in handles {
+        assert_eq!(h.wait().unwrap().len(), 800);
+    }
+}

@@ -1,0 +1,294 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! The workspace builds offline, so the real `criterion` cannot be fetched.
+//! This shim keeps the authoring surface the benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, [`BenchmarkId`] and [`BatchSize`] — and performs
+//! a straightforward warm-up + timed-sampling measurement, reporting
+//! min/mean/max per benchmark to stdout.
+//!
+//! Not implemented: HTML reports, statistical regression analysis, plotting
+//! and baseline comparison. Numbers printed here are honest wall-clock
+//! samples, good enough for the relative comparisons the suite makes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for compatibility;
+/// the shim always times routine-only, per batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifier `function_name/parameter` for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// New id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// New id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+// Lets `bench_function(impl Into<String>, ..)` accept a `BenchmarkId` too,
+// matching upstream's `impl IntoBenchmarkId` flexibility.
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.id
+    }
+}
+
+/// Per-iteration timing hook handed to benchmark closures.
+pub struct Bencher {
+    /// Accumulated `(total_elapsed, iterations)` samples.
+    samples: Vec<(Duration, u64)>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration, warm_up_time: Duration, sample_size: usize) -> Self {
+        Bencher { samples: Vec::new(), measurement_time, warm_up_time, sample_size }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1));
+        // Aim for `sample_size` samples within the measurement budget.
+        let iters_per_sample = (self.measurement_time.as_nanos()
+            / (per_iter.as_nanos().max(1) * self.sample_size.max(1) as u128))
+            .clamp(1, u64::MAX as u128) as u64;
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), iters_per_sample));
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter =
+            measured.checked_div(warm_iters.max(1) as u32).unwrap_or(Duration::from_nanos(1));
+        let total_iters = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+        let iters = total_iters.min(10 * self.sample_size.max(1) as u64).max(1);
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((t0.elapsed(), 1));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64).collect();
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!("{id:<50} time: [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.measurement_time, self.warm_up_time, self.sample_size);
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher::new(self.measurement_time, self.warm_up_time, self.sample_size);
+        f(&mut b, input);
+        b.report(&id);
+        self
+    }
+
+    /// Finish the group (reporting is immediate; this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(Duration::from_secs(1), Duration::from_millis(300), 10);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Declare a benchmark group function (compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| black_box(3u64).pow(7)));
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &x| {
+            b.iter_batched(|| vec![x; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        let id = BenchmarkId::new("f", 8);
+        assert_eq!(id.id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,149 @@
+//! Vendored ChaCha-based RNG for the offline build (see `vendor/README.md`).
+//!
+//! Implements a genuine ChaCha8 keystream (RFC 8439 quarter-round, 8 double
+//! rounds, 64-byte blocks) behind the [`rand::RngCore`] /
+//! [`rand::SeedableRng`] traits, so `ChaCha8Rng::seed_from_u64(seed)` is
+//! deterministic, high-quality and key-expanded exactly like the callers
+//! expect. Output is *not* bit-identical to the upstream `rand_chacha`
+//! stream (the workspace never relies on that — only on determinism).
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// ChaCha8 random number generator over a 256-bit seed.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word index in `buf`; 16 means "refill".
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants, key, block counter, zero nonce.
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn keystream_is_balanced() {
+        // Crude uniformity check: bit density of 64 KiB of keystream.
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..8192).map(|_| r.next_u64().count_ones()).sum();
+        let total = 8192 * 64;
+        let density = ones as f64 / total as f64;
+        assert!((0.49..0.51).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let v = r.gen_range(10usize..20);
+        assert!((10..20).contains(&v));
+        let _ = r.gen_bool(0.5);
+    }
+}

@@ -1,0 +1,596 @@
+//! Indexed parallel iterators and their scoped-thread driver.
+
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// An indexed parallel iterator: length plus random access to each item.
+///
+/// All adapters and consumers are provided methods, so concrete sources only
+/// implement [`ParallelIterator::par_len`] and
+/// [`ParallelIterator::item_at`].
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at index `i`.
+    ///
+    /// # Safety
+    /// Callers must pass each index in `0..par_len()` **at most once** over
+    /// the iterator's lifetime (mutable sources hand out `&mut` aliases by
+    /// index; owning sources move items out by index).
+    unsafe fn item_at(&self, i: usize) -> Self::Item;
+
+    /// Smallest chunk the driver may hand a worker (load-balancing hint).
+    fn min_chunk(&self) -> usize {
+        1
+    }
+
+    /// Largest chunk the driver may hand a worker (load-balancing hint).
+    fn max_chunk(&self) -> usize {
+        usize::MAX
+    }
+
+    // -- adapters ----------------------------------------------------------
+
+    /// Map each item through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair items with those of another parallel iterator, truncating to the
+    /// shorter length.
+    fn zip<Z: IntoParallelIterator>(self, other: Z) -> Zip<Self, Z::Iter> {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Raise the minimum chunk size (amortise per-item overhead).
+    fn with_min_len(self, n: usize) -> MinLen<Self> {
+        MinLen { base: self, n: n.max(1) }
+    }
+
+    /// Lower the maximum chunk size (finer-grained load balancing).
+    fn with_max_len(self, n: usize) -> MaxLen<Self> {
+        MaxLen { base: self, n: n.max(1) }
+    }
+
+    // -- consumers ---------------------------------------------------------
+
+    /// Consume every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self: Sync,
+    {
+        drive_chunks(&self, &|r| {
+            for i in r {
+                // SAFETY: the driver claims disjoint chunks from an atomic
+                // cursor, so each index is visited exactly once.
+                f(unsafe { self.item_at(i) });
+            }
+        });
+    }
+
+    /// Collect all items, in index order, into any `FromIterator` target.
+    fn collect<C: std::iter::FromIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        collect_ordered(&self).into_iter().collect()
+    }
+
+    /// Sum the items (tree-shaped: per-chunk partials, then a serial fold).
+    fn sum<Su>(self) -> Su
+    where
+        Self: Sync,
+        Su: std::iter::Sum<Self::Item> + std::iter::Sum<Su> + Send,
+    {
+        let partials = Mutex::new(Vec::new());
+        drive_chunks(&self, &|r| {
+            // SAFETY: disjoint chunks; each index visited exactly once.
+            let part: Su = r.map(|i| unsafe { self.item_at(i) }).sum();
+            partials.lock().expect("partials mutex").push(part);
+        });
+        partials.into_inner().expect("partials mutex").into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into chunks claimed from an atomic cursor, honouring the
+/// iterator's chunking hints; run `body` on each chunk across a scoped
+/// thread team (or inline when one worker suffices).
+fn drive_chunks<I: ParallelIterator + Sync>(it: &I, body: &(dyn Fn(Range<usize>) + Sync)) {
+    let len = it.par_len();
+    if len == 0 {
+        return;
+    }
+    let threads = crate::current_num_threads().min(len).max(1);
+    let min = it.min_chunk().max(1);
+    let max = it.max_chunk().max(min);
+    // Aim for several chunks per worker so uneven items still balance.
+    let chunk = (len / (threads * 4).max(1)).clamp(min, max).max(1);
+    if threads == 1 || len <= chunk {
+        body(0..len);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                body(start..(start + chunk).min(len));
+            });
+        }
+    });
+}
+
+/// Evaluate every item into a `Vec`, preserving index order.
+fn collect_ordered<I: ParallelIterator + Sync>(it: &I) -> Vec<I::Item> {
+    let len = it.par_len();
+    let mut out: Vec<std::mem::MaybeUninit<I::Item>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialisation; every slot is written
+    // exactly once below before the transmute.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(len);
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    drive_chunks(it, &|r| {
+        // Rebind so the closure captures the whole `SendPtr` (Sync), not —
+        // per edition-2021 disjoint capture — just its raw-pointer field.
+        #[allow(clippy::redundant_locals)]
+        let base = base;
+        for i in r {
+            // SAFETY: disjoint chunks ⇒ each slot written once; `out` lives
+            // until after the scoped driver returns.
+            unsafe { (*base.0.add(i)).write(it.item_at(i)) };
+        }
+    });
+    // SAFETY: all `len` slots are initialised; MaybeUninit<T> has the same
+    // layout as T.
+    unsafe {
+        let mut out = ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr().cast(), out.len(), out.capacity())
+    }
+}
+
+/// Raw pointer that may cross threads (indices written are disjoint).
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the driver guarantees disjoint index access per thread.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared access only ever touches disjoint slots.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        // Reinterpret as Vec<ManuallyDrop<T>> (same layout) so dropping the
+        // iterator frees the allocation without double-dropping items that
+        // were moved out by index.
+        let mut v = ManuallyDrop::new(self);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        // SAFETY: ManuallyDrop<T> is layout-identical to T and we forget the
+        // original Vec.
+        let buf = unsafe { Vec::from_raw_parts(ptr.cast::<ManuallyDrop<T>>(), len, cap) };
+        VecIter { buf }
+    }
+}
+
+/// Identity: parallel iterators convert to themselves (lets `zip` accept
+/// both sources and adapted iterators).
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+/// Shared-slice helpers (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over `chunk`-sized sub-slices (last may be short).
+    fn par_chunks(&self, chunk: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+    fn par_chunks(&self, chunk: usize) -> ChunksIter<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksIter { slice: self, chunk }
+    }
+}
+
+/// Mutable-slice helpers (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iterator over disjoint `chunk`-sized mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMutIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMutIter<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMutIter { ptr: self.as_mut_ptr(), len: self.len(), chunk, _marker: PhantomData }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&T` of a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item_at(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Parallel iterator over `&mut T` of a slice.
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: each index — and thus each `&mut T` — is handed out at most once.
+unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+// SAFETY: as above; concurrent `item_at` calls touch disjoint elements.
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item_at(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Parallel iterator over shared chunks of a slice.
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    unsafe fn item_at(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        &self.slice[lo..(lo + self.chunk).min(self.slice.len())]
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ChunksMutIter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint and each index is handed out at most once.
+unsafe impl<T: Send> Send for ChunksMutIter<'_, T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for ChunksMutIter<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn item_at(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let len = self.chunk.min(self.len - lo);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), len)
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item_at(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Parallel iterator that moves items out of an owned `Vec`.
+///
+/// Items not moved out (panic mid-drive, early drop) are **leaked**, never
+/// double-dropped — acceptable for a shim; the workspace always consumes
+/// every item.
+pub struct VecIter<T> {
+    buf: Vec<ManuallyDrop<T>>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.buf.len()
+    }
+    unsafe fn item_at(&self, i: usize) -> T {
+        // SAFETY: each index is taken at most once (trait contract).
+        ManuallyDrop::into_inner(std::ptr::read(&self.buf[i]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    unsafe fn item_at(&self, i: usize) -> R {
+        (self.f)(self.base.item_at(i))
+    }
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+    fn max_chunk(&self) -> usize {
+        self.base.max_chunk()
+    }
+}
+
+/// Result of [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    unsafe fn item_at(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.item_at(i), self.b.item_at(i))
+    }
+    fn min_chunk(&self) -> usize {
+        self.a.min_chunk().max(self.b.min_chunk())
+    }
+    fn max_chunk(&self) -> usize {
+        self.a.max_chunk().min(self.b.max_chunk())
+    }
+}
+
+/// Result of [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    unsafe fn item_at(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.item_at(i))
+    }
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+    fn max_chunk(&self) -> usize {
+        self.base.max_chunk()
+    }
+}
+
+/// Result of [`ParallelIterator::with_min_len`].
+pub struct MinLen<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    unsafe fn item_at(&self, i: usize) -> I::Item {
+        self.base.item_at(i)
+    }
+    fn min_chunk(&self) -> usize {
+        self.n.max(self.base.min_chunk())
+    }
+    fn max_chunk(&self) -> usize {
+        self.base.max_chunk()
+    }
+}
+
+/// Result of [`ParallelIterator::with_max_len`].
+pub struct MaxLen<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MaxLen<I> {
+    type Item = I::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    unsafe fn item_at(&self, i: usize) -> I::Item {
+        self.base.item_at(i)
+    }
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+    fn max_chunk(&self) -> usize {
+        self.n.min(self.base.max_chunk())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_ordered() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        let mut v = vec![0u64; 5000];
+        v.par_iter_mut().enumerate().with_min_len(64).for_each(|(i, x)| *x = i as u64 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn zip_truncates_and_pairs() {
+        let a = vec![1.0f64; 1000];
+        let b: Vec<f64> = (0..1500).map(|i| i as f64).collect();
+        let s: f64 = a.par_iter().zip(&b[..1000]).map(|(&x, &y)| x * y).sum();
+        let expect: f64 = (0..1000).map(|i| i as f64).sum();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint() {
+        let mut v = vec![0usize; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(c, chunk)| {
+            for x in chunk {
+                *x = c;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 10);
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let r: Result<Vec<usize>, &'static str> =
+            (0..100).into_par_iter().map(|i| if i == 57 { Err("boom") } else { Ok(i) }).collect();
+        assert_eq!(r, Err("boom"));
+        let ok: Result<Vec<usize>, &'static str> = (0..100).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn owned_vec_moves_items() {
+        let src: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = src.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[499], 3);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<f64> = (0..20_000).map(|i| i as f64 * 0.5).collect();
+        let par: f64 = v.par_iter().map(|&x| x).sum();
+        let ser: f64 = v.iter().sum();
+        assert!((par - ser).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Vendored, API-compatible subset of `rayon`'s parallel iterators.
+//!
+//! The workspace builds offline, so the real `rayon` cannot be fetched.
+//! This shim keeps the same call-site surface (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `into_par_iter`, `map`, `zip`,
+//! `enumerate`, `with_min_len`, `with_max_len`, `for_each`, `collect`,
+//! `sum`) and executes genuinely in parallel over `std::thread::scope`.
+//!
+//! Design: every parallel iterator here is **indexed** — it knows its length
+//! and can produce the item at any index independently. Adapters compose by
+//! index (`Map`, `Zip`, `Enumerate`), and consumers split the index space
+//! into chunks claimed from an atomic cursor by a small scoped thread team.
+//! That is a deliberate simplification of rayon's work-stealing model: the
+//! dynamic chunk queue provides the load balancing that matters for skewed
+//! sparse rows, without the full plumbing machinery.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+
+/// Drop-in analogue of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads consumers will use (the shim has no persistent
+/// pool; teams are scoped per call).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
