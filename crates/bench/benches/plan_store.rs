@@ -1,0 +1,98 @@
+//! Plan persistence economics: is loading a serialized plan actually
+//! cheaper than rebuilding it? The store only earns its keep if
+//! `decode_plan` beats `BlockedTri::build` by a wide margin — the
+//! acceptance bar is ≥5× on this corpus.
+//!
+//! Three criterion groups per matrix: `build/<name>` (full preprocessing),
+//! `encode/<name>` (serialize to bytes), `load/<name>` (decode bytes back
+//! into a ready solver). A summary table of measured build-vs-load
+//! speedups is printed at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_matrix::{generate, Csr};
+use recblock_store::{decode_plan, encode_plan, PlanKey};
+use std::time::{Duration, Instant};
+
+fn corpus() -> Vec<(&'static str, Csr<f64>)> {
+    vec![
+        (
+            "layered_30k",
+            generate::layered::<f64>(30_000, 25, 3.0, generate::LayerShape::Uniform, 9),
+        ),
+        ("kkt_40k", generate::kkt_like::<f64>(40_000, 4_000, 6, 11)),
+        ("grid_160x160", generate::grid2d::<f64>(160, 160, 13)),
+    ]
+}
+
+fn opts() -> BlockedOptions {
+    BlockedOptions { depth: DepthRule::Fixed(4), ..BlockedOptions::default() }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_store");
+    g.measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+
+    let mut summary = Vec::new();
+    for (name, l) in corpus() {
+        let opts = opts();
+        let key = PlanKey::of(&l);
+        let plan = BlockedTri::build(&l, &opts).unwrap();
+        let bytes = encode_plan(&plan, &key, 0.0);
+
+        g.bench_function(format!("build/{name}"), |bench| {
+            bench.iter(|| BlockedTri::build(&l, &opts).unwrap())
+        });
+        g.bench_function(format!("encode/{name}"), |bench| {
+            bench.iter(|| encode_plan(&plan, &key, 0.0))
+        });
+        g.bench_function(format!("load/{name}"), |bench| {
+            bench.iter(|| decode_plan::<f64>(&bytes).unwrap())
+        });
+
+        // Direct speedup measurement for the acceptance criterion: median
+        // of a handful of timed runs each, independent of criterion's
+        // reporting format.
+        let build_s = median_secs(5, || {
+            BlockedTri::build(&l, &opts).unwrap();
+        });
+        let load_s = median_secs(9, || {
+            decode_plan::<f64>(&bytes).unwrap();
+        });
+        summary.push((name, build_s, load_s, bytes.len()));
+    }
+    g.finish();
+
+    println!("\nplan_store: load vs rebuild (median wall-clock)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>12}",
+        "matrix", "build", "load", "speedup", "file size"
+    );
+    for (name, build_s, load_s, size) in summary {
+        println!(
+            "{:<14} {:>9.2} ms {:>9.2} ms {:>8.1}x {:>10} B",
+            name,
+            build_s * 1e3,
+            load_s * 1e3,
+            build_s / load_s,
+            size
+        );
+    }
+}
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -136,6 +136,76 @@ pub enum BlockKindSummary {
     },
 }
 
+/// Borrowed view of one block's full solver state, in execution order —
+/// the read side of the persistence surface (see [`BlockedTri::block_views`]).
+#[derive(Debug)]
+pub struct BlockView<'a, S> {
+    /// Row range in the reordered matrix.
+    pub rows: Range<usize>,
+    /// Column range in the reordered matrix.
+    pub cols: Range<usize>,
+    /// Shape-specific solver state.
+    pub kind: BlockViewKind<'a, S>,
+}
+
+/// Shape-specific part of a [`BlockView`].
+#[derive(Debug)]
+pub enum BlockViewKind<'a, S> {
+    /// Triangular block: its solver (kernel + preprocessed state) and
+    /// cost-model profile.
+    Tri {
+        /// The preprocessed per-block solver.
+        solver: &'a TriSolver<S>,
+        /// The block's structural profile.
+        profile: &'a TriProfile,
+    },
+    /// Square block: its SpMV solver (kernel + storage + profile).
+    Square(&'a SqSolver<S>),
+}
+
+/// Owned deconstruction of one block — the write side of the persistence
+/// surface (see [`BlockedTri::from_parts`]).
+#[derive(Debug, Clone)]
+pub struct BlockParts<S> {
+    /// Row range in the reordered matrix.
+    pub rows: Range<usize>,
+    /// Column range in the reordered matrix.
+    pub cols: Range<usize>,
+    /// Shape-specific solver state.
+    pub kind: BlockPartsKind<S>,
+}
+
+/// Shape-specific part of a [`BlockParts`].
+#[derive(Debug, Clone)]
+pub enum BlockPartsKind<S> {
+    /// Triangular block.
+    Tri {
+        /// The preprocessed per-block solver.
+        solver: TriSolver<S>,
+        /// The block's structural profile.
+        profile: TriProfile,
+    },
+    /// Square block.
+    Square(SqSolver<S>),
+}
+
+/// Everything needed to reconstruct a [`BlockedTri`] without re-running
+/// preprocessing: permutation, block ranges in execution order, and each
+/// block's fully-preprocessed solver state.
+#[derive(Debug, Clone)]
+pub struct BlockedTriParts<S> {
+    /// Rows of the system.
+    pub n: usize,
+    /// Nonzeros of the system.
+    pub nnz: usize,
+    /// Recursion depth used by the original build.
+    pub depth: usize,
+    /// The reordering permutation (`perm[new] = old`).
+    pub perm: Permutation,
+    /// Blocks in execution order.
+    pub blocks: Vec<BlockParts<S>>,
+}
+
 /// Census of which kernels the adaptive selection assigned.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelCensus {
@@ -260,6 +330,98 @@ impl<S: Scalar> BlockedTri<S> {
                 },
             })
             .collect()
+    }
+
+    /// Borrowed views of every block's full solver state in execution
+    /// order — what a persistence layer serializes (matrices in their final
+    /// storage formats, level schedules, profiles), so reloading skips the
+    /// whole preprocessing stage.
+    pub fn block_views(&self) -> impl Iterator<Item = BlockView<'_, S>> + '_ {
+        self.blocks.iter().map(|b| BlockView {
+            rows: b.rows.clone(),
+            cols: b.cols.clone(),
+            kind: match &b.data {
+                BlockData::Tri { solver, profile } => BlockViewKind::Tri { solver, profile },
+                BlockData::Square(sq) => BlockViewKind::Square(sq),
+            },
+        })
+    }
+
+    /// Reconstruct a structure from persisted parts, skipping the reorder /
+    /// extraction / profiling / selection work of [`BlockedTri::build`].
+    ///
+    /// Validates the shape invariants the solve loop relies on: the
+    /// permutation covers `n`, every block range lies inside `0..n`,
+    /// triangular blocks sit on the diagonal, each block's solver matches
+    /// its range, and block nonzeros sum to `nnz`. Traffic counters are
+    /// recomputed from the block shapes (they are structure-independent).
+    pub fn from_parts(parts: BlockedTriParts<S>) -> Result<Self, MatrixError> {
+        let BlockedTriParts { n, nnz, depth, perm, blocks } = parts;
+        if perm.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked parts permutation",
+                expected: n,
+                actual: perm.len(),
+            });
+        }
+        let mut traffic = TrafficCounts::default();
+        let mut block_nnz = 0usize;
+        let mut out = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            if b.rows.start > b.rows.end
+                || b.cols.start > b.cols.end
+                || b.rows.end > n
+                || b.cols.end > n
+            {
+                return Err(MatrixError::IndexOutOfBounds {
+                    what: "blocked parts range",
+                    index: b.rows.end.max(b.cols.end),
+                    bound: n,
+                });
+            }
+            let data = match b.kind {
+                BlockPartsKind::Tri { solver, profile } => {
+                    if b.rows != b.cols {
+                        return Err(MatrixError::DimensionMismatch {
+                            what: "blocked parts tri block off the diagonal",
+                            expected: b.rows.start,
+                            actual: b.cols.start,
+                        });
+                    }
+                    if solver.n() != b.rows.len() {
+                        return Err(MatrixError::DimensionMismatch {
+                            what: "blocked parts tri solver size",
+                            expected: b.rows.len(),
+                            actual: solver.n(),
+                        });
+                    }
+                    block_nnz += solver.nnz();
+                    traffic.tri(b.rows.len());
+                    BlockData::Tri { solver, profile }
+                }
+                BlockPartsKind::Square(sq) => {
+                    if sq.nrows() != b.rows.len() || sq.ncols() != b.cols.len() {
+                        return Err(MatrixError::DimensionMismatch {
+                            what: "blocked parts square solver size",
+                            expected: b.rows.len(),
+                            actual: sq.nrows(),
+                        });
+                    }
+                    block_nnz += sq.profile().nnz;
+                    traffic.spmv(b.rows.len(), b.cols.len());
+                    BlockData::Square(sq)
+                }
+            };
+            out.push(Block { rows: b.rows, cols: b.cols, data });
+        }
+        if block_nnz != nnz {
+            return Err(MatrixError::DimensionMismatch {
+                what: "blocked parts nonzero conservation",
+                expected: nnz,
+                actual: block_nnz,
+            });
+        }
+        Ok(BlockedTri { n, nnz, depth, perm, blocks: out, traffic })
     }
 
     /// Which kernels the selection assigned, per block count.
@@ -677,6 +839,64 @@ mod tests {
         let mut ws = SolveWorkspace::new();
         let mut x = vec![0.0; 49];
         assert!(s.solve_into(&vec![1.0; 50], &mut x, &mut ws).is_err());
+    }
+
+    fn parts_of(s: &BlockedTri<f64>) -> BlockedTriParts<f64> {
+        BlockedTriParts {
+            n: s.n(),
+            nnz: s.nnz(),
+            depth: s.depth(),
+            perm: s.permutation().clone(),
+            blocks: s
+                .block_views()
+                .map(|v| BlockParts {
+                    rows: v.rows.clone(),
+                    cols: v.cols.clone(),
+                    kind: match v.kind {
+                        BlockViewKind::Tri { solver, profile } => {
+                            BlockPartsKind::Tri { solver: solver.clone(), profile: profile.clone() }
+                        }
+                        BlockViewKind::Square(sq) => BlockPartsKind::Square(sq.clone()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_solves_identically() {
+        let l = generate::kkt_like::<f64>(1000, 400, 3, 74);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let rebuilt = BlockedTri::from_parts(parts_of(&s)).unwrap();
+        assert_eq!(rebuilt.nblocks(), s.nblocks());
+        assert_eq!(rebuilt.traffic(), s.traffic());
+        assert_eq!(rebuilt.census(), s.census());
+        let b: Vec<f64> = (0..1000).map(|i| ((i % 17) as f64) - 8.0).collect();
+        // Bit-identical: the rebuilt structure holds the same matrices and
+        // schedules, so the arithmetic runs in exactly the same order.
+        assert_eq!(rebuilt.solve(&b).unwrap(), s.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        let l = generate::random_lower::<f64>(300, 3.0, 75);
+        let s = BlockedTri::build(&l, &opts(2)).unwrap();
+        // Wrong total nonzeros.
+        let mut p = parts_of(&s);
+        p.nnz += 1;
+        assert!(BlockedTri::from_parts(p).is_err());
+        // Permutation of the wrong length.
+        let mut p = parts_of(&s);
+        p.perm = recblock_matrix::permute::Permutation::identity(299);
+        assert!(BlockedTri::from_parts(p).is_err());
+        // Block range beyond n.
+        let mut p = parts_of(&s);
+        p.blocks[0].rows.end = 301;
+        assert!(BlockedTri::from_parts(p).is_err());
+        // Tri block moved off the diagonal.
+        let mut p = parts_of(&s);
+        p.blocks[0].cols = 1..1 + p.blocks[0].cols.len();
+        assert!(BlockedTri::from_parts(p).is_err());
     }
 
     #[test]

@@ -49,6 +49,51 @@ pub struct PackedBlock {
     aux: Range<usize>,
 }
 
+/// Owned copy of one block descriptor — the persistence surface matching
+/// [`PackedBlocked::from_parts`] (the arena-slice ranges are private on
+/// [`PackedBlock`] itself).
+#[derive(Debug, Clone)]
+pub struct PackedBlockParts {
+    /// Storage shape.
+    pub shape: PackedShape,
+    /// Row range in the reordered matrix.
+    pub rows: Range<usize>,
+    /// Column range in the reordered matrix.
+    pub cols: Range<usize>,
+    /// Slice of the shared pointer array.
+    pub ptr: Range<usize>,
+    /// Slice of the shared index/value arrays.
+    pub data: Range<usize>,
+    /// Slice of the auxiliary array (DCSR row ids).
+    pub aux: Range<usize>,
+}
+
+/// Everything needed to reconstruct a [`PackedBlocked`]: the flat arena
+/// arrays plus the block descriptors in execution order.
+#[derive(Debug, Clone)]
+pub struct PackedBlockedParts<S> {
+    /// Rows of the system.
+    pub n: usize,
+    /// Nonzeros of the original matrix (diagonal included).
+    pub nnz: usize,
+    /// Recursion depth.
+    pub depth: usize,
+    /// The reordering permutation (`perm[new] = old`).
+    pub perm: Permutation,
+    /// Per-component diagonal values.
+    pub diag: Vec<S>,
+    /// Concatenated pointer arrays (block-relative running counts).
+    pub ptr: Vec<usize>,
+    /// Concatenated block-local index arrays.
+    pub idx: Vec<usize>,
+    /// Concatenated value arrays.
+    pub vals: Vec<S>,
+    /// DCSR non-empty-row indices, block-local.
+    pub aux: Vec<usize>,
+    /// Block descriptors in execution order.
+    pub blocks: Vec<PackedBlockParts>,
+}
+
 /// Options for the packed build.
 #[derive(Debug, Clone)]
 pub struct PackedOptions {
@@ -208,6 +253,132 @@ impl<S: Scalar> PackedBlocked<S> {
             data: data_start..self.idx.len(),
             aux: aux_start..self.aux.len(),
         });
+    }
+
+    /// Copy out the flat arrays and descriptors for persistence.
+    pub fn to_parts(&self) -> PackedBlockedParts<S> {
+        PackedBlockedParts {
+            n: self.n,
+            nnz: self.nnz,
+            depth: self.depth,
+            perm: self.perm.clone(),
+            diag: self.diag.clone(),
+            ptr: self.ptr.clone(),
+            idx: self.idx.clone(),
+            vals: self.vals.clone(),
+            aux: self.aux.clone(),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| PackedBlockParts {
+                    shape: b.shape,
+                    rows: b.rows.clone(),
+                    cols: b.cols.clone(),
+                    ptr: b.ptr.clone(),
+                    data: b.data.clone(),
+                    aux: b.aux.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct from persisted parts, validating every invariant the
+    /// arena-streaming solve indexes by: descriptor ranges inside the shared
+    /// arrays, per-block pointer slices that are monotone and span their
+    /// data slices, block-local indices inside the block, and nonzero
+    /// conservation (`Σ off-diagonal + n == nnz`).
+    pub fn from_parts(parts: PackedBlockedParts<S>) -> Result<Self, MatrixError> {
+        let PackedBlockedParts { n, nnz, depth, perm, diag, ptr, idx, vals, aux, blocks } = parts;
+        if perm.len() != n || diag.len() != n || idx.len() != vals.len() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "packed parts arrays",
+                expected: n,
+                actual: perm.len().min(diag.len()),
+            });
+        }
+        let range_ok = |r: &Range<usize>, bound: usize| r.start <= r.end && r.end <= bound;
+        let mut off_diag = 0usize;
+        let mut out = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            if !range_ok(&b.rows, n)
+                || !range_ok(&b.cols, n)
+                || !range_ok(&b.ptr, ptr.len())
+                || !range_ok(&b.data, idx.len())
+                || !range_ok(&b.aux, aux.len())
+            {
+                return Err(MatrixError::IndexOutOfBounds {
+                    what: "packed parts descriptor range",
+                    index: b.data.end,
+                    bound: idx.len(),
+                });
+            }
+            let p = &ptr[b.ptr.clone()];
+            let span = b.data.len();
+            if p.is_empty() || p[0] != 0 || *p.last().unwrap() != span {
+                return Err(MatrixError::MalformedPointer("packed block pointer span"));
+            }
+            if p.windows(2).any(|w| w[0] > w[1]) {
+                return Err(MatrixError::MalformedPointer("packed block pointer order"));
+            }
+            let lanes = p.len() - 1;
+            let idx_bound = match b.shape {
+                PackedShape::TriCsc => {
+                    if b.rows != b.cols {
+                        return Err(MatrixError::DimensionMismatch {
+                            what: "packed tri block off the diagonal",
+                            expected: b.rows.start,
+                            actual: b.cols.start,
+                        });
+                    }
+                    b.rows.len()
+                }
+                PackedShape::SquareCsr | PackedShape::SquareDcsr => b.cols.len(),
+            };
+            if idx[b.data.clone()].iter().any(|&c| c >= idx_bound) {
+                return Err(MatrixError::IndexOutOfBounds {
+                    what: "packed block-local index",
+                    index: idx_bound,
+                    bound: idx_bound,
+                });
+            }
+            match b.shape {
+                PackedShape::TriCsc | PackedShape::SquareCsr => {
+                    if lanes != b.rows.len() || !b.aux.is_empty() {
+                        return Err(MatrixError::MalformedPointer("packed block lane count"));
+                    }
+                }
+                PackedShape::SquareDcsr => {
+                    let a = &aux[b.aux.clone()];
+                    if a.len() != lanes || a.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(MatrixError::MalformedPointer("packed dcsr aux lanes"));
+                    }
+                    if a.iter().any(|&i| i >= b.rows.len()) {
+                        return Err(MatrixError::IndexOutOfBounds {
+                            what: "packed dcsr row id",
+                            index: b.rows.len(),
+                            bound: b.rows.len(),
+                        });
+                    }
+                }
+            }
+            off_diag += span;
+            out.push(PackedBlock {
+                shape: b.shape,
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+                ptr: b.ptr.clone(),
+                data: b.data.clone(),
+                aux: b.aux.clone(),
+            });
+        }
+        if off_diag + n != nnz {
+            return Err(MatrixError::DimensionMismatch {
+                what: "packed parts nonzero conservation",
+                expected: nnz,
+                actual: off_diag + n,
+            });
+        }
+        Ok(PackedBlocked { n, nnz, depth, perm, diag, ptr, idx, vals, aux, blocks: out })
     }
 
     /// Rows of the system.
@@ -380,6 +551,55 @@ mod tests {
             with_dcsr.bytes(),
             without.bytes()
         );
+    }
+
+    #[test]
+    fn parts_roundtrip_solves_identically() {
+        let l = generate::kkt_like::<f64>(900, 350, 3, 103);
+        let p = PackedBlocked::build(&l, &opts(3)).unwrap();
+        let rebuilt = PackedBlocked::from_parts(p.to_parts()).unwrap();
+        assert_eq!(rebuilt.nnz(), p.nnz());
+        assert_eq!(rebuilt.blocks().len(), p.blocks().len());
+        let b: Vec<f64> = (0..900).map(|i| ((i % 17) as f64) - 8.0).collect();
+        assert_eq!(rebuilt.solve(&b).unwrap(), p.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        let l = generate::random_lower::<f64>(300, 4.0, 104);
+        let p = PackedBlocked::build(&l, &opts(2)).unwrap();
+
+        // Wrong total nnz.
+        let mut parts = p.to_parts();
+        parts.nnz += 1;
+        assert!(PackedBlocked::from_parts(parts).is_err());
+
+        // Values / indices length mismatch.
+        let mut parts = p.to_parts();
+        parts.vals.pop();
+        assert!(PackedBlocked::from_parts(parts).is_err());
+
+        // Block pointer slice must end at the block's data length.
+        let mut parts = p.to_parts();
+        let last = parts.ptr.len() - 1;
+        parts.ptr[last] += 1;
+        assert!(PackedBlocked::from_parts(parts).is_err());
+
+        // Column index beyond the block's width.
+        let mut parts = p.to_parts();
+        if let Some(b) = parts.blocks.iter().find(|b| !b.data.is_empty()) {
+            let width = match b.shape {
+                PackedShape::TriCsc => b.rows.len(),
+                _ => b.cols.len(),
+            };
+            parts.idx[b.data.start] = width;
+            assert!(PackedBlocked::from_parts(parts).is_err());
+        }
+
+        // Permutation of the wrong length.
+        let mut parts = p.to_parts();
+        parts.perm = Permutation::identity(parts.n + 1);
+        assert!(PackedBlocked::from_parts(parts).is_err());
     }
 
     #[test]

@@ -7,11 +7,38 @@ use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime, SpmvProfile};
 use recblock_kernels::spmv;
 use recblock_matrix::{Csr, Dcsr, MatrixError, Scalar};
 
-/// Storage actually materialised for the block.
+/// Storage actually materialised for the block. Public so a persistence
+/// layer can serialize the exact arrays and rebuild the solver without
+/// re-running selection ([`SqSolver::from_parts`]).
 #[derive(Debug, Clone)]
-enum SqStorage<S> {
+pub enum SqStorage<S> {
+    /// Compressed sparse rows.
     Csr(Csr<S>),
+    /// Doubly-compressed sparse rows (empty rows elided).
     Dcsr(Dcsr<S>),
+}
+
+impl<S: Scalar> SqStorage<S> {
+    fn nrows(&self) -> usize {
+        match self {
+            SqStorage::Csr(a) => a.nrows(),
+            SqStorage::Dcsr(a) => a.nrows(),
+        }
+    }
+
+    fn ncols(&self) -> usize {
+        match self {
+            SqStorage::Csr(a) => a.ncols(),
+            SqStorage::Dcsr(a) => a.ncols(),
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        match self {
+            SqStorage::Csr(a) => a.nnz(),
+            SqStorage::Dcsr(a) => a.nnz(),
+        }
+    }
 }
 
 /// A square/rectangular block ready to apply `y ← y − A·x` with the kernel
@@ -54,6 +81,42 @@ impl<S: Scalar> SqSolver<S> {
             _ => SqStorage::Csr(a),
         };
         SqSolver { kind, storage, profile }
+    }
+
+    /// Rebuild a solver from persisted parts, skipping profiling and
+    /// selection. Validates that the storage format matches the kernel and
+    /// that the profile's dimensions match the stored arrays.
+    pub fn from_parts(
+        kind: SpmvKind,
+        storage: SqStorage<S>,
+        profile: SpmvProfile,
+    ) -> Result<Self, MatrixError> {
+        let dcsr_kind = matches!(kind, SpmvKind::ScalarDcsr | SpmvKind::VectorDcsr);
+        let dcsr_storage = matches!(storage, SqStorage::Dcsr(_));
+        if dcsr_kind != dcsr_storage {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sq solver storage format vs kernel",
+                expected: dcsr_kind as usize,
+                actual: dcsr_storage as usize,
+            });
+        }
+        if profile.nrows != storage.nrows()
+            || profile.ncols != storage.ncols()
+            || profile.nnz != storage.nnz()
+        {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sq solver profile vs storage",
+                expected: storage.nrows(),
+                actual: profile.nrows,
+            });
+        }
+        Ok(SqSolver { kind, storage, profile })
+    }
+
+    /// The materialised storage (the persistence surface matching
+    /// [`SqSolver::from_parts`]).
+    pub fn storage(&self) -> &SqStorage<S> {
+        &self.storage
     }
 
     /// The selected kernel.
@@ -169,6 +232,29 @@ mod tests {
             s.apply(&x, &mut y).unwrap();
             assert!(max_rel_diff(&y, &reference) < 1e-12, "{:?}", kind);
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let a = generate::rect_random::<f64>(300, 250, 4.0, 0.2, 0.0, 7);
+        let built = SqSolver::build(a, &Selector::default(), true);
+        let rebuilt =
+            SqSolver::from_parts(built.kind(), built.storage().clone(), *built.profile()).unwrap();
+        let x: Vec<f64> = (0..250).map(|i| (i as f64 * 0.03).cos()).collect();
+        let (mut y1, mut y2) = (vec![0.0; 300], vec![0.0; 300]);
+        built.apply(&x, &mut y1).unwrap();
+        rebuilt.apply(&x, &mut y2).unwrap();
+        assert_eq!(y1, y2);
+        // Mismatched storage format for the kernel is rejected.
+        assert!(SqSolver::from_parts(
+            SpmvKind::ScalarDcsr,
+            built.storage().clone(),
+            *built.profile()
+        )
+        .is_err());
+        // Mismatched profile dimensions are rejected.
+        let bad = SpmvProfile { nrows: 1, ..*built.profile() };
+        assert!(SqSolver::from_parts(built.kind(), built.storage().clone(), bad).is_err());
     }
 
     #[test]

@@ -56,6 +56,26 @@ impl<S: Scalar> TriSolver<S> {
         Ok((solver, profile))
     }
 
+    /// Rows (= columns) of the block this solver was built for.
+    pub fn n(&self) -> usize {
+        match self {
+            TriSolver::Diag(l) => l.nrows(),
+            TriSolver::LevelSet(s) => s.matrix().nrows(),
+            TriSolver::SyncFree(s) => s.matrix().nrows(),
+            TriSolver::Cusparse(s) => s.matrix().nrows(),
+        }
+    }
+
+    /// Stored nonzeros of the block.
+    pub fn nnz(&self) -> usize {
+        match self {
+            TriSolver::Diag(l) => l.nnz(),
+            TriSolver::LevelSet(s) => s.matrix().nnz(),
+            TriSolver::SyncFree(s) => s.matrix().nnz(),
+            TriSolver::Cusparse(s) => s.matrix().nnz(),
+        }
+    }
+
     /// Which kernel this solver embodies.
     pub fn kernel(&self) -> TriKernel {
         match self {

@@ -53,6 +53,27 @@ impl<S: Scalar> CusparseLikeSolver<S> {
         Ok(CusparseLikeSolver { l, levels, groups })
     }
 
+    /// Rebuild a solver from a matrix and an already-computed level
+    /// decomposition (the persistence path: the plan store saves the level
+    /// arrays so reloading skips the analysis phase). The launch schedule
+    /// is re-derived from the levels — it is cheap (`O(nlevels)`).
+    pub fn with_levels(l: Csr<S>, levels: LevelSets) -> Result<Self, MatrixError> {
+        if levels.n() != l.nrows() {
+            return Err(MatrixError::DimensionMismatch {
+                what: "cusparse-like levels",
+                expected: l.nrows(),
+                actual: levels.n(),
+            });
+        }
+        let groups = build_groups(&levels);
+        Ok(CusparseLikeSolver { l, levels, groups })
+    }
+
+    /// The analysed matrix.
+    pub fn matrix(&self) -> &Csr<S> {
+        &self.l
+    }
+
     /// The level decomposition found by analysis.
     pub fn levels(&self) -> &LevelSets {
         &self.levels
@@ -203,6 +224,26 @@ mod tests {
         }
         assert_eq!(next, solver.levels().nlevels());
         assert_eq!(total_rows, 625);
+    }
+
+    #[test]
+    fn with_levels_matches_analyse() {
+        let l = generate::grid2d::<f64>(20, 20, 68);
+        let analysed = CusparseLikeSolver::analyse(l.clone()).unwrap();
+        let rebuilt =
+            CusparseLikeSolver::with_levels(l.clone(), analysed.levels().clone()).unwrap();
+        assert_eq!(rebuilt.launch_groups(), analysed.launch_groups());
+        assert_eq!(rebuilt.matrix(), &l);
+        let b: Vec<f64> = (0..400).map(|i| (i % 13) as f64 - 6.0).collect();
+        assert_eq!(rebuilt.solve(&b).unwrap(), analysed.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn with_levels_rejects_size_mismatch() {
+        let l = generate::chain::<f64>(10, 69);
+        let levels = recblock_matrix::levelset::LevelSets::analyse(&l).unwrap();
+        let smaller = generate::chain::<f64>(9, 69);
+        assert!(CusparseLikeSolver::with_levels(smaller, levels).is_err());
     }
 
     #[test]

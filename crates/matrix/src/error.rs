@@ -46,6 +46,15 @@ pub enum MatrixError {
     },
     /// A permutation array is not a bijection on `0..n`.
     InvalidPermutation(&'static str),
+    /// The same (row, column) coordinate appears more than once in the
+    /// input (0-based coordinates; for symmetric Matrix Market files this
+    /// includes the mirrored position of an off-diagonal entry).
+    DuplicateEntry {
+        /// Row of the repeated coordinate.
+        row: usize,
+        /// Column of the repeated coordinate.
+        col: usize,
+    },
     /// Matrix Market parsing failure.
     Parse(String),
     /// Underlying I/O failure (message-only so the error stays `Clone`/`Eq`).
@@ -72,6 +81,9 @@ impl fmt::Display for MatrixError {
                 write!(f, "dimension mismatch in {what}: expected {expected}, got {actual}")
             }
             MatrixError::InvalidPermutation(what) => write!(f, "invalid permutation: {what}"),
+            MatrixError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
             MatrixError::Parse(msg) => write!(f, "parse error: {msg}"),
             MatrixError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

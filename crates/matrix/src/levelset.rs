@@ -79,6 +79,47 @@ impl LevelSets {
         LevelSets { level_ptr, items, level_of }
     }
 
+    /// Rebuild a decomposition from its stored arrays (the persistence
+    /// path: a plan store saves `level_ptr` and `items`, then reconstructs
+    /// here instead of re-running [`LevelSets::analyse`]).
+    ///
+    /// Validates that `level_ptr` is monotone and spans `items` exactly and
+    /// that `items` enumerates `0..n` once each; `level_of` is recomputed.
+    /// The *topological* property (every dependency in an earlier level) is
+    /// the writer's responsibility — it is exactly what `analyse` produced
+    /// and file integrity is the storage layer's concern.
+    pub fn from_parts(level_ptr: Vec<usize>, items: Vec<usize>) -> Result<Self, MatrixError> {
+        if level_ptr.is_empty() || level_ptr[0] != 0 {
+            return Err(MatrixError::MalformedPointer("level_ptr must start at 0"));
+        }
+        if level_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::MalformedPointer("level_ptr must be non-decreasing"));
+        }
+        if *level_ptr.last().unwrap() != items.len() {
+            return Err(MatrixError::MalformedPointer("level_ptr must end at items.len()"));
+        }
+        let n = items.len();
+        let mut level_of = vec![usize::MAX; n];
+        for lvl in 0..level_ptr.len() - 1 {
+            for &i in &items[level_ptr[lvl]..level_ptr[lvl + 1]] {
+                if i >= n {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        what: "level items",
+                        index: i,
+                        bound: n,
+                    });
+                }
+                if level_of[i] != usize::MAX {
+                    return Err(MatrixError::InvalidPermutation("level items repeat a component"));
+                }
+                level_of[i] = lvl;
+            }
+        }
+        // Every slot filled ⇔ items is a bijection of 0..n.
+        debug_assert!(level_of.iter().all(|&l| l != usize::MAX));
+        Ok(LevelSets { level_ptr, items, level_of })
+    }
+
     /// Number of levels.
     pub fn nlevels(&self) -> usize {
         self.level_ptr.len() - 1
@@ -322,6 +363,30 @@ mod tests {
         let ls = LevelSets::analyse(&a).unwrap();
         assert_eq!(ls.nlevels(), 0);
         assert_eq!(ls.n(), 0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_analysis() {
+        let l = crate::generate::random_lower::<f64>(250, 4.0, 9);
+        let ls = LevelSets::analyse(&l).unwrap();
+        let rebuilt = LevelSets::from_parts(ls.level_ptr().to_vec(), ls.items().to_vec()).unwrap();
+        assert_eq!(rebuilt, ls);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed() {
+        // Pointer does not start at zero.
+        assert!(LevelSets::from_parts(vec![1, 2], vec![0, 1]).is_err());
+        // Pointer decreases.
+        assert!(LevelSets::from_parts(vec![0, 2, 1], vec![0, 1]).is_err());
+        // Pointer does not span items.
+        assert!(LevelSets::from_parts(vec![0, 1], vec![0, 1]).is_err());
+        // Item out of range.
+        assert!(LevelSets::from_parts(vec![0, 2], vec![0, 5]).is_err());
+        // Repeated item.
+        assert!(LevelSets::from_parts(vec![0, 2], vec![1, 1]).is_err());
+        // Empty decomposition is fine.
+        assert_eq!(LevelSets::from_parts(vec![0], vec![]).unwrap().nlevels(), 0);
     }
 
     #[test]

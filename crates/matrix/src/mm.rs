@@ -3,11 +3,19 @@
 //! Enough of the format to load SuiteSparse matrices the way the paper does:
 //! `matrix coordinate real|integer|pattern general|symmetric`. Pattern
 //! entries get value 1; symmetric files are expanded to both triangles.
+//!
+//! The parser is strict where silence would corrupt data downstream:
+//! repeated coordinates are rejected with [`MatrixError::DuplicateEntry`]
+//! (COO→CSR conversion would otherwise silently sum them) and out-of-range
+//! indices with [`MatrixError::IndexOutOfBounds`]. It is tolerant where
+//! files vary harmlessly: blank lines, interleaved `%` comments and CRLF
+//! line endings are all accepted.
 
 use crate::coo::Coo;
 use crate::csr::Csr;
 use crate::error::MatrixError;
 use crate::scalar::Scalar;
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -77,6 +85,10 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, Matri
         if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz },
     );
     let mut seen = 0usize;
+    // Coordinates already taken, including the mirrored position of
+    // symmetric off-diagonal entries — `Coo::to_csr` sums duplicates
+    // silently, so they must be caught here.
+    let mut taken: HashSet<(usize, usize)> = HashSet::with_capacity(nnz);
     for line in lines {
         let line = line.map_err(MatrixError::from)?;
         let t = line.trim();
@@ -106,9 +118,16 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, Matri
                 )
             }
         };
-        coo.push(i - 1, j - 1, v)?;
-        if symmetry == Symmetry::Symmetric && i != j {
-            coo.push(j - 1, i - 1, v)?;
+        let (r, c) = (i - 1, j - 1);
+        if !taken.insert((r, c)) {
+            return Err(MatrixError::DuplicateEntry { row: r, col: c });
+        }
+        coo.push(r, c, v)?;
+        if symmetry == Symmetry::Symmetric && r != c {
+            if !taken.insert((c, r)) {
+                return Err(MatrixError::DuplicateEntry { row: c, col: r });
+            }
+            coo.push(c, r, v)?;
         }
         seen += 1;
     }
@@ -192,6 +211,86 @@ mod tests {
     fn reject_zero_based_index() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_entry_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.5\n1 1 4.0\n";
+        let err = read_matrix_market::<f64, _>(text.as_bytes()).unwrap_err();
+        assert_eq!(err, MatrixError::DuplicateEntry { row: 0, col: 0 });
+    }
+
+    #[test]
+    fn symmetric_mirror_duplicate_rejected() {
+        // (1, 2) duplicates the implicit mirror of (2, 1).
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n1 2 5.0\n";
+        let err = read_matrix_market::<f64, _>(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MatrixError::DuplicateEntry { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn out_of_range_index_rejected_with_typed_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read_matrix_market::<f64, _>(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MatrixError::IndexOutOfBounds { .. }), "got {err:?}");
+
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1.0\n";
+        let err = read_matrix_market::<f64, _>(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MatrixError::IndexOutOfBounds { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let text = "%%MatrixMarket matrix coordinate real general\r\n\r\n% comment\r\n3 3 2\r\n\
+                    1 1 2.5\r\n\r\n3 2 -1.0\r\n\r\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 0), Some(2.5));
+        assert_eq!(a.get(2, 1), Some(-1.0));
+    }
+
+    fn assert_same(a: &Csr<f64>, b: &Csr<f64>) {
+        assert_eq!((a.nrows(), a.ncols(), a.nnz()), (b.nrows(), b.ncols(), b.nnz()));
+        for ((i1, j1, v1), (i2, j2, v2)) in a.iter().zip(b.iter()) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert!((v1 - v2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn general_header_roundtrips_through_write() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 2.5\n2 1 -3.0\n3 3 0.5\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: Csr<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_same(&a, &b);
+    }
+
+    #[test]
+    fn symmetric_header_roundtrips_through_write() {
+        // Written back as the expanded `general` form; the matrix itself
+        // must survive unchanged.
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 5.0\n3 3 2.0\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4, "off-diagonal expanded to both triangles");
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: Csr<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_same(&a, &b);
+    }
+
+    #[test]
+    fn pattern_header_roundtrips_through_write() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n2 1\n3 3\n";
+        let a: Csr<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: Csr<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_same(&a, &b);
+        assert_eq!(b.get(1, 0), Some(1.0), "pattern entries carry value 1");
     }
 
     #[test]

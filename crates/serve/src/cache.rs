@@ -15,26 +15,36 @@
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use recblock::RecBlockSolver;
-use recblock_matrix::{Csr, Fingerprint, Scalar};
+use recblock_matrix::Scalar;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Cache key: structural fingerprint plus a digest of the numeric values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PlanKey {
-    /// Structure digest (dims + `row_ptr` + `col_idx`).
-    pub structure: Fingerprint,
-    /// Value digest (bit patterns of the stored entries).
-    pub values: u64,
+/// Cache/store key: structural fingerprint plus a digest of the numeric
+/// values. Defined by `recblock-store` so in-memory cache and on-disk
+/// store index plans identically; re-exported here for API stability.
+pub use recblock_store::PlanKey;
+
+/// Where a resolved plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Already resident in the in-memory cache (or joined an in-flight
+    /// resolution of the same key).
+    Cache,
+    /// Deserialized from the persistent plan store.
+    Store,
+    /// Preprocessed from scratch.
+    Built,
 }
 
-impl PlanKey {
-    /// Compute the key for a matrix.
-    pub fn of<S: Scalar>(l: &Csr<S>) -> Self {
-        PlanKey { structure: l.fingerprint(), values: l.value_digest() }
-    }
+/// What a fetch closure produced on a cache miss — distinguished so the
+/// metrics can tell preprocessing runs from store loads.
+pub enum Fetched<S> {
+    /// The plan was preprocessed from scratch.
+    Built(RecBlockSolver<S>),
+    /// The plan was loaded from the persistent store.
+    Loaded(RecBlockSolver<S>),
 }
 
 enum SlotState<S> {
@@ -100,6 +110,19 @@ impl<S: Scalar> PlanCache<S> {
         key: PlanKey,
         build: impl FnOnce() -> Result<RecBlockSolver<S>, recblock_matrix::MatrixError>,
     ) -> Result<Arc<RecBlockSolver<S>>, ServeError> {
+        self.get_or_fetch(key, || build().map(Fetched::Built)).map(|(plan, _)| plan)
+    }
+
+    /// As [`PlanCache::get_or_build`], but the closure may resolve the miss
+    /// either by preprocessing (`Fetched::Built`, counted as a plan build)
+    /// or by loading a persisted plan (`Fetched::Loaded`, not counted —
+    /// the store tier records its own metrics). Also reports where the
+    /// returned plan came from.
+    pub fn get_or_fetch(
+        &self,
+        key: PlanKey,
+        fetch: impl FnOnce() -> Result<Fetched<S>, recblock_matrix::MatrixError>,
+    ) -> Result<(Arc<RecBlockSolver<S>>, PlanSource), ServeError> {
         let stamp = self.tick.fetch_add(1, Relaxed);
         let slot = {
             let mut shard = self.shard_of(&key).lock().unwrap();
@@ -108,7 +131,7 @@ impl<S: Scalar> PlanCache<S> {
                 self.metrics.cache_hits.fetch_add(1, Relaxed);
                 let slot = entry.slot.clone();
                 drop(shard);
-                return self.wait_ready(&slot);
+                return self.wait_ready(&slot).map(|plan| (plan, PlanSource::Cache));
             }
             self.metrics.cache_misses.fetch_add(1, Relaxed);
             let slot =
@@ -119,18 +142,24 @@ impl<S: Scalar> PlanCache<S> {
         };
 
         let t0 = Instant::now();
-        let built = build();
+        let built = fetch();
         let elapsed = t0.elapsed();
         match built {
-            Ok(solver) => {
-                self.metrics.plan_builds.fetch_add(1, Relaxed);
-                self.metrics.preprocess_ns.fetch_add(elapsed.as_nanos() as u64, Relaxed);
+            Ok(fetched) => {
+                let (solver, source) = match fetched {
+                    Fetched::Built(s) => {
+                        self.metrics.plan_builds.fetch_add(1, Relaxed);
+                        self.metrics.preprocess_ns.fetch_add(elapsed.as_nanos() as u64, Relaxed);
+                        (s, PlanSource::Built)
+                    }
+                    Fetched::Loaded(s) => (s, PlanSource::Store),
+                };
                 let plan = Arc::new(solver);
                 let mut state = slot.state.lock().unwrap();
                 *state = SlotState::Ready(plan.clone());
                 drop(state);
                 slot.cv.notify_all();
-                Ok(plan)
+                Ok((plan, source))
             }
             Err(e) => {
                 let msg = e.to_string();
@@ -148,6 +177,21 @@ impl<S: Scalar> PlanCache<S> {
                 Err(ServeError::PlanBuild(msg))
             }
         }
+    }
+
+    /// Install an already-resolved plan (warm-start path). Does not count
+    /// as a hit or a miss; respects capacity like any other insertion. An
+    /// existing entry for `key` is left untouched — the resident plan (or
+    /// in-flight build) wins.
+    pub fn insert(&self, key: PlanKey, plan: Arc<RecBlockSolver<S>>) {
+        let stamp = self.tick.fetch_add(1, Relaxed);
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if shard.contains_key(&key) {
+            return;
+        }
+        let slot = Arc::new(Slot { state: Mutex::new(SlotState::Ready(plan)), cv: Condvar::new() });
+        shard.insert(key, Entry { slot, stamp });
+        self.evict_over_capacity(&mut shard, &key);
     }
 
     fn wait_ready(&self, slot: &Slot<S>) -> Result<Arc<RecBlockSolver<S>>, ServeError> {
@@ -200,7 +244,7 @@ impl<S: Scalar> PlanCache<S> {
 mod tests {
     use super::*;
     use recblock::SolverOptions;
-    use recblock_matrix::generate;
+    use recblock_matrix::{generate, Csr};
 
     fn cache(capacity: usize, shards: usize) -> (PlanCache<f64>, Arc<Metrics>) {
         let metrics = Arc::new(Metrics::default());

@@ -1,6 +1,39 @@
 //! Service tuning knobs.
 
 use recblock::SolverOptions;
+use std::path::PathBuf;
+
+/// Persistent plan-store tier configuration (see `recblock-store`).
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Directory holding the plan files (created if absent).
+    pub dir: PathBuf,
+    /// Persist freshly built plans in the background so later processes
+    /// (or this one, after an eviction) load instead of rebuilding.
+    pub write_back: bool,
+    /// At service start, pre-populate the in-memory cache from the store,
+    /// newest files first, up to the cache capacity.
+    pub warm_start: bool,
+}
+
+impl StoreOptions {
+    /// Store rooted at `dir` with write-back and warm-start enabled.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreOptions { dir: dir.into(), write_back: true, warm_start: true }
+    }
+
+    /// Toggle background persistence of new builds.
+    pub fn with_write_back(mut self, on: bool) -> Self {
+        self.write_back = on;
+        self
+    }
+
+    /// Toggle cache pre-population at service start.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+}
 
 /// Configuration for [`crate::SolveService`].
 ///
@@ -27,6 +60,8 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Preprocessing options handed to every plan build.
     pub solver: SolverOptions,
+    /// Optional persistent plan store; `None` disables the tier.
+    pub store: Option<StoreOptions>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +74,7 @@ impl Default for ServeConfig {
             cache_capacity: 16,
             cache_shards: 8,
             solver: SolverOptions::default(),
+            store: None,
         }
     }
 }
@@ -77,6 +113,19 @@ impl ServeConfig {
     /// Set the preprocessing options used for plan builds.
     pub fn with_solver(mut self, solver: SolverOptions) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Enable the persistent plan store rooted at `dir` (write-back and
+    /// warm-start on). Use [`ServeConfig::with_store_options`] for finer
+    /// control.
+    pub fn with_store(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_store_options(StoreOptions::new(dir))
+    }
+
+    /// Set (or clear, via `None`-like default) the full store tier options.
+    pub fn with_store_options(mut self, store: StoreOptions) -> Self {
+        self.store = Some(store);
         self
     }
 }

@@ -42,16 +42,19 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod metrics;
+mod persist;
 mod worker;
 
-pub use cache::{PlanCache, PlanKey};
-pub use config::ServeConfig;
+pub use cache::{Fetched, PlanCache, PlanKey, PlanSource};
+pub use config::{ServeConfig, StoreOptions};
 pub use error::ServeError;
 pub use metrics::{Metrics, MetricsSnapshot};
 
 use batch::{BatchQueue, Pending};
 use recblock::RecBlockSolver;
 use recblock_matrix::{Csr, Scalar};
+use recblock_store::{ArtifactKind, PlanStore};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -85,11 +88,16 @@ pub struct SolveService<S: Scalar> {
     queue: Arc<BatchQueue<S>>,
     metrics: Arc<Metrics>,
     workers: Vec<JoinHandle<()>>,
+    store: Option<Arc<PlanStore>>,
+    persister: Option<persist::Persister<S>>,
 }
 
 impl<S: Scalar> SolveService<S> {
     /// Start the service: allocates the cache and queue, spawns
-    /// `config.workers` solver threads.
+    /// `config.workers` solver threads. When `config.store` is set, opens
+    /// the persistent plan store (a failure to open degrades to running
+    /// without the tier, counted in `store_errors`) and, with warm-start
+    /// enabled, pre-populates the cache from it, newest plans first.
     pub fn new(config: ServeConfig) -> Self {
         let metrics = Arc::new(Metrics::default());
         let cache =
@@ -104,7 +112,25 @@ impl<S: Scalar> SolveService<S> {
                     .expect("spawn solve worker")
             })
             .collect();
-        SolveService { config, cache, queue, metrics, workers }
+        let store = config.store.as_ref().and_then(|opts| match PlanStore::open(&opts.dir) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(_) => {
+                metrics.store_errors.fetch_add(1, Relaxed);
+                None
+            }
+        });
+        if let (Some(store), Some(opts)) = (&store, &config.store) {
+            if opts.warm_start {
+                warm_start_cache(&cache, store, &metrics, config.cache_capacity);
+            }
+        }
+        let persister = match (&store, &config.store) {
+            (Some(store), Some(opts)) if opts.write_back => {
+                Some(persist::Persister::spawn(store.clone(), metrics.clone()))
+            }
+            _ => None,
+        };
+        SolveService { config, cache, queue, metrics, workers, store, persister }
     }
 
     /// Submit a solve, failing fast with [`ServeError::Overloaded`] when
@@ -130,8 +156,7 @@ impl<S: Scalar> SolveService<S> {
             return Err(ServeError::BadRequest { expected: l.nrows(), actual: rhs.len() });
         }
         let key = PlanKey::of(l);
-        let plan =
-            self.cache.get_or_build(key, || RecBlockSolver::new(l, self.config.solver.clone()))?;
+        let (plan, _) = self.resolve_plan(key, l)?;
         let (tx, rx) = mpsc::channel();
         let req = Pending { rhs, tx, submitted: Instant::now() };
         if block {
@@ -142,13 +167,72 @@ impl<S: Scalar> SolveService<S> {
         Ok(SolveHandle { rx })
     }
 
+    /// Resolve the plan for `key`, trying tiers in order: in-memory cache,
+    /// persistent store, fresh build. A freshly built plan is handed to
+    /// the background persister (when write-back is on); any store failure
+    /// is counted and silently degrades to rebuilding.
+    fn resolve_plan(
+        &self,
+        key: PlanKey,
+        l: &Csr<S>,
+    ) -> Result<(Arc<RecBlockSolver<S>>, PlanSource), ServeError> {
+        let (plan, source) = self.cache.get_or_fetch(key, || {
+            if let Some(store) = &self.store {
+                let t0 = Instant::now();
+                match store.load::<S>(&key) {
+                    Ok(Some(loaded)) => {
+                        self.metrics.store_hits.fetch_add(1, Relaxed);
+                        self.metrics.store_bytes_read.fetch_add(loaded.bytes as u64, Relaxed);
+                        self.metrics
+                            .store_load_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                        // The load dodged this much preprocessing — the
+                        // same quantity a cache hit credits.
+                        self.metrics.preprocess_saved_ns.fetch_add(
+                            std::time::Duration::from_secs_f64(loaded.meta.build_cost.max(0.0))
+                                .as_nanos() as u64,
+                            Relaxed,
+                        );
+                        return Ok(Fetched::Loaded(loaded.into_solver()));
+                    }
+                    Ok(None) => {
+                        self.metrics.store_misses.fetch_add(1, Relaxed);
+                    }
+                    Err(_) => {
+                        self.metrics.store_errors.fetch_add(1, Relaxed);
+                    }
+                }
+            }
+            RecBlockSolver::new(l, self.config.solver.clone()).map(Fetched::Built)
+        })?;
+        if source == PlanSource::Built {
+            if let Some(persister) = &self.persister {
+                persister.enqueue(key, plan.clone());
+            }
+        }
+        Ok((plan, source))
+    }
+
     /// Preprocess (or fetch the cached plan for) `l` without solving —
     /// useful to warm the cache before traffic arrives.
     pub fn warm(&self, l: &Csr<S>) -> Result<(), ServeError> {
+        self.warm_status(l).map(|_| ())
+    }
+
+    /// As [`SolveService::warm`], additionally reporting where the plan
+    /// came from: already cached, loaded from the persistent store, or
+    /// built fresh.
+    pub fn warm_status(&self, l: &Csr<S>) -> Result<PlanSource, ServeError> {
         let key = PlanKey::of(l);
-        self.cache
-            .get_or_build(key, || RecBlockSolver::new(l, self.config.solver.clone()))
-            .map(|_| ())
+        self.resolve_plan(key, l).map(|(_, source)| source)
+    }
+
+    /// Block until every plan queued for background persistence is on
+    /// disk. A no-op when the store tier or write-back is disabled.
+    pub fn flush_store(&self) {
+        if let Some(persister) = &self.persister {
+            persister.flush();
+        }
     }
 
     /// Point-in-time copy of the service counters.
@@ -182,6 +266,52 @@ impl<S: Scalar> SolveService<S> {
         }
         // Only reachable work left is the zero-worker case.
         self.queue.cancel_remaining();
+        // Drain the write-back queue so accepted plans reach disk.
+        if let Some(persister) = &mut self.persister {
+            persister.shutdown();
+        }
+    }
+}
+
+/// Pre-populate `cache` from `store`: newest plans first, matching scalar
+/// type and artifact kind only, up to `capacity` plans. Corrupt or stale
+/// files are counted and skipped — warm-start must never fail the boot.
+fn warm_start_cache<S: Scalar>(
+    cache: &PlanCache<S>,
+    store: &PlanStore,
+    metrics: &Metrics,
+    capacity: usize,
+) {
+    let entries = match store.entries() {
+        Ok(e) => e,
+        Err(_) => {
+            metrics.store_errors.fetch_add(1, Relaxed);
+            return;
+        }
+    };
+    let mut loaded = 0usize;
+    for entry in entries {
+        if loaded >= capacity {
+            break;
+        }
+        if entry.meta.kind != ArtifactKind::Blocked || entry.meta.scalar_bytes as usize != S::BYTES
+        {
+            continue;
+        }
+        let t0 = Instant::now();
+        match recblock_store::read_plan_file::<S>(&entry.path) {
+            Ok(plan) => {
+                metrics.store_hits.fetch_add(1, Relaxed);
+                metrics.store_bytes_read.fetch_add(plan.bytes as u64, Relaxed);
+                metrics.store_load_ns.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                let key = plan.meta.key;
+                cache.insert(key, Arc::new(plan.into_solver()));
+                loaded += 1;
+            }
+            Err(_) => {
+                metrics.store_errors.fetch_add(1, Relaxed);
+            }
+        }
     }
 }
 
@@ -243,6 +373,118 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.cancelled, 1);
         assert_eq!(h.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let p = std::env::temp_dir().join(format!("rbserve-{}-{}", std::process::id(), name));
+            std::fs::remove_dir_all(&p).ok();
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn warm_status_reports_built_then_cache() {
+        let service = SolveService::<f64>::new(ServeConfig::default().with_workers(1));
+        let l = generate::random_lower::<f64>(200, 3.0, 85);
+        assert_eq!(service.warm_status(&l).unwrap(), PlanSource::Built);
+        assert_eq!(service.warm_status(&l).unwrap(), PlanSource::Cache);
+    }
+
+    #[test]
+    fn store_tier_persists_and_reloads_across_services() {
+        let tmp = TempDir::new("tier");
+        let l = generate::random_lower::<f64>(500, 4.0, 86);
+        let b: Vec<f64> = (0..500).map(|i| (i as f64 * 0.02).cos()).collect();
+
+        // First service builds the plan and writes it back.
+        let first =
+            SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_store(&tmp.0));
+        let x1 = first.submit(&l, b.clone()).unwrap().wait().unwrap();
+        first.flush_store();
+        let stats = first.shutdown();
+        assert_eq!(stats.plan_builds, 1);
+        assert_eq!(stats.store_misses, 1);
+        assert_eq!(stats.store_writes, 1);
+
+        // A fresh service (empty in-memory cache) loads instead of building.
+        let second = SolveService::<f64>::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+        );
+        assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Store);
+        assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Cache);
+        let x2 = second.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert_eq!(x1, x2, "persisted plan must solve bit-identically");
+        let stats = second.shutdown();
+        assert_eq!(stats.plan_builds, 0, "plan must come from the store, not a rebuild");
+        assert_eq!(stats.store_hits, 1);
+        assert!(stats.store_bytes_read > 0);
+        assert!(stats.preprocess_time_saved > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn warm_start_prepopulates_cache_at_boot() {
+        let tmp = TempDir::new("warmstart");
+        let l = generate::random_lower::<f64>(400, 3.0, 87);
+        let first =
+            SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_store(&tmp.0));
+        first.warm(&l).unwrap();
+        first.flush_store();
+        first.shutdown();
+
+        let second =
+            SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_store(&tmp.0));
+        assert_eq!(second.cached_plans(), 1, "boot warm-start should load the stored plan");
+        assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Cache);
+        let stats = second.shutdown();
+        assert_eq!(stats.plan_builds, 0);
+        assert_eq!(stats.store_hits, 1);
+    }
+
+    #[test]
+    fn corrupt_store_file_falls_back_to_building() {
+        let tmp = TempDir::new("corrupt");
+        let l = generate::random_lower::<f64>(300, 3.0, 88);
+        let first =
+            SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_store(&tmp.0));
+        first.warm(&l).unwrap();
+        first.flush_store();
+        first.shutdown();
+
+        // Flip one byte in the middle of the stored plan.
+        let store = recblock_store::PlanStore::open(&tmp.0).unwrap();
+        let path = store.path_for(&PlanKey::of(&l), recblock_store::ArtifactKind::Blocked);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let second = SolveService::<f64>::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+        );
+        assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Built);
+        let b: Vec<f64> = (0..300).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x = second.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert!(max_rel_diff(&x, &serial_csr(&l, &b).unwrap()) < 1e-10);
+        second.flush_store();
+        let stats = second.shutdown();
+        assert!(stats.store_errors >= 1, "the corrupt file must be detected");
+        assert_eq!(stats.plan_builds, 1);
+        // The rebuilt plan was written back over the corrupt file.
+        assert_eq!(stats.store_writes, 1);
     }
 
     #[test]

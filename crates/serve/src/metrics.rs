@@ -34,6 +34,13 @@ pub struct Metrics {
     pub(crate) preprocess_ns: AtomicU64,
     pub(crate) preprocess_saved_ns: AtomicU64,
 
+    pub(crate) store_hits: AtomicU64,
+    pub(crate) store_misses: AtomicU64,
+    pub(crate) store_errors: AtomicU64,
+    pub(crate) store_writes: AtomicU64,
+    pub(crate) store_bytes_read: AtomicU64,
+    pub(crate) store_load_ns: AtomicU64,
+
     pub(crate) batches: AtomicU64,
     pub(crate) multi_column_batches: AtomicU64,
     pub(crate) batched_columns: AtomicU64,
@@ -62,6 +69,12 @@ impl Default for Metrics {
             plan_builds: AtomicU64::new(0),
             preprocess_ns: AtomicU64::new(0),
             preprocess_saved_ns: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_bytes_read: AtomicU64::new(0),
+            store_load_ns: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             multi_column_batches: AtomicU64::new(0),
             batched_columns: AtomicU64::new(0),
@@ -130,6 +143,12 @@ impl Metrics {
             plan_builds: self.plan_builds.load(Relaxed),
             preprocess_time: Duration::from_nanos(self.preprocess_ns.load(Relaxed)),
             preprocess_time_saved: Duration::from_nanos(self.preprocess_saved_ns.load(Relaxed)),
+            store_hits: self.store_hits.load(Relaxed),
+            store_misses: self.store_misses.load(Relaxed),
+            store_errors: self.store_errors.load(Relaxed),
+            store_writes: self.store_writes.load(Relaxed),
+            store_bytes_read: self.store_bytes_read.load(Relaxed),
+            store_load_time: Duration::from_nanos(self.store_load_ns.load(Relaxed)),
             batches: self.batches.load(Relaxed),
             multi_column_batches: self.multi_column_batches.load(Relaxed),
             batched_columns: self.batched_columns.load(Relaxed),
@@ -174,6 +193,20 @@ pub struct MetricsSnapshot {
     /// cached plan's own build time — the quantity the paper's Table 5
     /// amortisation argument is about.
     pub preprocess_time_saved: Duration,
+    /// Plan-store lookups that loaded a usable persisted plan.
+    pub store_hits: u64,
+    /// Plan-store lookups that found no file for the key.
+    pub store_misses: u64,
+    /// Plan-store operations that failed (corrupt/stale file, I/O error);
+    /// each one fell back to rebuilding.
+    pub store_errors: u64,
+    /// Plans persisted to the store by the background writer.
+    pub store_writes: u64,
+    /// Bytes of plan files read (successful loads only).
+    pub store_bytes_read: u64,
+    /// Wall-clock spent loading plans from the store — compare against
+    /// `preprocess_time` to see what persistence saves.
+    pub store_load_time: Duration,
     /// Solve batches executed.
     pub batches: u64,
     /// Batches that coalesced more than one right-hand side.
@@ -220,6 +253,16 @@ impl fmt::Display for MetricsSnapshot {
             self.preprocess_time,
             self.preprocess_time_saved,
             self.cache_evictions
+        )?;
+        writeln!(
+            f,
+            "plan store: {} hits / {} misses, {} errors, {} writes, {} bytes read in {:?}",
+            self.store_hits,
+            self.store_misses,
+            self.store_errors,
+            self.store_writes,
+            self.store_bytes_read,
+            self.store_load_time
         )?;
         writeln!(
             f,

@@ -1,0 +1,101 @@
+//! Background write-back of freshly built plans.
+//!
+//! Serializing a plan costs a full copy of its arrays plus an fsync —
+//! work that must not sit on the submit path. A single writer thread
+//! drains a channel of `(key, plan)` jobs and persists each via the
+//! store's atomic write. A pending-counter/condvar pair makes the tier
+//! testable and drainable: [`Persister::flush`] blocks until every
+//! enqueued plan is on disk, and shutdown flushes before joining so
+//! accepted work is never silently dropped.
+
+use crate::cache::PlanKey;
+use crate::metrics::Metrics;
+use recblock::RecBlockSolver;
+use recblock_matrix::Scalar;
+use recblock_store::PlanStore;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct Job<S> {
+    key: PlanKey,
+    plan: Arc<RecBlockSolver<S>>,
+}
+
+/// Handle to the background writer thread.
+pub(crate) struct Persister<S> {
+    tx: Option<mpsc::Sender<Job<S>>>,
+    pending: Arc<(Mutex<u64>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<S: Scalar> Persister<S> {
+    pub(crate) fn spawn(store: Arc<PlanStore>, metrics: Arc<Metrics>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job<S>>();
+        let pending = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let pending_worker = pending.clone();
+        let handle = std::thread::Builder::new()
+            .name("recblock-store-writer".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let cost = job.plan.preprocess_time().as_secs_f64();
+                    match store.save(job.plan.blocked(), &job.key, cost) {
+                        Ok(_) => {
+                            metrics.store_writes.fetch_add(1, Relaxed);
+                        }
+                        Err(_) => {
+                            metrics.store_errors.fetch_add(1, Relaxed);
+                        }
+                    }
+                    let (lock, cv) = &*pending_worker;
+                    let mut n = lock.lock().unwrap();
+                    *n -= 1;
+                    cv.notify_all();
+                }
+            })
+            .expect("spawn store writer");
+        Persister { tx: Some(tx), pending, handle: Some(handle) }
+    }
+
+    /// Queue a plan for persistence. Never blocks on I/O.
+    pub(crate) fn enqueue(&self, key: PlanKey, plan: Arc<RecBlockSolver<S>>) {
+        let Some(tx) = &self.tx else { return };
+        {
+            let (lock, _) = &*self.pending;
+            *lock.lock().unwrap() += 1;
+        }
+        if tx.send(Job { key, plan }).is_err() {
+            // Writer thread is gone; undo the reservation.
+            let (lock, cv) = &*self.pending;
+            *lock.lock().unwrap() -= 1;
+            cv.notify_all();
+        }
+    }
+
+    /// Block until every enqueued plan has been written (or failed).
+    pub(crate) fn flush(&self) {
+        let (lock, cv) = &*self.pending;
+        let mut n = lock.lock().unwrap();
+        while *n > 0 {
+            n = cv.wait(n).unwrap();
+        }
+    }
+
+    /// Flush, stop the writer thread and join it.
+    pub(crate) fn shutdown(&mut self) {
+        self.flush();
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S> Drop for Persister<S> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

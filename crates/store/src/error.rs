@@ -1,0 +1,97 @@
+//! Typed failure modes of the plan store.
+//!
+//! Every way a plan file can be unusable gets its own variant so callers
+//! can distinguish "file from a newer build" from "bits rotted on disk"
+//! from "this plan belongs to a different matrix". The serve layer treats
+//! all of them the same way — fall back to rebuilding — but diagnostics
+//! (`planctl verify`) report the precise cause.
+
+use crate::key::PlanKey;
+use recblock_matrix::MatrixError;
+use std::fmt;
+
+/// Errors produced while writing, reading or validating plan files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, read, write, rename, …).
+    Io(String),
+    /// The file does not start with the plan-store magic bytes.
+    WrongMagic,
+    /// The file's format version is not the one this build reads.
+    WrongVersion {
+        /// Version recorded in the file header.
+        found: u32,
+        /// Version this library writes and reads.
+        expected: u32,
+    },
+    /// A section's CRC32 does not match its payload: on-disk corruption.
+    ChecksumMismatch {
+        /// Which section failed (`"meta"`, `"body"`).
+        section: &'static str,
+    },
+    /// The file ended before a declared structure was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// The plan inside the file was built for a different matrix (or for
+    /// the same structure with different numeric values).
+    FingerprintMismatch {
+        /// Key the caller asked for.
+        expected: PlanKey,
+        /// Key recorded in the file.
+        found: PlanKey,
+    },
+    /// The plan stores a different scalar width than the requested type.
+    ScalarMismatch {
+        /// Byte width of the requested scalar type.
+        expected: u8,
+        /// Byte width recorded in the file.
+        found: u8,
+    },
+    /// The bytes decode but describe an internally inconsistent plan
+    /// (bad tag, trailing bytes, mismatched counts, …).
+    Malformed(String),
+    /// A reconstructed component failed its validating constructor.
+    Matrix(MatrixError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "plan store i/o error: {e}"),
+            StoreError::WrongMagic => write!(f, "not a plan file (bad magic)"),
+            StoreError::WrongVersion { found, expected } => {
+                write!(f, "plan file version {found}, this build reads {expected}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "plan file corrupt: {section} section checksum mismatch")
+            }
+            StoreError::Truncated { what } => {
+                write!(f, "plan file truncated while reading {what}")
+            }
+            StoreError::FingerprintMismatch { expected, found } => {
+                write!(f, "plan is for a different matrix: wanted {expected}, file has {found}")
+            }
+            StoreError::ScalarMismatch { expected, found } => {
+                write!(f, "plan stores {found}-byte scalars, requested type is {expected}-byte")
+            }
+            StoreError::Malformed(m) => write!(f, "malformed plan file: {m}"),
+            StoreError::Matrix(e) => write!(f, "plan failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<MatrixError> for StoreError {
+    fn from(e: MatrixError) -> Self {
+        StoreError::Matrix(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! Identity of a stored plan: structure fingerprint + value digest.
+//!
+//! A solve plan embeds the factor's numeric values, so two matrices with
+//! identical sparsity but different entries must map to different plans.
+//! The key therefore pairs the structural [`Fingerprint`] with a digest of
+//! the value array.
+
+use recblock_matrix::{Csr, Fingerprint, Scalar};
+use std::fmt;
+
+/// Cache/store key for a preprocessed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural fingerprint (dims + `row_ptr` + `col_idx`).
+    pub structure: Fingerprint,
+    /// Digest of the numeric values (bit patterns widened to `f64`).
+    pub values: u64,
+}
+
+impl PlanKey {
+    /// Key of the plan for `l`.
+    pub fn of<S: Scalar>(l: &Csr<S>) -> Self {
+        PlanKey { structure: l.fingerprint(), values: l.value_digest() }
+    }
+}
+
+impl fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-v{:016x}", self.structure, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+
+    #[test]
+    fn same_matrix_same_key() {
+        let a = generate::random_lower::<f64>(200, 3.0, 1);
+        assert_eq!(PlanKey::of(&a), PlanKey::of(&a.clone()));
+    }
+
+    #[test]
+    fn different_values_different_key() {
+        let a = generate::random_lower::<f64>(200, 3.0, 2);
+        let mut b = a.clone();
+        b.vals_mut()[0] += 1.0;
+        let (ka, kb) = (PlanKey::of(&a), PlanKey::of(&b));
+        assert_eq!(ka.structure, kb.structure);
+        assert_ne!(ka.values, kb.values);
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn different_structure_different_key() {
+        let a = generate::random_lower::<f64>(200, 3.0, 3);
+        let b = generate::random_lower::<f64>(200, 3.0, 4);
+        assert_ne!(PlanKey::of(&a).structure, PlanKey::of(&b).structure);
+    }
+}

@@ -1,0 +1,62 @@
+//! # recblock-store — persistent plan store
+//!
+//! Preprocessing is the expensive half of recursive-block SpTRSV: the
+//! paper's Table 5 puts plan construction at roughly **9× the cost of one
+//! solve**. That cost is paid per matrix *per process* — every restart of a
+//! service rebuilds plans for matrices it has solved thousands of times
+//! before. This crate amortises it across processes: a built
+//! [`BlockedTri`](recblock::BlockedTri) (or packed arena) is serialized to
+//! a versioned, checksummed file keyed by the matrix's structural
+//! fingerprint and value digest, and reloaded with a single read + linear
+//! decode that skips reordering, partitioning, level analysis and kernel
+//! selection entirely.
+//!
+//! ## Safety model
+//!
+//! A plan file is trusted *only after* it passes, in order: magic/version
+//! check, per-section CRC-32C, typed structural decode, and the validating
+//! `from_parts` constructors that re-verify every invariant the solve
+//! kernels index by. Every failure is a typed [`StoreError`]; nothing in
+//! the load path panics on bad bytes, so callers can always fall back to
+//! rebuilding.
+//!
+//! ## Quick use
+//!
+//! ```
+//! use recblock::{BlockedOptions, BlockedTri};
+//! use recblock_matrix::generate;
+//! use recblock_store::{PlanKey, PlanStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("rbstore-doc-{}", std::process::id()));
+//! let l = generate::random_lower::<f64>(500, 4.0, 7);
+//! let plan = BlockedTri::build(&l, &BlockedOptions::default()).unwrap();
+//!
+//! let store = PlanStore::open(&dir).unwrap();
+//! let key = PlanKey::of(&l);
+//! store.save(&plan, &key, 0.01).unwrap();
+//!
+//! let loaded = store.load::<f64>(&key).unwrap().expect("plan was just saved");
+//! let b = vec![1.0; 500];
+//! assert_eq!(loaded.blocked.solve(&b).unwrap(), plan.solve(&b).unwrap());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod key;
+pub mod plan;
+pub mod store;
+pub mod wire;
+
+pub use error::StoreError;
+pub use key::PlanKey;
+pub use plan::{
+    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, ArtifactKind, PlanMeta,
+    FORMAT_VERSION, MAGIC,
+};
+pub use store::{
+    inspect_plan_file, read_pack_file, read_plan_file, write_atomic, LoadedPlan, PlanStore,
+    StoreEntry,
+};

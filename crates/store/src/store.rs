@@ -1,0 +1,234 @@
+//! Directory-backed plan store with atomic writes.
+//!
+//! One plan per file, named after the [`PlanKey`] so lookups are a single
+//! `fs::read` with no index to maintain or corrupt. Writes go through a
+//! uniquely named temp file in the same directory, `sync_all`, then
+//! `rename` — readers never observe a half-written plan, and two processes
+//! racing to persist the same key both leave a complete file behind.
+
+use crate::error::StoreError;
+use crate::key::PlanKey;
+use crate::plan::{
+    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, ArtifactKind, PlanMeta,
+};
+use recblock::packed::PackedBlocked;
+use recblock::{BlockedTri, RecBlockSolver};
+use recblock_matrix::Scalar;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// A plan read back from disk.
+#[derive(Debug, Clone)]
+pub struct LoadedPlan<S> {
+    /// The file's META section.
+    pub meta: PlanMeta,
+    /// The reconstructed plan.
+    pub blocked: BlockedTri<S>,
+    /// On-disk size of the file, in bytes.
+    pub bytes: usize,
+}
+
+impl<S: Scalar> LoadedPlan<S> {
+    /// Wrap the plan as a [`RecBlockSolver`], carrying the original build
+    /// cost so `preprocess_time()` still reports what a cold build costs.
+    pub fn into_solver(self) -> RecBlockSolver<S> {
+        let prep = Duration::from_secs_f64(self.meta.build_cost.max(0.0));
+        RecBlockSolver::from_blocked(self.blocked, prep)
+    }
+}
+
+/// One plan file found by a directory scan.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Full path of the file.
+    pub path: PathBuf,
+    /// Its META section.
+    pub meta: PlanMeta,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-modified time (used to warm newest-first).
+    pub modified: SystemTime,
+}
+
+/// A directory of persisted plans.
+#[derive(Debug, Clone)]
+pub struct PlanStore {
+    dir: PathBuf,
+}
+
+/// Distinguishes concurrent writers within one process; combined with the
+/// pid to distinguish processes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl PlanStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(PlanStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical file name for `key`: readable, unique per key, stable
+    /// across processes.
+    pub fn file_name(key: &PlanKey, kind: ArtifactKind) -> String {
+        format!(
+            "{}x{}-{}nnz-{:016x}-{:016x}.{}",
+            key.structure.nrows,
+            key.structure.ncols,
+            key.structure.nnz,
+            key.structure.hash,
+            key.values,
+            kind.extension()
+        )
+    }
+
+    /// Where the plan for `key` lives (whether or not it exists yet).
+    pub fn path_for(&self, key: &PlanKey, kind: ArtifactKind) -> PathBuf {
+        self.dir.join(Self::file_name(key, kind))
+    }
+
+    /// Persist a built plan. Returns the final path.
+    pub fn save<S: Scalar>(
+        &self,
+        blocked: &BlockedTri<S>,
+        key: &PlanKey,
+        build_cost: f64,
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(key, ArtifactKind::Blocked);
+        write_atomic(&path, &encode_plan(blocked, key, build_cost))?;
+        Ok(path)
+    }
+
+    /// Persist a packed arena. Returns the final path.
+    pub fn save_packed<S: Scalar>(
+        &self,
+        packed: &PackedBlocked<S>,
+        key: &PlanKey,
+        build_cost: f64,
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(key, ArtifactKind::Packed);
+        write_atomic(&path, &encode_packed(packed, key, build_cost))?;
+        Ok(path)
+    }
+
+    /// Load the plan for `key`. `Ok(None)` when no file exists for the key
+    /// — the one non-error "miss" outcome. Any present-but-unusable file is
+    /// a typed error so callers can report *why* before rebuilding.
+    pub fn load<S: Scalar>(&self, key: &PlanKey) -> Result<Option<LoadedPlan<S>>, StoreError> {
+        let path = self.path_for(key, ArtifactKind::Blocked);
+        match fs::metadata(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+            Ok(_) => {}
+        }
+        let loaded = read_plan_file(&path)?;
+        if loaded.meta.key != *key {
+            return Err(StoreError::FingerprintMismatch { expected: *key, found: loaded.meta.key });
+        }
+        Ok(Some(loaded))
+    }
+
+    /// Remove the plan for `key` if present. Returns whether a file was
+    /// deleted.
+    pub fn remove(&self, key: &PlanKey) -> Result<bool, StoreError> {
+        match fs::remove_file(self.path_for(key, ArtifactKind::Blocked)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Scan the directory for plan files, newest first. Files that fail to
+    /// parse are skipped (a corrupt file must not prevent warming the rest);
+    /// only the META section is read, so scanning stays cheap even for
+    /// large plans.
+    pub fn entries(&self) -> Result<Vec<StoreEntry>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let is_plan = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "rbplan" || e == "rbpack");
+            if !is_plan {
+                continue;
+            }
+            let Ok(fmeta) = entry.metadata() else { continue };
+            let Ok(meta) = inspect_plan_file(&path) else { continue };
+            out.push(StoreEntry {
+                path,
+                meta,
+                bytes: fmeta.len(),
+                modified: fmeta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        out.sort_by_key(|e| std::cmp::Reverse(e.modified));
+        Ok(out)
+    }
+}
+
+/// Write `bytes` to `path` atomically: unique temp file in the same
+/// directory, flush + `sync_all`, then rename over the target.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path.parent().ok_or_else(|| {
+        StoreError::Io(format!("plan path {} has no parent directory", path.display()))
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("plan"),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let result = (|| -> Result<(), StoreError> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Read and fully decode a plan file.
+pub fn read_plan_file<S: Scalar>(path: &Path) -> Result<LoadedPlan<S>, StoreError> {
+    let bytes = fs::read(path)?;
+    let (meta, blocked) = decode_plan(&bytes)?;
+    Ok(LoadedPlan { meta, blocked, bytes: bytes.len() })
+}
+
+/// Read and fully decode a packed-arena file.
+pub fn read_pack_file<S: Scalar>(path: &Path) -> Result<(PlanMeta, PackedBlocked<S>), StoreError> {
+    let bytes = fs::read(path)?;
+    decode_packed(&bytes)
+}
+
+/// Read only the META section of a plan file (either artifact kind).
+pub fn inspect_plan_file(path: &Path) -> Result<PlanMeta, StoreError> {
+    // META sits within the first few hundred bytes; reading the whole file
+    // just to inspect it would defeat the cheap-scan goal for large plans.
+    use std::io::Read as _;
+    let mut f = fs::File::open(path)?;
+    let mut head = vec![0u8; 4096];
+    let mut filled = 0;
+    while filled < head.len() {
+        let got = f.read(&mut head[filled..])?;
+        if got == 0 {
+            break;
+        }
+        filled += got;
+    }
+    head.truncate(filled);
+    decode_meta(&head)
+}

@@ -1,0 +1,302 @@
+//! Little-endian wire encoding primitives.
+//!
+//! The writer appends to a growable buffer; the reader is a cursor over a
+//! borrowed slice, so a whole plan file is read with **one** `fs::read`
+//! and decoded in place — no intermediate copies beyond the final owned
+//! arrays handed to the validating constructors. Bulk arrays decode via
+//! `chunks_exact`, which the compiler vectorises.
+//!
+//! Conventions:
+//! - all integers are little-endian; `usize` travels as `u64`,
+//! - arrays are length-prefixed (`u64` element count),
+//! - scalar values always travel as `f64` bit patterns regardless of the
+//!   in-memory type (`f32 → f64` widening is exact, so both precisions
+//!   round-trip bit-identically); the file's META section records the
+//!   original width so a load under the wrong type is a typed error.
+
+use crate::error::StoreError;
+use recblock_matrix::Scalar;
+use std::ops::Range;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append raw bytes verbatim.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` as its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed `usize` array.
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&(x as u64).to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed scalar array (widened to `f64` bits).
+    pub fn put_scalar_slice<S: Scalar>(&mut self, v: &[S]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_f64().to_bits().to_le_bytes());
+        }
+    }
+
+    /// Append a half-open range as two `u64`s.
+    pub fn put_range(&mut self, r: &Range<usize>) {
+        self.put_usize(r.start);
+        self.put_usize(r.end);
+    }
+}
+
+/// Cursor over a borrowed byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap `buf`; `what` names the region for `Truncated` errors.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Reader { buf, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() < n {
+            return Err(StoreError::Truncated { what: self.what });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("take(4) returned 4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8) returned 8 bytes")))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting overflow.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::Malformed(format!("{}: value {v} exceeds usize", self.what)))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed `usize` array.
+    ///
+    /// The byte budget is claimed with `take` *before* allocating, so a
+    /// corrupted length field fails as `Truncated` instead of attempting a
+    /// huge allocation.
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, StoreError> {
+        let len = self.usize()?;
+        let bytes =
+            self.take(len.checked_mul(8).ok_or(StoreError::Truncated { what: self.what })?)?;
+        if usize::BITS >= 64 {
+            // `u64 → usize` cannot overflow here, so the conversion is a
+            // straight widening and the loop vectorises.
+            let out = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")) as usize)
+                .collect();
+            return Ok(out);
+        }
+        let mut out = Vec::with_capacity(len);
+        for c in bytes.chunks_exact(8) {
+            let v = u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"));
+            out.push(usize::try_from(v).map_err(|_| {
+                StoreError::Malformed(format!("{}: index {v} exceeds usize", self.what))
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed scalar array (stored as `f64` bits).
+    pub fn scalar_vec<S: Scalar>(&mut self) -> Result<Vec<S>, StoreError> {
+        let len = self.usize()?;
+        let bytes =
+            self.take(len.checked_mul(8).ok_or(StoreError::Truncated { what: self.what })?)?;
+        let mut out = Vec::with_capacity(len);
+        for c in bytes.chunks_exact(8) {
+            let bits = u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"));
+            out.push(S::from_f64(f64::from_bits(bits)));
+        }
+        Ok(out)
+    }
+
+    /// Read a half-open range; rejects `start > end`.
+    pub fn range(&mut self) -> Result<Range<usize>, StoreError> {
+        let start = self.usize()?;
+        let end = self.usize()?;
+        if start > end {
+            return Err(StoreError::Malformed(format!(
+                "{}: range {start}..{end} runs backwards",
+                self.what
+            )));
+        }
+        Ok(start..end)
+    }
+
+    /// Assert the region was consumed exactly.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(StoreError::Malformed(format!("{}: {} trailing bytes", self.what, self.buf.len())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_arrays_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_usize_slice(&[0, 1, usize::MAX]);
+        w.put_scalar_slice::<f64>(&[1.5, f64::MIN_POSITIVE, -3.25]);
+        w.put_range(&(3..9));
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.usize_vec().unwrap(), vec![0, 1, usize::MAX]);
+        assert_eq!(r.scalar_vec::<f64>().unwrap(), vec![1.5, f64::MIN_POSITIVE, -3.25]);
+        assert_eq!(r.range().unwrap(), 3..9);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f32_widening_roundtrips_exactly() {
+        let vals: Vec<f32> = vec![1.0e-20, -7.75, f32::MAX, f32::MIN_POSITIVE];
+        let mut w = Writer::new();
+        w.put_scalar_slice(&vals);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        let back: Vec<f32> = r.scalar_vec().unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = Writer::new();
+        w.put_usize_slice(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1], "chopped");
+        assert!(matches!(r.usize_vec(), Err(StoreError::Truncated { what: "chopped" })));
+    }
+
+    #[test]
+    fn huge_length_field_does_not_allocate() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2); // length claiming ~8 EiB of payload
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "bomb");
+        assert!(matches!(r.usize_vec(), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "extra");
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn backwards_range_rejected() {
+        let mut w = Writer::new();
+        w.put_usize(5);
+        w.put_usize(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "range");
+        assert!(matches!(r.range(), Err(StoreError::Malformed(_))));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the plan file format.
+//!
+//! Two classes of property:
+//!
+//! 1. **Round-trip fidelity** — for arbitrary solvable lower-triangular
+//!    systems, `encode_plan → decode_plan` yields a plan whose `solve`
+//!    output is *bit-identical* to the original's, in both `f64` and `f32`.
+//! 2. **Corruption robustness** — flipping any single byte of an encoded
+//!    file, truncating it at any point, or appending garbage must produce
+//!    a typed [`StoreError`], never a panic and never a silently wrong
+//!    plan. (A flipped byte can never decode successfully: every payload
+//!    byte is covered by a section CRC and every header byte by an exact
+//!    field check.)
+
+use proptest::prelude::*;
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_matrix::{generate, Csr, Scalar};
+use recblock_store::{decode_plan, encode_plan, PlanKey};
+
+/// Strategy: a random solvable lower-triangular matrix.
+fn arb_lower() -> impl Strategy<Value = Csr<f64>> {
+    (20usize..160, 0u64..500, 1u32..40)
+        .prop_map(|(n, seed, deg10)| generate::random_lower::<f64>(n, deg10 as f64 / 10.0, seed))
+}
+
+fn build<S: Scalar>(l: &Csr<S>, depth: usize) -> BlockedTri<S> {
+    let opts = BlockedOptions { depth: DepthRule::Fixed(depth), ..BlockedOptions::default() };
+    BlockedTri::build(l, &opts).expect("solvable system")
+}
+
+fn rhs_for<S: Scalar>(n: usize, seed: u64) -> Vec<S> {
+    (0..n)
+        .map(|i| S::from_f64((((i as u64).wrapping_mul(seed + 13) % 89) as f64) / 44.5 - 1.0))
+        .collect()
+}
+
+fn to_f32(l: &Csr<f64>) -> Csr<f32> {
+    Csr::try_new(
+        l.nrows(),
+        l.ncols(),
+        l.row_ptr().to_vec(),
+        l.col_idx().to_vec(),
+        l.vals().iter().map(|&v| v as f32).collect(),
+    )
+    .expect("same structure")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_solve_is_bit_identical_f64(l in arb_lower(), depth in 0usize..4, rhs_seed in 0u64..50) {
+        let plan = build(&l, depth);
+        let key = PlanKey::of(&l);
+        let bytes = encode_plan(&plan, &key, 0.25);
+        let (meta, back) = decode_plan::<f64>(&bytes).expect("clean bytes decode");
+        prop_assert_eq!(meta.key, key);
+        prop_assert_eq!(meta.nblocks, plan.nblocks());
+
+        let b = rhs_for::<f64>(l.nrows(), rhs_seed);
+        let x1 = plan.solve(&b).unwrap();
+        let x2 = back.solve(&b).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_solve_is_bit_identical_f32(l64 in arb_lower(), depth in 0usize..3) {
+        let l = to_f32(&l64);
+        let plan = build(&l, depth);
+        let key = PlanKey::of(&l);
+        let bytes = encode_plan(&plan, &key, 0.0);
+        let (_, back) = decode_plan::<f32>(&bytes).expect("clean bytes decode");
+
+        let b = rhs_for::<f32>(l.nrows(), 5);
+        let x1 = plan.solve(&b).unwrap();
+        let x2 = back.solve(&b).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_a_typed_error(
+        l in arb_lower(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let plan = build(&l, 2);
+        let bytes = encode_plan(&plan, &PlanKey::of(&l), 0.0);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        // Must return a typed error — never panic, never decode to a plan.
+        let err = decode_plan::<f64>(&corrupt).expect_err("corrupt byte must not decode");
+        drop(err); // any StoreError variant is acceptable; reaching here means no panic
+    }
+
+    #[test]
+    fn any_truncation_is_a_typed_error(l in arb_lower(), keep_frac in 0.0f64..1.0) {
+        let plan = build(&l, 2);
+        let bytes = encode_plan(&plan, &PlanKey::of(&l), 0.0);
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        decode_plan::<f64>(&bytes[..keep]).expect_err("truncated file must not decode");
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error(l in arb_lower(), extra in 1usize..64) {
+        let plan = build(&l, 1);
+        let mut bytes = encode_plan(&plan, &PlanKey::of(&l), 0.0);
+        bytes.extend(std::iter::repeat_n(0xA5, extra));
+        decode_plan::<f64>(&bytes).expect_err("trailing bytes must not decode");
+    }
+}
+
+/// Exhaustive (non-random) flip battery on one small plan: every byte,
+/// every bit. This nails the guarantee the proptest above samples.
+#[test]
+fn exhaustive_flip_battery_on_small_plan() {
+    let l = generate::random_lower::<f64>(24, 2.0, 42);
+    let plan = build(&l, 1);
+    let bytes = encode_plan(&plan, &PlanKey::of(&l), 0.0);
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert!(
+                decode_plan::<f64>(&corrupt).is_err(),
+                "flip at byte {pos} bit {bit} decoded successfully"
+            );
+        }
+    }
+}

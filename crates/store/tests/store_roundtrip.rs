@@ -1,0 +1,267 @@
+//! End-to-end store behaviour: round-trips, typed rejection of every
+//! unusable-file class, and directory scanning.
+
+use recblock::packed::{PackedBlocked, PackedOptions};
+use recblock::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_matrix::{generate, Scalar};
+use recblock_store::{
+    inspect_plan_file, read_pack_file, read_plan_file, ArtifactKind, PlanKey, PlanStore,
+    StoreError, FORMAT_VERSION,
+};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rbstore-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn build<S: Scalar>(l: &recblock_matrix::Csr<S>) -> BlockedTri<S> {
+    BlockedTri::build(l, &BlockedOptions { depth: DepthRule::Fixed(3), ..Default::default() })
+        .unwrap()
+}
+
+#[test]
+fn save_load_solves_bit_identically_f64() {
+    let tmp = TempDir::new("roundtrip-f64");
+    let l = generate::kkt_like::<f64>(1200, 400, 3, 11);
+    let plan = build(&l);
+    let key = PlanKey::of(&l);
+
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&plan, &key, 0.25).unwrap();
+    assert!(path.exists());
+
+    let loaded = store.load::<f64>(&key).unwrap().expect("saved plan should load");
+    assert_eq!(loaded.meta.key, key);
+    assert_eq!(loaded.meta.n, plan.n());
+    assert_eq!(loaded.meta.nnz, plan.nnz());
+    assert_eq!(loaded.meta.depth, plan.depth());
+    assert_eq!(loaded.meta.nblocks, plan.nblocks());
+    assert_eq!(loaded.meta.build_cost, 0.25);
+    assert_eq!(loaded.blocked.census(), plan.census());
+
+    let b: Vec<f64> = (0..1200).map(|i| ((i % 23) as f64) - 11.0).collect();
+    // Bit-identical, not merely close: the loaded plan runs the same
+    // kernels over the same arrays in the same order.
+    assert_eq!(loaded.blocked.solve(&b).unwrap(), plan.solve(&b).unwrap());
+
+    let solver = loaded.into_solver();
+    assert_eq!(solver.preprocess_time().as_secs_f64(), 0.25);
+}
+
+#[test]
+fn save_load_solves_bit_identically_f32() {
+    let tmp = TempDir::new("roundtrip-f32");
+    let l = generate::random_lower::<f32>(800, 4.0, 12);
+    let plan = build(&l);
+    let key = PlanKey::of(&l);
+
+    let store = PlanStore::open(&tmp.0).unwrap();
+    store.save(&plan, &key, 0.1).unwrap();
+    let loaded = store.load::<f32>(&key).unwrap().unwrap();
+
+    let b: Vec<f32> = (0..800).map(|i| ((i % 7) as f32) - 3.0).collect();
+    assert_eq!(loaded.blocked.solve(&b).unwrap(), plan.solve(&b).unwrap());
+}
+
+#[test]
+fn missing_key_is_a_clean_miss() {
+    let tmp = TempDir::new("miss");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let l = generate::chain::<f64>(50, 13);
+    assert!(store.load::<f64>(&PlanKey::of(&l)).unwrap().is_none());
+}
+
+#[test]
+fn wrong_scalar_type_is_typed() {
+    let tmp = TempDir::new("scalar");
+    let l = generate::random_lower::<f64>(300, 3.0, 14);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&build(&l), &key, 0.0).unwrap();
+    match read_plan_file::<f32>(&path) {
+        Err(StoreError::ScalarMismatch { expected: 4, found: 8 }) => {}
+        other => panic!("expected ScalarMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    let tmp = TempDir::new("version");
+    let l = generate::random_lower::<f64>(300, 3.0, 15);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&build(&l), &key, 0.0).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    match store.load::<f64>(&key) {
+        Err(StoreError::WrongVersion { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        other => panic!("expected WrongVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let tmp = TempDir::new("magic");
+    let l = generate::random_lower::<f64>(200, 3.0, 16);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&build(&l), &key, 0.0).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(store.load::<f64>(&key).unwrap_err(), StoreError::WrongMagic);
+}
+
+#[test]
+fn corrupted_body_is_a_checksum_mismatch() {
+    let tmp = TempDir::new("corrupt");
+    let l = generate::random_lower::<f64>(400, 4.0, 17);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&build(&l), &key, 0.0).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    match store.load::<f64>(&key) {
+        Err(StoreError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_battery_never_panics() {
+    let tmp = TempDir::new("truncate");
+    let l = generate::kkt_like::<f64>(600, 200, 3, 18);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&build(&l), &key, 0.0).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Chop the file at a spread of lengths covering the magic, version,
+    // meta section and body; every prefix must fail with a typed error.
+    let cuts: Vec<usize> =
+        [0, 1, 4, 7, 8, 9, 11, 12, 20, 40, 60, 90, 120, bytes.len() / 2, bytes.len() - 1]
+            .into_iter()
+            .filter(|&c| c < bytes.len())
+            .collect();
+    for cut in cuts {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = store.load::<f64>(&key).expect_err("truncated file must not load");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::WrongMagic
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Malformed(_)
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn plan_for_another_matrix_is_a_fingerprint_mismatch() {
+    let tmp = TempDir::new("fingerprint");
+    let a = generate::random_lower::<f64>(300, 3.0, 19);
+    let b = generate::random_lower::<f64>(300, 3.0, 20);
+    let (ka, kb) = (PlanKey::of(&a), PlanKey::of(&b));
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path_a = store.save(&build(&a), &ka, 0.0).unwrap();
+    // Simulate a mis-filed plan: b's slot holds a's bytes.
+    std::fs::copy(&path_a, store.path_for(&kb, ArtifactKind::Blocked)).unwrap();
+
+    match store.load::<f64>(&kb) {
+        Err(StoreError::FingerprintMismatch { expected, found }) => {
+            assert_eq!(expected, kb);
+            assert_eq!(found, ka);
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn packed_arena_roundtrips() {
+    let tmp = TempDir::new("packed");
+    let l = generate::hub_power_law::<f64>(900, 4, 1, 0, 21);
+    let packed =
+        PackedBlocked::build(&l, &PackedOptions { depth: 3, ..Default::default() }).unwrap();
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save_packed(&packed, &key, 0.05).unwrap();
+
+    let (meta, loaded) = read_pack_file::<f64>(&path).unwrap();
+    assert_eq!(meta.kind, ArtifactKind::Packed);
+    assert_eq!(meta.key, key);
+    let b: Vec<f64> = (0..900).map(|i| ((i % 19) as f64) - 9.0).collect();
+    assert_eq!(loaded.solve(&b).unwrap(), packed.solve(&b).unwrap());
+
+    // A packed file is not a blocked plan.
+    assert!(matches!(read_plan_file::<f64>(&path), Err(StoreError::Malformed(_))));
+}
+
+#[test]
+fn entries_scans_newest_first_and_skips_corrupt() {
+    let tmp = TempDir::new("entries");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let mats: Vec<_> =
+        (0..3).map(|s| generate::random_lower::<f64>(200 + 50 * s, 3.0, 30 + s as u64)).collect();
+    for l in &mats {
+        store.save(&build(l), &PlanKey::of(l), 0.0).unwrap();
+    }
+    // A corrupt straggler in the directory must be skipped, not fatal.
+    std::fs::write(tmp.0.join("junk.rbplan"), b"not a plan").unwrap();
+    // Non-plan files are ignored entirely.
+    std::fs::write(tmp.0.join("README.txt"), b"hello").unwrap();
+
+    let entries = store.entries().unwrap();
+    assert_eq!(entries.len(), 3);
+    for w in entries.windows(2) {
+        assert!(w[0].modified >= w[1].modified, "entries not newest-first");
+    }
+    for e in &entries {
+        assert_eq!(inspect_plan_file(&e.path).unwrap(), e.meta);
+    }
+}
+
+#[test]
+fn save_overwrites_atomically() {
+    let tmp = TempDir::new("overwrite");
+    let l = generate::random_lower::<f64>(250, 3.0, 40);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    store.save(&build(&l), &key, 1.0).unwrap();
+    store.save(&build(&l), &key, 2.0).unwrap();
+    let loaded = store.load::<f64>(&key).unwrap().unwrap();
+    assert_eq!(loaded.meta.build_cost, 2.0);
+    // No temp files left behind.
+    let stray: Vec<_> = std::fs::read_dir(&tmp.0)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+        .collect();
+    assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+}

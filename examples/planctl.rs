@@ -1,0 +1,130 @@
+//! `planctl`: operate on persisted solve plans from the command line.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! planctl precompute <matrix.mtx> <store-dir>   build the plan and persist it
+//! planctl inspect    <plan-file>                print the file's META section
+//! planctl verify     <plan-file> <matrix.mtx>   full decode + key check + test solve
+//! ```
+//!
+//! `precompute` is the deploy-time half of the workflow: run it once per
+//! matrix (CI, a cron job, an artifact build), ship the store directory
+//! with the service, and every process start skips preprocessing.
+//! `inspect` reads only the META section, so it is instant even on large
+//! plans. `verify` is the paranoid path: full checksum + decode + a real
+//! solve checked against the matrix.
+
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_matrix::triangular::lower_with_diag;
+use recblock_matrix::vector::residual_inf;
+use recblock_matrix::{mm, Csr, Scalar};
+use recblock_store::{inspect_plan_file, read_plan_file, ArtifactKind, PlanKey, PlanStore};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("precompute") if args.len() == 3 => precompute(&args[1], &args[2]),
+        Some("inspect") if args.len() == 2 => inspect(&args[1]),
+        Some("verify") if args.len() == 3 => verify(&args[1], &args[2]),
+        _ => {
+            eprintln!(
+                "usage:\n  planctl precompute <matrix.mtx> <store-dir>\n  \
+                 planctl inspect <plan-file>\n  planctl verify <plan-file> <matrix.mtx>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("planctl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn load_lower(mtx: &str) -> Result<Csr<f64>, String> {
+    let a: Csr<f64> =
+        mm::read_matrix_market_file(mtx).map_err(|e| format!("reading {mtx}: {e}"))?;
+    lower_with_diag(&a).map_err(|e| format!("extracting lower triangle: {e}"))
+}
+
+fn precompute(mtx: &str, store_dir: &str) -> Result<(), String> {
+    let l = load_lower(mtx)?;
+    println!("matrix: {} rows, {} nnz", l.nrows(), l.nnz());
+    let key = PlanKey::of(&l);
+
+    let t0 = std::time::Instant::now();
+    let plan = BlockedTri::build(
+        &l,
+        &BlockedOptions { depth: DepthRule::Fixed(4), ..BlockedOptions::default() },
+    )
+    .map_err(|e| format!("preprocessing failed: {e}"))?;
+    let build_s = t0.elapsed().as_secs_f64();
+    println!(
+        "built plan: {} blocks (depth {}) in {:.1} ms",
+        plan.nblocks(),
+        plan.depth(),
+        build_s * 1e3
+    );
+
+    let store = PlanStore::open(store_dir).map_err(|e| format!("opening store: {e}"))?;
+    let path = store.save(&plan, &key, build_s).map_err(|e| format!("saving plan: {e}"))?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("saved {} ({} bytes) for key {}", path.display(), bytes, key);
+    Ok(())
+}
+
+fn inspect(plan_file: &str) -> Result<(), String> {
+    let meta = inspect_plan_file(Path::new(plan_file)).map_err(|e| e.to_string())?;
+    println!("file     : {plan_file}");
+    println!(
+        "kind     : {}",
+        match meta.kind {
+            ArtifactKind::Blocked => "blocked plan",
+            ArtifactKind::Packed => "packed arena",
+        }
+    );
+    println!("scalar   : f{} ({} bytes)", meta.scalar_bytes as usize * 8, meta.scalar_bytes);
+    println!("key      : {}", meta.key);
+    println!("system   : n = {}, nnz = {}", meta.n, meta.nnz);
+    println!("plan     : {} blocks, depth {}", meta.nblocks, meta.depth);
+    println!("built in : {:.3} ms (what a load saves)", meta.build_cost * 1e3);
+    Ok(())
+}
+
+fn verify(plan_file: &str, mtx: &str) -> Result<(), String> {
+    let meta = inspect_plan_file(Path::new(plan_file)).map_err(|e| e.to_string())?;
+    match meta.scalar_bytes {
+        8 => verify_typed::<f64>(plan_file, mtx),
+        4 => verify_typed::<f32>(plan_file, mtx),
+        b => Err(format!("unsupported scalar width {b}")),
+    }
+}
+
+fn verify_typed<S: Scalar>(plan_file: &str, mtx: &str) -> Result<(), String> {
+    let a: Csr<S> = mm::read_matrix_market_file(mtx).map_err(|e| format!("reading {mtx}: {e}"))?;
+    let l = lower_with_diag(&a).map_err(|e| format!("extracting lower triangle: {e}"))?;
+
+    let loaded = read_plan_file::<S>(Path::new(plan_file)).map_err(|e| e.to_string())?;
+    println!("decode   : ok ({} bytes, all checksums pass)", loaded.bytes);
+
+    let expected = PlanKey::of(&l);
+    if loaded.meta.key != expected {
+        return Err(format!(
+            "key mismatch: plan is for {}, matrix is {}",
+            loaded.meta.key, expected
+        ));
+    }
+    println!("key      : ok ({expected})");
+
+    let b: Vec<S> = (0..l.nrows()).map(|i| S::from_f64(1.0 + ((i % 89) as f64) / 89.0)).collect();
+    let x = loaded.blocked.solve(&b).map_err(|e| format!("solve failed: {e}"))?;
+    let r = residual_inf(&l, &x, &b).map_err(|e| format!("residual: {e}"))?;
+    let tol = if S::BYTES == 8 { 1e-8 } else { 1e-3 };
+    if r >= tol {
+        return Err(format!("solve residual {r:.2e} exceeds tolerance {tol:.0e}"));
+    }
+    println!("solve    : ok (relative residual {r:.2e})");
+    println!("verified : plan is usable for this matrix");
+    Ok(())
+}

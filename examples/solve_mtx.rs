@@ -5,20 +5,39 @@
 //! GPU timings for all three methods.
 //!
 //! Usage:
-//!   cargo run --release --example solve_mtx [path/to/matrix.mtx]
+//!   cargo run --release --example solve_mtx [path/to/matrix.mtx] \
+//!       [--save-plan <plan-file>] [--load-plan <plan-file>]
 //!
 //! Without an argument, a demo matrix is generated, written to a temporary
 //! `.mtx`, and processed through the same path — so the example is
 //! self-contained while accepting real SuiteSparse files.
+//!
+//! `--save-plan` persists the preprocessed plan after building it;
+//! `--load-plan` skips preprocessing entirely when the given plan file
+//! matches the matrix (falling back to a fresh build, with a note, when it
+//! does not).
 
 use recblock_bench::harness::{evaluate_methods, fmt_x, HarnessConfig};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::triangular::lower_with_diag;
 use recblock_matrix::vector::residual_inf;
 use recblock_matrix::{generate, mm, Csr};
+use recblock_store::{encode_plan, read_plan_file, write_atomic, PlanKey};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
+    let mut save_plan: Option<String> = None;
+    let mut load_plan: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save-plan" => save_plan = Some(args.next().expect("--save-plan needs a path")),
+            "--load-plan" => load_plan = Some(args.next().expect("--load-plan needs a path")),
+            _ => positional.push(arg),
+        }
+    }
+
+    let path = positional.into_iter().next().unwrap_or_else(|| {
         // Self-contained mode: generate, write, then read back like a
         // downloaded file.
         let demo = generate::layered::<f64>(30_000, 40, 3.0, generate::LayerShape::Uniform, 5);
@@ -49,18 +68,57 @@ fn main() {
         mx
     );
 
-    // CPU solve through the harness-configured blocked solver.
+    // CPU solve through the harness-configured blocked solver — or a
+    // previously persisted plan when --load-plan matches this matrix.
     let cfg = HarnessConfig::default();
     let dev = &cfg.devices[1]; // Titan RTX preset
-    let t0 = std::time::Instant::now();
-    let blocked = recblock_bench::harness::build_blocked(&l, dev, &cfg);
+    let key = PlanKey::of(&l);
+    let loaded = load_plan.as_deref().and_then(|p| {
+        let t = std::time::Instant::now();
+        match read_plan_file::<f64>(std::path::Path::new(p)) {
+            Ok(plan) if plan.meta.key == key => {
+                println!(
+                    "loaded plan from {p}: {} bytes in {:.2} ms (build had cost {:.1} ms)",
+                    plan.bytes,
+                    t.elapsed().as_secs_f64() * 1e3,
+                    plan.meta.build_cost * 1e3
+                );
+                Some(plan.blocked)
+            }
+            Ok(plan) => {
+                println!(
+                    "plan at {p} is for {} but this matrix is {key}; rebuilding",
+                    plan.meta.key
+                );
+                None
+            }
+            Err(e) => {
+                println!("could not load plan from {p}: {e}; rebuilding");
+                None
+            }
+        }
+    });
+    let (blocked, build_s) = match loaded {
+        Some(plan) => (plan, 0.0),
+        None => {
+            let t0 = std::time::Instant::now();
+            let plan = recblock_bench::harness::build_blocked(&l, dev, &cfg);
+            (plan, t0.elapsed().as_secs_f64())
+        }
+    };
     println!(
         "preprocessing: {:.1} ms into {} blocks (depth {}), census {:?}",
-        t0.elapsed().as_secs_f64() * 1e3,
+        build_s * 1e3,
         blocked.nblocks(),
         blocked.depth(),
         blocked.census()
     );
+
+    if let Some(p) = save_plan.as_deref() {
+        let bytes = encode_plan(&blocked, &key, build_s);
+        write_atomic(std::path::Path::new(p), &bytes).expect("writing plan file");
+        println!("saved plan to {p} ({} bytes)", bytes.len());
+    }
 
     let b: Vec<f64> = (0..l.nrows()).map(|i| 1.0 + ((i % 97) as f64) / 97.0).collect();
     let t1 = std::time::Instant::now();
