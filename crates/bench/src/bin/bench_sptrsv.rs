@@ -1,0 +1,163 @@
+//! Emit `BENCH_sptrsv.json`: median ns/solve per kernel × matrix, plus the
+//! legacy-versus-engine speedup of the execution engine on the solve hot
+//! path (preprocessing excluded — the repeated-solve regime of Table 5).
+//!
+//! The corpus is level-heavy on purpose: hundreds of levels, each wide
+//! enough that the legacy path dispatched it in parallel — allocating a
+//! `Vec<(row, value)>`, collecting through rayon and scattering back, every
+//! level, every solve. The engine's preplanned schedules write disjoint
+//! `x` sub-slices in place instead, so that per-level overhead vanishes.
+//! `chain_5k` is the opposite extreme: one row per level, where every
+//! implementation sits on the same dependency-chain floor and the engine
+//! can only match, not beat, the legacy serial loop.
+//!
+//! Run with `cargo run --release -p recblock-bench --bin bench_sptrsv`.
+
+use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule, SolveWorkspace};
+use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{generate, Csr};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: usize = 3;
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Median nanoseconds per call of `f`, measured over [`SAMPLES`] batches
+/// sized so each batch runs at least [`TARGET_SAMPLE`].
+fn median_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1);
+    let per_sample = (TARGET_SAMPLE.as_nanos() / once).clamp(1, 10_000) as usize;
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / per_sample as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn corpus() -> Vec<(&'static str, Csr<f64>)> {
+    vec![
+        // 250 levels × 320 rows: deep AND wide — every level historically
+        // took the parallel collect/scatter path.
+        (
+            "deep_layered_80k",
+            generate::layered::<f64>(80_000, 250, 2.5, generate::LayerShape::Uniform, 4),
+        ),
+        // 100 levels × 300 rows: moderate depth, same regime.
+        (
+            "layered_30k_100",
+            generate::layered::<f64>(30_000, 100, 3.0, generate::LayerShape::Uniform, 5),
+        ),
+        // Pure chain: one row per level, the fully serial extreme — parity
+        // with the legacy loop is the best any schedule can do here.
+        ("chain_5k", generate::chain::<f64>(5_000, 6)),
+        // Shallow, wide control case.
+        ("kkt_20k", generate::kkt_like::<f64>(20_000, 8_000, 4, 1)),
+    ]
+}
+
+struct MatrixReport {
+    name: &'static str,
+    n: usize,
+    nnz: usize,
+    nlevels: usize,
+    kernels: Vec<(&'static str, f64)>,
+}
+
+fn main() {
+    let mut reports = Vec::new();
+    for (name, l) in corpus() {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+        let mut x = vec![0.0f64; n];
+        let levels = LevelSets::analyse(&l).unwrap();
+        let nlevels = levels.nlevels();
+        let mut kernels: Vec<(&'static str, f64)> = Vec::new();
+
+        kernels.push((
+            "serial",
+            median_ns(|| {
+                black_box(serial_csr(&l, &b).unwrap());
+            }),
+        ));
+
+        let ls = LevelSetSolver::with_levels(l.clone(), levels.clone());
+        kernels.push((
+            "levelset_legacy",
+            median_ns(|| ls.solve_into_unscheduled(&b, black_box(&mut x)).unwrap()),
+        ));
+        kernels
+            .push(("levelset_engine", median_ns(|| ls.solve_into(&b, black_box(&mut x)).unwrap())));
+
+        let cu = CusparseLikeSolver::with_levels(l.clone(), levels.clone()).unwrap();
+        kernels.push((
+            "cusparse_like_legacy",
+            median_ns(|| {
+                black_box(cu.solve_legacy(&b).unwrap());
+            }),
+        ));
+        kernels.push((
+            "cusparse_like_engine",
+            median_ns(|| cu.solve_into(&b, black_box(&mut x)).unwrap()),
+        ));
+
+        let opts = BlockedOptions { depth: DepthRule::Fixed(3), ..BlockedOptions::default() };
+        let blocked = BlockedTri::build(&l, &opts).unwrap();
+        let mut ws = SolveWorkspace::new();
+        kernels.push((
+            "recblock",
+            median_ns(|| blocked.solve_into(&b, black_box(&mut x), &mut ws).unwrap()),
+        ));
+
+        let get = |k: &str| kernels.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        println!("{name}: n={n} nnz={} levels={nlevels}", l.nnz());
+        for (k, ns) in &kernels {
+            println!("  {k:<22} {:>12.0} ns/solve", ns);
+        }
+        println!(
+            "  speedup levelset legacy/engine:      {:.2}x",
+            get("levelset_legacy") / get("levelset_engine")
+        );
+        println!(
+            "  speedup cusparse_like legacy/engine: {:.2}x",
+            get("cusparse_like_legacy") / get("cusparse_like_engine")
+        );
+
+        reports.push(MatrixReport { name, n, nnz: l.nnz(), nlevels, kernels });
+    }
+
+    let mut json = String::from("{\n  \"unit\": \"ns_per_solve\",\n  \"matrices\": [\n");
+    for (mi, r) in reports.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"nlevels\": {}, \"kernels\": {{",
+            r.name, r.n, r.nnz, r.nlevels
+        );
+        for (ki, (k, ns)) in r.kernels.iter().enumerate() {
+            let _ = write!(
+                json,
+                "\"{}\": {:.1}{}",
+                k,
+                ns,
+                if ki + 1 < r.kernels.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(json, "}}}}{}", if mi + 1 < reports.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sptrsv.json", &json).expect("write BENCH_sptrsv.json");
+    println!("\nwrote BENCH_sptrsv.json");
+}

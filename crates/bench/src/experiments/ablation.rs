@@ -41,6 +41,7 @@ pub fn evaluate(cfg: &HarnessConfig, extra_shrink: usize) -> Vec<AblationRow> {
         selector: Selector::default(),
         allow_dcsr: true,
         syncfree_threads: 4,
+        tune: recblock_kernels::exec::TuneParams::default(),
     };
     let time = |opts: &BlockedOptions| -> f64 {
         BlockedTri::build(&l, opts).expect("solvable").simulated_time(&dev, &cfg.params).total_s

@@ -148,6 +148,7 @@ pub fn build_blocked<S: Scalar>(
         selector: Selector::Adaptive(thresholds),
         allow_dcsr: true,
         syncfree_threads: 4,
+        tune: recblock_kernels::exec::TuneParams::default(),
     };
     BlockedTri::build(l, &opts).expect("corpus matrices are solvable")
 }

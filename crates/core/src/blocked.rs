@@ -24,10 +24,13 @@ use crate::trisolver::TriSolver;
 use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::TriProfile;
 use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
+use recblock_kernels::exec::TuneParams;
 use recblock_matrix::permute::Permutation;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 use std::ops::Range;
 use std::time::Instant;
+
+pub use recblock_kernels::exec::SolveWorkspace;
 
 /// How the recursion depth is chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +57,9 @@ pub struct BlockedOptions {
     pub allow_dcsr: bool,
     /// Worker threads for sync-free blocks.
     pub syncfree_threads: usize,
+    /// Execution-engine thresholds (level coarsening, nnz chunking) applied
+    /// to every block's preplanned schedule.
+    pub tune: TuneParams,
 }
 
 impl Default for BlockedOptions {
@@ -67,11 +73,16 @@ impl Default for BlockedOptions {
                 .map(|p| p.get())
                 .unwrap_or(4)
                 .min(16),
+            tune: TuneParams::default(),
         }
     }
 }
 
 /// The payload of one block in execution order.
+// The Tri variant carries the inline level schedule and is much larger than
+// Square, but there are only a handful of blocks per plan (one per tree
+// node), so boxing would add an indirection to the hot walk for no savings.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum BlockData<S> {
     Tri { solver: TriSolver<S>, profile: TriProfile },
@@ -84,25 +95,6 @@ struct Block<S> {
     rows: Range<usize>,
     cols: Range<usize>,
     data: BlockData<S>,
-}
-
-/// Reusable buffers for [`BlockedTri::solve_into`].
-#[derive(Debug, Clone, Default)]
-pub struct SolveWorkspace<S> {
-    work: Vec<S>,
-    x: Vec<S>,
-}
-
-impl<S: Scalar> SolveWorkspace<S> {
-    /// An empty workspace (buffers grow on first use).
-    pub fn new() -> Self {
-        SolveWorkspace { work: Vec::new(), x: Vec::new() }
-    }
-
-    fn resize(&mut self, n: usize) {
-        self.work.resize(n, S::ZERO);
-        self.x.resize(n, S::ZERO);
-    }
 }
 
 /// Public structural summary of one block (see
@@ -176,6 +168,8 @@ pub struct BlockParts<S> {
 }
 
 /// Shape-specific part of a [`BlockParts`].
+// Mirrors `BlockData` (few instances, boxing buys nothing — see there).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum BlockPartsKind<S> {
     /// Triangular block.
@@ -202,6 +196,9 @@ pub struct BlockedTriParts<S> {
     pub depth: usize,
     /// The reordering permutation (`perm[new] = old`).
     pub perm: Permutation,
+    /// Engine tuning the blocks' schedules were planned under. Persisted so
+    /// a reload reproduces the original plan exactly.
+    pub tune: TuneParams,
     /// Blocks in execution order.
     pub blocks: Vec<BlockParts<S>>,
 }
@@ -223,6 +220,7 @@ pub struct BlockedTri<S> {
     nnz: usize,
     depth: usize,
     perm: Permutation,
+    tune: TuneParams,
     blocks: Vec<Block<S>>,
     traffic: TrafficCounts,
 }
@@ -259,8 +257,12 @@ impl<S: Scalar> BlockedTri<S> {
                 match node {
                     PlanNode::Tri { rows } => {
                         let tri = matrix.submatrix(rows.clone(), rows.clone());
-                        let (solver, profile) =
-                            TriSolver::build_adaptive(tri, &opts.selector, opts.syncfree_threads)?;
+                        let (solver, profile) = TriSolver::build_adaptive_tuned(
+                            tri,
+                            &opts.selector,
+                            opts.syncfree_threads,
+                            opts.tune,
+                        )?;
                         Ok(Block {
                             rows: rows.clone(),
                             cols: rows,
@@ -269,13 +271,14 @@ impl<S: Scalar> BlockedTri<S> {
                     }
                     PlanNode::Square { rows, cols } => {
                         let sq = matrix.submatrix(rows.clone(), cols.clone());
-                        let solver = SqSolver::build(sq, &opts.selector, opts.allow_dcsr);
+                        let solver =
+                            SqSolver::build_tuned(sq, &opts.selector, opts.allow_dcsr, opts.tune);
                         Ok(Block { rows, cols, data: BlockData::Square(solver) })
                     }
                 }
             })
             .collect::<Result<_, _>>()?;
-        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, blocks, traffic })
+        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, tune: opts.tune, blocks, traffic })
     }
 
     /// Rows of the system.
@@ -301,6 +304,11 @@ impl<S: Scalar> BlockedTri<S> {
     /// The reordering permutation (`perm[new] = old`).
     pub fn permutation(&self) -> &Permutation {
         &self.perm
+    }
+
+    /// Engine tuning every block schedule was planned under.
+    pub fn tune(&self) -> TuneParams {
+        self.tune
     }
 
     /// Dense-counted traffic of one solve (Tables 1–2 accounting).
@@ -356,7 +364,7 @@ impl<S: Scalar> BlockedTri<S> {
     /// its range, and block nonzeros sum to `nnz`. Traffic counters are
     /// recomputed from the block shapes (they are structure-independent).
     pub fn from_parts(parts: BlockedTriParts<S>) -> Result<Self, MatrixError> {
-        let BlockedTriParts { n, nnz, depth, perm, blocks } = parts;
+        let BlockedTriParts { n, nnz, depth, perm, tune, blocks } = parts;
         if perm.len() != n {
             return Err(MatrixError::DimensionMismatch {
                 what: "blocked parts permutation",
@@ -421,7 +429,7 @@ impl<S: Scalar> BlockedTri<S> {
                 actual: block_nnz,
             });
         }
-        Ok(BlockedTri { n, nnz, depth, perm, blocks: out, traffic })
+        Ok(BlockedTri { n, nnz, depth, perm, tune, blocks: out, traffic })
     }
 
     /// Which kernels the selection assigned, per block count.
@@ -442,8 +450,12 @@ impl<S: Scalar> BlockedTri<S> {
     }
 
     /// Solve into caller-provided buffers, reusing a [`SolveWorkspace`] so
-    /// repeated solves (the iterative scenario) avoid the gather/scatter
-    /// allocations.
+    /// repeated solves (the iterative scenario) run the whole block walk —
+    /// gather, every per-block kernel, scatter — without a single heap
+    /// allocation once the workspace has warmed up. Each triangular block
+    /// executes its preplanned schedule in place via
+    /// [`TriSolver::solve_into`]; each square block applies its preplanned
+    /// SpMV chunking via [`SqSolver::apply`].
     pub fn solve_into(
         &self,
         b: &[S],
@@ -457,25 +469,24 @@ impl<S: Scalar> BlockedTri<S> {
                 actual: b.len().min(x_out.len()),
             });
         }
-        ws.resize(self.n);
+        let (work, x) = ws.pair(self.n);
         // Gather b into the reordered space.
         for (new, &old) in self.perm.forward().iter().enumerate() {
-            ws.work[new] = b[old];
+            work[new] = b[old];
         }
         for block in &self.blocks {
             match &block.data {
                 BlockData::Tri { solver, .. } => {
-                    let xs = solver.solve(&ws.work[block.rows.clone()])?;
-                    ws.x[block.rows.clone()].copy_from_slice(&xs);
+                    solver.solve_into(&work[block.rows.clone()], &mut x[block.rows.clone()])?;
                 }
                 BlockData::Square(sq) => {
-                    sq.apply(&ws.x[block.cols.clone()], &mut ws.work[block.rows.clone()])?;
+                    sq.apply(&x[block.cols.clone()], &mut work[block.rows.clone()])?;
                 }
             }
         }
         // Scatter back to the original ordering.
         for (new, &old) in self.perm.forward().iter().enumerate() {
-            x_out[old] = ws.x[new];
+            x_out[old] = x[new];
         }
         Ok(())
     }
@@ -526,13 +537,28 @@ impl<S: Scalar> BlockedTri<S> {
 
     /// As [`BlockedTri::solve_multi`], writing into a caller-provided
     /// output batch — a serving layer reuses the same output buffer across
-    /// requests instead of allocating per batch.
+    /// requests instead of allocating per batch. Allocates a throwaway
+    /// workspace; use [`BlockedTri::solve_multi_ws`] to reuse one.
     pub fn solve_multi_into(
         &self,
         b: &recblock_kernels::sptrsm::MultiVector<S>,
         out: &mut recblock_kernels::sptrsm::MultiVector<S>,
     ) -> Result<(), MatrixError> {
-        use recblock_kernels::sptrsm::MultiVector;
+        let mut ws = SolveWorkspace::new();
+        self.solve_multi_ws(b, out, &mut ws)
+    }
+
+    /// As [`BlockedTri::solve_multi_into`] with a caller-held
+    /// [`SolveWorkspace`]: after the workspace has warmed up to the batch
+    /// shape, repeated batches run with zero heap allocations. Both regimes
+    /// drive every column through the same per-block `solve_into`/`apply`
+    /// calls, so the fused walk is bit-identical to per-column solves.
+    pub fn solve_multi_ws(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+        out: &mut recblock_kernels::sptrsm::MultiVector<S>,
+        ws: &mut SolveWorkspace<S>,
+    ) -> Result<(), MatrixError> {
         if b.n() != self.n {
             return Err(MatrixError::DimensionMismatch {
                 what: "blocked multi-rhs rows",
@@ -547,56 +573,54 @@ impl<S: Scalar> BlockedTri<S> {
                 actual: out.n() * out.k(),
             });
         }
+        let n = self.n;
         let k = b.k();
         // Strategy: walking the block list once with all columns amortises
         // the *matrix* traffic; iterating whole solves keeps the *vector*
         // working set (one column) hot. Pick by which is bigger — matrix
         // bytes versus the k-column batch.
         let matrix_bytes = self.nnz * (std::mem::size_of::<usize>() + S::BYTES);
-        let batch_bytes = 2 * k * self.n * S::BYTES;
+        let batch_bytes = 2 * k * n * S::BYTES;
         if matrix_bytes < batch_bytes {
             for j in 0..k {
-                let xj = self.solve(b.col(j))?;
-                out.col_mut(j).copy_from_slice(&xj);
+                self.solve_into(b.col(j), out.col_mut(j), ws)?;
             }
             return Ok(());
         }
-        let mut work: Vec<Vec<S>> = (0..k).map(|j| self.perm.gather(b.col(j))).collect();
-        let mut x: Vec<Vec<S>> = vec![vec![S::ZERO; self.n]; k];
-        use rayon::prelude::*;
+        // Fused walk over a column-major `n × k` workspace: column `j`
+        // occupies `j*n..(j+1)*n` of both buffers.
+        let (work, x) = ws.wide_pair(n * k);
+        for j in 0..k {
+            let bj = b.col(j);
+            let wj = &mut work[j * n..(j + 1) * n];
+            for (new, &old) in self.perm.forward().iter().enumerate() {
+                wj[new] = bj[old];
+            }
+        }
         for block in &self.blocks {
             match &block.data {
-                // Diagonal blocks solve in place, columns in parallel — no
-                // segment staging needed.
-                BlockData::Tri { solver: crate::trisolver::TriSolver::Diag(dm), .. } => {
-                    let d = dm.vals();
-                    x.par_iter_mut().zip(work.par_iter()).for_each(|(xj, wj)| {
-                        for (di, i) in block.rows.clone().enumerate() {
-                            xj[i] = wj[i] / d[di];
-                        }
-                    });
-                }
                 BlockData::Tri { solver, .. } => {
-                    let w = block.rows.len();
-                    let mut seg = Vec::with_capacity(w * k);
-                    for wj in work.iter() {
-                        seg.extend_from_slice(&wj[block.rows.clone()]);
-                    }
-                    let seg = MultiVector::from_columns(w, k, seg)?;
-                    let xs = solver.solve_multi(&seg)?;
-                    for (j, xj) in x.iter_mut().enumerate() {
-                        xj[block.rows.clone()].copy_from_slice(xs.col(j));
+                    for j in 0..k {
+                        let wj = &work[j * n..(j + 1) * n];
+                        let xj = &mut x[j * n..(j + 1) * n];
+                        solver.solve_into(&wj[block.rows.clone()], &mut xj[block.rows.clone()])?;
                     }
                 }
                 BlockData::Square(sq) => {
                     for j in 0..k {
-                        sq.apply(&x[j][block.cols.clone()], &mut work[j][block.rows.clone()])?;
+                        let xj = &x[j * n..(j + 1) * n];
+                        let wj = &mut work[j * n..(j + 1) * n];
+                        sq.apply(&xj[block.cols.clone()], &mut wj[block.rows.clone()])?;
                     }
                 }
             }
         }
-        for (j, xj) in x.iter().enumerate() {
-            out.col_mut(j).copy_from_slice(&self.perm.scatter(xj));
+        for j in 0..k {
+            let xj = &x[j * n..(j + 1) * n];
+            let oj = out.col_mut(j);
+            for (new, &old) in self.perm.forward().iter().enumerate() {
+                oj[old] = xj[new];
+            }
         }
         Ok(())
     }
@@ -799,12 +823,13 @@ mod tests {
         let data: Vec<f64> = (0..900 * k).map(|i| ((i % 41) as f64) - 20.0).collect();
         let b = MultiVector::from_columns(900, k, data).unwrap();
         let fused = s.solve_multi(&b).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut xj = vec![0.0; 900];
         for j in 0..k {
-            let per_col = s.solve(b.col(j)).unwrap();
-            assert!(
-                recblock_matrix::vector::max_rel_diff(fused.col(j), &per_col) < 1e-12,
-                "column {j}"
-            );
+            // Fused and per-column walks run the same per-block kernels in
+            // the same order, so they are bit-identical.
+            s.solve_into(b.col(j), &mut xj, &mut ws).unwrap();
+            assert_eq!(fused.col(j), &xj[..], "column {j}");
         }
     }
 
@@ -847,6 +872,7 @@ mod tests {
             nnz: s.nnz(),
             depth: s.depth(),
             perm: s.permutation().clone(),
+            tune: s.tune(),
             blocks: s
                 .block_views()
                 .map(|v| BlockParts {

@@ -1,6 +1,6 @@
 //! High-level solver API: preprocess once, solve many right-hand sides.
 
-use crate::blocked::{BlockedOptions, BlockedTri, KernelCensus};
+use crate::blocked::{BlockedOptions, BlockedTri, KernelCensus, SolveWorkspace};
 use crate::report::{SimBreakdown, SolveBreakdown};
 use crate::traffic::TrafficCounts;
 use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
@@ -58,6 +58,18 @@ impl<S: Scalar> RecBlockSolver<S> {
         self.blocked.solve(b)
     }
 
+    /// Solve into a caller-provided buffer with a reusable workspace — the
+    /// steady-state path; zero heap allocations once `ws` has warmed up
+    /// ([`BlockedTri::solve_into`]).
+    pub fn solve_into(
+        &self,
+        b: &[S],
+        x: &mut [S],
+        ws: &mut SolveWorkspace<S>,
+    ) -> Result<(), MatrixError> {
+        self.blocked.solve_into(b, x, ws)
+    }
+
     /// Solve with the wall-clock tri/SpMV split.
     pub fn solve_instrumented(&self, b: &[S]) -> Result<(Vec<S>, SolveBreakdown), MatrixError> {
         self.blocked.solve_instrumented(b)
@@ -82,6 +94,17 @@ impl<S: Scalar> RecBlockSolver<S> {
         out: &mut recblock_kernels::sptrsm::MultiVector<S>,
     ) -> Result<(), MatrixError> {
         self.blocked.solve_multi_into(b, out)
+    }
+
+    /// As [`RecBlockSolver::solve_multi_into`] with a caller-held workspace
+    /// ([`BlockedTri::solve_multi_ws`]) — zero-allocation batch solves.
+    pub fn solve_multi_ws(
+        &self,
+        b: &recblock_kernels::sptrsm::MultiVector<S>,
+        out: &mut recblock_kernels::sptrsm::MultiVector<S>,
+        ws: &mut SolveWorkspace<S>,
+    ) -> Result<(), MatrixError> {
+        self.blocked.solve_multi_ws(b, out, ws)
     }
 
     /// Which kernels the adaptive selection assigned.

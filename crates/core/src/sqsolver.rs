@@ -4,6 +4,7 @@
 use crate::adaptive::Selector;
 use recblock_gpu_sim::cost::{self, SpmvKind};
 use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime, SpmvProfile};
+use recblock_kernels::exec::{ExecPool, SpmvPlan, TuneParams};
 use recblock_kernels::spmv;
 use recblock_matrix::{Csr, Dcsr, MatrixError, Scalar};
 
@@ -48,6 +49,7 @@ pub struct SqSolver<S> {
     kind: SpmvKind,
     storage: SqStorage<S>,
     profile: SpmvProfile,
+    plan: SpmvPlan,
 }
 
 impl<S: Scalar> SqSolver<S> {
@@ -55,6 +57,12 @@ impl<S: Scalar> SqSolver<S> {
     /// storage. With `allow_dcsr = false` (ablation) DCSR selections are
     /// downgraded to their CSR counterparts.
     pub fn build(a: Csr<S>, selector: &Selector, allow_dcsr: bool) -> Self {
+        Self::build_tuned(a, selector, allow_dcsr, TuneParams::default())
+    }
+
+    /// As [`SqSolver::build`] with explicit engine tuning: the apply-side
+    /// chunk plan ([`SpmvPlan`]) is computed under `tune.chunk_nnz`.
+    pub fn build_tuned(a: Csr<S>, selector: &Selector, allow_dcsr: bool, tune: TuneParams) -> Self {
         let profile = SpmvProfile::analyse(&a);
         let mut kind = selector.spmv(profile.nnz_per_row(), profile.empty_ratio());
         // Load-imbalance guard (small extension over the paper's Algorithm 7,
@@ -80,7 +88,15 @@ impl<S: Scalar> SqSolver<S> {
             SpmvKind::ScalarDcsr | SpmvKind::VectorDcsr => SqStorage::Dcsr(a.to_dcsr()),
             _ => SqStorage::Csr(a),
         };
-        SqSolver { kind, storage, profile }
+        let plan = Self::plan_for(&storage, &tune);
+        SqSolver { kind, storage, profile, plan }
+    }
+
+    fn plan_for(storage: &SqStorage<S>, tune: &TuneParams) -> SpmvPlan {
+        match storage {
+            SqStorage::Csr(a) => SpmvPlan::for_csr(a, tune),
+            SqStorage::Dcsr(a) => SpmvPlan::for_dcsr(a, tune),
+        }
     }
 
     /// Rebuild a solver from persisted parts, skipping profiling and
@@ -90,6 +106,19 @@ impl<S: Scalar> SqSolver<S> {
         kind: SpmvKind,
         storage: SqStorage<S>,
         profile: SpmvProfile,
+    ) -> Result<Self, MatrixError> {
+        Self::from_parts_tuned(kind, storage, profile, TuneParams::default())
+    }
+
+    /// As [`SqSolver::from_parts`] with explicit engine tuning (the plan
+    /// store passes the tuning the plan was persisted with). The chunk plan
+    /// is re-derived from the storage — it is cheap (`O(rows)`) and
+    /// deterministic, so identical tuning reproduces the identical plan.
+    pub fn from_parts_tuned(
+        kind: SpmvKind,
+        storage: SqStorage<S>,
+        profile: SpmvProfile,
+        tune: TuneParams,
     ) -> Result<Self, MatrixError> {
         let dcsr_kind = matches!(kind, SpmvKind::ScalarDcsr | SpmvKind::VectorDcsr);
         let dcsr_storage = matches!(storage, SqStorage::Dcsr(_));
@@ -110,7 +139,8 @@ impl<S: Scalar> SqSolver<S> {
                 actual: profile.nrows,
             });
         }
-        Ok(SqSolver { kind, storage, profile })
+        let plan = Self::plan_for(&storage, &tune);
+        Ok(SqSolver { kind, storage, profile, plan })
     }
 
     /// The materialised storage (the persistence surface matching
@@ -139,17 +169,25 @@ impl<S: Scalar> SqSolver<S> {
         self.profile.ncols
     }
 
-    /// Apply `y ← y − A·x` with the selected kernel.
+    /// The preplanned nnz-balanced chunk boundaries used by
+    /// [`SqSolver::apply`].
+    pub fn plan(&self) -> &SpmvPlan {
+        &self.plan
+    }
+
+    /// Apply `y ← y − A·x` over the selected storage.
+    ///
+    /// Executes the preplanned chunk schedule on the global [`ExecPool`] —
+    /// zero heap allocations, and bit-identical across kernel kinds because
+    /// every row reduces through the shared deterministic reduction. The
+    /// scalar/vector kind distinction keeps driving storage selection and
+    /// the GPU cost model; on the CPU engine both execute the same planned
+    /// schedule.
     pub fn apply(&self, x: &[S], y: &mut [S]) -> Result<(), MatrixError> {
-        match (&self.storage, self.kind) {
-            (SqStorage::Csr(a), SpmvKind::ScalarCsr) => spmv::scalar_csr(a, x, y),
-            (SqStorage::Csr(a), SpmvKind::VectorCsr) => spmv::vector_csr(a, x, y),
-            (SqStorage::Dcsr(a), SpmvKind::ScalarDcsr) => spmv::scalar_dcsr(a, x, y),
-            (SqStorage::Dcsr(a), SpmvKind::VectorDcsr) => spmv::vector_dcsr(a, x, y),
-            // Storage always matches the kind by construction; this arm is
-            // unreachable but keeps the match total without panicking.
-            (SqStorage::Csr(a), _) => spmv::scalar_csr(a, x, y),
-            (SqStorage::Dcsr(a), _) => spmv::scalar_dcsr(a, x, y),
+        let pool = ExecPool::global();
+        match &self.storage {
+            SqStorage::Csr(a) => spmv::csr_update_planned(a, &self.plan, x, y, pool),
+            SqStorage::Dcsr(a) => spmv::dcsr_update_planned(a, &self.plan, x, y, pool),
         }
     }
 

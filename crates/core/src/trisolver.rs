@@ -3,7 +3,10 @@
 
 use crate::adaptive::TriKernel;
 use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime, TriProfile};
-use recblock_kernels::sptrsv::{parallel_diag, CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
+use recblock_kernels::exec::{ExecPool, TuneParams};
+use recblock_kernels::sptrsv::{
+    parallel_diag, parallel_diag_into, CusparseLikeSolver, LevelSetSolver, SyncFreeSolver,
+};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 
@@ -21,23 +24,39 @@ pub enum TriSolver<S> {
 }
 
 impl<S: Scalar> TriSolver<S> {
-    /// Build the solver variant the selection chose. `levels` must be the
-    /// decomposition of `l` (the caller has it from block profiling).
+    /// Build the solver variant the selection chose, with default engine
+    /// tuning. `levels` must be the decomposition of `l` (the caller has it
+    /// from block profiling).
     pub fn build(
         kernel: TriKernel,
         l: Csr<S>,
         levels: &LevelSets,
         syncfree_threads: usize,
     ) -> Result<Self, MatrixError> {
+        Self::build_tuned(kernel, l, levels, syncfree_threads, TuneParams::default())
+    }
+
+    /// As [`TriSolver::build`] with explicit engine tuning — the blocked
+    /// executor threads its [`TuneParams`] through so every block's schedule
+    /// is planned under the plan-wide thresholds.
+    pub fn build_tuned(
+        kernel: TriKernel,
+        l: Csr<S>,
+        levels: &LevelSets,
+        syncfree_threads: usize,
+        tune: TuneParams,
+    ) -> Result<Self, MatrixError> {
         Ok(match kernel {
             TriKernel::CompletelyParallel => TriSolver::Diag(l),
             TriKernel::LevelSet => {
-                TriSolver::LevelSet(LevelSetSolver::with_levels(l, levels.clone()))
+                TriSolver::LevelSet(LevelSetSolver::with_tune(l, levels.clone(), tune))
             }
             TriKernel::SyncFree => {
                 TriSolver::SyncFree(SyncFreeSolver::with_threads(&l, syncfree_threads)?)
             }
-            TriKernel::CusparseLike => TriSolver::Cusparse(CusparseLikeSolver::analyse(l)?),
+            TriKernel::CusparseLike => {
+                TriSolver::Cusparse(CusparseLikeSolver::with_levels_tuned(l, levels.clone(), tune)?)
+            }
         })
     }
 
@@ -48,11 +67,21 @@ impl<S: Scalar> TriSolver<S> {
         selector: &crate::adaptive::Selector,
         syncfree_threads: usize,
     ) -> Result<(Self, TriProfile), MatrixError> {
+        Self::build_adaptive_tuned(l, selector, syncfree_threads, TuneParams::default())
+    }
+
+    /// As [`TriSolver::build_adaptive`] with explicit engine tuning.
+    pub fn build_adaptive_tuned(
+        l: Csr<S>,
+        selector: &crate::adaptive::Selector,
+        syncfree_threads: usize,
+        tune: TuneParams,
+    ) -> Result<(Self, TriProfile), MatrixError> {
         recblock_matrix::triangular::check_solvable_lower(&l)?;
         let levels = LevelSets::analyse_unchecked(&l);
         let profile = TriProfile::analyse(&l, &levels);
         let kernel = selector.tri(profile.nnz_per_row(), profile.nlevels());
-        let solver = Self::build(kernel, l, &levels, syncfree_threads)?;
+        let solver = Self::build_tuned(kernel, l, &levels, syncfree_threads, tune)?;
         Ok((solver, profile))
     }
 
@@ -93,6 +122,32 @@ impl<S: Scalar> TriSolver<S> {
             TriSolver::LevelSet(s) => s.solve(b),
             TriSolver::SyncFree(s) => s.solve(b),
             TriSolver::Cusparse(s) => s.solve(b),
+        }
+    }
+
+    /// Solve `L x = b` into a caller-provided buffer — the steady-state hot
+    /// path. The schedule-based variants (diag, level-set, cuSPARSE-like)
+    /// execute preplanned schedules with zero heap allocations; the
+    /// sync-free variant needs per-solve atomic state, so it allocates and
+    /// copies (callers wanting strict zero-allocation solves should select
+    /// away from it — see `BlockedOptions`).
+    pub fn solve_into(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
+        match self {
+            TriSolver::Diag(l) => parallel_diag_into(l, b, x, ExecPool::global()),
+            TriSolver::LevelSet(s) => s.solve_into(b, x),
+            TriSolver::SyncFree(s) => {
+                let v = s.solve(b)?;
+                if x.len() != v.len() {
+                    return Err(MatrixError::DimensionMismatch {
+                        what: "sptrsv output",
+                        expected: v.len(),
+                        actual: x.len(),
+                    });
+                }
+                x.copy_from_slice(&v);
+                Ok(())
+            }
+            TriSolver::Cusparse(s) => s.solve_into(b, x),
         }
     }
 

@@ -1,0 +1,789 @@
+//! The solve-phase execution engine: preplanned, nnz-balanced,
+//! allocation-free parallel execution for the SpTRSV/SpMV hot path.
+//!
+//! The paper's solve phase is latency-critical — preprocessing is amortised
+//! over many solves (Table 5), so everything expensive must happen *before*
+//! the first right-hand side arrives. This module provides the pieces the
+//! kernels share:
+//!
+//! * [`TuneParams`] — the scheduling thresholds, kept as data so a stored
+//!   plan (recblock-store) carries the tuning it was built with;
+//! * [`row_dot`] — the one deterministic lane-unrolled inner reduction used
+//!   by the serial reference and every parallel kernel, so results are
+//!   bit-reproducible across kernels and thread counts;
+//! * [`ExecPool`] — a persistent worker pool whose dispatch path performs no
+//!   heap allocation (parked workers, an epoch-tagged atomic cursor, a
+//!   type-erased task pointer);
+//! * [`LevelSchedule`] — a preplanned level-set schedule with consecutive
+//!   cheap levels fused into serial runs and parallel levels split at
+//!   nnz-prefix-sum chunk boundaries;
+//! * [`SpmvPlan`] — the same nnz-balanced chunking for SpMV blocks;
+//! * [`SolveWorkspace`] — reusable gather/scatter buffers for the blocked
+//!   executor and multi-RHS batches.
+
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, Scalar};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Lanes of the deterministic inner reduction ([`row_dot`]). Fixed at
+/// compile time; [`TuneParams::lanes`] records it alongside a plan.
+pub const LANES: usize = 4;
+
+// ---------------------------------------------------------------------------
+// TuneParams
+// ---------------------------------------------------------------------------
+
+/// Scheduling thresholds of the execution engine. Stored with a plan
+/// (recblock-store format v2) so a reloaded plan executes with the tuning it
+/// was built under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneParams {
+    /// A level with at least this many rows runs as a parallel launch.
+    pub par_rows: usize,
+    /// The fuse budget: a level below `par_rows` rows **and** below this
+    /// many nonzeros is cheap enough that forking would cost more than it
+    /// buys; consecutive such levels are fused into one serial run with no
+    /// barriers between them. A skinny level at/above this budget (few rows,
+    /// heavy work) still runs parallel.
+    pub fuse_nnz: usize,
+    /// Target nonzeros per parallel chunk — chunk boundaries are placed on
+    /// the nnz prefix sum, so chunks carry equal *work*, not equal rows.
+    pub chunk_nnz: usize,
+    /// Lane count of the deterministic reduction the plan was built for
+    /// (provenance; the kernels are compiled with [`LANES`]).
+    pub lanes: usize,
+}
+
+impl Default for TuneParams {
+    fn default() -> Self {
+        TuneParams { par_rows: 256, fuse_nnz: 4096, chunk_nnz: 4096, lanes: LANES }
+    }
+}
+
+impl TuneParams {
+    /// The merged-launch variant used by the cuSPARSE-like solver: levels
+    /// only go parallel on row count (`fuse_nnz = usize::MAX` disables the
+    /// work-based promotion), mirroring cuSPARSE's row-threshold merging.
+    pub fn merged_launch(self) -> Self {
+        TuneParams { fuse_nnz: usize::MAX, ..self }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic inner reduction
+// ---------------------------------------------------------------------------
+
+/// The shared inner loop of [`row_dot`] and [`row_dot_ptr`], generic over
+/// how `x` entries are fetched so both compile to the *same* sequence of
+/// floating-point operations.
+///
+/// Rows shorter than [`LANES`] take a plain sequential accumulation — for
+/// the 2–4 nnz rows that dominate sparse triangular factors, the unrolled
+/// prologue/epilogue costs more than it saves. Longer rows use four
+/// interleaved accumulators over the body plus one tail accumulator,
+/// combined as `((a0+a1) + (a2+a3)) + tail`. The branch depends only on
+/// the row length, so for a given row every kernel — whichever path — still
+/// produces bit-identical results.
+#[inline(always)]
+pub(crate) fn row_dot_with<S: Scalar>(cols: &[usize], vals: &[S], get: impl Fn(usize) -> S) -> S {
+    let n = cols.len();
+    if n < LANES {
+        let mut acc = S::ZERO;
+        for k in 0..n {
+            acc += vals[k] * get(cols[k]);
+        }
+        return acc;
+    }
+    let mut a0 = S::ZERO;
+    let mut a1 = S::ZERO;
+    let mut a2 = S::ZERO;
+    let mut a3 = S::ZERO;
+    let mut k = 0;
+    while k + LANES <= n {
+        a0 += vals[k] * get(cols[k]);
+        a1 += vals[k + 1] * get(cols[k + 1]);
+        a2 += vals[k + 2] * get(cols[k + 2]);
+        a3 += vals[k + 3] * get(cols[k + 3]);
+        k += LANES;
+    }
+    let mut tail = S::ZERO;
+    while k < n {
+        tail += vals[k] * get(cols[k]);
+        k += 1;
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// Deterministic sparse dot product `Σ vals[k]·x[cols[k]]`.
+///
+/// Every kernel in the suite — the serial reference, the level-scheduled
+/// solvers, and all four SpMV variants — reduces through this one function,
+/// so for a given row the result is bit-identical no matter which kernel or
+/// thread count produced it. The lane-unrolled shape also gives the
+/// optimiser independent accumulation chains (SIMD/ILP friendly).
+#[inline]
+pub fn row_dot<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> S {
+    row_dot_with(cols, vals, |j| x[j])
+}
+
+/// As [`row_dot`], reading `x` through a raw pointer — the in-place parallel
+/// form, where other threads are concurrently writing *disjoint* entries of
+/// the same vector.
+///
+/// # Safety
+/// Every index in `cols` must be in bounds for the allocation behind `x`,
+/// and the entries read must not be written concurrently.
+#[inline]
+pub unsafe fn row_dot_ptr<S: Scalar>(cols: &[usize], vals: &[S], x: *const S) -> S {
+    row_dot_with(cols, vals, |j| unsafe { *x.add(j) })
+}
+
+/// Forward-substitute one row of `L x = b` given all its dependencies
+/// solved: `x_i = (b_i − Σ_{j<i} l_ij·x_j) / l_ii`. Requires the diagonal
+/// stored last in the row (the suite-wide storage invariant).
+#[inline]
+pub fn solve_row<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
+    let (cols, vals) = l.row(i);
+    let last = cols.len() - 1;
+    debug_assert_eq!(cols[last], i, "diagonal must be last in row");
+    (b[i] - row_dot(&cols[..last], &vals[..last], x)) / vals[last]
+}
+
+/// As [`solve_row`] with `x` behind a raw pointer (see [`row_dot_ptr`]).
+///
+/// # Safety
+/// As [`row_dot_ptr`]: `x` must cover every column index of row `i`, and no
+/// entry this row reads may be written concurrently.
+#[inline]
+unsafe fn solve_row_ptr<S: Scalar>(l: &Csr<S>, b: &[S], x: *const S, i: usize) -> S {
+    let (cols, vals) = l.row(i);
+    let last = cols.len() - 1;
+    debug_assert_eq!(cols[last], i, "diagonal must be last in row");
+    (b[i] - unsafe { row_dot_ptr(&cols[..last], &vals[..last], x) }) / vals[last]
+}
+
+/// `Copy` wrapper that lets a raw pointer cross a closure that must be
+/// `Sync`. Safety is argued at every use site (disjoint index sets).
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub *mut T);
+// SAFETY: sharing the wrapper only shares the address; all dereferences are
+// unsafe blocks whose disjointness is proven locally.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Closures must reach it through this by-value
+    /// method, not the field: field access would precision-capture the bare
+    /// `*mut T` (which is not `Sync`) instead of the wrapper.
+    #[inline(always)]
+    pub(crate) fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ExecPool
+// ---------------------------------------------------------------------------
+
+/// Jobs are claimed from a single `AtomicU64` cursor whose low bits are the
+/// next job index and high bits the dispatch epoch — a claim from a stale
+/// epoch fails instead of stealing a job from the next dispatch.
+const IDX_BITS: u32 = 24;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+const TAG_MASK: u64 = u64::MAX >> IDX_BITS;
+
+/// Type-erased task pointer handed to the workers. Valid strictly for the
+/// duration of one [`ExecPool::run`] call (which cannot return while any
+/// job of its epoch is unfinished).
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is `Sync` and outlives every dereference (see `run`).
+unsafe impl Send for TaskPtr {}
+
+struct TaskSlot {
+    epoch: u64,
+    njobs: usize,
+    task: Option<TaskPtr>,
+}
+
+struct Shared {
+    slot: Mutex<TaskSlot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    cursor: AtomicU64,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A persistent worker pool with an allocation-free dispatch path.
+///
+/// The vendored rayon shim spawns a scoped thread team per parallel region —
+/// fine for preprocessing, hopeless for a microsecond-scale solve phase.
+/// `ExecPool` keeps its workers parked on a condvar; dispatch publishes a
+/// borrowed closure (type-erased, no boxing), workers claim jobs from the
+/// epoch-tagged cursor, and the caller participates until the counter
+/// drains. Steady-state dispatch therefore performs **zero heap
+/// allocations**: futex-backed mutex/condvar operations and atomics only.
+///
+/// Dispatches are serialised by a try-lock; a nested or concurrent `run`
+/// simply executes its jobs inline on the calling thread, which keeps the
+/// pool deadlock-free by construction.
+pub struct ExecPool {
+    shared: std::sync::Arc<Shared>,
+    submit: Mutex<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl ExecPool {
+    /// Spawn a pool with `nworkers` parked worker threads (the calling
+    /// thread participates in every dispatch, so total concurrency is
+    /// `nworkers + 1`).
+    pub fn new(nworkers: usize) -> Self {
+        let shared = std::sync::Arc::new(Shared {
+            slot: Mutex::new(TaskSlot { epoch: 0, njobs: 0, task: None }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..nworkers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ExecPool { shared, submit: Mutex::new(()), handles }
+    }
+
+    /// The process-wide pool used by the kernels: `min(cores, 16) − 1`
+    /// workers plus the calling thread.
+    pub fn global() -> &'static ExecPool {
+        static POOL: OnceLock<ExecPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16);
+            ExecPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Threads that participate in a dispatch (workers + caller).
+    pub fn concurrency(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Run `f(0), f(1), …, f(njobs−1)`, each exactly once, across the pool;
+    /// returns once all have finished. Falls back to inline serial execution
+    /// when the pool has no workers, for a single job, or when another
+    /// dispatch is in flight — callers therefore never need their own
+    /// "is it worth forking" check beyond job granularity.
+    pub fn run(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if njobs == 0 {
+            return;
+        }
+        if self.handles.is_empty() || njobs == 1 || njobs as u64 > IDX_MASK {
+            for j in 0..njobs {
+                f(j);
+            }
+            return;
+        }
+        let Ok(_submit) = self.submit.try_lock() else {
+            for j in 0..njobs {
+                f(j);
+            }
+            return;
+        };
+        // SAFETY (lifetime erasure): `run` does not return until `pending`
+        // reaches zero, i.e. until no worker can touch the pointer again
+        // (stale-epoch claims fail on the tagged cursor), so the borrow
+        // outlives every dereference.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        let epoch;
+        {
+            let mut g = self.shared.slot.lock().expect("pool mutex");
+            g.epoch += 1;
+            epoch = g.epoch;
+            g.njobs = njobs;
+            g.task = Some(task);
+            self.shared.pending.store(njobs, Ordering::Release);
+            self.shared.cursor.store((epoch & TAG_MASK) << IDX_BITS, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+        while let Some(j) = claim(&self.shared.cursor, epoch, njobs) {
+            f(j);
+            finish_one(&self.shared);
+        }
+        let mut g = self.shared.slot.lock().expect("pool mutex");
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            g = self.shared.done_cv.wait(g).expect("pool condvar");
+        }
+        g.task = None;
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.slot.lock().expect("pool mutex");
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn claim(cursor: &AtomicU64, epoch: u64, njobs: usize) -> Option<usize> {
+    let tag = epoch & TAG_MASK;
+    let mut cur = cursor.load(Ordering::Acquire);
+    loop {
+        if cur >> IDX_BITS != tag {
+            return None;
+        }
+        let idx = (cur & IDX_MASK) as usize;
+        if idx >= njobs {
+            return None;
+        }
+        match cursor.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some(idx),
+            Err(c) => cur = c,
+        }
+    }
+}
+
+fn finish_one(shared: &Shared) {
+    if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last job of the epoch: wake the dispatcher. Taking the lock
+        // orders this notify after the dispatcher's pending-check.
+        let _g = shared.slot.lock().expect("pool mutex");
+        shared.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let (epoch, njobs, task) = {
+            let mut g = shared.slot.lock().expect("pool mutex");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if g.epoch != seen {
+                    seen = g.epoch;
+                    if let Some(t) = g.task {
+                        break (g.epoch, g.njobs, t);
+                    }
+                    // Missed the whole round; wait for the next epoch.
+                }
+                g = shared.work_cv.wait(g).expect("pool condvar");
+            }
+        };
+        while let Some(j) = claim(&shared.cursor, epoch, njobs) {
+            // SAFETY: a successful claim proves the cursor still carries
+            // this epoch's tag, so the dispatcher is still inside `run`
+            // (pending > 0) and the pointer is live.
+            unsafe { (*task.0)(j) };
+            finish_one(shared);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LevelSchedule
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Run {
+    /// Rows executed in order on the calling thread (a fused stretch of
+    /// cheap levels — zero barriers inside).
+    Serial { rows: Range<u32> },
+    /// One level executed as a parallel launch; `chunks` indexes the
+    /// boundary array (`chunk c` spans `chunk_ptr[c]..chunk_ptr[c+1]`).
+    Parallel { chunks: Range<u32> },
+}
+
+/// A preplanned execution schedule for one level decomposition: which levels
+/// fuse into serial runs, which run parallel, and where each parallel
+/// level's nnz-balanced chunk boundaries fall. Built once at preprocessing
+/// time; executing it performs no allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSchedule {
+    /// Row indices in execution order (the level sets' item array, u32).
+    rows: Vec<u32>,
+    runs: Vec<Run>,
+    /// Chunk boundaries of all parallel runs, as offsets into `rows`.
+    chunk_ptr: Vec<u32>,
+    tune: TuneParams,
+}
+
+impl LevelSchedule {
+    /// Plan the schedule for `l` under `levels` (which must decompose `l`:
+    /// `levels.n() == l.nrows()`).
+    ///
+    /// Classification: a level with `rows ≥ tune.par_rows` **or**
+    /// `nnz ≥ tune.fuse_nnz` becomes a parallel run, chunked at
+    /// `tune.chunk_nnz` nonzeros on the prefix sum; every maximal stretch of
+    /// remaining (cheap) levels is fused into one serial run.
+    pub fn plan<S: Scalar>(l: &Csr<S>, levels: &LevelSets, tune: TuneParams) -> Self {
+        assert_eq!(l.nrows(), levels.n(), "schedule planned for a mismatched level decomposition");
+        let rows: Vec<u32> = levels.items().iter().map(|&i| i as u32).collect();
+        let level_ptr = levels.level_ptr();
+        let mut runs = Vec::new();
+        let mut chunk_ptr: Vec<u32> = Vec::new();
+        let mut serial_start: Option<u32> = None;
+        for lvl in 0..levels.nlevels() {
+            let span = level_ptr[lvl] as u32..level_ptr[lvl + 1] as u32;
+            let items = levels.level_items(lvl);
+            let lvl_nnz: usize = items.iter().map(|&i| l.row_nnz(i)).sum();
+            if items.len() >= tune.par_rows || lvl_nnz >= tune.fuse_nnz {
+                if let Some(s) = serial_start.take() {
+                    runs.push(Run::Serial { rows: s..span.start });
+                }
+                let c0 = chunk_ptr.len() as u32;
+                chunk_ptr.push(span.start);
+                let mut acc = 0usize;
+                for (off, &i) in items.iter().enumerate() {
+                    acc += l.row_nnz(i);
+                    let bound = span.start + off as u32 + 1;
+                    if acc >= tune.chunk_nnz && bound < span.end {
+                        chunk_ptr.push(bound);
+                        acc = 0;
+                    }
+                }
+                chunk_ptr.push(span.end);
+                runs.push(Run::Parallel { chunks: c0..chunk_ptr.len() as u32 });
+            } else if serial_start.is_none() {
+                serial_start = Some(span.start);
+            }
+        }
+        if let Some(s) = serial_start {
+            runs.push(Run::Serial { rows: s..rows.len() as u32 });
+        }
+        LevelSchedule { rows, runs, chunk_ptr, tune }
+    }
+
+    /// The thresholds this schedule was planned under.
+    pub fn tune(&self) -> &TuneParams {
+        &self.tune
+    }
+
+    /// Total runs (serial + parallel launches) per solve.
+    pub fn nruns(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Parallel launches per solve — each costs one barrier; the difference
+    /// to the raw level count is what coarsening saved.
+    pub fn nparallel(&self) -> usize {
+        self.runs.iter().filter(|r| matches!(r, Run::Parallel { .. })).count()
+    }
+
+    /// Execute the schedule: forward-substitute `x` from `b` over `l`.
+    ///
+    /// `l` must be the matrix the schedule was planned for (same shape and
+    /// sparsity); `b` and `x` must both have `l.nrows()` entries. Checked by
+    /// the callers ([`crate::sptrsv::LevelSetSolver::solve_into`] and
+    /// friends), debug-asserted here.
+    pub fn solve_into<S: Scalar>(&self, l: &Csr<S>, b: &[S], x: &mut [S], pool: &ExecPool) {
+        debug_assert_eq!(l.nrows(), self.rows.len());
+        debug_assert_eq!(b.len(), x.len());
+        debug_assert_eq!(x.len(), self.rows.len());
+        let xp = SendPtr(x.as_mut_ptr());
+        for run in &self.runs {
+            match run {
+                Run::Serial { rows } => {
+                    for &i in &self.rows[rows.start as usize..rows.end as usize] {
+                        let i = i as usize;
+                        x[i] = solve_row(l, b, x, i);
+                    }
+                }
+                Run::Parallel { chunks } => {
+                    let bounds = &self.chunk_ptr[chunks.start as usize..chunks.end as usize];
+                    let nchunks = bounds.len() - 1;
+                    pool.run(nchunks, &|c| {
+                        let lo = bounds[c] as usize;
+                        let hi = bounds[c + 1] as usize;
+                        for &i in &self.rows[lo..hi] {
+                            let i = i as usize;
+                            // SAFETY: rows of one level are mutually
+                            // independent and each appears in exactly one
+                            // chunk, so this write is the only access to
+                            // x[i] in the launch and every read touches
+                            // entries finished in earlier runs.
+                            unsafe {
+                                *xp.ptr().add(i) = solve_row_ptr(l, b, xp.ptr() as *const S, i)
+                            };
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpmvPlan
+// ---------------------------------------------------------------------------
+
+/// Preplanned nnz-balanced chunk boundaries for an SpMV block: boundary `c`
+/// to `c+1` delimits the rows (CSR) or stored lanes (DCSR) of one parallel
+/// chunk. Planned once per block at preprocessing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpmvPlan {
+    bounds: Vec<u32>,
+}
+
+impl SpmvPlan {
+    fn from_nnz(n: usize, row_nnz: impl Fn(usize) -> usize, tune: &TuneParams) -> Self {
+        let mut bounds = Vec::with_capacity(2);
+        bounds.push(0u32);
+        let mut acc = 0usize;
+        for i in 0..n {
+            acc += row_nnz(i);
+            if acc >= tune.chunk_nnz && i + 1 < n {
+                bounds.push((i + 1) as u32);
+                acc = 0;
+            }
+        }
+        bounds.push(n as u32);
+        SpmvPlan { bounds }
+    }
+
+    /// Plan chunk boundaries over the rows of a CSR block.
+    pub fn for_csr<S: Scalar>(a: &Csr<S>, tune: &TuneParams) -> Self {
+        Self::from_nnz(a.nrows(), |i| a.row_nnz(i), tune)
+    }
+
+    /// Plan chunk boundaries over the stored lanes of a DCSR block.
+    pub fn for_dcsr<S: Scalar>(a: &recblock_matrix::Dcsr<S>, tune: &TuneParams) -> Self {
+        Self::from_nnz(a.n_lanes(), |k| a.lane(k).1.len(), tune)
+    }
+
+    /// Number of parallel chunks (≥ 1).
+    pub fn nchunks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Rows/lanes covered by the plan (its last boundary).
+    pub fn len(&self) -> usize {
+        *self.bounds.last().expect("plan has at least one boundary") as usize
+    }
+
+    /// `true` if the plan covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveWorkspace
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch buffers for the blocked executor: the gathered
+/// right-hand side and reordered solution for single solves, plus a pair of
+/// wide (`n × k`, column-major) buffers for fused multi-RHS batches. After
+/// warm-up on a given shape, repeated solves perform no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace<S> {
+    work: Vec<S>,
+    x: Vec<S>,
+    wide_work: Vec<S>,
+    wide_x: Vec<S>,
+}
+
+impl<S: Scalar> SolveWorkspace<S> {
+    /// An empty workspace (buffers grow on first use and are kept).
+    pub fn new() -> Self {
+        SolveWorkspace {
+            work: Vec::new(),
+            x: Vec::new(),
+            wide_work: Vec::new(),
+            wide_x: Vec::new(),
+        }
+    }
+
+    /// The single-solve buffer pair `(work, x)`, each resized to `n`.
+    pub fn pair(&mut self, n: usize) -> (&mut [S], &mut [S]) {
+        self.work.resize(n, S::ZERO);
+        self.x.resize(n, S::ZERO);
+        (&mut self.work, &mut self.x)
+    }
+
+    /// The multi-RHS buffer pair `(work, x)`, each resized to `len`
+    /// (typically `n·k`, column-major).
+    pub fn wide_pair(&mut self, len: usize) -> (&mut [S], &mut [S]) {
+        self.wide_work.resize(len, S::ZERO);
+        self.wide_x.resize(len, S::ZERO);
+        (&mut self.wide_work, &mut self.wide_x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::generate;
+
+    #[test]
+    fn row_dot_matches_sequential_reduction_in_value() {
+        let cols: Vec<usize> = (0..11).collect();
+        let vals: Vec<f64> = (0..11).map(|k| 1.0 + k as f64 * 0.5).collect();
+        let x: Vec<f64> = (0..11).map(|k| (k as f64 * 0.3).sin()).collect();
+        let seq: f64 = cols.iter().zip(&vals).map(|(&j, &v)| v * x[j]).sum();
+        assert!((row_dot(&cols, &vals, &x) - seq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_dot_ptr_is_bit_identical_to_slice_form() {
+        let cols: Vec<usize> = (0..37).map(|k| (k * 7) % 40).collect();
+        let vals: Vec<f32> = (0..37).map(|k| (k as f32 * 0.11).cos()).collect();
+        let x: Vec<f32> = (0..40).map(|k| (k as f32 * 0.23).sin()).collect();
+        let a = row_dot(&cols, &vals, &x);
+        let b = unsafe { row_dot_ptr(&cols, &vals, x.as_ptr()) };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = ExecPool::new(3);
+        for njobs in [0usize, 1, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..njobs).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(njobs, &|j| {
+                hits[j].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "njobs={njobs}");
+        }
+    }
+
+    #[test]
+    fn pool_back_to_back_dispatches_stay_isolated() {
+        let pool = ExecPool::new(2);
+        for round in 0..200usize {
+            let njobs = 2 + round % 5;
+            let sum = AtomicUsize::new(0);
+            pool.run(njobs, &|j| {
+                sum.fetch_add(j + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), njobs * (njobs + 1) / 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_nested_run_falls_back_inline() {
+        let pool = ExecPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            pool.run(3, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ExecPool::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, &|j| {
+            sum.fetch_add(j, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        assert_eq!(pool.concurrency(), 1);
+    }
+
+    #[test]
+    fn schedule_fuses_chain_into_one_serial_run() {
+        let l = generate::chain::<f64>(5000, 11);
+        let levels = LevelSets::analyse(&l).unwrap();
+        assert_eq!(levels.nlevels(), 5000);
+        let sched = LevelSchedule::plan(&l, &levels, TuneParams::default());
+        assert_eq!(sched.nruns(), 1, "a pure chain coarsens to a single serial run");
+        assert_eq!(sched.nparallel(), 0);
+    }
+
+    #[test]
+    fn schedule_splits_big_levels_on_nnz_prefix() {
+        // One big level: a diagonal matrix, 10k rows of 1 nnz.
+        let l = generate::diagonal::<f64>(10_000, 12);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let tune = TuneParams { chunk_nnz: 1000, ..TuneParams::default() };
+        let sched = LevelSchedule::plan(&l, &levels, tune);
+        assert_eq!(sched.nruns(), 1);
+        assert_eq!(sched.nparallel(), 1);
+        let Run::Parallel { chunks } = &sched.runs[0] else { panic!("expected parallel run") };
+        let bounds = &sched.chunk_ptr[chunks.start as usize..chunks.end as usize];
+        assert_eq!(bounds.len() - 1, 10, "10k nnz at 1k per chunk");
+        for w in bounds.windows(2) {
+            assert_eq!(w[1] - w[0], 1000);
+        }
+    }
+
+    #[test]
+    fn schedule_solves_correctly_across_structures() {
+        let pool = ExecPool::new(2);
+        for (l, seed) in [
+            (generate::random_lower::<f64>(800, 5.0, 21), 1u64),
+            (generate::kkt_like::<f64>(3000, 1200, 3, 22), 2),
+            (generate::grid2d::<f64>(30, 30, 23), 3),
+        ] {
+            let n = l.nrows();
+            let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37 + seed as f64).sin()).collect();
+            let levels = LevelSets::analyse(&l).unwrap();
+            // Tiny thresholds to force parallel runs even on small systems.
+            let tune =
+                TuneParams { par_rows: 8, fuse_nnz: 64, chunk_nnz: 32, ..Default::default() };
+            let sched = LevelSchedule::plan(&l, &levels, tune);
+            let mut x = vec![0.0; n];
+            sched.solve_into(&l, &b, &mut x, &pool);
+            let reference = crate::sptrsv::serial_csr(&l, &b).unwrap();
+            assert_eq!(x, reference, "engine must be bit-identical to the serial reference");
+        }
+    }
+
+    #[test]
+    fn spmv_plan_balances_by_nnz() {
+        let a = generate::rect_random::<f64>(2000, 500, 8.0, 0.0, 2.0, 31);
+        let tune = TuneParams { chunk_nnz: 1024, ..TuneParams::default() };
+        let plan = SpmvPlan::for_csr(&a, &tune);
+        assert!(plan.nchunks() > 1);
+        assert_eq!(plan.len(), 2000);
+        // Every chunk except the last reaches the nnz target.
+        let b = plan.bounds();
+        for c in 0..plan.nchunks() - 1 {
+            let nnz: usize = (b[c]..b[c + 1]).map(|i| a.row_nnz(i as usize)).sum();
+            assert!(nnz >= 1024, "chunk {c} carries {nnz} nnz");
+        }
+    }
+
+    #[test]
+    fn workspace_reuses_buffers() {
+        let mut ws = SolveWorkspace::<f64>::new();
+        {
+            let (w, x) = ws.pair(100);
+            w[0] = 1.0;
+            x[99] = 2.0;
+        }
+        let cap = ws.work.capacity();
+        let (w, x) = ws.pair(50);
+        assert_eq!(w.len(), 50);
+        assert_eq!(x.len(), 50);
+        assert_eq!(ws.work.capacity(), cap, "shrinking keeps capacity");
+    }
+}

@@ -23,13 +23,21 @@
 //! Plus the serial reference ([`sptrsv::serial_csr`]), multi-RHS solves
 //! ([`sptrsm`]) and an ILU(0) factorisation ([`ilu`]) used by the
 //! preconditioned-iterative-solver example.
+//!
+//! All steady-state parallelism runs on the [`exec`] execution engine:
+//! preplanned nnz-balanced schedules, a persistent allocation-free worker
+//! pool, and one deterministic inner reduction ([`exec::row_dot`]) shared by
+//! every kernel so results are bit-reproducible across kernels and thread
+//! counts.
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod ilu;
 pub mod krylov;
 pub mod spmv;
 pub mod sptrsm;
 pub mod sptrsv;
 
+pub use exec::{ExecPool, LevelSchedule, SolveWorkspace, SpmvPlan, TuneParams};
 pub use sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};

@@ -6,26 +6,29 @@
 //! right-hand side (`b_{si+1} ← SPMV(blk, x_si, b_si)` in Algorithms 4–6).
 //!
 //! * **scalar-CSR** — one thread per row; best for short, uniform rows.
-//! * **vector-CSR** — one warp (here: an unrolled 4-lane accumulator bank
-//!   with dynamic row scheduling) per row; best for long rows, where the
-//!   scalar kernel would be crippled by load imbalance.
+//! * **vector-CSR** — one warp (here: dynamic row scheduling) per row; best
+//!   for long rows, where the scalar kernel would be crippled by load
+//!   imbalance.
 //! * **scalar-DCSR / vector-DCSR** — same pair over [`Dcsr`] storage, which
 //!   skips empty rows entirely; best when `emptyratio` is high.
 //!
-//! The GPU cost model distinguishes the four by their scheduling and
-//! coalescing behaviour; on the CPU the pairs differ by scheduling policy
-//! and inner-loop shape, and (crucially for correctness tests) all four
-//! compute the same result.
+//! Every kernel reduces each row through the deterministic lane-unrolled
+//! [`crate::exec::row_dot`], so all four compute **bit-identical** results —
+//! the pairs differ only in scheduling policy, which a deterministic
+//! reduction makes invisible in the output.
+//!
+//! The blocked executor does not call these four directly on its hot path:
+//! it uses the preplanned, allocation-free forms [`csr_update_planned`] /
+//! [`dcsr_update_planned`], which split work at nnz-prefix-sum chunk
+//! boundaries computed once at preprocessing time ([`SpmvPlan`]) and write
+//! disjoint `y` sub-slices in place on the persistent [`ExecPool`].
 
+use crate::exec::{row_dot, ExecPool, SendPtr, SpmvPlan};
 use rayon::prelude::*;
 use recblock_matrix::{Csr, Dcsr, MatrixError, Scalar};
 
 /// Rows below which the parallel kernels fall back to serial execution.
 const PAR_THRESHOLD: usize = 512;
-
-/// Number of interleaved accumulators in the vector kernels (the CPU stand-in
-/// for a warp's strided partial sums).
-const LANES: usize = 4;
 
 fn check_dims<S: Scalar>(nrows: usize, ncols: usize, x: &[S], y: &[S]) -> Result<(), MatrixError> {
     if x.len() != ncols {
@@ -45,65 +48,31 @@ fn check_dims<S: Scalar>(nrows: usize, ncols: usize, x: &[S], y: &[S]) -> Result
     Ok(())
 }
 
-/// Dot product of one sparse row with `x`, single accumulator (scalar form).
-#[inline]
-fn row_dot_scalar<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> S {
-    let mut acc = S::ZERO;
-    for (&j, &v) in cols.iter().zip(vals) {
-        acc += v * x[j];
-    }
-    acc
-}
-
-/// Dot product with `LANES` interleaved accumulators (vector form — the fp
-/// addition order matches a warp's strided partial sums rather than the
-/// serial order).
-#[inline]
-fn row_dot_vector<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> S {
-    let mut acc = [S::ZERO; LANES];
-    let chunks = cols.len() / LANES * LANES;
-    let mut k = 0;
-    while k < chunks {
-        for l in 0..LANES {
-            acc[l] += vals[k + l] * x[cols[k + l]];
-        }
-        k += LANES;
-    }
-    for k in chunks..cols.len() {
-        acc[0] += vals[k] * x[cols[k]];
-    }
-    let mut total = S::ZERO;
-    for a in acc {
-        total += a;
-    }
-    total
-}
-
 /// scalar-CSR: `y ← y − A·x`, one task per row, static uniform chunks.
 pub fn scalar_csr<S: Scalar>(a: &Csr<S>, x: &[S], y: &mut [S]) -> Result<(), MatrixError> {
     check_dims(a.nrows(), a.ncols(), x, y)?;
     if a.nrows() < PAR_THRESHOLD {
         for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = a.row(i);
-            *yi -= row_dot_scalar(cols, vals, x);
+            *yi -= row_dot(cols, vals, x);
         }
     } else {
         y.par_iter_mut().enumerate().with_min_len(256).for_each(|(i, yi)| {
             let (cols, vals) = a.row(i);
-            *yi -= row_dot_scalar(cols, vals, x);
+            *yi -= row_dot(cols, vals, x);
         });
     }
     Ok(())
 }
 
-/// vector-CSR: `y ← y − A·x`, one task per row with dynamic scheduling and a
-/// multi-lane inner reduction (handles long rows gracefully).
+/// vector-CSR: `y ← y − A·x`, one task per row with dynamic scheduling
+/// (handles long rows gracefully).
 pub fn vector_csr<S: Scalar>(a: &Csr<S>, x: &[S], y: &mut [S]) -> Result<(), MatrixError> {
     check_dims(a.nrows(), a.ncols(), x, y)?;
     if a.nrows() < PAR_THRESHOLD {
         for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = a.row(i);
-            *yi -= row_dot_vector(cols, vals, x);
+            *yi -= row_dot(cols, vals, x);
         }
     } else {
         // Fine-grained tasks: rayon steals rows dynamically, so a few very
@@ -111,7 +80,7 @@ pub fn vector_csr<S: Scalar>(a: &Csr<S>, x: &[S], y: &mut [S]) -> Result<(), Mat
         // giving each long row its own warp.
         y.par_iter_mut().enumerate().with_max_len(16).for_each(|(i, yi)| {
             let (cols, vals) = a.row(i);
-            *yi -= row_dot_vector(cols, vals, x);
+            *yi -= row_dot(cols, vals, x);
         });
     }
     Ok(())
@@ -125,7 +94,7 @@ pub fn scalar_dcsr<S: Scalar>(a: &Dcsr<S>, x: &[S], y: &mut [S]) -> Result<(), M
     if lanes < PAR_THRESHOLD {
         for k in 0..lanes {
             let (row, cols, vals) = a.lane(k);
-            y[row] -= row_dot_scalar(cols, vals, x);
+            y[row] -= row_dot(cols, vals, x);
         }
     } else {
         let deltas: Vec<(usize, S)> = (0..lanes)
@@ -133,7 +102,7 @@ pub fn scalar_dcsr<S: Scalar>(a: &Dcsr<S>, x: &[S], y: &mut [S]) -> Result<(), M
             .with_min_len(256)
             .map(|k| {
                 let (row, cols, vals) = a.lane(k);
-                (row, row_dot_scalar(cols, vals, x))
+                (row, row_dot(cols, vals, x))
             })
             .collect();
         for (row, d) in deltas {
@@ -150,7 +119,7 @@ pub fn vector_dcsr<S: Scalar>(a: &Dcsr<S>, x: &[S], y: &mut [S]) -> Result<(), M
     if lanes < PAR_THRESHOLD {
         for k in 0..lanes {
             let (row, cols, vals) = a.lane(k);
-            y[row] -= row_dot_vector(cols, vals, x);
+            y[row] -= row_dot(cols, vals, x);
         }
     } else {
         let deltas: Vec<(usize, S)> = (0..lanes)
@@ -158,13 +127,89 @@ pub fn vector_dcsr<S: Scalar>(a: &Dcsr<S>, x: &[S], y: &mut [S]) -> Result<(), M
             .with_max_len(16)
             .map(|k| {
                 let (row, cols, vals) = a.lane(k);
-                (row, row_dot_vector(cols, vals, x))
+                (row, row_dot(cols, vals, x))
             })
             .collect();
         for (row, d) in deltas {
             y[row] -= d;
         }
     }
+    Ok(())
+}
+
+/// Preplanned `y ← y − A·x` over CSR: executes `plan`'s nnz-balanced chunks
+/// on `pool`, each chunk updating a disjoint row range of `y` in place —
+/// zero heap allocations, bit-identical to [`scalar_csr`].
+pub fn csr_update_planned<S: Scalar>(
+    a: &Csr<S>,
+    plan: &SpmvPlan,
+    x: &[S],
+    y: &mut [S],
+    pool: &ExecPool,
+) -> Result<(), MatrixError> {
+    check_dims(a.nrows(), a.ncols(), x, y)?;
+    if plan.len() != a.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "spmv plan rows",
+            expected: a.nrows(),
+            actual: plan.len(),
+        });
+    }
+    if plan.nchunks() <= 1 {
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = a.row(i);
+            *yi -= row_dot(cols, vals, x);
+        }
+        return Ok(());
+    }
+    let bounds = plan.bounds();
+    let yp = SendPtr(y.as_mut_ptr());
+    pool.run(plan.nchunks(), &|c| {
+        for i in bounds[c] as usize..bounds[c + 1] as usize {
+            let (cols, vals) = a.row(i);
+            // SAFETY: chunk boundaries partition the rows, so each y[i] is
+            // touched by exactly one job.
+            unsafe { *yp.ptr().add(i) -= row_dot(cols, vals, x) };
+        }
+    });
+    Ok(())
+}
+
+/// Preplanned `y ← y − A·x` over DCSR (chunks over stored lanes; each lane
+/// maps to a distinct row, so writes stay disjoint). Zero heap allocations,
+/// bit-identical to [`scalar_dcsr`].
+pub fn dcsr_update_planned<S: Scalar>(
+    a: &Dcsr<S>,
+    plan: &SpmvPlan,
+    x: &[S],
+    y: &mut [S],
+    pool: &ExecPool,
+) -> Result<(), MatrixError> {
+    check_dims(a.nrows(), a.ncols(), x, y)?;
+    if plan.len() != a.n_lanes() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "spmv plan lanes",
+            expected: a.n_lanes(),
+            actual: plan.len(),
+        });
+    }
+    if plan.nchunks() <= 1 {
+        for k in 0..a.n_lanes() {
+            let (row, cols, vals) = a.lane(k);
+            y[row] -= row_dot(cols, vals, x);
+        }
+        return Ok(());
+    }
+    let bounds = plan.bounds();
+    let yp = SendPtr(y.as_mut_ptr());
+    pool.run(plan.nchunks(), &|c| {
+        for k in bounds[c] as usize..bounds[c + 1] as usize {
+            let (row, cols, vals) = a.lane(k);
+            // SAFETY: lanes hold distinct rows and chunks partition the
+            // lanes, so each y[row] is touched by exactly one job.
+            unsafe { *yp.ptr().add(row) -= row_dot(cols, vals, x) };
+        }
+    });
     Ok(())
 }
 
@@ -183,6 +228,7 @@ pub fn apply<S: Scalar>(a: &Csr<S>, x: &[S]) -> Result<Vec<S>, MatrixError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::TuneParams;
     use recblock_matrix::generate;
     use recblock_matrix::vector::max_rel_diff;
 
@@ -203,13 +249,14 @@ mod tests {
         let (a, x, y0) = fixture(100, 0.3, 1.0, 71);
         let expect = reference_update(&a, &x, &y0);
         let d = a.to_dcsr();
+        let base = run_scalar_csr(&a, &x, &y0);
+        assert!(max_rel_diff(&base, &expect) < 1e-12);
         for (name, result) in [
-            ("scalar_csr", run_scalar_csr(&a, &x, &y0)),
             ("vector_csr", run_vector_csr(&a, &x, &y0)),
             ("scalar_dcsr", run_scalar_dcsr(&d, &x, &y0)),
             ("vector_dcsr", run_vector_dcsr(&d, &x, &y0)),
         ] {
-            assert!(max_rel_diff(&result, &expect) < 1e-12, "{name} disagrees");
+            assert_eq!(result, base, "{name} must be bit-identical to scalar_csr");
         }
     }
 
@@ -218,14 +265,53 @@ mod tests {
         let (a, x, y0) = fixture(5000, 0.5, 2.0, 72);
         let expect = reference_update(&a, &x, &y0);
         let d = a.to_dcsr();
+        let base = run_scalar_csr(&a, &x, &y0);
+        assert!(max_rel_diff(&base, &expect) < 1e-10);
         for (name, result) in [
-            ("scalar_csr", run_scalar_csr(&a, &x, &y0)),
             ("vector_csr", run_vector_csr(&a, &x, &y0)),
             ("scalar_dcsr", run_scalar_dcsr(&d, &x, &y0)),
             ("vector_dcsr", run_vector_dcsr(&d, &x, &y0)),
         ] {
-            assert!(max_rel_diff(&result, &expect) < 1e-10, "{name} disagrees");
+            assert_eq!(result, base, "{name} must be bit-identical to scalar_csr");
         }
+    }
+
+    #[test]
+    fn planned_kernels_match_unplanned_bitwise() {
+        let (a, x, y0) = fixture(3000, 0.4, 1.5, 75);
+        let d = a.to_dcsr();
+        let base = run_scalar_csr(&a, &x, &y0);
+        let pool = ExecPool::new(2);
+        let tune = TuneParams { chunk_nnz: 512, ..TuneParams::default() };
+
+        let plan = SpmvPlan::for_csr(&a, &tune);
+        assert!(plan.nchunks() > 1);
+        let mut y = y0.clone();
+        csr_update_planned(&a, &plan, &x, &mut y, &pool).unwrap();
+        assert_eq!(y, base);
+
+        let dplan = SpmvPlan::for_dcsr(&d, &tune);
+        let mut y = y0.clone();
+        dcsr_update_planned(&d, &dplan, &x, &mut y, &pool).unwrap();
+        assert_eq!(y, base);
+
+        // Single-chunk (serial) plans too.
+        let wide = TuneParams { chunk_nnz: usize::MAX, ..TuneParams::default() };
+        let mut y = y0.clone();
+        csr_update_planned(&a, &SpmvPlan::for_csr(&a, &wide), &x, &mut y, &pool).unwrap();
+        assert_eq!(y, base);
+        let mut y = y0.clone();
+        dcsr_update_planned(&d, &SpmvPlan::for_dcsr(&d, &wide), &x, &mut y, &pool).unwrap();
+        assert_eq!(y, base);
+    }
+
+    #[test]
+    fn planned_kernels_reject_mismatched_plan() {
+        let (a, x, y0) = fixture(100, 0.0, 0.0, 76);
+        let other = generate::rect_random::<f64>(50, 100, 3.0, 0.0, 0.0, 77);
+        let plan = SpmvPlan::for_csr(&other, &TuneParams::default());
+        let mut y = y0.clone();
+        assert!(csr_update_planned(&a, &plan, &x, &mut y, ExecPool::global()).is_err());
     }
 
     fn run_scalar_csr(a: &Csr<f64>, x: &[f64], y0: &[f64]) -> Vec<f64> {
@@ -305,6 +391,6 @@ mod tests {
         let mut y2 = vec![1.0f32; 200];
         scalar_csr(&a, &x, &mut y1).unwrap();
         vector_dcsr(&a.to_dcsr(), &x, &mut y2).unwrap();
-        assert!(max_rel_diff(&y1, &y2) < 1e-5);
+        assert_eq!(y1, y2);
     }
 }

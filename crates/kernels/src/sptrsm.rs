@@ -8,7 +8,7 @@
 //! shared across all columns (one analysis, `k` solves' worth of work, and
 //! per-level parallelism `level_size × k`).
 
-use rayon::prelude::*;
+use crate::exec::{solve_row, ExecPool, SendPtr};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 
@@ -111,6 +111,24 @@ pub fn sptrsm_levelset<S: Scalar>(
     levels: &LevelSets,
     b: &MultiVector<S>,
 ) -> Result<MultiVector<S>, MatrixError> {
+    let mut x = MultiVector::zeros(b.n(), b.k());
+    sptrsm_levelset_into(l, levels, b, &mut x, ExecPool::global())?;
+    Ok(x)
+}
+
+/// As [`sptrsm_levelset`] into a caller-provided multi-vector on an explicit
+/// pool — the zero-allocation steady-state path. Columns are fully
+/// independent, so each becomes one pool job writing its own contiguous
+/// column slice; within a column levels run in order, every row reducing
+/// through [`crate::exec::row_dot`], so each column is bit-identical to the
+/// serial reference regardless of how columns were scheduled.
+pub fn sptrsm_levelset_into<S: Scalar>(
+    l: &Csr<S>,
+    levels: &LevelSets,
+    b: &MultiVector<S>,
+    x: &mut MultiVector<S>,
+    pool: &ExecPool,
+) -> Result<(), MatrixError> {
     if b.n() != l.nrows() {
         return Err(MatrixError::DimensionMismatch {
             what: "sptrsm rhs rows",
@@ -118,34 +136,28 @@ pub fn sptrsm_levelset<S: Scalar>(
             actual: b.n(),
         });
     }
+    if x.n() != b.n() || x.k() != b.k() {
+        return Err(MatrixError::DimensionMismatch {
+            what: "sptrsm output shape",
+            expected: b.n() * b.k(),
+            actual: x.n() * x.k(),
+        });
+    }
     let n = b.n();
     let k = b.k();
-    let mut x = MultiVector::zeros(n, k);
-    // Columns are fully independent: parallelise across them, each column
-    // sweeping its levels serially (per-column level order is preserved).
-    let cols: Vec<Vec<S>> = (0..k)
-        .into_par_iter()
-        .map(|j| {
-            let bj = b.col(j);
-            let mut xj = vec![S::ZERO; n];
-            for lvl in 0..levels.nlevels() {
-                for &i in levels.level_items(lvl) {
-                    let (cols_i, vals) = l.row(i);
-                    let last = cols_i.len() - 1;
-                    let mut left = S::ZERO;
-                    for t in 0..last {
-                        left += vals[t] * xj[cols_i[t]];
-                    }
-                    xj[i] = (bj[i] - left) / vals[last];
-                }
+    let xp = SendPtr(x.as_mut_slice().as_mut_ptr());
+    pool.run(k, &|j| {
+        // SAFETY: column slices are disjoint (column-major layout), so job
+        // j is the only writer and reader of x[j*n..(j+1)*n].
+        let xj = unsafe { std::slice::from_raw_parts_mut(xp.ptr().add(j * n), n) };
+        let bj = b.col(j);
+        for lvl in 0..levels.nlevels() {
+            for &i in levels.level_items(lvl) {
+                xj[i] = solve_row(l, bj, xj, i);
             }
-            xj
-        })
-        .collect();
-    for (j, xj) in cols.into_iter().enumerate() {
-        x.col_mut(j).copy_from_slice(&xj);
-    }
-    Ok(x)
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -182,8 +194,21 @@ mod tests {
         let x1 = sptrsm_serial(&l, &b).unwrap();
         let x2 = sptrsm_levelset(&l, &levels, &b).unwrap();
         for j in 0..6 {
-            assert!(max_rel_diff(x1.col(j), x2.col(j)) < 1e-12);
+            assert_eq!(x1.col(j), x2.col(j), "column {j} must be bit-identical");
         }
+    }
+
+    #[test]
+    fn into_variant_matches_and_validates_shape() {
+        let l = generate::grid2d::<f64>(15, 15, 84);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let b = rhs(225, 4);
+        let pool = ExecPool::new(2);
+        let mut x = MultiVector::zeros(225, 4);
+        sptrsm_levelset_into(&l, &levels, &b, &mut x, &pool).unwrap();
+        assert_eq!(x, sptrsm_serial(&l, &b).unwrap());
+        let mut bad = MultiVector::zeros(225, 3);
+        assert!(sptrsm_levelset_into(&l, &levels, &b, &mut bad, &pool).is_err());
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //! which is precisely why cuSPARSE only merges levels that are small. The
 //! GPU cost model charges one launch overhead per merged group, reproducing
 //! cuSPARSE's characteristic collapse on matrices with very many levels.
+//!
+//! Execution runs on the engine ([`LevelSchedule`]) under merged-launch
+//! tuning ([`TuneParams::merged_launch`]): levels below `par_rows` rows fuse
+//! into serial runs (subsuming the group merge at execution time — the
+//! groups remain the cost-model surface), larger levels launch parallel with
+//! nnz-balanced chunks. The hot path allocates nothing.
 
+use crate::exec::{ExecPool, LevelSchedule, TuneParams};
 use rayon::prelude::*;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
@@ -23,7 +30,8 @@ use recblock_matrix::{Csr, MatrixError, Scalar};
 /// neighbours into a single launch.
 const MERGE_THRESHOLD: usize = 32;
 
-/// Rows below which a launch group is executed serially on the CPU.
+/// Rows below which a launch group is executed serially on the CPU (the
+/// historical default of [`TuneParams::par_rows`] for this solver).
 const PAR_GROUP_THRESHOLD: usize = 256;
 
 /// A launch group: a contiguous range of levels executed as one kernel.
@@ -43,14 +51,14 @@ pub struct CusparseLikeSolver<S> {
     l: Csr<S>,
     levels: LevelSets,
     groups: Vec<LaunchGroup>,
+    sched: LevelSchedule,
 }
 
 impl<S: Scalar> CusparseLikeSolver<S> {
     /// The analysis phase: level construction plus launch-schedule building.
     pub fn analyse(l: Csr<S>) -> Result<Self, MatrixError> {
         let levels = LevelSets::analyse(&l)?;
-        let groups = build_groups(&levels);
-        Ok(CusparseLikeSolver { l, levels, groups })
+        Self::with_levels_tuned(l, levels, TuneParams::default())
     }
 
     /// Rebuild a solver from a matrix and an already-computed level
@@ -58,6 +66,19 @@ impl<S: Scalar> CusparseLikeSolver<S> {
     /// arrays so reloading skips the analysis phase). The launch schedule
     /// is re-derived from the levels — it is cheap (`O(nlevels)`).
     pub fn with_levels(l: Csr<S>, levels: LevelSets) -> Result<Self, MatrixError> {
+        Self::with_levels_tuned(l, levels, TuneParams::default())
+    }
+
+    /// As [`CusparseLikeSolver::with_levels`] with explicit scheduling
+    /// thresholds. Only `par_rows` and `chunk_nnz` matter here — the solver
+    /// always plans under merged-launch semantics
+    /// ([`TuneParams::merged_launch`]), which is what makes it the
+    /// row-threshold baseline the paper compares against.
+    pub fn with_levels_tuned(
+        l: Csr<S>,
+        levels: LevelSets,
+        tune: TuneParams,
+    ) -> Result<Self, MatrixError> {
         if levels.n() != l.nrows() {
             return Err(MatrixError::DimensionMismatch {
                 what: "cusparse-like levels",
@@ -66,7 +87,8 @@ impl<S: Scalar> CusparseLikeSolver<S> {
             });
         }
         let groups = build_groups(&levels);
-        Ok(CusparseLikeSolver { l, levels, groups })
+        let sched = LevelSchedule::plan(&l, &levels, tune.merged_launch());
+        Ok(CusparseLikeSolver { l, levels, groups, sched })
     }
 
     /// The analysed matrix.
@@ -77,6 +99,11 @@ impl<S: Scalar> CusparseLikeSolver<S> {
     /// The level decomposition found by analysis.
     pub fn levels(&self) -> &LevelSets {
         &self.levels
+    }
+
+    /// The planned execution schedule.
+    pub fn schedule(&self) -> &LevelSchedule {
+        &self.sched
     }
 
     /// The merged launch schedule (one entry per simulated kernel launch).
@@ -100,6 +127,39 @@ impl<S: Scalar> CusparseLikeSolver<S> {
             });
         }
         let mut x = vec![S::ZERO; n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solve into a caller-provided buffer: executes the preplanned schedule
+    /// on the global [`ExecPool`] with zero heap allocations.
+    pub fn solve_into(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
+        let n = self.l.nrows();
+        if b.len() != n || x.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv buffers",
+                expected: n,
+                actual: b.len().min(x.len()),
+            });
+        }
+        self.sched.solve_into(&self.l, b, x, ExecPool::global());
+        Ok(())
+    }
+
+    /// The pre-engine solve path (per-group rayon regions collecting
+    /// `(index, value)` pairs), kept verbatim for before/after benchmarking.
+    /// Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn solve_legacy(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                what: "sptrsv rhs",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut x = vec![S::ZERO; n];
         let l = &self.l;
         for g in &self.groups {
             let single_level = g.level_end - g.level_start == 1;
@@ -107,7 +167,7 @@ impl<S: Scalar> CusparseLikeSolver<S> {
                 // One big level: fully parallel launch.
                 let items = self.levels.level_items(g.level_start);
                 let solved: Vec<(usize, S)> =
-                    items.par_iter().map(|&i| (i, solve_row(l, b, &x, i))).collect();
+                    items.par_iter().map(|&i| (i, solve_row_legacy(l, b, &x, i))).collect();
                 for (i, xi) in solved {
                     x[i] = xi;
                 }
@@ -116,7 +176,7 @@ impl<S: Scalar> CusparseLikeSolver<S> {
                 // launch (dependencies may cross the merged levels).
                 for lvl in g.level_start..g.level_end {
                     for &i in self.levels.level_items(lvl) {
-                        x[i] = solve_row(l, b, &x, i);
+                        x[i] = solve_row_legacy(l, b, &x, i);
                     }
                 }
             }
@@ -149,7 +209,7 @@ fn build_groups(levels: &LevelSets) -> Vec<LaunchGroup> {
 }
 
 #[inline]
-fn solve_row<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
+fn solve_row_legacy<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
     let (cols, vals) = l.row(i);
     let last = cols.len() - 1;
     let mut left_sum = S::ZERO;
@@ -172,7 +232,7 @@ mod tests {
         let reference = serial_csr(&l, &b).unwrap();
         let solver = CusparseLikeSolver::analyse(l).unwrap();
         let x = solver.solve(&b).unwrap();
-        assert!(max_rel_diff(&x, &reference) < 1e-12);
+        assert_eq!(x, reference, "engine path must be bit-identical to serial reference");
     }
 
     #[test]
@@ -196,11 +256,23 @@ mod tests {
     }
 
     #[test]
+    fn legacy_path_matches_engine_numerically() {
+        let l = generate::kkt_like::<f64>(4000, 1500, 3, 60);
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let solver = CusparseLikeSolver::analyse(l).unwrap();
+        let x_new = solver.solve(&b).unwrap();
+        let x_old = solver.solve_legacy(&b).unwrap();
+        assert!(max_rel_diff(&x_new, &x_old) < 1e-12);
+    }
+
+    #[test]
     fn chain_merges_all_levels_into_few_launches() {
         // 500 levels of size 1 — all mergeable: one launch.
         let solver = CusparseLikeSolver::analyse(generate::chain::<f64>(500, 65)).unwrap();
         assert_eq!(solver.levels().nlevels(), 500);
         assert_eq!(solver.nlaunches(), 1);
+        assert_eq!(solver.schedule().nruns(), 1, "merged-launch tuning fuses the whole chain");
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! Level-set parallel SpTRSV (the paper's Algorithm 2).
 //!
-//! Preprocessing finds the level sets once; the solve phase processes levels
-//! in order, solving all components of a level in parallel and placing a
-//! barrier (here: the end of a rayon parallel region) between levels —
-//! exactly the structure of the GPU implementation, where each level is one
-//! kernel launch.
+//! Preprocessing finds the level sets once and plans an execution schedule
+//! ([`LevelSchedule`]): consecutive cheap levels fuse into serial runs
+//! (level coarsening), expensive levels become parallel launches split at
+//! nnz-prefix-sum chunk boundaries. The solve phase executes that schedule
+//! on the persistent [`ExecPool`] writing `x` in place — no allocation, no
+//! `(index, value)` collection, and results bit-identical to the serial
+//! reference because every row reduces through [`crate::exec::row_dot`].
 
+use crate::exec::{ExecPool, LevelSchedule, TuneParams};
 use rayon::prelude::*;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 
-/// Below this many components a level is solved serially — the rayon
-/// fork/join overhead dwarfs the work otherwise (the CPU analogue of the
-/// kernel-launch cost the GPU model charges per level).
+/// Below this many components a level is solved serially — the fork/join
+/// overhead dwarfs the work otherwise (the CPU analogue of the kernel-launch
+/// cost the GPU model charges per level). Retained as the historical default
+/// of [`TuneParams::par_rows`]; the legacy (unscheduled) path still uses it
+/// directly.
 const PAR_LEVEL_THRESHOLD: usize = 256;
 
 /// A level-scheduled triangular solver: analysis happens once in
@@ -22,25 +27,44 @@ const PAR_LEVEL_THRESHOLD: usize = 256;
 pub struct LevelSetSolver<S> {
     l: Csr<S>,
     levels: LevelSets,
+    sched: LevelSchedule,
 }
 
 impl<S: Scalar> LevelSetSolver<S> {
     /// Analyse `l` (level-set construction; the preprocessing stage of
-    /// Algorithm 2).
+    /// Algorithm 2) and plan its execution schedule with default tuning.
     pub fn new(l: Csr<S>) -> Result<Self, MatrixError> {
         let levels = LevelSets::analyse(&l)?;
-        Ok(LevelSetSolver { l, levels })
+        Ok(Self::with_tune(l, levels, TuneParams::default()))
     }
 
     /// Build from an existing level decomposition (used by the blocked
     /// executor, which has already analysed the block during reordering).
     pub fn with_levels(l: Csr<S>, levels: LevelSets) -> Self {
-        LevelSetSolver { l, levels }
+        Self::with_tune(l, levels, TuneParams::default())
+    }
+
+    /// As [`LevelSetSolver::with_levels`] with explicit scheduling
+    /// thresholds (the blocked executor threads its [`TuneParams`] through;
+    /// a reloaded plan passes the tuning it was stored with).
+    pub fn with_tune(l: Csr<S>, levels: LevelSets, tune: TuneParams) -> Self {
+        let sched = LevelSchedule::plan(&l, &levels, tune);
+        LevelSetSolver { l, levels, sched }
     }
 
     /// The analysed level sets.
     pub fn levels(&self) -> &LevelSets {
         &self.levels
+    }
+
+    /// The planned execution schedule.
+    pub fn schedule(&self) -> &LevelSchedule {
+        &self.sched
+    }
+
+    /// The scheduling thresholds the solver was planned with.
+    pub fn tune(&self) -> &TuneParams {
+        self.sched.tune()
     }
 
     /// The matrix being solved.
@@ -63,9 +87,29 @@ impl<S: Scalar> LevelSetSolver<S> {
         Ok(x)
     }
 
-    /// Solve into a caller-provided buffer (avoids the allocation when the
-    /// solver runs inside an iteration loop).
+    /// Solve into a caller-provided buffer. This is the steady-state hot
+    /// path: it executes the preplanned schedule on the global [`ExecPool`]
+    /// and performs **zero heap allocations**.
     pub fn solve_into(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
+        self.check_buffers(b, x)?;
+        self.sched.solve_into(&self.l, b, x, ExecPool::global());
+        Ok(())
+    }
+
+    /// As [`LevelSetSolver::solve_into`] on an explicit pool (tests and
+    /// embedders that keep their own).
+    pub fn solve_into_pooled(
+        &self,
+        b: &[S],
+        x: &mut [S],
+        pool: &ExecPool,
+    ) -> Result<(), MatrixError> {
+        self.check_buffers(b, x)?;
+        self.sched.solve_into(&self.l, b, x, pool);
+        Ok(())
+    }
+
+    fn check_buffers(&self, b: &[S], x: &[S]) -> Result<(), MatrixError> {
         let n = self.l.nrows();
         if b.len() != n || x.len() != n {
             return Err(MatrixError::DimensionMismatch {
@@ -74,20 +118,25 @@ impl<S: Scalar> LevelSetSolver<S> {
                 actual: b.len().min(x.len()),
             });
         }
-        // SAFETY-free sharing: rows within one level never read each other's
-        // x entries (that is the defining property of a level set), so we
-        // hand each component a raw view through an index-disjoint write.
-        // We express it safely via a per-level gather/scatter instead.
+        Ok(())
+    }
+
+    /// The pre-engine solve path (per-level rayon regions collecting
+    /// `(index, value)` pairs), kept verbatim for before/after benchmarking.
+    /// Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn solve_into_unscheduled(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
+        self.check_buffers(b, x)?;
         let l = &self.l;
         for lvl in 0..self.levels.nlevels() {
             let items = self.levels.level_items(lvl);
             if items.len() < PAR_LEVEL_THRESHOLD {
                 for &i in items {
-                    x[i] = solve_row(l, b, x, i);
+                    x[i] = solve_row_legacy(l, b, x, i);
                 }
             } else {
                 let solved: Vec<(usize, S)> =
-                    items.par_iter().map(|&i| (i, solve_row(l, b, x, i))).collect();
+                    items.par_iter().map(|&i| (i, solve_row_legacy(l, b, x, i))).collect();
                 for (i, xi) in solved {
                     x[i] = xi;
                 }
@@ -97,9 +146,10 @@ impl<S: Scalar> LevelSetSolver<S> {
     }
 }
 
-/// Forward-substitute one row given all its dependencies already solved.
+/// Forward-substitute one row with the pre-engine sequential accumulation
+/// (legacy path only; the engine path uses [`crate::exec::row_dot`]).
 #[inline]
-fn solve_row<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
+fn solve_row_legacy<S: Scalar>(l: &Csr<S>, b: &[S], x: &[S], i: usize) -> S {
     let (cols, vals) = l.row(i);
     let last = cols.len() - 1;
     debug_assert_eq!(cols[last], i, "diagonal must be last in row");
@@ -123,7 +173,7 @@ mod tests {
         let reference = serial_csr(&l, &b).unwrap();
         let solver = LevelSetSolver::new(l).unwrap();
         let x = solver.solve(&b).unwrap();
-        assert!(max_rel_diff(&x, &reference) < 1e-12);
+        assert_eq!(x, reference, "engine path must be bit-identical to serial reference");
     }
 
     #[test]
@@ -153,6 +203,19 @@ mod tests {
     }
 
     #[test]
+    fn legacy_path_matches_engine_numerically() {
+        let l = generate::kkt_like::<f64>(3000, 1400, 3, 38);
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.29).cos()).collect();
+        let solver = LevelSetSolver::new(l).unwrap();
+        let mut x_new = vec![0.0; n];
+        let mut x_old = vec![0.0; n];
+        solver.solve_into(&b, &mut x_new).unwrap();
+        solver.solve_into_unscheduled(&b, &mut x_old).unwrap();
+        assert!(max_rel_diff(&x_new, &x_old) < 1e-12);
+    }
+
+    #[test]
     fn solve_into_reuses_buffer() {
         let l = generate::banded::<f64>(200, 4, 0.6, 36);
         let b = vec![1.0; 200];
@@ -175,9 +238,11 @@ mod tests {
     }
 
     #[test]
-    fn exposes_levels() {
+    fn exposes_levels_and_schedule() {
         let solver = LevelSetSolver::new(generate::chain::<f64>(10, 37)).unwrap();
         assert_eq!(solver.levels().nlevels(), 10);
         assert_eq!(solver.matrix().nrows(), 10);
+        assert_eq!(solver.schedule().nruns(), 1, "a chain coarsens to one serial run");
+        assert_eq!(solver.tune().par_rows, TuneParams::default().par_rows);
     }
 }

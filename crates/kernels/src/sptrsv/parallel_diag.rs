@@ -5,8 +5,12 @@
 //! diagonal, so every component solves independently with perfect
 //! parallelism (`SPTRSV-COMPLETELYPARALLEL` in Algorithm 7).
 
-use rayon::prelude::*;
+use crate::exec::ExecPool;
 use recblock_matrix::{Csr, MatrixError, Scalar};
+
+/// Entries per parallel chunk of [`parallel_diag_into`] — one division per
+/// entry, so a chunk is sized like a `chunk_nnz`-nonzero SpMV chunk.
+const DIAG_CHUNK: usize = 8192;
 
 /// `true` if the matrix stores exactly its diagonal (one entry per row at
 /// `(i, i)`).
@@ -21,19 +25,50 @@ pub fn is_diagonal_only<S: Scalar>(l: &Csr<S>) -> bool {
 
 /// Solve a purely diagonal system: `x[i] = b[i] / d[i]` in one parallel map.
 pub fn parallel_diag<S: Scalar>(l: &Csr<S>, b: &[S]) -> Result<Vec<S>, MatrixError> {
+    let mut x = vec![S::ZERO; l.nrows()];
+    parallel_diag_into(l, b, &mut x, ExecPool::global())?;
+    Ok(x)
+}
+
+/// As [`parallel_diag`] into a caller-provided buffer on an explicit pool —
+/// the zero-allocation steady-state path. Elementwise divisions commute with
+/// chunking, so the result is bit-identical at any concurrency.
+pub fn parallel_diag_into<S: Scalar>(
+    l: &Csr<S>,
+    b: &[S],
+    x: &mut [S],
+    pool: &ExecPool,
+) -> Result<(), MatrixError> {
     let n = l.nrows();
-    if b.len() != n {
+    if b.len() != n || x.len() != n {
         return Err(MatrixError::DimensionMismatch {
-            what: "sptrsv rhs",
+            what: "sptrsv buffers",
             expected: n,
-            actual: b.len(),
+            actual: b.len().min(x.len()),
         });
     }
     if !is_diagonal_only(l) {
         return Err(MatrixError::NotTriangular { row: 0, col: 0 });
     }
     let vals = l.vals();
-    Ok(b.par_iter().zip(vals.par_iter()).map(|(&bi, &di)| bi / di).collect())
+    if n <= DIAG_CHUNK {
+        for i in 0..n {
+            x[i] = b[i] / vals[i];
+        }
+        return Ok(());
+    }
+    let nchunks = n.div_ceil(DIAG_CHUNK);
+    let xp = crate::exec::SendPtr(x.as_mut_ptr());
+    pool.run(nchunks, &|c| {
+        let lo = c * DIAG_CHUNK;
+        let hi = (lo + DIAG_CHUNK).min(n);
+        for i in lo..hi {
+            // SAFETY: chunks partition 0..n, so each x[i] is written by
+            // exactly one job and read by none.
+            unsafe { *xp.ptr().add(i) = b[i] / vals[i] };
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -64,6 +99,17 @@ mod tests {
         let x1 = parallel_diag(&l, &b).unwrap();
         let x2 = super::super::serial_csr(&l, &b).unwrap();
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn into_matches_allocating_form_above_chunk_size() {
+        let n = 3 * DIAG_CHUNK + 17;
+        let l = generate::diagonal::<f64>(n, 8);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() + 2.0).collect();
+        let pool = ExecPool::new(2);
+        let mut x = vec![0.0; n];
+        parallel_diag_into(&l, &b, &mut x, &pool).unwrap();
+        assert_eq!(x, parallel_diag(&l, &b).unwrap());
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Serial reference SpTRSV (the paper's Algorithm 1, plus a CSC variant).
 //!
-//! Every parallel solver in the suite is validated against these.
+//! Every parallel solver in the suite is validated against these. The CSR
+//! reference accumulates each row through [`crate::exec::row_dot`] — the
+//! same deterministic lane-unrolled reduction the parallel kernels use — so
+//! "matches the serial reference" means *bit-identical*, not merely close.
 
+use crate::exec::row_dot;
 use recblock_matrix::{Csc, Csr, MatrixError, Scalar};
 
 /// Solve `L x = b` serially with `L` in CSR (forward substitution; the
@@ -21,17 +25,14 @@ pub fn serial_csr<S: Scalar>(l: &Csr<S>, b: &[S]) -> Result<Vec<S>, MatrixError>
     let mut x = vec![S::ZERO; n];
     for i in 0..n {
         let (cols, vals) = l.row(i);
-        let (last, rest) = match cols.len() {
+        let last = match cols.len() {
             0 => return Err(MatrixError::SingularDiagonal { row: i }),
-            m => (m - 1, m - 1),
+            m => m - 1,
         };
         if cols[last] != i {
             return Err(MatrixError::NotTriangular { row: i, col: cols[last] });
         }
-        let mut left_sum = S::ZERO;
-        for k in 0..rest {
-            left_sum += vals[k] * x[cols[k]];
-        }
+        let left_sum = row_dot(&cols[..last], &vals[..last], &x);
         x[i] = (b[i] - left_sum) / vals[last];
     }
     Ok(x)

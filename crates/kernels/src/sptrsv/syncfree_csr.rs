@@ -14,26 +14,37 @@
 //! `syncfree.rs`); here a waiting thread spins *inside* its row walk, which
 //! is how the GPU kernel behaves too.
 
+use crate::exec::row_dot_with;
 use recblock_matrix::scalar::ScalarAtomic;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A row-driven sync-free solver (CSR, busy-wait on ready flags).
+///
+/// Holds the matrix behind an [`Arc`], so building a solver from a shared
+/// matrix is O(1) instead of an O(nnz) deep copy. (Audit note: this was the
+/// only solver with a wasteful verbatim copy — [`super::LevelSetSolver`] and
+/// [`super::CusparseLikeSolver`] take the matrix by value, and
+/// [`super::SyncFreeSolver`]'s CSC conversion is a necessary format change,
+/// not a copy.)
 #[derive(Debug, Clone)]
 pub struct SyncFreeCsrSolver<S> {
-    l: Csr<S>,
+    l: Arc<Csr<S>>,
     nthreads: usize,
 }
 
 impl<S: Scalar> SyncFreeCsrSolver<S> {
-    /// Validate the matrix and fix the worker-thread count.
-    pub fn with_threads(l: &Csr<S>, nthreads: usize) -> Result<Self, MatrixError> {
-        recblock_matrix::triangular::check_solvable_lower(l)?;
-        Ok(SyncFreeCsrSolver { l: l.clone(), nthreads: nthreads.max(1) })
+    /// Validate the matrix and fix the worker-thread count. Accepts an owned
+    /// matrix or an existing `Arc` — either way no element data is copied.
+    pub fn with_threads(l: impl Into<Arc<Csr<S>>>, nthreads: usize) -> Result<Self, MatrixError> {
+        let l = l.into();
+        recblock_matrix::triangular::check_solvable_lower(&l)?;
+        Ok(SyncFreeCsrSolver { l, nthreads: nthreads.max(1) })
     }
 
     /// Preprocess with all available CPU parallelism.
-    pub fn new(l: &Csr<S>) -> Result<Self, MatrixError> {
+    pub fn new(l: impl Into<Arc<Csr<S>>>) -> Result<Self, MatrixError> {
         Self::with_threads(l, super::syncfree_default_threads())
     }
 
@@ -58,7 +69,7 @@ impl<S: Scalar> SyncFreeCsrSolver<S> {
         let x: Vec<S::Atomic> = (0..n).map(|_| S::Atomic::new(S::ZERO)).collect();
         let ready: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let nthreads = self.nthreads.min(n);
-        let l = &self.l;
+        let l: &Csr<S> = &self.l;
         std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let x = &x;
@@ -68,10 +79,11 @@ impl<S: Scalar> SyncFreeCsrSolver<S> {
                     while i < n {
                         let (cols, vals) = l.row(i);
                         let last = cols.len() - 1;
-                        let mut acc = S::ZERO;
-                        for k in 0..last {
-                            let j = cols[k];
-                            // Busy-wait until x[j] is published.
+                        // Busy-wait until every dependency is published,
+                        // then accumulate with the shared deterministic
+                        // reduction — results stay bit-identical to the
+                        // serial reference at any thread count.
+                        for &j in &cols[..last] {
                             let mut spins = 0u32;
                             while !ready[j].load(Ordering::Acquire) {
                                 spins += 1;
@@ -81,8 +93,8 @@ impl<S: Scalar> SyncFreeCsrSolver<S> {
                                     std::hint::spin_loop();
                                 }
                             }
-                            acc += vals[k] * x[j].load();
                         }
+                        let acc = row_dot_with(&cols[..last], &vals[..last], |j| x[j].load());
                         x[i].store((b[i] - acc) / vals[last]);
                         ready[i].store(true, Ordering::Release);
                         i += nthreads;
@@ -105,13 +117,9 @@ mod tests {
         let n = l.nrows();
         let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
         let reference = serial_csr(&l, &b).unwrap();
-        let solver = SyncFreeCsrSolver::with_threads(&l, nthreads).unwrap();
+        let solver = SyncFreeCsrSolver::with_threads(l, nthreads).unwrap();
         let x = solver.solve(&b).unwrap();
-        assert!(
-            max_rel_diff(&x, &reference) < 1e-10,
-            "threads {nthreads}, diff {}",
-            max_rel_diff(&x, &reference)
-        );
+        assert_eq!(x, reference, "threads {nthreads}: must be bit-identical to serial reference");
     }
 
     #[test]
@@ -147,7 +155,7 @@ mod tests {
         let l = generate::grid2d::<f64>(35, 35, 116);
         let b = vec![1.5; 1225];
         let csc = SyncFreeSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap();
-        let csr = SyncFreeCsrSolver::with_threads(&l, 4).unwrap().solve(&b).unwrap();
+        let csr = SyncFreeCsrSolver::with_threads(l, 4).unwrap().solve(&b).unwrap();
         assert!(max_rel_diff(&csc, &csr) < 1e-10);
     }
 
@@ -158,23 +166,24 @@ mod tests {
         // order varies).
         let l = generate::random_lower::<f64>(800, 5.0, 117);
         let b: Vec<f64> = (0..800).map(|i| (i as f64 * 0.37).sin()).collect();
-        let x1 = SyncFreeCsrSolver::with_threads(&l, 1).unwrap().solve(&b).unwrap();
-        let x8 = SyncFreeCsrSolver::with_threads(&l, 8).unwrap().solve(&b).unwrap();
+        let l = Arc::new(l);
+        let x1 = SyncFreeCsrSolver::with_threads(l.clone(), 1).unwrap().solve(&b).unwrap();
+        let x8 = SyncFreeCsrSolver::with_threads(l, 8).unwrap().solve(&b).unwrap();
         assert_eq!(x1, x8);
     }
 
     #[test]
     fn rejects_bad_inputs() {
         let l = generate::diagonal::<f64>(10, 118);
-        let s = SyncFreeCsrSolver::new(&l).unwrap();
+        let s = SyncFreeCsrSolver::new(l).unwrap();
         assert!(s.solve(&[1.0]).is_err());
         let bad = Csr::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1., 1.]).unwrap();
-        assert!(SyncFreeCsrSolver::new(&bad).is_err());
+        assert!(SyncFreeCsrSolver::new(bad).is_err());
     }
 
     #[test]
     fn empty_system() {
-        let s = SyncFreeCsrSolver::new(&Csr::<f64>::zero(0, 0)).unwrap();
+        let s = SyncFreeCsrSolver::new(Csr::<f64>::zero(0, 0)).unwrap();
         assert_eq!(s.solve(&[]).unwrap(), Vec::<f64>::new());
     }
 }

@@ -1,0 +1,139 @@
+//! Property-based bit-identity tests for the execution engine.
+//!
+//! The engine's contract is stronger than "numerically close": because every
+//! kernel — serial reference, level-set schedule, cuSPARSE-like schedule,
+//! planned SpMV — reduces each row through the *same* deterministic
+//! lane-split reduction, scheduled execution must be **bit-identical** to
+//! the serial reference for arbitrary matrices, arbitrary tuning thresholds
+//! and both scalar widths. These properties pin that down, including the
+//! degenerate shapes (single level, pure chain, empty rows / DCSR).
+
+use proptest::prelude::*;
+use recblock_kernels::exec::{ExecPool, SpmvPlan, TuneParams};
+use recblock_kernels::spmv;
+use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
+use recblock_matrix::generate;
+use recblock_matrix::levelset::LevelSets;
+use recblock_matrix::{Csr, Dcsr, Scalar};
+
+fn arb_lower() -> impl Strategy<Value = Csr<f64>> {
+    (10usize..200, 0u64..400, 5u32..60)
+        .prop_map(|(n, seed, deg10)| generate::random_lower::<f64>(n, deg10 as f64 / 10.0, seed))
+}
+
+/// Arbitrary engine tuning, spanning everything-fused through
+/// everything-parallel with single-row chunks.
+fn arb_tune() -> impl Strategy<Value = TuneParams> {
+    (1usize..64, 1usize..2048, 1usize..1024).prop_map(|(par_rows, fuse_nnz, chunk_nnz)| {
+        TuneParams { par_rows, fuse_nnz, chunk_nnz, ..TuneParams::default() }
+    })
+}
+
+fn rhs_for<S: Scalar>(n: usize, seed: u64) -> Vec<S> {
+    (0..n)
+        .map(|i| S::from_f64((((i as u64).wrapping_mul(seed + 7) % 83) as f64) / 41.0 - 1.0))
+        .collect()
+}
+
+fn to_f32(l: &Csr<f64>) -> Csr<f32> {
+    Csr::try_new(
+        l.nrows(),
+        l.ncols(),
+        l.row_ptr().to_vec(),
+        l.col_idx().to_vec(),
+        l.vals().iter().map(|&v| v as f32).collect(),
+    )
+    .expect("same structure")
+}
+
+fn check_solvers_bitwise<S: Scalar>(l: Csr<S>, tune: TuneParams, rhs_seed: u64) {
+    let b = rhs_for::<S>(l.nrows(), rhs_seed);
+    let reference = serial_csr(&l, &b).unwrap();
+    let levels = LevelSets::analyse(&l).unwrap();
+
+    let ls = LevelSetSolver::with_tune(l.clone(), levels.clone(), tune);
+    assert_eq!(ls.solve(&b).unwrap(), reference, "level-set vs serial");
+
+    let cu = CusparseLikeSolver::with_levels_tuned(l, levels, tune).unwrap();
+    assert_eq!(cu.solve(&b).unwrap(), reference, "cusparse-like vs serial");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scheduled_solvers_bit_identical_to_serial_f64(
+        l in arb_lower(), tune in arb_tune(), rhs_seed in 0u64..50,
+    ) {
+        check_solvers_bitwise(l, tune, rhs_seed);
+    }
+
+    #[test]
+    fn scheduled_solvers_bit_identical_to_serial_f32(
+        l in arb_lower(), tune in arb_tune(), rhs_seed in 0u64..50,
+    ) {
+        check_solvers_bitwise(to_f32(&l), tune, rhs_seed);
+    }
+
+    #[test]
+    fn planned_spmv_bit_identical_with_empty_rows(
+        nrows in 10usize..150,
+        ncols in 10usize..150,
+        empty10 in 0u32..10,
+        tune in arb_tune(),
+        seed in 0u64..300,
+    ) {
+        // Matrices with empty rows are exactly what DCSR compresses away;
+        // the planned kernels must agree bitwise on both storages.
+        let a = generate::rect_random::<f64>(
+            nrows, ncols, 3.0, empty10 as f64 / 10.0, 1.5, seed,
+        );
+        let x = rhs_for::<f64>(ncols, seed + 1);
+        let pool = ExecPool::global();
+
+        let mut y_ref = rhs_for::<f64>(nrows, seed + 2);
+        let mut y_csr = y_ref.clone();
+        let mut y_dcsr = y_ref.clone();
+
+        spmv::scalar_csr(&a, &x, &mut y_ref).unwrap();
+
+        let plan = SpmvPlan::for_csr(&a, &tune);
+        spmv::csr_update_planned(&a, &plan, &x, &mut y_csr, pool).unwrap();
+        prop_assert_eq!(&y_csr, &y_ref);
+
+        let ad = Dcsr::from_csr(&a);
+        let dplan = SpmvPlan::for_dcsr(&ad, &tune);
+        spmv::dcsr_update_planned(&ad, &dplan, &x, &mut y_dcsr, pool).unwrap();
+        prop_assert_eq!(&y_dcsr, &y_ref);
+    }
+}
+
+#[test]
+fn single_level_matrix_bit_identical() {
+    // A diagonal system collapses to one level; the schedule must still
+    // agree with the serial reference for any tuning.
+    for tune in [
+        TuneParams::default(),
+        TuneParams { par_rows: 1, fuse_nnz: 1, chunk_nnz: 1, ..TuneParams::default() },
+    ] {
+        check_solvers_bitwise(generate::diagonal::<f64>(500, 920), tune, 3);
+    }
+}
+
+#[test]
+fn chain_matrix_bit_identical() {
+    // A pure chain has one row per level — the fully-serial worst case the
+    // coarsening pass fuses into a single run.
+    let tune = TuneParams { par_rows: 4, fuse_nnz: 16, chunk_nnz: 8, ..TuneParams::default() };
+    check_solvers_bitwise(generate::chain::<f64>(800, 921), tune, 5);
+}
+
+#[test]
+fn empty_spmv_plan_is_consistent() {
+    let a = Csr::<f64>::zero(8, 8);
+    let plan = SpmvPlan::for_csr(&a, &TuneParams::default());
+    let x = vec![1.0; 8];
+    let mut y = vec![2.0; 8];
+    spmv::csr_update_planned(&a, &plan, &x, &mut y, ExecPool::global()).unwrap();
+    assert_eq!(y, vec![2.0; 8], "zero matrix must leave y untouched");
+}

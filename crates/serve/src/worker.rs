@@ -3,47 +3,54 @@
 use crate::batch::{Batch, BatchQueue};
 use crate::error::ServeError;
 use crate::metrics::Metrics;
+use recblock::blocked::SolveWorkspace;
 use recblock_kernels::sptrsm::MultiVector;
 use recblock_matrix::Scalar;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
+/// Buffers one worker reuses across batches: the gathered input block, the
+/// solved output block, and the engine's [`SolveWorkspace`]. Whenever the
+/// `(n, k)` shape repeats — the common case of a stream of same-matrix
+/// requests — the steady state allocates nothing but the per-request
+/// response vectors the callers take ownership of.
+struct WorkerBuffers<S> {
+    input: Option<MultiVector<S>>,
+    out: Option<MultiVector<S>>,
+    ws: SolveWorkspace<S>,
+}
+
 pub(crate) fn run<S: Scalar>(queue: Arc<BatchQueue<S>>, metrics: Arc<Metrics>, max_batch: usize) {
-    // Reused across batches whenever the (n, k) shape repeats — the common
-    // case of a stream of same-matrix requests — so the steady state does
-    // not allocate an output block per solve.
-    let mut out: Option<MultiVector<S>> = None;
+    let mut bufs = WorkerBuffers { input: None, out: None, ws: SolveWorkspace::new() };
     while let Some(batch) = queue.next_batch(max_batch) {
-        solve_batch(batch, &metrics, &mut out);
+        solve_batch(batch, &metrics, &mut bufs);
     }
 }
 
-fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, out: &mut Option<MultiVector<S>>) {
+fn ensure_shape<S: Scalar>(slot: &mut Option<MultiVector<S>>, n: usize, k: usize) {
+    if !matches!(slot, Some(m) if m.n() == n && m.k() == k) {
+        *slot = Some(MultiVector::zeros(n, k));
+    }
+}
+
+fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, bufs: &mut WorkerBuffers<S>) {
     let k = batch.requests.len();
     metrics.record_batch(k);
     let n = batch.plan.n();
 
     if k == 1 {
         let req = &batch.requests[0];
-        let result = batch.plan.solve(&req.rhs).map_err(ServeError::from);
+        let result = (|| {
+            let mut x = vec![S::ZERO; n];
+            batch.plan.solve_into(&req.rhs, &mut x, &mut bufs.ws)?;
+            Ok(x)
+        })()
+        .map_err(|e: recblock_matrix::MatrixError| ServeError::from(e));
         finish(metrics, req, result);
         return;
     }
 
-    let mut data = Vec::with_capacity(n * k);
-    for req in &batch.requests {
-        data.extend_from_slice(&req.rhs);
-    }
-    let solved: Result<&MultiVector<S>, ServeError> = (|| {
-        let b = MultiVector::from_columns(n, k, data)?;
-        if !matches!(out, Some(m) if m.n() == n && m.k() == k) {
-            *out = Some(MultiVector::zeros(n, k));
-        }
-        let reuse = out.as_mut().expect("just ensured");
-        batch.plan.solve_multi_into(&b, reuse)?;
-        Ok(&*reuse)
-    })();
-    match solved {
+    match gather_and_solve(&batch, n, k, bufs) {
         Ok(x) => {
             for (j, req) in batch.requests.iter().enumerate() {
                 finish(metrics, req, Ok(x.col(j).to_vec()));
@@ -55,6 +62,33 @@ fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, out: &mut Option<M
             }
         }
     }
+}
+
+fn gather_and_solve<'a, S: Scalar>(
+    batch: &Batch<S>,
+    n: usize,
+    k: usize,
+    bufs: &'a mut WorkerBuffers<S>,
+) -> Result<&'a MultiVector<S>, ServeError> {
+    for req in &batch.requests {
+        if req.rhs.len() != n {
+            return Err(recblock_matrix::MatrixError::DimensionMismatch {
+                what: "batched rhs rows",
+                expected: n,
+                actual: req.rhs.len(),
+            }
+            .into());
+        }
+    }
+    ensure_shape(&mut bufs.input, n, k);
+    let b = bufs.input.as_mut().expect("just ensured");
+    for (j, req) in batch.requests.iter().enumerate() {
+        b.col_mut(j).copy_from_slice(&req.rhs);
+    }
+    ensure_shape(&mut bufs.out, n, k);
+    let reuse = bufs.out.as_mut().expect("just ensured");
+    batch.plan.solve_multi_ws(&*b, reuse, &mut bufs.ws)?;
+    Ok(&*reuse)
 }
 
 fn finish<S: Scalar>(

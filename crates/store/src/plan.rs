@@ -45,6 +45,7 @@ use recblock::trisolver::TriSolver;
 use recblock::BlockedTri;
 use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::{SpmvProfile, TriProfile};
+use recblock_kernels::exec::TuneParams;
 use recblock_kernels::sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::permute::Permutation;
@@ -56,7 +57,11 @@ pub const MAGIC: [u8; 8] = *b"RBSTORE\0";
 /// Format version this build writes and reads. Bump on any layout change;
 /// readers reject other versions with [`StoreError::WrongVersion`] and the
 /// caller rebuilds (see DESIGN.md for the compatibility policy).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 added the execution-engine [`TuneParams`] at the start of the blocked
+/// BODY, so a reloaded plan replans its schedules under the exact tuning it
+/// was built with.
+pub const FORMAT_VERSION: u32 = 2;
 
 const TAG_META: u32 = 1;
 const TAG_BODY: u32 = 2;
@@ -384,6 +389,22 @@ fn get_spmv_profile(r: &mut Reader<'_>) -> Result<SpmvProfile, StoreError> {
     })
 }
 
+fn put_tune(w: &mut Writer, t: TuneParams) {
+    w.put_usize(t.par_rows);
+    w.put_usize(t.fuse_nnz);
+    w.put_usize(t.chunk_nnz);
+    w.put_usize(t.lanes);
+}
+
+fn get_tune(r: &mut Reader<'_>) -> Result<TuneParams, StoreError> {
+    Ok(TuneParams {
+        par_rows: r.usize()?,
+        fuse_nnz: r.usize()?,
+        chunk_nnz: r.usize()?,
+        lanes: r.usize()?,
+    })
+}
+
 fn spmv_kind_tag(k: SpmvKind) -> u8 {
     match k {
         SpmvKind::ScalarCsr => 0,
@@ -436,7 +457,10 @@ fn put_tri_solver<S: Scalar>(w: &mut Writer, s: &TriSolver<S>) {
     }
 }
 
-fn get_tri_solver<S: Scalar>(r: &mut Reader<'_>) -> Result<TriSolver<S>, StoreError> {
+fn get_tri_solver<S: Scalar>(
+    r: &mut Reader<'_>,
+    tune: TuneParams,
+) -> Result<TriSolver<S>, StoreError> {
     Ok(match r.u8()? {
         TRI_DIAG => TriSolver::Diag(get_csr(r)?),
         TRI_LEVELSET => {
@@ -449,7 +473,7 @@ fn get_tri_solver<S: Scalar>(r: &mut Reader<'_>) -> Result<TriSolver<S>, StoreEr
                     l.nrows()
                 )));
             }
-            TriSolver::LevelSet(LevelSetSolver::with_levels(l, levels))
+            TriSolver::LevelSet(LevelSetSolver::with_tune(l, levels, tune))
         }
         TRI_SYNCFREE => {
             let csc = get_csc(r)?;
@@ -459,7 +483,7 @@ fn get_tri_solver<S: Scalar>(r: &mut Reader<'_>) -> Result<TriSolver<S>, StoreEr
         TRI_CUSPARSE => {
             let l = get_csr(r)?;
             let levels = get_levels(r)?;
-            TriSolver::Cusparse(CusparseLikeSolver::with_levels(l, levels)?)
+            TriSolver::Cusparse(CusparseLikeSolver::with_levels_tuned(l, levels, tune)?)
         }
         t => return Err(StoreError::Malformed(format!("unknown tri solver tag {t}"))),
     })
@@ -487,6 +511,7 @@ pub fn encode_plan<S: Scalar>(blocked: &BlockedTri<S>, key: &PlanKey, build_cost
     };
     let mut b = Writer::new();
     b.put_usize_slice(blocked.permutation().forward());
+    put_tune(&mut b, blocked.tune());
     b.put_usize(blocked.nblocks());
     for v in blocked.block_views() {
         b.put_range(&v.rows);
@@ -527,6 +552,7 @@ pub fn decode_plan<S: Scalar>(bytes: &[u8]) -> Result<(PlanMeta, BlockedTri<S>),
 fn decode_plan_body<S: Scalar>(meta: &PlanMeta, body: &[u8]) -> Result<BlockedTri<S>, StoreError> {
     let mut r = Reader::new(body, "body section");
     let perm = Permutation::from_forward(r.usize_vec()?)?;
+    let tune = get_tune(&mut r)?;
     let nblocks = r.usize()?;
     if nblocks != meta.nblocks {
         return Err(StoreError::Malformed(format!(
@@ -540,7 +566,7 @@ fn decode_plan_body<S: Scalar>(meta: &PlanMeta, body: &[u8]) -> Result<BlockedTr
         let cols = r.range()?;
         let kind = match r.u8()? {
             BLOCK_TRI => {
-                let solver = get_tri_solver(&mut r)?;
+                let solver = get_tri_solver(&mut r, tune)?;
                 let profile = get_tri_profile(&mut r)?;
                 BlockPartsKind::Tri { solver, profile }
             }
@@ -552,14 +578,14 @@ fn decode_plan_body<S: Scalar>(meta: &PlanMeta, body: &[u8]) -> Result<BlockedTr
                     t => return Err(StoreError::Malformed(format!("unknown storage tag {t}"))),
                 };
                 let profile = get_spmv_profile(&mut r)?;
-                BlockPartsKind::Square(SqSolver::from_parts(kind, storage, profile)?)
+                BlockPartsKind::Square(SqSolver::from_parts_tuned(kind, storage, profile, tune)?)
             }
             t => return Err(StoreError::Malformed(format!("unknown block tag {t}"))),
         };
         blocks.push(BlockParts { rows, cols, kind });
     }
     r.finish()?;
-    let parts = BlockedTriParts { n: meta.n, nnz: meta.nnz, depth: meta.depth, perm, blocks };
+    let parts = BlockedTriParts { n: meta.n, nnz: meta.nnz, depth: meta.depth, perm, tune, blocks };
     Ok(BlockedTri::from_parts(parts)?)
 }
 
