@@ -15,6 +15,7 @@
 
 use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule, SolveWorkspace};
 use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
+use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{generate, Csr};
 use std::fmt::Write as _;
@@ -75,6 +76,62 @@ struct MatrixReport {
     nnz: usize,
     nlevels: usize,
     kernels: Vec<(&'static str, f64)>,
+    /// `(stage label, events, total ns)` from one traced `recblock` solve,
+    /// largest total first. Collected in a separate pass so the timing
+    /// loops above run with tracing off.
+    trace: Vec<(String, u64, u64)>,
+}
+
+/// Run one traced blocked solve and fold the event stream into per-stage
+/// totals. `BlockTri` events are attributed to the kernel the selector
+/// chose for that block (via the plan's [`SelectionReport`]), so the
+/// breakdown reads `block_tri:level-set` rather than an opaque block index.
+fn trace_blocked_solve(
+    blocked: &BlockedTri<f64>,
+    b: &[f64],
+    x: &mut [f64],
+    ws: &mut SolveWorkspace<f64>,
+) -> Vec<(String, u64, u64)> {
+    SolveTrace::enable();
+    SolveTrace::reset();
+    blocked.solve_into(b, x, ws).unwrap();
+    let events = SolveTrace::drain();
+    SolveTrace::disable();
+
+    let report = blocked.selection_report();
+    let mut agg: Vec<(String, u64, u64)> = Vec::new();
+    for e in &events {
+        let label = match e.kind {
+            EventKind::BlockTri => {
+                let kernel = report
+                    .blocks
+                    .iter()
+                    .find(|d| d.index == e.id as usize)
+                    .map(|d| d.kernel_name())
+                    .unwrap_or("unknown");
+                format!("block_tri:{kernel}")
+            }
+            EventKind::BlockSquare => {
+                let kernel = report
+                    .blocks
+                    .iter()
+                    .find(|d| d.index == e.id as usize)
+                    .map(|d| d.kernel_name())
+                    .unwrap_or("unknown");
+                format!("block_square:{kernel}")
+            }
+            k => k.name().to_string(),
+        };
+        match agg.iter_mut().find(|(l, _, _)| *l == label) {
+            Some(slot) => {
+                slot.1 += 1;
+                slot.2 += e.ns;
+            }
+            None => agg.push((label, 1, e.ns)),
+        }
+    }
+    agg.sort_by_key(|a| std::cmp::Reverse(a.2));
+    agg
 }
 
 fn main() {
@@ -122,6 +179,10 @@ fn main() {
             median_ns(|| blocked.solve_into(&b, black_box(&mut x), &mut ws).unwrap()),
         ));
 
+        // Separate traced pass, after every timing loop: the medians above
+        // are measured with tracing disabled.
+        let trace = trace_blocked_solve(&blocked, &b, &mut x, &mut ws);
+
         let get = |k: &str| kernels.iter().find(|(kk, _)| *kk == k).unwrap().1;
         println!("{name}: n={n} nnz={} levels={nlevels}", l.nnz());
         for (k, ns) in &kernels {
@@ -135,8 +196,12 @@ fn main() {
             "  speedup cusparse_like legacy/engine: {:.2}x",
             get("cusparse_like_legacy") / get("cusparse_like_engine")
         );
+        println!("  recblock stage breakdown (one traced solve):");
+        for (label, count, ns) in &trace {
+            println!("    {label:<28} {count:>5} events {ns:>12} ns");
+        }
 
-        reports.push(MatrixReport { name, n, nnz: l.nnz(), nlevels, kernels });
+        reports.push(MatrixReport { name, n, nnz: l.nnz(), nlevels, kernels, trace });
     }
 
     let mut json = String::from("{\n  \"unit\": \"ns_per_solve\",\n  \"matrices\": [\n");
@@ -153,6 +218,17 @@ fn main() {
                 k,
                 ns,
                 if ki + 1 < r.kernels.len() { ", " } else { "" }
+            );
+        }
+        let _ = write!(json, "}}, \"trace\": {{");
+        for (ti, (label, count, ns)) in r.trace.iter().enumerate() {
+            let _ = write!(
+                json,
+                "\"{}\": {{\"events\": {}, \"ns\": {}}}{}",
+                label,
+                count,
+                ns,
+                if ti + 1 < r.trace.len() { ", " } else { "" }
             );
         }
         let _ = writeln!(json, "}}}}{}", if mi + 1 < reports.len() { "," } else { "" });

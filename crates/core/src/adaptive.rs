@@ -101,6 +101,167 @@ impl Thresholds {
             SpmvKind::VectorDcsr
         }
     }
+
+    /// As [`Thresholds::select_tri`], returning the full decision trail: the
+    /// chosen kernel, the threshold that decided it, the comparison that
+    /// fired, and the kernels rejected on the way. Always agrees with
+    /// `select_tri` on the chosen kernel.
+    pub fn explain_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriDecision {
+        let rejected = |chosen: TriKernel| {
+            ALL_TRI.iter().copied().filter(|k| *k != chosen).collect::<Vec<_>>()
+        };
+        if nlevels <= 1 {
+            TriDecision {
+                chosen: TriKernel::CompletelyParallel,
+                threshold: "nlevels",
+                rule: format!("nlevels={nlevels} <= 1: block is purely diagonal"),
+                rejected: rejected(TriKernel::CompletelyParallel),
+            }
+        } else if nlevels > self.cusparse_levels {
+            TriDecision {
+                chosen: TriKernel::CusparseLike,
+                threshold: "cusparse_levels",
+                rule: format!("nlevels={nlevels} > cusparse_levels={}", self.cusparse_levels),
+                rejected: rejected(TriKernel::CusparseLike),
+            }
+        } else if nnz_per_row <= 1.0 + 1e-9 && nlevels <= self.levelset_unit_levels {
+            TriDecision {
+                chosen: TriKernel::LevelSet,
+                threshold: "levelset_unit_levels",
+                rule: format!(
+                    "nnz/row={nnz_per_row:.2} <= 1 (unit rows) and nlevels={nlevels} <= \
+                     levelset_unit_levels={}",
+                    self.levelset_unit_levels
+                ),
+                rejected: rejected(TriKernel::LevelSet),
+            }
+        } else if nnz_per_row <= self.levelset_nnz_per_row && nlevels <= self.levelset_levels {
+            TriDecision {
+                chosen: TriKernel::LevelSet,
+                threshold: "levelset_levels",
+                rule: format!(
+                    "nnz/row={nnz_per_row:.2} <= levelset_nnz_per_row={} and nlevels={nlevels} \
+                     <= levelset_levels={}",
+                    self.levelset_nnz_per_row, self.levelset_levels
+                ),
+                rejected: rejected(TriKernel::LevelSet),
+            }
+        } else {
+            // Level-set lost on rows or on depth; name the comparison that
+            // knocked it out.
+            let (threshold, why) = if nnz_per_row > self.levelset_nnz_per_row {
+                (
+                    "levelset_nnz_per_row",
+                    format!(
+                        "nnz/row={nnz_per_row:.2} > levelset_nnz_per_row={}",
+                        self.levelset_nnz_per_row
+                    ),
+                )
+            } else {
+                (
+                    "levelset_levels",
+                    format!("nlevels={nlevels} > levelset_levels={}", self.levelset_levels),
+                )
+            };
+            TriDecision {
+                chosen: TriKernel::SyncFree,
+                threshold,
+                rule: format!(
+                    "{why} and nlevels={nlevels} <= cusparse_levels={}",
+                    self.cusparse_levels
+                ),
+                rejected: rejected(TriKernel::SyncFree),
+            }
+        }
+    }
+
+    /// As [`Thresholds::select_spmv`], returning the full decision trail.
+    /// Always agrees with `select_spmv` on the chosen kernel.
+    pub fn explain_spmv(&self, nnz_per_row: f64, empty_ratio: f64) -> SpmvDecision {
+        let rejected = |chosen: SpmvKind| {
+            SpmvKind::ALL.iter().copied().filter(|k| *k != chosen).collect::<Vec<_>>()
+        };
+        let (chosen, threshold, rule) = if nnz_per_row <= self.spmv_nnz_per_row {
+            if empty_ratio <= self.scalar_empty_ratio {
+                (
+                    SpmvKind::ScalarCsr,
+                    "scalar_empty_ratio",
+                    format!(
+                        "nnz/row={nnz_per_row:.2} <= spmv_nnz_per_row={} (scalar) and \
+                         emptyratio={empty_ratio:.2} <= scalar_empty_ratio={} (CSR)",
+                        self.spmv_nnz_per_row, self.scalar_empty_ratio
+                    ),
+                )
+            } else {
+                (
+                    SpmvKind::ScalarDcsr,
+                    "scalar_empty_ratio",
+                    format!(
+                        "nnz/row={nnz_per_row:.2} <= spmv_nnz_per_row={} (scalar) and \
+                         emptyratio={empty_ratio:.2} > scalar_empty_ratio={} (DCSR)",
+                        self.spmv_nnz_per_row, self.scalar_empty_ratio
+                    ),
+                )
+            }
+        } else if empty_ratio <= self.vector_empty_ratio {
+            (
+                SpmvKind::VectorCsr,
+                "vector_empty_ratio",
+                format!(
+                    "nnz/row={nnz_per_row:.2} > spmv_nnz_per_row={} (vector) and \
+                     emptyratio={empty_ratio:.2} <= vector_empty_ratio={} (CSR)",
+                    self.spmv_nnz_per_row, self.vector_empty_ratio
+                ),
+            )
+        } else {
+            (
+                SpmvKind::VectorDcsr,
+                "vector_empty_ratio",
+                format!(
+                    "nnz/row={nnz_per_row:.2} > spmv_nnz_per_row={} (vector) and \
+                     emptyratio={empty_ratio:.2} > vector_empty_ratio={} (DCSR)",
+                    self.spmv_nnz_per_row, self.vector_empty_ratio
+                ),
+            )
+        };
+        SpmvDecision { chosen, threshold, rule, rejected: rejected(chosen) }
+    }
+}
+
+const ALL_TRI: [TriKernel; 4] = [
+    TriKernel::CompletelyParallel,
+    TriKernel::LevelSet,
+    TriKernel::SyncFree,
+    TriKernel::CusparseLike,
+];
+
+/// One explained SpTRSV kernel selection (Algorithm 7 with its working
+/// shown): what was chosen, which threshold decided it, the comparison that
+/// fired, and what lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriDecision {
+    /// The kernel Algorithm 7 picked.
+    pub chosen: TriKernel,
+    /// Name of the [`Thresholds`] field whose comparison decided the branch.
+    pub threshold: &'static str,
+    /// Human-readable statement of the comparison, with observed values.
+    pub rule: String,
+    /// The candidates that lost.
+    pub rejected: Vec<TriKernel>,
+}
+
+/// One explained SpMV kernel selection (square blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvDecision {
+    /// The kernel Algorithm 7 picked (possibly amended by build-time
+    /// overrides — see the rule text).
+    pub chosen: SpmvKind,
+    /// Name of the [`Thresholds`] field whose comparison decided the branch.
+    pub threshold: &'static str,
+    /// Human-readable statement of the comparison, with observed values.
+    pub rule: String,
+    /// The candidates that lost.
+    pub rejected: Vec<SpmvKind>,
 }
 
 /// How the blocked solver picks kernels per block.
@@ -140,6 +301,50 @@ impl Selector {
         match self {
             Selector::Adaptive(t) => t.select_spmv(nnz_per_row, empty_ratio),
             Selector::Fixed(_, k) => *k,
+        }
+    }
+
+    /// As [`Selector::tri`] with the decision trail. Always agrees with
+    /// `tri` on the chosen kernel.
+    pub fn explain_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriDecision {
+        match self {
+            Selector::Adaptive(t) => t.explain_tri(nnz_per_row, nlevels),
+            Selector::Fixed(k, _) => {
+                if nlevels <= 1 {
+                    TriDecision {
+                        chosen: TriKernel::CompletelyParallel,
+                        threshold: "nlevels",
+                        rule: format!(
+                            "nlevels={nlevels} <= 1: diagonal block (fixed selector still takes \
+                             the trivial kernel)"
+                        ),
+                        rejected: vec![*k],
+                    }
+                } else {
+                    TriDecision {
+                        chosen: *k,
+                        threshold: "fixed",
+                        rule: "fixed selector (ablation): kernel forced, no thresholds consulted"
+                            .to_string(),
+                        rejected: ALL_TRI.iter().copied().filter(|c| c != k).collect(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// As [`Selector::spmv`] with the decision trail. Always agrees with
+    /// `spmv` on the chosen kernel.
+    pub fn explain_spmv(&self, nnz_per_row: f64, empty_ratio: f64) -> SpmvDecision {
+        match self {
+            Selector::Adaptive(t) => t.explain_spmv(nnz_per_row, empty_ratio),
+            Selector::Fixed(_, k) => SpmvDecision {
+                chosen: *k,
+                threshold: "fixed",
+                rule: "fixed selector (ablation): kernel forced, no thresholds consulted"
+                    .to_string(),
+                rejected: SpmvKind::ALL.iter().copied().filter(|c| c != k).collect(),
+            },
         }
     }
 }
@@ -256,6 +461,50 @@ mod tests {
         assert_eq!(s.spmv(2.0, 0.9), SpmvKind::VectorCsr);
         // Diagonal blocks still take the trivial kernel.
         assert_eq!(s.tri(1.0, 1), TriKernel::CompletelyParallel);
+    }
+
+    #[test]
+    fn explain_agrees_with_select_everywhere() {
+        let t = Thresholds::default();
+        for &npr in &[0.5, 1.0, 1.0 + 1e-10, 2.0, 8.0, 12.0, 15.0, 15.1, 40.0] {
+            for &nlv in &[0usize, 1, 2, 20, 21, 80, 100, 101, 150, 20_000, 20_001, 50_000] {
+                let d = t.explain_tri(npr, nlv);
+                assert_eq!(d.chosen, t.select_tri(npr, nlv), "npr={npr} nlv={nlv}");
+                assert_eq!(d.rejected.len(), 3);
+                assert!(!d.rejected.contains(&d.chosen));
+                assert!(!d.rule.is_empty() && !d.threshold.is_empty());
+            }
+            for &er in &[0.0, 0.15, 0.16, 0.5, 0.51, 0.9] {
+                let d = t.explain_spmv(npr, er);
+                assert_eq!(d.chosen, t.select_spmv(npr, er), "npr={npr} er={er}");
+                assert_eq!(d.rejected.len(), 3);
+                assert!(!d.rejected.contains(&d.chosen));
+            }
+        }
+    }
+
+    #[test]
+    fn explain_names_the_deciding_threshold() {
+        let t = Thresholds::default();
+        assert_eq!(t.explain_tri(3.0, 50_000).threshold, "cusparse_levels");
+        assert_eq!(t.explain_tri(1.0, 80).threshold, "levelset_unit_levels");
+        assert_eq!(t.explain_tri(8.0, 10).threshold, "levelset_levels");
+        // Sync-free because the rows are too heavy for level-set…
+        assert_eq!(t.explain_tri(40.0, 10).threshold, "levelset_nnz_per_row");
+        // …or because the level count is too deep.
+        assert_eq!(t.explain_tri(8.0, 500).threshold, "levelset_levels");
+        assert_eq!(t.explain_spmv(5.0, 0.8).threshold, "scalar_empty_ratio");
+        assert_eq!(t.explain_spmv(30.0, 0.1).threshold, "vector_empty_ratio");
+    }
+
+    #[test]
+    fn fixed_selector_explains_as_forced() {
+        let s = Selector::Fixed(TriKernel::SyncFree, SpmvKind::VectorCsr);
+        let d = s.explain_tri(2.0, 5);
+        assert_eq!(d.chosen, TriKernel::SyncFree);
+        assert_eq!(d.threshold, "fixed");
+        assert_eq!(s.explain_tri(1.0, 1).chosen, TriKernel::CompletelyParallel);
+        assert_eq!(s.explain_spmv(2.0, 0.9).chosen, SpmvKind::VectorCsr);
     }
 
     #[test]

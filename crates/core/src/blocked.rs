@@ -16,6 +16,7 @@
 //! and scatters the solution back.
 
 use crate::adaptive::{Selector, TriKernel};
+use crate::explain::{self, BlockDecision, BlockDecisionKind, LevelShape, SelectionReport};
 use crate::partition::{self, PlanNode};
 use crate::report::{SimBreakdown, SolveBreakdown};
 use crate::sqsolver::SqSolver;
@@ -25,10 +26,11 @@ use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::TriProfile;
 use recblock_gpu_sim::{CostParams, DeviceSpec, KernelTime};
 use recblock_kernels::exec::TuneParams;
+use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_matrix::permute::Permutation;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 use std::ops::Range;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub use recblock_kernels::exec::SolveWorkspace;
 
@@ -223,6 +225,7 @@ pub struct BlockedTri<S> {
     tune: TuneParams,
     blocks: Vec<Block<S>>,
     traffic: TrafficCounts,
+    report: SelectionReport,
 }
 
 impl<S: Scalar> BlockedTri<S> {
@@ -234,11 +237,13 @@ impl<S: Scalar> BlockedTri<S> {
             DepthRule::Auto(dev) => partition::depth_for(n, dev.min_block_rows()),
             DepthRule::Fixed(d) => *d,
         };
+        let t_reorder = Instant::now();
         let (matrix, perm) = if opts.reorder {
             crate::reorder::recursive_levelset_reorder(l, depth)?
         } else {
             (l.clone(), Permutation::identity(n))
         };
+        let reorder_time = opts.reorder.then(|| t_reorder.elapsed());
         let plan = partition::recursive_plan(n, depth);
         let mut traffic = TrafficCounts::default();
         for node in &plan {
@@ -278,7 +283,17 @@ impl<S: Scalar> BlockedTri<S> {
                 }
             })
             .collect::<Result<_, _>>()?;
-        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, tune: opts.tune, blocks, traffic })
+        let report = make_report(
+            n,
+            l.nnz(),
+            depth,
+            &blocks,
+            &opts.selector,
+            Some(opts.allow_dcsr),
+            reorder_time,
+            false,
+        );
+        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, tune: opts.tune, blocks, traffic, report })
     }
 
     /// Rows of the system.
@@ -314,6 +329,12 @@ impl<S: Scalar> BlockedTri<S> {
     /// Dense-counted traffic of one solve (Tables 1–2 accounting).
     pub fn traffic(&self) -> TrafficCounts {
         self.traffic
+    }
+
+    /// The per-block kernel-selection report recorded when this plan was
+    /// built (or re-derived when it was reloaded from persisted parts).
+    pub fn selection_report(&self) -> &SelectionReport {
+        &self.report
     }
 
     /// Structural summaries of every block in execution order — the
@@ -429,7 +450,11 @@ impl<S: Scalar> BlockedTri<S> {
                 actual: block_nnz,
             });
         }
-        Ok(BlockedTri { n, nnz, depth, perm, tune, blocks: out, traffic })
+        // The original selector and options are not persisted: re-derive the
+        // decision trail with the defaults and let the reconciliation in
+        // `explain` note any block where the stored kernel disagrees.
+        let report = make_report(n, nnz, depth, &out, &Selector::default(), None, None, true);
+        Ok(BlockedTri { n, nnz, depth, perm, tune, blocks: out, traffic, report })
     }
 
     /// Which kernels the selection assigned, per block count.
@@ -471,23 +496,42 @@ impl<S: Scalar> BlockedTri<S> {
         }
         let (work, x) = ws.pair(self.n);
         // Gather b into the reordered space.
+        let t0 = SolveTrace::start();
         for (new, &old) in self.perm.forward().iter().enumerate() {
             work[new] = b[old];
         }
-        for block in &self.blocks {
+        SolveTrace::finish(t0, EventKind::Gather, 0, self.n as u32, 0);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let t0 = SolveTrace::start();
             match &block.data {
                 BlockData::Tri { solver, .. } => {
                     solver.solve_into(&work[block.rows.clone()], &mut x[block.rows.clone()])?;
+                    SolveTrace::finish(
+                        t0,
+                        EventKind::BlockTri,
+                        bi as u32,
+                        block.rows.len() as u32,
+                        0,
+                    );
                 }
                 BlockData::Square(sq) => {
                     sq.apply(&x[block.cols.clone()], &mut work[block.rows.clone()])?;
+                    SolveTrace::finish(
+                        t0,
+                        EventKind::BlockSquare,
+                        bi as u32,
+                        block.rows.len() as u32,
+                        sq.plan().nchunks().min(u16::MAX as usize) as u16,
+                    );
                 }
             }
         }
         // Scatter back to the original ordering.
+        let t0 = SolveTrace::start();
         for (new, &old) in self.perm.forward().iter().enumerate() {
             x_out[old] = x[new];
         }
+        SolveTrace::finish(t0, EventKind::Scatter, 0, self.n as u32, 0);
         Ok(())
     }
 
@@ -669,6 +713,54 @@ impl<S: Scalar> BlockedTri<S> {
     pub fn simulated_prep_time(&self, params: &CostParams) -> f64 {
         recblock_gpu_sim::cost::block_prep_time(self.nnz, params)
     }
+}
+
+/// Assemble the explainability report for a built (or reloaded) block list.
+/// `allow_dcsr = None` and `derived = true` mark a persisted plan whose
+/// original options are unknown.
+#[allow(clippy::too_many_arguments)]
+fn make_report<S: Scalar>(
+    n: usize,
+    nnz: usize,
+    depth: usize,
+    blocks: &[Block<S>],
+    selector: &Selector,
+    allow_dcsr: Option<bool>,
+    reorder_time: Option<Duration>,
+    derived: bool,
+) -> SelectionReport {
+    let decisions = blocks
+        .iter()
+        .enumerate()
+        .map(|(index, b)| match &b.data {
+            BlockData::Tri { solver, profile } => BlockDecision {
+                index,
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+                nnz: solver.nnz(),
+                kind: BlockDecisionKind::Tri {
+                    decision: explain::tri_decision(selector, profile, solver.kernel()),
+                    nnz_per_row: profile.nnz_per_row(),
+                    nlevels: profile.nlevels(),
+                    shape: LevelShape::from_level_rows(&profile.level_rows),
+                    schedule: solver.schedule_stats(),
+                },
+            },
+            BlockData::Square(sq) => BlockDecision {
+                index,
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+                nnz: sq.profile().nnz,
+                kind: BlockDecisionKind::Square {
+                    decision: explain::spmv_decision(selector, sq.profile(), sq.kind(), allow_dcsr),
+                    nnz_per_row: sq.profile().nnz_per_row(),
+                    empty_ratio: sq.profile().empty_ratio(),
+                    nchunks: sq.plan().nchunks(),
+                },
+            },
+        })
+        .collect();
+    SelectionReport { n, nnz, depth, reorder_time, derived, blocks: decisions }
 }
 
 fn bump_tri(v: &mut Vec<(TriKernel, usize)>, k: TriKernel) {
@@ -901,6 +993,22 @@ mod tests {
         // Bit-identical: the rebuilt structure holds the same matrices and
         // schedules, so the arithmetic runs in exactly the same order.
         assert_eq!(rebuilt.solve(&b).unwrap(), s.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn from_parts_report_is_derived_but_names_stored_kernels() {
+        let l = generate::kkt_like::<f64>(1000, 400, 3, 74);
+        let s = BlockedTri::build(&l, &opts(3)).unwrap();
+        let rebuilt = BlockedTri::from_parts(parts_of(&s)).unwrap();
+        let (orig, derived) = (s.selection_report(), rebuilt.selection_report());
+        assert!(!orig.derived && derived.derived);
+        assert!(derived.reorder_time.is_none(), "reorder cost is not persisted");
+        assert_eq!(orig.blocks.len(), derived.blocks.len());
+        // The derived report must agree on every chosen kernel (it is
+        // reconciled against the stored solvers, whatever the thresholds).
+        for (a, b) in orig.blocks.iter().zip(&derived.blocks) {
+            assert_eq!(a.kernel_name(), b.kernel_name(), "block {}", a.index);
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@
 pub mod adaptive;
 pub mod blocked;
 pub mod column;
+pub mod explain;
 pub mod packed;
 pub mod partition;
 pub mod precond;
@@ -62,5 +63,6 @@ pub mod upper;
 
 pub use adaptive::{Selector, TriKernel};
 pub use blocked::{BlockedOptions, BlockedTri, DepthRule};
+pub use explain::SelectionReport;
 pub use solver::{RecBlockSolver, SolverOptions};
 pub use traffic::TrafficCounts;

@@ -112,6 +112,15 @@ impl<S: Scalar> RecBlockSolver<S> {
         self.blocked.census()
     }
 
+    /// The kernel-selection report: per block, the Algorithm 7 input
+    /// statistics, the kernel chosen, the candidates rejected and the
+    /// threshold that decided it, plus the level-set shape of triangular
+    /// blocks and the plan-wide reorder cost
+    /// ([`BlockedTri::selection_report`]).
+    pub fn explain(&self) -> &crate::explain::SelectionReport {
+        self.blocked.selection_report()
+    }
+
     /// Dense-counted traffic per solve.
     pub fn traffic(&self) -> TrafficCounts {
         self.blocked.traffic()
@@ -208,5 +217,26 @@ mod tests {
         let solver = RecBlockSolver::new(&l, opts()).unwrap();
         assert!(!solver.census().tri.is_empty());
         assert!(solver.traffic().b_updates >= 1024);
+    }
+
+    #[test]
+    fn explain_names_kernel_and_threshold_for_every_block() {
+        let l = generate::kkt_like::<f64>(1024, 400, 3, 75);
+        let solver = RecBlockSolver::new(&l, opts()).unwrap();
+        let report = solver.explain();
+        assert_eq!(report.blocks.len(), solver.blocked().nblocks());
+        assert!(!report.derived);
+        assert!(report.reorder_time.is_some());
+        for b in &report.blocks {
+            assert!(!b.kernel_name().is_empty());
+            assert!(!b.threshold().is_empty());
+        }
+        // The rendered report mentions every chosen kernel and threshold.
+        let text = format!("{report}");
+        for b in &report.blocks {
+            assert!(text.contains(b.kernel_name()), "missing {} in\n{text}", b.kernel_name());
+            assert!(text.contains(b.threshold()), "missing {} in\n{text}", b.threshold());
+        }
+        assert!(report.detail().contains("rows/level histogram"));
     }
 }

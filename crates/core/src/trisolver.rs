@@ -7,6 +7,7 @@ use recblock_kernels::exec::{ExecPool, TuneParams};
 use recblock_kernels::sptrsv::{
     parallel_diag, parallel_diag_into, CusparseLikeSolver, LevelSetSolver, SyncFreeSolver,
 };
+use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
 
@@ -115,6 +116,17 @@ impl<S: Scalar> TriSolver<S> {
         }
     }
 
+    /// `(runs, parallel launches)` of the preplanned engine schedule, for
+    /// the schedule-based variants (level-set, cuSPARSE-like). `None` for
+    /// the diagonal and sync-free variants, which have no level schedule.
+    pub fn schedule_stats(&self) -> Option<(usize, usize)> {
+        match self {
+            TriSolver::LevelSet(s) => Some((s.schedule().nruns(), s.schedule().nparallel())),
+            TriSolver::Cusparse(s) => Some((s.schedule().nruns(), s.schedule().nparallel())),
+            TriSolver::Diag(_) | TriSolver::SyncFree(_) => None,
+        }
+    }
+
     /// Solve `L x = b` for this block.
     pub fn solve(&self, b: &[S]) -> Result<Vec<S>, MatrixError> {
         match self {
@@ -136,6 +148,7 @@ impl<S: Scalar> TriSolver<S> {
             TriSolver::Diag(l) => parallel_diag_into(l, b, x, ExecPool::global()),
             TriSolver::LevelSet(s) => s.solve_into(b, x),
             TriSolver::SyncFree(s) => {
+                let t0 = SolveTrace::start();
                 let v = s.solve(b)?;
                 if x.len() != v.len() {
                     return Err(MatrixError::DimensionMismatch {
@@ -145,6 +158,7 @@ impl<S: Scalar> TriSolver<S> {
                     });
                 }
                 x.copy_from_slice(&v);
+                SolveTrace::finish(t0, EventKind::SyncFreeKernel, 0, v.len() as u32, 0);
                 Ok(())
             }
             TriSolver::Cusparse(s) => s.solve_into(b, x),

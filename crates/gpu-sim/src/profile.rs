@@ -167,7 +167,9 @@ impl SpmvProfile {
         if self.nrows == 0 {
             0.0
         } else {
-            (self.nrows - self.lanes) as f64 / self.nrows as f64
+            // Saturate: hand-built (or corrupt-file-decoded) profiles can
+            // claim more populated lanes than rows.
+            self.nrows.saturating_sub(self.lanes) as f64 / self.nrows as f64
         }
     }
 

@@ -21,6 +21,7 @@
 //! * [`SolveWorkspace`] — reusable gather/scatter buffers for the blocked
 //!   executor and multi-RHS batches.
 
+use crate::trace::{EventKind, SolveTrace};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, Scalar};
 use std::ops::Range;
@@ -300,6 +301,7 @@ impl ExecPool {
             }
             return;
         };
+        let t0 = SolveTrace::start();
         // SAFETY (lifetime erasure): `run` does not return until `pending`
         // reaches zero, i.e. until no worker can touch the pointer again
         // (stale-epoch claims fail on the tagged cursor), so the borrow
@@ -330,6 +332,14 @@ impl ExecPool {
             g = self.shared.done_cv.wait(g).expect("pool condvar");
         }
         g.task = None;
+        drop(g);
+        SolveTrace::finish(
+            t0,
+            EventKind::PoolDispatch,
+            njobs.min(IDX_MASK as usize) as u32,
+            njobs.min(u32::MAX as usize) as u32,
+            njobs.min(u16::MAX as usize) as u16,
+        );
     }
 }
 
@@ -503,13 +513,21 @@ impl LevelSchedule {
         debug_assert_eq!(b.len(), x.len());
         debug_assert_eq!(x.len(), self.rows.len());
         let xp = SendPtr(x.as_mut_ptr());
-        for run in &self.runs {
+        for (ri, run) in self.runs.iter().enumerate() {
+            let t0 = SolveTrace::start();
             match run {
                 Run::Serial { rows } => {
                     for &i in &self.rows[rows.start as usize..rows.end as usize] {
                         let i = i as usize;
                         x[i] = solve_row(l, b, x, i);
                     }
+                    SolveTrace::finish(
+                        t0,
+                        EventKind::SerialRun,
+                        ri as u32,
+                        rows.end - rows.start,
+                        0,
+                    );
                 }
                 Run::Parallel { chunks } => {
                     let bounds = &self.chunk_ptr[chunks.start as usize..chunks.end as usize];
@@ -529,6 +547,14 @@ impl LevelSchedule {
                             };
                         }
                     });
+                    let nrows = bounds[nchunks] - bounds[0];
+                    SolveTrace::finish(
+                        t0,
+                        EventKind::ParallelRun,
+                        ri as u32,
+                        nrows,
+                        nchunks.min(u16::MAX as usize) as u16,
+                    );
                 }
             }
         }

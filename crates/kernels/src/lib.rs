@@ -38,6 +38,8 @@ pub mod krylov;
 pub mod spmv;
 pub mod sptrsm;
 pub mod sptrsv;
+pub mod trace;
 
 pub use exec::{ExecPool, LevelSchedule, SolveWorkspace, SpmvPlan, TuneParams};
 pub use sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
+pub use trace::{EventKind, SolveTrace, TraceEvent};

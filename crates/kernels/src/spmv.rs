@@ -24,6 +24,7 @@
 //! disjoint `y` sub-slices in place on the persistent [`ExecPool`].
 
 use crate::exec::{row_dot, ExecPool, SendPtr, SpmvPlan};
+use crate::trace::{EventKind, SolveTrace};
 use rayon::prelude::*;
 use recblock_matrix::{Csr, Dcsr, MatrixError, Scalar};
 
@@ -155,11 +156,13 @@ pub fn csr_update_planned<S: Scalar>(
             actual: plan.len(),
         });
     }
+    let t0 = SolveTrace::start();
     if plan.nchunks() <= 1 {
         for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = a.row(i);
             *yi -= row_dot(cols, vals, x);
         }
+        SolveTrace::finish(t0, EventKind::SpmvCsr, 0, a.nrows() as u32, 0);
         return Ok(());
     }
     let bounds = plan.bounds();
@@ -172,6 +175,13 @@ pub fn csr_update_planned<S: Scalar>(
             unsafe { *yp.ptr().add(i) -= row_dot(cols, vals, x) };
         }
     });
+    SolveTrace::finish(
+        t0,
+        EventKind::SpmvCsr,
+        0,
+        a.nrows() as u32,
+        plan.nchunks().min(u16::MAX as usize) as u16,
+    );
     Ok(())
 }
 
@@ -193,11 +203,13 @@ pub fn dcsr_update_planned<S: Scalar>(
             actual: plan.len(),
         });
     }
+    let t0 = SolveTrace::start();
     if plan.nchunks() <= 1 {
         for k in 0..a.n_lanes() {
             let (row, cols, vals) = a.lane(k);
             y[row] -= row_dot(cols, vals, x);
         }
+        SolveTrace::finish(t0, EventKind::SpmvDcsr, 0, a.n_lanes() as u32, 0);
         return Ok(());
     }
     let bounds = plan.bounds();
@@ -210,6 +222,13 @@ pub fn dcsr_update_planned<S: Scalar>(
             unsafe { *yp.ptr().add(row) -= row_dot(cols, vals, x) };
         }
     });
+    SolveTrace::finish(
+        t0,
+        EventKind::SpmvDcsr,
+        0,
+        a.n_lanes() as u32,
+        plan.nchunks().min(u16::MAX as usize) as u16,
+    );
     Ok(())
 }
 

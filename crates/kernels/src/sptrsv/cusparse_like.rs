@@ -22,6 +22,7 @@
 //! nnz-balanced chunks. The hot path allocates nothing.
 
 use crate::exec::{ExecPool, LevelSchedule, TuneParams};
+use crate::trace::{EventKind, SolveTrace};
 use rayon::prelude::*;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
@@ -142,7 +143,15 @@ impl<S: Scalar> CusparseLikeSolver<S> {
                 actual: b.len().min(x.len()),
             });
         }
+        let t0 = SolveTrace::start();
         self.sched.solve_into(&self.l, b, x, ExecPool::global());
+        SolveTrace::finish(
+            t0,
+            EventKind::CusparseKernel,
+            0,
+            self.l.nrows() as u32,
+            self.sched.nparallel().min(u16::MAX as usize) as u16,
+        );
         Ok(())
     }
 

@@ -9,6 +9,7 @@
 //! reference because every row reduces through [`crate::exec::row_dot`].
 
 use crate::exec::{ExecPool, LevelSchedule, TuneParams};
+use crate::trace::{EventKind, SolveTrace};
 use rayon::prelude::*;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{Csr, MatrixError, Scalar};
@@ -91,9 +92,7 @@ impl<S: Scalar> LevelSetSolver<S> {
     /// path: it executes the preplanned schedule on the global [`ExecPool`]
     /// and performs **zero heap allocations**.
     pub fn solve_into(&self, b: &[S], x: &mut [S]) -> Result<(), MatrixError> {
-        self.check_buffers(b, x)?;
-        self.sched.solve_into(&self.l, b, x, ExecPool::global());
-        Ok(())
+        self.solve_into_pooled(b, x, ExecPool::global())
     }
 
     /// As [`LevelSetSolver::solve_into`] on an explicit pool (tests and
@@ -105,7 +104,15 @@ impl<S: Scalar> LevelSetSolver<S> {
         pool: &ExecPool,
     ) -> Result<(), MatrixError> {
         self.check_buffers(b, x)?;
+        let t0 = SolveTrace::start();
         self.sched.solve_into(&self.l, b, x, pool);
+        SolveTrace::finish(
+            t0,
+            EventKind::LevelSetKernel,
+            0,
+            self.l.nrows() as u32,
+            self.sched.nparallel().min(u16::MAX as usize) as u16,
+        );
         Ok(())
     }
 

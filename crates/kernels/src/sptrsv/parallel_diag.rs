@@ -6,6 +6,7 @@
 //! parallelism (`SPTRSV-COMPLETELYPARALLEL` in Algorithm 7).
 
 use crate::exec::ExecPool;
+use crate::trace::{EventKind, SolveTrace};
 use recblock_matrix::{Csr, MatrixError, Scalar};
 
 /// Entries per parallel chunk of [`parallel_diag_into`] — one division per
@@ -51,10 +52,12 @@ pub fn parallel_diag_into<S: Scalar>(
         return Err(MatrixError::NotTriangular { row: 0, col: 0 });
     }
     let vals = l.vals();
+    let t0 = SolveTrace::start();
     if n <= DIAG_CHUNK {
         for i in 0..n {
             x[i] = b[i] / vals[i];
         }
+        SolveTrace::finish(t0, EventKind::DiagKernel, 0, n as u32, 0);
         return Ok(());
     }
     let nchunks = n.div_ceil(DIAG_CHUNK);
@@ -68,6 +71,13 @@ pub fn parallel_diag_into<S: Scalar>(
             unsafe { *xp.ptr().add(i) = b[i] / vals[i] };
         }
     });
+    SolveTrace::finish(
+        t0,
+        EventKind::DiagKernel,
+        0,
+        n as u32,
+        nchunks.min(u16::MAX as usize) as u16,
+    );
     Ok(())
 }
 

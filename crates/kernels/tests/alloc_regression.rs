@@ -163,4 +163,22 @@ fn steady_state_solves_do_not_allocate() {
         }
     });
     assert_eq!(allocs, 0, "warmed SolveWorkspace allocated on reuse");
+
+    // --- tracing *enabled* is still allocation-free ------------------------
+    // Recording writes packed words into the pre-allocated ring; enabling
+    // the trace must not reintroduce heap traffic on the hot path. (The
+    // ring itself is allocated by `enable`, outside the counted window.)
+    use recblock_kernels::trace::SolveTrace;
+    SolveTrace::enable();
+    ls.solve_into(&b, &mut x).unwrap(); // warm-up with tracing on
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            ls.solve_into(&b, &mut x).unwrap();
+            spmv::csr_update_planned(&a, &plan, &xs, &mut ys, pool).unwrap();
+        }
+    });
+    SolveTrace::disable();
+    let events = SolveTrace::drain();
+    assert_eq!(allocs, 0, "solve with tracing enabled allocated in steady state");
+    assert!(!events.is_empty(), "tracing was on, events should have been recorded");
 }

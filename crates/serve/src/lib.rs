@@ -43,12 +43,13 @@ pub mod config;
 pub mod error;
 pub mod metrics;
 mod persist;
+pub mod prometheus;
 mod worker;
 
 pub use cache::{Fetched, PlanCache, PlanKey, PlanSource};
 pub use config::{ServeConfig, StoreOptions};
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, Stage, StageSnapshot};
 
 use batch::{BatchQueue, Pending};
 use recblock::RecBlockSolver;
@@ -156,7 +157,9 @@ impl<S: Scalar> SolveService<S> {
             return Err(ServeError::BadRequest { expected: l.nrows(), actual: rhs.len() });
         }
         let key = PlanKey::of(l);
+        let t0 = Instant::now();
         let (plan, _) = self.resolve_plan(key, l)?;
+        self.metrics.record_stage(Stage::CacheLookup, t0.elapsed());
         let (tx, rx) = mpsc::channel();
         let req = Pending { rhs, tx, submitted: Instant::now() };
         if block {
@@ -181,11 +184,11 @@ impl<S: Scalar> SolveService<S> {
                 let t0 = Instant::now();
                 match store.load::<S>(&key) {
                     Ok(Some(loaded)) => {
+                        let load_time = t0.elapsed();
+                        self.metrics.record_stage(Stage::StoreLoad, load_time);
                         self.metrics.store_hits.fetch_add(1, Relaxed);
                         self.metrics.store_bytes_read.fetch_add(loaded.bytes as u64, Relaxed);
-                        self.metrics
-                            .store_load_ns
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                        self.metrics.store_load_ns.fetch_add(load_time.as_nanos() as u64, Relaxed);
                         // The load dodged this much preprocessing — the
                         // same quantity a cache hit credits.
                         self.metrics.preprocess_saved_ns.fetch_add(
@@ -196,9 +199,13 @@ impl<S: Scalar> SolveService<S> {
                         return Ok(Fetched::Loaded(loaded.into_solver()));
                     }
                     Ok(None) => {
+                        self.metrics.record_stage(Stage::StoreLoad, t0.elapsed());
                         self.metrics.store_misses.fetch_add(1, Relaxed);
                     }
                     Err(_) => {
+                        // Failed loads still get a span — the fallback path
+                        // must be visible in the stage histograms.
+                        self.metrics.record_stage(Stage::StoreLoad, t0.elapsed());
                         self.metrics.store_errors.fetch_add(1, Relaxed);
                     }
                 }
@@ -301,14 +308,17 @@ fn warm_start_cache<S: Scalar>(
         let t0 = Instant::now();
         match recblock_store::read_plan_file::<S>(&entry.path) {
             Ok(plan) => {
+                let load_time = t0.elapsed();
+                metrics.record_stage(Stage::StoreLoad, load_time);
                 metrics.store_hits.fetch_add(1, Relaxed);
                 metrics.store_bytes_read.fetch_add(plan.bytes as u64, Relaxed);
-                metrics.store_load_ns.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                metrics.store_load_ns.fetch_add(load_time.as_nanos() as u64, Relaxed);
                 let key = plan.meta.key;
                 cache.insert(key, Arc::new(plan.into_solver()));
                 loaded += 1;
             }
             Err(_) => {
+                metrics.record_stage(Stage::StoreLoad, t0.elapsed());
                 metrics.store_errors.fetch_add(1, Relaxed);
             }
         }
@@ -485,6 +495,15 @@ mod tests {
         assert_eq!(stats.plan_builds, 1);
         // The rebuilt plan was written back over the corrupt file.
         assert_eq!(stats.store_writes, 1);
+        // The failed load attempt still left a span in the stage histograms:
+        // the fallback path is visible, not silently absorbed into a rebuild.
+        let store_load = stats.stage(Stage::StoreLoad).expect("failed load must record a span");
+        assert!(store_load.count >= 1);
+        assert!(store_load.total > std::time::Duration::ZERO);
+        // The request itself went through the full pipeline.
+        for stage in [Stage::CacheLookup, Stage::QueueWait, Stage::Solve, Stage::Respond] {
+            assert!(stats.stage(stage).is_some(), "missing {} span", stage.name());
+        }
     }
 
     #[test]

@@ -17,6 +17,65 @@ pub const BATCH_BUCKETS: usize = 33;
 /// `[2^i, 2^(i+1))` ns, with the last bucket open-ended (≥ ~9.2 s).
 pub const LATENCY_BUCKETS: usize = 34;
 
+/// Upper bound (exclusive, in ns) of log₂ latency bucket `i`. The final
+/// bucket is open-ended, so its bound is reported as `u64::MAX`.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= LATENCY_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+/// Request life-cycle stages timed into per-stage log₂ histograms. Each
+/// completed request contributes one sample per stage it passed through
+/// (a cache hit never records a `StoreLoad`; a failed store load still
+/// does, so the fallback path is visible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Accepted into the queue → drained by a worker.
+    QueueWait = 0,
+    /// Plan resolution in `submit` (cache lookup, possibly including a
+    /// store load or a full build on miss).
+    CacheLookup = 1,
+    /// One plan-store load attempt (read + verify + decode), successful
+    /// or not.
+    StoreLoad = 2,
+    /// Gathering a drained batch's right-hand sides into the fused
+    /// multi-RHS input block.
+    BatchAssembly = 3,
+    /// The solve itself (single- or multi-RHS).
+    Solve = 4,
+    /// Delivering one result to its requester.
+    Respond = 5,
+}
+
+impl Stage {
+    /// Number of stages (array dimension).
+    pub const COUNT: usize = 6;
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::QueueWait,
+        Stage::CacheLookup,
+        Stage::StoreLoad,
+        Stage::BatchAssembly,
+        Stage::Solve,
+        Stage::Respond,
+    ];
+
+    /// Snake-case display name (also the Prometheus `stage` label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::StoreLoad => "store_load",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::Solve => "solve",
+            Stage::Respond => "respond",
+        }
+    }
+}
+
 /// Shared atomic counters. One instance lives behind an `Arc` shared by the
 /// cache, the queue, the workers and the service front end.
 #[derive(Debug)]
@@ -50,6 +109,10 @@ pub struct Metrics {
     pub(crate) latency_ns_sum: AtomicU64,
     pub(crate) latency_count: AtomicU64,
 
+    pub(crate) stage_hist: [[AtomicU64; LATENCY_BUCKETS]; Stage::COUNT],
+    pub(crate) stage_ns_sum: [AtomicU64; Stage::COUNT],
+    pub(crate) stage_count: [AtomicU64; Stage::COUNT],
+
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) queue_depth_peak: AtomicUsize,
 }
@@ -82,6 +145,9 @@ impl Default for Metrics {
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_ns_sum: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
+            stage_hist: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            stage_ns_sum: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_depth: AtomicUsize::new(0),
             queue_depth_peak: AtomicUsize::new(0),
         }
@@ -106,6 +172,15 @@ impl Metrics {
         self.latency_count.fetch_add(1, Relaxed);
     }
 
+    pub(crate) fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        let idx = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        let s = stage as usize;
+        self.stage_hist[s][idx].fetch_add(1, Relaxed);
+        self.stage_ns_sum[s].fetch_add(ns, Relaxed);
+        self.stage_count[s].fetch_add(1, Relaxed);
+    }
+
     pub(crate) fn queue_depth_changed(&self, depth: usize) {
         self.queue_depth.store(depth, Relaxed);
         self.queue_depth_peak.fetch_max(depth, Relaxed);
@@ -128,7 +203,27 @@ impl Metrics {
             .enumerate()
             .filter_map(|(i, c)| {
                 let c = c.load(Relaxed);
-                (c > 0).then_some((1u64 << (i + 1).min(63), c))
+                (c > 0).then_some((bucket_upper(i), c))
+            })
+            .collect();
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let s = stage as usize;
+                let count = self.stage_count[s].load(Relaxed);
+                (count > 0).then(|| StageSnapshot {
+                    stage,
+                    buckets: self.stage_hist[s]
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, c)| {
+                            let c = c.load(Relaxed);
+                            (c > 0).then_some((bucket_upper(i), c))
+                        })
+                        .collect(),
+                    total: Duration::from_nanos(self.stage_ns_sum[s].load(Relaxed)),
+                    count,
+                })
             })
             .collect();
         MetricsSnapshot {
@@ -154,7 +249,9 @@ impl Metrics {
             batched_columns: self.batched_columns.load(Relaxed),
             batch_sizes,
             latency_buckets,
+            latency_total: Duration::from_nanos(self.latency_ns_sum.load(Relaxed)),
             mean_latency: mean(self.latency_ns_sum.load(Relaxed), self.latency_count.load(Relaxed)),
+            stages,
             queue_depth: self.queue_depth.load(Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Relaxed),
         }
@@ -216,14 +313,72 @@ pub struct MetricsSnapshot {
     /// `(batch size, count)` pairs; sizes ≥ [`BATCH_BUCKETS`]`-1` share the
     /// final bucket.
     pub batch_sizes: Vec<(usize, u64)>,
-    /// `(upper bound in ns, count)` log₂ latency buckets (submit → answer).
+    /// `(upper bound in ns, count)` log₂ latency buckets (submit → answer);
+    /// the open-ended final bucket reports `u64::MAX`.
     pub latency_buckets: Vec<(u64, u64)>,
+    /// Total submit→answer wall-clock across all answered requests.
+    pub latency_total: Duration,
     /// Mean submit→answer latency.
     pub mean_latency: Duration,
+    /// Per-stage timing histograms (only stages that recorded at least one
+    /// sample), in pipeline order.
+    pub stages: Vec<StageSnapshot>,
     /// Queued requests right now.
     pub queue_depth: usize,
     /// Highest queue depth observed.
     pub queue_depth_peak: usize,
+}
+
+/// One stage's timing histogram within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// Which stage.
+    pub stage: Stage,
+    /// `(upper bound in ns, count)` log₂ buckets, like
+    /// [`MetricsSnapshot::latency_buckets`].
+    pub buckets: Vec<(u64, u64)>,
+    /// Total wall-clock across all samples.
+    pub total: Duration,
+    /// Samples recorded.
+    pub count: u64,
+}
+
+impl StageSnapshot {
+    /// Estimated latency percentile for this stage (see
+    /// [`MetricsSnapshot::latency_percentile`]).
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        percentile_from_buckets(&self.buckets, p)
+    }
+}
+
+/// Estimate the `p`-quantile (0 ≤ p ≤ 1) from sparse `(upper bound ns,
+/// count)` log₂ buckets by log-linear interpolation within the bucket the
+/// target sample falls in: a sample at fraction `f` through bucket
+/// `[lo, 2·lo)` is estimated as `lo · 2^f`. The open-ended final bucket is
+/// treated as one octave starting at `2^(LATENCY_BUCKETS-1)` ns.
+fn percentile_from_buckets(buckets: &[(u64, u64)], p: f64) -> Option<Duration> {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = p.clamp(0.0, 1.0) * total as f64;
+    let lower = |ub: u64| -> f64 {
+        if ub == u64::MAX {
+            (1u64 << (LATENCY_BUCKETS - 1)) as f64
+        } else {
+            ((ub / 2).max(1)) as f64
+        }
+    };
+    let mut seen = 0u64;
+    for &(ub, c) in buckets {
+        if (seen + c) as f64 >= target {
+            let frac = ((target - seen as f64) / c as f64).clamp(0.0, 1.0);
+            return Some(Duration::from_nanos((lower(ub) * 2f64.powf(frac)).round() as u64));
+        }
+        seen += c;
+    }
+    let &(ub, _) = buckets.last()?;
+    Some(Duration::from_nanos((lower(ub) * 2.0).round() as u64))
 }
 
 impl MetricsSnapshot {
@@ -234,6 +389,25 @@ impl MetricsSnapshot {
         } else {
             self.batched_columns as f64 / self.batches as f64
         }
+    }
+
+    /// Estimated submit→answer latency percentile (`p` in `[0, 1]`,
+    /// e.g. `0.99` for p99), log-linearly interpolated within the log₂
+    /// histogram bucket the target sample lands in. `None` before any
+    /// request has been answered.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        percentile_from_buckets(&self.latency_buckets, p)
+    }
+
+    /// The timing snapshot for one stage, if it recorded any samples.
+    pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Render every counter and histogram in Prometheus text exposition
+    /// format (see [`crate::prometheus::render`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::prometheus::render(self)
     }
 }
 
@@ -274,9 +448,26 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "latency: mean {:?}; queue depth {} (peak {})",
-            self.mean_latency, self.queue_depth, self.queue_depth_peak
-        )
+            "latency: mean {:?}, p50 {:?}, p99 {:?}; queue depth {} (peak {})",
+            self.mean_latency,
+            self.latency_percentile(0.5).unwrap_or_default(),
+            self.latency_percentile(0.99).unwrap_or_default(),
+            self.queue_depth,
+            self.queue_depth_peak
+        )?;
+        for s in &self.stages {
+            write!(
+                f,
+                "\nstage {:<14} {:>6} samples, total {:?}, p50 {:?}, p90 {:?}, p99 {:?}",
+                s.stage.name(),
+                s.count,
+                s.total,
+                s.percentile(0.5).unwrap_or_default(),
+                s.percentile(0.9).unwrap_or_default(),
+                s.percentile(0.99).unwrap_or_default()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -331,5 +522,79 @@ mod tests {
         let text = m.snapshot().to_string();
         assert!(text.contains("plan cache"));
         assert!(text.contains("multi-column"));
+    }
+
+    #[test]
+    fn final_latency_bucket_reports_open_ended_bound() {
+        // Bucket 33 is open-ended: a ~20 s sample (2^34.2 ns) lands there
+        // and its reported upper bound must be u64::MAX, not 2^34 (which
+        // would mislabel it as < ~17.2 s).
+        let m = Metrics::default();
+        m.record_latency(Duration::from_secs(20));
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets, vec![(u64::MAX, 1)]);
+        // The boundary sample of the last *bounded* bucket still reports a
+        // finite bound.
+        let m = Metrics::default();
+        m.record_latency(Duration::from_nanos((1 << 33) - 1));
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets, vec![(1u64 << 33, 1)]);
+    }
+
+    #[test]
+    fn percentiles_on_single_bucket_interpolate_geometrically() {
+        let m = Metrics::default();
+        for _ in 0..100 {
+            m.record_latency(Duration::from_nanos(1500)); // bucket [1024, 2048)
+        }
+        let s = m.snapshot();
+        // p50 at half the bucket (log scale): 1024·√2 ≈ 1448 ns.
+        let p50 = s.latency_percentile(0.5).unwrap().as_nanos() as u64;
+        assert!((1447..=1449).contains(&p50), "p50={p50}");
+        // p0 sits at the bucket floor, p100 at the ceiling.
+        assert_eq!(s.latency_percentile(0.0).unwrap().as_nanos(), 1024);
+        assert_eq!(s.latency_percentile(1.0).unwrap().as_nanos(), 2048);
+    }
+
+    #[test]
+    fn percentiles_across_buckets_hit_exact_boundaries() {
+        let m = Metrics::default();
+        for _ in 0..50 {
+            m.record_latency(Duration::from_nanos(1500)); // [1024, 2048)
+        }
+        for _ in 0..50 {
+            m.record_latency(Duration::from_nanos(3000)); // [2048, 4096)
+        }
+        let s = m.snapshot();
+        // The median of an exact 50/50 split is the shared bucket boundary.
+        assert_eq!(s.latency_percentile(0.5).unwrap().as_nanos(), 2048);
+        // p75 is halfway (log scale) through the upper bucket: 2048·√2.
+        let p75 = s.latency_percentile(0.75).unwrap().as_nanos() as u64;
+        assert!((2895..=2897).contains(&p75), "p75={p75}");
+        assert!(s.latency_percentile(0.25).unwrap() < s.latency_percentile(0.75).unwrap());
+    }
+
+    #[test]
+    fn percentile_none_before_any_sample() {
+        assert_eq!(Metrics::default().snapshot().latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn stages_record_into_their_own_histograms() {
+        let m = Metrics::default();
+        m.record_stage(Stage::Solve, Duration::from_micros(100));
+        m.record_stage(Stage::Solve, Duration::from_micros(200));
+        m.record_stage(Stage::QueueWait, Duration::from_nanos(1500));
+        let s = m.snapshot();
+        assert_eq!(s.stages.len(), 2);
+        let solve = s.stage(Stage::Solve).unwrap();
+        assert_eq!(solve.count, 2);
+        assert_eq!(solve.total, Duration::from_micros(300));
+        assert!(solve.percentile(0.5).unwrap() > Duration::from_micros(64));
+        assert!(s.stage(Stage::StoreLoad).is_none());
+        // Stage lines appear in the Display rendering.
+        let text = s.to_string();
+        assert!(text.contains("queue_wait"), "{text}");
+        assert!(text.contains("p99"), "{text}");
     }
 }

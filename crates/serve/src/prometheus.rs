@@ -1,0 +1,225 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! Hand-written (no client-library dependency): the exposition format is a
+//! few lines of text per metric — `# TYPE` declarations, `name{labels}
+//! value` samples, and for histograms cumulative `_bucket{le="…"}` series
+//! ending in `+Inf` plus `_sum`/`_count`. Durations are exposed in seconds
+//! (the Prometheus convention); the log₂ nanosecond buckets convert to
+//! fractional-second `le` bounds.
+
+use crate::metrics::{MetricsSnapshot, StageSnapshot};
+use std::fmt::Write as _;
+
+/// Render `snapshot` in Prometheus text exposition format. Every metric
+/// family is declared with exactly one `# TYPE` line; histogram buckets are
+/// cumulative and end with an `+Inf` bucket equal to `_count`.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter_family(
+        &mut out,
+        "recblock_requests_total",
+        "Requests by final outcome.",
+        "outcome",
+        &[
+            ("submitted", snapshot.submitted),
+            ("completed", snapshot.completed),
+            ("rejected", snapshot.rejected),
+            ("failed", snapshot.failed),
+            ("cancelled", snapshot.cancelled),
+        ],
+    );
+    counter_family(
+        &mut out,
+        "recblock_plan_cache_events_total",
+        "Plan cache lookups and maintenance events.",
+        "event",
+        &[
+            ("hit", snapshot.cache_hits),
+            ("miss", snapshot.cache_misses),
+            ("eviction", snapshot.cache_evictions),
+            ("build", snapshot.plan_builds),
+        ],
+    );
+    counter_family(
+        &mut out,
+        "recblock_store_events_total",
+        "Plan store lookups, failures and writes.",
+        "event",
+        &[
+            ("hit", snapshot.store_hits),
+            ("miss", snapshot.store_misses),
+            ("error", snapshot.store_errors),
+            ("write", snapshot.store_writes),
+        ],
+    );
+    scalar(
+        &mut out,
+        "recblock_preprocess_seconds_total",
+        "counter",
+        "Wall-clock spent preprocessing plans.",
+        snapshot.preprocess_time.as_secs_f64(),
+    );
+    scalar(
+        &mut out,
+        "recblock_preprocess_saved_seconds_total",
+        "counter",
+        "Preprocessing wall-clock avoided by cache and store hits.",
+        snapshot.preprocess_time_saved.as_secs_f64(),
+    );
+    scalar(
+        &mut out,
+        "recblock_store_bytes_read_total",
+        "counter",
+        "Bytes of plan files read (successful loads only).",
+        snapshot.store_bytes_read as f64,
+    );
+    scalar(
+        &mut out,
+        "recblock_store_load_seconds_total",
+        "counter",
+        "Wall-clock spent loading plans from the store.",
+        snapshot.store_load_time.as_secs_f64(),
+    );
+    counter_family(
+        &mut out,
+        "recblock_batches_total",
+        "Solve batches executed.",
+        "kind",
+        &[("all", snapshot.batches), ("multi_column", snapshot.multi_column_batches)],
+    );
+
+    // Batch-size histogram: exact-size buckets are already cumulative-able.
+    let _ = writeln!(out, "# HELP recblock_batch_size Right-hand sides per executed batch.");
+    let _ = writeln!(out, "# TYPE recblock_batch_size histogram");
+    let mut cum = 0u64;
+    for &(size, count) in &snapshot.batch_sizes {
+        cum += count;
+        let _ = writeln!(out, "recblock_batch_size_bucket{{le=\"{size}\"}} {cum}");
+    }
+    let _ = writeln!(out, "recblock_batch_size_bucket{{le=\"+Inf\"}} {}", snapshot.batches);
+    let _ = writeln!(out, "recblock_batch_size_sum {}", snapshot.batched_columns);
+    let _ = writeln!(out, "recblock_batch_size_count {}", snapshot.batches);
+
+    // Submit→answer latency histogram.
+    let _ = writeln!(
+        out,
+        "# HELP recblock_request_latency_seconds Submit-to-answer latency of answered requests."
+    );
+    let _ = writeln!(out, "# TYPE recblock_request_latency_seconds histogram");
+    let count: u64 = snapshot.latency_buckets.iter().map(|&(_, c)| c).sum();
+    histogram_series(&mut out, "recblock_request_latency_seconds", "", &snapshot.latency_buckets);
+    let _ = writeln!(
+        out,
+        "recblock_request_latency_seconds_sum {}",
+        snapshot.latency_total.as_secs_f64()
+    );
+    let _ = writeln!(out, "recblock_request_latency_seconds_count {count}");
+
+    // Per-stage histograms: one family, one label per stage.
+    let _ = writeln!(out, "# HELP recblock_stage_seconds Wall-clock per request life-cycle stage.");
+    let _ = writeln!(out, "# TYPE recblock_stage_seconds histogram");
+    for s in &snapshot.stages {
+        stage_series(&mut out, s);
+    }
+
+    scalar(
+        &mut out,
+        "recblock_queue_depth",
+        "gauge",
+        "Queued right-hand sides right now.",
+        snapshot.queue_depth as f64,
+    );
+    scalar(
+        &mut out,
+        "recblock_queue_depth_peak",
+        "gauge",
+        "Highest queue depth observed.",
+        snapshot.queue_depth_peak as f64,
+    );
+    out
+}
+
+fn scalar(out: &mut String, name: &str, ty: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {ty}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn counter_family(out: &mut String, name: &str, help: &str, label: &str, values: &[(&str, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (value, count) in values {
+        let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {count}");
+    }
+}
+
+/// Emit cumulative `_bucket` series for sparse `(upper bound ns, count)`
+/// buckets. The open-ended bucket (bound `u64::MAX`) folds into `+Inf`.
+/// `labels` is either empty or a `key="value",` prefix for the `le` label.
+fn histogram_series(out: &mut String, name: &str, labels: &str, buckets: &[(u64, u64)]) {
+    let mut cum = 0u64;
+    for &(ub, c) in buckets {
+        cum += c;
+        if ub == u64::MAX {
+            continue; // represented by the +Inf bucket below
+        }
+        let le = ub as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cum}");
+}
+
+fn stage_series(out: &mut String, s: &StageSnapshot) {
+    let labels = format!("stage=\"{}\",", s.stage.name());
+    histogram_series(out, "recblock_stage_seconds", &labels, &s.buckets);
+    let _ = writeln!(
+        out,
+        "recblock_stage_seconds_sum{{stage=\"{}\"}} {}",
+        s.stage.name(),
+        s.total.as_secs_f64()
+    );
+    let _ =
+        writeln!(out, "recblock_stage_seconds_count{{stage=\"{}\"}} {}", s.stage.name(), s.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::{Metrics, Stage};
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_histograms_and_gauges() {
+        let m = Metrics::default();
+        m.record_batch(3);
+        m.record_latency(Duration::from_micros(500));
+        m.record_latency(Duration::from_secs(20)); // open-ended bucket
+        m.record_stage(Stage::Solve, Duration::from_micros(400));
+        m.queue_depth_changed(2);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE recblock_requests_total counter"), "{text}");
+        assert!(text.contains("# TYPE recblock_queue_depth gauge"));
+        assert!(text.contains("recblock_queue_depth 2"));
+        assert!(text.contains("# TYPE recblock_request_latency_seconds histogram"));
+        // Two samples total; the +Inf bucket must equal _count.
+        assert!(text.contains("recblock_request_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("recblock_request_latency_seconds_count 2"));
+        // The ~20 s sample appears only in +Inf — no finite bound covers it.
+        assert!(!text.contains("le=\"17.179869184\"} 2"), "{text}");
+        assert!(text.contains("recblock_stage_seconds_bucket{stage=\"solve\",le=\"+Inf\"} 1"));
+        assert!(text.contains("recblock_batch_size_sum 3"));
+    }
+
+    #[test]
+    fn le_bounds_never_use_scientific_notation() {
+        let m = Metrics::default();
+        m.record_latency(Duration::from_nanos(1)); // tiny: le = 2e-9 territory
+        let text = m.snapshot().render_prometheus();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                !line.contains("e-") && !line.contains("E-"),
+                "scientific notation in exposition line: {line}"
+            );
+        }
+    }
+}

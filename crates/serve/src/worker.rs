@@ -2,12 +2,13 @@
 
 use crate::batch::{Batch, BatchQueue};
 use crate::error::ServeError;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Stage};
 use recblock::blocked::SolveWorkspace;
 use recblock_kernels::sptrsm::MultiVector;
 use recblock_matrix::Scalar;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Buffers one worker reuses across batches: the gathered input block, the
 /// solved output block, and the engine's [`SolveWorkspace`]. Whenever the
@@ -36,21 +37,26 @@ fn ensure_shape<S: Scalar>(slot: &mut Option<MultiVector<S>>, n: usize, k: usize
 fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, bufs: &mut WorkerBuffers<S>) {
     let k = batch.requests.len();
     metrics.record_batch(k);
+    for req in &batch.requests {
+        metrics.record_stage(Stage::QueueWait, req.submitted.elapsed());
+    }
     let n = batch.plan.n();
 
     if k == 1 {
         let req = &batch.requests[0];
+        let t0 = Instant::now();
         let result = (|| {
             let mut x = vec![S::ZERO; n];
             batch.plan.solve_into(&req.rhs, &mut x, &mut bufs.ws)?;
             Ok(x)
         })()
         .map_err(|e: recblock_matrix::MatrixError| ServeError::from(e));
+        metrics.record_stage(Stage::Solve, t0.elapsed());
         finish(metrics, req, result);
         return;
     }
 
-    match gather_and_solve(&batch, n, k, bufs) {
+    match gather_and_solve(&batch, n, k, bufs, metrics) {
         Ok(x) => {
             for (j, req) in batch.requests.iter().enumerate() {
                 finish(metrics, req, Ok(x.col(j).to_vec()));
@@ -69,6 +75,7 @@ fn gather_and_solve<'a, S: Scalar>(
     n: usize,
     k: usize,
     bufs: &'a mut WorkerBuffers<S>,
+    metrics: &Metrics,
 ) -> Result<&'a MultiVector<S>, ServeError> {
     for req in &batch.requests {
         if req.rhs.len() != n {
@@ -80,14 +87,18 @@ fn gather_and_solve<'a, S: Scalar>(
             .into());
         }
     }
+    let t0 = Instant::now();
     ensure_shape(&mut bufs.input, n, k);
     let b = bufs.input.as_mut().expect("just ensured");
     for (j, req) in batch.requests.iter().enumerate() {
         b.col_mut(j).copy_from_slice(&req.rhs);
     }
     ensure_shape(&mut bufs.out, n, k);
+    metrics.record_stage(Stage::BatchAssembly, t0.elapsed());
     let reuse = bufs.out.as_mut().expect("just ensured");
+    let t1 = Instant::now();
     batch.plan.solve_multi_ws(&*b, reuse, &mut bufs.ws)?;
+    metrics.record_stage(Stage::Solve, t1.elapsed());
     Ok(&*reuse)
 }
 
@@ -106,7 +117,9 @@ fn finish<S: Scalar>(
     }
     metrics.record_latency(req.submitted.elapsed());
     // A dropped handle is fine — the requester stopped listening.
+    let t0 = Instant::now();
     let _ = req.tx.send(result);
+    metrics.record_stage(Stage::Respond, t0.elapsed());
 }
 
 #[cfg(test)]

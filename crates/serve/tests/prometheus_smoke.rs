@@ -1,0 +1,133 @@
+//! Smoke test over the Prometheus text exposition: drive the real service,
+//! scrape `render_prometheus()`, and validate the exposition-format syntax
+//! that a scraper relies on — one `# TYPE` line per metric family, no
+//! duplicate sample names with identical labels, parseable values, and
+//! cumulative histograms ending in `+Inf`. CI runs this as its scrape check.
+
+use recblock_matrix::generate;
+use recblock_serve::{ServeConfig, SolveService};
+use std::collections::{HashMap, HashSet};
+
+/// `name{labels}` → (labels split out) for one sample line.
+fn split_sample(line: &str) -> (String, String, f64) {
+    let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+    let value: f64 = if value == "+Inf" { f64::INFINITY } else { value.parse().unwrap() };
+    match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest.strip_suffix('}').expect("labels close with }");
+            (name.to_string(), labels.to_string(), value)
+        }
+        None => (series.to_string(), String::new(), value),
+    }
+}
+
+/// Strip `_bucket`/`_sum`/`_count` so a histogram's series map back to
+/// their declared family name.
+fn family_of(sample_name: &str) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base.to_string();
+        }
+    }
+    sample_name.to_string()
+}
+
+#[test]
+fn exposition_is_well_formed() {
+    let service = SolveService::<f64>::new(ServeConfig::default().with_workers(2));
+    let l = generate::random_lower::<f64>(400, 4.0, 90);
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let b: Vec<f64> = (0..400).map(|r| ((r + i * 17) as f64 * 0.01).sin()).collect();
+        handles.push(service.submit(&l, b).unwrap());
+    }
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let text = service.metrics().render_prometheus();
+    service.shutdown();
+
+    let mut declared: HashMap<String, String> = HashMap::new(); // family → type
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut last_family: Option<String> = None;
+
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("# TYPE has name and type");
+            assert!(matches!(ty, "counter" | "gauge" | "histogram"), "unknown metric type {ty}");
+            let prev = declared.insert(name.to_string(), ty.to_string());
+            assert!(prev.is_none(), "duplicate # TYPE for {name}");
+            last_family = Some(name.to_string());
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+        let (name, labels, value) = split_sample(line);
+        let family = family_of(&name);
+        assert!(
+            declared.contains_key(&family),
+            "sample {name} has no # TYPE declaration for {family}"
+        );
+        // Samples must follow their own family's declaration block.
+        assert_eq!(last_family.as_deref(), Some(family.as_str()), "sample {name} out of order");
+        let series = format!("{name}{{{labels}}}");
+        assert!(seen_series.insert(series.clone()), "duplicate series {series}");
+        assert!(value.is_finite() || value.is_infinite(), "unparseable value on {line}");
+        assert!(value >= 0.0, "negative sample {line}");
+    }
+
+    // The families the dashboard depends on all exist.
+    for family in [
+        "recblock_requests_total",
+        "recblock_plan_cache_events_total",
+        "recblock_store_events_total",
+        "recblock_batch_size",
+        "recblock_request_latency_seconds",
+        "recblock_stage_seconds",
+        "recblock_queue_depth",
+    ] {
+        assert!(declared.contains_key(family), "missing family {family}");
+    }
+
+    // Histogram invariants: buckets are cumulative (monotone in le) and end
+    // with +Inf equal to _count.
+    for (family, ty) in &declared {
+        if ty != "histogram" {
+            continue;
+        }
+        let mut per_labelset: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, labels, value) = split_sample(line);
+            if name == format!("{family}_bucket") {
+                let (rest, le) = labels
+                    .rsplit_once("le=\"")
+                    .map(|(a, b)| (a.trim_end_matches(','), b.trim_end_matches('"')))
+                    .expect("bucket has le label");
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                per_labelset.entry(rest.to_string()).or_default().push((le, value));
+            } else if name == format!("{family}_count") {
+                counts.insert(labels, value);
+            }
+        }
+        assert!(!per_labelset.is_empty(), "histogram {family} has no buckets");
+        for (labelset, buckets) in per_labelset {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_cum = 0.0;
+            for &(le, cum) in &buckets {
+                assert!(le > prev_le, "{family}{{{labelset}}} le not increasing");
+                assert!(cum >= prev_cum, "{family}{{{labelset}}} buckets not cumulative");
+                (prev_le, prev_cum) = (le, cum);
+            }
+            let (last_le, last_cum) = *buckets.last().unwrap();
+            assert!(last_le.is_infinite(), "{family}{{{labelset}}} missing +Inf bucket");
+            let count = counts
+                .get(&labelset)
+                .unwrap_or_else(|| panic!("{family}{{{labelset}}} missing _count"));
+            assert_eq!(last_cum, *count, "{family}{{{labelset}}} +Inf != _count");
+        }
+    }
+}

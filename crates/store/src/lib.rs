@@ -57,6 +57,6 @@ pub use plan::{
     FORMAT_VERSION, MAGIC,
 };
 pub use store::{
-    inspect_plan_file, read_pack_file, read_plan_file, write_atomic, LoadedPlan, PlanStore,
-    StoreEntry,
+    inspect_plan_file, read_pack_file, read_plan_file, write_atomic, LoadTimings, LoadedPlan,
+    PlanStore, StoreEntry,
 };

@@ -13,12 +13,24 @@ use crate::plan::{
 };
 use recblock::packed::PackedBlocked;
 use recblock::{BlockedTri, RecBlockSolver};
+use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_matrix::Scalar;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Wall-clock spent in each phase of a plan load, so callers (and the
+/// serve layer's stage histograms) can tell I/O-bound loads apart from
+/// decode-bound ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadTimings {
+    /// Reading the raw bytes from disk.
+    pub read: Duration,
+    /// Decoding those bytes into the in-memory plan.
+    pub decode: Duration,
+}
 
 /// A plan read back from disk.
 #[derive(Debug, Clone)]
@@ -29,6 +41,8 @@ pub struct LoadedPlan<S> {
     pub blocked: BlockedTri<S>,
     /// On-disk size of the file, in bytes.
     pub bytes: usize,
+    /// How long the read and decode phases took.
+    pub timings: LoadTimings,
 }
 
 impl<S: Scalar> LoadedPlan<S> {
@@ -201,11 +215,25 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     result
 }
 
-/// Read and fully decode a plan file.
+/// Read and fully decode a plan file, timing the two phases separately.
 pub fn read_plan_file<S: Scalar>(path: &Path) -> Result<LoadedPlan<S>, StoreError> {
+    let tr = SolveTrace::start();
+    let t0 = Instant::now();
     let bytes = fs::read(path)?;
+    let read = t0.elapsed();
+    SolveTrace::finish(tr, EventKind::StoreRead, 0, bytes.len().min(u32::MAX as usize) as u32, 0);
+    let td = SolveTrace::start();
+    let t1 = Instant::now();
     let (meta, blocked) = decode_plan(&bytes)?;
-    Ok(LoadedPlan { meta, blocked, bytes: bytes.len() })
+    let decode = t1.elapsed();
+    SolveTrace::finish(
+        td,
+        EventKind::StoreDecode,
+        0,
+        meta.key.structure.nrows.min(u32::MAX as usize) as u32,
+        0,
+    );
+    Ok(LoadedPlan { meta, blocked, bytes: bytes.len(), timings: LoadTimings { read, decode } })
 }
 
 /// Read and fully decode a packed-arena file.

@@ -265,3 +265,33 @@ fn save_overwrites_atomically() {
         .collect();
     assert!(stray.is_empty(), "leftover temp files: {stray:?}");
 }
+
+#[test]
+fn load_reports_phase_timings_and_trace_events() {
+    use recblock_kernels::trace::{EventKind, SolveTrace};
+    let tmp = TempDir::new("timings");
+    let l = generate::random_lower::<f64>(500, 4.0, 21);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    store.save(&build(&l), &key, 0.1).unwrap();
+
+    SolveTrace::enable();
+    let loaded = store.load::<f64>(&key).unwrap().unwrap();
+    let events = SolveTrace::drain();
+    SolveTrace::disable();
+
+    // Phase timings are populated (reads of a just-written small file can be
+    // sub-microsecond, so assert on the sum rather than each phase).
+    let t = loaded.timings;
+    assert!(t.read + t.decode > std::time::Duration::ZERO, "timings: {t:?}");
+    // The trace saw both phases of the load. Match on the payload (other
+    // tests in this binary may also record loads while the trace is on).
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::StoreRead && e.rows as usize == loaded.bytes),
+        "store_read event carrying the byte count: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::StoreDecode && e.rows as usize == loaded.meta.n),
+        "store_decode event carrying the row count: {events:?}"
+    );
+}

@@ -6,6 +6,8 @@
 //! planctl precompute <matrix.mtx> <store-dir>   build the plan and persist it
 //! planctl inspect    <plan-file>                print the file's META section
 //! planctl verify     <plan-file> <matrix.mtx>   full decode + key check + test solve
+//! planctl explain    <matrix.mtx|plan-file> [--kernels]
+//!                                               why each block got its kernel
 //! ```
 //!
 //! `precompute` is the deploy-time half of the workflow: run it once per
@@ -13,9 +15,14 @@
 //! with the service, and every process start skips preprocessing.
 //! `inspect` reads only the META section, so it is instant even on large
 //! plans. `verify` is the paranoid path: full checksum + decode + a real
-//! solve checked against the matrix.
+//! solve checked against the matrix. `explain` prints the selection report
+//! — per block, the statistics Algorithm 7 saw, the kernel it chose, and
+//! the threshold that decided; `--kernels` adds the rejected candidates
+//! and level-shape histograms.
 
 use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock::explain::SelectionReport;
+use recblock::{RecBlockSolver, SolverOptions};
 use recblock_matrix::triangular::lower_with_diag;
 use recblock_matrix::vector::residual_inf;
 use recblock_matrix::{mm, Csr, Scalar};
@@ -28,18 +35,28 @@ fn main() {
         Some("precompute") if args.len() == 3 => precompute(&args[1], &args[2]),
         Some("inspect") if args.len() == 2 => inspect(&args[1]),
         Some("verify") if args.len() == 3 => verify(&args[1], &args[2]),
-        _ => {
-            eprintln!(
-                "usage:\n  planctl precompute <matrix.mtx> <store-dir>\n  \
-                 planctl inspect <plan-file>\n  planctl verify <plan-file> <matrix.mtx>"
-            );
-            std::process::exit(2);
+        Some("explain") if args.len() == 2 || args.len() == 3 => {
+            let kernels = args[1..].iter().any(|a| a == "--kernels");
+            match args[1..].iter().find(|a| *a != "--kernels") {
+                Some(target) if args.len() == 2 + usize::from(kernels) => explain(target, kernels),
+                _ => usage(),
+            }
         }
+        _ => usage(),
     };
     if let Err(e) = result {
         eprintln!("planctl: {e}");
         std::process::exit(1);
     }
+}
+
+fn usage() -> Result<(), String> {
+    eprintln!(
+        "usage:\n  planctl precompute <matrix.mtx> <store-dir>\n  \
+         planctl inspect <plan-file>\n  planctl verify <plan-file> <matrix.mtx>\n  \
+         planctl explain <matrix.mtx|plan-file> [--kernels]"
+    );
+    std::process::exit(2);
 }
 
 fn load_lower(mtx: &str) -> Result<Csr<f64>, String> {
@@ -127,4 +144,43 @@ fn verify_typed<S: Scalar>(plan_file: &str, mtx: &str) -> Result<(), String> {
     println!("solve    : ok (relative residual {r:.2e})");
     println!("verified : plan is usable for this matrix");
     Ok(())
+}
+
+fn explain(target: &str, kernels: bool) -> Result<(), String> {
+    let is_plan = Path::new(target)
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e == "rbplan" || e == "rbpack");
+    if is_plan {
+        let meta = inspect_plan_file(Path::new(target)).map_err(|e| e.to_string())?;
+        match meta.scalar_bytes {
+            8 => explain_plan::<f64>(target, kernels),
+            4 => explain_plan::<f32>(target, kernels),
+            b => Err(format!("unsupported scalar width {b}")),
+        }
+    } else {
+        let l = load_lower(target)?;
+        let solver = RecBlockSolver::new(&l, SolverOptions::default())
+            .map_err(|e| format!("preprocessing failed: {e}"))?;
+        print_report(solver.explain(), kernels);
+        Ok(())
+    }
+}
+
+fn explain_plan<S: Scalar>(plan_file: &str, kernels: bool) -> Result<(), String> {
+    let loaded = read_plan_file::<S>(Path::new(plan_file)).map_err(|e| e.to_string())?;
+    println!(
+        "plan file: {} ({} bytes, read {:.2?} + decode {:.2?})",
+        plan_file, loaded.bytes, loaded.timings.read, loaded.timings.decode
+    );
+    print_report(loaded.blocked.selection_report(), kernels);
+    Ok(())
+}
+
+fn print_report(report: &SelectionReport, kernels: bool) {
+    if kernels {
+        print!("{}", report.detail());
+    } else {
+        print!("{report}");
+    }
 }

@@ -2,11 +2,15 @@
 //! interleaved requests, and the built-in metrics at the end.
 //!
 //! Run with: `cargo run --release --example serve_demo`
+//!
+//! Pass `--metrics` to also dump the Prometheus text exposition — the same
+//! output a `/metrics` endpoint would serve — after the burst completes.
 
 use recblock_matrix::generate;
 use recblock_serve::{ServeConfig, SolveService};
 
 fn main() {
+    let prometheus = std::env::args().skip(1).any(|a| a == "--metrics");
     let config = ServeConfig::default().with_max_batch(8).with_queue_capacity(128);
     println!(
         "starting service: {} workers, max batch {}, queue {}",
@@ -45,6 +49,9 @@ fn main() {
 
     let stats = service.shutdown();
     println!("\n--- service metrics ---\n{stats}");
+    if prometheus {
+        println!("\n--- prometheus exposition ---\n{}", stats.render_prometheus());
+    }
     println!(
         "\npreprocessing amortisation: {:?} spent building plans once, {:?} saved by reuse",
         stats.preprocess_time, stats.preprocess_time_saved
