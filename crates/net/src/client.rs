@@ -1,0 +1,164 @@
+//! Minimal blocking RBNET client.
+//!
+//! One synchronous connection: requests are written whole, responses are
+//! read whole. `send_solve`/`recv` split the round trip for pipelining
+//! (the loopback tests use this to saturate the server from one thread).
+
+use crate::error::{ErrCode, NetError};
+use crate::frame::{self, FrameKind, Header, StatReply, HEADER_LEN};
+use recblock_matrix::Scalar;
+use recblock_store::PlanKey;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// The outcome of one solve request: solution columns, or the server's
+/// typed refusal.
+pub type SolveOutcome<S> = Result<Vec<Vec<S>>, (ErrCode, String)>;
+
+/// Blocking client for one RBNET connection.
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_tag: u64,
+    /// Largest response payload this client will accept.
+    pub max_frame_bytes: u32,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient { stream, buf: Vec::new(), next_tag: 1, max_frame_bytes: 64 << 20 })
+    }
+
+    /// Set a read timeout for responses (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    /// Read one whole frame; returns its header and leaves the payload in
+    /// `self.buf`.
+    fn read_frame(&mut self) -> Result<Header, NetError> {
+        let mut head = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut head).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => NetError::Closed,
+            _ => NetError::Io(e),
+        })?;
+        let h = frame::decode_header(&head, self.max_frame_bytes)?
+            .expect("full header always decodes or errors");
+        self.buf.clear();
+        self.buf.resize(h.payload_len as usize, 0);
+        self.stream.read_exact(&mut self.buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => NetError::Closed,
+            _ => NetError::Io(e),
+        })?;
+        Ok(h)
+    }
+
+    /// Send a solve request without waiting; returns the tag to match the
+    /// response against.
+    pub fn send_solve<S: Scalar>(
+        &mut self,
+        tenant: &str,
+        key: &PlanKey,
+        cols: &[&[S]],
+        deadline_ms: u32,
+    ) -> Result<u64, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_solve(&mut out, tag, tenant, key, deadline_ms, cols);
+        self.stream.write_all(&out)?;
+        Ok(tag)
+    }
+
+    /// Receive the next solve response (any tag): `(tag, outcome)`.
+    pub fn recv<S: Scalar>(&mut self) -> Result<(u64, SolveOutcome<S>), NetError> {
+        let h = self.read_frame()?;
+        match h.kind {
+            FrameKind::SolveOk => {
+                let ok = frame::parse_solve_ok(&self.buf)?;
+                let mut cols = Vec::with_capacity(ok.k as usize);
+                for j in 0..ok.k as usize {
+                    let mut v = Vec::new();
+                    frame::decode_scalars::<S>(ok.col_bytes(j), ok.width, &mut v)?;
+                    cols.push(v);
+                }
+                Ok((h.tag, Ok(cols)))
+            }
+            FrameKind::Err => {
+                let (code, msg) = frame::parse_err(&self.buf)?;
+                Ok((h.tag, Err((code, msg.to_string()))))
+            }
+            _ => Err(NetError::Protocol("expected SolveOk or Err")),
+        }
+    }
+
+    /// One blocking multi-column solve round trip.
+    pub fn solve_multi<S: Scalar>(
+        &mut self,
+        tenant: &str,
+        key: &PlanKey,
+        cols: &[&[S]],
+        deadline_ms: u32,
+    ) -> Result<Vec<Vec<S>>, NetError> {
+        let tag = self.send_solve(tenant, key, cols, deadline_ms)?;
+        let (rtag, outcome) = self.recv::<S>()?;
+        if rtag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        outcome.map_err(|(code, message)| NetError::Remote { code, message })
+    }
+
+    /// One blocking single-RHS solve round trip.
+    pub fn solve<S: Scalar>(
+        &mut self,
+        tenant: &str,
+        key: &PlanKey,
+        rhs: &[S],
+    ) -> Result<Vec<S>, NetError> {
+        let mut cols = self.solve_multi(tenant, key, &[rhs], 0)?;
+        Ok(cols.pop().expect("k = 1 response has one column"))
+    }
+
+    /// Round-trip liveness probe; returns the measured latency.
+    pub fn ping(&mut self) -> Result<Duration, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_header(&mut out, FrameKind::Ping, tag, 0);
+        let t0 = Instant::now();
+        self.stream.write_all(&out)?;
+        let h = self.read_frame()?;
+        if h.kind != FrameKind::Pong || h.tag != tag {
+            return Err(NetError::Protocol("expected matching Pong"));
+        }
+        Ok(t0.elapsed())
+    }
+
+    /// Fetch server status: warm plans, in-flight work, per-tenant queues.
+    pub fn stat(&mut self) -> Result<StatReply, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_header(&mut out, FrameKind::Stat, tag, 0);
+        self.stream.write_all(&out)?;
+        let h = self.read_frame()?;
+        if h.kind != FrameKind::StatOk || h.tag != tag {
+            return Err(NetError::Protocol("expected matching StatOk"));
+        }
+        Ok(frame::parse_stat_reply(&self.buf)?)
+    }
+
+    /// The raw stream, for tests that need to misbehave (partial writes,
+    /// abrupt shutdowns).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,140 @@
+//! Server configuration: frame limits, connection limits and per-tenant
+//! QoS policies.
+
+/// Admission and scheduling policy for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantPolicy {
+    /// Deficit-round-robin weight (> 0). Under saturation a tenant's
+    /// long-run dispatched cost is proportional to its weight.
+    pub weight: f64,
+    /// Token-bucket refill in cost units (`nnz × rhs count`) per second.
+    /// `f64::INFINITY` disables rate admission.
+    pub rate_cost_per_sec: f64,
+    /// Token-bucket capacity in cost units.
+    pub burst_cost: f64,
+    /// Maximum cost queued ahead of dispatch before further requests are
+    /// shed with `ShedCost`.
+    pub max_queued_cost: f64,
+    /// Deadline applied when a request carries `deadline_ms = 0`;
+    /// 0 means "no deadline".
+    pub default_deadline_ms: u32,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            weight: 1.0,
+            rate_cost_per_sec: f64::INFINITY,
+            burst_cost: f64::MAX,
+            max_queued_cost: f64::MAX,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// Set the DRR weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set token-bucket rate and burst, both in cost units.
+    pub fn with_rate(mut self, cost_per_sec: f64, burst: f64) -> Self {
+        self.rate_cost_per_sec = cost_per_sec;
+        self.burst_cost = burst;
+        self
+    }
+
+    /// Set the queued-cost ceiling.
+    pub fn with_max_queued_cost(mut self, cost: f64) -> Self {
+        self.max_queued_cost = cost;
+        self
+    }
+
+    /// Set the default deadline for requests that do not carry one.
+    pub fn with_default_deadline_ms(mut self, ms: u32) -> Self {
+        self.default_deadline_ms = ms;
+        self
+    }
+}
+
+/// Network-tier configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Largest accepted frame payload; bigger announcements get a typed
+    /// `Malformed` error and the connection closes.
+    pub max_frame_bytes: u32,
+    /// Most right-hand-side columns one solve request may carry.
+    pub max_rhs_per_request: u16,
+    /// Connection cap; excess accepts are closed immediately.
+    pub max_connections: usize,
+    /// Cap on right-hand-side columns admitted but not yet answered
+    /// (queued + dispatched). Excess requests get `Overloaded`.
+    pub max_inflight: usize,
+    /// Most queued solves handed to the compute tier per event-loop turn.
+    /// Small values make the fair queue (rather than the compute queue)
+    /// the arbiter of inter-tenant order.
+    pub dispatch_burst: usize,
+    /// Per-connection write-buffer cap; a peer that reads slower than it
+    /// submits is disconnected once this many bytes are pending.
+    pub max_write_buffer: usize,
+    /// Statically configured tenants.
+    pub tenants: Vec<(String, TenantPolicy)>,
+    /// Policy applied to tenants not listed in `tenants`. `None` refuses
+    /// them with `UnknownTenant`.
+    pub default_policy: Option<TenantPolicy>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_bytes: 16 << 20,
+            max_rhs_per_request: 64,
+            max_connections: 1024,
+            max_inflight: 4096,
+            dispatch_burst: 256,
+            max_write_buffer: 64 << 20,
+            tenants: Vec::new(),
+            default_policy: Some(TenantPolicy::default()),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Register a tenant with an explicit policy.
+    pub fn with_tenant(mut self, name: impl Into<String>, policy: TenantPolicy) -> Self {
+        self.tenants.push((name.into(), policy));
+        self
+    }
+
+    /// Set (or disable, with `None`) the policy for unlisted tenants.
+    pub fn with_default_policy(mut self, policy: Option<TenantPolicy>) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
+    /// Set the frame payload ceiling.
+    pub fn with_max_frame_bytes(mut self, bytes: u32) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Set the in-flight column cap.
+    pub fn with_max_inflight(mut self, columns: usize) -> Self {
+        self.max_inflight = columns;
+        self
+    }
+
+    /// Set the per-turn dispatch burst.
+    pub fn with_dispatch_burst(mut self, solves: usize) -> Self {
+        self.dispatch_burst = solves;
+        self
+    }
+
+    /// Set the per-connection write-buffer cap.
+    pub fn with_max_write_buffer(mut self, bytes: usize) -> Self {
+        self.max_write_buffer = bytes;
+        self
+    }
+}

@@ -1,0 +1,138 @@
+//! Typed errors: wire status codes and the client/server API error.
+
+use crate::frame::FrameError;
+use std::fmt;
+use std::io;
+
+/// Status code carried by an `Err` frame. The numeric values are part of
+/// the wire protocol — append only, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrCode {
+    /// Token-bucket admission refused the request; retry after backoff.
+    RateLimited = 1,
+    /// The service-wide queue is full; nothing was enqueued.
+    Overloaded = 2,
+    /// The tenant's queued-cost budget is exhausted; the request was shed.
+    ShedCost = 3,
+    /// The deadline expired before the request could be dispatched.
+    DeadlineExceeded = 4,
+    /// No preprocessed plan for the requested fingerprint exists in the
+    /// cache or store. Provision one with `planctl precompute`.
+    PlanNotFound = 5,
+    /// Malformed or inconsistent request contents (dimension mismatch,
+    /// unsupported scalar width, zero columns, …).
+    BadRequest = 6,
+    /// The server is draining and no longer admits new solves.
+    ShuttingDown = 7,
+    /// The tenant is not configured and no default policy exists.
+    UnknownTenant = 8,
+    /// The frame itself could not be decoded (bad magic, oversize, …).
+    Malformed = 9,
+    /// Unexpected server-side failure.
+    Internal = 10,
+}
+
+impl ErrCode {
+    /// Decode a wire status code.
+    pub fn from_u16(v: u16) -> Option<ErrCode> {
+        Some(match v {
+            1 => ErrCode::RateLimited,
+            2 => ErrCode::Overloaded,
+            3 => ErrCode::ShedCost,
+            4 => ErrCode::DeadlineExceeded,
+            5 => ErrCode::PlanNotFound,
+            6 => ErrCode::BadRequest,
+            7 => ErrCode::ShuttingDown,
+            8 => ErrCode::UnknownTenant,
+            9 => ErrCode::Malformed,
+            10 => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Short machine-readable name (used in messages and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::RateLimited => "rate_limited",
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::ShedCost => "shed_cost",
+            ErrCode::DeadlineExceeded => "deadline_exceeded",
+            ErrCode::PlanNotFound => "plan_not_found",
+            ErrCode::BadRequest => "bad_request",
+            ErrCode::ShuttingDown => "shutting_down",
+            ErrCode::UnknownTenant => "unknown_tenant",
+            ErrCode::Malformed => "malformed",
+            ErrCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the client API (and server internals) can fail with.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as an RBNET frame.
+    Frame(FrameError),
+    /// The server answered with a typed `Err` frame.
+    Remote {
+        /// Wire status code.
+        code: ErrCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The connection closed before a full response arrived.
+    Closed,
+    /// The response did not match the request (wrong tag or kind).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::Closed => write!(f, "connection closed mid-exchange"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_codes_roundtrip() {
+        for v in 1..=10u16 {
+            let code = ErrCode::from_u16(v).unwrap();
+            assert_eq!(code as u16, v);
+            assert!(!code.name().is_empty());
+        }
+        assert_eq!(ErrCode::from_u16(0), None);
+        assert_eq!(ErrCode::from_u16(11), None);
+        assert_eq!(ErrCode::from_u16(u16::MAX), None);
+    }
+}

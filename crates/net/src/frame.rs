@@ -1,0 +1,698 @@
+//! RBNET: the versioned, length-prefixed binary frame protocol.
+//!
+//! Every message is one frame: a fixed 24-byte little-endian header
+//! followed by `payload_len` payload bytes.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "RBNT"
+//! 4       1     version (currently 1)
+//! 5       1     kind    (Solve=1 SolveOk=2 Err=3 Ping=4 Pong=5 Stat=6 StatOk=7)
+//! 6       2     reserved, must be zero
+//! 8       8     tag     (echoed verbatim in the response)
+//! 16      4     payload_len
+//! 20      4     reserved, must be zero
+//! ```
+//!
+//! Solve request payload:
+//!
+//! ```text
+//! 1                tenant_len (1..=64)
+//! tenant_len       tenant name, UTF-8
+//! 8×4              structure fingerprint: nrows ncols nnz hash
+//! 8                value digest
+//! 4                deadline_ms (0 → tenant default)
+//! 1                scalar width in bytes (4 or 8)
+//! 2                k, number of right-hand-side columns (≥ 1)
+//! 8                n, rows per column
+//! k×n×width        column-major values, little-endian
+//! ```
+//!
+//! `SolveOk` mirrors the tail (`width, k, n, values`); `Err` is
+//! `code:u16 msg_len:u16 msg`; `Ping`/`Pong`/`Stat` carry no payload and
+//! `StatOk` is described at [`StatReply`].
+//!
+//! Decoding is allocation-free (parsers return borrowed views) and total:
+//! any byte sequence yields either a frame or a typed [`FrameError`] —
+//! never a panic. That property is fuzzed in `tests/frame_proptest.rs`.
+
+use crate::error::ErrCode;
+use recblock_matrix::{Fingerprint, Scalar};
+use recblock_store::PlanKey;
+use std::fmt;
+
+/// Bytes every frame starts with.
+pub const MAGIC: [u8; 4] = *b"RBNT";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Longest allowed tenant name on the wire.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Frame discriminator. Numeric values are wire format — append only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Solve request (client → server).
+    Solve = 1,
+    /// Successful solve response.
+    SolveOk = 2,
+    /// Typed failure response.
+    Err = 3,
+    /// Liveness probe.
+    Ping = 4,
+    /// Liveness answer.
+    Pong = 5,
+    /// Server status request.
+    Stat = 6,
+    /// Server status answer.
+    StatOk = 7,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Solve,
+            2 => FrameKind::SolveOk,
+            3 => FrameKind::Err,
+            4 => FrameKind::Ping,
+            5 => FrameKind::Pong,
+            6 => FrameKind::Stat,
+            7 => FrameKind::StatOk,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// What the payload means.
+    pub kind: FrameKind,
+    /// Correlation tag, echoed in the response.
+    pub tag: u64,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+}
+
+/// Everything that can be wrong with bytes claiming to be a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not `RBNT`.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// A reserved header field is non-zero.
+    ReservedNonZero,
+    /// The announced payload exceeds the configured maximum.
+    Oversize {
+        /// Announced payload length.
+        len: u32,
+        /// Configured ceiling.
+        max: u32,
+    },
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Tenant name empty, too long, or not UTF-8.
+    BadTenant,
+    /// Scalar width is neither 4 nor 8.
+    BadWidth(u8),
+    /// Zero right-hand-side columns.
+    BadCount,
+    /// The value block does not match `k × n × width`.
+    PayloadSize {
+        /// Bytes the dimensions imply.
+        expected: u128,
+        /// Bytes present.
+        actual: usize,
+    },
+    /// `Err` frame carries an unknown status code.
+    BadErrorCode(u16),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// Payload bytes left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad magic (expected RBNT)"),
+            FrameError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::ReservedNonZero => write!(f, "reserved header bits set"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "payload of {len} bytes exceeds maximum {max}")
+            }
+            FrameError::Truncated { needed, have } => {
+                write!(f, "truncated payload: field needs {needed} bytes, {have} available")
+            }
+            FrameError::BadTenant => write!(f, "tenant name empty, over 64 bytes, or not UTF-8"),
+            FrameError::BadWidth(w) => write!(f, "scalar width {w} is not 4 or 8"),
+            FrameError::BadCount => write!(f, "zero right-hand-side columns"),
+            FrameError::PayloadSize { expected, actual } => {
+                write!(f, "value block is {actual} bytes, dimensions imply {expected}")
+            }
+            FrameError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            FrameError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Allocation-free little-endian cursor over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(FrameError::Truncated { needed: n, have });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(FrameError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+/// Try to decode a header from the front of `buf`.
+///
+/// `Ok(None)` means "not enough bytes yet — read more"; errors are
+/// unrecoverable for the connection (the stream cannot be resynchronised).
+pub fn decode_header(buf: &[u8], max_payload: u32) -> Result<Option<Header>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(FrameError::BadVersion(buf[4]));
+    }
+    let kind = FrameKind::from_u8(buf[5]).ok_or(FrameError::BadKind(buf[5]))?;
+    if buf[6] != 0 || buf[7] != 0 {
+        return Err(FrameError::ReservedNonZero);
+    }
+    let tag = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+    if buf[20..24] != [0; 4] {
+        return Err(FrameError::ReservedNonZero);
+    }
+    if payload_len > max_payload {
+        return Err(FrameError::Oversize { len: payload_len, max: max_payload });
+    }
+    Ok(Some(Header { kind, tag, payload_len }))
+}
+
+/// Append a frame header to `out`.
+pub fn encode_header(out: &mut Vec<u8>, kind: FrameKind, tag: u64, payload_len: u32) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(&[0; 4]);
+}
+
+/// Borrowed view of a decoded solve request payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveRequest<'a> {
+    /// Requesting tenant.
+    pub tenant: &'a str,
+    /// Plan identity (structure fingerprint + value digest).
+    pub key: PlanKey,
+    /// Per-request deadline in milliseconds; 0 means "tenant default".
+    pub deadline_ms: u32,
+    /// Scalar width in bytes (4 or 8).
+    pub width: u8,
+    /// Right-hand-side columns.
+    pub k: u16,
+    /// Rows per column.
+    pub n: u64,
+    /// Raw column-major value bytes, exactly `k × n × width` long.
+    pub values: &'a [u8],
+}
+
+impl<'a> SolveRequest<'a> {
+    /// Raw bytes of column `j`.
+    pub fn col_bytes(&self, j: usize) -> &'a [u8] {
+        let stride = self.n as usize * self.width as usize;
+        &self.values[j * stride..(j + 1) * stride]
+    }
+
+    /// Admission cost of this request: `nnz × k`.
+    pub fn cost(&self) -> u64 {
+        (self.key.structure.nnz as u64).saturating_mul(self.k as u64).max(1)
+    }
+}
+
+/// Parse a solve request payload (the bytes after the header).
+pub fn parse_solve(payload: &[u8]) -> Result<SolveRequest<'_>, FrameError> {
+    let mut c = Cursor::new(payload);
+    let tlen = c.u8()? as usize;
+    if tlen == 0 || tlen > MAX_TENANT_LEN {
+        return Err(FrameError::BadTenant);
+    }
+    let tenant = std::str::from_utf8(c.take(tlen)?).map_err(|_| FrameError::BadTenant)?;
+    let structure = Fingerprint {
+        nrows: c.u64()? as usize,
+        ncols: c.u64()? as usize,
+        nnz: c.u64()? as usize,
+        hash: c.u64()?,
+    };
+    let values_digest = c.u64()?;
+    let deadline_ms = c.u32()?;
+    let width = c.u8()?;
+    if width != 4 && width != 8 {
+        return Err(FrameError::BadWidth(width));
+    }
+    let k = c.u16()?;
+    if k == 0 {
+        return Err(FrameError::BadCount);
+    }
+    let n = c.u64()?;
+    let values = c.rest();
+    let expected = k as u128 * n as u128 * width as u128;
+    if expected != values.len() as u128 {
+        return Err(FrameError::PayloadSize { expected, actual: values.len() });
+    }
+    Ok(SolveRequest {
+        tenant,
+        key: PlanKey { structure, values: values_digest },
+        deadline_ms,
+        width,
+        k,
+        n,
+        values,
+    })
+}
+
+/// Append a complete solve request frame (header + payload) to `out`.
+///
+/// Every column in `cols` must have the same length `n`.
+pub fn encode_solve<S: Scalar>(
+    out: &mut Vec<u8>,
+    tag: u64,
+    tenant: &str,
+    key: &PlanKey,
+    deadline_ms: u32,
+    cols: &[&[S]],
+) {
+    assert!(!tenant.is_empty() && tenant.len() <= MAX_TENANT_LEN, "tenant name must be 1..=64");
+    assert!(!cols.is_empty(), "at least one right-hand side");
+    let n = cols[0].len();
+    assert!(cols.iter().all(|c| c.len() == n), "all columns equally long");
+    let payload_len = 1 + tenant.len() + 40 + 4 + 1 + 2 + 8 + cols.len() * n * S::BYTES;
+    encode_header(out, FrameKind::Solve, tag, payload_len as u32);
+    out.push(tenant.len() as u8);
+    out.extend_from_slice(tenant.as_bytes());
+    for v in [
+        key.structure.nrows as u64,
+        key.structure.ncols as u64,
+        key.structure.nnz as u64,
+        key.structure.hash,
+        key.values,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&deadline_ms.to_le_bytes());
+    out.push(S::BYTES as u8);
+    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    for col in cols {
+        encode_scalars(col, out);
+    }
+}
+
+/// Borrowed view of a successful solve response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOk<'a> {
+    /// Scalar width in bytes.
+    pub width: u8,
+    /// Solution columns.
+    pub k: u16,
+    /// Rows per column.
+    pub n: u64,
+    /// Raw column-major value bytes.
+    pub values: &'a [u8],
+}
+
+impl<'a> SolveOk<'a> {
+    /// Raw bytes of column `j`.
+    pub fn col_bytes(&self, j: usize) -> &'a [u8] {
+        let stride = self.n as usize * self.width as usize;
+        &self.values[j * stride..(j + 1) * stride]
+    }
+}
+
+/// Parse a `SolveOk` payload.
+pub fn parse_solve_ok(payload: &[u8]) -> Result<SolveOk<'_>, FrameError> {
+    let mut c = Cursor::new(payload);
+    let width = c.u8()?;
+    if width != 4 && width != 8 {
+        return Err(FrameError::BadWidth(width));
+    }
+    let k = c.u16()?;
+    if k == 0 {
+        return Err(FrameError::BadCount);
+    }
+    let n = c.u64()?;
+    let values = c.rest();
+    let expected = k as u128 * n as u128 * width as u128;
+    if expected != values.len() as u128 {
+        return Err(FrameError::PayloadSize { expected, actual: values.len() });
+    }
+    Ok(SolveOk { width, k, n, values })
+}
+
+/// Append a complete `SolveOk` frame built from solved columns.
+pub fn encode_solve_ok<S: Scalar>(out: &mut Vec<u8>, tag: u64, cols: &[Vec<S>]) {
+    let n = cols.first().map_or(0, |c| c.len());
+    let payload_len = 1 + 2 + 8 + cols.len() * n * S::BYTES;
+    encode_header(out, FrameKind::SolveOk, tag, payload_len as u32);
+    out.push(S::BYTES as u8);
+    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    for col in cols {
+        encode_scalars(col, out);
+    }
+}
+
+/// Parse an `Err` payload into its status code and message.
+pub fn parse_err(payload: &[u8]) -> Result<(ErrCode, &str), FrameError> {
+    let mut c = Cursor::new(payload);
+    let raw = c.u16()?;
+    let code = ErrCode::from_u16(raw).ok_or(FrameError::BadErrorCode(raw))?;
+    let mlen = c.u16()? as usize;
+    let msg = std::str::from_utf8(c.take(mlen)?).map_err(|_| FrameError::BadUtf8)?;
+    c.finish()?;
+    Ok((code, msg))
+}
+
+/// Append a complete `Err` frame. Messages over `u16::MAX` bytes are
+/// truncated at a char boundary.
+pub fn encode_err(out: &mut Vec<u8>, tag: u64, code: ErrCode, msg: &str) {
+    let mut cut = msg.len().min(u16::MAX as usize);
+    while !msg.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let msg = &msg[..cut];
+    encode_header(out, FrameKind::Err, tag, (2 + 2 + msg.len()) as u32);
+    out.extend_from_slice(&(code as u16).to_le_bytes());
+    out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+    out.extend_from_slice(msg.as_bytes());
+}
+
+/// One tenant's slice of a [`StatReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStat {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests queued ahead of dispatch right now.
+    pub queue_depth: u64,
+    /// Requests admitted so far.
+    pub admitted: u64,
+    /// Requests answered with a solution.
+    pub completed: u64,
+    /// Requests refused by rate admission.
+    pub admission_rejected: u64,
+    /// Requests shed by cost budget or deadline.
+    pub shed: u64,
+}
+
+/// Decoded `StatOk` payload: warm status plus per-tenant queue depths.
+///
+/// Wire layout: `draining:u8 plans_warm:u32 inflight:u32 tenant_count:u16`
+/// then per tenant `name_len:u8 name queue_depth:u64 admitted:u64
+/// completed:u64 admission_rejected:u64 shed:u64`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatReply {
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Distinct plans this server has resolved (cache or store) so far.
+    pub plans_warm: u32,
+    /// Requests dispatched into the solver and not yet answered.
+    pub inflight: u32,
+    /// Per-tenant slices, sorted by name.
+    pub tenants: Vec<TenantStat>,
+}
+
+/// Append a complete `StatOk` frame.
+pub fn encode_stat_reply(out: &mut Vec<u8>, tag: u64, stat: &StatReply) {
+    let payload_len =
+        1 + 4 + 4 + 2 + stat.tenants.iter().map(|t| 1 + t.tenant.len() + 40).sum::<usize>();
+    encode_header(out, FrameKind::StatOk, tag, payload_len as u32);
+    out.push(stat.draining as u8);
+    out.extend_from_slice(&stat.plans_warm.to_le_bytes());
+    out.extend_from_slice(&stat.inflight.to_le_bytes());
+    out.extend_from_slice(&(stat.tenants.len() as u16).to_le_bytes());
+    for t in &stat.tenants {
+        out.push(t.tenant.len() as u8);
+        out.extend_from_slice(t.tenant.as_bytes());
+        for v in [t.queue_depth, t.admitted, t.completed, t.admission_rejected, t.shed] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Parse a `StatOk` payload.
+pub fn parse_stat_reply(payload: &[u8]) -> Result<StatReply, FrameError> {
+    let mut c = Cursor::new(payload);
+    let draining = c.u8()? != 0;
+    let plans_warm = c.u32()?;
+    let inflight = c.u32()?;
+    let count = c.u16()?;
+    let mut tenants = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let nlen = c.u8()? as usize;
+        let tenant =
+            std::str::from_utf8(c.take(nlen)?).map_err(|_| FrameError::BadUtf8)?.to_string();
+        tenants.push(TenantStat {
+            tenant,
+            queue_depth: c.u64()?,
+            admitted: c.u64()?,
+            completed: c.u64()?,
+            admission_rejected: c.u64()?,
+            shed: c.u64()?,
+        });
+    }
+    c.finish()?;
+    Ok(StatReply { draining, plans_warm, inflight, tenants })
+}
+
+/// Decode a little-endian value block into `out` (cleared first). The
+/// stated `width` must match `S`; capacity is reused, so a warm caller
+/// allocates nothing.
+pub fn decode_scalars<S: Scalar>(
+    bytes: &[u8],
+    width: u8,
+    out: &mut Vec<S>,
+) -> Result<(), FrameError> {
+    if width as usize != S::BYTES {
+        return Err(FrameError::BadWidth(width));
+    }
+    out.clear();
+    out.reserve(bytes.len() / S::BYTES);
+    match S::BYTES {
+        4 => {
+            for chunk in bytes.chunks_exact(4) {
+                let v = f32::from_bits(u32::from_le_bytes(chunk.try_into().unwrap()));
+                out.push(S::from_f64(v as f64));
+            }
+        }
+        _ => {
+            for chunk in bytes.chunks_exact(8) {
+                let v = f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap()));
+                out.push(S::from_f64(v));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Append the little-endian value block for `vals` to `out`.
+pub fn encode_scalars<S: Scalar>(vals: &[S], out: &mut Vec<u8>) {
+    match S::BYTES {
+        4 => {
+            for v in vals {
+                out.extend_from_slice(&(v.to_f64() as f32).to_bits().to_le_bytes());
+            }
+        }
+        _ => {
+            for v in vals {
+                out.extend_from_slice(&v.to_f64().to_bits().to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_key() -> PlanKey {
+        PlanKey {
+            structure: Fingerprint { nrows: 10, ncols: 10, nnz: 28, hash: 0xdead_beef },
+            values: 0x1234_5678_9abc_def0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = Vec::new();
+        encode_header(&mut buf, FrameKind::Ping, 42, 0);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let h = decode_header(&buf, 1024).unwrap().unwrap();
+        assert_eq!(h, Header { kind: FrameKind::Ping, tag: 42, payload_len: 0 });
+    }
+
+    #[test]
+    fn short_header_needs_more_bytes() {
+        let mut buf = Vec::new();
+        encode_header(&mut buf, FrameKind::Stat, 7, 0);
+        for cut in 0..HEADER_LEN {
+            assert_eq!(decode_header(&buf[..cut], 1024).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let mut buf = Vec::new();
+        encode_header(&mut buf, FrameKind::Solve, 1, 10);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_header(&bad, 1024), Err(FrameError::BadMagic));
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert_eq!(decode_header(&bad, 1024), Err(FrameError::BadVersion(9)));
+        let mut bad = buf.clone();
+        bad[5] = 200;
+        assert_eq!(decode_header(&bad, 1024), Err(FrameError::BadKind(200)));
+        let mut bad = buf.clone();
+        bad[6] = 1;
+        assert_eq!(decode_header(&bad, 1024), Err(FrameError::ReservedNonZero));
+        assert_eq!(decode_header(&buf, 9), Err(FrameError::Oversize { len: 10, max: 9 }));
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let cols: Vec<Vec<f64>> = vec![(0..10).map(|i| i as f64).collect(); 3];
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        encode_solve(&mut buf, 99, "alpha", &demo_key(), 250, &refs);
+        let h = decode_header(&buf, 1 << 20).unwrap().unwrap();
+        assert_eq!(h.kind, FrameKind::Solve);
+        assert_eq!(h.tag, 99);
+        let req = parse_solve(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(req.tenant, "alpha");
+        assert_eq!(req.key, demo_key());
+        assert_eq!(req.deadline_ms, 250);
+        assert_eq!((req.width, req.k, req.n), (8, 3, 10));
+        let mut col = Vec::new();
+        decode_scalars::<f64>(req.col_bytes(1), req.width, &mut col).unwrap();
+        assert_eq!(col, cols[1]);
+        assert_eq!(req.cost(), 28 * 3);
+    }
+
+    #[test]
+    fn solve_ok_and_err_roundtrip() {
+        let cols = vec![vec![1.5f32, -2.5, 3.0]];
+        let mut buf = Vec::new();
+        encode_solve_ok(&mut buf, 5, &cols);
+        let h = decode_header(&buf, 1 << 20).unwrap().unwrap();
+        assert_eq!(h.kind, FrameKind::SolveOk);
+        let ok = parse_solve_ok(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!((ok.width, ok.k, ok.n), (4, 1, 3));
+        let mut col = Vec::new();
+        decode_scalars::<f32>(ok.col_bytes(0), 4, &mut col).unwrap();
+        assert_eq!(col, cols[0]);
+
+        let mut buf = Vec::new();
+        encode_err(&mut buf, 6, ErrCode::RateLimited, "slow down");
+        let (code, msg) = parse_err(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(code, ErrCode::RateLimited);
+        assert_eq!(msg, "slow down");
+    }
+
+    #[test]
+    fn stat_roundtrip() {
+        let stat = StatReply {
+            draining: true,
+            plans_warm: 3,
+            inflight: 7,
+            tenants: vec![TenantStat {
+                tenant: "beta".into(),
+                queue_depth: 2,
+                admitted: 10,
+                completed: 8,
+                admission_rejected: 1,
+                shed: 1,
+            }],
+        };
+        let mut buf = Vec::new();
+        encode_stat_reply(&mut buf, 1, &stat);
+        let parsed = parse_stat_reply(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(parsed, stat);
+    }
+
+    #[test]
+    fn payload_mismatches_are_typed() {
+        let cols: Vec<Vec<f64>> = vec![vec![0.0; 4]];
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        encode_solve(&mut buf, 1, "t", &demo_key(), 0, &refs);
+        // Chop one value byte: dimensions no longer match the block.
+        let payload = &buf[HEADER_LEN..buf.len() - 1];
+        assert!(matches!(parse_solve(payload), Err(FrameError::PayloadSize { .. })));
+        // Truncate inside the fixed fields.
+        assert!(parse_solve(&buf[HEADER_LEN..HEADER_LEN + 3]).is_err());
+        // Empty tenant.
+        assert_eq!(parse_solve(&[0u8, 1, 2]), Err(FrameError::BadTenant));
+    }
+}

@@ -1,0 +1,37 @@
+//! recblock-net: TCP front end for the SpTRSV solve service.
+//!
+//! The paper's serving story ends at an in-process API; this crate puts a
+//! network boundary in front of it without changing the compute tier's
+//! guarantees. One event-loop thread (no async runtime, no external
+//! dependencies — readiness comes from a vendored epoll/poll shim in
+//! [`poll`]) speaks the length-prefixed [`frame`] protocol, applies
+//! per-tenant admission control and weighted-fair scheduling ([`qos`]),
+//! and routes admitted right-hand sides into
+//! [`recblock_serve::SolveService`] through its pluggable
+//! [`recblock_serve::ResponseSink`] transport boundary.
+//!
+//! Requests carry a matrix **fingerprint**, never the matrix: the server
+//! only serves plans already warm in the cache or the persistent store
+//! (provision them with `planctl precompute`), which keeps the wire cost
+//! proportional to the right-hand sides and makes `PlanNotFound` a typed,
+//! retryable condition.
+//!
+//! See `DESIGN.md` §11 for the frame layout, the QoS semantics and the
+//! overload ladder.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod poll;
+pub mod qos;
+pub mod server;
+
+pub use client::{NetClient, SolveOutcome};
+pub use config::{NetConfig, TenantPolicy};
+pub use error::{ErrCode, NetError};
+pub use frame::{FrameError, FrameKind, Header, StatReply, TenantStat};
+pub use qos::{FairQueue, TokenBucket};
+pub use server::{NetCtl, NetServer};

@@ -1,0 +1,341 @@
+//! Vendored readiness-polling shim — no external crates.
+//!
+//! On Linux this is a thin, safe wrapper over the `epoll` syscalls,
+//! declared via `extern "C"` against the libc that `std` already links.
+//! Other unix targets fall back to POSIX `poll(2)`. Both are
+//! level-triggered: an event repeats every wait until the condition is
+//! consumed, which lets the server leave bytes unread under backpressure
+//! without losing the wakeup.
+//!
+//! The wrapper is allocation-free after construction: the kernel event
+//! ring is a fixed boxed array and callers pass a reusable `Vec<Event>`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// Reading (or accepting) will not block — includes EOF and errors,
+    /// which a read surfaces.
+    pub readable: bool,
+    /// Writing will not block (or the peer hung up and a write will
+    /// surface the error).
+    pub writable: bool,
+}
+
+/// Level-triggered readiness poller.
+pub struct Poller {
+    sys: sys::Poller,
+}
+
+impl Poller {
+    /// Create a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { sys: sys::Poller::new()? })
+    }
+
+    /// Start watching `fd` under `token` for the given interests.
+    pub fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.sys.add(fd, token, readable, writable)
+    }
+
+    /// Change the interests (and token) of an already-watched `fd`.
+    pub fn modify(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        self.sys.modify(fd, token, readable, writable)
+    }
+
+    /// Stop watching `fd`.
+    pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+        self.sys.remove(fd)
+    }
+
+    /// Wait for events, appending them to `out` (cleared first). `None`
+    /// blocks indefinitely. A signal interruption returns an empty set.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        self.sys.wait(out, timeout)
+    }
+}
+
+/// Clamp an optional timeout to the millisecond argument `poll`/`epoll`
+/// take: `None` → -1 (infinite); sub-millisecond non-zero waits round up
+/// so a caller asking for "a little while" never busy-spins at 0 ms.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => d.as_millis().clamp(1, i32::MAX as u128) as i32,
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    /// Matches the kernel's `struct epoll_event`, which is packed on x86.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, max: c_int, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const RING: usize = 256;
+
+    pub struct Poller {
+        epfd: c_int,
+        ring: Box<[EpollEvent; RING]>,
+    }
+
+    fn check(rc: c_int) -> io::Result<()> {
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn interests(readable: bool, writable: bool) -> u32 {
+        (if readable { EPOLLIN } else { 0 }) | (if writable { EPOLLOUT } else { 0 })
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            check(epfd)?;
+            Ok(Poller { epfd, ring: Box::new([EpollEvent { events: 0, data: 0 }; RING]) })
+        }
+
+        fn ctl(&mut self, op: c_int, fd: RawFd, ev: Option<&mut EpollEvent>) -> io::Result<()> {
+            let ptr = ev.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            check(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, r: bool, w: bool) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interests(r, w), data: token };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(&mut ev))
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, r: bool, w: bool) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interests(r, w), data: token };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(&mut ev))
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let n = unsafe {
+                epoll_wait(self.epfd, self.ring.as_mut_ptr(), RING as c_int, timeout_ms(timeout))
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for i in 0..n as usize {
+                let ev = self.ring[i];
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    struct Entry {
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    }
+
+    pub struct Poller {
+        entries: Vec<Entry>,
+        fds: Vec<PollFd>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { entries: Vec::new(), fds: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, r: bool, w: bool) -> io::Result<()> {
+            if self.entries.iter().any(|e| e.fd == fd) {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            self.entries.push(Entry { fd, token, readable: r, writable: w });
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, r: bool, w: bool) -> io::Result<()> {
+            let e = self
+                .entries
+                .iter_mut()
+                .find(|e| e.fd == fd)
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))?;
+            (e.token, e.readable, e.writable) = (token, r, w);
+            Ok(())
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            let pos = self
+                .entries
+                .iter()
+                .position(|e| e.fd == fd)
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))?;
+            self.entries.swap_remove(pos);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            self.fds.clear();
+            for e in &self.entries {
+                let events =
+                    (if e.readable { POLLIN } else { 0 }) | (if e.writable { POLLOUT } else { 0 });
+                self.fds.push(PollFd { fd: e.fd, events, revents: 0 });
+            }
+            let n = unsafe {
+                poll(self.fds.as_mut_ptr(), self.fds.len() as c_uint, timeout_ms(timeout))
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, entry) in self.fds.iter().zip(&self.entries) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token: entry.token,
+                    readable: bits & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: bits & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_fires_on_written_bytes() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut p = Poller::new().unwrap();
+        p.add(a.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+
+        p.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "nothing written yet");
+
+        b.write_all(b"x").unwrap();
+        p.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the event repeats until the byte is consumed.
+        p.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(events.len(), 1, "still readable");
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        p.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "consumed");
+        p.remove(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut p = Poller::new().unwrap();
+        p.add(a.as_raw_fd(), 1, false, true).unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable), "socket is writable");
+        // Drop write interest: no more events.
+        p.modify(a.as_raw_fd(), 1, false, false).unwrap();
+        p.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+}

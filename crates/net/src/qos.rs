@@ -1,0 +1,285 @@
+//! Multi-tenant QoS primitives: token-bucket admission and deficit
+//! round-robin fair dequeue.
+//!
+//! Both work in **cost units** — one unit of cost is one stored nonzero
+//! multiplied through one right-hand side (`nnz × k` per request) — so a
+//! tenant sending few huge solves and one sending many small solves are
+//! metered on the work they actually impose, not on request counts.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Classic token bucket over f64 cost units.
+///
+/// `rate` tokens accrue per second up to `burst`; a request of cost `c` is
+/// admitted iff `c` tokens are available. An infinite `rate` disables
+/// metering entirely (and never evaluates `∞ × 0`, which would be NaN).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` cost/sec, holding at most `burst`,
+    /// starting full.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> TokenBucket {
+        let burst = burst.max(0.0);
+        TokenBucket { rate: rate.max(0.0), burst, tokens: burst, last: now }
+    }
+
+    /// Credit elapsed time. Monotone: refilling never removes tokens.
+    pub fn refill(&mut self, now: Instant) {
+        if now <= self.last {
+            return;
+        }
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        if self.rate.is_infinite() {
+            self.tokens = self.burst;
+        } else {
+            self.tokens = (self.tokens + self.rate * dt).min(self.burst);
+        }
+    }
+
+    /// Admit a request of `cost` units if the bucket covers it.
+    pub fn try_take(&mut self, cost: f64, now: Instant) -> bool {
+        if self.rate.is_infinite() {
+            return true;
+        }
+        self.refill(now);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after the last refill).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+struct Lane<T> {
+    weight: f64,
+    deficit: f64,
+    queue: VecDeque<(f64, T)>,
+    queued_cost: f64,
+    in_active: bool,
+}
+
+/// Deficit round-robin fair queue across weighted lanes.
+///
+/// Each rotation credits lane *i* with `quantum × weightᵢ` deficit and
+/// serves its head items while the deficit covers their cost, so long-run
+/// served **cost** per lane is proportional to its weight under
+/// saturation. The quantum adapts to the largest item cost seen, which
+/// bounds a `pop` to one extra rotation per `1/min-weight` and keeps the
+/// structure allocation-free once lane queues are warm.
+pub struct FairQueue<T> {
+    lanes: Vec<Lane<T>>,
+    active: VecDeque<usize>,
+    quantum: f64,
+    len: usize,
+}
+
+impl<T> Default for FairQueue<T> {
+    fn default() -> Self {
+        FairQueue::new()
+    }
+}
+
+impl<T> FairQueue<T> {
+    /// An empty queue with no lanes.
+    pub fn new() -> FairQueue<T> {
+        FairQueue { lanes: Vec::new(), active: VecDeque::new(), quantum: 1.0, len: 0 }
+    }
+
+    /// Register a lane with `weight > 0`; returns its index.
+    pub fn add_lane(&mut self, weight: f64) -> usize {
+        assert!(weight > 0.0 && weight.is_finite(), "lane weight must be positive and finite");
+        self.lanes.push(Lane {
+            weight,
+            deficit: 0.0,
+            queue: VecDeque::new(),
+            queued_cost: 0.0,
+            in_active: false,
+        });
+        self.lanes.len() - 1
+    }
+
+    /// Queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no lane holds an item.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued items in one lane.
+    pub fn lane_depth(&self, lane: usize) -> usize {
+        self.lanes[lane].queue.len()
+    }
+
+    /// Total queued cost in one lane.
+    pub fn lane_cost(&self, lane: usize) -> f64 {
+        self.lanes[lane].queued_cost
+    }
+
+    /// Append an item of `cost` to `lane`.
+    pub fn push(&mut self, lane: usize, cost: f64, item: T) {
+        let cost = cost.max(0.0);
+        self.quantum = self.quantum.max(cost);
+        let l = &mut self.lanes[lane];
+        l.queue.push_back((cost, item));
+        l.queued_cost += cost;
+        if !l.in_active {
+            l.in_active = true;
+            self.active.push_back(lane);
+        }
+        self.len += 1;
+    }
+
+    /// Put an item back at the head of `lane` (a dispatch that could not
+    /// complete), refunding its deficit so it is re-served first.
+    pub fn push_front(&mut self, lane: usize, cost: f64, item: T) {
+        let cost = cost.max(0.0);
+        self.quantum = self.quantum.max(cost);
+        let l = &mut self.lanes[lane];
+        l.queue.push_front((cost, item));
+        l.queued_cost += cost;
+        l.deficit += cost;
+        if !l.in_active {
+            l.in_active = true;
+            self.active.push_front(lane);
+        }
+        self.len += 1;
+    }
+
+    /// Dequeue the next item under DRR order: `(lane, cost, item)`.
+    pub fn pop(&mut self) -> Option<(usize, f64, T)> {
+        loop {
+            let &idx = self.active.front()?;
+            let lane = &mut self.lanes[idx];
+            let Some(&(head_cost, _)) = lane.queue.front() else {
+                lane.in_active = false;
+                lane.deficit = 0.0;
+                self.active.pop_front();
+                continue;
+            };
+            if lane.deficit >= head_cost {
+                let (cost, item) = lane.queue.pop_front().expect("head just observed");
+                lane.deficit -= cost;
+                lane.queued_cost = (lane.queued_cost - cost).max(0.0);
+                if lane.queue.is_empty() {
+                    lane.in_active = false;
+                    lane.deficit = 0.0;
+                    self.active.pop_front();
+                }
+                self.len -= 1;
+                return Some((idx, cost, item));
+            }
+            // Not enough deficit: credit one quantum and rotate onward.
+            lane.deficit += self.quantum * lane.weight;
+            let front = self.active.pop_front().expect("non-empty");
+            self.active.push_back(front);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_admits_within_burst_then_refuses() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(100.0, 50.0, t0);
+        assert!(b.try_take(30.0, t0));
+        assert!(b.try_take(20.0, t0));
+        assert!(!b.try_take(1.0, t0), "burst exhausted");
+        // 0.2 s later 20 tokens have accrued.
+        let t1 = t0 + Duration::from_millis(200);
+        assert!(b.try_take(15.0, t1));
+        assert!(!b.try_take(10.0, t1));
+    }
+
+    #[test]
+    fn infinite_rate_never_refuses() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(f64::INFINITY, f64::MAX, t0);
+        for i in 0..100 {
+            assert!(b.try_take(1e300, t0 + Duration::from_nanos(i)));
+        }
+        assert!(b.tokens().is_finite() || b.tokens() == f64::MAX);
+    }
+
+    #[test]
+    fn drr_is_fifo_within_one_lane() {
+        let mut q = FairQueue::new();
+        let a = q.add_lane(1.0);
+        for i in 0..5 {
+            q.push(a, 10.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drr_long_run_cost_share_tracks_weights() {
+        let mut q = FairQueue::new();
+        let heavy = q.add_lane(3.0);
+        let light = q.add_lane(1.0);
+        for _ in 0..400 {
+            q.push(heavy, 5.0, "heavy");
+            q.push(light, 5.0, "light");
+        }
+        // Under saturation, the first 200 pops should split ~3:1 by cost.
+        let mut served = [0usize; 2];
+        for _ in 0..200 {
+            let (lane, _, _) = q.pop().unwrap();
+            served[lane] += 1;
+        }
+        let ratio = served[heavy] as f64 / served[light] as f64;
+        assert!((2.4..=3.75).contains(&ratio), "ratio {ratio}, served {served:?}");
+    }
+
+    #[test]
+    fn push_front_is_served_next() {
+        let mut q = FairQueue::new();
+        let a = q.add_lane(1.0);
+        let b = q.add_lane(1.0);
+        q.push(a, 1.0, 1);
+        q.push(b, 1.0, 2);
+        let (lane, cost, first) = q.pop().unwrap();
+        q.push_front(lane, cost, first);
+        let (_, _, again) = q.pop().unwrap();
+        assert_eq!(first, again, "requeued item comes back first");
+    }
+
+    #[test]
+    fn mixed_costs_terminate_and_drain() {
+        let mut q = FairQueue::new();
+        let a = q.add_lane(0.25);
+        let b = q.add_lane(4.0);
+        for i in 0..50 {
+            q.push(a, 1000.0, i);
+            q.push(b, 1.0, i + 100);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert!(q.is_empty());
+        assert_eq!(q.lane_depth(a) + q.lane_depth(b), 0);
+    }
+}

@@ -1,0 +1,916 @@
+//! The non-blocking event-loop server.
+//!
+//! One thread owns every socket. A [`Poller`] (epoll/poll shim) drives
+//! three token classes: the listener, a self-pipe the compute tier wakes
+//! after finishing a solve, and one token per connection. Requests flow
+//!
+//! ```text
+//! read → frame decode → admission ladder → fair queue → dispatch
+//!   admission: tenant? draining? shape? plan warm? tokens? queued cost?
+//! worker → ResponseSink → completion queue → wake pipe → write-back
+//! ```
+//!
+//! The steady-state path performs **zero allocations on the event-loop
+//! thread**: read/write buffers, value-column vectors, the in-flight slab,
+//! the completion queue and every queue node are pooled and recycled
+//! (`tests/alloc_regression.rs` enforces this with a counting allocator).
+
+use crate::config::{NetConfig, TenantPolicy};
+use crate::error::ErrCode;
+use crate::frame::{self, FrameError, FrameKind, Header, StatReply, TenantStat, HEADER_LEN};
+use crate::poll::{Event, Poller};
+use crate::qos::{FairQueue, TokenBucket};
+use recblock::RecBlockSolver;
+use recblock_matrix::Scalar;
+use recblock_serve::{Metrics, ResponseSink, ServeError, SolveService, TenantCounters};
+use recblock_store::PlanKey;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+const READ_CHUNK: usize = 64 * 1024;
+const MAX_READ_ROUNDS: usize = 16;
+const POOL_VECS: usize = 512;
+const POOL_COLSETS: usize = 64;
+
+/// Handle for requesting a graceful drain from any thread.
+#[derive(Clone)]
+pub struct NetCtl {
+    shared: Arc<CtlShared>,
+}
+
+struct CtlShared {
+    drain: AtomicBool,
+    wake: UnixStream,
+}
+
+impl NetCtl {
+    /// Begin draining: new solves are refused with `ShuttingDown`, queued
+    /// and in-flight solves complete and flush, then the event loop exits.
+    pub fn shutdown(&self) {
+        self.shared.drain.store(true, Ordering::Release);
+        let _ = (&self.shared.wake).write(&[1u8]);
+    }
+}
+
+type Completion<S> = (u64, Result<Vec<S>, ServeError>);
+
+/// Completion mailbox the compute tier delivers into; doubles as the
+/// service's [`ResponseSink`].
+struct Completions<S> {
+    queue: Mutex<VecDeque<Completion<S>>>,
+    wake: UnixStream,
+    wake_pending: AtomicBool,
+}
+
+impl<S: Scalar> ResponseSink<S> for Completions<S> {
+    fn deliver(&self, tag: u64, result: Result<Vec<S>, ServeError>) {
+        self.queue.lock().unwrap().push_back((tag, result));
+        if !self.wake_pending.swap(true, Ordering::AcqRel) {
+            let _ = (&self.wake).write(&[1u8]);
+        }
+    }
+}
+
+struct TenantState {
+    name: String,
+    policy: TenantPolicy,
+    bucket: TokenBucket,
+    counters: Arc<TenantCounters>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Read side still open and parsing (false after EOF or a fatal
+    /// protocol error).
+    reading: bool,
+    /// Close once the write buffer drains.
+    close_after_flush: bool,
+    /// Admitted requests whose answers will route to this connection.
+    refs: usize,
+    /// Interests currently registered with the poller.
+    registered: (bool, bool),
+}
+
+/// One admitted solve awaiting dispatch.
+struct QueuedSolve {
+    slot: u32,
+    deadline: Option<Instant>,
+}
+
+/// One admitted solve from admission until its response is written.
+struct Inflight<S> {
+    conn: u32,
+    conn_gen: u32,
+    client_tag: u64,
+    tenant: u16,
+    k: u16,
+    /// Columns still owed a completion.
+    remaining: u16,
+    cols: Vec<Vec<S>>,
+    key: PlanKey,
+    plan: Option<Arc<RecBlockSolver<S>>>,
+    error: Option<ErrCode>,
+}
+
+/// The TCP front end: owns the listener, all connections and the QoS
+/// state; drives everything from [`NetServer::turn`].
+pub struct NetServer<S: Scalar> {
+    listener: TcpListener,
+    poller: Poller,
+    events: Vec<Event>,
+    config: NetConfig,
+    service: Arc<SolveService<S>>,
+    metrics: Arc<Metrics>,
+
+    conns: Vec<Option<Conn>>,
+    conn_gens: Vec<u32>,
+    free_conns: Vec<usize>,
+    open_conns: usize,
+
+    tenants: Vec<TenantState>,
+    tenant_ids: HashMap<String, usize>,
+    fair: FairQueue<QueuedSolve>,
+
+    inflight: Vec<Option<Inflight<S>>>,
+    free_slots: Vec<usize>,
+    /// Columns admitted and not yet answered (queued + dispatched).
+    admitted_cols: usize,
+    /// Columns handed to the compute tier and not yet completed.
+    dispatched_cols: usize,
+
+    completions: Arc<Completions<S>>,
+    sink: Arc<dyn ResponseSink<S>>,
+    wake_rx: UnixStream,
+    ctl: Arc<CtlShared>,
+
+    vec_pool: Vec<Vec<S>>,
+    colset_pool: Vec<Vec<Vec<S>>>,
+    keys_warm: HashSet<PlanKey>,
+
+    draining: bool,
+    done: bool,
+}
+
+fn map_serve_err(e: &ServeError) -> ErrCode {
+    match e {
+        ServeError::Overloaded { .. } => ErrCode::Overloaded,
+        ServeError::ShuttingDown => ErrCode::ShuttingDown,
+        ServeError::BadRequest { .. } => ErrCode::BadRequest,
+        ServeError::PlanBuild(_) | ServeError::Solver(_) | ServeError::Cancelled => {
+            ErrCode::Internal
+        }
+    }
+}
+
+fn msg_for(code: ErrCode) -> &'static str {
+    match code {
+        ErrCode::RateLimited => "tenant token bucket exhausted; back off and retry",
+        ErrCode::Overloaded => "service queue full; nothing was enqueued",
+        ErrCode::ShedCost => "tenant queued-cost budget exhausted",
+        ErrCode::DeadlineExceeded => "deadline expired before dispatch",
+        ErrCode::PlanNotFound => "no plan for this fingerprint; run planctl precompute",
+        ErrCode::BadRequest => "request shape does not match the plan",
+        ErrCode::ShuttingDown => "server is draining",
+        ErrCode::UnknownTenant => "tenant not configured and no default policy",
+        ErrCode::Malformed => "undecodable frame; closing connection",
+        ErrCode::Internal => "internal solve failure",
+    }
+}
+
+impl<S: Scalar> NetServer<S> {
+    /// Bind a listener and construct the server around a running
+    /// [`SolveService`]. The service is shared — its in-process API keeps
+    /// working alongside the network front end.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+        service: Arc<SolveService<S>>,
+    ) -> io::Result<NetServer<S>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, true, false)?;
+
+        let metrics = service.shared_metrics();
+        let now = Instant::now();
+        let mut tenants = Vec::new();
+        let mut tenant_ids = HashMap::new();
+        let mut fair = FairQueue::new();
+        for (name, policy) in &config.tenants {
+            let lane = fair.add_lane(policy.weight);
+            debug_assert_eq!(lane, tenants.len());
+            tenant_ids.insert(name.clone(), tenants.len());
+            tenants.push(TenantState {
+                name: name.clone(),
+                policy: policy.clone(),
+                bucket: TokenBucket::new(policy.rate_cost_per_sec, policy.burst_cost, now),
+                counters: metrics.tenant(name),
+            });
+        }
+
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(VecDeque::with_capacity(config.max_inflight + 16)),
+            wake: wake_tx.try_clone()?,
+            wake_pending: AtomicBool::new(false),
+        });
+        let sink: Arc<dyn ResponseSink<S>> = completions.clone();
+        let ctl = Arc::new(CtlShared { drain: AtomicBool::new(false), wake: wake_tx });
+
+        let conn_cap = config.max_connections.min(1 << 16);
+        Ok(NetServer {
+            listener,
+            poller,
+            events: Vec::with_capacity(256),
+            inflight: Vec::with_capacity(config.max_inflight.min(1 << 20)),
+            free_slots: Vec::with_capacity(config.max_inflight.min(1 << 20)),
+            config,
+            service,
+            metrics,
+            // Free lists are reserved up front so connection churn and
+            // slot recycling never grow them on the hot path.
+            conns: Vec::with_capacity(conn_cap),
+            conn_gens: Vec::with_capacity(conn_cap),
+            free_conns: Vec::with_capacity(conn_cap),
+            open_conns: 0,
+            tenants,
+            tenant_ids,
+            fair,
+            admitted_cols: 0,
+            dispatched_cols: 0,
+            completions,
+            sink,
+            wake_rx,
+            ctl,
+            vec_pool: Vec::with_capacity(POOL_VECS),
+            colset_pool: Vec::with_capacity(POOL_COLSETS),
+            keys_warm: HashSet::new(),
+            draining: false,
+            done: false,
+        })
+    }
+
+    /// Address the listener bound to (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A cloneable handle that can request a graceful drain.
+    pub fn ctl(&self) -> NetCtl {
+        NetCtl { shared: self.ctl.clone() }
+    }
+
+    /// Drive the loop until drained. Equivalent to calling
+    /// [`NetServer::turn`] forever.
+    pub fn run(&mut self) -> io::Result<()> {
+        while self.turn(Some(Duration::from_millis(500)))? {}
+        Ok(())
+    }
+
+    /// One event-loop iteration: wait (up to `timeout`), service sockets,
+    /// collect completions, dispatch under DRR order. Returns `false`
+    /// once a requested drain has fully completed.
+    pub fn turn(&mut self, timeout: Option<Duration>) -> io::Result<bool> {
+        if self.done {
+            return Ok(false);
+        }
+        if self.ctl.drain.load(Ordering::Acquire) {
+            self.draining = true;
+        }
+        let mut events = std::mem::take(&mut self.events);
+        self.poller.wait(&mut events, timeout)?;
+        for &ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => self.accept_all(),
+                TOKEN_WAKE => self.drain_wake(),
+                t => {
+                    let idx = (t - TOKEN_BASE) as usize;
+                    if ev.readable {
+                        self.read_conn(idx);
+                    }
+                    if ev.writable {
+                        self.flush_conn(idx);
+                    }
+                }
+            }
+        }
+        self.events = events;
+        self.handle_completions();
+        self.dispatch();
+        if self.draining && self.drained() {
+            self.finish_drain();
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    fn drained(&self) -> bool {
+        self.fair.is_empty()
+            && self.admitted_cols == 0
+            && self.conns.iter().flatten().all(|c| c.wpos >= c.wbuf.len())
+    }
+
+    fn finish_drain(&mut self) {
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close_conn(idx);
+            }
+        }
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        self.done = true;
+    }
+
+    // ---- sockets ---------------------------------------------------------
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.open_conns >= self.config.max_connections || self.done {
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = match self.free_conns.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.conns.push(None);
+                            self.conn_gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let token = TOKEN_BASE + idx as u64;
+                    if self.poller.add(stream.as_raw_fd(), token, true, false).is_err() {
+                        self.free_conns.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        rpos: 0,
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        reading: true,
+                        close_after_flush: false,
+                        refs: 0,
+                        registered: (true, false),
+                    });
+                    self.open_conns += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, idx: usize) {
+        let mut eof = false;
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if !conn.reading {
+                return;
+            }
+            for _ in 0..MAX_READ_ROUNDS {
+                let old = conn.rbuf.len();
+                conn.rbuf.resize(old + READ_CHUNK, 0);
+                match conn.stream.read(&mut conn.rbuf[old..]) {
+                    Ok(0) => {
+                        conn.rbuf.truncate(old);
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.rbuf.truncate(old + n),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        conn.rbuf.truncate(old);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        conn.rbuf.truncate(old);
+                    }
+                    Err(_) => {
+                        conn.rbuf.truncate(old);
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(idx);
+            return;
+        }
+        self.process_frames(idx);
+        if eof {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.reading = false;
+            }
+            self.maybe_close(idx);
+        }
+        self.update_interest(idx);
+    }
+
+    /// Decode and handle every complete frame buffered on `idx`.
+    fn process_frames(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if !conn.reading {
+                break;
+            }
+            // Take the read buffer so the payload can be borrowed while
+            // `self` stays mutable (swap with an empty vec: no allocation).
+            let rbuf = std::mem::take(&mut conn.rbuf);
+            let rpos = conn.rpos;
+            let outcome = frame::decode_header(&rbuf[rpos..], self.config.max_frame_bytes);
+            let mut advance = 0usize;
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(h)) => {
+                    let total = HEADER_LEN + h.payload_len as usize;
+                    if rbuf.len() - rpos >= total {
+                        advance = total;
+                        let payload = &rbuf[rpos + HEADER_LEN..rpos + total];
+                        self.handle_frame(idx, h, payload);
+                    }
+                }
+                Err(e) => {
+                    self.frame_error(idx, &e);
+                }
+            }
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            conn.rbuf = rbuf;
+            if advance == 0 {
+                break;
+            }
+            conn.rpos += advance;
+        }
+        // Compact the consumed prefix without reallocating.
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if conn.rpos > 0 {
+                let len = conn.rbuf.len();
+                conn.rbuf.copy_within(conn.rpos..len, 0);
+                conn.rbuf.truncate(len - conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+    }
+
+    /// A stream-level decode failure: answer with a typed error, stop
+    /// parsing, close once the answer flushes (the stream cannot be
+    /// resynchronised after bad bytes).
+    fn frame_error(&mut self, idx: usize, _e: &FrameError) {
+        self.reply_err(idx, 0, ErrCode::Malformed);
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.reading = false;
+            conn.close_after_flush = true;
+        }
+        self.maybe_close(idx);
+    }
+
+    fn handle_frame(&mut self, idx: usize, h: Header, payload: &[u8]) {
+        match h.kind {
+            FrameKind::Ping => {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    frame::encode_header(&mut conn.wbuf, FrameKind::Pong, h.tag, 0);
+                }
+                self.flush_conn(idx);
+            }
+            FrameKind::Stat => self.handle_stat(idx, h.tag),
+            FrameKind::Solve => self.handle_solve(idx, h.tag, payload),
+            FrameKind::SolveOk | FrameKind::Err | FrameKind::Pong | FrameKind::StatOk => {
+                // Response kinds are server-to-client only.
+                self.reply_err(idx, h.tag, ErrCode::BadRequest);
+            }
+        }
+    }
+
+    fn handle_stat(&mut self, idx: usize, tag: u64) {
+        let mut stat = StatReply {
+            draining: self.draining,
+            plans_warm: self.keys_warm.len() as u32,
+            inflight: self.dispatched_cols as u32,
+            tenants: Vec::with_capacity(self.tenants.len()),
+        };
+        for t in &self.tenants {
+            let c = &t.counters;
+            let ld = Ordering::Relaxed;
+            stat.tenants.push(TenantStat {
+                tenant: t.name.clone(),
+                queue_depth: c.queue_depth.load(ld),
+                admitted: c.admitted.load(ld),
+                completed: c.completed.load(ld),
+                admission_rejected: c.admission_rejected.load(ld),
+                shed: c.shed_by_cost.load(ld) + c.shed_by_deadline.load(ld),
+            });
+        }
+        stat.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        if let Some(conn) = self.conns[idx].as_mut() {
+            frame::encode_stat_reply(&mut conn.wbuf, tag, &stat);
+        }
+        self.flush_conn(idx);
+    }
+
+    // ---- admission -------------------------------------------------------
+
+    fn handle_solve(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let req = match frame::parse_solve(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                // The frame boundary itself was sound (header length
+                // matched), so the connection survives a bad payload.
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        let Some(t) = self.tenant_id(req.tenant) else {
+            self.reply_err(idx, tag, ErrCode::UnknownTenant);
+            return;
+        };
+        if self.draining {
+            self.reply_err(idx, tag, ErrCode::ShuttingDown);
+            return;
+        }
+        if req.width as usize != S::BYTES
+            || req.k > self.config.max_rhs_per_request
+            || req.n > usize::MAX as u64
+        {
+            self.reply_err(idx, tag, ErrCode::BadRequest);
+            return;
+        }
+        let plan = match self.service.resolve_key(req.key) {
+            Ok(Some((plan, _src))) => plan,
+            Ok(None) => {
+                self.reply_err(idx, tag, ErrCode::PlanNotFound);
+                return;
+            }
+            Err(e) => {
+                self.reply_err(idx, tag, map_serve_err(&e));
+                return;
+            }
+        };
+        if plan.n() != req.n as usize {
+            self.reply_err(idx, tag, ErrCode::BadRequest);
+            return;
+        }
+        self.keys_warm.insert(req.key);
+
+        let cost = req.cost();
+        let now = Instant::now();
+        let tenant = &mut self.tenants[t];
+        if !tenant.bucket.try_take(cost as f64, now) {
+            tenant.counters.admission_rejected.fetch_add(1, Ordering::Relaxed);
+            self.reply_err(idx, tag, ErrCode::RateLimited);
+            return;
+        }
+        if self.fair.lane_cost(t) + cost as f64 > tenant.policy.max_queued_cost {
+            tenant.counters.shed_by_cost.fetch_add(1, Ordering::Relaxed);
+            self.reply_err(idx, tag, ErrCode::ShedCost);
+            return;
+        }
+        if self.admitted_cols + req.k as usize > self.config.max_inflight {
+            self.reply_err(idx, tag, ErrCode::Overloaded);
+            return;
+        }
+
+        // Admitted: copy the value columns into pooled buffers.
+        let mut cols = self.colset_pool.pop().unwrap_or_default();
+        cols.clear();
+        for j in 0..req.k as usize {
+            let mut v = self.vec_pool.pop().unwrap_or_default();
+            if frame::decode_scalars::<S>(req.col_bytes(j), req.width, &mut v).is_err() {
+                unreachable!("width checked above");
+            }
+            cols.push(v);
+        }
+        let deadline_ms = if req.deadline_ms > 0 {
+            req.deadline_ms
+        } else {
+            self.tenants[t].policy.default_deadline_ms
+        };
+        let deadline = (deadline_ms > 0).then(|| now + Duration::from_millis(deadline_ms.into()));
+
+        let slot = self.alloc_slot(Inflight {
+            conn: idx as u32,
+            conn_gen: self.conn_gens[idx],
+            client_tag: tag,
+            tenant: t as u16,
+            k: req.k,
+            remaining: req.k,
+            cols,
+            key: req.key,
+            plan: Some(plan),
+            error: None,
+        });
+        self.admitted_cols += req.k as usize;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.refs += 1;
+        }
+        self.fair.push(t, cost as f64, QueuedSolve { slot, deadline });
+        let counters = &self.tenants[t].counters;
+        counters.admitted.fetch_add(1, Ordering::Relaxed);
+        counters.admitted_cost.fetch_add(cost, Ordering::Relaxed);
+        counters.queue_depth.store(self.fair.lane_depth(t) as u64, Ordering::Relaxed);
+    }
+
+    /// Resolve a tenant name to its lane, registering it under the default
+    /// policy when allowed.
+    fn tenant_id(&mut self, name: &str) -> Option<usize> {
+        if let Some(&t) = self.tenant_ids.get(name) {
+            return Some(t);
+        }
+        let policy = self.config.default_policy.clone()?;
+        let lane = self.fair.add_lane(policy.weight);
+        debug_assert_eq!(lane, self.tenants.len());
+        self.tenant_ids.insert(name.to_string(), lane);
+        let now = Instant::now();
+        self.tenants.push(TenantState {
+            name: name.to_string(),
+            bucket: TokenBucket::new(policy.rate_cost_per_sec, policy.burst_cost, now),
+            counters: self.metrics.tenant(name),
+            policy,
+        });
+        Some(lane)
+    }
+
+    fn alloc_slot(&mut self, inf: Inflight<S>) -> u32 {
+        match self.free_slots.pop() {
+            Some(i) => {
+                self.inflight[i] = Some(inf);
+                i as u32
+            }
+            None => {
+                self.inflight.push(Some(inf));
+                (self.inflight.len() - 1) as u32
+            }
+        }
+    }
+
+    // ---- dispatch --------------------------------------------------------
+
+    /// Hand queued solves to the compute tier in DRR order, stopping at
+    /// the per-turn burst or when the compute queue has no room — queued
+    /// work then waits in the fair queue, which stays the arbiter of
+    /// inter-tenant order.
+    fn dispatch(&mut self) {
+        let mut budget = self.config.dispatch_burst;
+        while budget > 0 {
+            let Some((lane, cost, q)) = self.fair.pop() else { break };
+            self.store_lane_depth(lane);
+
+            if q.deadline.is_some_and(|d| Instant::now() > d) {
+                self.tenants[lane].counters.shed_by_deadline.fetch_add(1, Ordering::Relaxed);
+                self.fail_slot(q.slot, ErrCode::DeadlineExceeded);
+                continue;
+            }
+
+            let slot = q.slot as usize;
+            let (key, plan, k) = {
+                let inf = self.inflight[slot].as_ref().expect("queued slot live");
+                (inf.key, inf.plan.clone().expect("plan held until dispatch"), inf.k)
+            };
+            if self.service.queue_available() < k as usize {
+                // Hold the whole request; retry next turn.
+                self.fair.push_front(lane, cost, q);
+                self.store_lane_depth(lane);
+                break;
+            }
+            budget -= 1;
+
+            let mut submitted = 0u16;
+            let mut failure: Option<ErrCode> = None;
+            for j in 0..k {
+                let rhs = {
+                    let inf = self.inflight[slot].as_mut().expect("slot live");
+                    std::mem::take(&mut inf.cols[j as usize])
+                };
+                let tag = ((q.slot as u64) << 32) | j as u64;
+                // The capacity pre-check makes failure here exceptional
+                // (a racing in-process submitter filled the queue); the
+                // column buffer is consumed either way.
+                match self.service.submit_routed(key, &plan, rhs, tag, &self.sink) {
+                    Ok(()) => submitted += 1,
+                    Err(e) => {
+                        failure = Some(map_serve_err(&e));
+                        break;
+                    }
+                }
+            }
+            self.dispatched_cols += submitted as usize;
+            let inf = self.inflight[slot].as_mut().expect("slot live");
+            if let Some(code) = failure {
+                // The submitted columns still complete; the response then
+                // becomes the recorded error.
+                inf.error = Some(code);
+                inf.remaining = submitted;
+                if submitted == 0 {
+                    self.fail_slot(q.slot, code);
+                }
+            } else {
+                // Fully dispatched; the plan reference is no longer needed.
+                inf.plan = None;
+            }
+        }
+    }
+
+    fn store_lane_depth(&self, lane: usize) {
+        self.tenants[lane]
+            .counters
+            .queue_depth
+            .store(self.fair.lane_depth(lane) as u64, Ordering::Relaxed);
+    }
+
+    // ---- completions -----------------------------------------------------
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        self.completions.wake_pending.store(false, Ordering::Release);
+    }
+
+    fn handle_completions(&mut self) {
+        loop {
+            let item = self.completions.queue.lock().unwrap().pop_front();
+            let Some((tag, result)) = item else { break };
+            let slot = (tag >> 32) as usize;
+            let j = (tag & u32::MAX as u64) as usize;
+            self.dispatched_cols -= 1;
+            let finished = {
+                let inf = self.inflight[slot].as_mut().expect("completion for live slot");
+                match result {
+                    Ok(x) => inf.cols[j] = x,
+                    Err(e) => inf.error = Some(inf.error.unwrap_or(map_serve_err(&e))),
+                }
+                inf.remaining -= 1;
+                inf.remaining == 0
+            };
+            if finished {
+                self.finish_slot(slot as u32);
+            }
+        }
+    }
+
+    /// Answer a slot that never reached the compute tier with an error.
+    fn fail_slot(&mut self, slot: u32, code: ErrCode) {
+        {
+            let inf = self.inflight[slot as usize].as_mut().expect("slot live");
+            inf.error = Some(code);
+            inf.remaining = 0;
+        }
+        self.finish_slot(slot);
+    }
+
+    /// All columns of `slot` are accounted for: write the response (if the
+    /// connection is still the one that asked), recycle buffers, free the
+    /// slot.
+    fn finish_slot(&mut self, slot: u32) {
+        let mut inf = self.inflight[slot as usize].take().expect("slot live");
+        self.free_slots.push(slot as usize);
+        self.admitted_cols -= inf.k as usize;
+
+        let counters = self.tenants[inf.tenant as usize].counters.clone();
+        let cidx = inf.conn as usize;
+        let alive = self.conn_gens.get(cidx) == Some(&inf.conn_gen) && self.conns[cidx].is_some();
+        match inf.error {
+            Some(code) => {
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+                if alive {
+                    self.reply_err(cidx, inf.client_tag, code);
+                }
+            }
+            None => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                if alive {
+                    let conn = self.conns[cidx].as_mut().expect("alive");
+                    frame::encode_solve_ok(&mut conn.wbuf, inf.client_tag, &inf.cols);
+                    self.flush_conn(cidx);
+                }
+            }
+        }
+        // Recycle buffers (bounded pools).
+        for mut v in inf.cols.drain(..) {
+            if self.vec_pool.len() < POOL_VECS {
+                v.clear();
+                self.vec_pool.push(v);
+            }
+        }
+        if self.colset_pool.len() < POOL_COLSETS {
+            self.colset_pool.push(inf.cols);
+        }
+        if alive {
+            if let Some(conn) = self.conns[cidx].as_mut() {
+                conn.refs -= 1;
+            }
+            self.maybe_close(cidx);
+        }
+    }
+
+    // ---- writing ---------------------------------------------------------
+
+    fn reply_err(&mut self, idx: usize, tag: u64, code: ErrCode) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            frame::encode_err(&mut conn.wbuf, tag, code, msg_for(code));
+        }
+        self.flush_conn(idx);
+    }
+
+    /// Write as much of the buffer as the socket takes right now, then
+    /// register write interest for the rest.
+    fn flush_conn(&mut self, idx: usize) {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            loop {
+                if conn.wpos >= conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    if conn.close_after_flush && conn.refs == 0 {
+                        close = true;
+                    }
+                    break;
+                }
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close && conn.wbuf.len() - conn.wpos > self.config.max_write_buffer {
+                // The peer reads slower than it submits; cut it loose.
+                close = true;
+            }
+        }
+        if close {
+            self.close_conn(idx);
+        } else {
+            self.update_interest(idx);
+        }
+    }
+
+    /// Re-register poller interests when they changed: read while parsing,
+    /// write while bytes are pending.
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let want = (conn.reading, conn.wpos < conn.wbuf.len());
+        if want != conn.registered {
+            let token = TOKEN_BASE + idx as u64;
+            if self.poller.modify(conn.stream.as_raw_fd(), token, want.0, want.1).is_ok() {
+                conn.registered = want;
+            }
+        }
+    }
+
+    /// Close a connection that is finished: not reading, nothing buffered,
+    /// no admitted requests still routing to it.
+    fn maybe_close(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_ref() else { return };
+        if !conn.reading && conn.wpos >= conn.wbuf.len() && conn.refs == 0 {
+            self.close_conn(idx);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.conn_gens[idx] = self.conn_gens[idx].wrapping_add(1);
+            self.free_conns.push(idx);
+            self.open_conns -= 1;
+        }
+    }
+}

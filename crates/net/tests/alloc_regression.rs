@@ -1,0 +1,143 @@
+//! Allocation-regression guard for the network event loop.
+//!
+//! The test thread drives `NetServer::turn` itself while a client thread
+//! keeps solve traffic flowing. A counting global allocator scoped to the
+//! event-loop thread (everything the test thread allocates while the
+//! window is open) must observe **zero** heap allocations once the pools
+//! are warm: request buffers come from the rhs pool, inflight slots from
+//! the slab free list, responses are encoded into retained write buffers,
+//! and completions ride a pre-reserved deque. Any change that sneaks a
+//! per-request `Vec` into the loop fails here immediately.
+//!
+//! Worker-thread and client-thread allocations are deliberately not
+//! counted — the zero-allocation contract is for the event loop.
+
+use recblock_matrix::generate;
+use recblock_net::{NetClient, NetConfig, NetServer};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+unsafe extern "C" {
+    fn pthread_self() -> usize;
+}
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static TARGET_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+fn on_target_thread() -> bool {
+    TRACKING.load(Ordering::Relaxed)
+        && TARGET_THREAD.load(Ordering::Relaxed) == unsafe { pthread_self() }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if on_target_thread() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if on_target_thread() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if on_target_thread() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP: usize = 150;
+const MEASURED: usize = 150;
+
+#[test]
+fn steady_state_event_loop_does_not_allocate() {
+    let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(2)));
+    let n = 1500;
+    let l = generate::random_lower::<f64>(n, 4.0, 77);
+    let rhs = vec![1.0; n];
+    service.submit(&l, rhs).unwrap().wait().unwrap();
+    let key = PlanKey::of(&l);
+
+    let mut server = NetServer::bind("127.0.0.1:0", NetConfig::default(), service.clone()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let ctl = server.ctl();
+
+    // Client on its own thread: warm-up round trips, then the measured
+    // batch. Its allocations are not on the target thread.
+    let warmed = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let client = {
+        let (warmed, done) = (warmed.clone(), done.clone());
+        thread::spawn(move || {
+            let mut c = NetClient::connect(addr).unwrap();
+            c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+            // Warm up with the same traffic mix the window measures, so
+            // every pool and buffer reaches its high-water mark first.
+            let cols = [b.as_slice(), b.as_slice()];
+            for i in 0..WARMUP {
+                if i % 3 == 0 {
+                    c.solve_multi::<f64>("alpha", &key, &cols, 0).unwrap();
+                } else {
+                    c.solve::<f64>("alpha", &key, &b).unwrap();
+                }
+            }
+            warmed.store(true, Ordering::SeqCst);
+            for i in 0..MEASURED {
+                if i % 3 == 0 {
+                    c.solve_multi::<f64>("alpha", &key, &cols, 0).unwrap();
+                } else {
+                    c.solve::<f64>("alpha", &key, &b).unwrap();
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    TARGET_THREAD.store(unsafe { pthread_self() }, Ordering::SeqCst);
+
+    // Warm-up: pools fill, buffers reach their high-water marks.
+    while !warmed.load(Ordering::SeqCst) {
+        server.turn(Some(Duration::from_millis(10))).unwrap();
+    }
+
+    // Measured window: the event loop must be allocation-free.
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    while !done.load(Ordering::SeqCst) {
+        server.turn(Some(Duration::from_millis(10))).unwrap();
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    client.join().unwrap();
+    assert_eq!(
+        allocs, 0,
+        "event loop allocated {allocs} times across {MEASURED} steady-state requests"
+    );
+
+    // Drain cleanly so the listener and connections close before teardown.
+    ctl.shutdown();
+    while server.turn(Some(Duration::from_millis(10))).unwrap() {}
+}

@@ -1,0 +1,223 @@
+//! Fuzz-style property tests over the RBNET frame codec (satellite of the
+//! network tier): encoded frames round-trip exactly, and *any* mangling —
+//! truncation, bit flips, random garbage — produces a typed `FrameError`
+//! or a clean "need more bytes", never a panic and never an accepted
+//! frame that disagrees with what was sent.
+
+use proptest::prelude::*;
+use recblock_matrix::Fingerprint;
+use recblock_net::frame::{self, FrameKind, HEADER_LEN};
+use recblock_net::{ErrCode, StatReply, TenantStat};
+use recblock_store::PlanKey;
+
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+fn arb_key() -> impl Strategy<Value = PlanKey> {
+    (1usize..1_000_000, 0usize..100_000_000, u64::MIN..u64::MAX, u64::MIN..u64::MAX).prop_map(
+        |(n, nnz, hash, values)| PlanKey {
+            structure: Fingerprint { nrows: n, ncols: n, nnz, hash },
+            values,
+        },
+    )
+}
+
+fn arb_tenant() -> impl Strategy<Value = String> {
+    (1usize..65, 0u8..26).prop_map(|(len, off)| {
+        let c = (b'a' + off) as char;
+        std::iter::repeat_n(c, len).collect()
+    })
+}
+
+fn arb_cols() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..4, 1usize..40).prop_map(|(k, n)| {
+        (0..k).map(|j| (0..n).map(|i| ((i * 7 + j * 13) as f64).sin()).collect()).collect()
+    })
+}
+
+/// Feed `decode_header` + the payload parsers exactly the way the server
+/// does; must never panic, whatever the bytes.
+fn decode_anything(bytes: &[u8]) {
+    match frame::decode_header(bytes, MAX_PAYLOAD) {
+        Err(_) => {}   // typed rejection
+        Ok(None) => {} // needs more bytes — fine
+        Ok(Some(h)) => {
+            let end = HEADER_LEN + h.payload_len as usize;
+            if bytes.len() < end {
+                return; // partial payload: the server would keep reading
+            }
+            let payload = &bytes[HEADER_LEN..end];
+            // Every parser must be total over arbitrary payloads.
+            let _ = frame::parse_solve(payload);
+            let _ = frame::parse_solve_ok(payload);
+            let _ = frame::parse_err(payload);
+            let _ = frame::parse_stat_reply(payload);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn solve_frames_round_trip(
+        tag in u64::MIN..u64::MAX,
+        tenant in arb_tenant(),
+        key in arb_key(),
+        deadline in 0u32..1_000_000,
+        cols in arb_cols(),
+    ) {
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        frame::encode_solve(&mut buf, tag, &tenant, &key, deadline, &refs);
+
+        let h = frame::decode_header(&buf, MAX_PAYLOAD).unwrap().expect("whole header");
+        prop_assert_eq!(h.kind, FrameKind::Solve);
+        prop_assert_eq!(h.tag, tag);
+        prop_assert_eq!(HEADER_LEN + h.payload_len as usize, buf.len());
+
+        let req = frame::parse_solve(&buf[HEADER_LEN..]).unwrap();
+        prop_assert_eq!(req.tenant, tenant.as_str());
+        prop_assert_eq!(req.key, key);
+        prop_assert_eq!(req.deadline_ms, deadline);
+        prop_assert_eq!(req.k as usize, cols.len());
+        prop_assert_eq!(req.n as usize, cols[0].len());
+        for (j, col) in cols.iter().enumerate() {
+            let mut out = Vec::new();
+            frame::decode_scalars::<f64>(req.col_bytes(j), req.width, &mut out).unwrap();
+            prop_assert_eq!(&out, col);
+        }
+    }
+
+    #[test]
+    fn solve_ok_and_err_round_trip(
+        tag in u64::MIN..u64::MAX,
+        cols in arb_cols(),
+        code_raw in 1u16..11,
+        msg in arb_tenant(),
+    ) {
+        let mut buf = Vec::new();
+        frame::encode_solve_ok(&mut buf, tag, &cols);
+        let h = frame::decode_header(&buf, MAX_PAYLOAD).unwrap().unwrap();
+        prop_assert_eq!(h.kind, FrameKind::SolveOk);
+        let ok = frame::parse_solve_ok(&buf[HEADER_LEN..]).unwrap();
+        prop_assert_eq!(ok.k as usize, cols.len());
+        for (j, col) in cols.iter().enumerate() {
+            let mut out = Vec::new();
+            frame::decode_scalars::<f64>(ok.col_bytes(j), ok.width, &mut out).unwrap();
+            prop_assert_eq!(&out, col);
+        }
+
+        let code = ErrCode::from_u16(code_raw).expect("1..=10 are assigned");
+        let mut ebuf = Vec::new();
+        frame::encode_err(&mut ebuf, tag, code, &msg);
+        let eh = frame::decode_header(&ebuf, MAX_PAYLOAD).unwrap().unwrap();
+        prop_assert_eq!(eh.kind, FrameKind::Err);
+        let (c, m) = frame::parse_err(&ebuf[HEADER_LEN..]).unwrap();
+        prop_assert_eq!(c, code);
+        prop_assert_eq!(m, msg.as_str());
+    }
+
+    #[test]
+    fn stat_replies_round_trip(
+        tag in u64::MIN..u64::MAX,
+        draining in 0u8..2,
+        plans in 0u32..10_000,
+        inflight in 0u32..10_000,
+        tenants in proptest::collection::vec(
+            (arb_tenant(), 0u64..1_000_000, 0u64..1_000_000), 0..5),
+    ) {
+        let stat = StatReply {
+            draining: draining == 1,
+            plans_warm: plans,
+            inflight,
+            tenants: tenants
+                .into_iter()
+                .enumerate()
+                .map(|(i, (tenant, a, b))| TenantStat {
+                    tenant: format!("{tenant}{i}"), // de-duplicate names
+                    queue_depth: a.min(b),
+                    admitted: a,
+                    completed: b,
+                    admission_rejected: a / 2,
+                    shed: b / 3,
+                })
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        frame::encode_stat_reply(&mut buf, tag, &stat);
+        let h = frame::decode_header(&buf, MAX_PAYLOAD).unwrap().unwrap();
+        prop_assert_eq!(h.kind, FrameKind::StatOk);
+        prop_assert_eq!(h.tag, tag);
+        let back = frame::parse_stat_reply(&buf[HEADER_LEN..]).unwrap();
+        prop_assert_eq!(back, stat);
+    }
+
+    // Truncating a valid frame anywhere yields `Ok(None)` (header short)
+    // or a typed payload error — never a panic, never a bogus success.
+    #[test]
+    fn truncation_never_panics(
+        tenant in arb_tenant(),
+        key in arb_key(),
+        cols in arb_cols(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        frame::encode_solve(&mut buf, 7, &tenant, &key, 0, &refs);
+        let cut = cut_seed % buf.len();
+        decode_anything(&buf[..cut]);
+        // Truncated *payload* handed to the solve parser directly must be
+        // a typed error, not an accepted frame.
+        if cut > HEADER_LEN {
+            prop_assert!(frame::parse_solve(&buf[HEADER_LEN..cut]).is_err());
+        }
+    }
+
+    // A single flipped bit anywhere in a valid frame must decode to a
+    // typed error, an incomplete read, or a frame that differs from the
+    // original only where the flip landed in the value bytes.
+    #[test]
+    fn bit_flips_never_panic(
+        tenant in arb_tenant(),
+        key in arb_key(),
+        cols in arb_cols(),
+        flip_seed in 0usize..100_000,
+    ) {
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        frame::encode_solve(&mut buf, 9, &tenant, &key, 0, &refs);
+        let bit = flip_seed % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        decode_anything(&buf);
+    }
+
+    // Pure garbage bytes never panic any layer of the codec.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in proptest::collection::vec(0u16..256, 0..256).prop_map(
+            |v| v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()),
+    ) {
+        decode_anything(&bytes);
+        // And garbage handed straight to the payload parsers.
+        let _ = frame::parse_solve(&bytes);
+        let _ = frame::parse_solve_ok(&bytes);
+        let _ = frame::parse_err(&bytes);
+        let _ = frame::parse_stat_reply(&bytes);
+        let mut out = Vec::new();
+        let _ = frame::decode_scalars::<f64>(&bytes, 8, &mut out);
+        let mut out32: Vec<f32> = Vec::new();
+        let _ = frame::decode_scalars::<f32>(&bytes, 4, &mut out32);
+    }
+
+    // Oversize announcements are rejected at the header, before any
+    // payload allocation could happen.
+    #[test]
+    fn oversize_headers_rejected(extra in 1u32..1_000_000, tag in u64::MIN..u64::MAX) {
+        let mut buf = Vec::new();
+        frame::encode_header(&mut buf, FrameKind::Solve, tag, MAX_PAYLOAD + extra);
+        prop_assert!(matches!(
+            frame::decode_header(&buf, MAX_PAYLOAD),
+            Err(frame::FrameError::Oversize { .. })
+        ));
+    }
+}

@@ -1,0 +1,521 @@
+//! End-to-end loopback tests: a real `NetServer` event loop in front of a
+//! real `SolveService`, exercised through `NetClient` and through raw
+//! sockets that deliberately misbehave.
+//!
+//! These are the acceptance tests for the network tier: correctness
+//! against the in-process API, weighted fairness under saturating load,
+//! typed admission rejections (never a hang or a mid-frame disconnect),
+//! robustness to malformed/truncated/slow input, and graceful drain.
+
+use recblock_matrix::{generate, Csr};
+use recblock_net::frame::{self, FrameKind, HEADER_LEN};
+use recblock_net::{ErrCode, NetClient, NetConfig, NetCtl, NetServer, TenantPolicy};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+/// A server thread plus everything a test needs to talk to it.
+struct TestServer {
+    addr: SocketAddr,
+    ctl: NetCtl,
+    handle: thread::JoinHandle<std::io::Result<()>>,
+    service: Arc<SolveService<f64>>,
+}
+
+impl TestServer {
+    fn start(serve_cfg: ServeConfig, net_cfg: NetConfig) -> TestServer {
+        let service = Arc::new(SolveService::<f64>::new(serve_cfg));
+        let mut server =
+            NetServer::bind("127.0.0.1:0", net_cfg, service.clone()).expect("bind loopback");
+        let addr = server.local_addr().unwrap();
+        let ctl = server.ctl();
+        let handle = thread::spawn(move || server.run());
+        TestServer { addr, ctl, handle, service }
+    }
+
+    /// Drain the server and join the event-loop thread.
+    fn stop(self) {
+        self.ctl.shutdown();
+        self.handle.join().expect("event loop thread").expect("event loop exits cleanly");
+    }
+}
+
+/// Build a plan for `l` through the in-process API so the network tier can
+/// resolve its fingerprint from the warm cache.
+fn warm(service: &SolveService<f64>, l: &Csr<f64>) -> PlanKey {
+    let rhs = vec![1.0; l.nrows()];
+    service.submit(l, rhs).unwrap().wait().unwrap();
+    PlanKey::of(l)
+}
+
+fn rhs_for(n: usize, seed: usize) -> Vec<f64> {
+    (0..n).map(|r| ((r * 31 + seed * 17 + 1) as f64 * 0.013).sin()).collect()
+}
+
+fn connect(addr: SocketAddr) -> NetClient {
+    let mut c = NetClient::connect(addr).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+/// Read one frame off a raw socket; returns `(kind, tag, payload)`.
+fn read_raw_frame(stream: &mut TcpStream) -> (FrameKind, u64, Vec<u8>) {
+    let mut head = [0u8; HEADER_LEN];
+    stream.read_exact(&mut head).expect("frame header");
+    let h = frame::decode_header(&head, u32::MAX).expect("valid header").unwrap();
+    let mut payload = vec![0u8; h.payload_len as usize];
+    stream.read_exact(&mut payload).expect("frame payload");
+    (h.kind, h.tag, payload)
+}
+
+#[test]
+fn solves_match_in_process_results() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(2), NetConfig::default());
+    let l = generate::random_lower::<f64>(300, 4.0, 11);
+    let key = warm(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    assert!(client.ping().unwrap() < Duration::from_secs(5));
+
+    // Single-column request equals the in-process answer bit for bit.
+    let b = rhs_for(300, 0);
+    let expected = srv.service.submit(&l, b.clone()).unwrap().wait().unwrap();
+    let got = client.solve::<f64>("alpha", &key, &b).unwrap();
+    assert_eq!(got, expected);
+
+    // Multi-column request: every column matches its serial counterpart.
+    let cols: Vec<Vec<f64>> = (1..=3).map(|i| rhs_for(300, i)).collect();
+    let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let got = client.solve_multi::<f64>("alpha", &key, &refs, 0).unwrap();
+    assert_eq!(got.len(), 3);
+    for (j, col) in cols.iter().enumerate() {
+        let expected = srv.service.submit(&l, col.clone()).unwrap().wait().unwrap();
+        assert_eq!(got[j], expected, "column {j}");
+    }
+
+    srv.stop();
+}
+
+#[test]
+fn stat_reports_warm_plans_and_tenants() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), NetConfig::default());
+    let l = generate::random_lower::<f64>(200, 3.0, 21);
+    let key = warm(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    let b = rhs_for(200, 3);
+    client.solve::<f64>("alpha", &key, &b).unwrap();
+    client.solve::<f64>("beta", &key, &b).unwrap();
+
+    let stat = client.stat().unwrap();
+    assert!(!stat.draining);
+    assert_eq!(stat.plans_warm, 1, "one distinct fingerprint served");
+    let names: Vec<&str> = stat.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert_eq!(names, ["alpha", "beta"], "sorted tenant slices");
+    for t in &stat.tenants {
+        assert_eq!(t.admitted, 1);
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.admission_rejected, 0);
+    }
+
+    srv.stop();
+}
+
+#[test]
+fn unknown_tenant_and_missing_plan_get_typed_errors() {
+    let net_cfg = NetConfig::default()
+        .with_default_policy(None)
+        .with_tenant("alpha", TenantPolicy::default());
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), net_cfg);
+    let l = generate::random_lower::<f64>(150, 3.0, 31);
+    let key = warm(&srv.service, &l);
+    let mut client = connect(srv.addr);
+    let b = rhs_for(150, 0);
+
+    // Closed tenant universe: unregistered names are refused, typed.
+    let err = client.solve::<f64>("ghost", &key, &b).unwrap_err();
+    assert_remote(err, ErrCode::UnknownTenant);
+
+    // A fingerprint the server has never built: typed, retryable.
+    let cold = generate::random_lower::<f64>(150, 3.0, 32);
+    let err = client.solve::<f64>("alpha", &PlanKey::of(&cold), &b).unwrap_err();
+    assert_remote(err, ErrCode::PlanNotFound);
+
+    // Right-hand side length disagrees with the plan dimension.
+    let short = rhs_for(100, 0);
+    let err = client.solve::<f64>("alpha", &key, &short).unwrap_err();
+    assert_remote(err, ErrCode::BadRequest);
+
+    // The connection survived all three refusals.
+    assert_eq!(client.solve::<f64>("alpha", &key, &b).unwrap().len(), 150);
+
+    srv.stop();
+}
+
+#[track_caller]
+fn assert_remote(err: recblock_net::NetError, code: ErrCode) {
+    match err {
+        recblock_net::NetError::Remote { code: c, .. } => assert_eq!(c, code),
+        other => panic!("expected typed {code:?} rejection, got {other}"),
+    }
+}
+
+#[test]
+fn malformed_bytes_get_reply_then_close() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), NetConfig::default());
+    let mut raw = TcpStream::connect(srv.addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"XXXXthis is not an RBNET frame at all........").unwrap();
+
+    let (kind, _tag, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, FrameKind::Err);
+    let (code, _msg) = frame::parse_err(&payload).unwrap();
+    assert_eq!(code, ErrCode::Malformed);
+
+    // After the typed reply the server closes; no further bytes arrive.
+    let mut rest = Vec::new();
+    assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0, "clean close after reply");
+
+    srv.stop();
+}
+
+#[test]
+fn oversize_frame_rejected_with_typed_error() {
+    let net_cfg = NetConfig::default().with_max_frame_bytes(4096);
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), net_cfg);
+    let mut raw = TcpStream::connect(srv.addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A syntactically valid header announcing a payload over the limit.
+    let mut head = Vec::new();
+    frame::encode_header(&mut head, FrameKind::Solve, 7, 1 << 20);
+    raw.write_all(&head).unwrap();
+
+    let (kind, _tag, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, FrameKind::Err);
+    let (code, _msg) = frame::parse_err(&payload).unwrap();
+    assert_eq!(code, ErrCode::Malformed);
+    let mut rest = Vec::new();
+    assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0);
+
+    srv.stop();
+}
+
+#[test]
+fn truncated_frame_then_disconnect_is_harmless() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), NetConfig::default());
+    let l = generate::random_lower::<f64>(120, 3.0, 41);
+    let key = warm(&srv.service, &l);
+
+    // Send ten bytes of a valid solve frame, then vanish mid-frame.
+    {
+        let mut whole = Vec::new();
+        let b = rhs_for(120, 0);
+        frame::encode_solve::<f64>(&mut whole, 1, "alpha", &key, 0, &[&b]);
+        let mut raw = TcpStream::connect(srv.addr).unwrap();
+        raw.write_all(&whole[..10]).unwrap();
+    } // dropped: RST/FIN mid-frame
+
+    // The server shrugs it off and keeps serving other connections.
+    let mut client = connect(srv.addr);
+    let b = rhs_for(120, 1);
+    assert_eq!(client.solve::<f64>("alpha", &key, &b).unwrap().len(), 120);
+
+    srv.stop();
+}
+
+#[test]
+fn slow_loris_partial_frames_still_served() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), NetConfig::default());
+    let l = generate::random_lower::<f64>(200, 3.0, 51);
+    let key = warm(&srv.service, &l);
+    let b = rhs_for(200, 9);
+    let expected = srv.service.submit(&l, b.clone()).unwrap().wait().unwrap();
+
+    let mut whole = Vec::new();
+    frame::encode_solve::<f64>(&mut whole, 42, "alpha", &key, 0, &[&b]);
+
+    let mut raw = TcpStream::connect(srv.addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Drip the frame out in small chunks; the server must reassemble
+    // without busy-spinning or giving up.
+    for chunk in whole.chunks(23) {
+        raw.write_all(chunk).unwrap();
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    let (kind, tag, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, FrameKind::SolveOk);
+    assert_eq!(tag, 42);
+    let ok = frame::parse_solve_ok(&payload).unwrap();
+    assert_eq!(ok.k, 1);
+    let mut got = Vec::new();
+    frame::decode_scalars::<f64>(ok.col_bytes(0), ok.width, &mut got).unwrap();
+    assert_eq!(got, expected);
+
+    srv.stop();
+}
+
+#[test]
+fn slow_reader_gets_every_response_intact() {
+    // Large responses + a client that does not read for a while: the
+    // server must buffer, take partial writes, and never drop mid-frame.
+    let srv = TestServer::start(ServeConfig::default().with_workers(2), NetConfig::default());
+    let n = 4000;
+    let l = generate::random_lower::<f64>(n, 4.0, 61);
+    let key = warm(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    let cols: Vec<Vec<f64>> = (0..8).map(|i| rhs_for(n, i)).collect();
+    let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let mut tags = Vec::new();
+    for _ in 0..4 {
+        // 4 pipelined requests × 8 columns × 4000 f64 ≈ 1 MiB of reply,
+        // well past loopback socket buffers.
+        tags.push(client.send_solve::<f64>("alpha", &key, &refs, 0).unwrap());
+    }
+    thread::sleep(Duration::from_millis(200));
+
+    let mut seen = Vec::new();
+    for _ in 0..4 {
+        let (tag, outcome) = client.recv::<f64>().unwrap();
+        let got = outcome.expect("solve succeeds");
+        assert_eq!(got.len(), 8);
+        for (j, col) in cols.iter().enumerate() {
+            let expected = srv.service.submit(&l, col.clone()).unwrap().wait().unwrap();
+            assert_eq!(got[j], expected, "tag {tag} column {j}");
+        }
+        seen.push(tag);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, tags, "every pipelined request answered exactly once");
+
+    srv.stop();
+}
+
+#[test]
+fn over_limit_tenant_rejected_typed_never_dropped() {
+    let l = generate::random_lower::<f64>(250, 4.0, 71);
+    let cost = l.nnz() as f64; // k = 1 per request
+    let net_cfg = NetConfig::default()
+        .with_tenant("alpha", TenantPolicy::default())
+        .with_tenant("limited", TenantPolicy::default().with_rate(0.0, 2.5 * cost));
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), net_cfg);
+    let key = warm(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    let b = rhs_for(250, 0);
+    // Burst covers exactly two requests; the third must be refused with a
+    // typed RateLimited response on the same healthy connection.
+    let t1 = client.send_solve::<f64>("limited", &key, &[&b], 0).unwrap();
+    let t2 = client.send_solve::<f64>("limited", &key, &[&b], 0).unwrap();
+    let t3 = client.send_solve::<f64>("limited", &key, &[&b], 0).unwrap();
+
+    let mut ok = Vec::new();
+    let mut refused = Vec::new();
+    for _ in 0..3 {
+        let (tag, outcome) = client.recv::<f64>().unwrap();
+        match outcome {
+            Ok(cols) => {
+                assert_eq!(cols[0].len(), 250);
+                ok.push(tag);
+            }
+            Err((code, msg)) => {
+                assert_eq!(code, ErrCode::RateLimited, "typed refusal, msg {msg:?}");
+                refused.push(tag);
+            }
+        }
+    }
+    ok.sort_unstable();
+    assert_eq!(ok, vec![t1, t2], "burst admits exactly two");
+    assert_eq!(refused, vec![t3], "third is rate limited");
+
+    // Connection still serves other tenants afterwards — no drop, no hang.
+    assert_eq!(client.solve::<f64>("alpha", &key, &b).unwrap().len(), 250);
+    let stat = client.stat().unwrap();
+    let lim = stat.tenants.iter().find(|t| t.tenant == "limited").unwrap();
+    assert_eq!(lim.admission_rejected, 1);
+    assert_eq!(lim.completed, 2);
+
+    srv.stop();
+}
+
+#[test]
+fn shed_by_queued_cost_is_typed() {
+    let l = generate::random_lower::<f64>(250, 4.0, 81);
+    let cost = l.nnz() as f64;
+    // Zero workers and a one-slot compute queue: the warm-up request
+    // plugs the queue forever, so admitted requests pile up in the fair
+    // queue and lane cost accumulates deterministically.
+    let net_cfg = NetConfig::default()
+        .with_tenant("capped", TenantPolicy::default().with_max_queued_cost(2.5 * cost));
+    let srv =
+        TestServer::start(ServeConfig::default().with_workers(0).with_queue_capacity(1), net_cfg);
+    let key = warm_zero_workers(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    let b = rhs_for(250, 0);
+    for _ in 0..2 {
+        client.send_solve::<f64>("capped", &key, &[&b], 0).unwrap();
+    }
+    let t3 = client.send_solve::<f64>("capped", &key, &[&b], 0).unwrap();
+    // With no workers the first two never complete; only the typed shed
+    // response for the third arrives.
+    let (tag, outcome) = client.recv::<f64>().unwrap();
+    assert_eq!(tag, t3);
+    match outcome {
+        Err((code, _)) => assert_eq!(code, ErrCode::ShedCost),
+        Ok(_) => panic!("third request must be shed by queued-cost budget"),
+    }
+
+    let stat = client.stat().unwrap();
+    let capped = stat.tenants.iter().find(|t| t.tenant == "capped").unwrap();
+    assert_eq!(capped.shed, 1);
+
+    // Zero workers also means drain would wait forever on the two queued
+    // requests; tear down without the graceful path.
+    drop(client);
+    srv.ctl.shutdown();
+}
+
+/// Warm the plan cache on a zero-worker service. Plan construction runs on
+/// the submitting thread before the request is queued, so submitting and
+/// dropping the handle (never waiting) builds and caches the plan while
+/// the request itself stays parked in the compute queue.
+fn warm_zero_workers(service: &SolveService<f64>, l: &Csr<f64>) -> PlanKey {
+    let rhs = vec![1.0; l.nrows()];
+    drop(service.submit(l, rhs).unwrap());
+    PlanKey::of(l)
+}
+
+#[test]
+fn weighted_fairness_under_saturating_load() {
+    // One worker and a tiny compute queue force arbitration to happen in
+    // the network tier's DRR queue; 3:1 weights must show up as a ~3:1
+    // completion ratio while both tenants stay backlogged. The ratio is
+    // measured server-side — per-tenant `completed` deltas between two
+    // Stat snapshots taken while both lanes are provably backlogged — so
+    // client-thread scheduling jitter cannot skew it.
+    let serve_cfg = ServeConfig::default().with_workers(1).with_queue_capacity(4).with_max_batch(1);
+    let net_cfg = NetConfig::default()
+        .with_tenant("heavy", TenantPolicy::default().with_weight(3.0))
+        .with_tenant("light", TenantPolicy::default().with_weight(1.0));
+    let srv = TestServer::start(serve_cfg, net_cfg);
+    let n = 3000;
+    let l = generate::random_lower::<f64>(n, 4.0, 91);
+    let key = warm(&srv.service, &l);
+
+    const PER_TENANT: usize = 500;
+    let gate = Arc::new(Barrier::new(2));
+    let addr = srv.addr;
+
+    let spawn_tenant = |name: &'static str| {
+        let gate = gate.clone();
+        thread::spawn(move || {
+            let mut client = connect(addr);
+            let b = rhs_for(n, 5);
+            gate.wait();
+            for _ in 0..PER_TENANT {
+                client.send_solve::<f64>(name, &key, &[&b], 0).unwrap();
+            }
+            for _ in 0..PER_TENANT {
+                let (_tag, outcome) = client.recv::<f64>().unwrap();
+                outcome.expect("saturating load is admitted, not refused");
+            }
+        })
+    };
+    let heavy = spawn_tenant("heavy");
+    let light = spawn_tenant("light");
+
+    // Monitor from a third connection. Snapshot A once both lanes hold a
+    // deep backlog; snapshot B after ≥200 more completions. Queue depth
+    // only shrinks once the senders finish (they front-load all frames),
+    // so depth > 0 at B means both lanes stayed backlogged in between.
+    let mut monitor = connect(addr);
+    let grab = |m: &mut NetClient| {
+        let stat = m.stat().unwrap();
+        let get = |name: &str| {
+            stat.tenants
+                .iter()
+                .find(|t| t.tenant == name)
+                .map(|t| (t.queue_depth, t.completed))
+                .unwrap_or((0, 0))
+        };
+        (get("heavy"), get("light"))
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let a = loop {
+        let ((hd, hc), (ld, lc)) = grab(&mut monitor);
+        if hd >= 100 && ld >= 100 {
+            break (hc, lc);
+        }
+        assert!(std::time::Instant::now() < deadline, "backlog never built up");
+        assert!(hc + lc < 2 * PER_TENANT as u64 - 300, "load drained before backlog observed");
+    };
+    let b = loop {
+        let ((hd, hc), (ld, lc)) = grab(&mut monitor);
+        if (hc - a.0) + (lc - a.1) >= 200 {
+            assert!(hd > 0 && ld > 0, "both lanes must stay backlogged over the window");
+            break (hc, lc);
+        }
+        assert!(std::time::Instant::now() < deadline, "completions stalled");
+    };
+    let (dh, dl) = ((b.0 - a.0) as f64, (b.1 - a.1).max(1) as f64);
+    let ratio = dh / dl;
+    assert!(
+        (2.4..=3.6).contains(&ratio),
+        "3:1 weights must yield completion throughput within 20% of the \
+         weight ratio; got {ratio:.2} ({dh} heavy vs {dl} light)"
+    );
+
+    heavy.join().unwrap();
+    light.join().unwrap();
+    srv.stop();
+}
+
+#[test]
+fn graceful_drain_answers_everything_in_flight() {
+    let srv = TestServer::start(ServeConfig::default().with_workers(1), NetConfig::default());
+    let n = 500;
+    let l = generate::random_lower::<f64>(n, 4.0, 101);
+    let key = warm(&srv.service, &l);
+
+    let mut client = connect(srv.addr);
+    let b = rhs_for(n, 2);
+    const REQUESTS: usize = 30;
+    for _ in 0..REQUESTS {
+        client.send_solve::<f64>("alpha", &key, &[&b], 0).unwrap();
+    }
+    // Wait for the first response — guaranteeing admitted work is in
+    // flight — then pull the plug mid-stream.
+    let (_tag, first) = client.recv::<f64>().unwrap();
+    first.expect("first pipelined solve succeeds");
+    srv.ctl.shutdown();
+
+    let mut completed = 1usize;
+    let mut refused = 0usize;
+    for _ in 1..REQUESTS {
+        let (_tag, outcome) = client.recv::<f64>().unwrap();
+        match outcome {
+            Ok(cols) => {
+                assert_eq!(cols[0].len(), n);
+                completed += 1;
+            }
+            Err((code, _)) => {
+                assert_eq!(code, ErrCode::ShuttingDown, "drain refusals are typed");
+                refused += 1;
+            }
+        }
+    }
+    assert_eq!(completed + refused, REQUESTS, "every request answered, none dropped");
+    assert!(completed > 0, "admitted work completes through the drain");
+
+    // After the last response the server closes the connection cleanly.
+    let mut rest = Vec::new();
+    assert_eq!(client.stream().read_to_end(&mut rest).unwrap(), 0);
+    srv.handle.join().expect("event loop thread").expect("drain exits run()");
+}

@@ -1,0 +1,150 @@
+//! Property tests over the QoS primitives (satellite of the network
+//! tier): token-bucket refill is monotone and bounded, admission never
+//! over- or under-charges, and deficit round-robin throughput tracks lane
+//! weights under saturation for arbitrary weights and costs.
+
+use proptest::prelude::*;
+use recblock_net::{FairQueue, TokenBucket};
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // Refill is monotone in time: replaying the same steps with extra
+    // elapsed time never leaves fewer tokens, and the level never
+    // exceeds the burst or drops below zero.
+    #[test]
+    fn bucket_refill_is_monotone_and_bounded(
+        rate in 0.0f64..10_000.0,
+        burst in 1.0f64..100_000.0,
+        steps in proptest::collection::vec((0u64..2_000, 0u32..3), 1..40),
+    ) {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst, t0);
+        let mut lagging = TokenBucket::new(rate, burst, t0);
+        let mut now = t0;
+        for &(dt_ms, jitter) in &steps {
+            now += Duration::from_millis(dt_ms);
+            let before = bucket.tokens();
+            bucket.refill(now);
+            prop_assert!(bucket.tokens() + 1e-9 >= before.min(burst),
+                "refill removed tokens: {} -> {}", before, bucket.tokens());
+            prop_assert!(bucket.tokens() <= burst + 1e-9);
+            prop_assert!(bucket.tokens() >= -1e-9);
+            // A bucket refilled to an earlier instant never holds more.
+            lagging.refill(now - Duration::from_millis(jitter as u64));
+            prop_assert!(lagging.tokens() <= bucket.tokens() + 1e-9);
+            lagging.refill(now);
+        }
+    }
+
+    // try_take conserves tokens: an admit debits exactly the cost, a
+    // refusal debits nothing, and spend can never exceed burst + accrual.
+    #[test]
+    fn bucket_admission_conserves_tokens(
+        rate in 0.0f64..5_000.0,
+        burst in 1.0f64..10_000.0,
+        requests in proptest::collection::vec((1u64..5_000, 0u64..500), 1..60),
+    ) {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst, t0);
+        let mut now = t0;
+        let mut spent = 0.0f64;
+        let mut elapsed = 0.0f64;
+        for &(cost, dt_ms) in &requests {
+            now += Duration::from_millis(dt_ms);
+            elapsed += dt_ms as f64 / 1000.0;
+            let cost = cost as f64;
+            let before = { bucket.refill(now); bucket.tokens() };
+            let admitted = bucket.try_take(cost, now);
+            if admitted {
+                spent += cost;
+                prop_assert!(before + 1e-6 >= cost, "admitted without cover");
+                prop_assert!((before - cost - bucket.tokens()).abs() < 1e-6);
+            } else {
+                prop_assert!(before < cost, "refused with cover available");
+                prop_assert!((before - bucket.tokens()).abs() < 1e-9);
+            }
+            prop_assert!(spent <= burst + rate * elapsed + 1e-6,
+                "spent more than burst plus accrual");
+        }
+    }
+
+    // Under saturation (every lane always backlogged), DRR serves cost in
+    // proportion to weight: each lane's share is within 20% of its
+    // weight share once enough cost has been served.
+    #[test]
+    fn drr_cost_share_tracks_weights_under_saturation(
+        weights in proptest::collection::vec(1u32..8, 2..5),
+        costs in proptest::collection::vec(1u32..50, 2..5),
+        rounds in 200usize..400,
+    ) {
+        let lanes = weights.len();
+        let mut q = FairQueue::new();
+        for &w in &weights {
+            q.add_lane(w as f64);
+        }
+        // Serve a fixed total cost; stock each lane with more cost than
+        // the whole measurement serves so no lane can drain mid-run.
+        let target: f64 = rounds as f64 * 50.0;
+        for i in 0..lanes {
+            let cost = costs[i % costs.len()] as f64;
+            let per_lane = (target / cost).ceil() as usize + rounds;
+            for _ in 0..per_lane {
+                q.push(i, cost, i);
+            }
+        }
+        let mut served = vec![0.0f64; lanes];
+        let mut total = 0.0;
+        while total < target {
+            let (lane, cost, _) = q.pop().expect("lanes stay backlogged");
+            served[lane] += cost;
+            total += cost;
+            prop_assert!(q.lane_depth(lane) > 0, "lane drained mid-measurement");
+        }
+        let weight_sum: f64 = weights.iter().map(|&w| w as f64).sum();
+        // Boundary effects: one head-of-line item per lane per rotation.
+        let max_item = costs.iter().cloned().max().unwrap() as f64;
+        let slack = 0.2 * total + 2.0 * max_item * lanes as f64;
+        for i in 0..lanes {
+            let fair_share = total * weights[i] as f64 / weight_sum;
+            prop_assert!(
+                (served[i] - fair_share).abs() <= slack,
+                "lane {} (weight {}) served {:.0}, fair share {:.0} ± {:.0}",
+                i, weights[i], served[i], fair_share, slack
+            );
+        }
+    }
+
+    // Work conservation: whatever the weights, DRR never idles while any
+    // lane holds items, and everything pushed is eventually popped.
+    #[test]
+    fn drr_is_work_conserving(
+        weights in proptest::collection::vec(1u32..10, 1..6),
+        items in proptest::collection::vec((0usize..6, 1u32..100), 1..200),
+    ) {
+        let mut q = FairQueue::new();
+        for &w in &weights {
+            q.add_lane(w as f64);
+        }
+        let mut pushed = 0usize;
+        for &(lane, cost) in &items {
+            let lane = lane % weights.len();
+            q.push(lane, cost as f64, (lane, cost));
+            pushed += 1;
+        }
+        let mut popped = 0usize;
+        while let Some((lane, cost, (l, c))) = q.pop() {
+            prop_assert_eq!(lane, l, "item surfaced on its own lane");
+            prop_assert_eq!(cost, c as f64);
+            popped += 1;
+            prop_assert!(popped <= pushed, "popped an item that was never pushed");
+        }
+        prop_assert_eq!(popped, pushed);
+        prop_assert!(q.is_empty());
+        for i in 0..weights.len() {
+            prop_assert_eq!(q.lane_depth(i), 0);
+            prop_assert!(q.lane_cost(i).abs() < 1e-9);
+        }
+    }
+}

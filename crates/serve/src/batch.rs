@@ -7,21 +7,50 @@
 //! individual right-hand sides: when it is reached, `try_push` fails fast
 //! with [`ServeError::Overloaded`] and `push_blocking` parks the caller
 //! until a worker frees space.
+//!
+//! Drained per-matrix deques are recycled through a small spare pool so a
+//! steady stream of same-matrix requests enqueues without heap traffic —
+//! the property the network front end's zero-allocation event loop relies
+//! on.
 
 use crate::cache::PlanKey;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
+use crate::ResponseSink;
 use recblock::RecBlockSolver;
 use recblock_matrix::Scalar;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+/// Drained deques kept for reuse; bounds the idle memory the pool pins.
+const SPARE_QUEUES: usize = 16;
+
+/// Where one request's answer goes: a per-request channel (the in-process
+/// [`crate::SolveHandle`] path) or a shared routed sink (the transport
+/// path, which multiplexes many requests over one delivery object and
+/// tells them apart by tag).
+pub(crate) enum Reply<S> {
+    Channel(mpsc::Sender<Result<Vec<S>, ServeError>>),
+    Routed { tag: u64, sink: Arc<dyn ResponseSink<S>> },
+}
+
+impl<S> Reply<S> {
+    pub(crate) fn deliver(self, result: Result<Vec<S>, ServeError>) {
+        match self {
+            // A dropped handle is fine — the requester stopped listening.
+            Reply::Channel(tx) => drop(tx.send(result)),
+            Reply::Routed { tag, sink } => sink.deliver(tag, result),
+        }
+    }
+}
+
 /// One accepted right-hand side awaiting solution.
 pub(crate) struct Pending<S> {
     pub rhs: Vec<S>,
-    pub tx: mpsc::Sender<Result<Vec<S>, ServeError>>,
+    pub reply: Reply<S>,
     pub submitted: Instant,
 }
 
@@ -41,6 +70,9 @@ struct Inner<S> {
     /// Keys with non-empty queues, each present at most once; popped
     /// round-robin so no matrix starves.
     ready: VecDeque<PlanKey>,
+    /// Drained deques (empty, capacity retained) awaiting reuse, so the
+    /// submit path stays allocation-free in steady state.
+    spare: Vec<VecDeque<Pending<S>>>,
     depth: usize,
     shutting_down: bool,
 }
@@ -61,6 +93,7 @@ impl<S: Scalar> BatchQueue<S> {
             inner: Mutex::new(Inner {
                 queues: HashMap::new(),
                 ready: VecDeque::new(),
+                spare: Vec::new(),
                 depth: 0,
                 shutting_down: false,
             }),
@@ -115,18 +148,25 @@ impl<S: Scalar> BatchQueue<S> {
         plan: &Arc<RecBlockSolver<S>>,
         req: Pending<S>,
     ) {
-        let queue = inner
-            .queues
-            .entry(key)
-            .or_insert_with(|| MatrixQueue { plan: plan.clone(), pending: VecDeque::new() });
+        let Inner { queues, ready, spare, depth, .. } = inner;
+        let queue = match queues.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                // Reuse a drained deque (capacity retained) when one is
+                // spare — no allocation for repeat-matrix traffic.
+                let pending = spare.pop().unwrap_or_default();
+                v.insert(MatrixQueue { plan: plan.clone(), pending })
+            }
+        };
         let was_empty = queue.pending.is_empty();
         queue.pending.push_back(req);
         if was_empty {
-            inner.ready.push_back(key);
+            ready.push_back(key);
         }
-        inner.depth += 1;
+        *depth += 1;
+        let depth_now = *depth;
         self.metrics.submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.metrics.queue_depth_changed(inner.depth);
+        self.metrics.queue_depth_changed(depth_now);
         self.work_cv.notify_one();
     }
 
@@ -144,9 +184,14 @@ impl<S: Scalar> BatchQueue<S> {
                     (Batch { plan: queue.plan.clone(), requests }, queue.pending.is_empty())
                 };
                 if exhausted {
-                    // Drop the per-matrix queue; the plan stays alive in the
-                    // cache (and in the batch being solved).
-                    inner.queues.remove(&key);
+                    // Retire the per-matrix queue, pooling its deque for the
+                    // next enqueue; the plan stays alive in the cache (and in
+                    // the batch being solved).
+                    if let Some(q) = inner.queues.remove(&key) {
+                        if inner.spare.len() < SPARE_QUEUES {
+                            inner.spare.push(q.pending);
+                        }
+                    }
                 } else {
                     inner.ready.push_back(key);
                 }
@@ -185,7 +230,7 @@ impl<S: Scalar> BatchQueue<S> {
         for (_, q) in queues {
             for req in q.pending {
                 self.metrics.cancelled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let _ = req.tx.send(Err(ServeError::ShuttingDown));
+                req.reply.deliver(Err(ServeError::ShuttingDown));
             }
         }
     }
@@ -193,5 +238,11 @@ impl<S: Scalar> BatchQueue<S> {
     /// Queued right-hand sides right now.
     pub(crate) fn depth(&self) -> usize {
         self.inner.lock().unwrap().depth
+    }
+
+    /// Right-hand sides the queue can still accept before `try_push`
+    /// reports [`ServeError::Overloaded`]. Advisory under concurrency.
+    pub(crate) fn available(&self) -> usize {
+        self.capacity.saturating_sub(self.inner.lock().unwrap().depth)
     }
 }

@@ -179,6 +179,25 @@ impl<S: Scalar> PlanCache<S> {
         }
     }
 
+    /// Look up `key` without resolving a miss: a resident plan (or the
+    /// result of an in-flight build, once it lands) is returned and counted
+    /// as a cache hit; an absent key returns `None` and counts nothing —
+    /// the caller decides how (or whether) to resolve it. This is the probe
+    /// the network tier uses: it can only *fetch* plans (cache, then
+    /// store), never build them, because a wire request carries the matrix
+    /// fingerprint but not the matrix.
+    pub fn probe(&self, key: PlanKey) -> Option<Result<Arc<RecBlockSolver<S>>, ServeError>> {
+        let stamp = self.tick.fetch_add(1, Relaxed);
+        let slot = {
+            let mut shard = self.shard_of(&key).lock().unwrap();
+            let entry = shard.get_mut(&key)?;
+            entry.stamp = stamp;
+            entry.slot.clone()
+        };
+        self.metrics.cache_hits.fetch_add(1, Relaxed);
+        Some(self.wait_ready(&slot))
+    }
+
     /// Install an already-resolved plan (warm-start path). Does not count
     /// as a hit or a miss; respects capacity like any other insertion. An
     /// existing entry for `key` is left untouched — the resident plan (or

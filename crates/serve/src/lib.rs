@@ -49,9 +49,9 @@ mod worker;
 pub use cache::{Fetched, PlanCache, PlanKey, PlanSource};
 pub use config::{ServeConfig, StoreOptions};
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsSnapshot, Stage, StageSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, Stage, StageSnapshot, TenantCounters, TenantSnapshot};
 
-use batch::{BatchQueue, Pending};
+use batch::{BatchQueue, Pending, Reply};
 use recblock::RecBlockSolver;
 use recblock_matrix::{Csr, Scalar};
 use recblock_store::{ArtifactKind, PlanStore};
@@ -60,6 +60,24 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Delivery target for routed (transport-submitted) requests.
+///
+/// An in-process submit gets a dedicated [`SolveHandle`]; a transport such
+/// as the TCP front end instead shares **one** sink across every request it
+/// has in flight and tells answers apart by the `tag` it chose at submit
+/// time. `deliver` is called from a worker thread exactly once per routed
+/// request — implementations should hand the result off quickly (push to a
+/// queue, wake an event loop) and never block on the network.
+pub trait ResponseSink<S>: Send + Sync {
+    /// Deliver the answer for the request submitted with `tag`. On success
+    /// the vector is the solution — physically the same buffer the request
+    /// arrived in, so pooling transports can recycle it.
+    fn deliver(&self, tag: u64, result: Result<Vec<S>, ServeError>);
+}
+
+/// A resolved plan together with the tier that produced it.
+pub type ResolvedPlan<S> = (Arc<RecBlockSolver<S>>, PlanSource);
 
 /// The receiving end of one submitted solve.
 ///
@@ -161,13 +179,93 @@ impl<S: Scalar> SolveService<S> {
         let (plan, _) = self.resolve_plan(key, l)?;
         self.metrics.record_stage(Stage::CacheLookup, t0.elapsed());
         let (tx, rx) = mpsc::channel();
-        let req = Pending { rhs, tx, submitted: Instant::now() };
+        let req = Pending { rhs, reply: Reply::Channel(tx), submitted: Instant::now() };
         if block {
             self.queue.push_blocking(key, &plan, req)?;
         } else {
             self.queue.try_push(key, &plan, req)?;
         }
         Ok(SolveHandle { rx })
+    }
+
+    /// Submit a solve against an already-resolved plan, routing the answer
+    /// to `sink` with `tag` instead of a per-request handle. This is the
+    /// transport boundary: the network front end resolves the plan once
+    /// (via [`SolveService::resolve_key`]), then pushes right-hand sides
+    /// through here with pooled buffers — the path performs no allocation
+    /// in steady state and fails fast with [`ServeError::Overloaded`] when
+    /// the queue is at capacity.
+    pub fn submit_routed(
+        &self,
+        key: PlanKey,
+        plan: &Arc<RecBlockSolver<S>>,
+        rhs: Vec<S>,
+        tag: u64,
+        sink: &Arc<dyn ResponseSink<S>>,
+    ) -> Result<(), ServeError> {
+        if rhs.len() != plan.n() {
+            return Err(ServeError::BadRequest { expected: plan.n(), actual: rhs.len() });
+        }
+        let req = Pending {
+            rhs,
+            reply: Reply::Routed { tag, sink: sink.clone() },
+            submitted: Instant::now(),
+        };
+        self.queue.try_push(key, plan, req)
+    }
+
+    /// Resolve the plan for `key` **without building**: in-memory cache
+    /// first, then the persistent store (the hit is promoted into the
+    /// cache). `Ok(None)` when neither tier has it — the transport path
+    /// cannot rebuild because a wire request carries the fingerprint, not
+    /// the matrix; clients precompute plans with `planctl precompute`.
+    pub fn resolve_key(&self, key: PlanKey) -> Result<Option<ResolvedPlan<S>>, ServeError> {
+        if let Some(found) = self.cache.probe(key) {
+            return found.map(|plan| Some((plan, PlanSource::Cache)));
+        }
+        let Some(store) = &self.store else { return Ok(None) };
+        let t0 = Instant::now();
+        match store.load::<S>(&key) {
+            Ok(Some(loaded)) => {
+                let load_time = t0.elapsed();
+                self.metrics.record_stage(Stage::StoreLoad, load_time);
+                self.metrics.store_hits.fetch_add(1, Relaxed);
+                self.metrics.store_bytes_read.fetch_add(loaded.bytes as u64, Relaxed);
+                self.metrics.store_load_ns.fetch_add(load_time.as_nanos() as u64, Relaxed);
+                self.metrics.preprocess_saved_ns.fetch_add(
+                    std::time::Duration::from_secs_f64(loaded.meta.build_cost.max(0.0)).as_nanos()
+                        as u64,
+                    Relaxed,
+                );
+                let plan = Arc::new(loaded.into_solver());
+                self.cache.insert(key, plan.clone());
+                Ok(Some((plan, PlanSource::Store)))
+            }
+            Ok(None) => {
+                self.metrics.record_stage(Stage::StoreLoad, t0.elapsed());
+                self.metrics.store_misses.fetch_add(1, Relaxed);
+                Ok(None)
+            }
+            Err(_) => {
+                self.metrics.record_stage(Stage::StoreLoad, t0.elapsed());
+                self.metrics.store_errors.fetch_add(1, Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
+    /// The shared metrics instance, for transports that register
+    /// per-tenant counter slices (see [`Metrics::tenant`]).
+    pub fn shared_metrics(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+
+    /// Right-hand sides the request queue can still accept before
+    /// `try_push` would report [`ServeError::Overloaded`]. Advisory when
+    /// other submitters race; a transport uses it to hold work in its own
+    /// fair queue instead of bouncing it off a full compute queue.
+    pub fn queue_available(&self) -> usize {
+        self.queue.available()
     }
 
     /// Resolve the plan for `key`, trying tiers in order: in-memory cache,

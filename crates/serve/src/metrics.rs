@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Exact batch sizes are tracked up to this; larger batches land in the
@@ -76,6 +77,72 @@ impl Stage {
     }
 }
 
+/// Per-tenant counter slice, registered through [`Metrics::tenant`].
+///
+/// The network front end's admission/QoS layer increments these directly
+/// (they are plain atomics, safe from any thread); the service folds them
+/// into [`MetricsSnapshot::tenants`] and the Prometheus exposition with a
+/// `tenant` label. All counters are monotonic except `queue_depth`, which
+/// is a gauge of the tenant's requests queued ahead of dispatch.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests that passed admission and were queued for dispatch.
+    pub admitted: AtomicU64,
+    /// Requests refused by token-bucket rate admission.
+    pub admission_rejected: AtomicU64,
+    /// Requests shed because the tenant's queued cost budget was exceeded.
+    pub shed_by_cost: AtomicU64,
+    /// Requests shed because their deadline expired before dispatch.
+    pub shed_by_deadline: AtomicU64,
+    /// Requests answered with a solution.
+    pub completed: AtomicU64,
+    /// Requests answered with a solve/service error after admission.
+    pub failed: AtomicU64,
+    /// Total admitted cost (`nnz × rhs count` summed over admitted requests).
+    pub admitted_cost: AtomicU64,
+    /// Requests currently queued ahead of dispatch (gauge).
+    pub queue_depth: AtomicU64,
+}
+
+impl TenantCounters {
+    fn snapshot(&self, tenant: &str) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: tenant.to_string(),
+            admitted: self.admitted.load(Relaxed),
+            admission_rejected: self.admission_rejected.load(Relaxed),
+            shed_by_cost: self.shed_by_cost.load(Relaxed),
+            shed_by_deadline: self.shed_by_deadline.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            admitted_cost: self.admitted_cost.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one tenant's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant name (the Prometheus `tenant` label value).
+    pub tenant: String,
+    /// See [`TenantCounters::admitted`].
+    pub admitted: u64,
+    /// See [`TenantCounters::admission_rejected`].
+    pub admission_rejected: u64,
+    /// See [`TenantCounters::shed_by_cost`].
+    pub shed_by_cost: u64,
+    /// See [`TenantCounters::shed_by_deadline`].
+    pub shed_by_deadline: u64,
+    /// See [`TenantCounters::completed`].
+    pub completed: u64,
+    /// See [`TenantCounters::failed`].
+    pub failed: u64,
+    /// See [`TenantCounters::admitted_cost`].
+    pub admitted_cost: u64,
+    /// See [`TenantCounters::queue_depth`].
+    pub queue_depth: u64,
+}
+
 /// Shared atomic counters. One instance lives behind an `Arc` shared by the
 /// cache, the queue, the workers and the service front end.
 #[derive(Debug)]
@@ -115,6 +182,11 @@ pub struct Metrics {
 
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) queue_depth_peak: AtomicUsize,
+
+    /// Registered tenants, in registration order. Registration is rare
+    /// (once per tenant) and lookups return an `Arc` the caller keeps, so
+    /// a mutex-guarded list is fine — the hot path never touches it.
+    pub(crate) tenants: Mutex<Vec<(Arc<str>, Arc<TenantCounters>)>>,
 }
 
 impl Default for Metrics {
@@ -150,11 +222,25 @@ impl Default for Metrics {
             stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_depth: AtomicUsize::new(0),
             queue_depth_peak: AtomicUsize::new(0),
+            tenants: Mutex::new(Vec::new()),
         }
     }
 }
 
 impl Metrics {
+    /// Get (registering on first use) the counter slice for `name`. The
+    /// returned `Arc` is meant to be held by the transport for the life of
+    /// the tenant so per-request increments never re-lock the registry.
+    pub fn tenant(&self, name: &str) -> Arc<TenantCounters> {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some((_, counters)) = tenants.iter().find(|(n, _)| &**n == name) {
+            return counters.clone();
+        }
+        let counters = Arc::new(TenantCounters::default());
+        tenants.push((Arc::from(name), counters.clone()));
+        counters
+    }
+
     pub(crate) fn record_batch(&self, k: usize) {
         self.batches.fetch_add(1, Relaxed);
         self.batched_columns.fetch_add(k as u64, Relaxed);
@@ -226,6 +312,14 @@ impl Metrics {
                 })
             })
             .collect();
+        let mut tenants: Vec<TenantSnapshot> = self
+            .tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, counters)| counters.snapshot(name))
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         MetricsSnapshot {
             submitted: self.submitted.load(Relaxed),
             completed: self.completed.load(Relaxed),
@@ -252,6 +346,7 @@ impl Metrics {
             latency_total: Duration::from_nanos(self.latency_ns_sum.load(Relaxed)),
             mean_latency: mean(self.latency_ns_sum.load(Relaxed), self.latency_count.load(Relaxed)),
             stages,
+            tenants,
             queue_depth: self.queue_depth.load(Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Relaxed),
         }
@@ -323,6 +418,9 @@ pub struct MetricsSnapshot {
     /// Per-stage timing histograms (only stages that recorded at least one
     /// sample), in pipeline order.
     pub stages: Vec<StageSnapshot>,
+    /// Per-tenant admission/QoS counter slices, sorted by tenant name
+    /// (empty when no transport registered tenants).
+    pub tenants: Vec<TenantSnapshot>,
     /// Queued requests right now.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -465,6 +563,22 @@ impl fmt::Display for MetricsSnapshot {
                 s.percentile(0.5).unwrap_or_default(),
                 s.percentile(0.9).unwrap_or_default(),
                 s.percentile(0.99).unwrap_or_default()
+            )?;
+        }
+        for t in &self.tenants {
+            write!(
+                f,
+                "\ntenant {:<12} {} admitted ({} cost), {} rate-rejected, {} cost-shed, \
+                 {} deadline-shed, {} completed, {} failed, depth {}",
+                t.tenant,
+                t.admitted,
+                t.admitted_cost,
+                t.admission_rejected,
+                t.shed_by_cost,
+                t.shed_by_deadline,
+                t.completed,
+                t.failed,
+                t.queue_depth
             )?;
         }
         Ok(())

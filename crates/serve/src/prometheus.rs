@@ -123,6 +123,55 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         stage_series(&mut out, s);
     }
 
+    // Per-tenant admission/QoS counter slices (network front end).
+    if !snapshot.tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP recblock_tenant_requests_total Per-tenant requests by admission outcome."
+        );
+        let _ = writeln!(out, "# TYPE recblock_tenant_requests_total counter");
+        for t in &snapshot.tenants {
+            for (event, v) in [
+                ("admitted", t.admitted),
+                ("admission_rejected", t.admission_rejected),
+                ("shed_by_cost", t.shed_by_cost),
+                ("shed_by_deadline", t.shed_by_deadline),
+                ("completed", t.completed),
+                ("failed", t.failed),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "recblock_tenant_requests_total{{tenant=\"{}\",event=\"{event}\"}} {v}",
+                    t.tenant
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP recblock_tenant_admitted_cost_total Admitted request cost (nnz x rhs count)."
+        );
+        let _ = writeln!(out, "# TYPE recblock_tenant_admitted_cost_total counter");
+        for t in &snapshot.tenants {
+            let _ = writeln!(
+                out,
+                "recblock_tenant_admitted_cost_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.admitted_cost
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP recblock_tenant_queue_depth Requests queued ahead of dispatch, per tenant."
+        );
+        let _ = writeln!(out, "# TYPE recblock_tenant_queue_depth gauge");
+        for t in &snapshot.tenants {
+            let _ = writeln!(
+                out,
+                "recblock_tenant_queue_depth{{tenant=\"{}\"}} {}",
+                t.tenant, t.queue_depth
+            );
+        }
+    }
+
     scalar(
         &mut out,
         "recblock_queue_depth",
@@ -208,6 +257,31 @@ mod tests {
         assert!(!text.contains("le=\"17.179869184\"} 2"), "{text}");
         assert!(text.contains("recblock_stage_seconds_bucket{stage=\"solve\",le=\"+Inf\"} 1"));
         assert!(text.contains("recblock_batch_size_sum 3"));
+    }
+
+    #[test]
+    fn tenant_slices_render_with_labels() {
+        let m = Metrics::default();
+        let alpha = m.tenant("alpha");
+        alpha.admitted.fetch_add(7, std::sync::atomic::Ordering::Relaxed);
+        alpha.admission_rejected.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        alpha.shed_by_cost.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        alpha.admitted_cost.fetch_add(12345, std::sync::atomic::Ordering::Relaxed);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE recblock_tenant_requests_total counter"), "{text}");
+        assert!(
+            text.contains("recblock_tenant_requests_total{tenant=\"alpha\",event=\"admitted\"} 7")
+        );
+        assert!(text.contains(
+            "recblock_tenant_requests_total{tenant=\"alpha\",event=\"admission_rejected\"} 2"
+        ));
+        assert!(text
+            .contains("recblock_tenant_requests_total{tenant=\"alpha\",event=\"shed_by_cost\"} 1"));
+        assert!(text.contains("recblock_tenant_admitted_cost_total{tenant=\"alpha\"} 12345"));
+        assert!(text.contains("recblock_tenant_queue_depth{tenant=\"alpha\"} 0"));
+        // No tenants registered → no tenant families at all.
+        let empty = Metrics::default().snapshot().render_prometheus();
+        assert!(!empty.contains("recblock_tenant_"), "{empty}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Worker threads: drain batches, run the fused multi-RHS solve, answer.
 
-use crate::batch::{Batch, BatchQueue};
+use crate::batch::{Batch, BatchQueue, Pending};
 use crate::error::ServeError;
 use crate::metrics::{Metrics, Stage};
 use recblock::blocked::SolveWorkspace;
@@ -11,18 +11,21 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Buffers one worker reuses across batches: the gathered input block, the
-/// solved output block, and the engine's [`SolveWorkspace`]. Whenever the
-/// `(n, k)` shape repeats — the common case of a stream of same-matrix
-/// requests — the steady state allocates nothing but the per-request
-/// response vectors the callers take ownership of.
+/// solved output block, a single-RHS scratch, and the engine's
+/// [`SolveWorkspace`]. Whenever the `(n, k)` shape repeats — the common
+/// case of a stream of same-matrix requests — the steady state allocates
+/// nothing: each answer is written back into the request's own rhs buffer,
+/// which the transport layer recycles.
 struct WorkerBuffers<S> {
     input: Option<MultiVector<S>>,
     out: Option<MultiVector<S>>,
+    single: Vec<S>,
     ws: SolveWorkspace<S>,
 }
 
 pub(crate) fn run<S: Scalar>(queue: Arc<BatchQueue<S>>, metrics: Arc<Metrics>, max_batch: usize) {
-    let mut bufs = WorkerBuffers { input: None, out: None, ws: SolveWorkspace::new() };
+    let mut bufs =
+        WorkerBuffers { input: None, out: None, single: Vec::new(), ws: SolveWorkspace::new() };
     while let Some(batch) = queue.next_batch(max_batch) {
         solve_batch(batch, &metrics, &mut bufs);
     }
@@ -41,43 +44,50 @@ fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, bufs: &mut WorkerB
         metrics.record_stage(Stage::QueueWait, req.submitted.elapsed());
     }
     let n = batch.plan.n();
+    let Batch { plan, mut requests } = batch;
 
     if k == 1 {
-        let req = &batch.requests[0];
+        let req = &mut requests[0];
         let t0 = Instant::now();
-        let result = (|| {
-            let mut x = vec![S::ZERO; n];
-            batch.plan.solve_into(&req.rhs, &mut x, &mut bufs.ws)?;
-            Ok(x)
-        })()
-        .map_err(|e: recblock_matrix::MatrixError| ServeError::from(e));
+        let result = (|| -> Result<(), ServeError> {
+            bufs.single.resize(n, S::ZERO);
+            plan.solve_into(&req.rhs, &mut bufs.single, &mut bufs.ws)?;
+            // Answer in the request's own buffer so the submitter (e.g. the
+            // network event loop) can recycle it.
+            req.rhs.copy_from_slice(&bufs.single);
+            Ok(())
+        })();
         metrics.record_stage(Stage::Solve, t0.elapsed());
+        let req = requests.pop().expect("one request");
         finish(metrics, req, result);
         return;
     }
 
-    match gather_and_solve(&batch, n, k, bufs, metrics) {
-        Ok(x) => {
-            for (j, req) in batch.requests.iter().enumerate() {
-                finish(metrics, req, Ok(x.col(j).to_vec()));
+    match gather_and_solve(&plan, &requests, n, k, bufs, metrics) {
+        Ok(()) => {
+            let x = bufs.out.as_ref().expect("solved output present");
+            for (j, mut req) in requests.into_iter().enumerate() {
+                req.rhs.copy_from_slice(x.col(j));
+                finish(metrics, req, Ok(()));
             }
         }
         Err(e) => {
-            for req in &batch.requests {
+            for req in requests {
                 finish(metrics, req, Err(e.clone()));
             }
         }
     }
 }
 
-fn gather_and_solve<'a, S: Scalar>(
-    batch: &Batch<S>,
+fn gather_and_solve<S: Scalar>(
+    plan: &recblock::RecBlockSolver<S>,
+    requests: &[Pending<S>],
     n: usize,
     k: usize,
-    bufs: &'a mut WorkerBuffers<S>,
+    bufs: &mut WorkerBuffers<S>,
     metrics: &Metrics,
-) -> Result<&'a MultiVector<S>, ServeError> {
-    for req in &batch.requests {
+) -> Result<(), ServeError> {
+    for req in requests {
         if req.rhs.len() != n {
             return Err(recblock_matrix::MatrixError::DimensionMismatch {
                 what: "batched rhs rows",
@@ -90,42 +100,42 @@ fn gather_and_solve<'a, S: Scalar>(
     let t0 = Instant::now();
     ensure_shape(&mut bufs.input, n, k);
     let b = bufs.input.as_mut().expect("just ensured");
-    for (j, req) in batch.requests.iter().enumerate() {
+    for (j, req) in requests.iter().enumerate() {
         b.col_mut(j).copy_from_slice(&req.rhs);
     }
     ensure_shape(&mut bufs.out, n, k);
     metrics.record_stage(Stage::BatchAssembly, t0.elapsed());
-    let reuse = bufs.out.as_mut().expect("just ensured");
+    let out = bufs.out.as_mut().expect("just ensured");
     let t1 = Instant::now();
-    batch.plan.solve_multi_ws(&*b, reuse, &mut bufs.ws)?;
+    plan.solve_multi_ws(&*b, out, &mut bufs.ws)?;
     metrics.record_stage(Stage::Solve, t1.elapsed());
-    Ok(&*reuse)
+    Ok(())
 }
 
-fn finish<S: Scalar>(
-    metrics: &Metrics,
-    req: &crate::batch::Pending<S>,
-    result: Result<Vec<S>, ServeError>,
-) {
-    match &result {
-        Ok(_) => {
+/// Deliver one answer. On success the solution has already been written
+/// into `req.rhs`, which is moved out as the response vector.
+fn finish<S: Scalar>(metrics: &Metrics, req: Pending<S>, result: Result<(), ServeError>) {
+    let Pending { rhs, reply, submitted } = req;
+    let result = match result {
+        Ok(()) => {
             metrics.completed.fetch_add(1, Relaxed);
+            Ok(rhs)
         }
-        Err(_) => {
+        Err(e) => {
             metrics.failed.fetch_add(1, Relaxed);
+            Err(e)
         }
-    }
-    metrics.record_latency(req.submitted.elapsed());
-    // A dropped handle is fine — the requester stopped listening.
+    };
+    metrics.record_latency(submitted.elapsed());
     let t0 = Instant::now();
-    let _ = req.tx.send(result);
+    reply.deliver(result);
     metrics.record_stage(Stage::Respond, t0.elapsed());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::Pending;
+    use crate::batch::{Pending, Reply};
     use crate::cache::PlanKey;
     use recblock::{RecBlockSolver, SolverOptions};
     use recblock_matrix::generate;
@@ -144,7 +154,13 @@ mod tests {
         for i in 0..5 {
             let (tx, rx) = mpsc::channel();
             let rhs: Vec<f64> = (0..300).map(|r| ((r + i * 37) as f64 * 0.01).cos()).collect();
-            queue.try_push(key, &plan, Pending { rhs, tx, submitted: Instant::now() }).unwrap();
+            queue
+                .try_push(
+                    key,
+                    &plan,
+                    Pending { rhs, reply: Reply::Channel(tx), submitted: Instant::now() },
+                )
+                .unwrap();
             rxs.push(rx);
         }
 

@@ -35,6 +35,14 @@ fn family_of(sample_name: &str) -> String {
 #[test]
 fn exposition_is_well_formed() {
     let service = SolveService::<f64>::new(ServeConfig::default().with_workers(2));
+    // Register tenant slices the way the network front end does, so the
+    // labelled per-tenant families are part of the scraped text too.
+    for (name, admitted, rejected) in [("alpha", 5u64, 1u64), ("beta", 2, 0)] {
+        let t = service.shared_metrics().tenant(name);
+        t.admitted.fetch_add(admitted, std::sync::atomic::Ordering::Relaxed);
+        t.admission_rejected.fetch_add(rejected, std::sync::atomic::Ordering::Relaxed);
+        t.admitted_cost.fetch_add(admitted * 100, std::sync::atomic::Ordering::Relaxed);
+    }
     let l = generate::random_lower::<f64>(400, 4.0, 90);
     let mut handles = Vec::new();
     for i in 0..8 {
@@ -88,9 +96,16 @@ fn exposition_is_well_formed() {
         "recblock_request_latency_seconds",
         "recblock_stage_seconds",
         "recblock_queue_depth",
+        "recblock_tenant_requests_total",
+        "recblock_tenant_admitted_cost_total",
+        "recblock_tenant_queue_depth",
     ] {
         assert!(declared.contains_key(family), "missing family {family}");
     }
+    // Tenant samples carry a tenant label and sort deterministically.
+    assert!(text.contains("recblock_tenant_requests_total{tenant=\"alpha\",event=\"admitted\"} 5"));
+    assert!(text.contains("recblock_tenant_requests_total{tenant=\"beta\",event=\"admitted\"} 2"));
+    assert!(text.contains("recblock_tenant_admitted_cost_total{tenant=\"alpha\"} 500"));
 
     // Histogram invariants: buckets are cumulative (monotone in le) and end
     // with +Inf equal to _count.

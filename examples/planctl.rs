@@ -8,6 +8,8 @@
 //! planctl verify     <plan-file> <matrix.mtx>   full decode + key check + test solve
 //! planctl explain    <matrix.mtx|plan-file> [--kernels]
 //!                                               why each block got its kernel
+//! planctl ping       <host:port>                one RBNET round trip to a server
+//! planctl stat       <host:port>                warm status + per-tenant queues
 //! ```
 //!
 //! `precompute` is the deploy-time half of the workflow: run it once per
@@ -18,7 +20,10 @@
 //! solve checked against the matrix. `explain` prints the selection report
 //! — per block, the statistics Algorithm 7 saw, the kernel it chose, and
 //! the threshold that decided; `--kernels` adds the rejected candidates
-//! and level-shape histograms.
+//! and level-shape histograms. `ping` and `stat` speak one RBNET frame to
+//! a running `serve_demo --listen` (or any `recblock-net` server): `ping`
+//! measures liveness, `stat` prints warm-plan status and per-tenant queue
+//! depths for operators watching the QoS tier.
 
 use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
 use recblock::explain::SelectionReport;
@@ -26,6 +31,7 @@ use recblock::{RecBlockSolver, SolverOptions};
 use recblock_matrix::triangular::lower_with_diag;
 use recblock_matrix::vector::residual_inf;
 use recblock_matrix::{mm, Csr, Scalar};
+use recblock_net::NetClient;
 use recblock_store::{inspect_plan_file, read_plan_file, ArtifactKind, PlanKey, PlanStore};
 use std::path::Path;
 
@@ -42,6 +48,8 @@ fn main() {
                 _ => usage(),
             }
         }
+        Some("ping") if args.len() == 2 => ping(&args[1]),
+        Some("stat") if args.len() == 2 => stat(&args[1]),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -54,7 +62,8 @@ fn usage() -> Result<(), String> {
     eprintln!(
         "usage:\n  planctl precompute <matrix.mtx> <store-dir>\n  \
          planctl inspect <plan-file>\n  planctl verify <plan-file> <matrix.mtx>\n  \
-         planctl explain <matrix.mtx|plan-file> [--kernels]"
+         planctl explain <matrix.mtx|plan-file> [--kernels]\n  \
+         planctl ping <host:port>\n  planctl stat <host:port>"
     );
     std::process::exit(2);
 }
@@ -183,4 +192,34 @@ fn print_report(report: &SelectionReport, kernels: bool) {
     } else {
         print!("{report}");
     }
+}
+
+fn ping(addr: &str) -> Result<(), String> {
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.set_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    let rtt = client.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("{addr}: alive, round trip {rtt:.2?}");
+    Ok(())
+}
+
+fn stat(addr: &str) -> Result<(), String> {
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.set_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    let stat = client.stat().map_err(|e| format!("stat: {e}"))?;
+    println!("server    : {addr}{}", if stat.draining { " (draining)" } else { "" });
+    println!("plans warm: {}", stat.plans_warm);
+    println!("in flight : {} columns", stat.inflight);
+    if stat.tenants.is_empty() {
+        println!("tenants   : none seen yet");
+        return Ok(());
+    }
+    println!("tenants   :");
+    for t in &stat.tenants {
+        println!(
+            "  {:<16} queued {:>4}  admitted {:>6}  completed {:>6}  \
+             rejected {:>4}  shed {:>4}",
+            t.tenant, t.queue_depth, t.admitted, t.completed, t.admission_rejected, t.shed
+        );
+    }
+    Ok(())
 }

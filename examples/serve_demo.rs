@@ -5,12 +5,55 @@
 //!
 //! Pass `--metrics` to also dump the Prometheus text exposition — the same
 //! output a `/metrics` endpoint would serve — after the burst completes.
+//!
+//! The network tier rides on the same service:
+//!
+//! ```text
+//! serve_demo --listen 127.0.0.1:7700    warm the demo matrices, serve RBNET
+//! serve_demo --connect 127.0.0.1:7700   solve the demo matrices over TCP
+//! ```
+//!
+//! `--listen` registers three tenants — `alpha` (weight 3), `beta`
+//! (weight 1) and `limited` (tight rate budget) — and prints each demo
+//! matrix's plan key. `--connect` regenerates the same matrices (same
+//! seeds, same fingerprints), pings, runs a burst as `alpha`/`beta`, shows
+//! `limited` being refused with a typed error, and finishes with the
+//! server's per-tenant stat frame.
 
-use recblock_matrix::generate;
+use recblock_matrix::{generate, Csr};
+use recblock_net::{ErrCode, NetClient, NetConfig, NetError, NetServer, TenantPolicy};
 use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::sync::Arc;
+
+/// The three demo factors. `--listen` and `--connect` both call this, so
+/// fingerprints agree across processes without shipping any matrix bytes.
+fn demo_matrices() -> Vec<Csr<f64>> {
+    vec![
+        generate::random_lower::<f64>(20_000, 6.0, 1),
+        generate::grid2d::<f64>(120, 120, 2),
+        generate::layered::<f64>(15_000, 24, 3.0, generate::LayerShape::Uniform, 3),
+    ]
+}
 
 fn main() {
-    let prometheus = std::env::args().skip(1).any(|a| a == "--metrics");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--listen") if args.len() == 2 => listen(&args[1]),
+        Some("--connect") if args.len() == 2 => connect(&args[1]),
+        _ => {
+            in_process(args.iter().any(|a| a == "--metrics"));
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("serve_demo: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// The original in-process demo.
+fn in_process(prometheus: bool) {
     let config = ServeConfig::default().with_max_batch(8).with_queue_capacity(128);
     println!(
         "starting service: {} workers, max batch {}, queue {}",
@@ -20,11 +63,7 @@ fn main() {
 
     // Three triangular factors the service will see. The first request for
     // each pays the preprocessing; everything after hits the plan cache.
-    let matrices = [
-        generate::random_lower::<f64>(20_000, 6.0, 1),
-        generate::grid2d::<f64>(120, 120, 2),
-        generate::layered::<f64>(15_000, 24, 3.0, generate::LayerShape::Uniform, 3),
-    ];
+    let matrices = demo_matrices();
     for (i, l) in matrices.iter().enumerate() {
         service.warm(l).expect("preprocessing failed");
         println!("warmed matrix {i}: {} ({} nnz)", l.fingerprint(), l.nnz());
@@ -56,4 +95,82 @@ fn main() {
         "\npreprocessing amortisation: {:?} spent building plans once, {:?} saved by reuse",
         stats.preprocess_time, stats.preprocess_time_saved
     );
+}
+
+/// `--listen <addr>`: warm the demo matrices and serve RBNET until killed.
+fn listen(addr: &str) -> Result<(), String> {
+    let service = Arc::new(SolveService::<f64>::new(
+        ServeConfig::default().with_max_batch(8).with_queue_capacity(128),
+    ));
+    println!("warming demo plans...");
+    for (i, l) in demo_matrices().iter().enumerate() {
+        service.warm(l).map_err(|e| format!("preprocessing failed: {e}"))?;
+        println!("  matrix {i}: key {} ({} nnz)", PlanKey::of(l), l.nnz());
+    }
+
+    let net_cfg = NetConfig::default()
+        .with_tenant("alpha", TenantPolicy::default().with_weight(3.0))
+        .with_tenant("beta", TenantPolicy::default().with_weight(1.0))
+        .with_tenant("limited", TenantPolicy::default().with_rate(50_000.0, 300_000.0));
+    let mut server =
+        NetServer::bind(addr, net_cfg, service).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on {} — tenants: alpha (w3), beta (w1), limited (rate-capped); \
+         Ctrl-C to stop",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    server.run().map_err(|e| format!("event loop: {e}"))
+}
+
+/// `--connect <addr>`: exercise a running `--listen` server over TCP.
+fn connect(addr: &str) -> Result<(), String> {
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    println!("ping: {:?}", client.ping().map_err(|e| e.to_string())?);
+
+    let matrices = demo_matrices();
+    for (i, l) in matrices.iter().enumerate() {
+        let key = PlanKey::of(l);
+        let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+        let b: Vec<f64> = (0..l.nrows()).map(|r| ((r + i) as f64 * 0.003).sin() + 2.0).collect();
+        let t0 = std::time::Instant::now();
+        let x =
+            client.solve::<f64>(tenant, &key, &b).map_err(|e| format!("solve as {tenant}: {e}"))?;
+        println!(
+            "matrix {i} as {tenant:6}: n = {}, x[0] = {:.6}, round trip {:.2?}",
+            x.len(),
+            x[0],
+            t0.elapsed()
+        );
+    }
+
+    // Push `limited` past its rate budget to show the typed refusal.
+    let l = &matrices[0];
+    let key = PlanKey::of(l);
+    let b: Vec<f64> = (0..l.nrows()).map(|r| (r as f64 * 0.003).cos() + 2.0).collect();
+    let mut admitted = 0;
+    for _ in 0..8 {
+        match client.solve::<f64>("limited", &key, &b) {
+            Ok(_) => admitted += 1,
+            Err(NetError::Remote { code: ErrCode::RateLimited, .. }) => {
+                println!("limited tenant: {admitted} solves admitted, then typed RateLimited");
+                break;
+            }
+            Err(e) => return Err(format!("solve as limited: {e}")),
+        }
+    }
+
+    let stat = client.stat().map_err(|e| e.to_string())?;
+    println!(
+        "\nserver stat: {} plans warm, {} columns in flight{}",
+        stat.plans_warm,
+        stat.inflight,
+        if stat.draining { ", draining" } else { "" }
+    );
+    for t in &stat.tenants {
+        println!(
+            "  {:8} queued {:3}  admitted {:4}  completed {:4}  rejected {:3}  shed {:3}",
+            t.tenant, t.queue_depth, t.admitted, t.completed, t.admission_rejected, t.shed
+        );
+    }
+    Ok(())
 }
