@@ -1,0 +1,392 @@
+//! Seeded deterministic fault injection for the recblock stack.
+//!
+//! Production code is threaded with named *injection points* — store
+//! reads, socket writes, worker dispatch, engine chunks — each a single
+//! call to [`fires`]. A test installs a [`FaultPlan`] mapping points to
+//! [`Trigger`]s (always / one-shot / every-nth / seeded probability) and
+//! the next time execution crosses an armed point the fault fires:
+//! the site injects an I/O error, tears a write, panics, or stalls,
+//! exactly as the real failure would.
+//!
+//! The design follows the `trace` feature's cost model
+//! (`recblock-kernels/src/trace.rs`):
+//!
+//! - **Feature off** (`faults` not enabled): [`compiled`] is a `const
+//!   false`, so every site folds to nothing at compile time.
+//! - **Compiled but disarmed** (feature on, no plan installed): one
+//!   relaxed atomic load per site — cheap enough to leave in the solve
+//!   and event-loop hot paths, pinned by the counting-allocator
+//!   regression tests which run with `faults` compiled in.
+//! - **Armed**: a cold path evaluates the point's trigger against
+//!   lock-free per-point counters. Probability triggers hash
+//!   `(seed, point, hit index)` with a SplitMix64 mix, so a given seed
+//!   reproduces the exact same fault sequence on every run — chaos
+//!   failures replay.
+//!
+//! State is process-global (like `SolveTrace`): tests that install
+//! plans must serialize on a shared lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Named places in the stack where a fault can be injected. The numeric
+/// values index the global state table; append only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultPoint {
+    /// `store`: reading a plan file from disk (injects an I/O error).
+    StoreRead = 0,
+    /// `store`: after the read, before decode (flips one bit, so the
+    /// CRC check must catch it).
+    StoreDecode = 1,
+    /// `store`: persisting a plan (tears the write — only a prefix of
+    /// the bytes reaches the file, and the sync is skipped).
+    StoreWrite = 2,
+    /// `net`: accepting a connection (drops it immediately).
+    NetAccept = 3,
+    /// `net`: reading from a connection (pretends `EAGAIN`).
+    NetRead = 4,
+    /// `net`: flushing a response (pretends `EAGAIN` mid-frame).
+    NetWrite = 5,
+    /// `net`: the completion-queue wake byte (swallows the wake; the
+    /// event loop's poll timeout must recover).
+    NetWake = 6,
+    /// `serve`: a worker solving a batch (panics mid-solve).
+    ServeDispatch = 7,
+    /// `kernels`: an exec-pool chunk job (panics inside the pool).
+    ExecChunk = 8,
+    /// `kernels`: an exec-pool chunk job (sleeps ~1 ms, a slow solve).
+    ExecSlow = 9,
+}
+
+/// Number of injection points (size of the state table).
+pub const POINT_COUNT: usize = 10;
+
+/// All points, for iteration and plan randomization.
+pub const ALL_POINTS: [FaultPoint; POINT_COUNT] = [
+    FaultPoint::StoreRead,
+    FaultPoint::StoreDecode,
+    FaultPoint::StoreWrite,
+    FaultPoint::NetAccept,
+    FaultPoint::NetRead,
+    FaultPoint::NetWrite,
+    FaultPoint::NetWake,
+    FaultPoint::ServeDispatch,
+    FaultPoint::ExecChunk,
+    FaultPoint::ExecSlow,
+];
+
+impl FaultPoint {
+    /// Stable machine-readable name (logs, plan descriptions).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::StoreRead => "store_read",
+            FaultPoint::StoreDecode => "store_decode",
+            FaultPoint::StoreWrite => "store_write",
+            FaultPoint::NetAccept => "net_accept",
+            FaultPoint::NetRead => "net_read",
+            FaultPoint::NetWrite => "net_write",
+            FaultPoint::NetWake => "net_wake",
+            FaultPoint::ServeDispatch => "serve_dispatch",
+            FaultPoint::ExecChunk => "exec_chunk",
+            FaultPoint::ExecSlow => "exec_slow",
+        }
+    }
+}
+
+/// When an armed injection point actually fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Point stays inert (the default for unlisted points).
+    Never,
+    /// Fires on every hit.
+    Always,
+    /// Fires on the first hit only.
+    OneShot,
+    /// Fires on the `n`-th hit (1-based) only.
+    Nth(u64),
+    /// Fires on each hit independently with probability `p`, derived
+    /// deterministically from the plan seed and the hit index.
+    Prob(f64),
+}
+
+const MODE_NEVER: u8 = 0;
+const MODE_ALWAYS: u8 = 1;
+const MODE_ONESHOT: u8 = 2;
+const MODE_NTH: u8 = 3;
+const MODE_PROB: u8 = 4;
+
+/// Lock-free per-point runtime state.
+struct PointState {
+    mode: AtomicU8,
+    /// `Nth`: the 1-based hit index. `Prob`: the probability's f64 bits.
+    param: AtomicU64,
+    /// Times the site was evaluated while armed.
+    hits: AtomicU64,
+    /// Times the fault actually fired.
+    fired: AtomicU64,
+    /// Deterministic per-fire auxiliary value (bit position, prefix
+    /// length, …) stashed for the site to pick up via [`aux`].
+    last_aux: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const POINT_INIT: PointState = PointState {
+    mode: AtomicU8::new(MODE_NEVER),
+    param: AtomicU64::new(0),
+    hits: AtomicU64::new(0),
+    fired: AtomicU64::new(0),
+    last_aux: AtomicU64::new(0),
+};
+
+static POINTS: [PointState; POINT_COUNT] = [POINT_INIT; POINT_COUNT];
+static SEED: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Whether injection sites were compiled in at all.
+pub const fn compiled() -> bool {
+    cfg!(feature = "faults")
+}
+
+/// Whether a plan is currently armed. This is the entire hot-path cost
+/// when no faults are active: a compile-time `false` without the
+/// feature, one relaxed load with it.
+#[inline(always)]
+pub fn armed() -> bool {
+    compiled() && ARMED.load(Ordering::Relaxed)
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash of the 64-bit input.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Should the fault at `point` fire right now? The one call production
+/// code makes; everything else in this crate serves it.
+#[inline(always)]
+pub fn fires(point: FaultPoint) -> bool {
+    if !armed() {
+        return false;
+    }
+    fires_slow(point)
+}
+
+#[cold]
+fn fires_slow(point: FaultPoint) -> bool {
+    let st = &POINTS[point as usize];
+    let hit = st.hits.fetch_add(1, Ordering::Relaxed); // 0-based hit index
+    let fire = match st.mode.load(Ordering::Relaxed) {
+        MODE_ALWAYS => true,
+        MODE_ONESHOT => hit == 0,
+        MODE_NTH => hit + 1 == st.param.load(Ordering::Relaxed),
+        MODE_PROB => {
+            let p = f64::from_bits(st.param.load(Ordering::Relaxed));
+            let h = splitmix64(
+                SEED.load(Ordering::Relaxed)
+                    ^ (point as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                    ^ hit,
+            );
+            // Top 53 bits → uniform in [0, 1).
+            ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        }
+        _ => false,
+    };
+    if fire {
+        let n = st.fired.fetch_add(1, Ordering::Relaxed);
+        let a = splitmix64(
+            SEED.load(Ordering::Relaxed).wrapping_add(0x5851_F42D_4C95_7F2D)
+                ^ (point as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ n,
+        );
+        st.last_aux.store(a, Ordering::Relaxed);
+    }
+    fire
+}
+
+/// Deterministic auxiliary value from the most recent fire at `point`
+/// (e.g. which bit to flip, how much of a write to keep). Meaningful
+/// only right after [`fires`] returned `true` at the same site.
+pub fn aux(point: FaultPoint) -> u64 {
+    POINTS[point as usize].last_aux.load(Ordering::Relaxed)
+}
+
+/// Times `point` was evaluated while a plan was armed.
+pub fn hits(point: FaultPoint) -> u64 {
+    POINTS[point as usize].hits.load(Ordering::Relaxed)
+}
+
+/// Times `point` actually fired.
+pub fn fired(point: FaultPoint) -> u64 {
+    POINTS[point as usize].fired.load(Ordering::Relaxed)
+}
+
+/// A seeded assignment of triggers to injection points.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: [Trigger; POINT_COUNT],
+}
+
+impl FaultPlan {
+    /// An empty plan (all points [`Trigger::Never`]) under `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, triggers: [Trigger::Never; POINT_COUNT] }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Set `point`'s trigger (builder style).
+    pub fn with(mut self, point: FaultPoint, trigger: Trigger) -> FaultPlan {
+        self.triggers[point as usize] = trigger;
+        self
+    }
+
+    /// The trigger currently assigned to `point`.
+    pub fn trigger(&self, point: FaultPoint) -> Trigger {
+        self.triggers[point as usize]
+    }
+
+    /// Arm this plan process-wide, resetting all per-point counters.
+    /// Panics if the `faults` feature is not compiled in — an armed
+    /// plan with no compiled sites would silently test nothing.
+    pub fn install(&self) {
+        assert!(compiled(), "recblock-faults built without the `faults` feature");
+        // Disarm while swapping state so sites never see a half-installed plan.
+        ARMED.store(false, Ordering::SeqCst);
+        SEED.store(self.seed, Ordering::SeqCst);
+        for (i, st) in POINTS.iter().enumerate() {
+            let (mode, param) = match self.triggers[i] {
+                Trigger::Never => (MODE_NEVER, 0),
+                Trigger::Always => (MODE_ALWAYS, 0),
+                Trigger::OneShot => (MODE_ONESHOT, 0),
+                Trigger::Nth(n) => (MODE_NTH, n),
+                Trigger::Prob(p) => (MODE_PROB, p.clamp(0.0, 1.0).to_bits()),
+            };
+            st.mode.store(mode, Ordering::SeqCst);
+            st.param.store(param, Ordering::SeqCst);
+            st.hits.store(0, Ordering::SeqCst);
+            st.fired.store(0, Ordering::SeqCst);
+            st.last_aux.store(0, Ordering::SeqCst);
+        }
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm injection process-wide and reset every point to
+    /// [`Trigger::Never`]. Hit/fire counters survive until the next
+    /// `install`, so a test can disarm first and then inspect them.
+    pub fn clear() {
+        ARMED.store(false, Ordering::SeqCst);
+        for st in &POINTS {
+            st.mode.store(MODE_NEVER, Ordering::SeqCst);
+            st.param.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Injection state is process-global; tests serialize on this.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _g = LOCK.lock().unwrap();
+        FaultPlan::clear();
+        for p in ALL_POINTS {
+            assert!(!fires(p));
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn oneshot_fires_exactly_once() {
+        let _g = LOCK.lock().unwrap();
+        FaultPlan::new(1).with(FaultPoint::StoreRead, Trigger::OneShot).install();
+        assert!(fires(FaultPoint::StoreRead));
+        assert!(!fires(FaultPoint::StoreRead));
+        assert!(!fires(FaultPoint::StoreRead));
+        assert_eq!(fired(FaultPoint::StoreRead), 1);
+        assert_eq!(hits(FaultPoint::StoreRead), 3);
+        // Unlisted points stay inert.
+        assert!(!fires(FaultPoint::NetWrite));
+        FaultPlan::clear();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn nth_fires_on_that_hit_only() {
+        let _g = LOCK.lock().unwrap();
+        FaultPlan::new(2).with(FaultPoint::NetWrite, Trigger::Nth(3)).install();
+        assert!(!fires(FaultPoint::NetWrite));
+        assert!(!fires(FaultPoint::NetWrite));
+        assert!(fires(FaultPoint::NetWrite));
+        assert!(!fires(FaultPoint::NetWrite));
+        FaultPlan::clear();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn prob_is_seed_deterministic_and_roughly_calibrated() {
+        let _g = LOCK.lock().unwrap();
+        let run = |seed: u64| -> Vec<bool> {
+            FaultPlan::new(seed).with(FaultPoint::ExecChunk, Trigger::Prob(0.25)).install();
+            let seq: Vec<bool> = (0..1000).map(|_| fires(FaultPoint::ExecChunk)).collect();
+            FaultPlan::clear();
+            seq
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the same fault sequence");
+        let c = run(43);
+        assert_ne!(a, c, "different seeds should differ");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / 1000.0;
+        assert!((0.15..=0.35).contains(&rate), "p=0.25 fired at rate {rate}");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn aux_is_stable_per_fire() {
+        let _g = LOCK.lock().unwrap();
+        FaultPlan::new(7).with(FaultPoint::StoreWrite, Trigger::Always).install();
+        assert!(fires(FaultPoint::StoreWrite));
+        let a0 = aux(FaultPoint::StoreWrite);
+        assert!(fires(FaultPoint::StoreWrite));
+        let a1 = aux(FaultPoint::StoreWrite);
+        assert_ne!(a0, a1, "each fire draws a fresh auxiliary value");
+        FaultPlan::clear();
+        // Replaying the same seed replays the same aux sequence.
+        FaultPlan::new(7).with(FaultPoint::StoreWrite, Trigger::Always).install();
+        assert!(fires(FaultPoint::StoreWrite));
+        assert_eq!(aux(FaultPoint::StoreWrite), a0);
+        FaultPlan::clear();
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[test]
+    fn without_the_feature_everything_is_inert() {
+        let _g = LOCK.lock().unwrap();
+        assert!(!compiled());
+        assert!(!armed());
+        for p in ALL_POINTS {
+            assert!(!fires(p));
+        }
+    }
+
+    #[test]
+    fn point_names_are_unique() {
+        let _g = LOCK.lock().unwrap();
+        let mut names: Vec<&str> = ALL_POINTS.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), POINT_COUNT);
+    }
+}

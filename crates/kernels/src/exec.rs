@@ -216,6 +216,11 @@ struct Shared {
     cursor: AtomicU64,
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    /// Set when any job of the current epoch panicked. Workers survive
+    /// (the unwind is caught so `pending` always drains); the dispatcher
+    /// observes the flag after the drain and re-raises on its own
+    /// thread, where callers can contain it per-request.
+    panicked: AtomicBool,
 }
 
 /// A persistent worker pool with an allocation-free dispatch path.
@@ -255,6 +260,7 @@ impl ExecPool {
             cursor: AtomicU64::new(0),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
         });
         let handles = (0..nworkers)
             .map(|_| {
@@ -291,15 +297,24 @@ impl ExecPool {
         }
         if self.handles.is_empty() || njobs == 1 || njobs as u64 > IDX_MASK {
             for j in 0..njobs {
+                job_fault_hooks();
                 f(j);
             }
             return;
         }
-        let Ok(_submit) = self.submit.try_lock() else {
-            for j in 0..njobs {
-                f(j);
+        // A panic re-raised by a previous dispatch poisons this lock;
+        // the poison carries no meaning here (the pool state was already
+        // restored before re-raising), so treat it as acquired.
+        let _submit = match self.submit.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                for j in 0..njobs {
+                    job_fault_hooks();
+                    f(j);
+                }
+                return;
             }
-            return;
         };
         let t0 = SolveTrace::start();
         // SAFETY (lifetime erasure): `run` does not return until `pending`
@@ -324,8 +339,7 @@ impl ExecPool {
             self.shared.work_cv.notify_all();
         }
         while let Some(j) = claim(&self.shared.cursor, epoch, njobs) {
-            f(j);
-            finish_one(&self.shared);
+            run_contained(&self.shared, &|j| f(j), j);
         }
         let mut g = self.shared.slot.lock().expect("pool mutex");
         while self.shared.pending.load(Ordering::Acquire) > 0 {
@@ -340,6 +354,12 @@ impl ExecPool {
             njobs.min(u32::MAX as usize) as u32,
             njobs.min(u16::MAX as usize) as u16,
         );
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            // Re-raise on the dispatching thread: the pool and its
+            // workers are already back in a clean parked state, so a
+            // caller that catches this unwind can keep using the pool.
+            panic!("exec pool job panicked");
+        }
     }
 }
 
@@ -406,9 +426,36 @@ fn worker_loop(shared: &Shared) {
             // SAFETY: a successful claim proves the cursor still carries
             // this epoch's tag, so the dispatcher is still inside `run`
             // (pending > 0) and the pointer is live.
-            unsafe { (*task.0)(j) };
-            finish_one(shared);
+            run_contained(shared, &|j| unsafe { (*task.0)(j) }, j);
         }
+    }
+}
+
+/// Execute one claimed job, containing any panic so the epoch's `pending`
+/// counter always drains (a skipped `finish_one` would park the
+/// dispatcher on `done_cv` forever) and worker threads never die.
+fn run_contained(shared: &Shared, job: &dyn Fn(usize), j: usize) {
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        job_fault_hooks();
+        job(j)
+    }));
+    if r.is_err() {
+        shared.panicked.store(true, Ordering::Release);
+    }
+    finish_one(shared);
+}
+
+/// Fault-injection hooks applied to every pool job: an injected slow chunk
+/// (straggler) or chunk panic. Called from the per-job containment *and*
+/// from the inline serial fallbacks, so an armed plan behaves identically
+/// on single-core hosts where the pool has no workers.
+#[inline]
+fn job_fault_hooks() {
+    if recblock_faults::fires(recblock_faults::FaultPoint::ExecSlow) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    if recblock_faults::fires(recblock_faults::FaultPoint::ExecChunk) {
+        panic!("injected fault: exec_chunk");
     }
 }
 
@@ -708,6 +755,31 @@ mod tests {
                 sum.fetch_add(j + 1, Ordering::Relaxed);
             });
             assert_eq!(sum.load(Ordering::Relaxed), njobs * (njobs + 1) / 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_contains_job_panics_and_stays_usable() {
+        let pool = ExecPool::new(3);
+        for round in 0..5usize {
+            let done = AtomicUsize::new(0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(64, &|j| {
+                    if j == 17 {
+                        panic!("boom in job {j}");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            assert!(r.is_err(), "round {round}: dispatcher must observe the panic");
+            assert_eq!(done.load(Ordering::Relaxed), 63, "round {round}");
+            // The pool recovers completely: the very next dispatch runs
+            // every job on the same (still-alive) workers.
+            let ok = AtomicUsize::new(0);
+            pool.run(64, &|_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ok.load(Ordering::Relaxed), 64, "round {round}");
         }
     }
 

@@ -1,0 +1,85 @@
+//! Fault injection against the execution engine itself: chunk panics and
+//! straggler chunks, on both the worker-dispatch path and the 0-worker
+//! serial fallback (which is what a 1-CPU host always takes).
+//!
+//! Compiled only with `--features faults`. The fault plan is process
+//! global, so these tests live in their own binary and serialize on a
+//! mutex, clearing the plan before releasing it.
+
+#![cfg(feature = "faults")]
+
+use recblock_faults::{FaultPlan, FaultPoint, Trigger};
+use recblock_kernels::ExecPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard};
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn chunk_panic_on_worker_path_is_reraised_and_pool_stays_usable() {
+    let _serial = fault_lock();
+    let pool = ExecPool::new(2);
+    let done = AtomicUsize::new(0);
+
+    FaultPlan::new(41).with(FaultPoint::ExecChunk, Trigger::OneShot).install();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.run(64, &|_| {
+            done.fetch_add(1, Relaxed);
+        })
+    }));
+    FaultPlan::clear();
+    assert!(r.is_err(), "the injected chunk panic re-raises on the dispatcher");
+    assert_eq!(done.load(Relaxed), 63, "every other chunk of the epoch still ran");
+
+    // The workers caught the unwind and re-parked: the next dispatch
+    // completes normally on the same pool.
+    pool.run(64, &|_| {
+        done.fetch_add(1, Relaxed);
+    });
+    assert_eq!(done.load(Relaxed), 63 + 64);
+}
+
+#[test]
+fn chunk_panic_on_serial_fallback_propagates_and_pool_stays_usable() {
+    let _serial = fault_lock();
+    // No workers: run() takes the inline serial path, so the panic
+    // propagates raw out of run() — the serve tier's catch_unwind is what
+    // contains it there. The pool itself must survive for the next call.
+    let pool = ExecPool::new(0);
+    let done = AtomicUsize::new(0);
+
+    FaultPlan::new(43).with(FaultPoint::ExecChunk, Trigger::OneShot).install();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.run(16, &|_| {
+            done.fetch_add(1, Relaxed);
+        })
+    }));
+    FaultPlan::clear();
+    assert!(r.is_err(), "serial-path chunk panic propagates to the caller");
+    assert_eq!(done.load(Relaxed), 0, "one-shot fires before the first chunk");
+
+    pool.run(16, &|_| {
+        done.fetch_add(1, Relaxed);
+    });
+    assert_eq!(done.load(Relaxed), 16);
+}
+
+#[test]
+fn straggler_chunks_delay_but_lose_no_work() {
+    let _serial = fault_lock();
+    let pool = ExecPool::new(2);
+    let done = AtomicUsize::new(0);
+
+    // Roughly half the chunks sleep. Every chunk must still run exactly
+    // once and the dispatch must still drain.
+    FaultPlan::new(47).with(FaultPoint::ExecSlow, Trigger::Prob(0.5)).install();
+    pool.run(48, &|_| {
+        done.fetch_add(1, Relaxed);
+    });
+    FaultPlan::clear();
+    assert_eq!(done.load(Relaxed), 48);
+}

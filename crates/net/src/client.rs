@@ -3,38 +3,187 @@
 //! One synchronous connection: requests are written whole, responses are
 //! read whole. `send_solve`/`recv` split the round trip for pipelining
 //! (the loopback tests use this to saturate the server from one thread).
+//!
+//! Every phase is bounded by a [`ClientConfig`] deadline — connect, write
+//! and read all surface [`NetError::Timeout`] instead of hanging on a
+//! dead peer — and [`NetClient::solve_multi_retry`] layers seeded
+//! exponential-backoff retries on top. Retrying a solve is safe by
+//! construction: requests carry only the matrix fingerprint + value
+//! digest and the right-hand side, so re-sending is idempotent; at worst
+//! the server solves the same system twice.
 
 use crate::error::{ErrCode, NetError};
 use crate::frame::{self, FrameKind, Header, StatReply, HEADER_LEN};
 use recblock_matrix::Scalar;
 use recblock_store::PlanKey;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// The outcome of one solve request: solution columns, or the server's
 /// typed refusal.
 pub type SolveOutcome<S> = Result<Vec<Vec<S>>, (ErrCode, String)>;
 
+/// Per-phase deadlines of one connection. `None` means "block forever"
+/// (the pre-timeout behaviour); the defaults bound every phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for one response read.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for writing one request.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Seeded exponential-backoff retry schedule for idempotent requests.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single delay.
+    pub max_backoff: Duration,
+    /// Fraction of each delay that is randomized away (0.0 = fixed
+    /// delays, 1.0 = anywhere in `[0, delay]`). Decorrelates clients
+    /// that fail together so they do not retry together.
+    pub jitter: f64,
+    /// Seed of the jitter stream — a given seed reproduces the exact
+    /// backoff sequence, so failure scenarios replay deterministically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff)
+            .as_secs_f64();
+        let mut z =
+            self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let frac = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(exp * (1.0 - self.jitter.clamp(0.0, 1.0) * frac))
+    }
+
+    /// Is `err` worth retrying? Transport failures and transient server
+    /// refusals are; a server that answered "your request is wrong"
+    /// will answer the same on every retry.
+    pub fn retryable(err: &NetError) -> bool {
+        match err {
+            NetError::Io(_) | NetError::Closed | NetError::Timeout(_) => true,
+            NetError::Remote { code, .. } => {
+                matches!(code, ErrCode::RateLimited | ErrCode::Overloaded)
+            }
+            NetError::Frame(_) | NetError::Protocol(_) => false,
+        }
+    }
+}
+
 /// Blocking client for one RBNET connection.
 pub struct NetClient {
     stream: TcpStream,
+    /// The resolved peer, kept so retries can reconnect.
+    addr: SocketAddr,
+    config: ClientConfig,
     buf: Vec<u8>,
     next_tag: u64,
     /// Largest response payload this client will accept.
     pub max_frame_bytes: u32,
 }
 
+/// Map an I/O error from a socket with a read/write deadline armed:
+/// expiry surfaces as `WouldBlock` (unix) or `TimedOut`.
+fn classify(e: std::io::Error, phase: &'static str) -> NetError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout(phase),
+        std::io::ErrorKind::UnexpectedEof => NetError::Closed,
+        _ => NetError::Io(e),
+    }
+}
+
 impl NetClient {
-    /// Connect to a server.
+    /// Connect to a server with the default deadlines.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect to a server with explicit per-phase deadlines.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<NetClient, NetError> {
+        let mut last: Option<NetError> = None;
+        for addr in addr.to_socket_addrs()? {
+            match Self::connect_one(addr, &config) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        }))
+    }
+
+    fn connect_one(addr: SocketAddr, config: &ClientConfig) -> Result<NetClient, NetError> {
+        let stream = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t).map_err(|e| classify(e, "connect"))?,
+            None => TcpStream::connect(addr)?,
+        };
         let _ = stream.set_nodelay(true);
-        Ok(NetClient { stream, buf: Vec::new(), next_tag: 1, max_frame_bytes: 64 << 20 })
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        Ok(NetClient {
+            stream,
+            addr,
+            config: *config,
+            buf: Vec::new(),
+            next_tag: 1,
+            max_frame_bytes: 64 << 20,
+        })
+    }
+
+    /// Drop the current connection and establish a fresh one to the same
+    /// peer (same deadlines). The tag counter keeps advancing, so
+    /// responses can never be confused across connections.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let fresh = Self::connect_one(self.addr, &self.config)?;
+        self.stream = fresh.stream;
+        Ok(())
     }
 
     /// Set a read timeout for responses (`None` blocks forever).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.config.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)?;
         Ok(())
     }
@@ -45,22 +194,20 @@ impl NetClient {
         t
     }
 
+    fn write_request(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes).map_err(|e| classify(e, "write"))
+    }
+
     /// Read one whole frame; returns its header and leaves the payload in
     /// `self.buf`.
     fn read_frame(&mut self) -> Result<Header, NetError> {
         let mut head = [0u8; HEADER_LEN];
-        self.stream.read_exact(&mut head).map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => NetError::Closed,
-            _ => NetError::Io(e),
-        })?;
+        self.stream.read_exact(&mut head).map_err(|e| classify(e, "read"))?;
         let h = frame::decode_header(&head, self.max_frame_bytes)?
             .expect("full header always decodes or errors");
         self.buf.clear();
         self.buf.resize(h.payload_len as usize, 0);
-        self.stream.read_exact(&mut self.buf).map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => NetError::Closed,
-            _ => NetError::Io(e),
-        })?;
+        self.stream.read_exact(&mut self.buf).map_err(|e| classify(e, "read"))?;
         Ok(h)
     }
 
@@ -76,7 +223,7 @@ impl NetClient {
         let tag = self.tag();
         let mut out = Vec::new();
         frame::encode_solve(&mut out, tag, tenant, key, deadline_ms, cols);
-        self.stream.write_all(&out)?;
+        self.write_request(&out)?;
         Ok(tag)
     }
 
@@ -118,6 +265,65 @@ impl NetClient {
         outcome.map_err(|(code, message)| NetError::Remote { code, message })
     }
 
+    /// A multi-column solve with retries: transport failures and
+    /// transient refusals back off (exponentially, seeded jitter),
+    /// reconnect, and re-send. Safe because solve requests are
+    /// idempotent — they are keyed by fingerprint + value digest.
+    ///
+    /// `deadline_ms` (0 = none) bounds the *whole* exchange, retries and
+    /// backoff included, and propagates: each attempt tells the server
+    /// only the budget that is still left, so a retried request cannot
+    /// outlive the caller's patience server-side either.
+    pub fn solve_multi_retry<S: Scalar>(
+        &mut self,
+        tenant: &str,
+        key: &PlanKey,
+        cols: &[&[S]],
+        deadline_ms: u32,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<Vec<S>>, NetError> {
+        let start = Instant::now();
+        let budget =
+            if deadline_ms == 0 { None } else { Some(Duration::from_millis(deadline_ms as u64)) };
+        let remaining_ms = |start: Instant| -> Option<u32> {
+            match budget {
+                None => Some(0),
+                Some(b) => {
+                    let left = b.checked_sub(start.elapsed())?;
+                    // Round up so a still-live budget never truncates to
+                    // "no deadline" (0) or to an instantly-expired 0ms.
+                    Some(left.as_millis().clamp(1, u32::MAX as u128) as u32)
+                }
+            }
+        };
+        let mut attempt = 0u32;
+        loop {
+            let Some(left) = remaining_ms(start) else {
+                return Err(NetError::Timeout("retry deadline"));
+            };
+            let err = match self.solve_multi(tenant, key, cols, left) {
+                Ok(cols) => return Ok(cols),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt >= policy.max_attempts || !RetryPolicy::retryable(&err) {
+                return Err(err);
+            }
+            let mut delay = policy.backoff(attempt - 1);
+            if let Some(b) = budget {
+                let Some(left) = b.checked_sub(start.elapsed()) else {
+                    return Err(NetError::Timeout("retry deadline"));
+                };
+                delay = delay.min(left);
+            }
+            std::thread::sleep(delay);
+            // Reconnect regardless of what failed: after any error the
+            // old connection's stream state is suspect (a late response
+            // to the failed attempt must never match a new tag).
+            self.reconnect()?;
+        }
+    }
+
     /// One blocking single-RHS solve round trip.
     pub fn solve<S: Scalar>(
         &mut self,
@@ -135,7 +341,7 @@ impl NetClient {
         let mut out = Vec::new();
         frame::encode_header(&mut out, FrameKind::Ping, tag, 0);
         let t0 = Instant::now();
-        self.stream.write_all(&out)?;
+        self.write_request(&out)?;
         let h = self.read_frame()?;
         if h.kind != FrameKind::Pong || h.tag != tag {
             return Err(NetError::Protocol("expected matching Pong"));
@@ -143,12 +349,13 @@ impl NetClient {
         Ok(t0.elapsed())
     }
 
-    /// Fetch server status: warm plans, in-flight work, per-tenant queues.
+    /// Fetch server status: health, warm plans, in-flight work,
+    /// per-tenant queues.
     pub fn stat(&mut self) -> Result<StatReply, NetError> {
         let tag = self.tag();
         let mut out = Vec::new();
         frame::encode_header(&mut out, FrameKind::Stat, tag, 0);
-        self.stream.write_all(&out)?;
+        self.write_request(&out)?;
         let h = self.read_frame()?;
         if h.kind != FrameKind::StatOk || h.tag != tag {
             return Err(NetError::Protocol("expected matching StatOk"));
@@ -160,5 +367,57 @@ impl NetClient {
     /// abrupt shutdowns).
     pub fn stream(&mut self) -> &mut TcpStream {
         &mut self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::default();
+        let d0 = p.backoff(0);
+        let d5 = p.backoff(5);
+        assert!(d0 <= Duration::from_millis(50));
+        assert!(d0 >= Duration::from_millis(25), "jitter removes at most half: {d0:?}");
+        assert!(d5 <= p.max_backoff);
+        assert_eq!(p.backoff(3), p.backoff(3), "same seed, same attempt, same delay");
+        let other = RetryPolicy { seed: 1, ..p };
+        assert_ne!(other.backoff(3), p.backoff(3), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn retryability_matches_error_semantics() {
+        assert!(RetryPolicy::retryable(&NetError::Closed));
+        assert!(RetryPolicy::retryable(&NetError::Timeout("read")));
+        assert!(RetryPolicy::retryable(&NetError::Remote {
+            code: ErrCode::Overloaded,
+            message: String::new()
+        }));
+        assert!(!RetryPolicy::retryable(&NetError::Remote {
+            code: ErrCode::BadRequest,
+            message: String::new()
+        }));
+        assert!(!RetryPolicy::retryable(&NetError::Protocol("x")));
+    }
+
+    #[test]
+    fn read_deadline_fires_as_typed_timeout() {
+        // A listener that accepts and then goes silent: the read deadline
+        // must fire as `NetError::Timeout`, not block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let cfg = ClientConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect_with(addr, cfg).unwrap();
+        let _held_open = hold.join().unwrap().unwrap();
+        let t0 = Instant::now();
+        let err = client.read_frame().unwrap_err();
+        assert!(matches!(err, NetError::Timeout("read")), "got {err:?}");
+        assert!(t0.elapsed() < Duration::from_secs(5), "took {:?}", t0.elapsed());
     }
 }

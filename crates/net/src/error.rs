@@ -31,6 +31,9 @@ pub enum ErrCode {
     Malformed = 9,
     /// Unexpected server-side failure.
     Internal = 10,
+    /// A client-side deadline expired before the operation finished
+    /// (connect, write, or waiting for the response).
+    Timeout = 11,
 }
 
 impl ErrCode {
@@ -47,6 +50,7 @@ impl ErrCode {
             8 => ErrCode::UnknownTenant,
             9 => ErrCode::Malformed,
             10 => ErrCode::Internal,
+            11 => ErrCode::Timeout,
             _ => return None,
         })
     }
@@ -64,6 +68,7 @@ impl ErrCode {
             ErrCode::UnknownTenant => "unknown_tenant",
             ErrCode::Malformed => "malformed",
             ErrCode::Internal => "internal",
+            ErrCode::Timeout => "timeout",
         }
     }
 }
@@ -92,6 +97,8 @@ pub enum NetError {
     Closed,
     /// The response did not match the request (wrong tag or kind).
     Protocol(&'static str),
+    /// A client-side deadline expired (names the phase that timed out).
+    Timeout(&'static str),
 }
 
 impl fmt::Display for NetError {
@@ -102,6 +109,7 @@ impl fmt::Display for NetError {
             NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
             NetError::Closed => write!(f, "connection closed mid-exchange"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::Timeout(what) => write!(f, "timed out: {what}"),
         }
     }
 }
@@ -126,13 +134,13 @@ mod tests {
 
     #[test]
     fn err_codes_roundtrip() {
-        for v in 1..=10u16 {
+        for v in 1..=11u16 {
             let code = ErrCode::from_u16(v).unwrap();
             assert_eq!(code as u16, v);
             assert!(!code.name().is_empty());
         }
         assert_eq!(ErrCode::from_u16(0), None);
-        assert_eq!(ErrCode::from_u16(11), None);
+        assert_eq!(ErrCode::from_u16(12), None);
         assert_eq!(ErrCode::from_u16(u16::MAX), None);
     }
 }

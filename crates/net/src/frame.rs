@@ -468,13 +468,16 @@ pub struct TenantStat {
 
 /// Decoded `StatOk` payload: warm status plus per-tenant queue depths.
 ///
-/// Wire layout: `draining:u8 plans_warm:u32 inflight:u32 tenant_count:u16`
+/// Wire layout: `draining:u8 health:u8 plans_warm:u32 inflight:u32 tenant_count:u16`
 /// then per tenant `name_len:u8 name queue_depth:u64 admitted:u64
 /// completed:u64 admission_rejected:u64 shed:u64`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatReply {
     /// Whether the server is draining.
     pub draining: bool,
+    /// Health state machine position: 0 healthy, 1 degraded, 2 draining
+    /// (`recblock_serve::Health` names the values).
+    pub health: u8,
     /// Distinct plans this server has resolved (cache or store) so far.
     pub plans_warm: u32,
     /// Requests dispatched into the solver and not yet answered.
@@ -486,9 +489,10 @@ pub struct StatReply {
 /// Append a complete `StatOk` frame.
 pub fn encode_stat_reply(out: &mut Vec<u8>, tag: u64, stat: &StatReply) {
     let payload_len =
-        1 + 4 + 4 + 2 + stat.tenants.iter().map(|t| 1 + t.tenant.len() + 40).sum::<usize>();
+        2 + 4 + 4 + 2 + stat.tenants.iter().map(|t| 1 + t.tenant.len() + 40).sum::<usize>();
     encode_header(out, FrameKind::StatOk, tag, payload_len as u32);
     out.push(stat.draining as u8);
+    out.push(stat.health);
     out.extend_from_slice(&stat.plans_warm.to_le_bytes());
     out.extend_from_slice(&stat.inflight.to_le_bytes());
     out.extend_from_slice(&(stat.tenants.len() as u16).to_le_bytes());
@@ -505,6 +509,7 @@ pub fn encode_stat_reply(out: &mut Vec<u8>, tag: u64, stat: &StatReply) {
 pub fn parse_stat_reply(payload: &[u8]) -> Result<StatReply, FrameError> {
     let mut c = Cursor::new(payload);
     let draining = c.u8()? != 0;
+    let health = c.u8()?;
     let plans_warm = c.u32()?;
     let inflight = c.u32()?;
     let count = c.u16()?;
@@ -523,7 +528,7 @@ pub fn parse_stat_reply(payload: &[u8]) -> Result<StatReply, FrameError> {
         });
     }
     c.finish()?;
-    Ok(StatReply { draining, plans_warm, inflight, tenants })
+    Ok(StatReply { draining, health, plans_warm, inflight, tenants })
 }
 
 /// Decode a little-endian value block into `out` (cleared first). The
@@ -664,6 +669,7 @@ mod tests {
     fn stat_roundtrip() {
         let stat = StatReply {
             draining: true,
+            health: 2,
             plans_warm: 3,
             inflight: 7,
             tenants: vec![TenantStat {

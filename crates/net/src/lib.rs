@@ -29,7 +29,7 @@ pub mod poll;
 pub mod qos;
 pub mod server;
 
-pub use client::{NetClient, SolveOutcome};
+pub use client::{ClientConfig, NetClient, RetryPolicy, SolveOutcome};
 pub use config::{NetConfig, TenantPolicy};
 pub use error::{ErrCode, NetError};
 pub use frame::{FrameError, FrameKind, Header, StatReply, TenantStat};

@@ -74,6 +74,13 @@ struct Completions<S> {
 impl<S: Scalar> ResponseSink<S> for Completions<S> {
     fn deliver(&self, tag: u64, result: Result<Vec<S>, ServeError>) {
         self.queue.lock().unwrap().push_back((tag, result));
+        // Injected fault: the wake byte is lost (stalled self-pipe). The
+        // completion is queued either way; `wake_pending` stays false so a
+        // later completion still wakes, and the event loop's bounded poll
+        // timeout sweeps the queue regardless.
+        if recblock_faults::fires(recblock_faults::FaultPoint::NetWake) {
+            return;
+        }
         if !self.wake_pending.swap(true, Ordering::AcqRel) {
             let _ = (&self.wake).write(&[1u8]);
         }
@@ -169,9 +176,10 @@ fn map_serve_err(e: &ServeError) -> ErrCode {
         ServeError::Overloaded { .. } => ErrCode::Overloaded,
         ServeError::ShuttingDown => ErrCode::ShuttingDown,
         ServeError::BadRequest { .. } => ErrCode::BadRequest,
-        ServeError::PlanBuild(_) | ServeError::Solver(_) | ServeError::Cancelled => {
-            ErrCode::Internal
-        }
+        ServeError::PlanBuild(_)
+        | ServeError::Solver(_)
+        | ServeError::Cancelled
+        | ServeError::WorkerPanic => ErrCode::Internal,
     }
 }
 
@@ -187,6 +195,7 @@ fn msg_for(code: ErrCode) -> &'static str {
         ErrCode::UnknownTenant => "tenant not configured and no default policy",
         ErrCode::Malformed => "undecodable frame; closing connection",
         ErrCode::Internal => "internal solve failure",
+        ErrCode::Timeout => "request timed out",
     }
 }
 
@@ -343,6 +352,12 @@ impl<S: Scalar> NetServer<S> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Injected fault: the peer vanished between accept and
+                    // registration (RST under SYN flood). Drop and move on.
+                    if recblock_faults::fires(recblock_faults::FaultPoint::NetAccept) {
+                        drop(stream);
+                        continue;
+                    }
                     if self.open_conns >= self.config.max_connections || self.done {
                         drop(stream);
                         continue;
@@ -393,6 +408,12 @@ impl<S: Scalar> NetServer<S> {
                 return;
             }
             for _ in 0..MAX_READ_ROUNDS {
+                // Injected fault: a spurious-wake/EAGAIN storm. Pretending
+                // the socket had nothing is lossless — the poller is
+                // level-triggered, so unread bytes re-raise the event.
+                if recblock_faults::fires(recblock_faults::FaultPoint::NetRead) {
+                    break;
+                }
                 let old = conn.rbuf.len();
                 conn.rbuf.resize(old + READ_CHUNK, 0);
                 match conn.stream.read(&mut conn.rbuf[old..]) {
@@ -506,8 +527,14 @@ impl<S: Scalar> NetServer<S> {
     }
 
     fn handle_stat(&mut self, idx: usize, tag: u64) {
+        // Health folds the front end's own drain state in: the serve tier
+        // only knows it is draining once `SolveService::drain` runs, which
+        // happens after this loop empties.
+        let health =
+            if self.draining { recblock_serve::Health::Draining } else { self.service.health() };
         let mut stat = StatReply {
             draining: self.draining,
+            health: health as u8,
             plans_warm: self.keys_warm.len() as u32,
             inflight: self.dispatched_cols as u32,
             tenants: Vec::with_capacity(self.tenants.len()),
@@ -855,6 +882,12 @@ impl<S: Scalar> NetServer<S> {
                     if conn.close_after_flush && conn.refs == 0 {
                         close = true;
                     }
+                    break;
+                }
+                // Injected fault: the socket pretends to be full. The
+                // pending bytes register write interest below and the
+                // level-triggered poller retries the flush.
+                if recblock_faults::fires(recblock_faults::FaultPoint::NetWrite) {
                     break;
                 }
                 match conn.stream.write(&conn.wbuf[conn.wpos..]) {

@@ -1,0 +1,89 @@
+//! Mid-frame disconnects, from both ends of an RBNET connection, must
+//! surface as typed errors — never a panic, never a hang, never a broken
+//! server. Prefix lengths are property-driven so every cut point in the
+//! frame (inside the header, on its boundary, inside the payload) gets
+//! exercised.
+
+use proptest::prelude::*;
+use recblock_matrix::generate;
+use recblock_net::frame;
+use recblock_net::{ClientConfig, NetClient, NetConfig, NetError};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One shared loopback server for every server-side case (plan build and
+/// bind dominate per-case cost otherwise). The event-loop thread is
+/// detached; the test process exiting tears it down.
+fn shared_server() -> &'static (SocketAddr, PlanKey, Vec<u8>, Vec<f64>) {
+    static SRV: OnceLock<(SocketAddr, PlanKey, Vec<u8>, Vec<f64>)> = OnceLock::new();
+    SRV.get_or_init(|| {
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(1)));
+        let l = generate::random_lower::<f64>(120, 3.0, 1700);
+        let b: Vec<f64> = (0..120).map(|i| ((i * 7 + 1) as f64 * 0.017).sin()).collect();
+        let expected = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+        let key = PlanKey::of(&l);
+        let mut server =
+            recblock_net::NetServer::bind("127.0.0.1:0", NetConfig::default(), service)
+                .expect("bind loopback");
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut whole = Vec::new();
+        frame::encode_solve::<f64>(&mut whole, 1, "alpha", &key, 0, &[&b]);
+        (addr, key, whole, expected)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    // Client vanishes mid-frame at an arbitrary cut point: the server
+    // must shrug it off and keep serving the next connection.
+    #[test]
+    fn server_survives_mid_frame_disconnect_at_any_cut(frac in 0u64..10_000) {
+        let (addr, key, whole, expected) = shared_server();
+        let keep = (frac as usize * whole.len()) / 10_000;
+        {
+            let mut raw = TcpStream::connect(*addr).unwrap();
+            raw.write_all(&whole[..keep]).unwrap();
+        } // dropped: FIN/RST mid-frame
+
+        let mut client = NetClient::connect(*addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let b: Vec<f64> = (0..120).map(|i| ((i * 7 + 1) as f64 * 0.017).sin()).collect();
+        let got = client.solve::<f64>("alpha", key, &b).unwrap();
+        prop_assert_eq!(&got, expected, "server answers bit-identically after the disconnect");
+    }
+
+    // Server vanishes mid-response at an arbitrary cut point: the client
+    // must report a typed error, not panic or hang.
+    #[test]
+    fn client_reports_typed_error_on_truncated_response(frac in 0u64..10_000, tag in 1u64..1_000) {
+        let col: Vec<f64> = (0..64).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let mut whole = Vec::new();
+        frame::encode_solve_ok::<f64>(&mut whole, tag, &[col]);
+        // Strictly shorter than the frame: every case is a real truncation.
+        let keep = (frac as usize * whole.len()) / 10_000;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(&whole[..keep]).unwrap();
+        }); // stream drops: close mid-frame
+        let cfg = ClientConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect_with(addr, cfg).unwrap();
+        let err = client.recv::<f64>().expect_err("truncated response cannot parse");
+        prop_assert!(
+            matches!(err, NetError::Closed | NetError::Io(_) | NetError::Frame(_)),
+            "typed transport error, got {}", err
+        );
+        srv.join().unwrap();
+    }
+}

@@ -92,7 +92,7 @@ proptest! {
     fn solve_ok_and_err_round_trip(
         tag in u64::MIN..u64::MAX,
         cols in arb_cols(),
-        code_raw in 1u16..11,
+        code_raw in 1u16..12,
         msg in arb_tenant(),
     ) {
         let mut buf = Vec::new();
@@ -107,7 +107,7 @@ proptest! {
             prop_assert_eq!(&out, col);
         }
 
-        let code = ErrCode::from_u16(code_raw).expect("1..=10 are assigned");
+        let code = ErrCode::from_u16(code_raw).expect("1..=11 are assigned");
         let mut ebuf = Vec::new();
         frame::encode_err(&mut ebuf, tag, code, &msg);
         let eh = frame::decode_header(&ebuf, MAX_PAYLOAD).unwrap().unwrap();
@@ -121,6 +121,7 @@ proptest! {
     fn stat_replies_round_trip(
         tag in u64::MIN..u64::MAX,
         draining in 0u8..2,
+        health in 0u8..3,
         plans in 0u32..10_000,
         inflight in 0u32..10_000,
         tenants in proptest::collection::vec(
@@ -128,6 +129,7 @@ proptest! {
     ) {
         let stat = StatReply {
             draining: draining == 1,
+            health,
             plans_warm: plans,
             inflight,
             tenants: tenants

@@ -32,6 +32,11 @@ pub enum ServeError {
     /// The request was dropped without an answer (worker loss or shutdown
     /// racing the response channel).
     Cancelled,
+    /// A worker panicked while solving this request's batch. The panic
+    /// was contained — the worker respawned and the service keeps
+    /// running — but this batch's results are untrustworthy, so every
+    /// request in it gets this error instead of an answer.
+    WorkerPanic,
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +52,7 @@ impl fmt::Display for ServeError {
             ServeError::PlanBuild(msg) => write!(f, "plan preprocessing failed: {msg}"),
             ServeError::Solver(e) => write!(f, "solve failed: {e}"),
             ServeError::Cancelled => write!(f, "request cancelled before completion"),
+            ServeError::WorkerPanic => write!(f, "worker panicked while solving this batch"),
         }
     }
 }

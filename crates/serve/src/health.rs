@@ -1,0 +1,102 @@
+//! The service health state machine.
+//!
+//! Three states, strictly ordered by severity, derived from the live
+//! counters rather than stored — so health can never disagree with the
+//! evidence:
+//!
+//! * **Healthy** — steady state.
+//! * **Degraded** — the service is still answering, but resilience
+//!   machinery has fired: a worker panic was contained, or the store
+//!   recovery scan quarantined corrupt plan files. Load balancers
+//!   should prefer other replicas; operators should look.
+//! * **Draining** — shutdown has begun; no new work is admitted and
+//!   in-flight work is being answered.
+//!
+//! The state is surfaced on the wire (RBNET `StatOk` carries it as one
+//! byte) and as the Prometheus gauge `recblock_health` (the numeric
+//! value, so alerts are a threshold: `recblock_health >= 1`).
+
+/// Service health, ordered by severity. The numeric values are part of
+/// the RBNET `StatOk` payload and the `recblock_health` gauge — append
+/// only, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Health {
+    /// Steady state: no contained failures on record, not draining.
+    Healthy = 0,
+    /// Failures were contained (worker panics, quarantined plan files);
+    /// the service still answers every request.
+    Degraded = 1,
+    /// Shutdown in progress: new work is refused, in-flight work drains.
+    Draining = 2,
+}
+
+/// Worker panics at or above this mark a service [`Health::Degraded`].
+pub const PANIC_DEGRADED_THRESHOLD: u64 = 1;
+
+/// Quarantined store files at or above this mark a service
+/// [`Health::Degraded`].
+pub const QUARANTINE_DEGRADED_THRESHOLD: u64 = 1;
+
+impl Health {
+    /// Decode a wire byte.
+    pub fn from_u8(v: u8) -> Option<Health> {
+        Some(match v {
+            0 => Health::Healthy,
+            1 => Health::Degraded,
+            2 => Health::Draining,
+            _ => return None,
+        })
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        }
+    }
+
+    /// Derive the state from the evidence counters.
+    pub fn derive(draining: bool, worker_panics: u64, store_quarantined: u64) -> Health {
+        if draining {
+            Health::Draining
+        } else if worker_panics >= PANIC_DEGRADED_THRESHOLD
+            || store_quarantined >= QUARANTINE_DEGRADED_THRESHOLD
+        {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_values_roundtrip_and_order_by_severity() {
+        for h in [Health::Healthy, Health::Degraded, Health::Draining] {
+            assert_eq!(Health::from_u8(h as u8), Some(h));
+        }
+        assert_eq!(Health::from_u8(3), None);
+        assert!(Health::Healthy < Health::Degraded);
+        assert!(Health::Degraded < Health::Draining);
+    }
+
+    #[test]
+    fn derivation_prefers_draining_over_degraded() {
+        assert_eq!(Health::derive(false, 0, 0), Health::Healthy);
+        assert_eq!(Health::derive(false, 1, 0), Health::Degraded);
+        assert_eq!(Health::derive(false, 0, 1), Health::Degraded);
+        assert_eq!(Health::derive(true, 5, 5), Health::Draining);
+    }
+}

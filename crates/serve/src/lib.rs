@@ -41,6 +41,7 @@ pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod health;
 pub mod metrics;
 mod persist;
 pub mod prometheus;
@@ -49,6 +50,7 @@ mod worker;
 pub use cache::{Fetched, PlanCache, PlanKey, PlanSource};
 pub use config::{ServeConfig, StoreOptions};
 pub use error::ServeError;
+pub use health::Health;
 pub use metrics::{Metrics, MetricsSnapshot, Stage, StageSnapshot, TenantCounters, TenantSnapshot};
 
 use batch::{BatchQueue, Pending, Reply};
@@ -57,9 +59,17 @@ use recblock_matrix::{Csr, Scalar};
 use recblock_store::{ArtifactKind, PlanStore};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Lock that shrugs off poison: a panic while the lock was held cannot
+/// have left these structures inconsistent (they hold join handles and an
+/// optional persister, both of which tolerate partial drains), and the
+/// drain path must stay usable precisely when panics have happened.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Delivery target for routed (transport-submitted) requests.
 ///
@@ -106,9 +116,9 @@ pub struct SolveService<S: Scalar> {
     cache: Arc<PlanCache<S>>,
     queue: Arc<BatchQueue<S>>,
     metrics: Arc<Metrics>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     store: Option<Arc<PlanStore>>,
-    persister: Option<persist::Persister<S>>,
+    persister: Mutex<Option<persist::Persister<S>>>,
 }
 
 impl<S: Scalar> SolveService<S> {
@@ -127,12 +137,43 @@ impl<S: Scalar> SolveService<S> {
                 let (q, m, mb) = (queue.clone(), metrics.clone(), config.max_batch);
                 std::thread::Builder::new()
                     .name(format!("recblock-serve-{i}"))
-                    .spawn(move || worker::run(q, m, mb))
+                    // Supervisor loop: the worker's own batch loop already
+                    // contains solver panics, so an unwind escaping
+                    // `worker::run` means the loop machinery itself broke.
+                    // Respawn in place (same thread, fresh call) rather
+                    // than losing a worker for the life of the service.
+                    .spawn(move || loop {
+                        let (q2, m2) = (q.clone(), m.clone());
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            worker::run(q2, m2, mb)
+                        })) {
+                            Ok(()) => break,
+                            Err(_) => {
+                                m.worker_panics.fetch_add(1, Relaxed);
+                            }
+                        }
+                    })
                     .expect("spawn solve worker")
             })
             .collect();
         let store = config.store.as_ref().and_then(|opts| match PlanStore::open(&opts.dir) {
-            Ok(s) => Some(Arc::new(s)),
+            Ok(s) => {
+                // Boot-time recovery scan: quarantine torn or corrupt plan
+                // files and sweep stale temp files *before* warm-start reads
+                // the directory. Quarantined plans simply miss on the next
+                // load and get rebuilt.
+                match s.recover() {
+                    Ok(report) => {
+                        metrics
+                            .store_quarantined
+                            .fetch_add(report.quarantined.len() as u64, Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.store_errors.fetch_add(1, Relaxed);
+                    }
+                }
+                Some(Arc::new(s))
+            }
             Err(_) => {
                 metrics.store_errors.fetch_add(1, Relaxed);
                 None
@@ -149,7 +190,15 @@ impl<S: Scalar> SolveService<S> {
             }
             _ => None,
         };
-        SolveService { config, cache, queue, metrics, workers, store, persister }
+        SolveService {
+            config,
+            cache,
+            queue,
+            metrics,
+            workers: Mutex::new(workers),
+            store,
+            persister: Mutex::new(persister),
+        }
     }
 
     /// Submit a solve, failing fast with [`ServeError::Overloaded`] when
@@ -311,7 +360,7 @@ impl<S: Scalar> SolveService<S> {
             RecBlockSolver::new(l, self.config.solver.clone()).map(Fetched::Built)
         })?;
         if source == PlanSource::Built {
-            if let Some(persister) = &self.persister {
+            if let Some(persister) = &*lock_unpoisoned(&self.persister) {
                 persister.enqueue(key, plan.clone());
             }
         }
@@ -335,9 +384,17 @@ impl<S: Scalar> SolveService<S> {
     /// Block until every plan queued for background persistence is on
     /// disk. A no-op when the store tier or write-back is disabled.
     pub fn flush_store(&self) {
-        if let Some(persister) = &self.persister {
+        if let Some(persister) = &*lock_unpoisoned(&self.persister) {
             persister.flush();
         }
+    }
+
+    /// Current service health, derived live from the evidence counters:
+    /// [`Health::Draining`] once a drain began, [`Health::Degraded`] when
+    /// resilience machinery has fired (contained worker panics, quarantined
+    /// plan files), [`Health::Healthy`] otherwise.
+    pub fn health(&self) -> Health {
+        self.metrics.health()
     }
 
     /// Point-in-time copy of the service counters.
@@ -359,22 +416,39 @@ impl<S: Scalar> SolveService<S> {
     /// accepted request, threads are joined. Returns the final metrics.
     /// With zero workers, whatever is still queued is cancelled (each
     /// requester receives [`ServeError::ShuttingDown`]).
-    pub fn shutdown(mut self) -> MetricsSnapshot {
-        self.shutdown_inner();
-        self.metrics.snapshot()
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.drain()
     }
 
-    fn shutdown_inner(&mut self) {
+    /// Graceful drain through a shared reference: refuse new submits,
+    /// join the workers, cancel anything unreachable, flush the write-back
+    /// queue. **Idempotent and panic-safe**: a second call (or a call
+    /// racing [`SolveService::shutdown`]/`Drop`) finds the handles already
+    /// taken and returns without blocking, and a panic mid-drain cannot
+    /// poison the next caller — the handle locks are taken
+    /// poison-tolerantly and joins happen *outside* them.
+    pub fn drain(&self) -> MetricsSnapshot {
+        self.metrics.set_draining();
         self.queue.begin_shutdown();
-        for handle in self.workers.drain(..) {
+        // Take the handles under the lock, join outside it: a concurrent
+        // second drain sees an empty vec and falls through immediately
+        // instead of blocking behind our joins.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = lock_unpoisoned(&self.workers);
+            workers.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
         // Only reachable work left is the zero-worker case.
         self.queue.cancel_remaining();
-        // Drain the write-back queue so accepted plans reach disk.
-        if let Some(persister) = &mut self.persister {
+        // Drain the write-back queue so accepted plans reach disk. Same
+        // take-then-work-outside-the-lock shape as the worker handles.
+        let persister = lock_unpoisoned(&self.persister).take();
+        if let Some(mut persister) = persister {
             persister.shutdown();
         }
+        self.metrics.snapshot()
     }
 }
 
@@ -425,9 +499,7 @@ fn warm_start_cache<S: Scalar>(
 
 impl<S: Scalar> Drop for SolveService<S> {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.shutdown_inner();
-        }
+        self.drain();
     }
 }
 
@@ -583,18 +655,22 @@ mod tests {
                 .with_workers(1)
                 .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
         );
+        // The boot-time recovery scan already quarantined the corrupt file,
+        // so the tier misses cleanly and the plan is rebuilt.
+        assert_eq!(second.health(), Health::Degraded);
+        assert!(store.quarantine_dir().exists(), "corrupt file must be moved aside");
         assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Built);
         let b: Vec<f64> = (0..300).map(|i| ((i % 5) as f64) - 2.0).collect();
         let x = second.submit(&l, b.clone()).unwrap().wait().unwrap();
         assert!(max_rel_diff(&x, &serial_csr(&l, &b).unwrap()) < 1e-10);
         second.flush_store();
         let stats = second.shutdown();
-        assert!(stats.store_errors >= 1, "the corrupt file must be detected");
+        assert_eq!(stats.store_quarantined, 1, "the corrupt file must be quarantined at boot");
         assert_eq!(stats.plan_builds, 1);
-        // The rebuilt plan was written back over the corrupt file.
+        // The rebuilt plan was written back in place of the corrupt file.
         assert_eq!(stats.store_writes, 1);
-        // The failed load attempt still left a span in the stage histograms:
-        // the fallback path is visible, not silently absorbed into a rebuild.
+        // The miss (post-quarantine) still left a span in the stage
+        // histograms: the fallback path is visible, not silently absorbed.
         let store_load = stats.stage(Stage::StoreLoad).expect("failed load must record a span");
         assert!(store_load.count >= 1);
         assert!(store_load.total > std::time::Duration::ZERO);
@@ -602,6 +678,64 @@ mod tests {
         for stage in [Stage::CacheLookup, Stage::QueueWait, Stage::Solve, Stage::Respond] {
             assert!(stats.stage(stage).is_some(), "missing {} span", stage.name());
         }
+    }
+
+    #[test]
+    fn drain_is_idempotent_then_shutdown_still_returns() {
+        let service = SolveService::<f64>::new(ServeConfig::default().with_workers(2));
+        let l = generate::random_lower::<f64>(200, 3.0, 90);
+        assert_eq!(service.health(), Health::Healthy);
+        let x = service.submit(&l, vec![1.0; 200]).unwrap().wait().unwrap();
+        assert_eq!(x.len(), 200);
+
+        let first = service.drain();
+        assert_eq!(first.completed, 1);
+        assert_eq!(first.health, Health::Draining);
+        // Second drain finds the handles already taken: returns at once.
+        let second = service.drain();
+        assert_eq!(second.completed, 1);
+        // Post-drain submits are refused with a typed error.
+        let err = service.try_submit(&l, vec![1.0; 200]).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        // The consuming shutdown after a drain must not deadlock either.
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn concurrent_drains_do_not_deadlock() {
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(2)));
+        let racers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = service.clone();
+                std::thread::spawn(move || s.drain())
+            })
+            .collect();
+        for r in racers {
+            r.join().expect("racing drains all return");
+        }
+    }
+
+    #[test]
+    fn drain_survives_poisoned_locks() {
+        // A drainer that panicked while holding either drain-path lock
+        // must not wedge the next one: the locks are taken
+        // poison-tolerantly, so drain still joins workers and flushes.
+        let service = SolveService::<f64>::new(ServeConfig::default().with_workers(1));
+        for poison in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = service.workers.lock().unwrap();
+                panic!("injected: die holding the workers lock");
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = service.persister.lock().unwrap();
+                panic!("injected: die holding the persister lock");
+            })),
+        ] {
+            assert!(poison.is_err());
+        }
+        let stats = service.drain();
+        assert_eq!(stats.health, Health::Draining);
     }
 
     #[test]

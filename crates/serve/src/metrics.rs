@@ -6,8 +6,9 @@
 //! are read individually, so cross-counter invariants (e.g. `submitted ==
 //! completed + rejected + in flight`) hold only at quiescence.
 
+use crate::health::Health;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -167,6 +168,10 @@ pub struct Metrics {
     pub(crate) store_bytes_read: AtomicU64,
     pub(crate) store_load_ns: AtomicU64,
 
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) store_quarantined: AtomicU64,
+    pub(crate) draining: AtomicBool,
+
     pub(crate) batches: AtomicU64,
     pub(crate) multi_column_batches: AtomicU64,
     pub(crate) batched_columns: AtomicU64,
@@ -210,6 +215,9 @@ impl Default for Metrics {
             store_writes: AtomicU64::new(0),
             store_bytes_read: AtomicU64::new(0),
             store_load_ns: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            store_quarantined: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
             batches: AtomicU64::new(0),
             multi_column_batches: AtomicU64::new(0),
             batched_columns: AtomicU64::new(0),
@@ -270,6 +278,22 @@ impl Metrics {
     pub(crate) fn queue_depth_changed(&self, depth: usize) {
         self.queue_depth.store(depth, Relaxed);
         self.queue_depth_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// Mark the service as draining; [`Metrics::health`] reports
+    /// [`Health::Draining`] from here on. Idempotent.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Relaxed);
+    }
+
+    /// The health state derived from the live counters (see
+    /// [`Health::derive`] for the thresholds).
+    pub fn health(&self) -> Health {
+        Health::derive(
+            self.draining.load(Relaxed),
+            self.worker_panics.load(Relaxed),
+            self.store_quarantined.load(Relaxed),
+        )
     }
 
     /// Copy every counter into a plain struct.
@@ -338,6 +362,9 @@ impl Metrics {
             store_writes: self.store_writes.load(Relaxed),
             store_bytes_read: self.store_bytes_read.load(Relaxed),
             store_load_time: Duration::from_nanos(self.store_load_ns.load(Relaxed)),
+            worker_panics: self.worker_panics.load(Relaxed),
+            store_quarantined: self.store_quarantined.load(Relaxed),
+            health: self.health(),
             batches: self.batches.load(Relaxed),
             multi_column_batches: self.multi_column_batches.load(Relaxed),
             batched_columns: self.batched_columns.load(Relaxed),
@@ -396,6 +423,13 @@ pub struct MetricsSnapshot {
     pub store_writes: u64,
     /// Bytes of plan files read (successful loads only).
     pub store_bytes_read: u64,
+    /// Worker panics that were contained (the batch got typed errors,
+    /// the worker respawned).
+    pub worker_panics: u64,
+    /// Corrupt plan files quarantined by the boot-time recovery scan.
+    pub store_quarantined: u64,
+    /// Health state derived from the counters at snapshot time.
+    pub health: Health,
     /// Wall-clock spent loading plans from the store — compare against
     /// `preprocess_time` to see what persistence saves.
     pub store_load_time: Duration,
@@ -535,6 +569,11 @@ impl fmt::Display for MetricsSnapshot {
             self.store_writes,
             self.store_bytes_read,
             self.store_load_time
+        )?;
+        writeln!(
+            f,
+            "health: {} ({} contained worker panics, {} quarantined plan files)",
+            self.health, self.worker_panics, self.store_quarantined
         )?;
         writeln!(
             f,

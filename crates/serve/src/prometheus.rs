@@ -172,6 +172,23 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         }
     }
 
+    counter_family(
+        &mut out,
+        "recblock_resilience_events_total",
+        "Failures contained by the resilience machinery.",
+        "event",
+        &[
+            ("worker_panic", snapshot.worker_panics),
+            ("store_quarantined", snapshot.store_quarantined),
+        ],
+    );
+    scalar(
+        &mut out,
+        "recblock_health",
+        "gauge",
+        "Health state: 0 healthy, 1 degraded, 2 draining.",
+        snapshot.health as u8 as f64,
+    );
     scalar(
         &mut out,
         "recblock_queue_depth",

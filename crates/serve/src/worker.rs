@@ -46,48 +46,55 @@ fn solve_batch<S: Scalar>(batch: Batch<S>, metrics: &Metrics, bufs: &mut WorkerB
     let n = batch.plan.n();
     let Batch { plan, mut requests } = batch;
 
-    if k == 1 {
-        let req = &mut requests[0];
-        let t0 = Instant::now();
-        let result = (|| -> Result<(), ServeError> {
-            bufs.single.resize(n, S::ZERO);
-            plan.solve_into(&req.rhs, &mut bufs.single, &mut bufs.ws)?;
-            // Answer in the request's own buffer so the submitter (e.g. the
-            // network event loop) can recycle it.
-            req.rhs.copy_from_slice(&bufs.single);
-            Ok(())
-        })();
-        metrics.record_stage(Stage::Solve, t0.elapsed());
-        let req = requests.pop().expect("one request");
-        finish(metrics, req, result);
-        return;
-    }
-
-    match gather_and_solve(&plan, &requests, n, k, bufs, metrics) {
-        Ok(()) => {
-            let x = bufs.out.as_ref().expect("solved output present");
-            for (j, mut req) in requests.into_iter().enumerate() {
-                req.rhs.copy_from_slice(x.col(j));
-                finish(metrics, req, Ok(()));
+    // The compute phase runs under an unwind guard: a panic in the
+    // solver (or an injected `serve_dispatch`/`exec_chunk` fault) must
+    // cost this batch, not the process. Crucially the guard only
+    // *borrows* `requests` — delivery happens after it, so a poisoned
+    // batch still answers every request with a typed error instead of
+    // dropping replies on the floor.
+    let computed =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<(), ServeError> {
+            if recblock_faults::fires(recblock_faults::FaultPoint::ServeDispatch) {
+                panic!("injected fault: serve_dispatch");
             }
-        }
-        Err(e) => {
-            for req in requests {
-                finish(metrics, req, Err(e.clone()));
+            if k == 1 {
+                let req = &mut requests[0];
+                let t0 = Instant::now();
+                let r = (|| -> Result<(), ServeError> {
+                    bufs.single.resize(n, S::ZERO);
+                    plan.solve_into(&req.rhs, &mut bufs.single, &mut bufs.ws)?;
+                    // Answer in the request's own buffer so the submitter
+                    // (e.g. the network event loop) can recycle it.
+                    req.rhs.copy_from_slice(&bufs.single);
+                    Ok(())
+                })();
+                metrics.record_stage(Stage::Solve, t0.elapsed());
+                r
+            } else {
+                gather_and_solve(&plan, &mut requests, n, k, bufs, metrics)
             }
+        }));
+    let result = match computed {
+        Ok(r) => r,
+        Err(_) => {
+            metrics.worker_panics.fetch_add(1, Relaxed);
+            Err(ServeError::WorkerPanic)
         }
+    };
+    for req in requests {
+        finish(metrics, req, result.clone());
     }
 }
 
 fn gather_and_solve<S: Scalar>(
     plan: &recblock::RecBlockSolver<S>,
-    requests: &[Pending<S>],
+    requests: &mut [Pending<S>],
     n: usize,
     k: usize,
     bufs: &mut WorkerBuffers<S>,
     metrics: &Metrics,
 ) -> Result<(), ServeError> {
-    for req in requests {
+    for req in requests.iter() {
         if req.rhs.len() != n {
             return Err(recblock_matrix::MatrixError::DimensionMismatch {
                 what: "batched rhs rows",
@@ -109,6 +116,9 @@ fn gather_and_solve<S: Scalar>(
     let t1 = Instant::now();
     plan.solve_multi_ws(&*b, out, &mut bufs.ws)?;
     metrics.record_stage(Stage::Solve, t1.elapsed());
+    for (j, req) in requests.iter_mut().enumerate() {
+        req.rhs.copy_from_slice(out.col(j));
+    }
     Ok(())
 }
 

@@ -1,0 +1,97 @@
+//! Worker-panic containment under deterministic fault injection.
+//!
+//! Compiled only with `--features faults`. The fault plan is process
+//! global, so every test here serializes on one mutex and clears the plan
+//! before releasing it — and these tests live in their own binary so no
+//! unrelated test can trip an armed fault point.
+
+#![cfg(feature = "faults")]
+
+use recblock_faults::{FaultPlan, FaultPoint, Trigger};
+use recblock_matrix::generate;
+use recblock_serve::{Health, ServeConfig, ServeError, SolveService};
+use std::sync::{Mutex, MutexGuard};
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn injected_dispatch_panic_is_contained_and_typed() {
+    let _serial = fault_lock();
+    let service = SolveService::<f64>::new(ServeConfig::default().with_workers(1));
+    let l = generate::random_lower::<f64>(200, 3.0, 93);
+    service.warm(&l).unwrap();
+    let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.03).cos()).collect();
+    let expected = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+
+    FaultPlan::new(7).with(FaultPoint::ServeDispatch, Trigger::OneShot).install();
+    let err = service.submit(&l, b.clone()).unwrap().wait().unwrap_err();
+    assert_eq!(err, ServeError::WorkerPanic, "poisoned batch answers with a typed error");
+    assert_eq!(service.health(), Health::Degraded, "a contained panic degrades health");
+
+    // The same worker thread answers the next request, bit-identically.
+    let x = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+    assert_eq!(x, expected);
+    FaultPlan::clear();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn every_request_in_a_poisoned_batch_gets_an_answer() {
+    let _serial = fault_lock();
+    // Zero workers while submitting, so all requests coalesce into one
+    // batch; then a single worker drains it under an armed fault.
+    let service =
+        SolveService::<f64>::new(ServeConfig::default().with_workers(1).with_max_batch(8));
+    let l = generate::random_lower::<f64>(150, 3.0, 94);
+    service.warm(&l).unwrap();
+
+    FaultPlan::new(11).with(FaultPoint::ServeDispatch, Trigger::OneShot).install();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let b: Vec<f64> = (0..150).map(|r| ((r + i * 13) as f64 * 0.02).sin()).collect();
+            service.submit(&l, b).unwrap()
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    FaultPlan::clear();
+
+    // Exactly one batch was poisoned; every request in it got the typed
+    // error and none were dropped. Requests outside it succeeded.
+    let panicked = outcomes.iter().filter(|o| **o == Err(ServeError::WorkerPanic)).count();
+    let solved = outcomes.iter().filter(|o| o.is_ok()).count();
+    assert_eq!(panicked + solved, 4, "no request may vanish");
+    assert!(panicked >= 1, "the armed one-shot fault must fire");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed as usize, panicked);
+    assert_eq!(stats.completed as usize, solved);
+}
+
+#[test]
+fn slow_solve_injection_delays_but_never_corrupts() {
+    let _serial = fault_lock();
+    let service = SolveService::<f64>::new(ServeConfig::default().with_workers(1));
+    let l = generate::random_lower::<f64>(300, 4.0, 95);
+    service.warm(&l).unwrap();
+    let b: Vec<f64> = (0..300).map(|i| (i as f64 * 0.011).sin()).collect();
+    let expected = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+
+    // Injected stragglers (sleeping chunks) stretch the solve but must
+    // not change a single bit of the answer.
+    FaultPlan::new(13).with(FaultPoint::ExecSlow, Trigger::Prob(0.5)).install();
+    for _ in 0..3 {
+        let x = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert_eq!(x, expected, "stragglers must be invisible in the output");
+    }
+    FaultPlan::clear();
+    assert_eq!(service.health(), Health::Healthy, "slow is not degraded");
+    service.shutdown();
+}

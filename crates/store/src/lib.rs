@@ -53,10 +53,10 @@ pub mod wire;
 pub use error::StoreError;
 pub use key::PlanKey;
 pub use plan::{
-    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, ArtifactKind, PlanMeta,
-    FORMAT_VERSION, MAGIC,
+    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, verify_file, ArtifactKind,
+    PlanMeta, FORMAT_VERSION, MAGIC,
 };
 pub use store::{
-    inspect_plan_file, read_pack_file, read_plan_file, write_atomic, LoadTimings, LoadedPlan,
-    PlanStore, StoreEntry,
+    inspect_plan_file, read_pack_file, read_plan_file, sync_stats, write_atomic, LoadTimings,
+    LoadedPlan, PlanStore, RecoveryReport, StoreEntry, QUARANTINE_DIR,
 };

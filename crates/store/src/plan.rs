@@ -210,6 +210,25 @@ pub fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, StoreError> {
     get_meta(meta_payload)
 }
 
+/// Scalar-independent integrity check of a whole plan/pack file: magic,
+/// version, META and BODY checksums, and no trailing bytes. The body is
+/// *not* decoded, so the check needs no knowledge of the stored scalar
+/// type — exactly what a boot-time recovery scan wants, where files of
+/// every width sit in one directory.
+pub fn verify_file(bytes: &[u8]) -> Result<PlanMeta, StoreError> {
+    let meta = decode_meta(bytes)?;
+    let mut r = Reader::new(bytes, "plan file header");
+    r.take(8)?;
+    r.u32()?;
+    read_section(&mut r, TAG_META, "meta")?;
+    let (body, crc) = read_section_raw(&mut r, TAG_BODY, "body")?;
+    r.finish()?;
+    if crc32_parallel(body) != crc {
+        return Err(StoreError::ChecksumMismatch { section: "body" });
+    }
+    Ok(meta)
+}
+
 fn encode_file(meta: &PlanMeta, body: Vec<u8>) -> Vec<u8> {
     let mut mw = Writer::new();
     put_meta(&mut mw, meta);

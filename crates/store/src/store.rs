@@ -9,10 +9,12 @@
 use crate::error::StoreError;
 use crate::key::PlanKey;
 use crate::plan::{
-    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, ArtifactKind, PlanMeta,
+    decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, verify_file, ArtifactKind,
+    PlanMeta,
 };
 use recblock::packed::PackedBlocked;
 use recblock::{BlockedTri, RecBlockSolver};
+use recblock_faults::{aux, fires, FaultPoint};
 use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_matrix::Scalar;
 use std::fs;
@@ -188,10 +190,97 @@ impl PlanStore {
         out.sort_by_key(|e| std::cmp::Reverse(e.modified));
         Ok(out)
     }
+
+    /// Where this store quarantines corrupt files.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Boot-time recovery scan: verify every plan file end to end
+    /// (magic, version, META and BODY checksums — scalar-independent, no
+    /// decode) and move the ones that fail into `quarantine/`, where
+    /// they stop poisoning warm-start and lookups; the next request for
+    /// a quarantined key simply misses and rebuilds. Stray temp files —
+    /// writers that died before their rename — are deleted.
+    ///
+    /// The scan reads every byte of every plan, so it costs one pass of
+    /// sequential I/O over the store; run it at process boot, not per
+    /// request.
+    pub fn recover(&self) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') && name.contains(".tmp-") {
+                if fs::remove_file(&path).is_ok() {
+                    report.stale_tmp_removed += 1;
+                }
+                continue;
+            }
+            let is_plan = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "rbplan" || e == "rbpack");
+            if !is_plan {
+                continue;
+            }
+            report.scanned += 1;
+            let verdict =
+                fs::read(&path).map_err(StoreError::from).and_then(|b| verify_file(&b).map(|_| ()));
+            if let Err(why) = verdict {
+                let qdir = self.quarantine_dir();
+                fs::create_dir_all(&qdir)?;
+                let dest = qdir.join(entry.file_name());
+                // A rename can only fail across filesystems (quarantine/
+                // is a subdirectory, so it won't); if it somehow does,
+                // deleting still unpoisons the store.
+                if fs::rename(&path, &dest).is_err() {
+                    let _ = fs::remove_file(&path);
+                }
+                report.quarantined.push((dest, why));
+            }
+        }
+        Ok(report)
+    }
 }
 
-/// Write `bytes` to `path` atomically: unique temp file in the same
-/// directory, flush + `sync_all`, then rename over the target.
+/// Subdirectory of a store that corrupt files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What a [`PlanStore::recover`] scan found and did.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Plan files examined.
+    pub scanned: usize,
+    /// Corrupt files moved to `quarantine/`, with the error that
+    /// condemned each.
+    pub quarantined: Vec<(PathBuf, StoreError)>,
+    /// Leftover temp files (dead writers) deleted.
+    pub stale_tmp_removed: usize,
+}
+
+/// Syncs performed by [`write_atomic`]: `(file syncs, directory syncs)`.
+/// Exposed so tests can assert the crash-durability path is exercised.
+static FSYNC_FILES: AtomicU64 = AtomicU64::new(0);
+static FSYNC_DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(temp-file syncs, parent-directory syncs)` counters of
+/// the atomic write path.
+pub fn sync_stats() -> (u64, u64) {
+    (FSYNC_FILES.load(Ordering::Relaxed), FSYNC_DIRS.load(Ordering::Relaxed))
+}
+
+/// Write `bytes` to `path` atomically **and durably**: unique temp file
+/// in the same directory, flush + `sync_all` so the data hits disk
+/// before the rename can publish it, `rename` over the target, then
+/// `sync_all` on the parent directory so the rename itself (a directory
+/// mutation) survives a crash. Readers never observe a half-written
+/// plan, and a plan that is visible after a power loss is complete.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let dir = path.parent().ok_or_else(|| {
         StoreError::Io(format!("plan path {} has no parent directory", path.display()))
@@ -204,9 +293,24 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     ));
     let result = (|| -> Result<(), StoreError> {
         let mut f = fs::File::create(&tmp)?;
+        if fires(FaultPoint::StoreWrite) {
+            // Injected torn write: only a prefix reaches the file and no
+            // sync runs, then the rename publishes it anyway — the
+            // observable outcome of a crash (or lying disk) mid-persist.
+            // The recovery scan must quarantine what this leaves behind.
+            let keep = aux(FaultPoint::StoreWrite) as usize % bytes.len().max(1);
+            f.write_all(&bytes[..keep])?;
+            drop(f);
+            fs::rename(&tmp, path)?;
+            return Ok(());
+        }
         f.write_all(bytes)?;
         f.sync_all()?;
+        FSYNC_FILES.fetch_add(1, Ordering::Relaxed);
         fs::rename(&tmp, path)?;
+        let d = fs::File::open(dir)?;
+        d.sync_all()?;
+        FSYNC_DIRS.fetch_add(1, Ordering::Relaxed);
         Ok(())
     })();
     if result.is_err() {
@@ -219,7 +323,18 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
 pub fn read_plan_file<S: Scalar>(path: &Path) -> Result<LoadedPlan<S>, StoreError> {
     let tr = SolveTrace::start();
     let t0 = Instant::now();
-    let bytes = fs::read(path)?;
+    if fires(FaultPoint::StoreRead) {
+        return Err(StoreError::Io(format!("injected fault: store_read ({})", path.display())));
+    }
+    let mut bytes = fs::read(path)?;
+    if !bytes.is_empty() && fires(FaultPoint::StoreDecode) {
+        // Injected single-bit flip between read and decode: the CRC (or
+        // an earlier structural check) must turn this into a typed error.
+        let a = aux(FaultPoint::StoreDecode);
+        let pos = a as usize % bytes.len();
+        bytes[pos] ^= 1 << ((a >> 32) % 8);
+    }
+    let bytes = bytes;
     let read = t0.elapsed();
     SolveTrace::finish(tr, EventKind::StoreRead, 0, bytes.len().min(u32::MAX as usize) as u32, 0);
     let td = SolveTrace::start();

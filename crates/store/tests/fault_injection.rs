@@ -1,0 +1,121 @@
+//! Armed fault injection against the plan store: injected I/O errors,
+//! bit flips between read and decode, and torn writes that the recovery
+//! scan must quarantine.
+//!
+//! Compiled only with `--features faults`; lives in its own binary and
+//! serializes on a mutex because the fault plan is process global.
+
+#![cfg(feature = "faults")]
+
+use recblock::{RecBlockSolver, SolverOptions};
+use recblock_faults::{FaultPlan, FaultPoint, Trigger};
+use recblock_matrix::generate;
+use recblock_store::{ArtifactKind, PlanKey, PlanStore, StoreError};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rbstore-flt-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn plan_fixture() -> &'static (PlanKey, Vec<u8>) {
+    static FIXTURE: OnceLock<(PlanKey, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let tmp = TempDir::new("fixture");
+        let l = generate::random_lower::<f64>(160, 3.0, 2100);
+        let key = PlanKey::of(&l);
+        let solver = RecBlockSolver::new(&l, SolverOptions::default()).unwrap();
+        let store = PlanStore::open(&tmp.0).unwrap();
+        let path = store.save(solver.blocked(), &key, 0.1).unwrap();
+        (key, std::fs::read(path).unwrap())
+    })
+}
+
+#[test]
+fn injected_read_error_is_typed_io() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("read-err");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let (key, bytes) = plan_fixture();
+    recblock_store::write_atomic(&store.path_for(key, ArtifactKind::Blocked), bytes).unwrap();
+
+    FaultPlan::new(61).with(FaultPoint::StoreRead, Trigger::OneShot).install();
+    let err = store.load::<f64>(key).expect_err("injected read error must surface");
+    FaultPlan::clear();
+    assert!(matches!(err, StoreError::Io(_)), "typed I/O error, got {err}");
+    // The file was untouched: the next load succeeds.
+    assert!(store.load::<f64>(key).unwrap().is_some());
+}
+
+#[test]
+fn injected_bit_flip_is_condemned_by_checksum() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("bit-flip");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let (key, bytes) = plan_fixture();
+    recblock_store::write_atomic(&store.path_for(key, ArtifactKind::Blocked), bytes).unwrap();
+
+    // Each load flips a deterministic (seed-dependent) bit between the
+    // read and the decode. No single-bit corruption may ever decode.
+    for seed in [67, 71, 73, 79] {
+        FaultPlan::new(seed).with(FaultPoint::StoreDecode, Trigger::Always).install();
+        let err = store.load::<f64>(key).expect_err("flipped bit must not decode");
+        assert!(
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. }
+                    | StoreError::Malformed(_)
+                    | StoreError::Truncated { .. }
+                    | StoreError::WrongMagic
+                    | StoreError::WrongVersion { .. }
+            ),
+            "seed {seed}: typed decode error, got {err}"
+        );
+    }
+    FaultPlan::clear();
+    assert!(store.load::<f64>(key).unwrap().is_some(), "disk bytes were never harmed");
+}
+
+#[test]
+fn injected_torn_write_is_quarantined_by_recovery() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("torn");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let (key, bytes) = plan_fixture();
+    let path = store.path_for(key, ArtifactKind::Blocked);
+
+    // The armed write tears: a prefix is published by the rename with no
+    // fsync — exactly what a crash mid-persist leaves behind.
+    FaultPlan::new(83).with(FaultPoint::StoreWrite, Trigger::OneShot).install();
+    recblock_store::write_atomic(&path, bytes).unwrap();
+    FaultPlan::clear();
+
+    let on_disk = std::fs::read(&path).unwrap();
+    assert!(on_disk.len() < bytes.len(), "the write must actually have torn");
+
+    // Boot-time recovery condemns it; afterwards the key misses cleanly
+    // and a healthy rewrite round-trips.
+    let report = store.recover().unwrap();
+    assert_eq!(report.quarantined.len(), 1, "torn file is quarantined");
+    assert!(store.load::<f64>(key).unwrap().is_none());
+    recblock_store::write_atomic(&path, bytes).unwrap();
+    assert!(store.load::<f64>(key).unwrap().is_some());
+}

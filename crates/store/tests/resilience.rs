@@ -1,0 +1,123 @@
+//! Durability and recovery tests for the plan store: the fsync discipline
+//! of the atomic write path, and the boot-time recovery scan that turns
+//! torn or corrupt plan files into quarantined files instead of panics.
+
+use proptest::prelude::*;
+use recblock::{RecBlockSolver, SolverOptions};
+use recblock_matrix::generate;
+use recblock_store::{sync_stats, ArtifactKind, PlanKey, PlanStore, StoreError, QUARANTINE_DIR};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rbstore-res-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// One valid plan file's bytes plus its key, built once and shared across
+/// tests (plan construction dominates the cost of every case otherwise).
+fn plan_fixture() -> &'static (PlanKey, Vec<u8>) {
+    static FIXTURE: OnceLock<(PlanKey, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let tmp = TempDir::new("fixture");
+        let l = generate::random_lower::<f64>(200, 3.0, 1900);
+        let key = PlanKey::of(&l);
+        let solver = RecBlockSolver::new(&l, SolverOptions::default()).unwrap();
+        let store = PlanStore::open(&tmp.0).unwrap();
+        let path = store.save(solver.blocked(), &key, 0.1).unwrap();
+        (key, std::fs::read(path).unwrap())
+    })
+}
+
+#[test]
+fn atomic_write_syncs_file_and_directory() {
+    let tmp = TempDir::new("fsync");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let (key, bytes) = plan_fixture();
+    let (files_before, dirs_before) = sync_stats();
+    recblock_store::write_atomic(&store.path_for(key, ArtifactKind::Blocked), bytes).unwrap();
+    let (files_after, dirs_after) = sync_stats();
+    assert!(files_after > files_before, "temp file must be synced before the rename");
+    assert!(dirs_after > dirs_before, "parent directory must be synced after the rename");
+    assert!(store.load::<f64>(key).unwrap().is_some());
+}
+
+#[test]
+fn recover_quarantines_corrupt_file_and_sweeps_stale_tmp() {
+    let tmp = TempDir::new("recover");
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let (key, bytes) = plan_fixture();
+
+    // A valid plan, a bit-flipped copy under a different name, and a
+    // stale temp file from a writer that died before its rename.
+    let good = store.path_for(key, ArtifactKind::Blocked);
+    recblock_store::write_atomic(&good, bytes).unwrap();
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    std::fs::write(tmp.0.join("corrupt-copy.rbplan"), &corrupt).unwrap();
+    std::fs::write(tmp.0.join(".dead-writer.rbplan.tmp-999-0"), b"partial").unwrap();
+
+    let report = store.recover().unwrap();
+    assert_eq!(report.scanned, 2);
+    assert_eq!(report.stale_tmp_removed, 1);
+    assert_eq!(report.quarantined.len(), 1);
+    let (dest, why) = &report.quarantined[0];
+    assert!(dest.starts_with(store.quarantine_dir()), "moved into {QUARANTINE_DIR}/");
+    assert!(dest.exists(), "quarantined file is preserved for forensics");
+    assert!(matches!(why, StoreError::ChecksumMismatch { .. }), "condemned by CRC: {why}");
+
+    // The good file survived and still loads; the store is clean now.
+    assert!(store.load::<f64>(key).unwrap().is_some());
+    assert!(!tmp.0.join("corrupt-copy.rbplan").exists());
+    let again = store.recover().unwrap();
+    assert_eq!(again.quarantined.len(), 0, "recovery is idempotent");
+    assert_eq!(again.stale_tmp_removed, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    // A torn write leaves an arbitrary prefix of a valid plan file. Every
+    // prefix length must produce a typed error on load — never a panic,
+    // never a bogus plan — and the recovery scan must quarantine it.
+    #[test]
+    fn torn_prefix_is_typed_error_then_quarantined(frac in 0u64..10_000) {
+        let (key, bytes) = plan_fixture();
+        // Strictly shorter than the full file: every prefix is torn.
+        let keep = (frac as usize * bytes.len()) / 10_000;
+        let tmp = TempDir::new(&format!("torn-{frac}"));
+        let store = PlanStore::open(&tmp.0).unwrap();
+        let path = store.path_for(key, ArtifactKind::Blocked);
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        let err = store.load::<f64>(key).expect_err("torn file must not load");
+        prop_assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::WrongMagic
+                    | StoreError::WrongVersion { .. }
+                    | StoreError::Malformed(_)
+            ),
+            "typed decode error, got {err}"
+        );
+
+        let report = store.recover().unwrap();
+        prop_assert_eq!(report.quarantined.len(), 1);
+        prop_assert!(store.load::<f64>(key).unwrap().is_none(), "quarantined key misses cleanly");
+    }
+}

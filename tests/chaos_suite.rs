@@ -1,0 +1,231 @@
+//! Seeded chaos harness: real RBNET traffic over loopback while a
+//! randomized-but-deterministic `FaultPlan` batters the stack — dropped
+//! accepts, EAGAIN storms on read and write, swallowed completion wakes,
+//! straggling solve chunks, and mid-run worker panics.
+//!
+//! Invariants, per seed:
+//!   * the server process/thread never dies;
+//!   * every request produces exactly one outcome — a bit-exact answer or
+//!     a typed error, never a hang, a panic, or a silent drop;
+//!   * after the plan clears, the same server answers bit-identically and
+//!     shuts down cleanly.
+//!
+//! Seeds are pinned so a failure replays exactly (the fault crate hashes
+//! `(seed, point, hit)`); `FAULT_SEEDS` below is the contract with CI.
+
+#![cfg(feature = "faults")]
+
+use recblock_faults::{self as faults, FaultPlan, FaultPoint, Trigger};
+use recblock_matrix::{generate, Csr};
+use recblock_net::{
+    ClientConfig, ErrCode, NetClient, NetConfig, NetCtl, NetError, NetServer, RetryPolicy,
+};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+/// The pinned chaos seeds. Changing this list changes what CI covers;
+/// append rather than replace when adding coverage.
+const FAULT_SEEDS: [u64; 8] = [101, 211, 307, 401, 503, 601, 701, 809];
+
+/// Requests driven through each chaotic round.
+const REQUESTS_PER_SEED: usize = 8;
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    ctl: NetCtl,
+    handle: thread::JoinHandle<std::io::Result<()>>,
+    service: Arc<SolveService<f64>>,
+}
+
+impl TestServer {
+    fn start() -> TestServer {
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(1)));
+        let mut server =
+            NetServer::bind("127.0.0.1:0", NetConfig::default(), service.clone()).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let ctl = server.ctl();
+        let handle = thread::spawn(move || server.run());
+        TestServer { addr, ctl, handle, service }
+    }
+
+    /// Graceful drain; panics if the event loop died or errored — the
+    /// chaos invariant "the process never dies" lives here.
+    fn stop(self) {
+        self.ctl.shutdown();
+        self.handle.join().expect("event loop survived").expect("event loop exited cleanly");
+    }
+}
+
+fn connect(addr: SocketAddr) -> NetClient {
+    let cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(10)),
+        read_timeout: Some(Duration::from_secs(20)),
+        write_timeout: Some(Duration::from_secs(20)),
+    };
+    NetClient::connect_with(addr, cfg).expect("connect loopback")
+}
+
+/// Deterministic uniform draw in [0, 1) from (seed, salt).
+fn frac(seed: u64, salt: u64) -> f64 {
+    let mut z = seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ salt;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The randomized (but seed-deterministic) transport-chaos plan: every
+/// probability is drawn from the seed, so each of the eight rounds
+/// stresses a different mixture of fault points.
+fn transport_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultPoint::NetAccept, Trigger::Prob(0.15 * frac(seed, 1)))
+        .with(FaultPoint::NetRead, Trigger::Prob(0.02 + 0.10 * frac(seed, 2)))
+        .with(FaultPoint::NetWrite, Trigger::Prob(0.02 + 0.10 * frac(seed, 3)))
+        .with(FaultPoint::NetWake, Trigger::Prob(0.05 * frac(seed, 4)))
+        .with(FaultPoint::ExecSlow, Trigger::Prob(0.25 * frac(seed, 5)))
+}
+
+fn rhs_for(n: usize, req: usize) -> Vec<f64> {
+    (0..n).map(|r| ((r * 29 + req * 13 + 1) as f64 * 0.017).sin()).collect()
+}
+
+/// Fixture shared by every chaos round: one matrix, its plan key, and the
+/// serial reference answer for every request index.
+fn fixture(service: &SolveService<f64>) -> (Csr<f64>, PlanKey, Vec<Vec<f64>>) {
+    let n = 180;
+    let l = generate::random_lower::<f64>(n, 3.0, 777);
+    let expected: Vec<Vec<f64>> = (0..REQUESTS_PER_SEED)
+        .map(|i| service.submit(&l, rhs_for(n, i)).unwrap().wait().unwrap())
+        .collect();
+    (l.clone(), PlanKey::of(&l), expected)
+}
+
+#[test]
+fn chaos_rounds_are_lossless_and_bit_exact() {
+    let _serial = fault_lock();
+    let mut total_fired = 0u64;
+    let mut total_errors = 0usize;
+
+    for &seed in &FAULT_SEEDS {
+        let srv = TestServer::start();
+        // Reference answers are computed in-process before the plan arms,
+        // so they are untouched by the chaos.
+        let (_l, key, expected) = fixture(&srv.service);
+
+        transport_plan(seed).install();
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+            seed,
+        };
+        let mut client = connect(srv.addr);
+        for (i, want) in expected.iter().enumerate() {
+            let b = rhs_for(180, i);
+            match client.solve_multi_retry::<f64>("chaos", &key, &[&b], 0, &policy) {
+                Ok(cols) => {
+                    assert_eq!(cols.len(), 1, "seed {seed} req {i}: one column in, one out");
+                    assert_eq!(&cols[0], want, "seed {seed} req {i}: answer must be bit-exact");
+                }
+                Err(e) => {
+                    // Containment means *typed*: transport failures and
+                    // transient refusals only, never a protocol wedge.
+                    assert!(
+                        matches!(
+                            e,
+                            NetError::Io(_)
+                                | NetError::Closed
+                                | NetError::Timeout(_)
+                                | NetError::Remote {
+                                    code: ErrCode::Internal
+                                        | ErrCode::Overloaded
+                                        | ErrCode::RateLimited,
+                                    ..
+                                }
+                        ),
+                        "seed {seed} req {i}: unexpected failure class: {e}"
+                    );
+                    total_errors += 1;
+                    // The connection state is suspect after an error;
+                    // a fresh one must work (possibly after retries the
+                    // accept-dropper also bedevils).
+                    client = connect(srv.addr);
+                }
+            }
+        }
+        total_fired += [
+            FaultPoint::NetAccept,
+            FaultPoint::NetRead,
+            FaultPoint::NetWrite,
+            FaultPoint::NetWake,
+            FaultPoint::ExecSlow,
+        ]
+        .iter()
+        .map(|&p| faults::fired(p))
+        .sum::<u64>();
+        FaultPlan::clear();
+
+        // Chaos over: the very same server answers bit-identically and
+        // drains cleanly.
+        let mut calm = connect(srv.addr);
+        let got = calm.solve::<f64>("chaos", &key, &rhs_for(180, 0)).unwrap();
+        assert_eq!(got, expected[0], "seed {seed}: post-chaos solve is bit-exact");
+        let stat = calm.stat().unwrap();
+        assert!(!stat.draining, "seed {seed}: server is live after the round");
+        drop(calm);
+        srv.stop();
+    }
+
+    assert!(total_fired > 0, "the chaos plans must actually fire faults (vacuous run otherwise)");
+    // Transport chaos is lossy but the retry layer absorbs it; a few
+    // typed errors are acceptable, silent drops and panics are not —
+    // and both are impossible to reach this line with.
+    println!("chaos: {total_fired} faults fired, {total_errors} typed errors surfaced");
+}
+
+#[test]
+fn chaos_worker_panic_recovers_on_the_same_connection() {
+    let _serial = fault_lock();
+    let srv = TestServer::start();
+    let (_l, key, expected) = fixture(&srv.service);
+
+    // The second dispatched batch panics inside the worker. Requests are
+    // strictly sequential, so request index 1 is the poisoned one.
+    FaultPlan::new(977).with(FaultPoint::ServeDispatch, Trigger::Nth(2)).install();
+    let mut client = connect(srv.addr);
+    let mut internal_errors = 0usize;
+    for (i, want) in expected.iter().enumerate().take(5) {
+        let b = rhs_for(180, i);
+        match client.solve::<f64>("panicky", &key, &b) {
+            Ok(got) => assert_eq!(&got, want, "req {i}: bit-exact around the panic"),
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, ErrCode::Internal, "worker panic surfaces as Internal");
+                assert_eq!(i, 1, "exactly the second dispatch was poisoned");
+                internal_errors += 1;
+                // Note: no reconnect — the *same* connection must keep
+                // working after the server contained the panic.
+            }
+            Err(other) => panic!("req {i}: unexpected transport failure: {other}"),
+        }
+    }
+    FaultPlan::clear();
+    assert_eq!(internal_errors, 1, "the injected panic fired exactly once");
+
+    // The panic left a mark on health but took nothing else down.
+    let stat = client.stat().unwrap();
+    assert_eq!(stat.health, 1, "one contained panic reports Degraded");
+    assert!(!stat.draining);
+    drop(client);
+    srv.stop();
+}
