@@ -1,0 +1,392 @@
+//! The per-node cluster coordinator: ring state, build grants, proxying.
+//!
+//! One [`Coordinator`] sits behind a node's [`recblock_net::NetServer`]
+//! as its [`ClusterHooks`] implementation. It answers three questions:
+//!
+//! * **routing** — is this node an owner of a fingerprint, and if not,
+//!   where should the request go ([`Route::Proxy`] through a pooled
+//!   inter-node client, or [`Route::Redirect`] so the client retries
+//!   against the owner directly);
+//! * **membership** — `Join`/`Leave`/`RingState` frames mutate the
+//!   shared [`Ring`] under an epoch that only moves forward, so stale
+//!   views lose every merge;
+//! * **single-flight** — the primary owner hands out at most one *build
+//!   grant* per plan at a time (`PlanPull` with build intent), with a
+//!   TTL so a crashed builder cannot wedge the key forever.
+
+use crate::ring::Ring;
+use recblock_matrix::Scalar;
+use recblock_net::{ClusterHooks, ErrCode, MemberInfo, NetClient, NetError, RingStateMsg, Route};
+use recblock_serve::{Metrics, ResponseSink, ServeError, SolveService};
+use recblock_store::PlanKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// What a node does with a solve it does not own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonOwnerPolicy {
+    /// Relay the request to the owner and stream the answer back —
+    /// clients never see the ring.
+    Proxy,
+    /// Answer [`ErrCode::Redirect`] with the owner's address — clients
+    /// that cache owners skip a hop on every later solve.
+    Redirect,
+}
+
+/// Static configuration of one cluster node.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Unique node name (ring identity).
+    pub name: String,
+    /// Address peers should dial, `host:port`. Leave empty to advertise
+    /// the bound listener address (useful with port 0 in tests).
+    pub advertise_addr: String,
+    /// Ring seed — all members must agree (carried in `RingState`).
+    pub seed: u64,
+    /// Virtual nodes per member. More vnodes, smoother key balance.
+    pub vnodes: u32,
+    /// Copies of each plan (primary + replicas - 1).
+    pub replicas: u16,
+    /// Routing behaviour for fingerprints this node does not own.
+    pub non_owner: NonOwnerPolicy,
+    /// Threads relaying proxied solves to owner nodes.
+    pub proxy_workers: usize,
+    /// How long a build grant stays exclusive before another puller may
+    /// claim it (recovers from a builder that crashed mid-build).
+    pub grant_ttl: Duration,
+    /// Backoff between `BuildInProgress` pull retries.
+    pub pull_retry: Duration,
+    /// Pull attempts before a warming replica gives up waiting and
+    /// builds locally.
+    pub pull_attempts: u32,
+}
+
+impl ClusterConfig {
+    /// Sensible defaults for a node called `name`.
+    pub fn new(name: impl Into<String>) -> ClusterConfig {
+        ClusterConfig {
+            name: name.into(),
+            advertise_addr: String::new(),
+            seed: 0x5EED_C1A5_7E12_0B10,
+            vnodes: 128,
+            replicas: 2,
+            non_owner: NonOwnerPolicy::Proxy,
+            proxy_workers: 2,
+            grant_ttl: Duration::from_secs(3),
+            pull_retry: Duration::from_millis(25),
+            pull_attempts: 200,
+        }
+    }
+}
+
+/// One proxied solve travelling to an owner node.
+struct ProxyJob<S> {
+    addr: String,
+    tenant: String,
+    key: PlanKey,
+    cols: Vec<Vec<S>>,
+    base_tag: u64,
+    deadline_ms: u32,
+    sink: Arc<dyn ResponseSink<S>>,
+}
+
+/// The node-local cluster brain; implements [`ClusterHooks`] for the
+/// network front end. See the module docs for the three roles.
+pub struct Coordinator<S: Scalar> {
+    config: ClusterConfig,
+    ring: RwLock<Ring>,
+    /// Outstanding build grants: plan key → grant time (expires after
+    /// [`ClusterConfig::grant_ttl`]).
+    grants: Mutex<HashMap<PlanKey, Instant>>,
+    service: Arc<SolveService<S>>,
+    metrics: Arc<Metrics>,
+    workers: Vec<Sender<ProxyJob<S>>>,
+    next_worker: AtomicUsize,
+}
+
+impl<S: Scalar> Coordinator<S> {
+    /// Build a coordinator whose ring contains only this node.
+    pub fn new(config: ClusterConfig, service: Arc<SolveService<S>>) -> Arc<Coordinator<S>> {
+        let mut ring = Ring::new(config.seed, config.vnodes, config.replicas);
+        ring.insert(&config.name, &config.advertise_addr);
+        let metrics = service.shared_metrics();
+        let mut workers = Vec::with_capacity(config.proxy_workers.max(1));
+        for _ in 0..config.proxy_workers.max(1) {
+            let (tx, rx) = std::sync::mpsc::channel::<ProxyJob<S>>();
+            std::thread::spawn(move || run_proxy_worker(rx));
+            workers.push(tx);
+        }
+        let c = Coordinator {
+            config,
+            ring: RwLock::new(ring),
+            grants: Mutex::new(HashMap::new()),
+            service,
+            metrics,
+            workers,
+            next_worker: AtomicUsize::new(0),
+        };
+        c.sync_gauges(&c.ring.read().unwrap());
+        Arc::new(c)
+    }
+
+    /// This node's ring identity.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The address this node advertises to peers.
+    pub fn advertise_addr(&self) -> String {
+        self.ring
+            .read()
+            .unwrap()
+            .addr_of(&self.config.name)
+            .unwrap_or(&self.config.advertise_addr)
+            .to_string()
+    }
+
+    /// The configuration this coordinator was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// A point-in-time copy of the ring.
+    pub fn ring_snapshot(&self) -> Ring {
+        self.ring.read().unwrap().clone()
+    }
+
+    /// Owner set of `key` as owned strings (primary first).
+    pub fn owners_of(&self, key: &PlanKey) -> Vec<(String, String)> {
+        let ring = self.ring.read().unwrap();
+        ring.owners(key).iter().map(|(n, a)| (n.to_string(), a.to_string())).collect()
+    }
+
+    /// Merge a peer's view unconditionally (our own join/leave results —
+    /// not subject to the stale-view fault injection).
+    pub fn adopt(&self, msg: &RingStateMsg) -> RingStateMsg {
+        let mut ring = self.ring.write().unwrap();
+        Self::merge_into(&mut ring, msg, &self.config);
+        let out = ring.to_msg();
+        self.sync_gauges(&ring);
+        out
+    }
+
+    /// Drop `name` from our view (a peer observed to be dead).
+    pub fn remove_member(&self, name: &str) -> RingStateMsg {
+        let mut ring = self.ring.write().unwrap();
+        ring.remove(name);
+        let out = ring.to_msg();
+        self.sync_gauges(&ring);
+        out
+    }
+
+    /// Claim the local build grant for `key`. `true` means this caller
+    /// is the cluster-wide builder; anyone else gets `false` until the
+    /// grant clears or its TTL expires.
+    pub fn try_grant(&self, key: &PlanKey) -> bool {
+        let mut g = self.grants.lock().unwrap();
+        let now = Instant::now();
+        match g.get(key) {
+            Some(&t) if now.duration_since(t) < self.config.grant_ttl => false,
+            _ => {
+                g.insert(*key, now);
+                true
+            }
+        }
+    }
+
+    /// Release the build grant for `key` (build finished or failed).
+    pub fn clear_grant(&self, key: &PlanKey) {
+        self.grants.lock().unwrap().remove(key);
+    }
+
+    fn merge_into(ring: &mut Ring, msg: &RingStateMsg, config: &ClusterConfig) {
+        if msg.epoch > ring.epoch() {
+            // Their view is strictly newer: adopt it wholesale, then make
+            // sure we are still in it (a view predating our join must not
+            // evict us).
+            *ring = Ring::from_msg(msg);
+        }
+        // Union any members we have not seen; a no-op when views agree.
+        for m in &msg.members {
+            ring.insert(&m.name, &m.addr);
+        }
+        let self_addr = config.advertise_addr.clone();
+        if !self_addr.is_empty() && ring.addr_of(&config.name) != Some(self_addr.as_str()) {
+            ring.insert(&config.name, &self_addr);
+        }
+    }
+
+    fn sync_gauges(&self, ring: &Ring) {
+        self.metrics.cluster_ring_epoch.store(ring.epoch(), Ordering::Relaxed);
+        self.metrics.cluster_members.store(ring.len() as u64, Ordering::Relaxed);
+    }
+}
+
+impl<S: Scalar> ClusterHooks<S> for Coordinator<S> {
+    fn route(&self, key: &PlanKey) -> Route {
+        let ring = self.ring.read().unwrap();
+        if ring.len() <= 1 {
+            return Route::Local;
+        }
+        let owners = ring.owners(key);
+        if owners.iter().any(|(n, _)| *n == self.config.name) {
+            return Route::Local;
+        }
+        let Some(&(_, addr)) = owners.first() else { return Route::Local };
+        match self.config.non_owner {
+            NonOwnerPolicy::Proxy => Route::Proxy(addr.to_string()),
+            NonOwnerPolicy::Redirect => Route::Redirect(addr.to_string()),
+        }
+    }
+
+    fn handle_join(&self, member: MemberInfo) -> RingStateMsg {
+        let mut ring = self.ring.write().unwrap();
+        ring.insert(&member.name, &member.addr);
+        let out = ring.to_msg();
+        self.sync_gauges(&ring);
+        out
+    }
+
+    fn handle_leave(&self, name: &str) -> RingStateMsg {
+        let mut ring = self.ring.write().unwrap();
+        ring.remove(name);
+        let out = ring.to_msg();
+        self.sync_gauges(&ring);
+        out
+    }
+
+    fn apply_ring(&self, msg: RingStateMsg) -> RingStateMsg {
+        // Injected fault: this node misses the broadcast and keeps
+        // serving from a stale view. Routing stays *correct* (requests
+        // still land on nodes that answer or redirect), just suboptimal
+        // until anti-entropy repairs the view.
+        if recblock_faults::fires(recblock_faults::FaultPoint::ClusterRing) {
+            return self.ring.read().unwrap().to_msg();
+        }
+        self.adopt(&msg)
+    }
+
+    fn ring_state(&self) -> RingStateMsg {
+        self.ring.read().unwrap().to_msg()
+    }
+
+    fn accept_plan_push(&self, key: PlanKey, bytes: &[u8]) -> Result<(), (ErrCode, String)> {
+        // A landed plan settles any outstanding build grant for it.
+        self.clear_grant(&key);
+        self.service.import_plan_bytes(key, bytes).map_err(|e| match e {
+            ServeError::BadRequest { .. } | ServeError::PlanBuild(_) => {
+                (ErrCode::BadRequest, format!("plan push rejected: {e}"))
+            }
+            other => (ErrCode::Internal, format!("plan push failed: {other}")),
+        })
+    }
+
+    fn plan_data(&self, key: PlanKey, build_intent: bool) -> Result<Vec<u8>, (ErrCode, String)> {
+        match self.service.export_plan_bytes(key) {
+            Ok(Some(bytes)) => {
+                self.clear_grant(&key);
+                Ok(bytes)
+            }
+            Ok(None) if build_intent => {
+                if self.try_grant(&key) {
+                    // `PlanNotFound` on an intent pull IS the grant: the
+                    // puller builds; everyone else waits it out below.
+                    Err((
+                        ErrCode::PlanNotFound,
+                        "no plan here; the build grant is yours".to_string(),
+                    ))
+                } else {
+                    Err((
+                        ErrCode::BuildInProgress,
+                        "another node holds the build grant; retry after backoff".to_string(),
+                    ))
+                }
+            }
+            Ok(None) => {
+                Err((ErrCode::PlanNotFound, "no local plan for this fingerprint".to_string()))
+            }
+            Err(e) => Err((ErrCode::Internal, format!("plan export failed: {e}"))),
+        }
+    }
+
+    fn proxy_solve(
+        &self,
+        addr: &str,
+        tenant: &str,
+        key: PlanKey,
+        cols: Vec<Vec<S>>,
+        base_tag: u64,
+        deadline_ms: u32,
+        sink: &Arc<dyn ResponseSink<S>>,
+    ) {
+        let k = cols.len();
+        let job = ProxyJob {
+            addr: addr.to_string(),
+            tenant: tenant.to_string(),
+            key,
+            cols,
+            base_tag,
+            deadline_ms,
+            sink: sink.clone(),
+        };
+        let idx = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        if let Err(e) = self.workers[idx].send(job) {
+            // Worker gone (shutdown): fail the columns instead of
+            // leaving the slot in flight forever.
+            let sink = &e.0.sink;
+            for j in 0..k {
+                sink.deliver(
+                    base_tag | j as u64,
+                    Err(ServeError::Upstream {
+                        code: ErrCode::Internal as u16,
+                        message: "proxy worker unavailable".to_string(),
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// One proxy worker: a private pool of inter-node connections, reused
+/// across jobs, torn down on any transport suspicion.
+fn run_proxy_worker<S: Scalar>(rx: Receiver<ProxyJob<S>>) {
+    let mut clients: HashMap<String, NetClient> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        let k = job.cols.len();
+        let result = (|| -> Result<Vec<Vec<S>>, NetError> {
+            if !clients.contains_key(&job.addr) {
+                clients.insert(job.addr.clone(), NetClient::connect(job.addr.as_str())?);
+            }
+            let client = clients.get_mut(&job.addr).expect("just inserted");
+            let refs: Vec<&[S]> = job.cols.iter().map(|c| c.as_slice()).collect();
+            client.solve_multi(&job.tenant, &job.key, &refs, job.deadline_ms)
+        })();
+        match result {
+            Ok(solved) => {
+                for (j, col) in solved.into_iter().enumerate() {
+                    job.sink.deliver(job.base_tag | j as u64, Ok(col));
+                }
+            }
+            Err(e) => {
+                // Typed refusals leave the connection healthy; anything
+                // else makes its stream state suspect.
+                if !matches!(e, NetError::Remote { .. }) {
+                    clients.remove(&job.addr);
+                }
+                let (code, message) = match e {
+                    NetError::Remote { code, message } => (code as u16, message),
+                    other => (ErrCode::Internal as u16, format!("proxy to {}: {other}", job.addr)),
+                };
+                for j in 0..k {
+                    job.sink.deliver(
+                        job.base_tag | j as u64,
+                        Err(ServeError::Upstream { code, message: message.clone() }),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! recblock-cluster: N solve nodes, one logical service.
+//!
+//! The serve tier ([`recblock_serve`]) answers solves from one process;
+//! the net tier ([`recblock_net`]) puts a TCP boundary in front of it.
+//! This crate turns N such processes into a **sharded cluster**:
+//!
+//! * a seeded consistent-hash [`ring::Ring`] assigns every plan
+//!   fingerprint a primary owner plus replicas, with minimal remapping
+//!   when membership changes;
+//! * RBNET **v2** frames carry membership (`Join`/`Leave`/`RingState`)
+//!   and **warm plan migration** (`PlanPush`/`PlanPull` ship `.rbplan`
+//!   bytes verbatim, checksums and all) — matrices never cross the
+//!   wire, only fingerprints, right-hand sides and preprocessed plans;
+//! * any node accepts any solve: owners serve locally, non-owners proxy
+//!   over pooled inter-node connections or answer a typed
+//!   `Redirect(owner)`;
+//! * first-solve builds are **single-flight cluster-wide**: the primary
+//!   hands out one TTL-bounded build grant per plan, so concurrent cold
+//!   starts across the fleet produce exactly one preprocessing run;
+//! * a draining node hands its warm plans to their successors before
+//!   leaving, and the inter-node path carries the same deterministic
+//!   fault-injection points (`cluster_push`, `cluster_ring`,
+//!   `cluster_build`) as the rest of the stack.
+//!
+//! See `DESIGN.md` §13 for the full protocol walk-through.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod ring;
+
+pub use coordinator::{ClusterConfig, Coordinator, NonOwnerPolicy};
+pub use ring::Ring;
+
+use recblock_faults::FaultPoint;
+use recblock_matrix::{Csr, Scalar};
+use recblock_net::{
+    ClusterHooks, ErrCode, MemberInfo, NetClient, NetConfig, NetCtl, NetError, NetServer,
+    RingStateMsg,
+};
+use recblock_serve::{PlanSource, ServeError, SolveService};
+use recblock_store::PlanKey;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything cluster operations can fail with.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An inter-node exchange failed.
+    Net(NetError),
+    /// The local serve tier refused.
+    Serve(ServeError),
+    /// Listener setup or teardown failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "cluster network error: {e}"),
+            ClusterError::Serve(e) => write!(f, "cluster serve error: {e}"),
+            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<ServeError> for ClusterError {
+    fn from(e: ServeError) -> Self {
+        ClusterError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// How a [`ClusterNode::warm`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// The plan was already resident locally (cache or store).
+    AlreadyWarm,
+    /// This node won the cluster-wide build grant and preprocessed the
+    /// matrix (then pushed the plan to the other owners).
+    Built,
+    /// Pulled a peer's finished plan over the wire — no local build.
+    Pulled,
+    /// Another node built it; we waited until the plan landed here.
+    Waited,
+    /// This node does not own the fingerprint; solves for it will be
+    /// proxied or redirected, so there is nothing to warm.
+    NotOwner,
+    /// Injected fault ([`FaultPoint::ClusterBuild`]): the granted build
+    /// "crashed" before producing a plan. The grant expires after its
+    /// TTL and a later warm attempt recovers.
+    Crashed,
+}
+
+/// One running cluster node: a [`NetServer`] front end with a
+/// [`Coordinator`] attached, plus the control-plane verbs (`join`,
+/// `warm`, `leave`).
+pub struct ClusterNode<S: Scalar> {
+    coordinator: Arc<Coordinator<S>>,
+    service: Arc<SolveService<S>>,
+    ctl: NetCtl,
+    addr: SocketAddr,
+    name: String,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<S: Scalar> ClusterNode<S> {
+    /// Bind `bind_addr` (port 0 works), attach a coordinator built from
+    /// `config`, and start the event loop on its own thread. The node
+    /// starts as a single-member ring; call [`ClusterNode::join`] to
+    /// merge into an existing cluster.
+    pub fn start(
+        bind_addr: &str,
+        mut config: ClusterConfig,
+        net_config: NetConfig,
+        service: Arc<SolveService<S>>,
+    ) -> Result<ClusterNode<S>, ClusterError> {
+        let server = NetServer::bind(bind_addr, net_config, service.clone())?;
+        let addr = server.local_addr()?;
+        if config.advertise_addr.is_empty() {
+            config.advertise_addr = addr.to_string();
+        }
+        let name = config.name.clone();
+        let coordinator = Coordinator::new(config, service.clone());
+        let hooks: Arc<dyn ClusterHooks<S>> = coordinator.clone();
+        let mut server = server.with_cluster(hooks);
+        let ctl = server.ctl();
+        let thread = std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        Ok(ClusterNode { coordinator, service, ctl, addr, name, thread: Some(thread) })
+    }
+
+    /// The address the listener actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's ring identity.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The serve tier behind this node (shared — in-process callers keep
+    /// working alongside the cluster).
+    pub fn service(&self) -> &Arc<SolveService<S>> {
+        &self.service
+    }
+
+    /// The coordinator, for tests that inspect ring or grant state.
+    pub fn coordinator(&self) -> &Arc<Coordinator<S>> {
+        &self.coordinator
+    }
+
+    /// Current ring view.
+    pub fn ring(&self) -> RingStateMsg {
+        self.coordinator.ring_state()
+    }
+
+    /// Join the cluster reachable at `seed_addr`: announce ourselves,
+    /// adopt the merged view, then gossip it to every member so the
+    /// whole fleet converges without a central registry.
+    pub fn join(&self, seed_addr: &str) -> Result<RingStateMsg, ClusterError> {
+        let mut c = NetClient::connect(seed_addr)?;
+        let member =
+            MemberInfo { name: self.name.clone(), addr: self.coordinator.advertise_addr() };
+        let view = c.join(&member)?;
+        let ours = self.coordinator.adopt(&view);
+        self.broadcast_ring(&ours);
+        Ok(self.coordinator.ring_state())
+    }
+
+    /// Push our ring view to every other member, folding their replies
+    /// back in (anti-entropy both ways). Dead peers are skipped.
+    fn broadcast_ring(&self, view: &RingStateMsg) {
+        for m in &view.members {
+            if m.name == self.name {
+                continue;
+            }
+            if let Ok(mut c) = NetClient::connect(m.addr.as_str()) {
+                if let Ok(theirs) = c.ring_state(view) {
+                    self.coordinator.adopt(&theirs);
+                }
+            }
+        }
+    }
+
+    /// Make the plan for `l` warm **on this node, if it owns it**,
+    /// building at most once across the whole cluster:
+    ///
+    /// * non-owners return [`WarmOutcome::NotOwner`] immediately;
+    /// * the primary either finds the plan resident, claims the build
+    ///   grant and builds, or waits for a granted peer's push to land;
+    /// * replicas pull from the primary with *build intent* — exactly
+    ///   one puller is granted the build (`PlanNotFound`), the rest poll
+    ///   through `BuildInProgress` until the plan is pullable.
+    ///
+    /// Every node of a fleet can call this concurrently for the same
+    /// matrix; the grant protocol collapses the fleet-wide work to one
+    /// preprocessing run (asserted by summing `plan_builds` in tests).
+    pub fn warm(&self, l: &Csr<S>) -> Result<WarmOutcome, ClusterError> {
+        let key = PlanKey::of(l);
+        let owners = self.coordinator.owners_of(&key);
+        if owners.len() <= 1 {
+            // Single-member ring (or empty): plain local warm.
+            let src = self.service.warm_status(l)?;
+            return Ok(if src == PlanSource::Built {
+                WarmOutcome::Built
+            } else {
+                WarmOutcome::AlreadyWarm
+            });
+        }
+        if !owners.iter().any(|(n, _)| n == &self.name) {
+            return Ok(WarmOutcome::NotOwner);
+        }
+        if self.service.resolve_key(key)?.is_some() {
+            return Ok(WarmOutcome::AlreadyWarm);
+        }
+        if owners[0].0 == self.name {
+            self.warm_as_primary(l, key, &owners)
+        } else {
+            self.warm_as_replica(l, key, &owners)
+        }
+    }
+
+    fn warm_as_primary(
+        &self,
+        l: &Csr<S>,
+        key: PlanKey,
+        owners: &[(String, String)],
+    ) -> Result<WarmOutcome, ClusterError> {
+        if self.coordinator.try_grant(&key) {
+            // Injected fault: the granted builder dies before building.
+            // The grant is deliberately left to expire — recovery is the
+            // TTL's job, which the chaos suite asserts.
+            if recblock_faults::fires(FaultPoint::ClusterBuild) {
+                return Ok(WarmOutcome::Crashed);
+            }
+            let src = self.service.warm_status(l)?;
+            self.coordinator.clear_grant(&key);
+            self.push_plan_to(&key, &owners[1..]);
+            return Ok(if src == PlanSource::Built {
+                WarmOutcome::Built
+            } else {
+                WarmOutcome::AlreadyWarm
+            });
+        }
+        // A replica holds the grant: wait for its push to land, up to
+        // the grant TTL (after which the grant is stale and ours).
+        let ttl = self.coordinator.config().grant_ttl;
+        let retry = self.coordinator.config().pull_retry;
+        let start = Instant::now();
+        while start.elapsed() < ttl {
+            if self.service.resolve_key(key)?.is_some() {
+                return Ok(WarmOutcome::Waited);
+            }
+            std::thread::sleep(retry);
+        }
+        // The builder never delivered; claim the now-expired grant.
+        let src = self.service.warm_status(l)?;
+        self.coordinator.clear_grant(&key);
+        self.push_plan_to(&key, &owners[1..]);
+        Ok(if src == PlanSource::Built { WarmOutcome::Built } else { WarmOutcome::AlreadyWarm })
+    }
+
+    fn warm_as_replica(
+        &self,
+        l: &Csr<S>,
+        key: PlanKey,
+        owners: &[(String, String)],
+    ) -> Result<WarmOutcome, ClusterError> {
+        let primary_addr = owners[0].1.as_str();
+        let retry = self.coordinator.config().pull_retry;
+        let mut client: Option<NetClient> = None;
+        for _ in 0..self.coordinator.config().pull_attempts.max(1) {
+            if client.is_none() {
+                match NetClient::connect(primary_addr) {
+                    Ok(c) => client = Some(c),
+                    Err(_) => {
+                        // Primary unreachable: build locally, degraded
+                        // but correct (the plan is derivable from `l`).
+                        self.service.warm_status(l)?;
+                        return Ok(WarmOutcome::Built);
+                    }
+                }
+            }
+            match client.as_mut().expect("connected above").pull_plan(&key, true) {
+                Ok(bytes) => {
+                    self.service.import_plan_bytes(key, &bytes)?;
+                    self.service
+                        .shared_metrics()
+                        .cluster_plans_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(WarmOutcome::Pulled);
+                }
+                Err(NetError::Remote { code: ErrCode::PlanNotFound, .. }) => {
+                    // The grant is ours. (Or we crash first, per fault.)
+                    if recblock_faults::fires(FaultPoint::ClusterBuild) {
+                        return Ok(WarmOutcome::Crashed);
+                    }
+                    self.service.warm_status(l)?;
+                    self.push_plan_to(&key, owners);
+                    return Ok(WarmOutcome::Built);
+                }
+                Err(NetError::Remote { code: ErrCode::BuildInProgress, .. }) => {
+                    std::thread::sleep(retry);
+                }
+                Err(NetError::Remote { .. }) => {
+                    // Typed but unexpected (e.g. the primary is not in a
+                    // cluster): fall back to a local build.
+                    self.service.warm_status(l)?;
+                    return Ok(WarmOutcome::Built);
+                }
+                Err(_) => {
+                    // Transport trouble: reconnect on the next attempt.
+                    client = None;
+                    std::thread::sleep(retry);
+                }
+            }
+        }
+        // The builder is wedged past our patience: build locally.
+        self.service.warm_status(l)?;
+        Ok(WarmOutcome::Built)
+    }
+
+    /// Ship our copy of `key` to each of `targets` (skipping ourselves).
+    /// Best-effort: a dead target just misses its copy — pull-on-warm
+    /// and grant TTLs recover later.
+    fn push_plan_to(&self, key: &PlanKey, targets: &[(String, String)]) {
+        let bytes = match self.service.export_plan_bytes(*key) {
+            Ok(Some(b)) => b,
+            _ => return,
+        };
+        let metrics = self.service.shared_metrics();
+        for (name, addr) in targets {
+            if name == &self.name {
+                continue;
+            }
+            // Injected fault: the push is silently dropped before the
+            // bytes leave this node (lost datagram semantics). The
+            // target simply never receives its copy.
+            if recblock_faults::fires(FaultPoint::ClusterPush) {
+                continue;
+            }
+            if let Ok(mut c) = NetClient::connect(addr.as_str()) {
+                if c.push_plan(key, &bytes).is_ok() {
+                    metrics.cluster_plans_pushed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Leave the cluster gracefully: hand every warm plan to the owners
+    /// it will have after our departure, announce the leave to every
+    /// peer, then drain the listener and stop.
+    pub fn leave(mut self) -> Result<(), ClusterError> {
+        let ring_after = {
+            let mut r = self.coordinator.ring_snapshot();
+            r.remove(&self.name);
+            r
+        };
+        if !ring_after.is_empty() {
+            for key in self.service.warm_keys() {
+                let successors: Vec<(String, String)> = ring_after
+                    .owners(&key)
+                    .iter()
+                    .map(|(n, a)| (n.to_string(), a.to_string()))
+                    .collect();
+                self.push_plan_to(&key, &successors);
+            }
+            for (name, addr) in ring_after.members() {
+                if name == self.name {
+                    continue;
+                }
+                if let Ok(mut c) = NetClient::connect(addr) {
+                    let _ = c.leave(&self.name);
+                }
+            }
+        }
+        self.coordinator.remove_member(&self.name.clone());
+        self.shutdown();
+        Ok(())
+    }
+
+    /// Stop the event loop without the leave protocol (simulates a
+    /// crash in tests; peers keep a stale view until they notice).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.ctl.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<S: Scalar> Drop for ClusterNode<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

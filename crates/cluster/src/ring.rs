@@ -1,0 +1,263 @@
+//! The consistent-hash ring mapping plan fingerprints to owner nodes.
+//!
+//! Every member contributes `vnodes` seeded virtual points on a `u64`
+//! circle; a key's **primary** owner is the member of the first point at
+//! or clockwise-after the key's hash, and its replica set is the next
+//! `replicas - 1` *distinct* members on the walk. Placement therefore
+//! moves only the keys adjacent to the joining/leaving member's points —
+//! the classic ~`1/N` minimal-remap property, which
+//! `tests/ring_properties.rs` pins down with exact assertions rather
+//! than statistics.
+//!
+//! The ring is **deterministic in its inputs**: the same `(seed, vnodes,
+//! replicas, member set)` always reconstructs byte-identical placement,
+//! so a `RingState` frame only has to carry the configuration and the
+//! member list, never the points.
+
+use recblock_net::{MemberInfo, RingStateMsg};
+use recblock_store::PlanKey;
+use std::collections::BTreeMap;
+
+/// SplitMix64: the one mixing primitive everything here derives from.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a name, as the stable starting point for vnode hashes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Consistent-hash ring over the current member set.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    seed: u64,
+    vnodes: u32,
+    replicas: u16,
+    epoch: u64,
+    /// `name -> addr`, sorted so member indices are reproducible.
+    members: BTreeMap<String, String>,
+    /// `(point, member index)` sorted by point.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// An empty ring with the given placement configuration.
+    pub fn new(seed: u64, vnodes: u32, replicas: u16) -> Ring {
+        Ring {
+            seed,
+            vnodes: vnodes.max(1),
+            replicas: replicas.max(1),
+            epoch: 0,
+            members: BTreeMap::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Reconstruct the ring a peer described. Placement is identical on
+    /// every node that applies the same message.
+    pub fn from_msg(msg: &RingStateMsg) -> Ring {
+        let mut ring = Ring::new(msg.seed, msg.vnodes, msg.replicas);
+        ring.epoch = msg.epoch;
+        for m in &msg.members {
+            ring.members.insert(m.name.clone(), m.addr.clone());
+        }
+        ring.rebuild();
+        ring
+    }
+
+    /// The wire description of this ring.
+    pub fn to_msg(&self) -> RingStateMsg {
+        RingStateMsg {
+            epoch: self.epoch,
+            seed: self.seed,
+            vnodes: self.vnodes,
+            replicas: self.replicas,
+            members: self
+                .members
+                .iter()
+                .map(|(name, addr)| MemberInfo { name: name.clone(), addr: addr.clone() })
+                .collect(),
+        }
+    }
+
+    /// Add or re-address a member. Returns `true` (and bumps the epoch)
+    /// when the view actually changed.
+    pub fn insert(&mut self, name: &str, addr: &str) -> bool {
+        if self.members.get(name).map(String::as_str) == Some(addr) {
+            return false;
+        }
+        self.members.insert(name.to_string(), addr.to_string());
+        self.epoch += 1;
+        self.rebuild();
+        true
+    }
+
+    /// Remove a member. Returns `true` (and bumps the epoch) when it was
+    /// present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        if self.members.remove(name).is_none() {
+            return false;
+        }
+        self.epoch += 1;
+        self.rebuild();
+        true
+    }
+
+    /// Monotonic view counter: every membership change bumps it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// No members yet?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Replication factor (primary included).
+    pub fn replicas(&self) -> u16 {
+        self.replicas
+    }
+
+    /// The advertised address of `name`, if it is a member.
+    pub fn addr_of(&self, name: &str) -> Option<&str> {
+        self.members.get(name).map(String::as_str)
+    }
+
+    /// All members as `(name, addr)` in name order.
+    pub fn members(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.members.iter().map(|(n, a)| (n.as_str(), a.as_str()))
+    }
+
+    /// Where on the circle a plan key lands.
+    pub fn key_point(&self, key: &PlanKey) -> u64 {
+        let f = &key.structure;
+        let mut h = splitmix64(self.seed ^ f.hash);
+        h = splitmix64(h ^ key.values);
+        h = splitmix64(h ^ (f.nrows as u64) ^ (f.nnz as u64).rotate_left(32));
+        h
+    }
+
+    /// The owner set for `key`: primary first, then up to `replicas - 1`
+    /// distinct successors clockwise. Empty only when the ring is empty.
+    pub fn owners(&self, key: &PlanKey) -> Vec<(&str, &str)> {
+        self.owners_at(self.key_point(key))
+    }
+
+    /// Owner set for a raw circle position (the proptest harness walks
+    /// synthetic points directly).
+    pub fn owners_at(&self, point: u64) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let want = (self.replicas as usize).min(self.members.len());
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let names: Vec<&String> = self.members.keys().collect();
+        for i in 0..self.points.len() {
+            let (_, midx) = self.points[(start + i) % self.points.len()];
+            let name = names[midx as usize].as_str();
+            if out.iter().any(|(n, _)| *n == name) {
+                continue;
+            }
+            out.push((name, self.members[name].as_str()));
+            if out.len() == want {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The primary owner of `key` (`None` on an empty ring).
+    pub fn primary(&self, key: &PlanKey) -> Option<(&str, &str)> {
+        self.owners(key).first().copied()
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points.reserve(self.members.len() * self.vnodes as usize);
+        for (midx, name) in self.members.keys().enumerate() {
+            let base = splitmix64(self.seed ^ fnv1a(name.as_bytes()));
+            for v in 0..self.vnodes {
+                self.points.push((splitmix64(base ^ v as u64), midx as u32));
+            }
+        }
+        self.points.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recblock_matrix::Fingerprint;
+
+    fn key(i: u64) -> PlanKey {
+        PlanKey {
+            structure: Fingerprint { nrows: 100, ncols: 100, nnz: 300, hash: splitmix64(i) },
+            values: splitmix64(i ^ 0xDEAD_BEEF),
+        }
+    }
+
+    #[test]
+    fn deterministic_reconstruction_from_msg() {
+        let mut a = Ring::new(7, 64, 2);
+        a.insert("alpha", "10.0.0.1:4000");
+        a.insert("beta", "10.0.0.2:4000");
+        a.insert("gamma", "10.0.0.3:4000");
+        let b = Ring::from_msg(&a.to_msg());
+        for i in 0..200 {
+            assert_eq!(a.owners(&key(i)), b.owners(&key(i)));
+        }
+        assert_eq!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn owner_sets_are_distinct_and_sized() {
+        let mut r = Ring::new(1, 64, 3);
+        r.insert("a", "a:1");
+        r.insert("b", "b:1");
+        assert_eq!(r.owners(&key(5)).len(), 2, "capped by member count");
+        r.insert("c", "c:1");
+        r.insert("d", "d:1");
+        for i in 0..100 {
+            let owners = r.owners(&key(i));
+            assert_eq!(owners.len(), 3);
+            let mut names: Vec<_> = owners.iter().map(|(n, _)| *n).collect();
+            names.dedup();
+            assert_eq!(names.len(), 3, "owners must be distinct members");
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = Ring::new(1, 64, 2);
+        assert!(r.owners(&key(1)).is_empty());
+        assert!(r.primary(&key(1)).is_none());
+    }
+
+    #[test]
+    fn readdressing_a_member_bumps_epoch_only_when_changed() {
+        let mut r = Ring::new(1, 64, 2);
+        assert!(r.insert("a", "a:1"));
+        assert!(!r.insert("a", "a:1"), "no-op insert must not churn the view");
+        let e = r.epoch();
+        assert!(r.insert("a", "a:2"), "re-addressing is a view change");
+        assert_eq!(r.epoch(), e + 1);
+        assert!(!r.remove("ghost"));
+        assert!(r.remove("a"));
+        assert!(r.is_empty());
+    }
+}

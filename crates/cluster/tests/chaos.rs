@@ -1,0 +1,180 @@
+//! Armed fault injection on the inter-node path: dropped plan pushes,
+//! stale ring views, and a build-grant holder that crashes mid-build.
+//!
+//! The invariant under every fault is the resilience contract the rest
+//! of the stack already obeys: clients get **correct answers or typed
+//! errors**, never hangs, crashes or silent corruption — and the
+//! cluster converges back to healthy once the fault clears.
+//!
+//! Compiled only with `--features faults`; serialized on a mutex
+//! because the fault plan is process global (all three "nodes" share
+//! this process).
+
+#![cfg(feature = "faults")]
+
+use recblock_cluster::{ClusterConfig, ClusterNode, WarmOutcome};
+use recblock_faults::{FaultPlan, FaultPoint, Trigger};
+use recblock_matrix::generate;
+use recblock_net::{ErrCode, NetClient, NetConfig, NetError};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn chaos_config(i: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::new(format!("chaos-{i}"));
+    c.replicas = 2;
+    c.grant_ttl = Duration::from_millis(300);
+    c.pull_retry = Duration::from_millis(10);
+    c.pull_attempts = 200;
+    c
+}
+
+fn start_cluster(n: usize) -> Vec<ClusterNode<f64>> {
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(2)));
+        nodes.push(
+            ClusterNode::start("127.0.0.1:0", chaos_config(i), NetConfig::default(), service)
+                .expect("start node"),
+        );
+    }
+    let seed_addr = nodes[0].addr().to_string();
+    for node in &nodes[1..] {
+        node.join(&seed_addr).expect("join");
+    }
+    nodes
+}
+
+fn by_name<'a>(nodes: &'a [ClusterNode<f64>], name: &str) -> &'a ClusterNode<f64> {
+    nodes.iter().find(|n| n.name() == name).expect("named node")
+}
+
+fn total_builds(nodes: &[ClusterNode<f64>]) -> u64 {
+    nodes.iter().map(|n| n.service().metrics().plan_builds).sum()
+}
+
+/// The granted builder "crashes" before building (owner crash
+/// mid-migration). The grant's TTL must recover: the next warm attempt
+/// waits out `BuildInProgress`, claims the expired grant and builds —
+/// exactly once in total.
+#[test]
+fn crashed_build_grant_recovers_after_ttl() {
+    let _guard = fault_lock();
+    let nodes = start_cluster(3);
+    let l = generate::random_lower::<f64>(300, 4.0, 700);
+    let key = PlanKey::of(&l);
+    let owners = nodes[0].coordinator().owners_of(&key);
+    let replica = by_name(&nodes, &owners[1].0);
+
+    FaultPlan::new(31).with(FaultPoint::ClusterBuild, Trigger::OneShot).install();
+    let first = replica.warm(&l).expect("faulted warm");
+    assert_eq!(first, WarmOutcome::Crashed, "the grant holder must die mid-build");
+    assert_eq!(total_builds(&nodes), 0, "the crashed grantee built nothing");
+
+    // Second attempt: the live grant answers BuildInProgress until the
+    // TTL expires, then this caller is granted and builds.
+    let second = replica.warm(&l).expect("recovery warm");
+    FaultPlan::clear();
+    assert_eq!(second, WarmOutcome::Built, "the expired grant must be claimable");
+    assert_eq!(total_builds(&nodes), 1, "still exactly one build cluster-wide");
+    assert_eq!(recblock_faults::fired(FaultPoint::ClusterBuild), 1);
+
+    // And the plan serves from every node.
+    let rhs: Vec<f64> = (0..l.nrows()).map(|r| (r as f64 * 0.01).cos()).collect();
+    for node in &nodes {
+        let mut c = NetClient::connect(node.addr()).expect("connect");
+        c.solve_multi("acme", &key, &[&rhs], 0).expect("post-recovery solve");
+    }
+}
+
+/// Replica pushes are silently dropped: the replica stays cold. A solve
+/// routed to it answers a *typed* `PlanNotFound` (degraded, never a
+/// hang), and a later pull — pushes and pulls are independent paths —
+/// heals it.
+#[test]
+fn dropped_push_degrades_typed_then_heals_by_pull() {
+    let _guard = fault_lock();
+    let nodes = start_cluster(3);
+    let l = generate::random_lower::<f64>(280, 4.0, 701);
+    let key = PlanKey::of(&l);
+    let owners = nodes[0].coordinator().owners_of(&key);
+    let primary = by_name(&nodes, &owners[0].0);
+    let replica = by_name(&nodes, &owners[1].0);
+
+    FaultPlan::new(32).with(FaultPoint::ClusterPush, Trigger::Always).install();
+    let outcome = primary.warm(&l).expect("primary warm");
+    FaultPlan::clear();
+    assert_eq!(outcome, WarmOutcome::Built);
+    assert!(recblock_faults::fired(FaultPoint::ClusterPush) >= 1, "the push was dropped");
+    assert_eq!(replica.service().metrics().cluster_plans_received, 0);
+
+    // The cold replica refuses its own shard typed, not silently.
+    let rhs: Vec<f64> = (0..l.nrows()).map(|r| (r as f64 * 0.02).sin()).collect();
+    let mut c = NetClient::connect(replica.addr()).expect("connect replica");
+    let err = c.solve_multi("acme", &key, &[&rhs], 0).expect_err("replica is cold");
+    match err {
+        NetError::Remote { code, .. } => assert_eq!(code, ErrCode::PlanNotFound),
+        other => panic!("expected typed PlanNotFound, got {other:?}"),
+    }
+
+    // Healing: warm on the replica pulls the primary's copy.
+    assert_eq!(replica.warm(&l).expect("healing warm"), WarmOutcome::Pulled);
+    let mut c = NetClient::connect(replica.addr()).expect("reconnect replica");
+    c.solve_multi("acme", &key, &[&rhs], 0).expect("healed replica serves");
+    assert_eq!(total_builds(&nodes), 1, "healing pulled, never rebuilt");
+}
+
+/// One node misses a ring broadcast and keeps serving from a stale
+/// view. Requests through it still terminate in a correct answer or a
+/// typed error (stale routing proxies one hop further), and re-gossip
+/// converges the view once the fault clears.
+#[test]
+fn stale_ring_view_stays_correct_and_converges() {
+    let _guard = fault_lock();
+    // Two joined nodes; the third joins while B's view updates fail.
+    let mut nodes = start_cluster(2);
+    let service = Arc::new(SolveService::<f64>::new(ServeConfig::default().with_workers(2)));
+    let late = ClusterNode::start("127.0.0.1:0", chaos_config(2), NetConfig::default(), service)
+        .expect("start late node");
+
+    FaultPlan::new(33).with(FaultPoint::ClusterRing, Trigger::Always).install();
+    late.join(&nodes[0].addr().to_string()).expect("join under fault");
+    FaultPlan::clear();
+    nodes.push(late);
+
+    assert!(recblock_faults::fired(FaultPoint::ClusterRing) >= 1);
+    assert_eq!(nodes[0].ring().members.len(), 3, "the seed handled the Join directly");
+    assert_eq!(nodes[1].ring().members.len(), 2, "the bystander missed the broadcast");
+
+    // Solves through the stale node terminate: success or typed error.
+    let l = generate::random_lower::<f64>(260, 4.0, 702);
+    let key = PlanKey::of(&l);
+    for node in &nodes {
+        node.warm(&l).expect("warm");
+    }
+    let rhs: Vec<f64> = (0..l.nrows()).map(|r| (r as f64 * 0.03).sin()).collect();
+    let mut c = NetClient::connect(nodes[1].addr()).expect("connect stale node");
+    match c.solve_multi("acme", &key, &[&rhs], 0) {
+        Ok(cols) => assert_eq!(cols.len(), 1),
+        Err(NetError::Remote { code, .. }) => assert!(
+            matches!(code, ErrCode::PlanNotFound | ErrCode::Redirect),
+            "stale view may degrade but only typed: {code}"
+        ),
+        Err(other) => panic!("stale view must not break transport: {other:?}"),
+    }
+
+    // Convergence: a fresh gossip round repairs the stale view.
+    nodes[2].join(&nodes[0].addr().to_string()).expect("re-gossip");
+    assert_eq!(nodes[1].ring().members.len(), 3, "anti-entropy repaired the view");
+    for node in &nodes {
+        node.warm(&l).expect("re-warm");
+        let mut c = NetClient::connect(node.addr()).expect("connect");
+        c.solve_multi("acme", &key, &[&rhs], 0).expect("converged cluster serves");
+    }
+}

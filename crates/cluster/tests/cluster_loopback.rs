@@ -1,0 +1,321 @@
+//! Acceptance tests for the cluster tier: a real 3-node in-process
+//! cluster (three event loops, three serve tiers, TCP between them).
+//!
+//! What must hold:
+//! * any node accepts a Solve for any fingerprint and answers
+//!   **bit-exact** with the single-process path;
+//! * a cold start warmed from every node concurrently builds the plan
+//!   **exactly once cluster-wide** (asserted by summing `plan_builds`
+//!   across all services);
+//! * after killing a plan's primary owner, a replica serves from its
+//!   **migrated** `.rbplan` without rebuilding;
+//! * a graceful leave hands plans to successors first;
+//! * no matrix bytes ever cross the wire (requests carry fingerprints,
+//!   migration carries plans — enforced here by keying solves off
+//!   fingerprints the serving node never saw as a matrix).
+
+use recblock::{RecBlockSolver, SolverOptions};
+use recblock_cluster::{ClusterConfig, ClusterNode, NonOwnerPolicy, WarmOutcome};
+use recblock_matrix::{generate, Csr};
+use recblock_net::frame::{self, FrameKind, HEADER_LEN};
+use recblock_net::{ErrCode, NetClient, NetConfig, NetError};
+use recblock_serve::{ServeConfig, SolveService};
+use recblock_store::PlanKey;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default().with_workers(2)
+}
+
+/// Start `n` nodes, join them into one ring, return them.
+fn start_cluster(n: usize, config: fn(usize) -> ClusterConfig) -> Vec<ClusterNode<f64>> {
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let service = Arc::new(SolveService::<f64>::new(serve_config()));
+        let node = ClusterNode::start("127.0.0.1:0", config(i), NetConfig::default(), service)
+            .expect("start node");
+        nodes.push(node);
+    }
+    let seed_addr = nodes[0].addr().to_string();
+    for node in &nodes[1..] {
+        node.join(&seed_addr).expect("join cluster");
+    }
+    for node in &nodes {
+        assert_eq!(node.ring().members.len(), n, "every node sees the full ring");
+    }
+    nodes
+}
+
+fn default_config(i: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::new(format!("node-{i}"));
+    c.replicas = 2;
+    c.pull_retry = Duration::from_millis(5);
+    c
+}
+
+fn rhs_for(n: usize, seed: usize) -> Vec<f64> {
+    (0..n).map(|r| ((r * 31 + seed * 17 + 1) as f64 * 0.013).sin()).collect()
+}
+
+fn connect(node: &ClusterNode<f64>) -> NetClient {
+    let mut c = NetClient::connect(node.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+fn total_builds(nodes: &[ClusterNode<f64>]) -> u64 {
+    nodes.iter().map(|n| n.service().metrics().plan_builds).sum()
+}
+
+fn warm_everywhere(nodes: &[ClusterNode<f64>], l: &Csr<f64>) {
+    for node in nodes {
+        node.warm(l).expect("warm");
+    }
+}
+
+/// The node whose name is `name`.
+fn by_name<'a>(nodes: &'a [ClusterNode<f64>], name: &str) -> &'a ClusterNode<f64> {
+    nodes.iter().find(|n| n.name() == name).expect("member name resolves to a node")
+}
+
+#[test]
+fn any_node_answers_any_fingerprint_bit_exact() {
+    let nodes = start_cluster(3, default_config);
+    let matrices: Vec<Csr<f64>> =
+        (0..3).map(|i| generate::random_lower::<f64>(240 + 40 * i, 4.0, 90 + i as u64)).collect();
+    for l in &matrices {
+        warm_everywhere(&nodes, l);
+    }
+    assert_eq!(
+        total_builds(&nodes),
+        matrices.len() as u64,
+        "each plan must be built exactly once across the cluster"
+    );
+
+    for (mi, l) in matrices.iter().enumerate() {
+        let key = PlanKey::of(l);
+        let rhs = rhs_for(l.nrows(), mi);
+        // The ground truth: the plain single-process solver.
+        let reference =
+            RecBlockSolver::new(l, SolverOptions::default()).expect("build").solve(&rhs).unwrap();
+        for node in &nodes {
+            let mut client = connect(node);
+            let got = client
+                .solve_multi("acme", &key, &[&rhs], 0)
+                .unwrap_or_else(|e| panic!("{} failed for matrix {mi}: {e}", node.name()));
+            assert_eq!(got.len(), 1);
+            let bits_match =
+                got[0].iter().zip(reference.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "{} answer differs from single-process path", node.name());
+        }
+    }
+    // Proxying happened: at least one node did not own some matrix.
+    let proxied: u64 = nodes.iter().map(|n| n.service().metrics().cluster_proxied).sum();
+    assert!(proxied > 0, "3 matrices x 3 nodes with 2 replicas must proxy at least once");
+}
+
+#[test]
+fn concurrent_cold_start_builds_exactly_once() {
+    let nodes = Arc::new(start_cluster(3, default_config));
+    let l = Arc::new(generate::random_lower::<f64>(400, 4.0, 77));
+    let barrier = Arc::new(Barrier::new(nodes.len()));
+    let mut handles = Vec::new();
+    for i in 0..nodes.len() {
+        let (nodes, l, barrier) = (nodes.clone(), l.clone(), barrier.clone());
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            nodes[i].warm(&l).expect("warm")
+        }));
+    }
+    let outcomes: Vec<WarmOutcome> =
+        handles.into_iter().map(|h| h.join().expect("warm thread")).collect();
+    assert_eq!(
+        total_builds(&nodes),
+        1,
+        "cluster-wide single flight: one build for N concurrent cold warms (outcomes: {outcomes:?})"
+    );
+    // And the plan actually works from any node afterwards.
+    let key = PlanKey::of(&l);
+    let rhs = rhs_for(l.nrows(), 3);
+    for node in nodes.iter() {
+        let mut client = connect(node);
+        client.solve_multi("acme", &key, &[&rhs], 0).expect("post-warm solve");
+    }
+}
+
+#[test]
+fn killed_owner_replica_serves_migrated_plan_without_rebuild() {
+    let mut nodes = start_cluster(3, default_config);
+    let l = generate::random_lower::<f64>(350, 4.0, 123);
+    let key = PlanKey::of(&l);
+    warm_everywhere(&nodes, &l);
+    assert_eq!(total_builds(&nodes), 1);
+
+    let owners = nodes[0].coordinator().owners_of(&key);
+    assert_eq!(owners.len(), 2, "replicas = 2");
+    let (primary_name, replica_name) = (owners[0].0.clone(), owners[1].0.clone());
+
+    // The replica got its copy over the wire, not by building.
+    let replica_before = by_name(&nodes, &replica_name).service().metrics().plan_builds;
+
+    let reference =
+        RecBlockSolver::new(&l, SolverOptions::default()).expect("build").solve(&rhs_for(350, 9));
+
+    // Kill the primary abruptly: no leave protocol, peers keep a stale view.
+    let pos = nodes.iter().position(|n| n.name() == primary_name).unwrap();
+    nodes.remove(pos).stop();
+
+    let replica = by_name(&nodes, &replica_name);
+    let mut client = connect(replica);
+    let rhs = rhs_for(350, 9);
+    let got = client.solve_multi("acme", &key, &[&rhs], 0).expect("replica serves after crash");
+    let expected = reference.unwrap();
+    assert!(
+        got[0].iter().zip(expected.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "replica answer must stay bit-exact"
+    );
+    assert_eq!(
+        replica.service().metrics().plan_builds,
+        replica_before,
+        "the replica must serve its migrated plan, not rebuild"
+    );
+}
+
+#[test]
+fn graceful_leave_hands_plans_to_successors() {
+    let mut nodes = start_cluster(3, default_config);
+    let l = generate::random_lower::<f64>(300, 4.0, 55);
+    let key = PlanKey::of(&l);
+    warm_everywhere(&nodes, &l);
+
+    let owners = nodes[0].coordinator().owners_of(&key);
+    let primary_name = owners[0].0.clone();
+    let pos = nodes.iter().position(|n| n.name() == primary_name).unwrap();
+    let leaver = nodes.remove(pos);
+    // The survivors must serve from handed-over plans, not rebuild.
+    let builds_before = total_builds(&nodes);
+    leaver.leave().expect("graceful leave");
+
+    for node in &nodes {
+        assert_eq!(node.ring().members.len(), 2, "leave announced to every peer");
+        let mut client = connect(node);
+        let rhs = rhs_for(300, 4);
+        client
+            .solve_multi("acme", &key, &[&rhs], 0)
+            .unwrap_or_else(|e| panic!("{} cannot serve after the owner left: {e}", node.name()));
+    }
+    assert_eq!(total_builds(&nodes), builds_before, "the handed-over plans are not rebuilt");
+}
+
+#[test]
+fn redirect_policy_names_the_owner() {
+    let nodes = start_cluster(3, |i| {
+        let mut c = default_config(i);
+        c.non_owner = NonOwnerPolicy::Redirect;
+        c
+    });
+    let l = generate::random_lower::<f64>(260, 4.0, 42);
+    let key = PlanKey::of(&l);
+    warm_everywhere(&nodes, &l);
+
+    let owners = nodes[0].coordinator().owners_of(&key);
+    let owner_names: Vec<&str> = owners.iter().map(|(n, _)| n.as_str()).collect();
+    let outsider = nodes
+        .iter()
+        .find(|n| !owner_names.contains(&n.name()))
+        .expect("3 nodes, 2 replicas: someone is not an owner");
+
+    let mut client = connect(outsider);
+    let rhs = rhs_for(260, 7);
+    let err = client.solve_multi("acme", &key, &[&rhs], 0).expect_err("outsider must redirect");
+    let NetError::Remote { code, message } = err else { panic!("expected typed redirect") };
+    assert_eq!(code, ErrCode::Redirect);
+    assert_eq!(message, owners[0].1, "redirect message carries the owner's address");
+    assert!(outsider.service().metrics().cluster_redirects >= 1);
+
+    // Following the redirect succeeds.
+    let mut owner_client = NetClient::connect(message.as_str()).expect("dial redirect target");
+    owner_client.solve_multi::<f64>("acme", &key, &[&rhs], 0).expect("owner serves");
+}
+
+#[test]
+fn v1_stamped_header_on_v2_kind_gets_typed_bad_request() {
+    let nodes = start_cluster(2, default_config);
+    let mut stream = TcpStream::connect(nodes[0].addr()).expect("raw connect");
+
+    // A well-formed PlanPull whose version byte is forced back to 1: an
+    // old client echoing bytes it does not understand must get a typed
+    // refusal, not a dropped connection.
+    let key = PlanKey::of(&generate::random_lower::<f64>(64, 3.0, 1));
+    let mut buf = Vec::new();
+    frame::encode_plan_pull(&mut buf, 7, &key, false);
+    buf[4] = 1; // version byte: pretend protocol v1
+    stream.write_all(&buf).unwrap();
+
+    let mut head = [0u8; HEADER_LEN];
+    stream.read_exact(&mut head).expect("typed reply, not a hangup");
+    let h = frame::decode_header(&head, u32::MAX).unwrap().unwrap();
+    assert_eq!(h.kind, FrameKind::Err);
+    assert_eq!(h.tag, 7);
+    let mut payload = vec![0u8; h.payload_len as usize];
+    stream.read_exact(&mut payload).unwrap();
+    let (code, msg) = frame::parse_err(&payload).unwrap();
+    assert_eq!(code, ErrCode::BadRequest);
+    assert!(msg.contains("v2"), "message explains the version skew: {msg}");
+
+    // The connection survives: a Ping still answers.
+    let mut ping = Vec::new();
+    frame::encode_header(&mut ping, FrameKind::Ping, 8, 0);
+    stream.write_all(&ping).unwrap();
+    stream.read_exact(&mut head).expect("pong after typed refusal");
+    let h = frame::decode_header(&head, u32::MAX).unwrap().unwrap();
+    assert_eq!(h.kind, FrameKind::Pong);
+}
+
+#[test]
+fn cluster_frames_on_standalone_server_get_typed_refusal() {
+    // A server without a coordinator attached must refuse v2 cluster
+    // frames with BadRequest, not crash or hang.
+    use recblock_net::NetServer;
+    let service = Arc::new(SolveService::<f64>::new(serve_config()));
+    let mut server = NetServer::bind("127.0.0.1:0", NetConfig::default(), service).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let ctl = server.ctl();
+    let handle = thread::spawn(move || server.run());
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    let err = client
+        .join(&recblock_net::MemberInfo { name: "x".into(), addr: "y:1".into() })
+        .expect_err("standalone server refuses Join");
+    match err {
+        NetError::Remote { code, message } => {
+            assert_eq!(code, ErrCode::BadRequest);
+            assert!(message.contains("not part of a cluster"), "{message}");
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+    ctl.shutdown();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn membership_health_follows_drain() {
+    let nodes = start_cluster(2, default_config);
+    let mut client = connect(&nodes[0]);
+    let stat = client.stat().expect("stat");
+    assert_eq!(stat.health, 0, "healthy while serving");
+    assert!(!stat.draining);
+    drop(client);
+    // `leave` drains the listener; afterwards the port stops answering.
+    let addr = nodes[0].addr();
+    let mut it = nodes.into_iter();
+    it.next().unwrap().leave().expect("leave");
+    assert!(NetClient::connect(addr).is_err(), "a departed node's listener must be closed");
+    // The survivor's ring no longer lists the departed node.
+    let survivor = it.next().unwrap();
+    assert_eq!(survivor.ring().members.len(), 1);
+}

@@ -1,0 +1,166 @@
+//! Property tests over the consistent-hash ring (satellite of the
+//! cluster tier): key distribution stays near-ideal, and membership
+//! changes remap only the keys the moved points actually cover — with
+//! *exact* ownership assertions (every reassigned key's new primary IS
+//! the joiner; every orphaned key's old primary WAS the leaver), not
+//! just statistical bounds.
+
+use proptest::prelude::*;
+use recblock_cluster::Ring;
+use recblock_matrix::Fingerprint;
+use recblock_store::PlanKey;
+
+const VNODES: u32 = 192;
+const KEYS: u64 = 4_000;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn key(i: u64) -> PlanKey {
+    PlanKey {
+        structure: Fingerprint {
+            nrows: (i % 977 + 8) as usize,
+            ncols: (i % 977 + 8) as usize,
+            nnz: (i % 4093 + 16) as usize,
+            hash: splitmix64(i),
+        },
+        values: splitmix64(i ^ 0x5A5A_5A5A_5A5A_5A5A),
+    }
+}
+
+fn ring_of(seed: u64, members: usize, replicas: u16) -> Ring {
+    let mut r = Ring::new(seed, VNODES, replicas);
+    for m in 0..members {
+        r.insert(&format!("node-{m:02}"), &format!("10.0.0.{m}:4000"));
+    }
+    r
+}
+
+fn primary_of(r: &Ring, k: &PlanKey) -> String {
+    r.primary(k).expect("non-empty ring").0.to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Load balance: with generous vnodes, no member's share of primary
+    // ownership exceeds 1.3x the ideal 1/N.
+    #[test]
+    fn primary_load_stays_within_1_3x_of_ideal(
+        seed in 0u64..1_000,
+        members in 2usize..12,
+    ) {
+        let r = ring_of(seed, members, 2);
+        let mut counts = std::collections::HashMap::<String, u64>::new();
+        for i in 0..KEYS {
+            *counts.entry(primary_of(&r, &key(i))).or_insert(0) += 1;
+        }
+        let ideal = KEYS as f64 / members as f64;
+        for (name, count) in &counts {
+            prop_assert!(
+                (*count as f64) <= ideal * 1.3,
+                "{name} owns {count} of {KEYS} keys; ideal {ideal:.0}, cap {:.0}",
+                ideal * 1.3
+            );
+        }
+        prop_assert_eq!(counts.len(), members, "every member owns something");
+    }
+
+    // Join remaps minimally AND exactly: every key whose primary changed
+    // now belongs to the joiner (nothing shuffles between old members),
+    // and the moved fraction stays near 1/(N+1).
+    #[test]
+    fn join_remaps_only_onto_the_joiner(
+        seed in 0u64..1_000,
+        members in 2usize..10,
+    ) {
+        let before = ring_of(seed, members, 2);
+        let mut after = before.clone();
+        after.insert("node-99", "10.0.9.9:4000");
+
+        let mut moved = 0u64;
+        for i in 0..KEYS {
+            let k = key(i);
+            let (old, new) = (primary_of(&before, &k), primary_of(&after, &k));
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(
+                    new.as_str(), "node-99",
+                    "a key moved between two surviving members on join"
+                );
+            }
+        }
+        let ideal = KEYS as f64 / (members + 1) as f64;
+        prop_assert!(moved > 0, "the joiner must take some keys");
+        prop_assert!(
+            (moved as f64) <= ideal * 1.5,
+            "join moved {moved} keys; ideal {ideal:.0}"
+        );
+    }
+
+    // Leave is the mirror image: every key whose primary changed was
+    // owned by the leaver, and survivors keep everything else untouched.
+    #[test]
+    fn leave_remaps_only_the_leavers_keys(
+        seed in 0u64..1_000,
+        members in 3usize..10,
+        victim in 0usize..10,
+    ) {
+        let before = ring_of(seed, members, 2);
+        let victim = format!("node-{:02}", victim % members);
+        let mut after = before.clone();
+        after.remove(&victim);
+
+        for i in 0..KEYS {
+            let k = key(i);
+            let (old, new) = (primary_of(&before, &k), primary_of(&after, &k));
+            if old != new {
+                prop_assert_eq!(
+                    old.as_str(), &victim,
+                    "a key not owned by the leaver moved on leave"
+                );
+                prop_assert_ne!(new.as_str(), &victim);
+            }
+        }
+    }
+
+    // Replica sets agree across independently reconstructed rings: the
+    // wire message fully determines placement.
+    #[test]
+    fn wire_roundtrip_preserves_full_owner_sets(
+        seed in 0u64..1_000,
+        members in 1usize..8,
+        replicas in 1u16..4,
+    ) {
+        let a = ring_of(seed, members, replicas);
+        let b = Ring::from_msg(&a.to_msg());
+        for i in 0..200 {
+            let k = key(i);
+            prop_assert_eq!(a.owners(&k), b.owners(&k));
+        }
+    }
+
+    // Replication never assigns a key the same member twice, and the set
+    // size is min(replicas, members).
+    #[test]
+    fn owner_sets_are_distinct_and_full(
+        seed in 0u64..1_000,
+        members in 1usize..8,
+        replicas in 1u16..5,
+    ) {
+        let r = ring_of(seed, members, replicas);
+        let want = (replicas as usize).min(members);
+        for i in 0..500 {
+            let owners = r.owners(&key(i));
+            prop_assert_eq!(owners.len(), want);
+            let mut names: Vec<_> = owners.iter().map(|(n, _)| *n).collect();
+            names.sort_unstable();
+            names.dedup();
+            prop_assert_eq!(names.len(), want, "duplicate member in an owner set");
+        }
+    }
+}

@@ -56,10 +56,20 @@ pub enum FaultPoint {
     ExecChunk = 8,
     /// `kernels`: an exec-pool chunk job (sleeps ~1 ms, a slow solve).
     ExecSlow = 9,
+    /// `cluster`: pushing a plan to a peer (the push is silently dropped
+    /// before any bytes leave the node).
+    ClusterPush = 10,
+    /// `cluster`: applying a received `RingState` (the update is skipped,
+    /// leaving this node with a stale ring view).
+    ClusterRing = 11,
+    /// `cluster`: after winning the cluster-wide build grant, before the
+    /// built plan is pushed (the builder "crashes" — the grant must
+    /// expire so another node can retry).
+    ClusterBuild = 12,
 }
 
 /// Number of injection points (size of the state table).
-pub const POINT_COUNT: usize = 10;
+pub const POINT_COUNT: usize = 13;
 
 /// All points, for iteration and plan randomization.
 pub const ALL_POINTS: [FaultPoint; POINT_COUNT] = [
@@ -73,6 +83,9 @@ pub const ALL_POINTS: [FaultPoint; POINT_COUNT] = [
     FaultPoint::ServeDispatch,
     FaultPoint::ExecChunk,
     FaultPoint::ExecSlow,
+    FaultPoint::ClusterPush,
+    FaultPoint::ClusterRing,
+    FaultPoint::ClusterBuild,
 ];
 
 impl FaultPoint {
@@ -89,6 +102,9 @@ impl FaultPoint {
             FaultPoint::ServeDispatch => "serve_dispatch",
             FaultPoint::ExecChunk => "exec_chunk",
             FaultPoint::ExecSlow => "exec_slow",
+            FaultPoint::ClusterPush => "cluster_push",
+            FaultPoint::ClusterRing => "cluster_ring",
+            FaultPoint::ClusterBuild => "cluster_build",
         }
     }
 }

@@ -13,7 +13,7 @@
 //! the server solves the same system twice.
 
 use crate::error::{ErrCode, NetError};
-use crate::frame::{self, FrameKind, Header, StatReply, HEADER_LEN};
+use crate::frame::{self, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, HEADER_LEN};
 use recblock_matrix::Scalar;
 use recblock_store::PlanKey;
 use std::io::{Read, Write};
@@ -361,6 +361,104 @@ impl NetClient {
             return Err(NetError::Protocol("expected matching StatOk"));
         }
         Ok(frame::parse_stat_reply(&self.buf)?)
+    }
+
+    // ---- cluster (protocol v2) ------------------------------------------
+
+    /// Expect a `RingState` reply with `tag`, or surface the peer's
+    /// typed refusal.
+    fn recv_ring_state(&mut self, tag: u64) -> Result<RingStateMsg, NetError> {
+        let h = self.read_frame()?;
+        if h.tag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        match h.kind {
+            FrameKind::RingState => Ok(frame::parse_ring_state(&self.buf)?),
+            FrameKind::Err => {
+                let (code, msg) = frame::parse_err(&self.buf)?;
+                Err(NetError::Remote { code, message: msg.to_string() })
+            }
+            _ => Err(NetError::Protocol("expected RingState or Err")),
+        }
+    }
+
+    /// Announce `member` joining the ring to the peer; returns the
+    /// peer's post-join ring view.
+    pub fn join(&mut self, member: &MemberInfo) -> Result<RingStateMsg, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_join(&mut out, tag, member);
+        self.write_request(&out)?;
+        self.recv_ring_state(tag)
+    }
+
+    /// Announce that node `name` is leaving the ring; returns the
+    /// peer's post-leave ring view.
+    pub fn leave(&mut self, name: &str) -> Result<RingStateMsg, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_leave(&mut out, tag, name);
+        self.write_request(&out)?;
+        self.recv_ring_state(tag)
+    }
+
+    /// Exchange ring views with the peer (push ours, get theirs back).
+    pub fn ring_state(&mut self, ours: &RingStateMsg) -> Result<RingStateMsg, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_ring_state(&mut out, tag, ours);
+        self.write_request(&out)?;
+        self.recv_ring_state(tag)
+    }
+
+    /// Push a serialized `.rbplan` to the peer, which verifies the
+    /// embedded checksums before adopting it.
+    pub fn push_plan(&mut self, key: &PlanKey, bytes: &[u8]) -> Result<(), NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_plan_push(&mut out, tag, key, bytes);
+        self.write_request(&out)?;
+        let h = self.read_frame()?;
+        if h.tag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        match h.kind {
+            FrameKind::PlanPushOk => Ok(()),
+            FrameKind::Err => {
+                let (code, msg) = frame::parse_err(&self.buf)?;
+                Err(NetError::Remote { code, message: msg.to_string() })
+            }
+            _ => Err(NetError::Protocol("expected PlanPushOk or Err")),
+        }
+    }
+
+    /// Pull the peer's copy of a plan as verbatim `.rbplan` bytes.
+    /// With `build_intent` set, a `PlanNotFound` refusal doubles as the
+    /// cluster-wide grant to build this plan (the peer remembers the
+    /// grant and answers later intents with `BuildInProgress`).
+    pub fn pull_plan(&mut self, key: &PlanKey, build_intent: bool) -> Result<Vec<u8>, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_plan_pull(&mut out, tag, key, build_intent);
+        self.write_request(&out)?;
+        let h = self.read_frame()?;
+        if h.tag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        match h.kind {
+            FrameKind::PlanData => {
+                let transfer = frame::parse_plan_transfer(&self.buf)?;
+                if transfer.key != *key {
+                    return Err(NetError::Protocol("plan data for a different key"));
+                }
+                Ok(transfer.bytes.to_vec())
+            }
+            FrameKind::Err => {
+                let (code, msg) = frame::parse_err(&self.buf)?;
+                Err(NetError::Remote { code, message: msg.to_string() })
+            }
+            _ => Err(NetError::Protocol("expected PlanData or Err")),
+        }
     }
 
     /// The raw stream, for tests that need to misbehave (partial writes,

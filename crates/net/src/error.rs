@@ -34,6 +34,12 @@ pub enum ErrCode {
     /// A client-side deadline expired before the operation finished
     /// (connect, write, or waiting for the response).
     Timeout = 11,
+    /// This node does not own the requested fingerprint; the message
+    /// carries the owner's `host:port` address — retry there.
+    Redirect = 12,
+    /// Another node holds the cluster-wide build grant for this plan;
+    /// retry after backoff (the plan will shortly be pullable).
+    BuildInProgress = 13,
 }
 
 impl ErrCode {
@@ -51,6 +57,8 @@ impl ErrCode {
             9 => ErrCode::Malformed,
             10 => ErrCode::Internal,
             11 => ErrCode::Timeout,
+            12 => ErrCode::Redirect,
+            13 => ErrCode::BuildInProgress,
             _ => return None,
         })
     }
@@ -69,6 +77,8 @@ impl ErrCode {
             ErrCode::Malformed => "malformed",
             ErrCode::Internal => "internal",
             ErrCode::Timeout => "timeout",
+            ErrCode::Redirect => "redirect",
+            ErrCode::BuildInProgress => "build_in_progress",
         }
     }
 }
@@ -134,13 +144,13 @@ mod tests {
 
     #[test]
     fn err_codes_roundtrip() {
-        for v in 1..=11u16 {
+        for v in 1..=13u16 {
             let code = ErrCode::from_u16(v).unwrap();
             assert_eq!(code as u16, v);
             assert!(!code.name().is_empty());
         }
         assert_eq!(ErrCode::from_u16(0), None);
-        assert_eq!(ErrCode::from_u16(12), None);
+        assert_eq!(ErrCode::from_u16(14), None);
         assert_eq!(ErrCode::from_u16(u16::MAX), None);
     }
 }

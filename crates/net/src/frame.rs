@@ -6,13 +6,30 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "RBNT"
-//! 4       1     version (currently 1)
-//! 5       1     kind    (Solve=1 SolveOk=2 Err=3 Ping=4 Pong=5 Stat=6 StatOk=7)
+//! 4       1     version (1 for the v1 kinds, 2 for the v2 cluster kinds)
+//! 5       1     kind
 //! 6       2     reserved, must be zero
 //! 8       8     tag     (echoed verbatim in the response)
 //! 16      4     payload_len
 //! 20      4     reserved, must be zero
 //! ```
+//!
+//! **v1 kinds** (version byte 1 — the original point-to-point protocol):
+//! Solve=1 SolveOk=2 Err=3 Ping=4 Pong=5 Stat=6 StatOk=7.
+//!
+//! **v2 kinds** (version byte 2 — cluster traffic between nodes):
+//! Join=8 Leave=9 RingState=10 PlanPush=11 PlanPushOk=12 PlanPull=13
+//! PlanData=14.
+//!
+//! Version negotiation is per frame, not per connection: every v1 frame
+//! this build emits is byte-identical to a v1 build's, so old clients
+//! interoperate untouched, and a v2-capable server still answers v1
+//! traffic in v1. A header whose version byte is *lower* than its kind
+//! requires (a v1 client somehow emitting a v2-only kind — a mismatched
+//! build) still decodes; the server answers it with a typed
+//! [`ErrCode::BadRequest`](crate::error::ErrCode) `Err` frame instead of
+//! silently killing the connection. Versions above [`VERSION`] are
+//! rejected as [`FrameError::BadVersion`].
 //!
 //! Solve request payload:
 //!
@@ -32,6 +49,25 @@
 //! `code:u16 msg_len:u16 msg`; `Ping`/`Pong`/`Stat` carry no payload and
 //! `StatOk` is described at [`StatReply`].
 //!
+//! Cluster payloads (all little-endian; a "plan key" is the 40-byte
+//! `nrows ncols nnz hash value_digest` block, a "member" is
+//! `name_len:u8 name addr_len:u16 addr`):
+//!
+//! ```text
+//! Join        member                      (node asking to join; reply is RingState)
+//! Leave       name_len:u8 name            (node announcing departure; reply is RingState)
+//! RingState   epoch:u64 seed:u64 vnodes:u32 replicas:u16 count:u16 member×count
+//! PlanPush    plan key, then .rbplan file bytes verbatim  (reply is PlanPushOk)
+//! PlanPushOk  (empty)
+//! PlanPull    plan key, flags:u8 (bit 0 = caller intends to build on miss)
+//! PlanData    plan key, then .rbplan file bytes verbatim  (reply to PlanPull)
+//! ```
+//!
+//! `PlanPush`/`PlanData` ship the checksummed `.rbplan` container
+//! *verbatim* — the receiver re-verifies the embedded CRCs, so transport
+//! corruption is caught without a second integrity layer, and no matrix
+//! bytes ever cross the wire (plans are keyed by fingerprint + digest).
+//!
 //! Decoding is allocation-free (parsers return borrowed views) and total:
 //! any byte sequence yields either a frame or a typed [`FrameError`] —
 //! never a panic. That property is fuzzed in `tests/frame_proptest.rs`.
@@ -43,12 +79,17 @@ use std::fmt;
 
 /// Bytes every frame starts with.
 pub const MAGIC: [u8; 4] = *b"RBNT";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Highest protocol version this build speaks. v1 kinds are still
+/// emitted with version byte 1 (see the module docs).
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 24;
 /// Longest allowed tenant name on the wire.
 pub const MAX_TENANT_LEN: usize = 64;
+/// Longest allowed node name on the wire.
+pub const MAX_NODE_LEN: usize = 64;
+/// Longest allowed node address string on the wire.
+pub const MAX_ADDR_LEN: usize = 256;
 
 /// Frame discriminator. Numeric values are wire format — append only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +109,20 @@ pub enum FrameKind {
     Stat = 6,
     /// Server status answer.
     StatOk = 7,
+    /// Cluster: a node asks to join the ring (answered with `RingState`).
+    Join = 8,
+    /// Cluster: a node announces an orderly departure.
+    Leave = 9,
+    /// Cluster: full ring view (membership + hashing parameters).
+    RingState = 10,
+    /// Cluster: warm-migrate a plan — `.rbplan` bytes shipped verbatim.
+    PlanPush = 11,
+    /// Cluster: a push was verified and stored.
+    PlanPushOk = 12,
+    /// Cluster: request a plan's `.rbplan` bytes from its owner.
+    PlanPull = 13,
+    /// Cluster: the pulled plan's bytes (reply to `PlanPull`).
+    PlanData = 14,
 }
 
 impl FrameKind {
@@ -80,20 +135,48 @@ impl FrameKind {
             5 => FrameKind::Pong,
             6 => FrameKind::Stat,
             7 => FrameKind::StatOk,
+            8 => FrameKind::Join,
+            9 => FrameKind::Leave,
+            10 => FrameKind::RingState,
+            11 => FrameKind::PlanPush,
+            12 => FrameKind::PlanPushOk,
+            13 => FrameKind::PlanPull,
+            14 => FrameKind::PlanData,
             _ => return None,
         })
+    }
+
+    /// Lowest protocol version that understands this kind.
+    pub fn min_version(self) -> u8 {
+        if (self as u8) >= FrameKind::Join as u8 {
+            2
+        } else {
+            1
+        }
     }
 }
 
 /// Decoded frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
+    /// Protocol version the sender stamped on the frame.
+    pub version: u8,
     /// What the payload means.
     pub kind: FrameKind,
     /// Correlation tag, echoed in the response.
     pub tag: u64,
     /// Payload bytes following the header.
     pub payload_len: u32,
+}
+
+impl Header {
+    /// Whether the stamped version actually covers the frame's kind. A
+    /// mismatch (v1 header, v2-only kind) is a client/server build skew;
+    /// servers answer it with a typed `BadRequest` instead of killing
+    /// the connection.
+    pub fn version_covers_kind(&self) -> bool {
+        self.version >= self.kind.min_version()
+    }
 }
 
 /// Everything that can be wrong with bytes claiming to be a frame.
@@ -123,6 +206,8 @@ pub enum FrameError {
     },
     /// Tenant name empty, too long, or not UTF-8.
     BadTenant,
+    /// Node name or address empty, too long, or not UTF-8.
+    BadNode,
     /// Scalar width is neither 4 nor 8.
     BadWidth(u8),
     /// Zero right-hand-side columns.
@@ -156,6 +241,9 @@ impl fmt::Display for FrameError {
                 write!(f, "truncated payload: field needs {needed} bytes, {have} available")
             }
             FrameError::BadTenant => write!(f, "tenant name empty, over 64 bytes, or not UTF-8"),
+            FrameError::BadNode => {
+                write!(f, "node name or address empty, too long, or not UTF-8")
+            }
             FrameError::BadWidth(w) => write!(f, "scalar width {w} is not 4 or 8"),
             FrameError::BadCount => write!(f, "zero right-hand-side columns"),
             FrameError::PayloadSize { expected, actual } => {
@@ -231,8 +319,9 @@ pub fn decode_header(buf: &[u8], max_payload: u32) -> Result<Option<Header>, Fra
     if buf[0..4] != MAGIC {
         return Err(FrameError::BadMagic);
     }
-    if buf[4] != VERSION {
-        return Err(FrameError::BadVersion(buf[4]));
+    let version = buf[4];
+    if version == 0 || version > VERSION {
+        return Err(FrameError::BadVersion(version));
     }
     let kind = FrameKind::from_u8(buf[5]).ok_or(FrameError::BadKind(buf[5]))?;
     if buf[6] != 0 || buf[7] != 0 {
@@ -246,13 +335,18 @@ pub fn decode_header(buf: &[u8], max_payload: u32) -> Result<Option<Header>, Fra
     if payload_len > max_payload {
         return Err(FrameError::Oversize { len: payload_len, max: max_payload });
     }
-    Ok(Some(Header { kind, tag, payload_len }))
+    // A version byte that does not cover the kind (v1 stamped on a
+    // v2-only kind) still decodes — the caller answers it with a typed
+    // error rather than tearing down the connection.
+    Ok(Some(Header { version, kind, tag, payload_len }))
 }
 
-/// Append a frame header to `out`.
+/// Append a frame header to `out`. The version byte is the lowest one
+/// that understands `kind`, so v1 frames stay byte-identical to a v1
+/// build's output and old peers interoperate untouched.
 pub fn encode_header(out: &mut Vec<u8>, kind: FrameKind, tag: u64, payload_len: u32) {
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(kind.min_version());
     out.push(kind as u8);
     out.extend_from_slice(&[0, 0]);
     out.extend_from_slice(&tag.to_le_bytes());
@@ -531,6 +625,202 @@ pub fn parse_stat_reply(payload: &[u8]) -> Result<StatReply, FrameError> {
     Ok(StatReply { draining, health, plans_warm, inflight, tenants })
 }
 
+// ---------------------------------------------------------------------
+// v2 cluster payloads
+// ---------------------------------------------------------------------
+
+/// One ring member: a stable node name plus its RBNET listen address.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemberInfo {
+    /// Stable node name (hashed onto the ring).
+    pub name: String,
+    /// The node's RBNET listen address (`host:port`).
+    pub addr: String,
+}
+
+/// Decoded `RingState` payload: the full cluster view. The ring itself is
+/// *derived* — every node reconstructs identical virtual-node placement
+/// from `(seed, vnodes, members)`, so the wire only carries parameters
+/// and membership, never the point table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RingStateMsg {
+    /// Monotonic view number; higher epoch wins.
+    pub epoch: u64,
+    /// Seed of the virtual-node hash placement.
+    pub seed: u64,
+    /// Virtual nodes per member.
+    pub vnodes: u32,
+    /// Replicas per key (owner + `replicas - 1` successors).
+    pub replicas: u16,
+    /// Current members, sorted by name.
+    pub members: Vec<MemberInfo>,
+}
+
+fn put_member(out: &mut Vec<u8>, m: &MemberInfo) {
+    debug_assert!(!m.name.is_empty() && m.name.len() <= MAX_NODE_LEN);
+    debug_assert!(!m.addr.is_empty() && m.addr.len() <= MAX_ADDR_LEN);
+    out.push(m.name.len() as u8);
+    out.extend_from_slice(m.name.as_bytes());
+    out.extend_from_slice(&(m.addr.len() as u16).to_le_bytes());
+    out.extend_from_slice(m.addr.as_bytes());
+}
+
+fn take_member(c: &mut Cursor<'_>) -> Result<MemberInfo, FrameError> {
+    let nlen = c.u8()? as usize;
+    if nlen == 0 || nlen > MAX_NODE_LEN {
+        return Err(FrameError::BadNode);
+    }
+    let name = std::str::from_utf8(c.take(nlen)?).map_err(|_| FrameError::BadNode)?.to_string();
+    let alen = c.u16()? as usize;
+    if alen == 0 || alen > MAX_ADDR_LEN {
+        return Err(FrameError::BadNode);
+    }
+    let addr = std::str::from_utf8(c.take(alen)?).map_err(|_| FrameError::BadNode)?.to_string();
+    Ok(MemberInfo { name, addr })
+}
+
+fn member_len(m: &MemberInfo) -> usize {
+    1 + m.name.len() + 2 + m.addr.len()
+}
+
+fn put_key(out: &mut Vec<u8>, key: &PlanKey) {
+    for v in [
+        key.structure.nrows as u64,
+        key.structure.ncols as u64,
+        key.structure.nnz as u64,
+        key.structure.hash,
+        key.values,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn take_key(c: &mut Cursor<'_>) -> Result<PlanKey, FrameError> {
+    let structure = Fingerprint {
+        nrows: c.u64()? as usize,
+        ncols: c.u64()? as usize,
+        nnz: c.u64()? as usize,
+        hash: c.u64()?,
+    };
+    Ok(PlanKey { structure, values: c.u64()? })
+}
+
+/// Append a complete `Join` frame: `member` asks to enter the ring.
+pub fn encode_join(out: &mut Vec<u8>, tag: u64, member: &MemberInfo) {
+    encode_header(out, FrameKind::Join, tag, member_len(member) as u32);
+    put_member(out, member);
+}
+
+/// Parse a `Join` payload.
+pub fn parse_join(payload: &[u8]) -> Result<MemberInfo, FrameError> {
+    let mut c = Cursor::new(payload);
+    let member = take_member(&mut c)?;
+    c.finish()?;
+    Ok(member)
+}
+
+/// Append a complete `Leave` frame: the named node departs in order.
+pub fn encode_leave(out: &mut Vec<u8>, tag: u64, name: &str) {
+    assert!(!name.is_empty() && name.len() <= MAX_NODE_LEN, "node name must be 1..=64");
+    encode_header(out, FrameKind::Leave, tag, (1 + name.len()) as u32);
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Parse a `Leave` payload into the departing node's name.
+pub fn parse_leave(payload: &[u8]) -> Result<&str, FrameError> {
+    let mut c = Cursor::new(payload);
+    let nlen = c.u8()? as usize;
+    if nlen == 0 || nlen > MAX_NODE_LEN {
+        return Err(FrameError::BadNode);
+    }
+    let name = std::str::from_utf8(c.take(nlen)?).map_err(|_| FrameError::BadNode)?;
+    c.finish()?;
+    Ok(name)
+}
+
+/// Append a complete `RingState` frame.
+pub fn encode_ring_state(out: &mut Vec<u8>, tag: u64, ring: &RingStateMsg) {
+    let payload_len = 8 + 8 + 4 + 2 + 2 + ring.members.iter().map(member_len).sum::<usize>();
+    encode_header(out, FrameKind::RingState, tag, payload_len as u32);
+    out.extend_from_slice(&ring.epoch.to_le_bytes());
+    out.extend_from_slice(&ring.seed.to_le_bytes());
+    out.extend_from_slice(&ring.vnodes.to_le_bytes());
+    out.extend_from_slice(&ring.replicas.to_le_bytes());
+    out.extend_from_slice(&(ring.members.len() as u16).to_le_bytes());
+    for m in &ring.members {
+        put_member(out, m);
+    }
+}
+
+/// Parse a `RingState` payload.
+pub fn parse_ring_state(payload: &[u8]) -> Result<RingStateMsg, FrameError> {
+    let mut c = Cursor::new(payload);
+    let epoch = c.u64()?;
+    let seed = c.u64()?;
+    let vnodes = c.u32()?;
+    let replicas = c.u16()?;
+    let count = c.u16()?;
+    let mut members = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        members.push(take_member(&mut c)?);
+    }
+    c.finish()?;
+    Ok(RingStateMsg { epoch, seed, vnodes, replicas, members })
+}
+
+/// Borrowed view of a `PlanPush` or `PlanData` payload: the plan's key
+/// followed by its `.rbplan` file bytes, shipped verbatim (the embedded
+/// CRCs travel with them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTransfer<'a> {
+    /// Which plan the bytes are for (must match the file's embedded key).
+    pub key: PlanKey,
+    /// The `.rbplan` container, byte for byte.
+    pub bytes: &'a [u8],
+}
+
+/// Append a complete `PlanPush` frame.
+pub fn encode_plan_push(out: &mut Vec<u8>, tag: u64, key: &PlanKey, bytes: &[u8]) {
+    encode_header(out, FrameKind::PlanPush, tag, (40 + bytes.len()) as u32);
+    put_key(out, key);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a complete `PlanData` frame (the reply to a `PlanPull`).
+pub fn encode_plan_data(out: &mut Vec<u8>, tag: u64, key: &PlanKey, bytes: &[u8]) {
+    encode_header(out, FrameKind::PlanData, tag, (40 + bytes.len()) as u32);
+    put_key(out, key);
+    out.extend_from_slice(bytes);
+}
+
+/// Parse a `PlanPush`/`PlanData` payload.
+pub fn parse_plan_transfer(payload: &[u8]) -> Result<PlanTransfer<'_>, FrameError> {
+    let mut c = Cursor::new(payload);
+    let key = take_key(&mut c)?;
+    Ok(PlanTransfer { key, bytes: c.rest() })
+}
+
+/// Append a complete `PlanPull` frame. `build_intent` tells the owner the
+/// caller will build the plan itself if the owner does not have it — the
+/// owner grants exactly one such caller at a time (cluster-wide
+/// single-flight); later intents get `BuildInProgress` until the grant
+/// resolves or expires.
+pub fn encode_plan_pull(out: &mut Vec<u8>, tag: u64, key: &PlanKey, build_intent: bool) {
+    encode_header(out, FrameKind::PlanPull, tag, 41);
+    put_key(out, key);
+    out.push(build_intent as u8);
+}
+
+/// Parse a `PlanPull` payload into `(key, build_intent)`.
+pub fn parse_plan_pull(payload: &[u8]) -> Result<(PlanKey, bool), FrameError> {
+    let mut c = Cursor::new(payload);
+    let key = take_key(&mut c)?;
+    let flags = c.u8()?;
+    c.finish()?;
+    Ok((key, flags & 1 != 0))
+}
+
 /// Decode a little-endian value block into `out` (cleared first). The
 /// stated `width` must match `S`; capacity is reused, so a warm caller
 /// allocates nothing.
@@ -594,7 +884,50 @@ mod tests {
         encode_header(&mut buf, FrameKind::Ping, 42, 0);
         assert_eq!(buf.len(), HEADER_LEN);
         let h = decode_header(&buf, 1024).unwrap().unwrap();
-        assert_eq!(h, Header { kind: FrameKind::Ping, tag: 42, payload_len: 0 });
+        assert_eq!(h, Header { version: 1, kind: FrameKind::Ping, tag: 42, payload_len: 0 });
+        assert!(h.version_covers_kind());
+    }
+
+    #[test]
+    fn v1_kinds_still_emit_version_1() {
+        // Backward compatibility: a v2-capable build's v1 frames must be
+        // byte-identical to a v1 build's, so old peers stay untouched.
+        for kind in [
+            FrameKind::Solve,
+            FrameKind::SolveOk,
+            FrameKind::Err,
+            FrameKind::Ping,
+            FrameKind::Pong,
+            FrameKind::Stat,
+            FrameKind::StatOk,
+        ] {
+            let mut buf = Vec::new();
+            encode_header(&mut buf, kind, 0, 0);
+            assert_eq!(buf[4], 1, "{kind:?}");
+        }
+        for kind in [
+            FrameKind::Join,
+            FrameKind::Leave,
+            FrameKind::RingState,
+            FrameKind::PlanPush,
+            FrameKind::PlanPushOk,
+            FrameKind::PlanPull,
+            FrameKind::PlanData,
+        ] {
+            let mut buf = Vec::new();
+            encode_header(&mut buf, kind, 0, 0);
+            assert_eq!(buf[4], 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn v1_header_on_v2_kind_decodes_but_flags_mismatch() {
+        let mut buf = Vec::new();
+        encode_header(&mut buf, FrameKind::PlanPull, 3, 0);
+        buf[4] = 1; // a mismatched build stamping v1 on a v2-only kind
+        let h = decode_header(&buf, 1024).unwrap().unwrap();
+        assert_eq!(h.kind, FrameKind::PlanPull);
+        assert!(!h.version_covers_kind(), "mismatch must be visible, not fatal");
     }
 
     #[test]
@@ -685,6 +1018,74 @@ mod tests {
         encode_stat_reply(&mut buf, 1, &stat);
         let parsed = parse_stat_reply(&buf[HEADER_LEN..]).unwrap();
         assert_eq!(parsed, stat);
+    }
+
+    #[test]
+    fn cluster_frames_roundtrip() {
+        let m = MemberInfo { name: "node-a".into(), addr: "127.0.0.1:7070".into() };
+        let mut buf = Vec::new();
+        encode_join(&mut buf, 11, &m);
+        let h = decode_header(&buf, 1 << 20).unwrap().unwrap();
+        assert_eq!((h.version, h.kind, h.tag), (2, FrameKind::Join, 11));
+        assert_eq!(parse_join(&buf[HEADER_LEN..]).unwrap(), m);
+
+        let mut buf = Vec::new();
+        encode_leave(&mut buf, 12, "node-a");
+        assert_eq!(parse_leave(&buf[HEADER_LEN..]).unwrap(), "node-a");
+
+        let ring = RingStateMsg {
+            epoch: 4,
+            seed: 0xfeed,
+            vnodes: 64,
+            replicas: 2,
+            members: vec![
+                MemberInfo { name: "a".into(), addr: "h1:1".into() },
+                MemberInfo { name: "b".into(), addr: "h2:2".into() },
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_ring_state(&mut buf, 13, &ring);
+        assert_eq!(parse_ring_state(&buf[HEADER_LEN..]).unwrap(), ring);
+
+        let plan_bytes = vec![7u8; 129];
+        let mut buf = Vec::new();
+        encode_plan_push(&mut buf, 14, &demo_key(), &plan_bytes);
+        let t = parse_plan_transfer(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(t.key, demo_key());
+        assert_eq!(t.bytes, &plan_bytes[..]);
+
+        let mut buf = Vec::new();
+        encode_plan_pull(&mut buf, 15, &demo_key(), true);
+        assert_eq!(parse_plan_pull(&buf[HEADER_LEN..]).unwrap(), (demo_key(), true));
+        let mut buf = Vec::new();
+        encode_plan_pull(&mut buf, 16, &demo_key(), false);
+        assert_eq!(parse_plan_pull(&buf[HEADER_LEN..]).unwrap(), (demo_key(), false));
+    }
+
+    #[test]
+    fn cluster_frame_rejections_are_typed() {
+        // Empty node name.
+        assert_eq!(parse_join(&[0u8, 1, 0, b'x']), Err(FrameError::BadNode));
+        assert_eq!(parse_leave(&[0u8]), Err(FrameError::BadNode));
+        // Truncated ring state.
+        assert!(parse_ring_state(&[1, 2, 3]).is_err());
+        // Member count promising more than the payload holds.
+        let ring = RingStateMsg {
+            epoch: 1,
+            seed: 2,
+            vnodes: 8,
+            replicas: 1,
+            members: vec![MemberInfo { name: "a".into(), addr: "h:1".into() }],
+        };
+        let mut buf = Vec::new();
+        encode_ring_state(&mut buf, 0, &ring);
+        let mut payload = buf[HEADER_LEN..].to_vec();
+        payload[22] = 9; // count lives after epoch+seed+vnodes+replicas
+        assert!(parse_ring_state(&payload).is_err());
+        // PlanPull payload too short for key + flags.
+        assert!(parse_plan_pull(&[0u8; 40]).is_err());
+        // Trailing bytes after the flags byte.
+        assert!(matches!(parse_plan_pull(&[0u8; 42]), Err(FrameError::TrailingBytes(1))));
     }
 
     #[test]

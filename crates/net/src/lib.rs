@@ -32,6 +32,6 @@ pub mod server;
 pub use client::{ClientConfig, NetClient, RetryPolicy, SolveOutcome};
 pub use config::{NetConfig, TenantPolicy};
 pub use error::{ErrCode, NetError};
-pub use frame::{FrameError, FrameKind, Header, StatReply, TenantStat};
+pub use frame::{FrameError, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TenantStat};
 pub use qos::{FairQueue, TokenBucket};
-pub use server::{NetCtl, NetServer};
+pub use server::{ClusterHooks, NetCtl, NetServer, Route};

@@ -17,7 +17,10 @@
 
 use crate::config::{NetConfig, TenantPolicy};
 use crate::error::ErrCode;
-use crate::frame::{self, FrameError, FrameKind, Header, StatReply, TenantStat, HEADER_LEN};
+use crate::frame::{
+    self, FrameError, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TenantStat,
+    HEADER_LEN,
+};
 use crate::poll::{Event, Poller};
 use crate::qos::{FairQueue, TokenBucket};
 use recblock::RecBlockSolver;
@@ -40,6 +43,59 @@ const READ_CHUNK: usize = 64 * 1024;
 const MAX_READ_ROUNDS: usize = 16;
 const POOL_VECS: usize = 512;
 const POOL_COLSETS: usize = 64;
+
+/// Routing decision for one solve request's fingerprint, made by the
+/// cluster coordinator before the local plan path is consulted.
+#[derive(Debug, Clone)]
+pub enum Route {
+    /// This node owns or replicates the plan: serve it locally.
+    Local,
+    /// Forward the request to the node at `addr` over a pooled
+    /// inter-node connection and relay its answer to the client.
+    Proxy(String),
+    /// Answer `ErrCode::Redirect` with `addr` so the client retries
+    /// against the owner directly.
+    Redirect(String),
+}
+
+/// What a cluster coordinator provides for this front end to take part
+/// in a ring. Every method is called from the event-loop thread and
+/// must not block on network I/O — [`ClusterHooks::proxy_solve`] hands
+/// the request to worker threads owned by the implementation, which
+/// deliver per-column results through the same [`ResponseSink`] the
+/// compute tier uses.
+pub trait ClusterHooks<S: Scalar>: Send + Sync {
+    /// Decide where a solve for `key` should run.
+    fn route(&self, key: &PlanKey) -> Route;
+    /// A node asked to join; fold it into the ring, return the new view.
+    fn handle_join(&self, member: MemberInfo) -> RingStateMsg;
+    /// A node announced departure; drop it, return the new view.
+    fn handle_leave(&self, name: &str) -> RingStateMsg;
+    /// A peer broadcast its ring view; merge it, return our view (the
+    /// reply doubles as anti-entropy for the sender).
+    fn apply_ring(&self, msg: RingStateMsg) -> RingStateMsg;
+    /// Current ring view (for gauges and `RingState` replies).
+    fn ring_state(&self) -> RingStateMsg;
+    /// A peer pushed a serialized `.rbplan`; verify and adopt it.
+    fn accept_plan_push(&self, key: PlanKey, bytes: &[u8]) -> Result<(), (ErrCode, String)>;
+    /// A peer wants our copy of a plan. `build_intent` set means the
+    /// caller will build on `PlanNotFound` — the implementation grants
+    /// the cluster-wide build slot to exactly one such puller.
+    fn plan_data(&self, key: PlanKey, build_intent: bool) -> Result<Vec<u8>, (ErrCode, String)>;
+    /// Relay a solve to `addr` asynchronously; results (or an
+    /// `Upstream` error) arrive on `sink` tagged `base_tag + column`.
+    #[allow(clippy::too_many_arguments)]
+    fn proxy_solve(
+        &self,
+        addr: &str,
+        tenant: &str,
+        key: PlanKey,
+        cols: Vec<Vec<S>>,
+        base_tag: u64,
+        deadline_ms: u32,
+        sink: &Arc<dyn ResponseSink<S>>,
+    );
+}
 
 /// Handle for requesting a graceful drain from any thread.
 #[derive(Clone)]
@@ -130,6 +186,9 @@ struct Inflight<S> {
     key: PlanKey,
     plan: Option<Arc<RecBlockSolver<S>>>,
     error: Option<ErrCode>,
+    /// Dynamic detail for the error reply (e.g. a forwarded upstream
+    /// message); `None` falls back to the static [`msg_for`] text.
+    error_msg: Option<String>,
 }
 
 /// The TCP front end: owns the listener, all connections and the QoS
@@ -166,6 +225,7 @@ pub struct NetServer<S: Scalar> {
     vec_pool: Vec<Vec<S>>,
     colset_pool: Vec<Vec<Vec<S>>>,
     keys_warm: HashSet<PlanKey>,
+    cluster: Option<Arc<dyn ClusterHooks<S>>>,
 
     draining: bool,
     done: bool,
@@ -176,10 +236,20 @@ fn map_serve_err(e: &ServeError) -> ErrCode {
         ServeError::Overloaded { .. } => ErrCode::Overloaded,
         ServeError::ShuttingDown => ErrCode::ShuttingDown,
         ServeError::BadRequest { .. } => ErrCode::BadRequest,
+        ServeError::Upstream { code, .. } => ErrCode::from_u16(*code).unwrap_or(ErrCode::Internal),
         ServeError::PlanBuild(_)
         | ServeError::Solver(_)
         | ServeError::Cancelled
         | ServeError::WorkerPanic => ErrCode::Internal,
+    }
+}
+
+/// Wire code plus the dynamic detail worth forwarding to the client
+/// (upstream nodes already phrase their errors for end clients).
+fn err_code_and_msg(e: &ServeError) -> (ErrCode, Option<String>) {
+    match e {
+        ServeError::Upstream { message, .. } => (map_serve_err(e), Some(message.clone())),
+        other => (map_serve_err(other), None),
     }
 }
 
@@ -196,6 +266,8 @@ fn msg_for(code: ErrCode) -> &'static str {
         ErrCode::Malformed => "undecodable frame; closing connection",
         ErrCode::Internal => "internal solve failure",
         ErrCode::Timeout => "request timed out",
+        ErrCode::Redirect => "fingerprint owned by another node",
+        ErrCode::BuildInProgress => "plan build in progress elsewhere; retry after backoff",
     }
 }
 
@@ -271,9 +343,20 @@ impl<S: Scalar> NetServer<S> {
             vec_pool: Vec::with_capacity(POOL_VECS),
             colset_pool: Vec::with_capacity(POOL_COLSETS),
             keys_warm: HashSet::new(),
+            cluster: None,
             draining: false,
             done: false,
         })
+    }
+
+    /// Attach a cluster coordinator: solve requests are routed through
+    /// [`ClusterHooks::route`] before the local plan path, and the v2
+    /// membership/migration frames are accepted on this listener.
+    pub fn with_cluster(mut self, hooks: Arc<dyn ClusterHooks<S>>) -> Self {
+        let ring = hooks.ring_state();
+        self.sync_cluster_gauges(&ring);
+        self.cluster = Some(hooks);
+        self
     }
 
     /// Address the listener bound to (useful with port 0).
@@ -510,6 +593,18 @@ impl<S: Scalar> NetServer<S> {
     }
 
     fn handle_frame(&mut self, idx: usize, h: Header, payload: &[u8]) {
+        if !h.version_covers_kind() {
+            // A v1-stamped header carrying a v2-only kind: the peer is
+            // speaking a protocol older than the frame it sent. Answer
+            // typed instead of tearing the connection down.
+            self.reply_err_msg(
+                idx,
+                h.tag,
+                ErrCode::BadRequest,
+                "frame kind requires protocol v2 but header claims v1",
+            );
+            return;
+        }
         match h.kind {
             FrameKind::Ping => {
                 if let Some(conn) = self.conns[idx].as_mut() {
@@ -519,10 +614,134 @@ impl<S: Scalar> NetServer<S> {
             }
             FrameKind::Stat => self.handle_stat(idx, h.tag),
             FrameKind::Solve => self.handle_solve(idx, h.tag, payload),
-            FrameKind::SolveOk | FrameKind::Err | FrameKind::Pong | FrameKind::StatOk => {
+            FrameKind::Join => self.handle_join(idx, h.tag, payload),
+            FrameKind::Leave => self.handle_leave(idx, h.tag, payload),
+            FrameKind::RingState => self.handle_ring_state(idx, h.tag, payload),
+            FrameKind::PlanPush => self.handle_plan_push(idx, h.tag, payload),
+            FrameKind::PlanPull => self.handle_plan_pull(idx, h.tag, payload),
+            FrameKind::SolveOk
+            | FrameKind::Err
+            | FrameKind::Pong
+            | FrameKind::StatOk
+            | FrameKind::PlanPushOk
+            | FrameKind::PlanData => {
                 // Response kinds are server-to-client only.
                 self.reply_err(idx, h.tag, ErrCode::BadRequest);
             }
+        }
+    }
+
+    // ---- cluster frames --------------------------------------------------
+
+    /// The coordinator, or a typed refusal when this node is not part
+    /// of a cluster (v2 frames on a standalone server are not fatal).
+    fn cluster_hooks(&mut self, idx: usize, tag: u64) -> Option<Arc<dyn ClusterHooks<S>>> {
+        match self.cluster.clone() {
+            Some(h) => Some(h),
+            None => {
+                self.reply_err_msg(
+                    idx,
+                    tag,
+                    ErrCode::BadRequest,
+                    "this node is not part of a cluster",
+                );
+                None
+            }
+        }
+    }
+
+    fn sync_cluster_gauges(&self, ring: &RingStateMsg) {
+        self.metrics.cluster_ring_epoch.store(ring.epoch, Ordering::Relaxed);
+        self.metrics.cluster_members.store(ring.members.len() as u64, Ordering::Relaxed);
+    }
+
+    fn send_ring_state(&mut self, idx: usize, tag: u64, ring: &RingStateMsg) {
+        self.sync_cluster_gauges(ring);
+        if let Some(conn) = self.conns[idx].as_mut() {
+            frame::encode_ring_state(&mut conn.wbuf, tag, ring);
+        }
+        self.flush_conn(idx);
+    }
+
+    fn handle_join(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let Some(hooks) = self.cluster_hooks(idx, tag) else { return };
+        let member = match frame::parse_join(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        let ring = hooks.handle_join(member);
+        self.send_ring_state(idx, tag, &ring);
+    }
+
+    fn handle_leave(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let Some(hooks) = self.cluster_hooks(idx, tag) else { return };
+        let ring = match frame::parse_leave(payload) {
+            Ok(name) => hooks.handle_leave(name),
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        self.send_ring_state(idx, tag, &ring);
+    }
+
+    fn handle_ring_state(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let Some(hooks) = self.cluster_hooks(idx, tag) else { return };
+        let ring = match frame::parse_ring_state(payload) {
+            Ok(msg) => hooks.apply_ring(msg),
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        // The reply carries our post-merge view: the sender learns
+        // anything we knew that it did not (anti-entropy).
+        self.send_ring_state(idx, tag, &ring);
+    }
+
+    fn handle_plan_push(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let Some(hooks) = self.cluster_hooks(idx, tag) else { return };
+        let transfer = match frame::parse_plan_transfer(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        match hooks.accept_plan_push(transfer.key, transfer.bytes) {
+            Ok(()) => {
+                self.metrics.cluster_plans_received.fetch_add(1, Ordering::Relaxed);
+                self.keys_warm.insert(transfer.key);
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    frame::encode_header(&mut conn.wbuf, FrameKind::PlanPushOk, tag, 0);
+                }
+                self.flush_conn(idx);
+            }
+            Err((code, msg)) => self.reply_err_msg(idx, tag, code, &msg),
+        }
+    }
+
+    fn handle_plan_pull(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let Some(hooks) = self.cluster_hooks(idx, tag) else { return };
+        let (key, intent) = match frame::parse_plan_pull(payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+                return;
+            }
+        };
+        match hooks.plan_data(key, intent) {
+            Ok(bytes) => {
+                self.metrics.cluster_plans_served.fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    frame::encode_plan_data(&mut conn.wbuf, tag, &key, &bytes);
+                }
+                self.flush_conn(idx);
+            }
+            Err((code, msg)) => self.reply_err_msg(idx, tag, code, &msg),
         }
     }
 
@@ -584,6 +803,23 @@ impl<S: Scalar> NetServer<S> {
         {
             self.reply_err(idx, tag, ErrCode::BadRequest);
             return;
+        }
+        // Cluster routing happens before the local plan path: a
+        // non-owner either relays to the owner or redirects the client,
+        // so plans only ever materialise on the nodes the ring assigns.
+        if let Some(hooks) = self.cluster.clone() {
+            match hooks.route(&req.key) {
+                Route::Local => {}
+                Route::Redirect(addr) => {
+                    self.metrics.cluster_redirects.fetch_add(1, Ordering::Relaxed);
+                    self.reply_err_msg(idx, tag, ErrCode::Redirect, &addr);
+                    return;
+                }
+                Route::Proxy(addr) => {
+                    self.proxy_solve(idx, tag, t, &req, &addr, &hooks);
+                    return;
+                }
+            }
         }
         let plan = match self.service.resolve_key(req.key) {
             Ok(Some((plan, _src))) => plan,
@@ -648,6 +884,7 @@ impl<S: Scalar> NetServer<S> {
             key: req.key,
             plan: Some(plan),
             error: None,
+            error_msg: None,
         });
         self.admitted_cols += req.k as usize;
         if let Some(conn) = self.conns[idx].as_mut() {
@@ -658,6 +895,77 @@ impl<S: Scalar> NetServer<S> {
         counters.admitted.fetch_add(1, Ordering::Relaxed);
         counters.admitted_cost.fetch_add(cost, Ordering::Relaxed);
         counters.queue_depth.store(self.fair.lane_depth(t) as u64, Ordering::Relaxed);
+    }
+
+    /// Admit a solve that a peer node will compute: allocate an
+    /// in-flight slot so the answer routes back through the normal
+    /// completion path, then hand the columns to the coordinator's
+    /// proxy workers. Admission still charges this tenant's token
+    /// bucket — the proxy consumes this node's sockets and buffers.
+    fn proxy_solve(
+        &mut self,
+        idx: usize,
+        tag: u64,
+        t: usize,
+        req: &frame::SolveRequest<'_>,
+        addr: &str,
+        hooks: &Arc<dyn ClusterHooks<S>>,
+    ) {
+        let cost = req.cost();
+        let now = Instant::now();
+        let tenant = &mut self.tenants[t];
+        if !tenant.bucket.try_take(cost as f64, now) {
+            tenant.counters.admission_rejected.fetch_add(1, Ordering::Relaxed);
+            self.reply_err(idx, tag, ErrCode::RateLimited);
+            return;
+        }
+        if self.admitted_cols + req.k as usize > self.config.max_inflight {
+            self.reply_err(idx, tag, ErrCode::Overloaded);
+            return;
+        }
+        let mut cols = Vec::with_capacity(req.k as usize);
+        let mut placeholders = self.colset_pool.pop().unwrap_or_default();
+        placeholders.clear();
+        for j in 0..req.k as usize {
+            let mut v = self.vec_pool.pop().unwrap_or_default();
+            if frame::decode_scalars::<S>(req.col_bytes(j), req.width, &mut v).is_err() {
+                unreachable!("width checked above");
+            }
+            cols.push(v);
+            placeholders.push(Vec::new());
+        }
+        let deadline_ms = if req.deadline_ms > 0 {
+            req.deadline_ms
+        } else {
+            self.tenants[t].policy.default_deadline_ms
+        };
+        let slot = self.alloc_slot(Inflight {
+            conn: idx as u32,
+            conn_gen: self.conn_gens[idx],
+            client_tag: tag,
+            tenant: t as u16,
+            k: req.k,
+            remaining: req.k,
+            cols: placeholders,
+            key: req.key,
+            plan: None,
+            error: None,
+            error_msg: None,
+        });
+        self.admitted_cols += req.k as usize;
+        // The columns are "dispatched" to the proxy tier: completions
+        // decrement this exactly like compute-tier completions.
+        self.dispatched_cols += req.k as usize;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.refs += 1;
+        }
+        let counters = &self.tenants[t].counters;
+        counters.admitted.fetch_add(1, Ordering::Relaxed);
+        counters.admitted_cost.fetch_add(cost, Ordering::Relaxed);
+        self.metrics.cluster_proxied.fetch_add(1, Ordering::Relaxed);
+        let base_tag = (slot as u64) << 32;
+        let tenant_name = self.tenants[t].name.clone();
+        hooks.proxy_solve(addr, &tenant_name, req.key, cols, base_tag, deadline_ms, &self.sink);
     }
 
     /// Resolve a tenant name to its lane, registering it under the default
@@ -794,7 +1102,16 @@ impl<S: Scalar> NetServer<S> {
                 let inf = self.inflight[slot].as_mut().expect("completion for live slot");
                 match result {
                     Ok(x) => inf.cols[j] = x,
-                    Err(e) => inf.error = Some(inf.error.unwrap_or(map_serve_err(&e))),
+                    Err(e) => {
+                        if inf.error.is_none() {
+                            if matches!(e, ServeError::Upstream { .. }) {
+                                self.metrics.cluster_proxy_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let (code, msg) = err_code_and_msg(&e);
+                            inf.error = Some(code);
+                            inf.error_msg = msg;
+                        }
+                    }
                 }
                 inf.remaining -= 1;
                 inf.remaining == 0
@@ -830,7 +1147,10 @@ impl<S: Scalar> NetServer<S> {
             Some(code) => {
                 counters.failed.fetch_add(1, Ordering::Relaxed);
                 if alive {
-                    self.reply_err(cidx, inf.client_tag, code);
+                    match inf.error_msg.take() {
+                        Some(m) => self.reply_err_msg(cidx, inf.client_tag, code, &m),
+                        None => self.reply_err(cidx, inf.client_tag, code),
+                    }
                 }
             }
             None => {
@@ -865,6 +1185,16 @@ impl<S: Scalar> NetServer<S> {
     fn reply_err(&mut self, idx: usize, tag: u64, code: ErrCode) {
         if let Some(conn) = self.conns[idx].as_mut() {
             frame::encode_err(&mut conn.wbuf, tag, code, msg_for(code));
+        }
+        self.flush_conn(idx);
+    }
+
+    /// Like [`NetServer::reply_err`] but with a dynamic message —
+    /// `Redirect` carries the owner's address, proxied errors carry the
+    /// upstream node's wording.
+    fn reply_err_msg(&mut self, idx: usize, tag: u64, code: ErrCode, msg: &str) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            frame::encode_err(&mut conn.wbuf, tag, code, msg);
         }
         self.flush_conn(idx);
     }

@@ -100,6 +100,18 @@ impl<S: Scalar> PlanCache<S> {
         self.len() == 0
     }
 
+    /// Keys of every resident plan (including in-flight builds), in no
+    /// particular order. A point-in-time copy — entries may be evicted or
+    /// added while the caller iterates. The cluster tier uses this to
+    /// enumerate what a draining node must hand off.
+    pub fn keys(&self) -> Vec<PlanKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap().keys().copied());
+        }
+        out
+    }
+
     /// Return the cached plan for `key`, building it with `build` on a miss.
     ///
     /// Exactly one caller runs `build` per resident key; concurrent callers

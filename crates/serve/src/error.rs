@@ -37,6 +37,17 @@ pub enum ServeError {
     /// running — but this batch's results are untrustworthy, so every
     /// request in it gets this error instead of an answer.
     WorkerPanic,
+    /// A clustered deployment proxied this request to the owning node and
+    /// the owner answered with an error (or the hop itself failed). The
+    /// code is the wire-level `ErrCode` the owner returned (serve does not
+    /// depend on the net crate, so it travels as the raw `u16`); the
+    /// message is the owner's error text.
+    Upstream {
+        /// The owner's RBNET error code.
+        code: u16,
+        /// The owner's error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -53,6 +64,9 @@ impl fmt::Display for ServeError {
             ServeError::Solver(e) => write!(f, "solve failed: {e}"),
             ServeError::Cancelled => write!(f, "request cancelled before completion"),
             ServeError::WorkerPanic => write!(f, "worker panicked while solving this batch"),
+            ServeError::Upstream { code, message } => {
+                write!(f, "upstream node failed this request (code {code}): {message}")
+            }
         }
     }
 }

@@ -309,6 +309,77 @@ impl<S: Scalar> SolveService<S> {
         self.metrics.clone()
     }
 
+    /// Keys of every plan currently resident in the cache — what a
+    /// draining cluster node must hand to its successors before leaving.
+    pub fn warm_keys(&self) -> Vec<PlanKey> {
+        self.cache.keys()
+    }
+
+    /// The plan for `key` as verified `.rbplan` bytes, ready to ship to a
+    /// peer verbatim (the embedded checksums travel with it). Prefers the
+    /// persistent store's copy (already encoded); falls back to encoding
+    /// the cached solver. `Ok(None)` when neither tier has the plan.
+    /// Matrix bytes never appear — the file holds the preprocessed plan,
+    /// keyed by fingerprint + value digest like every other tier.
+    pub fn export_plan_bytes(&self, key: PlanKey) -> Result<Option<Vec<u8>>, ServeError> {
+        if let Some(store) = &self.store {
+            // Flush first so a plan built moments ago (still queued for
+            // write-back) is exportable from disk.
+            self.flush_store();
+            match store.export_bytes(&key) {
+                Ok(Some(bytes)) => return Ok(Some(bytes)),
+                Ok(None) => {}
+                Err(_) => {
+                    self.metrics.store_errors.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        match self.cache.probe(key) {
+            Some(Ok(plan)) => Ok(Some(recblock_store::encode_plan(
+                plan.blocked(),
+                &key,
+                plan.preprocess_time().as_secs_f64(),
+            ))),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    /// Accept `.rbplan` bytes produced by a peer's
+    /// [`SolveService::export_plan_bytes`]: verify end to end (magic,
+    /// version, both checksums, embedded key must equal `key`), decode,
+    /// install in the cache, and persist through the store when one is
+    /// configured — so the plan survives a restart without ever being
+    /// rebuilt. Rejected bytes leave both tiers untouched.
+    pub fn import_plan_bytes(&self, key: PlanKey, bytes: &[u8]) -> Result<(), ServeError> {
+        let fail =
+            |e: recblock_store::StoreError| ServeError::PlanBuild(format!("plan import: {e}"));
+        let meta = recblock_store::verify_file(bytes).map_err(fail)?;
+        if meta.key != key {
+            return Err(ServeError::PlanBuild(format!(
+                "plan import: bytes are for {}, not {}",
+                meta.key, key
+            )));
+        }
+        let (meta, blocked) = recblock_store::decode_plan::<S>(bytes).map_err(fail)?;
+        let solver = RecBlockSolver::from_blocked(
+            blocked,
+            std::time::Duration::from_secs_f64(meta.build_cost.max(0.0)),
+        );
+        self.cache.insert(key, Arc::new(solver));
+        if let Some(store) = &self.store {
+            match store.import_bytes(&key, bytes) {
+                Ok(_) => {
+                    self.metrics.store_writes.fetch_add(1, Relaxed);
+                }
+                Err(_) => {
+                    self.metrics.store_errors.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Right-hand sides the request queue can still accept before
     /// `try_push` would report [`ServeError::Overloaded`]. Advisory when
     /// other submitters race; a transport uses it to hold work in its own

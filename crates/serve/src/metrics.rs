@@ -172,6 +172,28 @@ pub struct Metrics {
     pub(crate) store_quarantined: AtomicU64,
     pub(crate) draining: AtomicBool,
 
+    // Cluster counters, incremented by the net/cluster tiers through the
+    // shared `Arc<Metrics>` (hence `pub`): requests proxied to the owning
+    // node, `Redirect` answers sent, proxy hops that failed, and warm
+    // `.rbplan` migrations in each direction. `cluster_ring_epoch` and
+    // `cluster_members` are gauges of the last applied ring view.
+    /// Solve requests this node forwarded to the owning node.
+    pub cluster_proxied: AtomicU64,
+    /// Solve requests answered with a `Redirect` to the owner.
+    pub cluster_redirects: AtomicU64,
+    /// Proxy hops that failed (owner unreachable or answered an error).
+    pub cluster_proxy_errors: AtomicU64,
+    /// Plans pushed to peers (warm migrations out).
+    pub cluster_plans_pushed: AtomicU64,
+    /// Plans received from peers and imported (warm migrations in).
+    pub cluster_plans_received: AtomicU64,
+    /// Plan-pull requests this node answered with plan bytes.
+    pub cluster_plans_served: AtomicU64,
+    /// Epoch of the most recently applied ring view (gauge).
+    pub cluster_ring_epoch: AtomicU64,
+    /// Members in the most recently applied ring view (gauge).
+    pub cluster_members: AtomicU64,
+
     pub(crate) batches: AtomicU64,
     pub(crate) multi_column_batches: AtomicU64,
     pub(crate) batched_columns: AtomicU64,
@@ -218,6 +240,14 @@ impl Default for Metrics {
             worker_panics: AtomicU64::new(0),
             store_quarantined: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            cluster_proxied: AtomicU64::new(0),
+            cluster_redirects: AtomicU64::new(0),
+            cluster_proxy_errors: AtomicU64::new(0),
+            cluster_plans_pushed: AtomicU64::new(0),
+            cluster_plans_received: AtomicU64::new(0),
+            cluster_plans_served: AtomicU64::new(0),
+            cluster_ring_epoch: AtomicU64::new(0),
+            cluster_members: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             multi_column_batches: AtomicU64::new(0),
             batched_columns: AtomicU64::new(0),
@@ -365,6 +395,14 @@ impl Metrics {
             worker_panics: self.worker_panics.load(Relaxed),
             store_quarantined: self.store_quarantined.load(Relaxed),
             health: self.health(),
+            cluster_proxied: self.cluster_proxied.load(Relaxed),
+            cluster_redirects: self.cluster_redirects.load(Relaxed),
+            cluster_proxy_errors: self.cluster_proxy_errors.load(Relaxed),
+            cluster_plans_pushed: self.cluster_plans_pushed.load(Relaxed),
+            cluster_plans_received: self.cluster_plans_received.load(Relaxed),
+            cluster_plans_served: self.cluster_plans_served.load(Relaxed),
+            cluster_ring_epoch: self.cluster_ring_epoch.load(Relaxed),
+            cluster_members: self.cluster_members.load(Relaxed),
             batches: self.batches.load(Relaxed),
             multi_column_batches: self.multi_column_batches.load(Relaxed),
             batched_columns: self.batched_columns.load(Relaxed),
@@ -430,6 +468,22 @@ pub struct MetricsSnapshot {
     pub store_quarantined: u64,
     /// Health state derived from the counters at snapshot time.
     pub health: Health,
+    /// See [`Metrics::cluster_proxied`].
+    pub cluster_proxied: u64,
+    /// See [`Metrics::cluster_redirects`].
+    pub cluster_redirects: u64,
+    /// See [`Metrics::cluster_proxy_errors`].
+    pub cluster_proxy_errors: u64,
+    /// See [`Metrics::cluster_plans_pushed`].
+    pub cluster_plans_pushed: u64,
+    /// See [`Metrics::cluster_plans_received`].
+    pub cluster_plans_received: u64,
+    /// See [`Metrics::cluster_plans_served`].
+    pub cluster_plans_served: u64,
+    /// See [`Metrics::cluster_ring_epoch`] (gauge).
+    pub cluster_ring_epoch: u64,
+    /// See [`Metrics::cluster_members`] (gauge).
+    pub cluster_members: u64,
     /// Wall-clock spent loading plans from the store — compare against
     /// `preprocess_time` to see what persistence saves.
     pub store_load_time: Duration,
@@ -575,6 +629,21 @@ impl fmt::Display for MetricsSnapshot {
             "health: {} ({} contained worker panics, {} quarantined plan files)",
             self.health, self.worker_panics, self.store_quarantined
         )?;
+        if self.cluster_members > 0 {
+            writeln!(
+                f,
+                "cluster: {} members (ring epoch {}), {} proxied, {} redirects, {} proxy errors, \
+                 plans {} pushed / {} received / {} served",
+                self.cluster_members,
+                self.cluster_ring_epoch,
+                self.cluster_proxied,
+                self.cluster_redirects,
+                self.cluster_proxy_errors,
+                self.cluster_plans_pushed,
+                self.cluster_plans_received,
+                self.cluster_plans_served
+            )?;
+        }
         writeln!(
             f,
             "batching: {} batches ({} multi-column), {} columns, mean size {:.2}",

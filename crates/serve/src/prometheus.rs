@@ -142,7 +142,7 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
                 let _ = writeln!(
                     out,
                     "recblock_tenant_requests_total{{tenant=\"{}\",event=\"{event}\"}} {v}",
-                    t.tenant
+                    escape_label_value(&t.tenant)
                 );
             }
         }
@@ -155,7 +155,8 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             let _ = writeln!(
                 out,
                 "recblock_tenant_admitted_cost_total{{tenant=\"{}\"}} {}",
-                t.tenant, t.admitted_cost
+                escape_label_value(&t.tenant),
+                t.admitted_cost
             );
         }
         let _ = writeln!(
@@ -167,9 +168,51 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             let _ = writeln!(
                 out,
                 "recblock_tenant_queue_depth{{tenant=\"{}\"}} {}",
-                t.tenant, t.queue_depth
+                escape_label_value(&t.tenant),
+                t.queue_depth
             );
         }
+    }
+
+    // Cluster tier: only rendered once a ring view has been applied, so
+    // single-node deployments keep their exposition unchanged.
+    if snapshot.cluster_members > 0 {
+        counter_family(
+            &mut out,
+            "recblock_cluster_requests_total",
+            "Cluster routing outcomes on this node.",
+            "event",
+            &[
+                ("proxied", snapshot.cluster_proxied),
+                ("redirect", snapshot.cluster_redirects),
+                ("proxy_error", snapshot.cluster_proxy_errors),
+            ],
+        );
+        counter_family(
+            &mut out,
+            "recblock_cluster_plan_migrations_total",
+            "Warm .rbplan migrations between nodes.",
+            "direction",
+            &[
+                ("pushed", snapshot.cluster_plans_pushed),
+                ("received", snapshot.cluster_plans_received),
+                ("served", snapshot.cluster_plans_served),
+            ],
+        );
+        scalar(
+            &mut out,
+            "recblock_cluster_ring_epoch",
+            "gauge",
+            "Epoch of the most recently applied ring view.",
+            snapshot.cluster_ring_epoch as f64,
+        );
+        scalar(
+            &mut out,
+            "recblock_cluster_members",
+            "gauge",
+            "Members in the most recently applied ring view.",
+            snapshot.cluster_members as f64,
+        );
     }
 
     counter_family(
@@ -212,11 +255,28 @@ fn scalar(out: &mut String, name: &str, ty: &str, help: &str, value: f64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline would otherwise terminate (or corrupt) the
+/// `label="value"` syntax. Tenant names arrive from the wire, so a
+/// hostile name must not be able to forge extra samples or labels.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn counter_family(out: &mut String, name: &str, help: &str, label: &str, values: &[(&str, u64)]) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     for (value, count) in values {
-        let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {count}");
+        let _ = writeln!(out, "{name}{{{label}=\"{}\"}} {count}", escape_label_value(value));
     }
 }
 
@@ -299,6 +359,61 @@ mod tests {
         // No tenants registered → no tenant families at all.
         let empty = Metrics::default().snapshot().render_prometheus();
         assert!(!empty.contains("recblock_tenant_"), "{empty}");
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_escaped() {
+        let m = Metrics::default();
+        // A name designed to break out of `tenant="…"` and forge a sample.
+        let hostile = "evil\"} 999\nforged_metric{x=\"\\";
+        let t = m.tenant(hostile);
+        t.admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let text = m.snapshot().render_prometheus();
+        // The raw quote/newline/backslash must not survive unescaped: the
+        // injected newline never starts a line, so the forged series exists
+        // only as escaped text inside the tenant label, and every
+        // non-comment line still parses as `name{labels} value`.
+        assert!(!text.lines().any(|l| l.starts_with("forged_metric")), "{text}");
+        assert!(
+            text.contains(r#"tenant="evil\"} 999\nforged_metric{x=\"\\""#),
+            "escaped name missing: {text}"
+        );
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in line: {line}");
+            // A quote inside a label value must always be preceded by a
+            // backslash — otherwise the exposition grammar is corrupted.
+            let bytes = series.as_bytes();
+            if let (Some(open), Some(_)) = (series.find('{'), series.rfind('}')) {
+                let mut i = open + 1;
+                let mut in_value = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if in_value => i += 1, // skip escaped char
+                        b'"' => in_value = !in_value,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                assert!(!in_value, "unterminated label value in line: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_families_render_once_ring_applied() {
+        let m = Metrics::default();
+        let empty = m.snapshot().render_prometheus();
+        assert!(!empty.contains("recblock_cluster_"), "{empty}");
+        m.cluster_members.store(3, std::sync::atomic::Ordering::Relaxed);
+        m.cluster_ring_epoch.store(2, std::sync::atomic::Ordering::Relaxed);
+        m.cluster_proxied.fetch_add(5, std::sync::atomic::Ordering::Relaxed);
+        m.cluster_plans_pushed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("recblock_cluster_requests_total{event=\"proxied\"} 5"), "{text}");
+        assert!(text.contains("recblock_cluster_plan_migrations_total{direction=\"pushed\"} 1"));
+        assert!(text.contains("recblock_cluster_ring_epoch 2"));
+        assert!(text.contains("recblock_cluster_members 3"));
     }
 
     #[test]

@@ -152,6 +152,42 @@ impl PlanStore {
         Ok(Some(loaded))
     }
 
+    /// Raw, verified `.rbplan` bytes for `key`, ready to ship to another
+    /// node verbatim — the embedded META/BODY checksums travel with the
+    /// bytes, so the receiver re-verifies without trusting the transport.
+    /// `Ok(None)` when no file exists; a present-but-corrupt file is a
+    /// typed error (never exported).
+    pub fn export_bytes(&self, key: &PlanKey) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.path_for(key, ArtifactKind::Blocked);
+        let bytes = match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+            Ok(b) => b,
+        };
+        let meta = verify_file(&bytes)?;
+        if meta.key != *key {
+            return Err(StoreError::FingerprintMismatch { expected: *key, found: meta.key });
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Accept `.rbplan` bytes produced elsewhere (a peer's
+    /// [`PlanStore::export_bytes`]) and persist them for `key`. The bytes
+    /// are verified end to end — magic, version, both checksums — and the
+    /// embedded key must match `key` before anything touches disk, so a
+    /// corrupted or misrouted push can never poison the store.
+    pub fn import_bytes(&self, key: &PlanKey, bytes: &[u8]) -> Result<PlanMeta, StoreError> {
+        let meta = verify_file(bytes)?;
+        if meta.key != *key {
+            return Err(StoreError::FingerprintMismatch { expected: *key, found: meta.key });
+        }
+        if meta.kind != ArtifactKind::Blocked {
+            return Err(StoreError::Malformed("imported plan is not a blocked artifact".into()));
+        }
+        write_atomic(&self.path_for(key, ArtifactKind::Blocked), bytes)?;
+        Ok(meta)
+    }
+
     /// Remove the plan for `key` if present. Returns whether a file was
     /// deleted.
     pub fn remove(&self, key: &PlanKey) -> Result<bool, StoreError> {

@@ -206,7 +206,15 @@ fn stat(addr: &str) -> Result<(), String> {
     let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     client.set_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
     let stat = client.stat().map_err(|e| format!("stat: {e}"))?;
+    // The health byte mirrors recblock_serve::Health's discriminants.
+    let health = match stat.health {
+        0 => "healthy",
+        1 => "degraded (resilience machinery has fired; see /metrics)",
+        2 => "draining (finishing in-flight work, refusing new solves)",
+        other => return Err(format!("server sent unknown health byte {other}")),
+    };
     println!("server    : {addr}{}", if stat.draining { " (draining)" } else { "" });
+    println!("health    : {health}");
     println!("plans warm: {}", stat.plans_warm);
     println!("in flight : {} columns", stat.inflight);
     if stat.tenants.is_empty() {
@@ -215,10 +223,17 @@ fn stat(addr: &str) -> Result<(), String> {
     }
     println!("tenants   :");
     for t in &stat.tenants {
+        let outstanding = t.admitted.saturating_sub(t.completed);
         println!(
             "  {:<16} queued {:>4}  admitted {:>6}  completed {:>6}  \
-             rejected {:>4}  shed {:>4}",
-            t.tenant, t.queue_depth, t.admitted, t.completed, t.admission_rejected, t.shed
+             outstanding {:>4}  rejected {:>4}  shed {:>4}",
+            t.tenant,
+            t.queue_depth,
+            t.admitted,
+            t.completed,
+            outstanding,
+            t.admission_rejected,
+            t.shed
         );
     }
     Ok(())

@@ -19,7 +19,22 @@
 //! seeds, same fingerprints), pings, runs a burst as `alpha`/`beta`, shows
 //! `limited` being refused with a typed error, and finishes with the
 //! server's per-tenant stat frame.
+//!
+//! The cluster tier rides on the same binary:
+//!
+//! ```text
+//! serve_demo --cluster node-a 127.0.0.1:7701                  first node
+//! serve_demo --cluster node-b 127.0.0.1:7702 127.0.0.1:7701   join via node-a
+//! serve_demo --cluster node-c 127.0.0.1:7703 127.0.0.1:7701   join via node-a
+//! serve_demo --connect 127.0.0.1:7702                         solve via any node
+//! ```
+//!
+//! Each `--cluster` node warms its *owned* shard of the demo plans (the
+//! consistent-hash ring decides; plans are built once cluster-wide and
+//! migrated as `.rbplan` bytes), then serves. A client may dial any
+//! node: owners answer locally, everyone else proxies to the owner.
 
+use recblock_cluster::{ClusterConfig, ClusterNode, WarmOutcome};
 use recblock_matrix::{generate, Csr};
 use recblock_net::{ErrCode, NetClient, NetConfig, NetError, NetServer, TenantPolicy};
 use recblock_serve::{ServeConfig, SolveService};
@@ -41,6 +56,9 @@ fn main() {
     let result = match args.first().map(String::as_str) {
         Some("--listen") if args.len() == 2 => listen(&args[1]),
         Some("--connect") if args.len() == 2 => connect(&args[1]),
+        Some("--cluster") if args.len() == 3 || args.len() == 4 => {
+            cluster(&args[1], &args[2], args.get(3).map(String::as_str))
+        }
         _ => {
             in_process(args.iter().any(|a| a == "--metrics"));
             Ok(())
@@ -120,6 +138,44 @@ fn listen(addr: &str) -> Result<(), String> {
         server.local_addr().map_err(|e| e.to_string())?
     );
     server.run().map_err(|e| format!("event loop: {e}"))
+}
+
+/// `--cluster <name> <bind-addr> [seed-addr]`: run one node of a sharded
+/// cluster. Without a seed address the node starts a new single-member
+/// ring; with one it joins the cluster reachable there. Either way it
+/// then warms its owned shard of the demo plans and serves until killed.
+fn cluster(name: &str, bind: &str, seed: Option<&str>) -> Result<(), String> {
+    let service = Arc::new(SolveService::<f64>::new(
+        ServeConfig::default().with_max_batch(8).with_queue_capacity(128),
+    ));
+    let net_cfg = NetConfig::default()
+        .with_tenant("alpha", TenantPolicy::default().with_weight(3.0))
+        .with_tenant("beta", TenantPolicy::default().with_weight(1.0))
+        .with_tenant("limited", TenantPolicy::default().with_rate(50_000.0, 300_000.0));
+    let node = ClusterNode::start(bind, ClusterConfig::new(name), net_cfg, service)
+        .map_err(|e| format!("start node on {bind}: {e}"))?;
+    println!("node {name} listening on {}", node.addr());
+
+    if let Some(seed) = seed {
+        let ring = node.join(seed).map_err(|e| format!("join via {seed}: {e}"))?;
+        println!("joined ring (epoch {}): {} members", ring.epoch, ring.members.len());
+    }
+
+    // Warm only the shard this node owns; plans build once cluster-wide
+    // (the grant protocol dedupes concurrent cold starts) and replicas
+    // receive migrated `.rbplan` bytes instead of rebuilding.
+    for (i, l) in demo_matrices().iter().enumerate() {
+        let outcome = node.warm(l).map_err(|e| format!("warm matrix {i}: {e}"))?;
+        let verdict = match outcome {
+            WarmOutcome::NotOwner => "not owned here (solves will proxy)".to_string(),
+            other => format!("{other:?}"),
+        };
+        println!("  matrix {i}: key {} — {verdict}", PlanKey::of(l));
+    }
+    println!("serving; dial any cluster node with --connect. Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 /// `--connect <addr>`: exercise a running `--listen` server over TCP.
