@@ -12,15 +12,24 @@
 //! can only match, not beat, the legacy serial loop.
 //!
 //! Run with `cargo run --release -p recblock-bench --bin bench_sptrsv`.
+//!
+//! `--gate <baseline.json>` instead re-measures the two cheapest corpus
+//! matrices and exits nonzero if the recblock solve regressed more than 25%
+//! against the committed baseline — the CI perf gate. Nothing is written.
 
-use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule, SolveWorkspace};
+use recblock::blocked::{BlockedOptions, BlockedTri, SolveWorkspace};
+use recblock::explain::BlockDecisionKind;
 use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
 use recblock_kernels::trace::{EventKind, SolveTrace};
+use recblock_kernels::ExecPool;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{generate, Csr};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Regression factor versus the committed baseline that fails the gate.
+const GATE_TOLERANCE: f64 = 1.25;
 
 const WARMUP: usize = 3;
 const SAMPLES: usize = 15;
@@ -70,11 +79,20 @@ fn corpus() -> Vec<(&'static str, Csr<f64>)> {
     ]
 }
 
+/// The subset of the corpus cheap enough to re-measure on every CI run.
+fn gate_corpus() -> Vec<(&'static str, Csr<f64>)> {
+    corpus().into_iter().filter(|(name, _)| *name == "chain_5k" || *name == "kkt_20k").collect()
+}
+
 struct MatrixReport {
     name: &'static str,
     n: usize,
     nnz: usize,
     nlevels: usize,
+    /// Engine synchronisation scheme of the recblock plan's level-set
+    /// blocks: `"p2p"`, `"level-sync"`, or `"none"` when no block runs an
+    /// engine schedule.
+    schedule_mode: &'static str,
     kernels: Vec<(&'static str, f64)>,
     /// `(stage label, events, total ns)` from one traced `recblock` solve,
     /// largest total first. Collected in a separate pass so the timing
@@ -134,7 +152,89 @@ fn trace_blocked_solve(
     agg
 }
 
+/// Build the recblock plan the way `main` and the gate both measure it:
+/// the production-default adaptive depth rule, exactly what `planctl` and
+/// the serve tier produce for an untuned matrix.
+fn build_blocked(l: &Csr<f64>) -> BlockedTri<f64> {
+    BlockedTri::build(l, &BlockedOptions::default()).unwrap()
+}
+
+/// Dominant engine schedule mode across the plan's tri blocks.
+fn plan_schedule_mode(blocked: &BlockedTri<f64>) -> &'static str {
+    let mut mode = "none";
+    for b in blocked.selection_report().tri_blocks() {
+        if let BlockDecisionKind::Tri { schedule_mode: Some(m), .. } = &b.kind {
+            if *m == "p2p" {
+                return "p2p";
+            }
+            mode = m;
+        }
+    }
+    mode
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Pull `kernels.<kernel>` for matrix `name` out of the committed baseline
+/// JSON. The file is written by this binary, so the shape is known; a tiny
+/// scan keeps the bench crate dependency-free.
+fn baseline_ns(json: &str, name: &str, kernel: &str) -> Option<f64> {
+    let entry = json.split("\"name\": ").find(|s| s.starts_with(&format!("\"{name}\"")))?;
+    let entry = &entry[..entry.find('\n').unwrap_or(entry.len())];
+    let key = format!("\"{kernel}\": ");
+    let at = entry.find(&key)? + key.len();
+    let num: String =
+        entry[at..].chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
+/// CI perf gate: re-measure the cheap corpus subset and compare the
+/// recblock solve against the committed baseline. Exits 1 on regression.
+fn run_gate(baseline_path: &str) {
+    let json = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let mut failed = false;
+    for (name, l) in gate_corpus() {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+        let mut x = vec![0.0f64; n];
+        let blocked = build_blocked(&l);
+        let mut ws = SolveWorkspace::new();
+        let measured = median_ns(|| blocked.solve_into(&b, black_box(&mut x), &mut ws).unwrap());
+        let Some(base) = baseline_ns(&json, name, "recblock") else {
+            println!("gate {name}: no recblock baseline in {baseline_path}, skipping");
+            continue;
+        };
+        let ratio = measured / base;
+        let verdict = if ratio > GATE_TOLERANCE { "FAIL" } else { "ok" };
+        println!(
+            "gate {name}: recblock {measured:.0} ns vs baseline {base:.0} ns \
+             ({ratio:.2}x, limit {GATE_TOLERANCE:.2}x) {verdict}"
+        );
+        failed |= ratio > GATE_TOLERANCE;
+    }
+    if failed {
+        println!("bench gate FAILED: recblock regressed more than {GATE_TOLERANCE:.2}x");
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--gate" {
+        run_gate(&args[2]);
+        return;
+    }
     let mut reports = Vec::new();
     for (name, l) in corpus() {
         let n = l.nrows();
@@ -171,8 +271,8 @@ fn main() {
             median_ns(|| cu.solve_into(&b, black_box(&mut x)).unwrap()),
         ));
 
-        let opts = BlockedOptions { depth: DepthRule::Fixed(3), ..BlockedOptions::default() };
-        let blocked = BlockedTri::build(&l, &opts).unwrap();
+        let blocked = build_blocked(&l);
+        let schedule_mode = plan_schedule_mode(&blocked);
         let mut ws = SolveWorkspace::new();
         kernels.push((
             "recblock",
@@ -184,7 +284,7 @@ fn main() {
         let trace = trace_blocked_solve(&blocked, &b, &mut x, &mut ws);
 
         let get = |k: &str| kernels.iter().find(|(kk, _)| *kk == k).unwrap().1;
-        println!("{name}: n={n} nnz={} levels={nlevels}", l.nnz());
+        println!("{name}: n={n} nnz={} levels={nlevels} schedule_mode={schedule_mode}", l.nnz());
         for (k, ns) in &kernels {
             println!("  {k:<22} {:>12.0} ns/solve", ns);
         }
@@ -201,15 +301,29 @@ fn main() {
             println!("    {label:<28} {count:>5} events {ns:>12} ns");
         }
 
-        reports.push(MatrixReport { name, n, nnz: l.nnz(), nlevels, kernels, trace });
+        reports.push(MatrixReport {
+            name,
+            n,
+            nnz: l.nnz(),
+            nlevels,
+            schedule_mode,
+            kernels,
+            trace,
+        });
     }
 
-    let mut json = String::from("{\n  \"unit\": \"ns_per_solve\",\n  \"matrices\": [\n");
+    let mut json = format!(
+        "{{\n  \"unit\": \"ns_per_solve\",\n  \"threads\": {},\n  \"git_rev\": \"{}\",\n  \
+         \"matrices\": [\n",
+        ExecPool::global().concurrency(),
+        git_rev()
+    );
     for (mi, r) in reports.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"nlevels\": {}, \"kernels\": {{",
-            r.name, r.n, r.nnz, r.nlevels
+            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"nlevels\": {}, \
+             \"schedule_mode\": \"{}\", \"kernels\": {{",
+            r.name, r.n, r.nnz, r.nlevels, r.schedule_mode
         );
         for (ki, (k, ns)) in r.kernels.iter().enumerate() {
             let _ = write!(

@@ -54,6 +54,17 @@ pub struct Thresholds {
     pub scalar_empty_ratio: f64,
     /// `emptyratio` above which vector kernels switch to DCSR (paper: 0.15).
     pub vector_empty_ratio: f64,
+    /// Shape guard (this port, not in the paper): when `nlevels / n` is at
+    /// or above this ratio the block is chain-like — nearly one row per
+    /// level — and the sync-free kernel's per-row flag traffic can only
+    /// lose to the level-set schedule, which coarsens such a block into one
+    /// serial run (≈ the serial kernel).
+    pub chain_level_ratio: f64,
+    /// Shape guard (this port): when the *average* level carries at least
+    /// this many rows (`n / nlevels`), the level-set schedule has enough
+    /// width per level for its engine (and the point-to-point task graph)
+    /// to beat sync-free regardless of depth.
+    pub wide_level_rows: usize,
 }
 
 impl Default for Thresholds {
@@ -66,20 +77,33 @@ impl Default for Thresholds {
             spmv_nnz_per_row: 12.0,
             scalar_empty_ratio: 0.5,
             vector_empty_ratio: 0.15,
+            chain_level_ratio: 0.8,
+            wide_level_rows: 256,
         }
     }
 }
 
 impl Thresholds {
     /// Select the SpTRSV kernel for a triangular block (Algorithm 7, lines
-    /// 4–11).
+    /// 4–11). Shape-blind form kept for callers without a row count; the
+    /// blocked solver uses [`Thresholds::select_tri_shaped`].
     pub fn select_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriKernel {
+        self.select_tri_shaped(nnz_per_row, nlevels, 0)
+    }
+
+    /// As [`Thresholds::select_tri`] with the block's row count `n`, which
+    /// enables the two shape guards (`chain_level_ratio`,
+    /// `wide_level_rows`); `n = 0` disables them and reproduces the paper's
+    /// original Algorithm 7 tree exactly.
+    pub fn select_tri_shaped(&self, nnz_per_row: f64, nlevels: usize, n: usize) -> TriKernel {
         if nlevels <= 1 {
             TriKernel::CompletelyParallel
         } else if nlevels > self.cusparse_levels {
             TriKernel::CusparseLike
         } else if (nnz_per_row <= 1.0 + 1e-9 && nlevels <= self.levelset_unit_levels)
             || (nnz_per_row <= self.levelset_nnz_per_row && nlevels <= self.levelset_levels)
+            || (n > 0 && nlevels as f64 >= self.chain_level_ratio * n as f64)
+            || (n > 0 && n / nlevels >= self.wide_level_rows)
         {
             TriKernel::LevelSet
         } else {
@@ -107,6 +131,12 @@ impl Thresholds {
     /// fired, and the kernels rejected on the way. Always agrees with
     /// `select_tri` on the chosen kernel.
     pub fn explain_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriDecision {
+        self.explain_tri_shaped(nnz_per_row, nlevels, 0)
+    }
+
+    /// As [`Thresholds::explain_tri`] with the block's row count (see
+    /// [`Thresholds::select_tri_shaped`]).
+    pub fn explain_tri_shaped(&self, nnz_per_row: f64, nlevels: usize, n: usize) -> TriDecision {
         let rejected = |chosen: TriKernel| {
             ALL_TRI.iter().copied().filter(|k| *k != chosen).collect::<Vec<_>>()
         };
@@ -143,6 +173,29 @@ impl Thresholds {
                     "nnz/row={nnz_per_row:.2} <= levelset_nnz_per_row={} and nlevels={nlevels} \
                      <= levelset_levels={}",
                     self.levelset_nnz_per_row, self.levelset_levels
+                ),
+                rejected: rejected(TriKernel::LevelSet),
+            }
+        } else if n > 0 && nlevels as f64 >= self.chain_level_ratio * n as f64 {
+            TriDecision {
+                chosen: TriKernel::LevelSet,
+                threshold: "chain_level_ratio",
+                rule: format!(
+                    "nlevels={nlevels} >= chain_level_ratio={} * n={n}: chain-like block, \
+                     level-set coarsens it to a serial run (sync-free flag traffic rejected)",
+                    self.chain_level_ratio
+                ),
+                rejected: rejected(TriKernel::LevelSet),
+            }
+        } else if n > 0 && n / nlevels >= self.wide_level_rows {
+            TriDecision {
+                chosen: TriKernel::LevelSet,
+                threshold: "wide_level_rows",
+                rule: format!(
+                    "n/nlevels={} >= wide_level_rows={}: wide levels, engine schedule \
+                     (level-sync or p2p) beats sync-free",
+                    n / nlevels,
+                    self.wide_level_rows
                 ),
                 rejected: rejected(TriKernel::LevelSet),
             }
@@ -284,8 +337,14 @@ impl Default for Selector {
 impl Selector {
     /// Resolve the SpTRSV kernel for a block.
     pub fn tri(&self, nnz_per_row: f64, nlevels: usize) -> TriKernel {
+        self.tri_shaped(nnz_per_row, nlevels, 0)
+    }
+
+    /// Resolve the SpTRSV kernel for a block of `n` rows (shape guards
+    /// active — see [`Thresholds::select_tri_shaped`]).
+    pub fn tri_shaped(&self, nnz_per_row: f64, nlevels: usize, n: usize) -> TriKernel {
         match self {
-            Selector::Adaptive(t) => t.select_tri(nnz_per_row, nlevels),
+            Selector::Adaptive(t) => t.select_tri_shaped(nnz_per_row, nlevels, n),
             Selector::Fixed(k, _) => {
                 if nlevels <= 1 {
                     TriKernel::CompletelyParallel
@@ -307,8 +366,14 @@ impl Selector {
     /// As [`Selector::tri`] with the decision trail. Always agrees with
     /// `tri` on the chosen kernel.
     pub fn explain_tri(&self, nnz_per_row: f64, nlevels: usize) -> TriDecision {
+        self.explain_tri_shaped(nnz_per_row, nlevels, 0)
+    }
+
+    /// As [`Selector::tri_shaped`] with the decision trail. Always agrees
+    /// with `tri_shaped` on the chosen kernel.
+    pub fn explain_tri_shaped(&self, nnz_per_row: f64, nlevels: usize, n: usize) -> TriDecision {
         match self {
-            Selector::Adaptive(t) => t.explain_tri(nnz_per_row, nlevels),
+            Selector::Adaptive(t) => t.explain_tri_shaped(nnz_per_row, nlevels, n),
             Selector::Fixed(k, _) => {
                 if nlevels <= 1 {
                     TriDecision {
@@ -440,6 +505,34 @@ mod tests {
         assert_eq!(t.select_tri(8.0, 500), TriKernel::SyncFree);
         assert_eq!(t.select_tri(40.0, 10), TriKernel::SyncFree);
         assert_eq!(t.select_tri(1.0, 150), TriKernel::SyncFree);
+    }
+
+    #[test]
+    fn shape_guards_fire_only_with_row_count() {
+        let t = Thresholds::default();
+        // Chain-like block: one row per level → level-set (which coarsens
+        // it to a serial run), decided by the chain guard.
+        assert_eq!(t.select_tri_shaped(2.0, 5000, 5000), TriKernel::LevelSet);
+        assert_eq!(t.explain_tri_shaped(2.0, 5000, 5000).threshold, "chain_level_ratio");
+        // Wide levels: hundreds of rows per level on average.
+        assert_eq!(t.select_tri_shaped(4.5, 31, 10_000), TriKernel::LevelSet);
+        assert_eq!(t.explain_tri_shaped(4.5, 31, 10_000).threshold, "wide_level_rows");
+        // n = 0 disables both guards: the paper's original tree.
+        assert_eq!(t.select_tri(2.0, 5000), TriKernel::SyncFree);
+        assert_eq!(t.select_tri(4.5, 31), TriKernel::SyncFree);
+        // Narrow deep blocks still go sync-free even with n known.
+        assert_eq!(t.select_tri_shaped(8.0, 500, 8000), TriKernel::SyncFree);
+        // explain always agrees with select.
+        for &(npr, nlv, n) in &[
+            (2.0, 5000usize, 5000usize),
+            (4.5, 31, 10_000),
+            (8.0, 500, 80_000),
+            (40.0, 10, 4000),
+            (3.0, 50_000, 50_000),
+        ] {
+            let d = t.explain_tri_shaped(npr, nlv, n);
+            assert_eq!(d.chosen, t.select_tri_shaped(npr, nlv, n), "npr={npr} nlv={nlv} n={n}");
+        }
     }
 
     #[test]

@@ -222,10 +222,18 @@ pub struct BlockedTri<S> {
     nnz: usize,
     depth: usize,
     perm: Permutation,
+    /// `true` when `perm` is the identity — gather/scatter degrade to plain
+    /// copies (or are skipped entirely) on the solve hot path.
+    ident: bool,
     tune: TuneParams,
     blocks: Vec<Block<S>>,
     traffic: TrafficCounts,
     report: SelectionReport,
+}
+
+/// Is `perm[new] = old` the identity map?
+fn perm_is_identity(perm: &Permutation) -> bool {
+    perm.forward().iter().enumerate().all(|(new, &old)| new == old)
 }
 
 impl<S: Scalar> BlockedTri<S> {
@@ -293,7 +301,18 @@ impl<S: Scalar> BlockedTri<S> {
             reorder_time,
             false,
         );
-        Ok(BlockedTri { n, nnz: l.nnz(), depth, perm, tune: opts.tune, blocks, traffic, report })
+        let ident = perm_is_identity(&perm);
+        Ok(BlockedTri {
+            n,
+            nnz: l.nnz(),
+            depth,
+            perm,
+            ident,
+            tune: opts.tune,
+            blocks,
+            traffic,
+            report,
+        })
     }
 
     /// Rows of the system.
@@ -454,7 +473,8 @@ impl<S: Scalar> BlockedTri<S> {
         // decision trail with the defaults and let the reconciliation in
         // `explain` note any block where the stored kernel disagrees.
         let report = make_report(n, nnz, depth, &out, &Selector::default(), None, None, true);
-        Ok(BlockedTri { n, nnz, depth, perm, tune, blocks: out, traffic, report })
+        let ident = perm_is_identity(&perm);
+        Ok(BlockedTri { n, nnz, depth, perm, ident, tune, blocks: out, traffic, report })
     }
 
     /// Which kernels the selection assigned, per block count.
@@ -495,12 +515,41 @@ impl<S: Scalar> BlockedTri<S> {
             });
         }
         let (work, x) = ws.pair(self.n);
-        // Gather b into the reordered space.
+        // Gather b into the reordered space. An identity permutation (the
+        // reorder found nothing to move, or reordering was disabled)
+        // degrades to a straight memcpy.
         let t0 = SolveTrace::start();
-        for (new, &old) in self.perm.forward().iter().enumerate() {
-            work[new] = b[old];
+        if self.ident {
+            work.copy_from_slice(b);
+        } else {
+            for (new, &old) in self.perm.forward().iter().enumerate() {
+                work[new] = b[old];
+            }
         }
         SolveTrace::finish(t0, EventKind::Gather, 0, self.n as u32, 0);
+        if self.ident {
+            // Identity fast path: solve straight into the caller's buffer
+            // and skip the scatter pass (and its extra n-vector of traffic)
+            // entirely.
+            self.walk_blocks(work, x_out)?;
+            let t0 = SolveTrace::start();
+            SolveTrace::finish(t0, EventKind::Scatter, 0, 0, 0);
+            return Ok(());
+        }
+        self.walk_blocks(work, x)?;
+        // Scatter back to the original ordering.
+        let t0 = SolveTrace::start();
+        for (new, &old) in self.perm.forward().iter().enumerate() {
+            x_out[old] = x[new];
+        }
+        SolveTrace::finish(t0, EventKind::Scatter, 0, self.n as u32, 0);
+        Ok(())
+    }
+
+    /// The block walk shared by [`BlockedTri::solve_into`]'s permuted and
+    /// identity paths: `work` holds the gathered right-hand side (mutated by
+    /// square blocks), `x` receives the solution in reordered space.
+    fn walk_blocks(&self, work: &mut [S], x: &mut [S]) -> Result<(), MatrixError> {
         for (bi, block) in self.blocks.iter().enumerate() {
             let t0 = SolveTrace::start();
             match &block.data {
@@ -526,12 +575,6 @@ impl<S: Scalar> BlockedTri<S> {
                 }
             }
         }
-        // Scatter back to the original ordering.
-        let t0 = SolveTrace::start();
-        for (new, &old) in self.perm.forward().iter().enumerate() {
-            x_out[old] = x[new];
-        }
-        SolveTrace::finish(t0, EventKind::Scatter, 0, self.n as u32, 0);
         Ok(())
     }
 
@@ -637,8 +680,12 @@ impl<S: Scalar> BlockedTri<S> {
         for j in 0..k {
             let bj = b.col(j);
             let wj = &mut work[j * n..(j + 1) * n];
-            for (new, &old) in self.perm.forward().iter().enumerate() {
-                wj[new] = bj[old];
+            if self.ident {
+                wj.copy_from_slice(bj);
+            } else {
+                for (new, &old) in self.perm.forward().iter().enumerate() {
+                    wj[new] = bj[old];
+                }
             }
         }
         for block in &self.blocks {
@@ -662,8 +709,12 @@ impl<S: Scalar> BlockedTri<S> {
         for j in 0..k {
             let xj = &x[j * n..(j + 1) * n];
             let oj = out.col_mut(j);
-            for (new, &old) in self.perm.forward().iter().enumerate() {
-                oj[old] = xj[new];
+            if self.ident {
+                oj.copy_from_slice(xj);
+            } else {
+                for (new, &old) in self.perm.forward().iter().enumerate() {
+                    oj[old] = xj[new];
+                }
             }
         }
         Ok(())
@@ -744,6 +795,8 @@ fn make_report<S: Scalar>(
                     nlevels: profile.nlevels(),
                     shape: LevelShape::from_level_rows(&profile.level_rows),
                     schedule: solver.schedule_stats(),
+                    schedule_mode: solver.schedule_mode(),
+                    tasks: solver.task_stats(),
                 },
             },
             BlockData::Square(sq) => BlockDecision {

@@ -17,6 +17,7 @@
 use crate::adaptive::{Selector, SpmvDecision, TriDecision, TriKernel};
 use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::{SpmvProfile, TriProfile};
+use recblock_kernels::TaskGraphStats;
 use std::fmt;
 use std::ops::Range;
 use std::time::Duration;
@@ -79,6 +80,13 @@ pub enum BlockDecisionKind {
         /// `(runs, parallel launches)` of the preplanned engine schedule,
         /// for the schedule-based kernels (level-set, cuSPARSE-like).
         schedule: Option<(usize, usize)>,
+        /// Synchronisation scheme of the engine schedule (`"p2p"` or
+        /// `"level-sync"`); `None` for kernels that run no engine schedule
+        /// (diagonal, sync-free).
+        schedule_mode: Option<&'static str>,
+        /// Shape of the compiled point-to-point task graph, when the block
+        /// runs barrier-free.
+        tasks: Option<TaskGraphStats>,
     },
     /// Square update block (SpMV kernel selection).
     Square {
@@ -169,7 +177,15 @@ impl SelectionReport {
         for b in &self.blocks {
             let _ = writeln!(out, "\nblock {:>3}  rows {:?}  cols {:?}", b.index, b.rows, b.cols);
             match &b.kind {
-                BlockDecisionKind::Tri { decision, nnz_per_row, nlevels, shape, schedule } => {
+                BlockDecisionKind::Tri {
+                    decision,
+                    nnz_per_row,
+                    nlevels,
+                    shape,
+                    schedule,
+                    schedule_mode,
+                    tasks,
+                } => {
                     let _ = writeln!(
                         out,
                         "  tri    -> {}  (deciding threshold: {})",
@@ -192,8 +208,20 @@ impl SelectionReport {
                         let _ = writeln!(
                             out,
                             "  schedule {runs} runs, {par} parallel launches \
-                             ({} levels coarsened away)",
-                            nlevels.saturating_sub(*runs)
+                             ({} levels coarsened away){}",
+                            nlevels.saturating_sub(*runs),
+                            match schedule_mode {
+                                Some(m) => format!(", mode {m}"),
+                                None => String::new(),
+                            }
+                        );
+                    }
+                    if let Some(ts) = tasks {
+                        let _ = writeln!(
+                            out,
+                            "  taskgraph {} tasks on {} threads, {} cross-thread edges, \
+                             critical path {}",
+                            ts.ntasks, ts.nthreads, ts.cross_edges, ts.critical_path
                         );
                     }
                     let hist = shape
@@ -282,7 +310,7 @@ pub(crate) fn tri_decision(
     profile: &TriProfile,
     actual: TriKernel,
 ) -> TriDecision {
-    let mut d = selector.explain_tri(profile.nnz_per_row(), profile.nlevels());
+    let mut d = selector.explain_tri_shaped(profile.nnz_per_row(), profile.nlevels(), profile.n);
     if d.chosen != actual {
         d.rule.push_str(&format!(
             "; persisted plan stores {}: original selector not recorded, rule re-derived \

@@ -24,7 +24,7 @@ use std::time::Instant;
 enum Node<S> {
     Leaf {
         rows: Range<usize>,
-        tri: TriSolver<S>,
+        tri: Box<TriSolver<S>>,
         profile: TriProfile,
     },
     Internal {
@@ -111,7 +111,7 @@ fn build<S: Scalar>(
         let tri = l.submatrix(range.clone(), range.clone());
         traffic.tri(range.len());
         let (tri, profile) = TriSolver::build_adaptive(tri, selector, threads)?;
-        return Ok(Node::Leaf { rows: range, tri, profile });
+        return Ok(Node::Leaf { rows: range, tri: Box::new(tri), profile });
     }
     let mid = range.start + range.len() / 2;
     let top = build(l, range.start..mid, depth - 1, selector, threads, traffic)?;

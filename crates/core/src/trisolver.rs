@@ -81,7 +81,7 @@ impl<S: Scalar> TriSolver<S> {
         recblock_matrix::triangular::check_solvable_lower(&l)?;
         let levels = LevelSets::analyse_unchecked(&l);
         let profile = TriProfile::analyse(&l, &levels);
-        let kernel = selector.tri(profile.nnz_per_row(), profile.nlevels());
+        let kernel = selector.tri_shaped(profile.nnz_per_row(), profile.nlevels(), l.nrows());
         let solver = Self::build_tuned(kernel, l, &levels, syncfree_threads, tune)?;
         Ok((solver, profile))
     }
@@ -124,6 +124,26 @@ impl<S: Scalar> TriSolver<S> {
             TriSolver::LevelSet(s) => Some((s.schedule().nruns(), s.schedule().nparallel())),
             TriSolver::Cusparse(s) => Some((s.schedule().nruns(), s.schedule().nparallel())),
             TriSolver::Diag(_) | TriSolver::SyncFree(_) => None,
+        }
+    }
+
+    /// How the block synchronises at solve time: `"p2p"` or `"level-sync"`
+    /// for the schedule-based variants, `None` for diagonal and sync-free
+    /// blocks (no level schedule at all).
+    pub fn schedule_mode(&self) -> Option<&'static str> {
+        match self {
+            TriSolver::LevelSet(s) => Some(s.schedule_mode()),
+            TriSolver::Cusparse(_) => Some("level-sync"),
+            TriSolver::Diag(_) | TriSolver::SyncFree(_) => None,
+        }
+    }
+
+    /// Shape of the compiled point-to-point task graph, when this block
+    /// runs in p2p mode.
+    pub fn task_stats(&self) -> Option<recblock_kernels::TaskGraphStats> {
+        match self {
+            TriSolver::LevelSet(s) => s.task_stats(),
+            _ => None,
         }
     }
 

@@ -36,8 +36,44 @@ pub const LANES: usize = 4;
 // TuneParams
 // ---------------------------------------------------------------------------
 
+/// How a level-set solver synchronises between dependent rows at solve time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// Pick per plan: point-to-point when the schedule has enough parallel
+    /// launches ([`TuneParams::p2p_min_parallel`]) to make barrier elision
+    /// pay, level-synchronous otherwise.
+    #[default]
+    Auto,
+    /// One barrier per parallel level ([`LevelSchedule`]).
+    LevelSync,
+    /// Dependency-driven tasks with per-task finished flags
+    /// ([`TaskSchedule`]) — one dispatch per solve, zero barriers inside.
+    PointToPoint,
+}
+
+impl ScheduleMode {
+    /// Stable on-disk / report encoding.
+    pub fn as_index(self) -> usize {
+        match self {
+            ScheduleMode::Auto => 0,
+            ScheduleMode::LevelSync => 1,
+            ScheduleMode::PointToPoint => 2,
+        }
+    }
+
+    /// Inverse of [`as_index`](Self::as_index); unknown values fall back to
+    /// `Auto` (forward compatibility for stored plans).
+    pub fn from_index(v: usize) -> Self {
+        match v {
+            1 => ScheduleMode::LevelSync,
+            2 => ScheduleMode::PointToPoint,
+            _ => ScheduleMode::Auto,
+        }
+    }
+}
+
 /// Scheduling thresholds of the execution engine. Stored with a plan
-/// (recblock-store format v2) so a reloaded plan executes with the tuning it
+/// (recblock-store format v3) so a reloaded plan executes with the tuning it
 /// was built under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TuneParams {
@@ -55,11 +91,27 @@ pub struct TuneParams {
     /// Lane count of the deterministic reduction the plan was built for
     /// (provenance; the kernels are compiled with [`LANES`]).
     pub lanes: usize,
+    /// Which synchronisation scheme the level-set solver executes with.
+    pub schedule_mode: ScheduleMode,
+    /// Under `ScheduleMode::Auto`, point-to-point is chosen when the
+    /// level-sync schedule would pay at least this many barriers per solve.
+    pub p2p_min_parallel: usize,
+    /// Target nonzeros per point-to-point task — smaller than `chunk_nnz`
+    /// because a task costs flag stores, not a barrier.
+    pub p2p_chunk_nnz: usize,
 }
 
 impl Default for TuneParams {
     fn default() -> Self {
-        TuneParams { par_rows: 256, fuse_nnz: 4096, chunk_nnz: 4096, lanes: LANES }
+        TuneParams {
+            par_rows: 256,
+            fuse_nnz: 4096,
+            chunk_nnz: 4096,
+            lanes: LANES,
+            schedule_mode: ScheduleMode::Auto,
+            p2p_min_parallel: 4,
+            p2p_chunk_nnz: 768,
+        }
     }
 }
 
@@ -67,8 +119,10 @@ impl TuneParams {
     /// The merged-launch variant used by the cuSPARSE-like solver: levels
     /// only go parallel on row count (`fuse_nnz = usize::MAX` disables the
     /// work-based promotion), mirroring cuSPARSE's row-threshold merging.
+    /// The merged schedule is the baseline the p2p mode is measured against,
+    /// so it is pinned to level-synchronous execution.
     pub fn merged_launch(self) -> Self {
-        TuneParams { fuse_nnz: usize::MAX, ..self }
+        TuneParams { fuse_nnz: usize::MAX, schedule_mode: ScheduleMode::LevelSync, ..self }
     }
 }
 
@@ -123,9 +177,19 @@ pub(crate) fn row_dot_with<S: Scalar>(cols: &[usize], vals: &[S], get: impl Fn(u
 /// solvers, and all four SpMV variants — reduces through this one function,
 /// so for a given row the result is bit-identical no matter which kernel or
 /// thread count produced it. The lane-unrolled shape also gives the
-/// optimiser independent accumulation chains (SIMD/ILP friendly).
+/// optimiser independent accumulation chains (SIMD/ILP friendly). On
+/// AVX2-capable x86-64 hosts rows of at least [`simd::MIN_SIMD_NNZ`]
+/// nonzeros take an explicit gather/multiply/add vector path that performs
+/// the *same* IEEE operations in the same order, so the result stays
+/// bit-identical to the portable reduction.
 #[inline]
 pub fn row_dot<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> S {
+    #[cfg(target_arch = "x86_64")]
+    if cols.len() >= simd::MIN_SIMD_NNZ && simd::avx2() {
+        if let Some(r) = simd::row_dot_checked(cols, vals, x) {
+            return r;
+        }
+    }
     row_dot_with(cols, vals, |j| x[j])
 }
 
@@ -138,7 +202,184 @@ pub fn row_dot<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> S {
 /// and the entries read must not be written concurrently.
 #[inline]
 pub unsafe fn row_dot_ptr<S: Scalar>(cols: &[usize], vals: &[S], x: *const S) -> S {
+    #[cfg(target_arch = "x86_64")]
+    if cols.len() >= simd::MIN_SIMD_NNZ && simd::avx2() {
+        if let Some(r) = unsafe { simd::row_dot_raw(cols, vals, x) } {
+            return r;
+        }
+    }
     row_dot_with(cols, vals, |j| unsafe { *x.add(j) })
+}
+
+/// Hint the hardware to pull the cache line holding `p` into L1. A plain
+/// hint — never faults, no-op off x86-64 — used by the schedules and SpMV
+/// kernels to overlap the next row's gather latency with the current row's
+/// arithmetic.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// How many of the next row's `x`-gather targets to prefetch ahead of
+/// solving/multiplying the current row. The gathers are the latency-bound
+/// loads of the whole hot path (column indices and values stream, `x[col]`
+/// does not); eight covers the common short rows without flooding the
+/// load ports on long ones.
+const GATHER_PREFETCH: usize = 8;
+
+/// Row lead distance for software prefetch in the triangular row loops.
+/// One row of arithmetic (~10–15 ns on typical short rows) is far below a
+/// DRAM round trip, so a one-row lead hides almost none of the gather
+/// latency; four rows keeps the fetched lines in flight long enough to
+/// arrive before the solve reaches them. Prefetches are hints — reading
+/// ahead past rows whose `x` entries are still being produced is harmless.
+pub(crate) const ROW_PREFETCH_DIST: usize = 4;
+
+/// Prefetch the leading `x`-gather targets of the row described by `cols`,
+/// plus the index/value streams themselves.
+#[inline(always)]
+pub(crate) fn prefetch_row<S>(cols: &[usize], vals: &[S], x: *const S) {
+    prefetch_read(cols.as_ptr());
+    prefetch_read(vals.as_ptr());
+    for &j in cols.iter().take(GATHER_PREFETCH) {
+        prefetch_read(x.wrapping_add(j));
+    }
+}
+
+/// Explicit AVX2 lowering of the [`row_dot_with`] reduction.
+///
+/// The portable path already exposes four independent accumulator chains;
+/// this module maps chain `k` onto vector lane `k` — same multiplies, same
+/// adds, same `((a0+a1)+(a2+a3))+tail` combine, no FMA contraction — so the
+/// vector result is bit-identical to the portable one and therefore to the
+/// serial reference. Dispatch is by `TypeId` (f32/f64 only) behind a cached
+/// `is_x86_feature_detected!` probe.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd {
+    use super::LANES;
+    use recblock_matrix::Scalar;
+    use std::any::TypeId;
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Below this row length the vector prologue costs more than it saves
+    /// (and the portable path already takes its sequential branch at
+    /// `< LANES`).
+    pub(crate) const MIN_SIMD_NNZ: usize = 2 * LANES;
+
+    /// Cached CPUID probe: 0 unknown, 1 available, 2 absent.
+    pub(crate) fn avx2() -> bool {
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let has = std::is_x86_feature_detected!("avx2");
+                STATE.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+                has
+            }
+        }
+    }
+
+    /// Bounds-checked dispatch for the safe slice form: verifies every
+    /// gathered index against `x.len()` group by group, falling back to the
+    /// portable path (and its panic message) on the first out-of-range
+    /// index. Returns `None` for scalar types without a vector lowering.
+    #[inline]
+    pub(crate) fn row_dot_checked<S: Scalar>(cols: &[usize], vals: &[S], x: &[S]) -> Option<S> {
+        if cols.iter().any(|&j| j >= x.len()) {
+            return None; // let the portable path raise the slice panic
+        }
+        // SAFETY: every index was just checked against x.len().
+        unsafe { row_dot_raw(cols, vals, x.as_ptr()) }
+    }
+
+    /// Raw-pointer dispatch (no bounds information available).
+    ///
+    /// # Safety
+    /// As [`super::row_dot_ptr`].
+    #[inline]
+    pub(crate) unsafe fn row_dot_raw<S: Scalar>(
+        cols: &[usize],
+        vals: &[S],
+        x: *const S,
+    ) -> Option<S> {
+        unsafe {
+            if TypeId::of::<S>() == TypeId::of::<f64>() {
+                let vals = std::slice::from_raw_parts(vals.as_ptr() as *const f64, vals.len());
+                let r = dot_f64(cols, vals, x as *const f64);
+                Some(*(&r as *const f64 as *const S))
+            } else if TypeId::of::<S>() == TypeId::of::<f32>() {
+                let vals = std::slice::from_raw_parts(vals.as_ptr() as *const f32, vals.len());
+                let r = dot_f32(cols, vals, x as *const f32);
+                Some(*(&r as *const f32 as *const S))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX2 is available and every index in `cols` is in
+    /// bounds for the allocation behind `x`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_f64(cols: &[usize], vals: &[f64], x: *const f64) -> f64 {
+        let n = cols.len();
+        debug_assert!(n >= LANES);
+        let mut acc = _mm256_setzero_pd();
+        let mut k = 0;
+        unsafe {
+            while k + LANES <= n {
+                let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+                let xv = _mm256_i64gather_pd::<8>(x, idx);
+                let vv = _mm256_loadu_pd(vals.as_ptr().add(k));
+                // mul then add, NOT fmadd: the portable path does two
+                // roundings per element and bit-identity is the contract.
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                k += LANES;
+            }
+            let mut lanes = [0.0f64; LANES];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            let mut tail = 0.0f64;
+            while k < n {
+                tail += vals[k] * *x.add(cols[k]);
+                k += 1;
+            }
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+        }
+    }
+
+    /// # Safety
+    /// As [`dot_f64`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_f32(cols: &[usize], vals: &[f32], x: *const f32) -> f32 {
+        let n = cols.len();
+        debug_assert!(n >= LANES);
+        let mut acc = _mm_setzero_ps();
+        let mut k = 0;
+        unsafe {
+            while k + LANES <= n {
+                let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+                let xv = _mm256_i64gather_ps::<4>(x, idx);
+                let vv = _mm_loadu_ps(vals.as_ptr().add(k));
+                acc = _mm_add_ps(acc, _mm_mul_ps(vv, xv));
+                k += LANES;
+            }
+            let mut lanes = [0.0f32; LANES];
+            _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+            let mut tail = 0.0f32;
+            while k < n {
+                tail += vals[k] * *x.add(cols[k]);
+                k += 1;
+            }
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+        }
+    }
 }
 
 /// Forward-substitute one row of `L x = b` given all its dependencies
@@ -316,6 +557,57 @@ impl ExecPool {
                 return;
             }
         };
+        self.dispatch(njobs, f);
+    }
+
+    /// Dispatch for jobs that synchronise *with each other* (the
+    /// point-to-point [`TaskSchedule`]): every job must be able to run on
+    /// its own thread concurrently, so instead of falling back to inline
+    /// serialisation — which would deadlock a job spin-waiting on a sibling
+    /// that never starts — this refuses (`false`) when the pool cannot host
+    /// `njobs` simultaneously or another dispatch is in flight. The caller
+    /// keeps a barrier-style schedule around as the fallback.
+    ///
+    /// Deadlock-freedom once accepted: a thread only leaves the claim loop
+    /// after the cursor is exhausted, so while any job is unclaimed every
+    /// non-blocked thread still heads for it; with `njobs ≤ concurrency()`
+    /// at most `njobs − 1` threads can be blocked on an unclaimed job, which
+    /// leaves one to claim it.
+    pub(crate) fn try_run_exclusive(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) -> bool {
+        if njobs == 0 {
+            return true;
+        }
+        if njobs == 1 {
+            // A single job synchronises with nobody; run it inline.
+            job_fault_hooks();
+            f(0);
+            return true;
+        }
+        if njobs > self.concurrency() || njobs as u64 > IDX_MASK {
+            return false;
+        }
+        let _submit = match self.submit.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+        };
+        self.dispatch(njobs, f);
+        true
+    }
+
+    /// `true` while a job of the in-flight dispatch has panicked (cleared
+    /// when the dispatcher re-raises). Point-to-point jobs poll this inside
+    /// their dependency spin-waits so a dead parent cannot park them
+    /// forever.
+    #[inline]
+    pub(crate) fn dispatch_panicked(&self) -> bool {
+        self.shared.panicked.load(Ordering::Acquire)
+    }
+
+    /// The dispatch body shared by [`run`](Self::run) and
+    /// [`try_run_exclusive`](Self::try_run_exclusive). Must be called with
+    /// the `submit` lock held and `2 ≤ njobs ≤ IDX_MASK`.
+    fn dispatch(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
         let t0 = SolveTrace::start();
         // SAFETY (lifetime erasure): `run` does not return until `pending`
         // reaches zero, i.e. until no worker can touch the pointer again
@@ -564,7 +856,12 @@ impl LevelSchedule {
             let t0 = SolveTrace::start();
             match run {
                 Run::Serial { rows } => {
-                    for &i in &self.rows[rows.start as usize..rows.end as usize] {
+                    let span = &self.rows[rows.start as usize..rows.end as usize];
+                    for (k, &i) in span.iter().enumerate() {
+                        if let Some(&nx) = span.get(k + ROW_PREFETCH_DIST) {
+                            let (ncols, nvals) = l.row(nx as usize);
+                            prefetch_row(ncols, nvals, x.as_ptr());
+                        }
                         let i = i as usize;
                         x[i] = solve_row(l, b, x, i);
                     }
@@ -582,7 +879,12 @@ impl LevelSchedule {
                     pool.run(nchunks, &|c| {
                         let lo = bounds[c] as usize;
                         let hi = bounds[c + 1] as usize;
-                        for &i in &self.rows[lo..hi] {
+                        let span = &self.rows[lo..hi];
+                        for (k, &i) in span.iter().enumerate() {
+                            if let Some(&nx) = span.get(k + ROW_PREFETCH_DIST) {
+                                let (ncols, nvals) = l.row(nx as usize);
+                                prefetch_row(ncols, nvals, xp.ptr() as *const S);
+                            }
                             let i = i as usize;
                             // SAFETY: rows of one level are mutually
                             // independent and each appears in exactly one
@@ -605,6 +907,330 @@ impl LevelSchedule {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskSchedule (point-to-point)
+// ---------------------------------------------------------------------------
+
+/// Shape summary of a compiled [`TaskSchedule`], surfaced through
+/// `SelectionReport`/`planctl explain`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskGraphStats {
+    /// Compiled tasks (nnz-balanced row groups; fused chains count once).
+    pub ntasks: usize,
+    /// Cross-thread dependency edges — each is one flag spin-wait per
+    /// solve, the p2p replacement for a barrier.
+    pub cross_edges: usize,
+    /// Longest dependency chain through the task graph (tasks), the lower
+    /// bound on solve latency in task units.
+    pub critical_path: usize,
+    /// Threads the schedule was compiled for (task→thread binding is
+    /// static).
+    pub nthreads: usize,
+}
+
+/// Reset-on-drop for the solve gate so a panicking solve cannot wedge the
+/// schedule busy.
+struct BusyReset<'a>(&'a AtomicBool);
+impl Drop for BusyReset<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// A compiled point-to-point schedule: the SpMP pattern of per-task
+/// `finished` flags plus plan-time parent lists, replacing the per-level
+/// barrier of [`LevelSchedule`] with dependency-driven spin/yield waits —
+/// one pool dispatch per solve, zero barriers inside the level loop.
+///
+/// Rows are grouped into nnz-balanced tasks bound to fixed threads
+/// (segment `k` of a level always runs on thread `k`); consecutive
+/// single-segment levels fuse into one task, so a pure chain compiles to a
+/// single task with no synchronisation at all. Parent lists keep only
+/// cross-thread dependencies (intra-thread order is implied by each
+/// thread walking its tasks in level order) and are reduced to at most one
+/// parent per other thread — the largest dependee task id — because a
+/// thread finishes its tasks in order.
+///
+/// Dependency flags are epoch-stamped (`finished[t] == epoch` ⇒ done this
+/// solve), so repeated solves reuse the same allocation-free state; a
+/// `busy` gate refuses overlapped solves on one schedule (the caller falls
+/// back to its level-sync schedule instead).
+#[derive(Debug)]
+pub struct TaskSchedule {
+    /// Row indices in task order (tasks are contiguous spans).
+    rows: Vec<u32>,
+    /// Task `t` solves `rows[task_ptr[t]..task_ptr[t+1]]`.
+    task_ptr: Vec<u32>,
+    /// Thread `th` owns tasks `thread_ptr[th]..thread_ptr[th+1]`, in level
+    /// order.
+    thread_ptr: Vec<u32>,
+    /// Cross-thread parents of task `t`:
+    /// `parents[parent_ptr[t]..parent_ptr[t+1]]`.
+    parents: Vec<u32>,
+    parent_ptr: Vec<u32>,
+    stats: TaskGraphStats,
+    /// Monotonic solve counter; flag `t` is set by storing the epoch.
+    epoch: AtomicU64,
+    finished: Vec<AtomicU64>,
+    busy: AtomicBool,
+}
+
+impl Clone for TaskSchedule {
+    fn clone(&self) -> Self {
+        TaskSchedule {
+            rows: self.rows.clone(),
+            task_ptr: self.task_ptr.clone(),
+            thread_ptr: self.thread_ptr.clone(),
+            parents: self.parents.clone(),
+            parent_ptr: self.parent_ptr.clone(),
+            stats: self.stats,
+            epoch: AtomicU64::new(0),
+            finished: self.finished.iter().map(|_| AtomicU64::new(0)).collect(),
+            busy: AtomicBool::new(false),
+        }
+    }
+}
+
+impl PartialEq for TaskSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural identity only; the epoch/flag runtime state is
+        // solve-count bookkeeping, not part of the plan.
+        self.rows == other.rows
+            && self.task_ptr == other.task_ptr
+            && self.thread_ptr == other.thread_ptr
+            && self.parents == other.parents
+            && self.parent_ptr == other.parent_ptr
+            && self.stats == other.stats
+    }
+}
+
+impl TaskSchedule {
+    /// Compile the task graph for `l` under `levels` for `nthreads` fixed
+    /// threads. Each level is cut into at most
+    /// `min(nthreads, ⌈level_nnz / tune.p2p_chunk_nnz⌉)` contiguous
+    /// nnz-balanced segments.
+    pub fn plan<S: Scalar>(
+        l: &Csr<S>,
+        levels: &LevelSets,
+        tune: TuneParams,
+        nthreads: usize,
+    ) -> Self {
+        assert_eq!(l.nrows(), levels.n(), "schedule planned for a mismatched level decomposition");
+        let nthreads = nthreads.max(1);
+        let level_ptr = levels.level_ptr();
+        let items = levels.items();
+
+        // 1. Cut levels into segments; segment k of a level runs on thread
+        //    k. Consecutive single-segment levels fuse into one task.
+        let mut per_thread: Vec<Vec<Range<u32>>> = vec![Vec::new(); nthreads];
+        let mut fusing = false;
+        for lvl in 0..levels.nlevels() {
+            let span = level_ptr[lvl] as u32..level_ptr[lvl + 1] as u32;
+            let lvl_items = levels.level_items(lvl);
+            if lvl_items.is_empty() {
+                continue;
+            }
+            let lvl_nnz: usize = lvl_items.iter().map(|&i| l.row_nnz(i)).sum();
+            let nseg =
+                lvl_nnz.div_ceil(tune.p2p_chunk_nnz.max(1)).clamp(1, nthreads.min(lvl_items.len()));
+            if nseg <= 1 {
+                if fusing {
+                    per_thread[0].last_mut().expect("fusing task exists").end = span.end;
+                } else {
+                    per_thread[0].push(span);
+                    fusing = true;
+                }
+            } else {
+                fusing = false;
+                let target = lvl_nnz.div_ceil(nseg);
+                let mut seg_start = span.start;
+                let mut th = 0usize;
+                let mut acc = 0usize;
+                for (off, &i) in lvl_items.iter().enumerate() {
+                    acc += l.row_nnz(i);
+                    let bound = span.start + off as u32 + 1;
+                    if acc >= target && bound < span.end && th + 1 < nseg {
+                        per_thread[th].push(seg_start..bound);
+                        th += 1;
+                        seg_start = bound;
+                        acc = 0;
+                    }
+                }
+                per_thread[th].push(seg_start..span.end);
+            }
+        }
+
+        // 2. Number tasks thread-major and record row → owning task.
+        let mut thread_ptr = Vec::with_capacity(nthreads + 1);
+        thread_ptr.push(0u32);
+        for th in 0..nthreads {
+            thread_ptr.push(thread_ptr[th] + per_thread[th].len() as u32);
+        }
+        let ntasks = thread_ptr[nthreads] as usize;
+        let mut rows: Vec<u32> = Vec::with_capacity(items.len());
+        let mut task_ptr = Vec::with_capacity(ntasks + 1);
+        task_ptr.push(0u32);
+        let mut task_of_row = vec![0u32; l.nrows()];
+        let mut owner = vec![0u32; ntasks];
+        let mut start_of = vec![0u32; ntasks];
+        let mut t = 0usize;
+        for (th, segs) in per_thread.iter().enumerate() {
+            for seg in segs {
+                for &i in &items[seg.start as usize..seg.end as usize] {
+                    task_of_row[i] = t as u32;
+                    rows.push(i as u32);
+                }
+                task_ptr.push(rows.len() as u32);
+                owner[t] = th as u32;
+                start_of[t] = seg.start;
+                t += 1;
+            }
+        }
+
+        // 3. Parent lists: cross-thread dependencies only, reduced to the
+        //    largest dependee per owning thread (its earlier tasks are
+        //    implied finished).
+        let mut parents: Vec<u32> = Vec::new();
+        let mut parent_ptr = Vec::with_capacity(ntasks + 1);
+        parent_ptr.push(0u32);
+        let mut max_parent: Vec<i64> = vec![-1; nthreads];
+        for t in 0..ntasks {
+            let th = owner[t] as usize;
+            for &i in &rows[task_ptr[t] as usize..task_ptr[t + 1] as usize] {
+                let (cols, _) = l.row(i as usize);
+                for &j in &cols[..cols.len() - 1] {
+                    let d = task_of_row[j];
+                    let od = owner[d as usize] as usize;
+                    if od != th && d as i64 > max_parent[od] {
+                        max_parent[od] = d as i64;
+                    }
+                }
+            }
+            for slot in max_parent.iter_mut() {
+                if *slot >= 0 {
+                    parents.push(*slot as u32);
+                    *slot = -1;
+                }
+            }
+            parent_ptr.push(parents.len() as u32);
+        }
+
+        // 4. Critical path, walked in level (= item-range) order, which is
+        //    topological: parents and same-thread predecessors both start
+        //    strictly earlier in the item array.
+        let mut order: Vec<u32> = (0..ntasks as u32).collect();
+        order.sort_unstable_by_key(|&t| start_of[t as usize]);
+        let mut cp = vec![0u32; ntasks];
+        let mut critical = 0usize;
+        for &t in &order {
+            let t = t as usize;
+            let th = owner[t] as usize;
+            let mut best = 0u32;
+            if t as u32 > thread_ptr[th] {
+                best = cp[t - 1];
+            }
+            for &p in &parents[parent_ptr[t] as usize..parent_ptr[t + 1] as usize] {
+                best = best.max(cp[p as usize]);
+            }
+            cp[t] = best + 1;
+            critical = critical.max(cp[t] as usize);
+        }
+
+        let stats = TaskGraphStats {
+            ntasks,
+            cross_edges: parents.len(),
+            critical_path: critical,
+            nthreads,
+        };
+        let finished = (0..ntasks).map(|_| AtomicU64::new(0)).collect();
+        TaskSchedule {
+            rows,
+            task_ptr,
+            thread_ptr,
+            parents,
+            parent_ptr,
+            stats,
+            epoch: AtomicU64::new(0),
+            finished,
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Shape summary for reports.
+    pub fn stats(&self) -> TaskGraphStats {
+        self.stats
+    }
+
+    /// Execute the schedule: forward-substitute `x` from `b` over `l`,
+    /// which must be the matrix the schedule was compiled for.
+    ///
+    /// Returns `false` — with `x` untouched in any meaningful way — when
+    /// the solve could not be dispatched point-to-point: another solve is
+    /// in flight on this same schedule, the pool cannot host all
+    /// `nthreads` jobs concurrently, or another dispatch holds the pool.
+    /// Callers keep their [`LevelSchedule`] and fall back to it.
+    pub fn solve_into<S: Scalar>(&self, l: &Csr<S>, b: &[S], x: &mut [S], pool: &ExecPool) -> bool {
+        debug_assert_eq!(l.nrows(), self.rows.len());
+        debug_assert_eq!(b.len(), x.len());
+        debug_assert_eq!(x.len(), self.rows.len());
+        if self.busy.swap(true, Ordering::Acquire) {
+            return false;
+        }
+        let _busy = BusyReset(&self.busy);
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let t0 = SolveTrace::start();
+        let xp = SendPtr(x.as_mut_ptr());
+        let ok = pool.try_run_exclusive(self.stats.nthreads, &|th| {
+            for t in self.thread_ptr[th] as usize..self.thread_ptr[th + 1] as usize {
+                for &p in
+                    &self.parents[self.parent_ptr[t] as usize..self.parent_ptr[t + 1] as usize]
+                {
+                    let flag = &self.finished[p as usize];
+                    let mut spins = 0u32;
+                    while flag.load(Ordering::Acquire) != epoch {
+                        // A dead parent never sets its flag; bail so the
+                        // dispatcher can drain and re-raise the panic.
+                        if pool.dispatch_panicked() {
+                            return;
+                        }
+                        spins = spins.wrapping_add(1);
+                        if spins < 64 {
+                            core::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                let span = &self.rows[self.task_ptr[t] as usize..self.task_ptr[t + 1] as usize];
+                for (k, &i) in span.iter().enumerate() {
+                    if let Some(&nx) = span.get(k + ROW_PREFETCH_DIST) {
+                        let (ncols, nvals) = l.row(nx as usize);
+                        prefetch_row(ncols, nvals, xp.ptr() as *const S);
+                    }
+                    let i = i as usize;
+                    // SAFETY: each row belongs to exactly one task, so this
+                    // write is the only access to x[i] in the dispatch;
+                    // every read sees rows finished by this thread earlier
+                    // (program order) or published by the Release store on
+                    // a parent's flag that the Acquire spin above observed.
+                    unsafe { *xp.ptr().add(i) = solve_row_ptr(l, b, xp.ptr() as *const S, i) };
+                }
+                self.finished[t].store(epoch, Ordering::Release);
+            }
+        });
+        if ok {
+            SolveTrace::finish(
+                t0,
+                EventKind::P2pRun,
+                self.stats.ntasks.min(IDX_MASK as usize) as u32,
+                self.rows.len().min(u32::MAX as usize) as u32,
+                self.stats.nthreads.min(u16::MAX as usize) as u16,
+            );
+        }
+        ok
     }
 }
 
@@ -853,6 +1479,107 @@ mod tests {
             let reference = crate::sptrsv::serial_csr(&l, &b).unwrap();
             assert_eq!(x, reference, "engine must be bit-identical to the serial reference");
         }
+    }
+
+    #[test]
+    fn task_schedule_fuses_chain_to_single_task() {
+        let l = generate::chain::<f64>(5000, 41);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let ts = TaskSchedule::plan(&l, &levels, TuneParams::default(), 4);
+        let stats = ts.stats();
+        assert_eq!(stats.ntasks, 1, "a pure chain compiles to one task");
+        assert_eq!(stats.cross_edges, 0);
+        assert_eq!(stats.critical_path, 1);
+        let pool = ExecPool::new(3);
+        let b: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut x = vec![0.0; 5000];
+        assert!(ts.solve_into(&l, &b, &mut x, &pool));
+        assert_eq!(x, crate::sptrsv::serial_csr(&l, &b).unwrap());
+    }
+
+    #[test]
+    fn task_schedule_matches_serial_across_structures() {
+        let pool = ExecPool::new(3);
+        for (l, seed) in [
+            (generate::random_lower::<f64>(800, 5.0, 21), 1u64),
+            (generate::kkt_like::<f64>(3000, 1200, 3, 22), 2),
+            (generate::grid2d::<f64>(30, 30, 23), 3),
+            (generate::layered::<f64>(2000, 25, 3.0, generate::LayerShape::Uniform, 24), 4),
+        ] {
+            let n = l.nrows();
+            let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37 + seed as f64).sin()).collect();
+            let levels = LevelSets::analyse(&l).unwrap();
+            // Tiny task budget to force many tasks and cross-thread edges.
+            let tune = TuneParams { p2p_chunk_nnz: 16, ..TuneParams::default() };
+            let ts = TaskSchedule::plan(&l, &levels, tune, pool.concurrency());
+            let mut x = vec![0.0; n];
+            // Repeated solves reuse the epoch-stamped flags.
+            for _ in 0..3 {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                assert!(ts.solve_into(&l, &b, &mut x, &pool), "p2p dispatch accepted");
+                let reference = crate::sptrsv::serial_csr(&l, &b).unwrap();
+                assert_eq!(x, reference, "p2p must be bit-identical to the serial reference");
+            }
+        }
+    }
+
+    #[test]
+    fn task_schedule_parent_lists_are_cross_thread_and_reduced() {
+        let l = generate::layered::<f64>(2000, 25, 3.0, generate::LayerShape::Uniform, 25);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let nthreads = 4;
+        let tune = TuneParams { p2p_chunk_nnz: 16, ..TuneParams::default() };
+        let ts = TaskSchedule::plan(&l, &levels, tune, nthreads);
+        let stats = ts.stats();
+        assert!(stats.ntasks > nthreads, "wide levels split into many tasks");
+        assert!(stats.cross_edges > 0, "layered structure needs cross-thread sync");
+        assert!(stats.critical_path <= stats.ntasks);
+        // Reduced parent lists: at most one parent per foreign thread.
+        for t in 0..stats.ntasks {
+            let np = (ts.parent_ptr[t + 1] - ts.parent_ptr[t]) as usize;
+            assert!(np < nthreads, "task {t} keeps {np} parents");
+        }
+    }
+
+    #[test]
+    fn task_schedule_refuses_oversized_dispatch_and_reports_it() {
+        let l = generate::layered::<f64>(500, 10, 3.0, generate::LayerShape::Uniform, 26);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let tune = TuneParams { p2p_chunk_nnz: 16, ..TuneParams::default() };
+        // Compiled for more threads than the pool can host concurrently:
+        // the solve must refuse rather than deadlock on inline jobs.
+        let ts = TaskSchedule::plan(&l, &levels, tune, 8);
+        let pool = ExecPool::new(1);
+        let b = vec![1.0f64; 500];
+        let mut x = vec![0.0f64; 500];
+        assert!(!ts.solve_into(&l, &b, &mut x, &pool));
+    }
+
+    #[test]
+    fn task_schedule_concurrent_solves_fall_back_not_corrupt() {
+        // Two threads hammering one schedule: the busy gate admits at most
+        // one p2p solve at a time, refused calls return false, and every
+        // accepted solve is bit-exact.
+        let l = generate::layered::<f64>(1500, 20, 3.0, generate::LayerShape::Uniform, 27);
+        let levels = LevelSets::analyse(&l).unwrap();
+        let tune = TuneParams { p2p_chunk_nnz: 32, ..TuneParams::default() };
+        let ts = TaskSchedule::plan(&l, &levels, tune, 2);
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let reference = crate::sptrsv::serial_csr(&l, &b).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let pool = ExecPool::new(1);
+                    let mut x = vec![0.0f64; n];
+                    for _ in 0..20 {
+                        if ts.solve_into(&l, &b, &mut x, &pool) {
+                            assert_eq!(x, reference);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub mod sptrsm;
 pub mod sptrsv;
 pub mod trace;
 
-pub use exec::{ExecPool, LevelSchedule, SolveWorkspace, SpmvPlan, TuneParams};
+pub use exec::{
+    ExecPool, LevelSchedule, ScheduleMode, SolveWorkspace, SpmvPlan, TaskGraphStats, TaskSchedule,
+    TuneParams,
+};
 pub use sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
 pub use trace::{EventKind, SolveTrace, TraceEvent};

@@ -23,7 +23,7 @@
 //! boundaries computed once at preprocessing time ([`SpmvPlan`]) and write
 //! disjoint `y` sub-slices in place on the persistent [`ExecPool`].
 
-use crate::exec::{row_dot, ExecPool, SendPtr, SpmvPlan};
+use crate::exec::{prefetch_row, row_dot, ExecPool, SendPtr, SpmvPlan, ROW_PREFETCH_DIST};
 use crate::trace::{EventKind, SolveTrace};
 use rayon::prelude::*;
 use recblock_matrix::{Csr, Dcsr, MatrixError, Scalar};
@@ -159,6 +159,10 @@ pub fn csr_update_planned<S: Scalar>(
     let t0 = SolveTrace::start();
     if plan.nchunks() <= 1 {
         for (i, yi) in y.iter_mut().enumerate() {
+            if i + ROW_PREFETCH_DIST < a.nrows() {
+                let (ncols, nvals) = a.row(i + ROW_PREFETCH_DIST);
+                prefetch_row(ncols, nvals, x.as_ptr());
+            }
             let (cols, vals) = a.row(i);
             *yi -= row_dot(cols, vals, x);
         }
@@ -168,7 +172,12 @@ pub fn csr_update_planned<S: Scalar>(
     let bounds = plan.bounds();
     let yp = SendPtr(y.as_mut_ptr());
     pool.run(plan.nchunks(), &|c| {
-        for i in bounds[c] as usize..bounds[c + 1] as usize {
+        let hi = bounds[c + 1] as usize;
+        for i in bounds[c] as usize..hi {
+            if i + ROW_PREFETCH_DIST < hi {
+                let (ncols, nvals) = a.row(i + ROW_PREFETCH_DIST);
+                prefetch_row(ncols, nvals, x.as_ptr());
+            }
             let (cols, vals) = a.row(i);
             // SAFETY: chunk boundaries partition the rows, so each y[i] is
             // touched by exactly one job.
@@ -206,6 +215,10 @@ pub fn dcsr_update_planned<S: Scalar>(
     let t0 = SolveTrace::start();
     if plan.nchunks() <= 1 {
         for k in 0..a.n_lanes() {
+            if k + ROW_PREFETCH_DIST < a.n_lanes() {
+                let (_, ncols, nvals) = a.lane(k + ROW_PREFETCH_DIST);
+                prefetch_row(ncols, nvals, x.as_ptr());
+            }
             let (row, cols, vals) = a.lane(k);
             y[row] -= row_dot(cols, vals, x);
         }
@@ -215,7 +228,12 @@ pub fn dcsr_update_planned<S: Scalar>(
     let bounds = plan.bounds();
     let yp = SendPtr(y.as_mut_ptr());
     pool.run(plan.nchunks(), &|c| {
-        for k in bounds[c] as usize..bounds[c + 1] as usize {
+        let hi = bounds[c + 1] as usize;
+        for k in bounds[c] as usize..hi {
+            if k + ROW_PREFETCH_DIST < hi {
+                let (_, ncols, nvals) = a.lane(k + ROW_PREFETCH_DIST);
+                prefetch_row(ncols, nvals, x.as_ptr());
+            }
             let (row, cols, vals) = a.lane(k);
             // SAFETY: lanes hold distinct rows and chunks partition the
             // lanes, so each y[row] is touched by exactly one job.

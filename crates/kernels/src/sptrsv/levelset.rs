@@ -8,7 +8,9 @@
 //! `(index, value)` collection, and results bit-identical to the serial
 //! reference because every row reduces through [`crate::exec::row_dot`].
 
-use crate::exec::{ExecPool, LevelSchedule, TuneParams};
+use crate::exec::{
+    ExecPool, LevelSchedule, ScheduleMode, TaskGraphStats, TaskSchedule, TuneParams,
+};
 use crate::trace::{EventKind, SolveTrace};
 use rayon::prelude::*;
 use recblock_matrix::levelset::LevelSets;
@@ -29,6 +31,12 @@ pub struct LevelSetSolver<S> {
     l: Csr<S>,
     levels: LevelSets,
     sched: LevelSchedule,
+    /// The point-to-point task graph, compiled when the tune's
+    /// [`ScheduleMode`] resolves to it. The level-sync `sched` above is
+    /// always kept: it is the fallback when a p2p dispatch is refused
+    /// (overlapped solve on the same plan, or a pool too small to host
+    /// every task thread).
+    tasks: Option<TaskSchedule>,
 }
 
 impl<S: Scalar> LevelSetSolver<S> {
@@ -49,8 +57,28 @@ impl<S: Scalar> LevelSetSolver<S> {
     /// thresholds (the blocked executor threads its [`TuneParams`] through;
     /// a reloaded plan passes the tuning it was stored with).
     pub fn with_tune(l: Csr<S>, levels: LevelSets, tune: TuneParams) -> Self {
+        Self::with_tune_threads(l, levels, tune, ExecPool::global().concurrency())
+    }
+
+    /// As [`LevelSetSolver::with_tune`] compiling the point-to-point task
+    /// graph (if the mode selects one) for an explicit thread count instead
+    /// of the global pool's — tests and embedders running their own pool.
+    pub fn with_tune_threads(
+        l: Csr<S>,
+        levels: LevelSets,
+        tune: TuneParams,
+        nthreads: usize,
+    ) -> Self {
         let sched = LevelSchedule::plan(&l, &levels, tune);
-        LevelSetSolver { l, levels, sched }
+        let p2p = match tune.schedule_mode {
+            ScheduleMode::LevelSync => false,
+            ScheduleMode::PointToPoint => true,
+            // Point-to-point pays off exactly when level-sync would pay
+            // repeated barriers; a mostly-serial schedule stays level-sync.
+            ScheduleMode::Auto => sched.nparallel() >= tune.p2p_min_parallel,
+        };
+        let tasks = p2p.then(|| TaskSchedule::plan(&l, &levels, tune, nthreads));
+        LevelSetSolver { l, levels, sched, tasks }
     }
 
     /// The analysed level sets.
@@ -71,6 +99,22 @@ impl<S: Scalar> LevelSetSolver<S> {
     /// The matrix being solved.
     pub fn matrix(&self) -> &Csr<S> {
         &self.l
+    }
+
+    /// Which synchronisation scheme steady-state solves use: `"p2p"` when a
+    /// task graph was compiled, `"level-sync"` otherwise.
+    pub fn schedule_mode(&self) -> &'static str {
+        if self.tasks.is_some() {
+            "p2p"
+        } else {
+            "level-sync"
+        }
+    }
+
+    /// Shape of the compiled task graph, when the solver runs
+    /// point-to-point.
+    pub fn task_stats(&self) -> Option<TaskGraphStats> {
+        self.tasks.as_ref().map(|t| t.stats())
     }
 
     /// Solve `L x = b`.
@@ -105,7 +149,10 @@ impl<S: Scalar> LevelSetSolver<S> {
     ) -> Result<(), MatrixError> {
         self.check_buffers(b, x)?;
         let t0 = SolveTrace::start();
-        self.sched.solve_into(&self.l, b, x, pool);
+        let p2p_done = self.tasks.as_ref().is_some_and(|t| t.solve_into(&self.l, b, x, pool));
+        if !p2p_done {
+            self.sched.solve_into(&self.l, b, x, pool);
+        }
         SolveTrace::finish(
             t0,
             EventKind::LevelSetKernel,

@@ -69,6 +69,9 @@ pub enum EventKind {
     StoreRead = 14,
     /// Verifying + decoding a persisted plan (recblock-store).
     StoreDecode = 15,
+    /// One point-to-point task-schedule solve (`TaskSchedule`): a single
+    /// dispatch replacing the whole per-level launch sequence.
+    P2pRun = 16,
 }
 
 impl EventKind {
@@ -90,6 +93,7 @@ impl EventKind {
             EventKind::Scatter => "scatter",
             EventKind::StoreRead => "store_read",
             EventKind::StoreDecode => "store_decode",
+            EventKind::P2pRun => "p2p_run",
         }
     }
 
@@ -110,6 +114,7 @@ impl EventKind {
             13 => EventKind::Scatter,
             14 => EventKind::StoreRead,
             15 => EventKind::StoreDecode,
+            16 => EventKind::P2pRun,
             _ => return None,
         })
     }

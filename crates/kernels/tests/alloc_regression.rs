@@ -90,6 +90,30 @@ fn steady_state_solves_do_not_allocate() {
     });
     assert_eq!(allocs, 0, "LevelSetSolver::solve_into allocated in steady state");
 
+    // --- level-set solver, point-to-point schedule --------------------------
+    // The task graph reuses epoch-stamped flags across solves; a multi-thread
+    // pool is created up front so its spin-up is outside the counted window.
+    let p2p_pool = ExecPool::new(2);
+    let p2p_tune = TuneParams {
+        schedule_mode: recblock_kernels::ScheduleMode::PointToPoint,
+        p2p_chunk_nnz: 256,
+        ..tune
+    };
+    let lp = LevelSetSolver::with_tune_threads(
+        l.clone(),
+        levels.clone(),
+        p2p_tune,
+        p2p_pool.concurrency(),
+    );
+    assert_eq!(lp.schedule_mode(), "p2p", "p2p schedule must have compiled");
+    lp.solve_into_pooled(&b, &mut x, &p2p_pool).unwrap(); // warm-up
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            lp.solve_into_pooled(&b, &mut x, &p2p_pool).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "p2p LevelSetSolver::solve_into allocated in steady state");
+
     // --- cuSPARSE-like solver ---------------------------------------------
     let cu = CusparseLikeSolver::with_levels_tuned(l.clone(), levels.clone(), tune).unwrap();
     cu.solve_into(&b, &mut x).unwrap();

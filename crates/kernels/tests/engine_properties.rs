@@ -9,7 +9,7 @@
 //! degenerate shapes (single level, pure chain, empty rows / DCSR).
 
 use proptest::prelude::*;
-use recblock_kernels::exec::{ExecPool, SpmvPlan, TuneParams};
+use recblock_kernels::exec::{ExecPool, ScheduleMode, SpmvPlan, TuneParams};
 use recblock_kernels::spmv;
 use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
 use recblock_matrix::generate;
@@ -27,6 +27,33 @@ fn arb_tune() -> impl Strategy<Value = TuneParams> {
     (1usize..64, 1usize..2048, 1usize..1024).prop_map(|(par_rows, fuse_nnz, chunk_nnz)| {
         TuneParams { par_rows, fuse_nnz, chunk_nnz, ..TuneParams::default() }
     })
+}
+
+/// As [`arb_tune`] but forcing the point-to-point task graph and ranging
+/// over its own knobs too (task granularity down to one nnz per task).
+fn arb_p2p_tune() -> impl Strategy<Value = TuneParams> {
+    (arb_tune(), 1usize..512).prop_map(|(tune, p2p_chunk_nnz)| TuneParams {
+        schedule_mode: ScheduleMode::PointToPoint,
+        p2p_chunk_nnz,
+        ..tune
+    })
+}
+
+/// Solve three times on an explicit multi-thread pool: p2p flags are
+/// epoch-stamped, so repeated solves on one plan must stay bit-identical.
+fn check_p2p_bitwise<S: Scalar>(l: Csr<S>, tune: TuneParams, rhs_seed: u64) {
+    let b = rhs_for::<S>(l.nrows(), rhs_seed);
+    let reference = serial_csr(&l, &b).unwrap();
+    let levels = LevelSets::analyse(&l).unwrap();
+    let pool = ExecPool::new(3);
+    let ls = LevelSetSolver::with_tune_threads(l, levels, tune, pool.concurrency());
+    assert!(ls.task_stats().is_some(), "p2p mode must compile a task graph");
+    let mut x = vec![S::ZERO; b.len()];
+    for round in 0..3 {
+        x.fill(S::ZERO);
+        ls.solve_into_pooled(&b, &mut x, &pool).unwrap();
+        assert_eq!(x, reference, "p2p vs serial, round {round}");
+    }
 }
 
 fn rhs_for<S: Scalar>(n: usize, seed: u64) -> Vec<S> {
@@ -73,6 +100,20 @@ proptest! {
         l in arb_lower(), tune in arb_tune(), rhs_seed in 0u64..50,
     ) {
         check_solvers_bitwise(to_f32(&l), tune, rhs_seed);
+    }
+
+    #[test]
+    fn p2p_schedule_bit_identical_to_serial_f64(
+        l in arb_lower(), tune in arb_p2p_tune(), rhs_seed in 0u64..50,
+    ) {
+        check_p2p_bitwise(l, tune, rhs_seed);
+    }
+
+    #[test]
+    fn p2p_schedule_bit_identical_to_serial_f32(
+        l in arb_lower(), tune in arb_p2p_tune(), rhs_seed in 0u64..50,
+    ) {
+        check_p2p_bitwise(to_f32(&l), tune, rhs_seed);
     }
 
     #[test]
@@ -126,6 +167,20 @@ fn chain_matrix_bit_identical() {
     // coarsening pass fuses into a single run.
     let tune = TuneParams { par_rows: 4, fuse_nnz: 16, chunk_nnz: 8, ..TuneParams::default() };
     check_solvers_bitwise(generate::chain::<f64>(800, 921), tune, 5);
+}
+
+#[test]
+fn p2p_chain_and_single_level_bit_identical() {
+    // The degenerate shapes: a diagonal system (one wide level — every task
+    // independent) and a pure chain (one row per level — the planner fuses
+    // the whole solve into a single task).
+    let tune = TuneParams {
+        schedule_mode: ScheduleMode::PointToPoint,
+        p2p_chunk_nnz: 32,
+        ..TuneParams::default()
+    };
+    check_p2p_bitwise(generate::diagonal::<f64>(500, 930), tune, 7);
+    check_p2p_bitwise(generate::chain::<f64>(800, 931), tune, 8);
 }
 
 #[test]

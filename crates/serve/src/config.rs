@@ -1,6 +1,7 @@
 //! Service tuning knobs.
 
 use recblock::SolverOptions;
+use recblock_kernels::ScheduleMode;
 use std::path::PathBuf;
 
 /// Persistent plan-store tier configuration (see `recblock-store`).
@@ -113,6 +114,16 @@ impl ServeConfig {
     /// Set the preprocessing options used for plan builds.
     pub fn with_solver(mut self, solver: SolverOptions) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Force (or un-force, with [`ScheduleMode::Auto`]) the engine
+    /// synchronisation scheme every plan build compiles for its level-set
+    /// blocks. Point-to-point plans served by concurrent workers stay
+    /// correct: an overlapped solve on the same plan falls back to the
+    /// level-sync schedule rather than sharing task flags.
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        self.solver.tune.schedule_mode = mode;
         self
     }
 

@@ -1,0 +1,41 @@
+//! Point-to-point plans behind the solve service.
+//!
+//! Several workers can pick up batches against the *same* cached plan at
+//! once; a plan whose level-set blocks compiled a p2p task graph must stay
+//! bit-identical under that overlap (the second dispatch on a busy task
+//! graph falls back to the level-sync schedule instead of sharing flags).
+
+use recblock_kernels::sptrsv::serial_csr;
+use recblock_kernels::ScheduleMode;
+use recblock_matrix::generate;
+use recblock_serve::{ServeConfig, SolveService};
+
+#[test]
+fn p2p_plans_serve_concurrent_requests_bit_identically() {
+    let l = generate::kkt_like::<f64>(3000, 1200, 3, 91);
+    let n = l.nrows();
+    let cfg = ServeConfig::default()
+        .with_workers(3)
+        .with_max_batch(1) // no coalescing: maximise overlapped solves
+        .with_schedule_mode(ScheduleMode::PointToPoint);
+    let svc = SolveService::<f64>::new(cfg);
+
+    let mut handles = Vec::new();
+    for r in 0..12 {
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.11 + r as f64).sin()).collect();
+        let expect = serial_csr(&l, &b).unwrap();
+        handles.push((svc.submit(&l, b).unwrap(), expect));
+    }
+    for (h, expect) in handles {
+        assert_eq!(h.wait().unwrap(), expect, "served p2p solve diverged from serial");
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn schedule_mode_config_reaches_plan_builds() {
+    let cfg = ServeConfig::default().with_schedule_mode(ScheduleMode::LevelSync);
+    assert_eq!(cfg.solver.tune.schedule_mode, ScheduleMode::LevelSync);
+    let cfg = cfg.with_schedule_mode(ScheduleMode::Auto);
+    assert_eq!(cfg.solver.tune.schedule_mode, ScheduleMode::Auto);
+}

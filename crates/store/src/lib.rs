@@ -54,7 +54,7 @@ pub use error::StoreError;
 pub use key::PlanKey;
 pub use plan::{
     decode_meta, decode_packed, decode_plan, encode_packed, encode_plan, verify_file, ArtifactKind,
-    PlanMeta, FORMAT_VERSION, MAGIC,
+    PlanMeta, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
 pub use store::{
     inspect_plan_file, read_pack_file, read_plan_file, sync_stats, write_atomic, LoadTimings,

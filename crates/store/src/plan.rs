@@ -45,7 +45,7 @@ use recblock::trisolver::TriSolver;
 use recblock::BlockedTri;
 use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::{SpmvProfile, TriProfile};
-use recblock_kernels::exec::TuneParams;
+use recblock_kernels::exec::{ScheduleMode, TuneParams};
 use recblock_kernels::sptrsv::{CusparseLikeSolver, LevelSetSolver, SyncFreeSolver};
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::permute::Permutation;
@@ -61,7 +61,16 @@ pub const MAGIC: [u8; 8] = *b"RBSTORE\0";
 /// v2 added the execution-engine [`TuneParams`] at the start of the blocked
 /// BODY, so a reloaded plan replans its schedules under the exact tuning it
 /// was built with.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3 extended the persisted [`TuneParams`] with the scheduling-mode fields
+/// (`schedule_mode`, `p2p_min_parallel`, `p2p_chunk_nnz`). v2 files remain
+/// readable: the reader defaults the new fields, and the point-to-point
+/// task graphs themselves are never persisted — they are recompiled at load
+/// for the machine doing the loading.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest format version this build still reads (see [`FORMAT_VERSION`]).
+pub const MIN_FORMAT_VERSION: u32 = 2;
 
 const TAG_META: u32 = 1;
 const TAG_BODY: u32 = 2;
@@ -203,7 +212,7 @@ pub fn decode_meta(bytes: &[u8]) -> Result<PlanMeta, StoreError> {
         return Err(StoreError::WrongMagic);
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::WrongVersion { found: version, expected: FORMAT_VERSION });
     }
     let meta_payload = read_section(&mut r, TAG_META, "meta")?;
@@ -248,7 +257,7 @@ fn encode_file(meta: &PlanMeta, body: Vec<u8>) -> Vec<u8> {
 fn decode_body<S: Scalar>(
     bytes: &[u8],
     want: ArtifactKind,
-) -> Result<(PlanMeta, &[u8], u32), StoreError> {
+) -> Result<(PlanMeta, u32, &[u8], u32), StoreError> {
     let meta = decode_meta(bytes)?;
     if meta.scalar_bytes as usize != S::BYTES {
         return Err(StoreError::ScalarMismatch {
@@ -265,11 +274,11 @@ fn decode_body<S: Scalar>(
     // Re-walk the header to position after META (decode_meta borrowed it).
     let mut r = Reader::new(bytes, "plan file header");
     r.take(8)?;
-    r.u32()?;
+    let version = r.u32()?;
     read_section(&mut r, TAG_META, "meta")?;
     let (body, crc) = read_section_raw(&mut r, TAG_BODY, "body")?;
     r.finish()?;
-    Ok((meta, body, crc))
+    Ok((meta, version, body, crc))
 }
 
 /// Run the body decoder while the body checksum is verified on other
@@ -413,15 +422,28 @@ fn put_tune(w: &mut Writer, t: TuneParams) {
     w.put_usize(t.fuse_nnz);
     w.put_usize(t.chunk_nnz);
     w.put_usize(t.lanes);
+    w.put_u8(t.schedule_mode.as_index() as u8);
+    w.put_usize(t.p2p_min_parallel);
+    w.put_usize(t.p2p_chunk_nnz);
 }
 
-fn get_tune(r: &mut Reader<'_>) -> Result<TuneParams, StoreError> {
-    Ok(TuneParams {
+/// Read the persisted [`TuneParams`]; a v2 body predates the scheduling-mode
+/// fields and gets their defaults, so old plans keep loading (and keep the
+/// same automatic mode selection they would get from a fresh build).
+fn get_tune(r: &mut Reader<'_>, version: u32) -> Result<TuneParams, StoreError> {
+    let mut t = TuneParams {
         par_rows: r.usize()?,
         fuse_nnz: r.usize()?,
         chunk_nnz: r.usize()?,
         lanes: r.usize()?,
-    })
+        ..TuneParams::default()
+    };
+    if version >= 3 {
+        t.schedule_mode = ScheduleMode::from_index(r.u8()? as usize);
+        t.p2p_min_parallel = r.usize()?;
+        t.p2p_chunk_nnz = r.usize()?;
+    }
+    Ok(t)
 }
 
 fn spmv_kind_tag(k: SpmvKind) -> u8 {
@@ -563,15 +585,19 @@ pub fn encode_plan<S: Scalar>(blocked: &BlockedTri<S>, key: &PlanKey, build_cost
 
 /// Decode a [`BlockedTri`] plan, re-validating every structural invariant.
 pub fn decode_plan<S: Scalar>(bytes: &[u8]) -> Result<(PlanMeta, BlockedTri<S>), StoreError> {
-    let (meta, body, crc) = decode_body::<S>(bytes, ArtifactKind::Blocked)?;
-    let blocked = decode_checked(body, crc, |body| decode_plan_body::<S>(&meta, body))?;
+    let (meta, version, body, crc) = decode_body::<S>(bytes, ArtifactKind::Blocked)?;
+    let blocked = decode_checked(body, crc, |body| decode_plan_body::<S>(&meta, version, body))?;
     Ok((meta, blocked))
 }
 
-fn decode_plan_body<S: Scalar>(meta: &PlanMeta, body: &[u8]) -> Result<BlockedTri<S>, StoreError> {
+fn decode_plan_body<S: Scalar>(
+    meta: &PlanMeta,
+    version: u32,
+    body: &[u8],
+) -> Result<BlockedTri<S>, StoreError> {
     let mut r = Reader::new(body, "body section");
     let perm = Permutation::from_forward(r.usize_vec()?)?;
-    let tune = get_tune(&mut r)?;
+    let tune = get_tune(&mut r, version)?;
     let nblocks = r.usize()?;
     if nblocks != meta.nblocks {
         return Err(StoreError::Malformed(format!(
@@ -668,7 +694,7 @@ pub fn encode_packed<S: Scalar>(
 /// Decode a [`PackedBlocked`] arena, re-validating every span the solve
 /// kernels index by.
 pub fn decode_packed<S: Scalar>(bytes: &[u8]) -> Result<(PlanMeta, PackedBlocked<S>), StoreError> {
-    let (meta, body, crc) = decode_body::<S>(bytes, ArtifactKind::Packed)?;
+    let (meta, _version, body, crc) = decode_body::<S>(bytes, ArtifactKind::Packed)?;
     let packed = decode_checked(body, crc, |body| decode_packed_body::<S>(&meta, body))?;
     Ok((meta, packed))
 }

@@ -119,6 +119,52 @@ fn wrong_version_is_typed() {
 }
 
 #[test]
+fn v2_plan_files_still_load_with_default_schedule_fields() {
+    // Synthesize a v2 file from a v3 one: stamp the old version and strip
+    // the three scheduling-mode tune fields (u8 + 2 x u64) that v3 appended
+    // after the four original tune words, then re-frame the body. A v2 file
+    // must load cleanly, defaulting the new fields, and solve bit-identically.
+    let tmp = TempDir::new("v2-compat");
+    let l = generate::kkt_like::<f64>(900, 300, 3, 17);
+    let plan = build(&l);
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(&tmp.0).unwrap();
+    let path = store.save(&plan, &key, 0.0).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+    // Layout: magic(8) version(4) | meta: tag(4) len(8) crc(4) payload |
+    // body: tag(4) len(8) crc(4) payload.
+    let meta_len = u64_at(16);
+    let body_hdr = 12 + 16 + meta_len;
+    let body_len = u64_at(body_hdr + 4);
+    let body = &bytes[body_hdr + 16..body_hdr + 16 + body_len];
+    // Body: perm slice (len + n words), then the tune block.
+    let nperm = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+    let cut = 8 + nperm * 8 + 4 * 8;
+    let mut v2_body = Vec::with_capacity(body_len - 17);
+    v2_body.extend_from_slice(&body[..cut]);
+    v2_body.extend_from_slice(&body[cut + 17..]);
+
+    let mut v2 = Vec::new();
+    v2.extend_from_slice(&bytes[..8]);
+    v2.extend_from_slice(&2u32.to_le_bytes());
+    v2.extend_from_slice(&bytes[12..body_hdr + 4]);
+    v2.extend_from_slice(&(v2_body.len() as u64).to_le_bytes());
+    v2.extend_from_slice(&recblock_store::crc::crc32(&v2_body).to_le_bytes());
+    v2.extend_from_slice(&v2_body);
+    std::fs::write(&path, &v2).unwrap();
+
+    let loaded = store.load::<f64>(&key).unwrap().expect("v2 file should load");
+    let defaults = recblock_kernels::TuneParams::default();
+    assert_eq!(loaded.blocked.tune().schedule_mode, defaults.schedule_mode);
+    assert_eq!(loaded.blocked.tune().p2p_min_parallel, defaults.p2p_min_parallel);
+    assert_eq!(loaded.blocked.tune().p2p_chunk_nnz, defaults.p2p_chunk_nnz);
+    let b: Vec<f64> = (0..900).map(|i| ((i % 13) as f64) - 6.0).collect();
+    assert_eq!(loaded.blocked.solve(&b).unwrap(), plan.solve(&b).unwrap());
+}
+
+#[test]
 fn wrong_magic_is_typed() {
     let tmp = TempDir::new("magic");
     let l = generate::random_lower::<f64>(200, 3.0, 16);
