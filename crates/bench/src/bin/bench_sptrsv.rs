@@ -16,14 +16,21 @@
 //! `--gate <baseline.json>` instead re-measures the two cheapest corpus
 //! matrices and exits nonzero if the recblock solve regressed more than 25%
 //! against the committed baseline — the CI perf gate. Nothing is written.
+//!
+//! `--tune-smoke` is the closed-loop CI job: tune the cheap corpus subset
+//! offline, persist any winner through the store, reload it, and exit
+//! nonzero if the tuned plan solves worse than the untuned one beyond the
+//! gate tolerance — the autotuner must never cost more than it saves.
 
 use recblock::blocked::{BlockedOptions, BlockedTri, SolveWorkspace};
 use recblock::explain::BlockDecisionKind;
+use recblock::{tune_blocked, TuneOptions};
 use recblock_kernels::sptrsv::{serial_csr, CusparseLikeSolver, LevelSetSolver};
 use recblock_kernels::trace::{EventKind, SolveTrace};
 use recblock_kernels::ExecPool;
 use recblock_matrix::levelset::LevelSets;
 use recblock_matrix::{generate, Csr};
+use recblock_store::{PlanKey, PlanStore};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -93,6 +100,12 @@ struct MatrixReport {
     /// blocks: `"p2p"`, `"level-sync"`, or `"none"` when no block runs an
     /// engine schedule.
     schedule_mode: &'static str,
+    /// `true` when the autotuner found a candidate that beat the incumbent
+    /// (the `recblock_tuned` row then measures the retuned plan).
+    tuned: bool,
+    /// Winning grid candidate, or `"incumbent"` when none cleared the
+    /// hysteresis margin.
+    tune_winner: &'static str,
     kernels: Vec<(&'static str, f64)>,
     /// `(stage label, events, total ns)` from one traced `recblock` solve,
     /// largest total first. Collected in a separate pass so the timing
@@ -229,10 +242,64 @@ fn run_gate(baseline_path: &str) {
     println!("bench gate passed");
 }
 
+/// CI tuner smoke: tune the cheap corpus subset offline, persist the winner
+/// through the store, reload it, and require the tuned plan to solve no
+/// worse than the untuned one beyond [`GATE_TOLERANCE`]. Exits 1 when the
+/// autotuner made anything slower — the closed loop must never regress.
+fn run_tune_smoke() {
+    let dir = std::env::temp_dir().join(format!("rb-tune-smoke-{}", std::process::id()));
+    let store = PlanStore::open(&dir).expect("open smoke store");
+    let mut failed = false;
+    for (name, l) in gate_corpus() {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+        let mut x = vec![0.0f64; n];
+        let blocked = build_blocked(&l);
+        let mut ws = SolveWorkspace::new();
+        let untuned = median_ns(|| blocked.solve_into(&b, black_box(&mut x), &mut ws).unwrap());
+
+        let report = tune_blocked(&blocked, &b, &TuneOptions::default()).expect("tune");
+        let key = PlanKey::of(&l);
+        let loaded = match report.winner_tune() {
+            Some(win) => {
+                // Round-trip the winner through the store: what CI measures
+                // is the plan a later process would actually load.
+                let retuned = blocked.retuned(win).expect("retune");
+                store.save(&retuned, &key, 0.0).expect("persist tuned plan");
+                let back = store.load::<f64>(&key).expect("reload").expect("plan just saved");
+                assert_eq!(back.blocked.tune(), win, "store must round-trip the tuned params");
+                Some(back.blocked)
+            }
+            None => None,
+        };
+        let plan = loaded.as_ref().unwrap_or(&blocked);
+        let tuned = median_ns(|| plan.solve_into(&b, black_box(&mut x), &mut ws).unwrap());
+
+        let ratio = tuned / untuned;
+        let verdict = if ratio > GATE_TOLERANCE { "FAIL" } else { "ok" };
+        println!(
+            "tune-smoke {name}: winner {} — untuned {untuned:.0} ns vs tuned {tuned:.0} ns \
+             ({ratio:.2}x, limit {GATE_TOLERANCE:.2}x) {verdict}",
+            report.winner_outcome().map_or("incumbent", |o| o.name),
+        );
+        failed |= ratio > GATE_TOLERANCE;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failed {
+        println!("tuner smoke FAILED: a tuned plan regressed more than {GATE_TOLERANCE:.2}x");
+        std::process::exit(1);
+    }
+    println!("tuner smoke passed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 3 && args[1] == "--gate" {
         run_gate(&args[2]);
+        return;
+    }
+    if args.len() == 2 && args[1] == "--tune-smoke" {
+        run_tune_smoke();
         return;
     }
     let mut reports = Vec::new();
@@ -279,12 +346,30 @@ fn main() {
             median_ns(|| blocked.solve_into(&b, black_box(&mut x), &mut ws).unwrap()),
         ));
 
+        // Closed-loop pass: tune the plan offline and measure what a
+        // post-`planctl tune` load would run. When no candidate clears the
+        // hysteresis margin the incumbent is re-measured, so the row always
+        // exists and the gate can compare tuned against untuned.
+        let report = tune_blocked(&blocked, &b, &TuneOptions::default()).unwrap();
+        let retuned = report.winner_tune().map(|w| blocked.retuned(w).unwrap());
+        let measured = retuned.as_ref().unwrap_or(&blocked);
+        kernels.push((
+            "recblock_tuned",
+            median_ns(|| measured.solve_into(&b, black_box(&mut x), &mut ws).unwrap()),
+        ));
+        let tuned = retuned.is_some();
+        let tune_winner = report.winner_outcome().map_or("incumbent", |o| o.name);
+
         // Separate traced pass, after every timing loop: the medians above
         // are measured with tracing disabled.
         let trace = trace_blocked_solve(&blocked, &b, &mut x, &mut ws);
 
         let get = |k: &str| kernels.iter().find(|(kk, _)| *kk == k).unwrap().1;
-        println!("{name}: n={n} nnz={} levels={nlevels} schedule_mode={schedule_mode}", l.nnz());
+        println!(
+            "{name}: n={n} nnz={} levels={nlevels} schedule_mode={schedule_mode} \
+             tuned={tuned} ({tune_winner})",
+            l.nnz()
+        );
         for (k, ns) in &kernels {
             println!("  {k:<22} {:>12.0} ns/solve", ns);
         }
@@ -307,6 +392,8 @@ fn main() {
             nnz: l.nnz(),
             nlevels,
             schedule_mode,
+            tuned,
+            tune_winner,
             kernels,
             trace,
         });
@@ -322,8 +409,8 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"nlevels\": {}, \
-             \"schedule_mode\": \"{}\", \"kernels\": {{",
-            r.name, r.n, r.nnz, r.nlevels, r.schedule_mode
+             \"schedule_mode\": \"{}\", \"tuned\": {}, \"tune_winner\": \"{}\", \"kernels\": {{",
+            r.name, r.n, r.nnz, r.nlevels, r.schedule_mode, r.tuned, r.tune_winner
         );
         for (ki, (k, ns)) in r.kernels.iter().enumerate() {
             let _ = write!(

@@ -90,6 +90,9 @@ struct ProxyJob<S> {
     cols: Vec<Vec<S>>,
     base_tag: u64,
     deadline_ms: u32,
+    /// Non-zero when the request is traced: the relay uses `SolveTraced`
+    /// so the owner's hop lands under the same end-to-end id.
+    trace_id: u64,
     sink: Arc<dyn ResponseSink<S>>,
 }
 
@@ -320,6 +323,7 @@ impl<S: Scalar> ClusterHooks<S> for Coordinator<S> {
         cols: Vec<Vec<S>>,
         base_tag: u64,
         deadline_ms: u32,
+        trace_id: u64,
         sink: &Arc<dyn ResponseSink<S>>,
     ) {
         let k = cols.len();
@@ -330,6 +334,7 @@ impl<S: Scalar> ClusterHooks<S> for Coordinator<S> {
             cols,
             base_tag,
             deadline_ms,
+            trace_id,
             sink: sink.clone(),
         };
         let idx = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
@@ -362,7 +367,17 @@ fn run_proxy_worker<S: Scalar>(rx: Receiver<ProxyJob<S>>) {
             }
             let client = clients.get_mut(&job.addr).expect("just inserted");
             let refs: Vec<&[S]> = job.cols.iter().map(|c| c.as_slice()).collect();
-            client.solve_multi(&job.tenant, &job.key, &refs, job.deadline_ms)
+            if job.trace_id != 0 {
+                client.solve_multi_traced(
+                    job.trace_id,
+                    &job.tenant,
+                    &job.key,
+                    &refs,
+                    job.deadline_ms,
+                )
+            } else {
+                client.solve_multi(&job.tenant, &job.key, &refs, job.deadline_ms)
+            }
         })();
         match result {
             Ok(solved) => {

@@ -129,9 +129,14 @@ impl<S: Scalar> ClusterNode<S> {
     pub fn start(
         bind_addr: &str,
         mut config: ClusterConfig,
-        net_config: NetConfig,
+        mut net_config: NetConfig,
         service: Arc<SolveService<S>>,
     ) -> Result<ClusterNode<S>, ClusterError> {
+        // Trace hops carry the ring identity, so a merged timeline can
+        // tell nodes apart (an explicitly-set name wins).
+        if net_config.node_name == NetConfig::default().node_name {
+            net_config.node_name = config.name.clone();
+        }
         let server = NetServer::bind(bind_addr, net_config, service.clone())?;
         let addr = server.local_addr()?;
         if config.advertise_addr.is_empty() {

@@ -1,0 +1,110 @@
+//! End-to-end request tracing across cluster hops.
+//!
+//! A traced solve sent to a non-owner must be proxied to the plan's
+//! owner with the *same* trace id, so querying both nodes afterwards
+//! yields one distributed timeline: a `proxied` hop on the origin and a
+//! local hop on the owner, under a single id minted at admission.
+
+use recblock_cluster::{ClusterConfig, ClusterNode};
+use recblock_matrix::generate;
+use recblock_net::NetClient;
+use recblock_net::NetConfig;
+use recblock_store::PlanKey;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_cluster(n: usize) -> Vec<ClusterNode<f64>> {
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let service = Arc::new(recblock_serve::SolveService::<f64>::new(
+            recblock_serve::ServeConfig::default().with_workers(2),
+        ));
+        let mut config = ClusterConfig::new(format!("node-{i}"));
+        config.replicas = 1;
+        config.pull_retry = Duration::from_millis(5);
+        let node = ClusterNode::start("127.0.0.1:0", config, NetConfig::default(), service)
+            .expect("start node");
+        nodes.push(node);
+    }
+    let seed_addr = nodes[0].addr().to_string();
+    for node in &nodes[1..] {
+        node.join(&seed_addr).expect("join cluster");
+    }
+    nodes
+}
+
+#[test]
+fn one_trace_id_spans_both_hops_of_a_proxied_solve() {
+    let nodes = start_cluster(2);
+    let l = generate::random_lower::<f64>(300, 4.0, 61);
+    let key = PlanKey::of(&l);
+    for node in &nodes {
+        node.warm(&l).expect("warm");
+    }
+
+    // replicas = 1: exactly one owner, so the other node must proxy.
+    let owners = nodes[0].coordinator().owners_of(&key);
+    assert_eq!(owners.len(), 1);
+    let owner_name = owners[0].0.clone();
+    let origin =
+        nodes.iter().find(|n| n.name() != owner_name).expect("2 nodes, 1 owner: one outsider");
+    let owner = nodes.iter().find(|n| n.name() == owner_name).unwrap();
+
+    let rhs: Vec<f64> = (0..300).map(|r| ((r * 13 + 1) as f64 * 0.021).cos()).collect();
+    let mut client = NetClient::connect(origin.addr()).expect("connect origin");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // trace_id 0 asks the origin to mint one at admission.
+    let got = client
+        .solve_multi_traced(0, "acme", &key, &[&rhs], 0)
+        .expect("traced solve through the proxy path");
+    assert_eq!(got.len(), 1);
+
+    // An untraced solve must not add hops (the id separates requests).
+    client.solve_multi("acme", &key, &[&rhs], 0).expect("untraced solve");
+
+    let origin_hops = client.trace(&key).expect("origin trace");
+    let mut owner_client = NetClient::connect(owner.addr()).expect("connect owner");
+    let owner_hops = owner_client.trace(&key).expect("owner trace");
+
+    assert_eq!(origin_hops.len(), 1, "one traced request, one origin hop: {origin_hops:?}");
+    assert_eq!(owner_hops.len(), 1, "the proxied hop lands on the owner: {owner_hops:?}");
+    let (o, w) = (&origin_hops[0], &owner_hops[0]);
+    assert_ne!(o.trace_id, 0, "the origin must mint a non-zero id");
+    assert_eq!(o.trace_id, w.trace_id, "one id spans both hops");
+    assert!(o.proxied, "the origin hop is the relay");
+    assert!(!w.proxied, "the owner hop is the local solve");
+    assert_eq!((o.node.as_str(), w.node.as_str()), (origin.name(), owner.name()));
+    assert_eq!((o.tenant.as_str(), w.tenant.as_str()), ("acme", "acme"));
+    assert_eq!((o.k, w.k), (1, 1));
+    for hop in [o, w] {
+        assert!(hop.total_ns >= hop.solve_ns, "total covers the solve span: {hop:?}");
+        assert!(hop.total_ns > 0);
+    }
+    assert!(
+        o.solve_ns >= w.total_ns,
+        "the origin's solve span contains the owner's whole hop: {o:?} vs {w:?}"
+    );
+
+    // The hops surface in Prometheus with the shared id.
+    let prom = origin.service().metrics().render_prometheus();
+    assert!(prom.contains("recblock_trace_hops_total 1"), "{prom}");
+    assert!(prom.contains(&format!("trace_id=\"{:016x}\"", o.trace_id)), "{prom}");
+}
+
+#[test]
+fn local_traced_solve_records_a_single_unproxied_hop() {
+    let nodes = start_cluster(1);
+    let l = generate::random_lower::<f64>(200, 3.0, 62);
+    let key = PlanKey::of(&l);
+    nodes[0].warm(&l).expect("warm");
+
+    let rhs: Vec<f64> = (0..200).map(|r| (r as f64 * 0.01).sin()).collect();
+    let mut client = NetClient::connect(nodes[0].addr()).expect("connect");
+    // Two traced solves: ids must differ (minted per request).
+    client.solve_multi_traced(0, "acme", &key, &[&rhs], 0).expect("first");
+    client.solve_multi_traced(0, "acme", &key, &[&rhs], 0).expect("second");
+    let hops = client.trace(&key).expect("trace");
+    assert_eq!(hops.len(), 2, "{hops:?}");
+    assert_ne!(hops[0].trace_id, hops[1].trace_id, "each admission mints a fresh id");
+    assert!(hops.iter().all(|h| !h.proxied && h.node == "node-0" && h.trace_id != 0));
+}

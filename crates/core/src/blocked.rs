@@ -298,6 +298,7 @@ impl<S: Scalar> BlockedTri<S> {
             &blocks,
             &opts.selector,
             Some(opts.allow_dcsr),
+            &opts.tune,
             reorder_time,
             false,
         );
@@ -471,10 +472,58 @@ impl<S: Scalar> BlockedTri<S> {
         }
         // The original selector and options are not persisted: re-derive the
         // decision trail with the defaults and let the reconciliation in
-        // `explain` note any block where the stored kernel disagrees.
-        let report = make_report(n, nnz, depth, &out, &Selector::default(), None, None, true);
+        // `explain` note any block where the stored kernel disagrees. The
+        // persisted tune *is* known and is named in those messages.
+        let report =
+            make_report(n, nnz, depth, &out, &Selector::default(), None, &tune, None, true);
         let ident = perm_is_identity(&perm);
         Ok(BlockedTri { n, nnz, depth, perm, ident, tune, blocks: out, traffic, report })
+    }
+
+    /// Re-plan every block's execution schedule under `tune`, keeping the
+    /// reorder permutation, the block partition, and each block's selected
+    /// kernel and storage exactly as built. This is the autotuner's
+    /// replay primitive: trying a candidate tuning costs only schedule
+    /// re-planning (`O(nnz)` worst case), not the full preprocessing stage
+    /// — no reorder, no extraction, no profiling, no selection. The
+    /// decision trail is re-derived so [`BlockedTri::selection_report`]
+    /// reconciles against the retained kernels under the new tuning.
+    pub fn retuned(&self, tune: TuneParams) -> Result<Self, MatrixError> {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| -> Result<Block<S>, MatrixError> {
+                let data = match &b.data {
+                    BlockData::Tri { solver, profile } => {
+                        BlockData::Tri { solver: solver.retuned(tune)?, profile: profile.clone() }
+                    }
+                    BlockData::Square(sq) => BlockData::Square(sq.retuned(tune)),
+                };
+                Ok(Block { rows: b.rows.clone(), cols: b.cols.clone(), data })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = make_report(
+            self.n,
+            self.nnz,
+            self.depth,
+            &blocks,
+            &Selector::default(),
+            None,
+            &tune,
+            self.report.reorder_time,
+            true,
+        );
+        Ok(BlockedTri {
+            n: self.n,
+            nnz: self.nnz,
+            depth: self.depth,
+            perm: self.perm.clone(),
+            ident: self.ident,
+            tune,
+            blocks,
+            traffic: self.traffic,
+            report,
+        })
     }
 
     /// Which kernels the selection assigned, per block count.
@@ -768,7 +817,9 @@ impl<S: Scalar> BlockedTri<S> {
 
 /// Assemble the explainability report for a built (or reloaded) block list.
 /// `allow_dcsr = None` and `derived = true` mark a persisted plan whose
-/// original options are unknown.
+/// original options are unknown; `tune` is the engine tuning the plan's
+/// schedules were actually planned under, so reconciliation messages can
+/// name a persisted tuning instead of misreporting process defaults.
 #[allow(clippy::too_many_arguments)]
 fn make_report<S: Scalar>(
     n: usize,
@@ -777,6 +828,7 @@ fn make_report<S: Scalar>(
     blocks: &[Block<S>],
     selector: &Selector,
     allow_dcsr: Option<bool>,
+    tune: &TuneParams,
     reorder_time: Option<Duration>,
     derived: bool,
 ) -> SelectionReport {
@@ -790,7 +842,7 @@ fn make_report<S: Scalar>(
                 cols: b.cols.clone(),
                 nnz: solver.nnz(),
                 kind: BlockDecisionKind::Tri {
-                    decision: explain::tri_decision(selector, profile, solver.kernel()),
+                    decision: explain::tri_decision(selector, profile, solver.kernel(), tune),
                     nnz_per_row: profile.nnz_per_row(),
                     nlevels: profile.nlevels(),
                     shape: LevelShape::from_level_rows(&profile.level_rows),
@@ -805,7 +857,13 @@ fn make_report<S: Scalar>(
                 cols: b.cols.clone(),
                 nnz: sq.profile().nnz,
                 kind: BlockDecisionKind::Square {
-                    decision: explain::spmv_decision(selector, sq.profile(), sq.kind(), allow_dcsr),
+                    decision: explain::spmv_decision(
+                        selector,
+                        sq.profile(),
+                        sq.kind(),
+                        allow_dcsr,
+                        tune,
+                    ),
                     nnz_per_row: sq.profile().nnz_per_row(),
                     empty_ratio: sq.profile().empty_ratio(),
                     nchunks: sq.plan().nchunks(),
@@ -1046,6 +1104,27 @@ mod tests {
         // Bit-identical: the rebuilt structure holds the same matrices and
         // schedules, so the arithmetic runs in exactly the same order.
         assert_eq!(rebuilt.solve(&b).unwrap(), s.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn retuned_keeps_structure_and_solves_identically() {
+        use recblock_kernels::exec::ScheduleMode;
+        let l = generate::layered::<f64>(800, 14, 2.0, generate::LayerShape::Uniform, 76);
+        let s = BlockedTri::build(&l, &opts(2)).unwrap();
+        let b: Vec<f64> = (0..800).map(|i| ((i % 19) as f64) - 9.0).collect();
+        let expected = s.solve(&b).unwrap();
+        for mode in [ScheduleMode::LevelSync, ScheduleMode::PointToPoint] {
+            let tune = TuneParams { schedule_mode: mode, chunk_nnz: 2048, ..s.tune() };
+            let r = s.retuned(tune).unwrap();
+            // Partition, permutation and kernel selection are untouched.
+            assert_eq!(r.nblocks(), s.nblocks());
+            assert_eq!(r.census(), s.census());
+            assert_eq!(r.permutation().forward(), s.permutation().forward());
+            assert_eq!(r.tune(), tune);
+            assert_eq!(r.traffic(), s.traffic());
+            // The deterministic reduction makes every schedule bit-identical.
+            assert_eq!(r.solve(&b).unwrap(), expected, "{mode:?}");
+        }
     }
 
     #[test]

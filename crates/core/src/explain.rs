@@ -17,10 +17,47 @@
 use crate::adaptive::{Selector, SpmvDecision, TriDecision, TriKernel};
 use recblock_gpu_sim::cost::SpmvKind;
 use recblock_gpu_sim::{SpmvProfile, TriProfile};
+use recblock_kernels::exec::{ScheduleMode, TuneParams};
 use recblock_kernels::TaskGraphStats;
 use std::fmt;
 use std::ops::Range;
 use std::time::Duration;
+
+/// One-line rendering of the fields where `tune` differs from the process
+/// defaults (empty string when it doesn't). Reconciliation messages use it
+/// to name a *persisted* tuning instead of misattributing the plan to
+/// default thresholds; `planctl explain` prints it as the plan's tune line.
+pub fn tune_drift(tune: &TuneParams) -> String {
+    let base = TuneParams::default();
+    let mut parts = Vec::new();
+    if tune.schedule_mode != base.schedule_mode {
+        let mode = match tune.schedule_mode {
+            ScheduleMode::Auto => "auto",
+            ScheduleMode::LevelSync => "level-sync",
+            ScheduleMode::PointToPoint => "p2p",
+        };
+        parts.push(format!("schedule_mode={mode}"));
+    }
+    if tune.par_rows != base.par_rows {
+        parts.push(format!("par_rows={}", tune.par_rows));
+    }
+    if tune.fuse_nnz != base.fuse_nnz {
+        parts.push(format!("fuse_nnz={}", tune.fuse_nnz));
+    }
+    if tune.chunk_nnz != base.chunk_nnz {
+        parts.push(format!("chunk_nnz={}", tune.chunk_nnz));
+    }
+    if tune.lanes != base.lanes {
+        parts.push(format!("lanes={}", tune.lanes));
+    }
+    if tune.p2p_min_parallel != base.p2p_min_parallel {
+        parts.push(format!("p2p_min_parallel={}", tune.p2p_min_parallel));
+    }
+    if tune.p2p_chunk_nnz != base.p2p_chunk_nnz {
+        parts.push(format!("p2p_chunk_nnz={}", tune.p2p_chunk_nnz));
+    }
+    parts.join(" ")
+}
 
 /// Rows-per-level shape of a triangular block after reordering — the
 /// structure that decides how well a level-scheduled kernel can do.
@@ -309,14 +346,24 @@ pub(crate) fn tri_decision(
     selector: &Selector,
     profile: &TriProfile,
     actual: TriKernel,
+    tune: &TuneParams,
 ) -> TriDecision {
     let mut d = selector.explain_tri_shaped(profile.nnz_per_row(), profile.nlevels(), profile.n);
     if d.chosen != actual {
-        d.rule.push_str(&format!(
-            "; persisted plan stores {}: original selector not recorded, rule re-derived \
-             from default thresholds",
-            actual.name()
-        ));
+        let drift = tune_drift(tune);
+        if drift.is_empty() {
+            d.rule.push_str(&format!(
+                "; persisted plan stores {}: original selector not recorded, rule re-derived \
+                 from default thresholds",
+                actual.name()
+            ));
+        } else {
+            d.rule.push_str(&format!(
+                "; persisted plan stores {} under tuned params [{drift}]: original selector \
+                 not recorded, rule re-derived from the persisted tuning",
+                actual.name()
+            ));
+        }
         d.rejected.retain(|k| *k != actual);
         d.rejected.push(d.chosen);
         d.chosen = actual;
@@ -335,6 +382,7 @@ pub(crate) fn spmv_decision(
     profile: &SpmvProfile,
     actual: SpmvKind,
     allow_dcsr: Option<bool>,
+    tune: &TuneParams,
 ) -> SpmvDecision {
     let mut d = selector.explain_spmv(profile.nnz_per_row(), profile.empty_ratio());
     let avg = profile.nnz_per_row().max(1.0);
@@ -369,11 +417,20 @@ pub(crate) fn spmv_decision(
         }
     }
     if d.chosen != actual {
-        d.rule.push_str(&format!(
-            "; persisted plan stores {}: original selector/options not recorded, rule \
-             re-derived from defaults",
-            actual.name()
-        ));
+        let drift = tune_drift(tune);
+        if drift.is_empty() {
+            d.rule.push_str(&format!(
+                "; persisted plan stores {}: original selector/options not recorded, rule \
+                 re-derived from defaults",
+                actual.name()
+            ));
+        } else {
+            d.rule.push_str(&format!(
+                "; persisted plan stores {} under tuned params [{drift}]: original \
+                 selector/options not recorded, rule re-derived from the persisted tuning",
+                actual.name()
+            ));
+        }
         d.rejected.retain(|k| *k != actual);
         d.rejected.push(d.chosen);
         d.chosen = actual;
@@ -414,11 +471,51 @@ mod tests {
         );
         // Default thresholds pick level-set here; pretend the stored plan
         // carries sync-free.
-        let d = tri_decision(&Selector::default(), &profile, TriKernel::SyncFree);
+        let d = tri_decision(
+            &Selector::default(),
+            &profile,
+            TriKernel::SyncFree,
+            &TuneParams::default(),
+        );
         assert_eq!(d.chosen, TriKernel::SyncFree);
         assert_eq!(d.threshold, "persisted");
         assert!(d.rule.contains("persisted plan"));
+        assert!(d.rule.contains("default thresholds"), "{}", d.rule);
         assert!(!d.rejected.contains(&TriKernel::SyncFree));
+    }
+
+    #[test]
+    fn tri_decision_names_persisted_tune_on_mismatch() {
+        let profile = TriProfile::from_levels(
+            vec![10, 10], // level_rows
+            vec![10, 20], // level_nnz
+            vec![1, 2],   // level_max_row
+            vec![1, 2],   // level_max_col
+        );
+        let tuned = TuneParams {
+            schedule_mode: ScheduleMode::PointToPoint,
+            p2p_chunk_nnz: 384,
+            ..TuneParams::default()
+        };
+        let d = tri_decision(&Selector::default(), &profile, TriKernel::SyncFree, &tuned);
+        assert_eq!(d.chosen, TriKernel::SyncFree);
+        assert_eq!(d.threshold, "persisted");
+        // The drift message must name the plan's persisted tuning, not
+        // claim the process defaults were in force.
+        assert!(d.rule.contains("schedule_mode=p2p"), "{}", d.rule);
+        assert!(d.rule.contains("p2p_chunk_nnz=384"), "{}", d.rule);
+        assert!(!d.rule.contains("default thresholds"), "{}", d.rule);
+    }
+
+    #[test]
+    fn tune_drift_renders_only_non_default_fields() {
+        assert_eq!(tune_drift(&TuneParams::default()), "");
+        let tuned = TuneParams {
+            schedule_mode: ScheduleMode::LevelSync,
+            chunk_nnz: 8192,
+            ..TuneParams::default()
+        };
+        assert_eq!(tune_drift(&tuned), "schedule_mode=level-sync chunk_nnz=8192");
     }
 
     #[test]
@@ -426,7 +523,13 @@ mod tests {
         // Short rows on average but one huge row: the guard upgrades
         // scalar→vector and the rule says so.
         let profile = SpmvProfile { nrows: 1000, ncols: 1000, nnz: 2000, lanes: 900, max_row: 500 };
-        let d = spmv_decision(&Selector::default(), &profile, SpmvKind::VectorCsr, Some(true));
+        let d = spmv_decision(
+            &Selector::default(),
+            &profile,
+            SpmvKind::VectorCsr,
+            Some(true),
+            &TuneParams::default(),
+        );
         assert_eq!(d.chosen, SpmvKind::VectorCsr);
         assert!(d.rule.contains("load-imbalance guard"), "{}", d.rule);
     }
@@ -436,7 +539,13 @@ mod tests {
         // Hyper-sparse: raw pick is scalar-DCSR; with DCSR disabled the
         // stored kernel is scalar-CSR and the rule explains why.
         let profile = SpmvProfile { nrows: 1000, ncols: 1000, nnz: 400, lanes: 150, max_row: 4 };
-        let d = spmv_decision(&Selector::default(), &profile, SpmvKind::ScalarCsr, Some(false));
+        let d = spmv_decision(
+            &Selector::default(),
+            &profile,
+            SpmvKind::ScalarCsr,
+            Some(false),
+            &TuneParams::default(),
+        );
         assert_eq!(d.chosen, SpmvKind::ScalarCsr);
         assert!(d.rule.contains("DCSR disabled"), "{}", d.rule);
         assert!(d.rejected.contains(&SpmvKind::ScalarDcsr));

@@ -59,6 +59,7 @@ pub mod solver;
 pub mod sqsolver;
 pub mod traffic;
 pub mod trisolver;
+pub mod tune;
 pub mod upper;
 
 pub use adaptive::{Selector, TriKernel};
@@ -66,3 +67,4 @@ pub use blocked::{BlockedOptions, BlockedTri, DepthRule};
 pub use explain::SelectionReport;
 pub use solver::{RecBlockSolver, SolverOptions};
 pub use traffic::TrafficCounts;
+pub use tune::{candidate_grid, tune_blocked, TuneOptions, TuneReport};

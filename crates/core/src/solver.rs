@@ -43,6 +43,17 @@ impl<S: Scalar> RecBlockSolver<S> {
         self.preprocess_time
     }
 
+    /// Re-plan every block schedule under `tune`, keeping the reorder,
+    /// partition and kernel selection exactly as built
+    /// ([`BlockedTri::retuned`]). The preprocessing cost carries over — a
+    /// retune is schedule re-planning, not a rebuild.
+    pub fn retuned(&self, tune: recblock_kernels::exec::TuneParams) -> Result<Self, MatrixError> {
+        Ok(RecBlockSolver {
+            blocked: self.blocked.retuned(tune)?,
+            preprocess_time: self.preprocess_time,
+        })
+    }
+
     /// The underlying blocked structure.
     pub fn blocked(&self) -> &BlockedTri<S> {
         &self.blocked

@@ -143,6 +143,20 @@ impl<S: Scalar> SqSolver<S> {
         Ok(SqSolver { kind, storage, profile, plan })
     }
 
+    /// Re-plan this block under different engine tuning, keeping the
+    /// selected kernel and materialised storage. Only the apply-side chunk
+    /// plan depends on [`TuneParams`], and it is cheap (`O(rows)`) and
+    /// deterministic — the autotuner uses this to try candidate tunings
+    /// without re-running profiling or selection.
+    pub fn retuned(&self, tune: TuneParams) -> Self {
+        SqSolver {
+            kind: self.kind,
+            storage: self.storage.clone(),
+            profile: self.profile,
+            plan: Self::plan_for(&self.storage, &tune),
+        }
+    }
+
     /// The materialised storage (the persistence surface matching
     /// [`SqSolver::from_parts`]).
     pub fn storage(&self) -> &SqStorage<S> {

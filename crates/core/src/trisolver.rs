@@ -86,6 +86,29 @@ impl<S: Scalar> TriSolver<S> {
         Ok((solver, profile))
     }
 
+    /// Rebuild this block's schedule under different engine tuning, keeping
+    /// the kernel the selection chose. The schedule-based variants
+    /// (level-set, cuSPARSE-like) re-plan from their already-analysed level
+    /// decomposition — no reorder, no selection, no profiling. The diagonal
+    /// and sync-free variants have no tune-dependent schedule and are cloned
+    /// as-is.
+    pub fn retuned(&self, tune: TuneParams) -> Result<Self, MatrixError> {
+        Ok(match self {
+            TriSolver::Diag(l) => TriSolver::Diag(l.clone()),
+            TriSolver::LevelSet(s) => TriSolver::LevelSet(LevelSetSolver::with_tune(
+                s.matrix().clone(),
+                s.levels().clone(),
+                tune,
+            )),
+            TriSolver::SyncFree(s) => TriSolver::SyncFree(s.clone()),
+            TriSolver::Cusparse(s) => TriSolver::Cusparse(CusparseLikeSolver::with_levels_tuned(
+                s.matrix().clone(),
+                s.levels().clone(),
+                tune,
+            )?),
+        })
+    }
+
     /// Rows (= columns) of the block this solver was built for.
     pub fn n(&self) -> usize {
         match self {

@@ -1,0 +1,282 @@
+//! Closed-loop autotuning: replay a built plan under a bounded candidate
+//! grid and keep the measured winner.
+//!
+//! The engine thresholds in [`TuneParams`] (schedule mode, p2p chunk
+//! granularity, SpMV chunking, run fusion) are static guesses; the papers
+//! this repo tracks show the winning configuration is matrix-family
+//! specific, so it has to be *measured*. [`tune_blocked`] does exactly
+//! that: every candidate is produced by [`BlockedTri::retuned`] — schedule
+//! re-planning only, no reorder / extraction / selection — then timed with
+//! warmup and a median over k samples. A candidate must beat the incumbent
+//! by a minimum-improvement margin (hysteresis) before it wins, so noise
+//! never flips a plan back and forth between near-equal tunings.
+//!
+//! The driver is deliberately transport-free: `planctl tune` runs it
+//! offline against the store, and the serve tier's canary scheduler runs
+//! it one-candidate-at-a-time off the critical path. Both persist winners
+//! through the store (format v3 carries `TuneParams`), so every later load
+//! is pre-tuned.
+
+use crate::blocked::{BlockedTri, SolveWorkspace};
+use recblock_kernels::exec::{ScheduleMode, TuneParams};
+use recblock_matrix::{MatrixError, Scalar};
+use std::time::Instant;
+
+/// One point of the candidate grid.
+#[derive(Debug, Clone)]
+pub struct TuneCandidate {
+    /// Short stable name (shows up in reports, metrics and logs).
+    pub name: &'static str,
+    /// The tuning to try.
+    pub tune: TuneParams,
+}
+
+/// The bounded candidate grid explored around `base`: both schedule modes,
+/// finer/coarser p2p task granularity, finer/coarser SpMV chunking, and
+/// eager/lazy run fusion. Candidates identical to `base` are dropped, so
+/// the grid never wastes a measurement re-timing the incumbent.
+pub fn candidate_grid(base: TuneParams) -> Vec<TuneCandidate> {
+    let all = [
+        TuneCandidate {
+            name: "level-sync",
+            tune: TuneParams { schedule_mode: ScheduleMode::LevelSync, ..base },
+        },
+        TuneCandidate {
+            name: "p2p",
+            tune: TuneParams { schedule_mode: ScheduleMode::PointToPoint, ..base },
+        },
+        TuneCandidate {
+            name: "p2p-fine",
+            tune: TuneParams {
+                schedule_mode: ScheduleMode::PointToPoint,
+                p2p_chunk_nnz: 384,
+                ..base
+            },
+        },
+        TuneCandidate {
+            name: "p2p-coarse",
+            tune: TuneParams {
+                schedule_mode: ScheduleMode::PointToPoint,
+                p2p_chunk_nnz: 1536,
+                ..base
+            },
+        },
+        TuneCandidate { name: "chunk-fine", tune: TuneParams { chunk_nnz: 2048, ..base } },
+        TuneCandidate { name: "chunk-coarse", tune: TuneParams { chunk_nnz: 8192, ..base } },
+        TuneCandidate { name: "fuse-eager", tune: TuneParams { fuse_nnz: 16384, ..base } },
+        TuneCandidate { name: "fuse-lazy", tune: TuneParams { fuse_nnz: 1024, ..base } },
+    ];
+    all.into_iter().filter(|c| c.tune != base).collect()
+}
+
+/// Knobs of the measurement loop.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Untimed solves before sampling (cache/branch warmup).
+    pub warmup: usize,
+    /// Timed samples per candidate; the median is the candidate's score.
+    pub samples: usize,
+    /// Fractional improvement over the incumbent a candidate must show
+    /// before it wins (hysteresis against measurement noise).
+    pub min_improvement: f64,
+    /// Minimum duration of one timed sample; solves are batched until a
+    /// sample takes at least this long, so tiny systems still produce
+    /// timings above clock granularity. The batch size is calibrated once
+    /// on the incumbent and reused for every candidate.
+    pub min_sample_ns: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { warmup: 2, samples: 5, min_improvement: 0.03, min_sample_ns: 200_000 }
+    }
+}
+
+/// Measured outcome of one candidate.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Candidate name from the grid.
+    pub name: &'static str,
+    /// The tuning that was measured.
+    pub tune: TuneParams,
+    /// Median nanoseconds of one solve under this tuning.
+    pub median_ns: u64,
+    /// `false` when the candidate's solution differed from the incumbent's
+    /// (it is disqualified from winning regardless of its timing).
+    pub bit_identical: bool,
+}
+
+/// Everything [`tune_blocked`] measured, plus the verdict.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The incumbent tuning the plan arrived with.
+    pub base: TuneParams,
+    /// Median nanoseconds of one solve under the incumbent.
+    pub base_ns: u64,
+    /// Per-candidate measurements, in grid order.
+    pub outcomes: Vec<TuneOutcome>,
+    /// Index into `outcomes` of the winner, when one cleared the
+    /// hysteresis margin; `None` keeps the incumbent.
+    pub winner: Option<usize>,
+}
+
+impl TuneReport {
+    /// The winning outcome, when a candidate beat the incumbent.
+    pub fn winner_outcome(&self) -> Option<&TuneOutcome> {
+        self.winner.map(|i| &self.outcomes[i])
+    }
+
+    /// The tuning to persist: the winner's, or `None` to keep the incumbent.
+    pub fn winner_tune(&self) -> Option<TuneParams> {
+        self.winner_outcome().map(|o| o.tune)
+    }
+
+    /// Fractional improvement of the winner over the incumbent (0 when the
+    /// incumbent kept its seat).
+    pub fn winner_gain(&self) -> f64 {
+        match self.winner_outcome() {
+            Some(o) if self.base_ns > 0 => 1.0 - o.median_ns as f64 / self.base_ns as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// How many back-to-back solves one timed sample runs so it stays above
+/// clock granularity — calibrated once on the incumbent plan.
+fn calibrate_batch<S: Scalar>(
+    plan: &BlockedTri<S>,
+    b: &[S],
+    x: &mut [S],
+    ws: &mut SolveWorkspace<S>,
+    min_sample_ns: u64,
+) -> Result<u32, MatrixError> {
+    let t0 = Instant::now();
+    plan.solve_into(b, x, ws)?;
+    let one = t0.elapsed().as_nanos().max(1) as u64;
+    Ok(min_sample_ns.div_ceil(one).clamp(1, 10_000) as u32)
+}
+
+/// Median nanoseconds of one solve: `warmup` untimed runs, then `samples`
+/// timed batches of `batch` solves each.
+fn measure<S: Scalar>(
+    plan: &BlockedTri<S>,
+    b: &[S],
+    x: &mut [S],
+    ws: &mut SolveWorkspace<S>,
+    opts: &TuneOptions,
+    batch: u32,
+) -> Result<u64, MatrixError> {
+    for _ in 0..opts.warmup {
+        plan.solve_into(b, x, ws)?;
+    }
+    let mut samples = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            plan.solve_into(b, x, ws)?;
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / batch.max(1) as u64);
+    }
+    samples.sort_unstable();
+    Ok(samples[samples.len() / 2])
+}
+
+/// Tune `plan` against right-hand side `b`: measure the incumbent, then
+/// every grid candidate (each produced by [`BlockedTri::retuned`]), and
+/// pick the fastest candidate that both solves bit-identically to the
+/// incumbent and clears the hysteresis margin. The plan itself is not
+/// modified — apply the verdict with `plan.retuned(report.winner_tune())`.
+pub fn tune_blocked<S: Scalar>(
+    plan: &BlockedTri<S>,
+    b: &[S],
+    opts: &TuneOptions,
+) -> Result<TuneReport, MatrixError> {
+    let base = plan.tune();
+    let mut ws = SolveWorkspace::new();
+    let mut x = vec![S::ZERO; plan.n()];
+    let batch = calibrate_batch(plan, b, &mut x, &mut ws, opts.min_sample_ns)?;
+    let base_ns = measure(plan, b, &mut x, &mut ws, opts, batch)?;
+    let reference = x.clone();
+    let mut outcomes = Vec::new();
+    for c in candidate_grid(base) {
+        let candidate = plan.retuned(c.tune)?;
+        let median_ns = measure(&candidate, b, &mut x, &mut ws, opts, batch)?;
+        // The engine's deterministic reduction makes every schedule solve
+        // bit-identically; a divergence means something is broken, and a
+        // broken candidate must never win on speed.
+        let bit_identical = x == reference;
+        outcomes.push(TuneOutcome { name: c.name, tune: c.tune, median_ns, bit_identical });
+    }
+    let bound = (base_ns as f64 * (1.0 - opts.min_improvement)) as u64;
+    let winner = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.bit_identical && o.median_ns < bound)
+        .min_by_key(|(_, o)| o.median_ns)
+        .map(|(i, _)| i);
+    Ok(TuneReport { base, base_ns, outcomes, winner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::{BlockedOptions, DepthRule};
+    use recblock_matrix::generate;
+
+    fn plan_for(n: usize) -> BlockedTri<f64> {
+        let l = generate::layered::<f64>(n, 12, 2.0, generate::LayerShape::Uniform, 91);
+        let opts = BlockedOptions { depth: DepthRule::Fixed(2), ..BlockedOptions::default() };
+        BlockedTri::build(&l, &opts).unwrap()
+    }
+
+    #[test]
+    fn grid_is_bounded_and_excludes_base() {
+        let grid = candidate_grid(TuneParams::default());
+        assert!(grid.len() <= 8);
+        for c in &grid {
+            assert_ne!(c.tune, TuneParams::default(), "{}", c.name);
+        }
+        // A base already at one grid point shrinks the grid by exactly it.
+        let tuned = TuneParams { schedule_mode: ScheduleMode::LevelSync, ..TuneParams::default() };
+        let grid2 = candidate_grid(tuned);
+        assert_eq!(grid2.len(), grid.len() - 1);
+        assert!(grid2.iter().all(|c| c.name != "level-sync"));
+    }
+
+    #[test]
+    fn tune_measures_every_candidate_and_stays_correct() {
+        let plan = plan_for(600);
+        let b: Vec<f64> = (0..600).map(|i| ((i % 23) as f64) - 11.0).collect();
+        let opts = TuneOptions { samples: 3, min_sample_ns: 50_000, ..TuneOptions::default() };
+        let report = tune_blocked(&plan, &b, &opts).unwrap();
+        assert_eq!(report.outcomes.len(), candidate_grid(plan.tune()).len());
+        assert!(report.base_ns > 0);
+        for o in &report.outcomes {
+            assert!(o.median_ns > 0, "{}", o.name);
+            assert!(o.bit_identical, "candidate {} diverged from the incumbent", o.name);
+        }
+        // Whatever won (or not), applying the verdict must solve identically.
+        if let Some(t) = report.winner_tune() {
+            let tuned = plan.retuned(t).unwrap();
+            assert_eq!(tuned.solve(&b).unwrap(), plan.solve(&b).unwrap());
+            assert!(report.winner_gain() >= opts.min_improvement);
+        }
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_winners() {
+        // An impossible margin means nothing can win: the incumbent stays.
+        let plan = plan_for(300);
+        let b = vec![1.0; 300];
+        let opts = TuneOptions {
+            samples: 1,
+            min_improvement: 1.0,
+            min_sample_ns: 10_000,
+            ..TuneOptions::default()
+        };
+        let report = tune_blocked(&plan, &b, &opts).unwrap();
+        assert!(report.winner.is_none());
+        assert!(report.winner_tune().is_none());
+        assert_eq!(report.winner_gain(), 0.0);
+    }
+}

@@ -72,6 +72,9 @@ pub enum EventKind {
     /// One point-to-point task-schedule solve (`TaskSchedule`): a single
     /// dispatch replacing the whole per-level launch sequence.
     P2pRun = 16,
+    /// One end-to-end request span at the serving tier (id = low 24 bits of
+    /// the request's cluster-wide trace id; rows = batch width).
+    RequestSpan = 17,
 }
 
 impl EventKind {
@@ -94,6 +97,7 @@ impl EventKind {
             EventKind::StoreRead => "store_read",
             EventKind::StoreDecode => "store_decode",
             EventKind::P2pRun => "p2p_run",
+            EventKind::RequestSpan => "request_span",
         }
     }
 
@@ -115,6 +119,7 @@ impl EventKind {
             14 => EventKind::StoreRead,
             15 => EventKind::StoreDecode,
             16 => EventKind::P2pRun,
+            17 => EventKind::RequestSpan,
             _ => return None,
         })
     }

@@ -13,7 +13,9 @@
 //! the server solves the same system twice.
 
 use crate::error::{ErrCode, NetError};
-use crate::frame::{self, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, HEADER_LEN};
+use crate::frame::{
+    self, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TraceHopMsg, HEADER_LEN,
+};
 use recblock_matrix::Scalar;
 use recblock_store::PlanKey;
 use std::io::{Read, Write};
@@ -321,6 +323,52 @@ impl NetClient {
             // old connection's stream state is suspect (a late response
             // to the failed attempt must never match a new tag).
             self.reconnect()?;
+        }
+    }
+
+    /// One blocking multi-column solve round trip carrying a trace id.
+    ///
+    /// Pass `trace_id = 0` to have the server mint one at admission (the
+    /// normal client case); a non-zero id is forwarded verbatim (the
+    /// proxy case, so every hop of one request shares the origin's id).
+    /// The hops land in each node's trace log — fetch them with
+    /// [`NetClient::trace`].
+    pub fn solve_multi_traced<S: Scalar>(
+        &mut self,
+        trace_id: u64,
+        tenant: &str,
+        key: &PlanKey,
+        cols: &[&[S]],
+        deadline_ms: u32,
+    ) -> Result<Vec<Vec<S>>, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_solve_traced(&mut out, tag, trace_id, tenant, key, deadline_ms, cols);
+        self.write_request(&out)?;
+        let (rtag, outcome) = self.recv::<S>()?;
+        if rtag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        outcome.map_err(|(code, message)| NetError::Remote { code, message })
+    }
+
+    /// Fetch the server's recorded trace hops for one plan (newest last).
+    pub fn trace(&mut self, key: &PlanKey) -> Result<Vec<TraceHopMsg>, NetError> {
+        let tag = self.tag();
+        let mut out = Vec::new();
+        frame::encode_trace_get(&mut out, tag, key);
+        self.write_request(&out)?;
+        let h = self.read_frame()?;
+        if h.tag != tag {
+            return Err(NetError::Protocol("response tag does not match request"));
+        }
+        match h.kind {
+            FrameKind::TraceData => Ok(frame::parse_trace_data(&self.buf)?),
+            FrameKind::Err => {
+                let (code, msg) = frame::parse_err(&self.buf)?;
+                Err(NetError::Remote { code, message: msg.to_string() })
+            }
+            _ => Err(NetError::Protocol("expected TraceData or Err")),
         }
     }
 

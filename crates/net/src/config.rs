@@ -84,6 +84,9 @@ pub struct NetConfig {
     /// Policy applied to tenants not listed in `tenants`. `None` refuses
     /// them with `UnknownTenant`.
     pub default_policy: Option<TenantPolicy>,
+    /// Name this node stamps on trace hops. Cluster deployments set it to
+    /// the ring identity so `planctl trace` can tell hops apart.
+    pub node_name: String,
 }
 
 impl Default for NetConfig {
@@ -97,6 +100,7 @@ impl Default for NetConfig {
             max_write_buffer: 64 << 20,
             tenants: Vec::new(),
             default_policy: Some(TenantPolicy::default()),
+            node_name: "solo".to_string(),
         }
     }
 }
@@ -135,6 +139,12 @@ impl NetConfig {
     /// Set the per-connection write-buffer cap.
     pub fn with_max_write_buffer(mut self, bytes: usize) -> Self {
         self.max_write_buffer = bytes;
+        self
+    }
+
+    /// Set the node name stamped on trace hops.
+    pub fn with_node_name(mut self, name: impl Into<String>) -> Self {
+        self.node_name = name.into();
         self
     }
 }

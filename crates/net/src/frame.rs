@@ -17,9 +17,10 @@
 //! **v1 kinds** (version byte 1 — the original point-to-point protocol):
 //! Solve=1 SolveOk=2 Err=3 Ping=4 Pong=5 Stat=6 StatOk=7.
 //!
-//! **v2 kinds** (version byte 2 — cluster traffic between nodes):
-//! Join=8 Leave=9 RingState=10 PlanPush=11 PlanPushOk=12 PlanPull=13
-//! PlanData=14.
+//! **v2 kinds** (version byte 2 — cluster traffic between nodes, plus
+//! request tracing): Join=8 Leave=9 RingState=10 PlanPush=11
+//! PlanPushOk=12 PlanPull=13 PlanData=14 SolveTraced=15 TraceGet=16
+//! TraceData=17.
 //!
 //! Version negotiation is per frame, not per connection: every v1 frame
 //! this build emits is byte-identical to a v1 build's, so old clients
@@ -61,6 +62,11 @@
 //! PlanPushOk  (empty)
 //! PlanPull    plan key, flags:u8 (bit 0 = caller intends to build on miss)
 //! PlanData    plan key, then .rbplan file bytes verbatim  (reply to PlanPull)
+//! SolveTraced trace_id:u64, then a Solve payload verbatim  (reply is SolveOk/Err)
+//! TraceGet    plan key                                     (reply is TraceData)
+//! TraceData   count:u16, then per hop: trace_id:u64 node_len:u8 node
+//!             tenant_len:u8 tenant k:u16 solve_ns:u64 respond_ns:u64
+//!             total_ns:u64 proxied:u8
 //! ```
 //!
 //! `PlanPush`/`PlanData` ship the checksummed `.rbplan` container
@@ -123,6 +129,15 @@ pub enum FrameKind {
     PlanPull = 13,
     /// Cluster: the pulled plan's bytes (reply to `PlanPull`).
     PlanData = 14,
+    /// Solve request carrying an end-to-end trace id. Semantics are
+    /// exactly `Solve`; the 8-byte trace id rides ahead of the payload
+    /// and survives proxy hops, so one distributed request shows up
+    /// under one id on every node it touched.
+    SolveTraced = 15,
+    /// Ask a node for its recorded trace hops of one plan.
+    TraceGet = 16,
+    /// The node's recorded hops for that plan (reply to `TraceGet`).
+    TraceData = 17,
 }
 
 impl FrameKind {
@@ -142,6 +157,9 @@ impl FrameKind {
             12 => FrameKind::PlanPushOk,
             13 => FrameKind::PlanPull,
             14 => FrameKind::PlanData,
+            15 => FrameKind::SolveTraced,
+            16 => FrameKind::TraceGet,
+            17 => FrameKind::TraceData,
             _ => return None,
         })
     }
@@ -438,12 +456,51 @@ pub fn encode_solve<S: Scalar>(
     deadline_ms: u32,
     cols: &[&[S]],
 ) {
+    let payload_len = solve_payload_len::<S>(tenant, cols);
+    encode_header(out, FrameKind::Solve, tag, payload_len as u32);
+    put_solve_payload(out, tenant, key, deadline_ms, cols);
+}
+
+/// Append a complete `SolveTraced` frame: a `Solve` payload prefixed by
+/// the request's end-to-end trace id.
+pub fn encode_solve_traced<S: Scalar>(
+    out: &mut Vec<u8>,
+    tag: u64,
+    trace_id: u64,
+    tenant: &str,
+    key: &PlanKey,
+    deadline_ms: u32,
+    cols: &[&[S]],
+) {
+    let payload_len = 8 + solve_payload_len::<S>(tenant, cols);
+    encode_header(out, FrameKind::SolveTraced, tag, payload_len as u32);
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    put_solve_payload(out, tenant, key, deadline_ms, cols);
+}
+
+/// Parse a `SolveTraced` payload into the trace id and the request.
+pub fn parse_solve_traced(payload: &[u8]) -> Result<(u64, SolveRequest<'_>), FrameError> {
+    let mut c = Cursor::new(payload);
+    let trace_id = c.u64()?;
+    Ok((trace_id, parse_solve(c.rest())?))
+}
+
+fn solve_payload_len<S: Scalar>(tenant: &str, cols: &[&[S]]) -> usize {
     assert!(!tenant.is_empty() && tenant.len() <= MAX_TENANT_LEN, "tenant name must be 1..=64");
     assert!(!cols.is_empty(), "at least one right-hand side");
     let n = cols[0].len();
     assert!(cols.iter().all(|c| c.len() == n), "all columns equally long");
-    let payload_len = 1 + tenant.len() + 40 + 4 + 1 + 2 + 8 + cols.len() * n * S::BYTES;
-    encode_header(out, FrameKind::Solve, tag, payload_len as u32);
+    1 + tenant.len() + 40 + 4 + 1 + 2 + 8 + cols.len() * n * S::BYTES
+}
+
+fn put_solve_payload<S: Scalar>(
+    out: &mut Vec<u8>,
+    tenant: &str,
+    key: &PlanKey,
+    deadline_ms: u32,
+    cols: &[&[S]],
+) {
+    let n = cols[0].len();
     out.push(tenant.len() as u8);
     out.extend_from_slice(tenant.as_bytes());
     for v in [
@@ -821,6 +878,106 @@ pub fn parse_plan_pull(payload: &[u8]) -> Result<(PlanKey, bool), FrameError> {
     Ok((key, flags & 1 != 0))
 }
 
+/// One recorded hop of a traced request on one node, as shipped in a
+/// `TraceData` frame. A request answered locally produces one hop; a
+/// proxied request produces one hop per node it touched, all sharing a
+/// trace id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHopMsg {
+    /// End-to-end trace id minted at admission on the first hop.
+    pub trace_id: u64,
+    /// Name of the node that recorded the hop.
+    pub node: String,
+    /// Tenant the request was admitted under.
+    pub tenant: String,
+    /// Right-hand-side columns in the request.
+    pub k: u16,
+    /// Nanoseconds from admission to the last column solved.
+    pub solve_ns: u64,
+    /// Nanoseconds spent encoding and flushing the response.
+    pub respond_ns: u64,
+    /// Nanoseconds from admission to the response leaving the node.
+    pub total_ns: u64,
+    /// Whether this node forwarded the solve to the plan's owner.
+    pub proxied: bool,
+}
+
+/// Append a complete `TraceGet` frame asking for a plan's recorded hops.
+pub fn encode_trace_get(out: &mut Vec<u8>, tag: u64, key: &PlanKey) {
+    encode_header(out, FrameKind::TraceGet, tag, 40);
+    put_key(out, key);
+}
+
+/// Parse a `TraceGet` payload into the plan key being asked about.
+pub fn parse_trace_get(payload: &[u8]) -> Result<PlanKey, FrameError> {
+    let mut c = Cursor::new(payload);
+    let key = take_key(&mut c)?;
+    c.finish()?;
+    Ok(key)
+}
+
+/// Append a complete `TraceData` frame (the reply to a `TraceGet`).
+pub fn encode_trace_data(out: &mut Vec<u8>, tag: u64, hops: &[TraceHopMsg]) {
+    let payload_len = 2 + hops
+        .iter()
+        .map(|h| 8 + 1 + h.node.len() + 1 + h.tenant.len() + 2 + 24 + 1)
+        .sum::<usize>();
+    encode_header(out, FrameKind::TraceData, tag, payload_len as u32);
+    out.extend_from_slice(&(hops.len() as u16).to_le_bytes());
+    for h in hops {
+        debug_assert!(!h.node.is_empty() && h.node.len() <= MAX_NODE_LEN);
+        debug_assert!(!h.tenant.is_empty() && h.tenant.len() <= MAX_TENANT_LEN);
+        out.extend_from_slice(&h.trace_id.to_le_bytes());
+        out.push(h.node.len() as u8);
+        out.extend_from_slice(h.node.as_bytes());
+        out.push(h.tenant.len() as u8);
+        out.extend_from_slice(h.tenant.as_bytes());
+        out.extend_from_slice(&h.k.to_le_bytes());
+        for v in [h.solve_ns, h.respond_ns, h.total_ns] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(h.proxied as u8);
+    }
+}
+
+/// Parse a `TraceData` payload into its hop records.
+pub fn parse_trace_data(payload: &[u8]) -> Result<Vec<TraceHopMsg>, FrameError> {
+    let mut c = Cursor::new(payload);
+    let count = c.u16()?;
+    let mut hops = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let trace_id = c.u64()?;
+        let nlen = c.u8()? as usize;
+        if nlen == 0 || nlen > MAX_NODE_LEN {
+            return Err(FrameError::BadNode);
+        }
+        let node = std::str::from_utf8(c.take(nlen)?).map_err(|_| FrameError::BadNode)?.to_string();
+        let tlen = c.u8()? as usize;
+        if tlen == 0 || tlen > MAX_TENANT_LEN {
+            return Err(FrameError::BadTenant);
+        }
+        let tenant =
+            std::str::from_utf8(c.take(tlen)?).map_err(|_| FrameError::BadTenant)?.to_string();
+        let k = c.u16()?;
+        let solve_ns = c.u64()?;
+        let respond_ns = c.u64()?;
+        let total_ns = c.u64()?;
+        let proxied = c.u8()? != 0;
+        hops.push(TraceHopMsg {
+            trace_id,
+            node,
+            tenant,
+            k,
+            solve_ns,
+            respond_ns,
+            total_ns,
+            proxied,
+        });
+    }
+    c.finish()?;
+    Ok(hops)
+}
+
 /// Decode a little-endian value block into `out` (cleared first). The
 /// stated `width` must match `S`; capacity is reused, so a warm caller
 /// allocates nothing.
@@ -913,6 +1070,9 @@ mod tests {
             FrameKind::PlanPushOk,
             FrameKind::PlanPull,
             FrameKind::PlanData,
+            FrameKind::SolveTraced,
+            FrameKind::TraceGet,
+            FrameKind::TraceData,
         ] {
             let mut buf = Vec::new();
             encode_header(&mut buf, kind, 0, 0);
@@ -1086,6 +1246,88 @@ mod tests {
         assert!(parse_plan_pull(&[0u8; 40]).is_err());
         // Trailing bytes after the flags byte.
         assert!(matches!(parse_plan_pull(&[0u8; 42]), Err(FrameError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        // SolveTraced is a Solve payload with the trace id riding ahead.
+        let cols: Vec<Vec<f64>> = vec![(0..6).map(|i| i as f64 * 0.5).collect(); 2];
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut buf = Vec::new();
+        encode_solve_traced(&mut buf, 21, 0xabad_1dea_f00d_cafe, "gamma", &demo_key(), 50, &refs);
+        let h = decode_header(&buf, 1 << 20).unwrap().unwrap();
+        assert_eq!((h.version, h.kind, h.tag), (2, FrameKind::SolveTraced, 21));
+        let (trace_id, req) = parse_solve_traced(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(trace_id, 0xabad_1dea_f00d_cafe);
+        assert_eq!(req.tenant, "gamma");
+        assert_eq!(req.key, demo_key());
+        assert_eq!((req.width, req.k, req.n), (8, 2, 6));
+        // The embedded payload is byte-identical to a plain Solve's.
+        let mut plain = Vec::new();
+        encode_solve(&mut plain, 21, "gamma", &demo_key(), 50, &refs);
+        assert_eq!(&buf[HEADER_LEN + 8..], &plain[HEADER_LEN..]);
+
+        let mut buf = Vec::new();
+        encode_trace_get(&mut buf, 22, &demo_key());
+        assert_eq!(parse_trace_get(&buf[HEADER_LEN..]).unwrap(), demo_key());
+
+        let hops = vec![
+            TraceHopMsg {
+                trace_id: 7,
+                node: "origin".into(),
+                tenant: "gamma".into(),
+                k: 2,
+                solve_ns: 1_000,
+                respond_ns: 200,
+                total_ns: 1_300,
+                proxied: true,
+            },
+            TraceHopMsg {
+                trace_id: 7,
+                node: "owner".into(),
+                tenant: "gamma".into(),
+                k: 2,
+                solve_ns: 800,
+                respond_ns: 150,
+                total_ns: 990,
+                proxied: false,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_trace_data(&mut buf, 23, &hops);
+        assert_eq!(parse_trace_data(&buf[HEADER_LEN..]).unwrap(), hops);
+        let mut buf = Vec::new();
+        encode_trace_data(&mut buf, 24, &[]);
+        assert_eq!(parse_trace_data(&buf[HEADER_LEN..]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn trace_frame_rejections_are_typed() {
+        // SolveTraced shorter than its trace id.
+        assert!(parse_solve_traced(&[0u8; 7]).is_err());
+        // TraceGet payload must be exactly one plan key.
+        assert!(parse_trace_get(&[0u8; 39]).is_err());
+        assert!(matches!(parse_trace_get(&[0u8; 41]), Err(FrameError::TrailingBytes(1))));
+        // Hop count promising more than the payload holds.
+        let hops = vec![TraceHopMsg {
+            trace_id: 1,
+            node: "n".into(),
+            tenant: "t".into(),
+            k: 1,
+            solve_ns: 1,
+            respond_ns: 1,
+            total_ns: 2,
+            proxied: false,
+        }];
+        let mut buf = Vec::new();
+        encode_trace_data(&mut buf, 0, &hops);
+        let mut payload = buf[HEADER_LEN..].to_vec();
+        payload[0] = 9;
+        assert!(parse_trace_data(&payload).is_err());
+        // Empty node name inside a hop.
+        let mut payload = buf[HEADER_LEN..].to_vec();
+        payload[2 + 8] = 0;
+        assert!(parse_trace_data(&payload).is_err());
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod server;
 pub use client::{ClientConfig, NetClient, RetryPolicy, SolveOutcome};
 pub use config::{NetConfig, TenantPolicy};
 pub use error::{ErrCode, NetError};
-pub use frame::{FrameError, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TenantStat};
+pub use frame::{
+    FrameError, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TenantStat, TraceHopMsg,
+};
 pub use qos::{FairQueue, TokenBucket};
 pub use server::{ClusterHooks, NetCtl, NetServer, Route};

@@ -19,13 +19,13 @@ use crate::config::{NetConfig, TenantPolicy};
 use crate::error::ErrCode;
 use crate::frame::{
     self, FrameError, FrameKind, Header, MemberInfo, RingStateMsg, StatReply, TenantStat,
-    HEADER_LEN,
+    TraceHopMsg, HEADER_LEN,
 };
 use crate::poll::{Event, Poller};
 use crate::qos::{FairQueue, TokenBucket};
 use recblock::RecBlockSolver;
 use recblock_matrix::Scalar;
-use recblock_serve::{Metrics, ResponseSink, ServeError, SolveService, TenantCounters};
+use recblock_serve::{Metrics, ResponseSink, ServeError, SolveService, TenantCounters, TraceHop};
 use recblock_store::PlanKey;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
@@ -84,6 +84,8 @@ pub trait ClusterHooks<S: Scalar>: Send + Sync {
     fn plan_data(&self, key: PlanKey, build_intent: bool) -> Result<Vec<u8>, (ErrCode, String)>;
     /// Relay a solve to `addr` asynchronously; results (or an
     /// `Upstream` error) arrive on `sink` tagged `base_tag + column`.
+    /// A non-zero `trace_id` must travel with the relayed request
+    /// (`SolveTraced`) so the owner's hop lands under the same id.
     #[allow(clippy::too_many_arguments)]
     fn proxy_solve(
         &self,
@@ -93,6 +95,7 @@ pub trait ClusterHooks<S: Scalar>: Send + Sync {
         cols: Vec<Vec<S>>,
         base_tag: u64,
         deadline_ms: u32,
+        trace_id: u64,
         sink: &Arc<dyn ResponseSink<S>>,
     );
 }
@@ -189,6 +192,13 @@ struct Inflight<S> {
     /// Dynamic detail for the error reply (e.g. a forwarded upstream
     /// message); `None` falls back to the static [`msg_for`] text.
     error_msg: Option<String>,
+    /// End-to-end trace id; 0 means "untraced" (the plain `Solve` path,
+    /// which stays allocation-free — hop recording is skipped entirely).
+    trace_id: u64,
+    /// When admission accepted the request (spans are measured from here).
+    admitted_at: Instant,
+    /// Whether this node relayed the solve to the plan's owner.
+    proxied: bool,
 }
 
 /// The TCP front end: owns the listener, all connections and the QoS
@@ -226,6 +236,10 @@ pub struct NetServer<S: Scalar> {
     colset_pool: Vec<Vec<Vec<S>>>,
     keys_warm: HashSet<PlanKey>,
     cluster: Option<Arc<dyn ClusterHooks<S>>>,
+    /// splitmix64 state for minting trace ids (seeded per server so two
+    /// nodes never mint colliding ids in practice).
+    trace_seed: u64,
+    trace_counter: u64,
 
     draining: bool,
     done: bool,
@@ -344,6 +358,12 @@ impl<S: Scalar> NetServer<S> {
             colset_pool: Vec::with_capacity(POOL_COLSETS),
             keys_warm: HashSet::new(),
             cluster: None,
+            trace_seed: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9E37_79B9_7F4A_7C15)
+                ^ ((std::process::id() as u64) << 32),
+            trace_counter: 0,
             draining: false,
             done: false,
         })
@@ -614,6 +634,8 @@ impl<S: Scalar> NetServer<S> {
             }
             FrameKind::Stat => self.handle_stat(idx, h.tag),
             FrameKind::Solve => self.handle_solve(idx, h.tag, payload),
+            FrameKind::SolveTraced => self.handle_solve_traced(idx, h.tag, payload),
+            FrameKind::TraceGet => self.handle_trace_get(idx, h.tag, payload),
             FrameKind::Join => self.handle_join(idx, h.tag, payload),
             FrameKind::Leave => self.handle_leave(idx, h.tag, payload),
             FrameKind::RingState => self.handle_ring_state(idx, h.tag, payload),
@@ -624,7 +646,8 @@ impl<S: Scalar> NetServer<S> {
             | FrameKind::Pong
             | FrameKind::StatOk
             | FrameKind::PlanPushOk
-            | FrameKind::PlanData => {
+            | FrameKind::PlanData
+            | FrameKind::TraceData => {
                 // Response kinds are server-to-client only.
                 self.reply_err(idx, h.tag, ErrCode::BadRequest);
             }
@@ -777,18 +800,78 @@ impl<S: Scalar> NetServer<S> {
         self.flush_conn(idx);
     }
 
-    // ---- admission -------------------------------------------------------
+    // ---- tracing ---------------------------------------------------------
 
-    fn handle_solve(&mut self, idx: usize, tag: u64, payload: &[u8]) {
-        let req = match frame::parse_solve(payload) {
-            Ok(r) => r,
+    /// Mint a fresh non-zero trace id (splitmix64 over a per-server seed).
+    fn mint_trace_id(&mut self) -> u64 {
+        self.trace_counter += 1;
+        let mut z =
+            self.trace_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(self.trace_counter));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let id = z ^ (z >> 31);
+        id.max(1)
+    }
+
+    fn handle_trace_get(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        let key = match frame::parse_trace_get(payload) {
+            Ok(k) => k,
             Err(_) => {
-                // The frame boundary itself was sound (header length
-                // matched), so the connection survives a bad payload.
                 self.reply_err(idx, tag, ErrCode::Malformed);
                 return;
             }
         };
+        let hops: Vec<TraceHopMsg> = self
+            .metrics
+            .trace_hops_for(&key)
+            .into_iter()
+            .map(|h| TraceHopMsg {
+                trace_id: h.trace_id,
+                node: h.node,
+                tenant: h.tenant,
+                k: h.k,
+                solve_ns: h.solve_ns,
+                respond_ns: h.respond_ns,
+                total_ns: h.total_ns,
+                proxied: h.proxied,
+            })
+            .collect();
+        if let Some(conn) = self.conns[idx].as_mut() {
+            frame::encode_trace_data(&mut conn.wbuf, tag, &hops);
+        }
+        self.flush_conn(idx);
+    }
+
+    // ---- admission -------------------------------------------------------
+
+    fn handle_solve(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        match frame::parse_solve(payload) {
+            // Plain solves are untraced (trace id 0): their steady-state
+            // path stays allocation-free.
+            Ok(req) => self.admit_solve(idx, tag, 0, &req),
+            Err(_) => {
+                // The frame boundary itself was sound (header length
+                // matched), so the connection survives a bad payload.
+                self.reply_err(idx, tag, ErrCode::Malformed);
+            }
+        }
+    }
+
+    fn handle_solve_traced(&mut self, idx: usize, tag: u64, payload: &[u8]) {
+        match frame::parse_solve_traced(payload) {
+            Ok((trace_id, req)) => {
+                // A zero id asks this node to mint one (the client cannot
+                // pick ids — proxy hops forward the minted id instead).
+                let trace_id = if trace_id == 0 { self.mint_trace_id() } else { trace_id };
+                self.admit_solve(idx, tag, trace_id, &req);
+            }
+            Err(_) => {
+                self.reply_err(idx, tag, ErrCode::Malformed);
+            }
+        }
+    }
+
+    fn admit_solve(&mut self, idx: usize, tag: u64, trace_id: u64, req: &frame::SolveRequest<'_>) {
         let Some(t) = self.tenant_id(req.tenant) else {
             self.reply_err(idx, tag, ErrCode::UnknownTenant);
             return;
@@ -816,7 +899,7 @@ impl<S: Scalar> NetServer<S> {
                     return;
                 }
                 Route::Proxy(addr) => {
-                    self.proxy_solve(idx, tag, t, &req, &addr, &hooks);
+                    self.proxy_solve(idx, tag, t, req, &addr, trace_id, &hooks);
                     return;
                 }
             }
@@ -885,6 +968,9 @@ impl<S: Scalar> NetServer<S> {
             plan: Some(plan),
             error: None,
             error_msg: None,
+            trace_id,
+            admitted_at: now,
+            proxied: false,
         });
         self.admitted_cols += req.k as usize;
         if let Some(conn) = self.conns[idx].as_mut() {
@@ -902,6 +988,7 @@ impl<S: Scalar> NetServer<S> {
     /// completion path, then hand the columns to the coordinator's
     /// proxy workers. Admission still charges this tenant's token
     /// bucket — the proxy consumes this node's sockets and buffers.
+    #[allow(clippy::too_many_arguments)]
     fn proxy_solve(
         &mut self,
         idx: usize,
@@ -909,6 +996,7 @@ impl<S: Scalar> NetServer<S> {
         t: usize,
         req: &frame::SolveRequest<'_>,
         addr: &str,
+        trace_id: u64,
         hooks: &Arc<dyn ClusterHooks<S>>,
     ) {
         let cost = req.cost();
@@ -951,6 +1039,9 @@ impl<S: Scalar> NetServer<S> {
             plan: None,
             error: None,
             error_msg: None,
+            trace_id,
+            admitted_at: now,
+            proxied: true,
         });
         self.admitted_cols += req.k as usize;
         // The columns are "dispatched" to the proxy tier: completions
@@ -965,7 +1056,16 @@ impl<S: Scalar> NetServer<S> {
         self.metrics.cluster_proxied.fetch_add(1, Ordering::Relaxed);
         let base_tag = (slot as u64) << 32;
         let tenant_name = self.tenants[t].name.clone();
-        hooks.proxy_solve(addr, &tenant_name, req.key, cols, base_tag, deadline_ms, &self.sink);
+        hooks.proxy_solve(
+            addr,
+            &tenant_name,
+            req.key,
+            cols,
+            base_tag,
+            deadline_ms,
+            trace_id,
+            &self.sink,
+        );
     }
 
     /// Resolve a tenant name to its lane, registering it under the default
@@ -1139,6 +1239,7 @@ impl<S: Scalar> NetServer<S> {
         let mut inf = self.inflight[slot as usize].take().expect("slot live");
         self.free_slots.push(slot as usize);
         self.admitted_cols -= inf.k as usize;
+        let solved_at = Instant::now();
 
         let counters = self.tenants[inf.tenant as usize].counters.clone();
         let cidx = inf.conn as usize;
@@ -1161,6 +1262,25 @@ impl<S: Scalar> NetServer<S> {
                     self.flush_conn(cidx);
                 }
             }
+        }
+        // Traced request: stamp the per-node hop. `solve_ns` is the span
+        // a caller waits on (admission → last column completed, queueing
+        // included); `respond_ns` covers encoding and flushing the reply.
+        // Untraced requests (trace id 0) skip this entirely, keeping the
+        // plain-solve path allocation-free.
+        if inf.trace_id != 0 {
+            let responded_at = Instant::now();
+            self.metrics.record_trace_hop(TraceHop {
+                trace_id: inf.trace_id,
+                key: inf.key,
+                node: self.config.node_name.clone(),
+                tenant: self.tenants[inf.tenant as usize].name.clone(),
+                k: inf.k,
+                solve_ns: solved_at.duration_since(inf.admitted_at).as_nanos() as u64,
+                respond_ns: responded_at.duration_since(solved_at).as_nanos() as u64,
+                total_ns: responded_at.duration_since(inf.admitted_at).as_nanos() as u64,
+                proxied: inf.proxied,
+            });
         }
         // Recycle buffers (bounded pools).
         for mut v in inf.cols.drain(..) {

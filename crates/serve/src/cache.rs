@@ -225,6 +225,32 @@ impl<S: Scalar> PlanCache<S> {
         self.evict_over_capacity(&mut shard, &key);
     }
 
+    /// Install `plan` for `key`, displacing any resident entry — the
+    /// canary tuner's winner-install path, where the *new* plan must win
+    /// (unlike [`PlanCache::insert`]). An entry mid-build is left alone:
+    /// replacing its slot would strand the builder's waiters, and the
+    /// tuner will simply retune the freshly built plan later. Returns
+    /// whether the plan was installed.
+    pub fn replace(&self, key: PlanKey, plan: Arc<RecBlockSolver<S>>) -> bool {
+        let stamp = self.tick.fetch_add(1, Relaxed);
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if let Some(entry) = shard.get(&key) {
+            let building = entry
+                .slot
+                .state
+                .try_lock()
+                .map(|s| matches!(*s, SlotState::Building))
+                .unwrap_or(true);
+            if building {
+                return false;
+            }
+        }
+        let slot = Arc::new(Slot { state: Mutex::new(SlotState::Ready(plan)), cv: Condvar::new() });
+        shard.insert(key, Entry { slot, stamp });
+        self.evict_over_capacity(&mut shard, &key);
+        true
+    }
+
     fn wait_ready(&self, slot: &Slot<S>) -> Result<Arc<RecBlockSolver<S>>, ServeError> {
         let mut state = slot.state.lock().unwrap();
         loop {
@@ -355,6 +381,21 @@ mod tests {
         // Retry succeeds and builds fresh.
         cache.get_or_build(key, || build_for(&l)).unwrap();
         assert_eq!(metrics.plan_builds.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn replace_displaces_resident_plan_insert_does_not() {
+        let (cache, _metrics) = cache(4, 1);
+        let l = generate::random_lower::<f64>(150, 3.0, 33);
+        let key = PlanKey::of(&l);
+        let p1 = cache.get_or_build(key, || build_for(&l)).unwrap();
+        // `insert` defers to the resident plan…
+        cache.insert(key, Arc::new(build_for(&l).unwrap()));
+        assert!(Arc::ptr_eq(&p1, &cache.probe(key).unwrap().unwrap()));
+        // …while `replace` displaces it.
+        let tuned = Arc::new(build_for(&l).unwrap());
+        assert!(cache.replace(key, tuned.clone()));
+        assert!(Arc::ptr_eq(&tuned, &cache.probe(key).unwrap().unwrap()));
     }
 
     #[test]

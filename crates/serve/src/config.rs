@@ -63,6 +63,13 @@ pub struct ServeConfig {
     pub solver: SolverOptions,
     /// Optional persistent plan store; `None` disables the tier.
     pub store: Option<StoreOptions>,
+    /// Run the canary autotuner: the first solves of a cold plan (one
+    /// fresh from a build or a store load) replay captured right-hand
+    /// sides against the bounded candidate grid on a background thread,
+    /// and a measured winner replaces the plan in the cache and is
+    /// written back through the store. Off by default — tuning costs
+    /// background CPU and is only worth it for plans that stay resident.
+    pub canary_tune: bool,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +83,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             solver: SolverOptions::default(),
             store: None,
+            canary_tune: false,
         }
     }
 }
@@ -137,6 +145,13 @@ impl ServeConfig {
     /// Set (or clear, via `None`-like default) the full store tier options.
     pub fn with_store_options(mut self, store: StoreOptions) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Toggle the background canary autotuner (see
+    /// [`ServeConfig::canary_tune`]).
+    pub fn with_canary_tune(mut self, on: bool) -> Self {
+        self.canary_tune = on;
         self
     }
 }

@@ -45,13 +45,17 @@ pub mod health;
 pub mod metrics;
 mod persist;
 pub mod prometheus;
+mod tuner;
 mod worker;
 
 pub use cache::{Fetched, PlanCache, PlanKey, PlanSource};
 pub use config::{ServeConfig, StoreOptions};
 pub use error::ServeError;
 pub use health::Health;
-pub use metrics::{Metrics, MetricsSnapshot, Stage, StageSnapshot, TenantCounters, TenantSnapshot};
+pub use metrics::{
+    Metrics, MetricsSnapshot, Stage, StageSnapshot, TenantCounters, TenantSnapshot, TraceHop,
+    TuneState,
+};
 
 use batch::{BatchQueue, Pending, Reply};
 use recblock::RecBlockSolver;
@@ -119,6 +123,7 @@ pub struct SolveService<S: Scalar> {
     workers: Mutex<Vec<JoinHandle<()>>>,
     store: Option<Arc<PlanStore>>,
     persister: Mutex<Option<persist::Persister<S>>>,
+    tuner: Mutex<Option<tuner::CanaryTuner<S>>>,
 }
 
 impl<S: Scalar> SolveService<S> {
@@ -190,6 +195,13 @@ impl<S: Scalar> SolveService<S> {
             }
             _ => None,
         };
+        let tuner = config.canary_tune.then(|| {
+            tuner::CanaryTuner::spawn(
+                cache.clone(),
+                metrics.clone(),
+                persister.as_ref().and_then(|p| p.share()),
+            )
+        });
         SolveService {
             config,
             cache,
@@ -198,6 +210,7 @@ impl<S: Scalar> SolveService<S> {
             workers: Mutex::new(workers),
             store,
             persister: Mutex::new(persister),
+            tuner: Mutex::new(tuner),
         }
     }
 
@@ -227,6 +240,7 @@ impl<S: Scalar> SolveService<S> {
         let t0 = Instant::now();
         let (plan, _) = self.resolve_plan(key, l)?;
         self.metrics.record_stage(Stage::CacheLookup, t0.elapsed());
+        self.observe_for_tuning(key, &plan, &rhs);
         let (tx, rx) = mpsc::channel();
         let req = Pending { rhs, reply: Reply::Channel(tx), submitted: Instant::now() };
         if block {
@@ -255,6 +269,7 @@ impl<S: Scalar> SolveService<S> {
         if rhs.len() != plan.n() {
             return Err(ServeError::BadRequest { expected: plan.n(), actual: rhs.len() });
         }
+        self.observe_for_tuning(key, plan, &rhs);
         let req = Pending {
             rhs,
             reply: Reply::Routed { tag, sink: sink.clone() },
@@ -460,6 +475,23 @@ impl<S: Scalar> SolveService<S> {
         }
     }
 
+    /// Hand one observed solve to the canary tuner, when it is running.
+    fn observe_for_tuning(&self, key: PlanKey, plan: &Arc<RecBlockSolver<S>>, rhs: &[S]) {
+        if let Some(tuner) = &*lock_unpoisoned(&self.tuner) {
+            tuner.observe(key, plan, rhs);
+        }
+    }
+
+    /// Block until the canary tuner has measured every observed sample
+    /// (deterministic convergence for tests and drains). A no-op when
+    /// canary tuning is off. Does *not* wait for tuned-plan write-back —
+    /// chain [`SolveService::flush_store`] for that.
+    pub fn flush_tuning(&self) {
+        if let Some(tuner) = &*lock_unpoisoned(&self.tuner) {
+            tuner.flush();
+        }
+    }
+
     /// Current service health, derived live from the evidence counters:
     /// [`Health::Draining`] once a drain began, [`Health::Degraded`] when
     /// resilience machinery has fired (contained worker panics, quarantined
@@ -513,6 +545,13 @@ impl<S: Scalar> SolveService<S> {
         }
         // Only reachable work left is the zero-worker case.
         self.queue.cancel_remaining();
+        // Stop the tuner *before* the persister: it holds a persist
+        // handle (keeping the writer's channel alive), and its final
+        // verdicts may enqueue tuned plans for write-back.
+        let tuner = lock_unpoisoned(&self.tuner).take();
+        if let Some(mut tuner) = tuner {
+            tuner.shutdown();
+        }
         // Drain the write-back queue so accepted plans reach disk. Same
         // take-then-work-outside-the-lock shape as the worker handles.
         let persister = lock_unpoisoned(&self.persister).take();

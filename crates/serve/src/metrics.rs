@@ -7,6 +7,8 @@
 //! completed + rejected + in flight`) hold only at quiescence.
 
 use crate::health::Health;
+use recblock_store::PlanKey;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -144,6 +146,64 @@ pub struct TenantSnapshot {
     pub queue_depth: u64,
 }
 
+/// Most recent request hops kept for `planctl trace`; older hops fall off
+/// the front. Bounded so a busy node's trace log never grows without limit.
+pub const TRACE_LOG_CAP: usize = 1024;
+
+/// One node's record of answering (or proxying) a traced solve request:
+/// which trace id it belonged to, which plan it hit, how long the solve
+/// span (admission → completion, queueing included) and the respond span
+/// (encoding + flushing the answer) took, and whether this node forwarded
+/// the request to the owning node rather than solving locally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Trace id minted at admission on the first node; identical on every
+    /// hop of the same request.
+    pub trace_id: u64,
+    /// Fingerprint of the plan the request addressed.
+    pub key: PlanKey,
+    /// Name of the node that recorded the hop.
+    pub node: String,
+    /// Tenant the request arrived under.
+    pub tenant: String,
+    /// Right-hand sides in the request.
+    pub k: u16,
+    /// Admission → last column completed, in nanoseconds (serve-tier
+    /// queueing and batching included — this is the span a caller waits).
+    pub solve_ns: u64,
+    /// Encoding and flushing the response frames, in nanoseconds.
+    pub respond_ns: u64,
+    /// Full admission → response-flushed span, in nanoseconds.
+    pub total_ns: u64,
+    /// `true` when this node proxied the request onward instead of
+    /// solving it locally (the solve span then covers the remote hop).
+    pub proxied: bool,
+}
+
+/// Published canary-tuning progress for one plan fingerprint. The serve
+/// tier's canary scheduler updates this as it works through the candidate
+/// grid off the critical path; `planctl` and the Prometheus exposition
+/// read it to watch convergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneState {
+    /// Fingerprint of the plan being tuned.
+    pub key: PlanKey,
+    /// Times a tuned plan was installed for this fingerprint (0 while the
+    /// incumbent still holds its seat).
+    pub generation: u64,
+    /// Candidates measured so far.
+    pub tried: u32,
+    /// Candidates in this plan's grid.
+    pub total: u32,
+    /// `true` once every candidate has been measured and the verdict is in.
+    pub done: bool,
+    /// Name of the winning candidate, when one cleared the margin.
+    pub winner: Option<String>,
+    /// Fractional improvement of the winner over the incumbent (0 while
+    /// undecided or when the incumbent kept its seat).
+    pub gain: f64,
+}
+
 /// Shared atomic counters. One instance lives behind an `Arc` shared by the
 /// cache, the queue, the workers and the service front end.
 #[derive(Debug)]
@@ -193,6 +253,27 @@ pub struct Metrics {
     pub cluster_ring_epoch: AtomicU64,
     /// Members in the most recently applied ring view (gauge).
     pub cluster_members: AtomicU64,
+
+    // Canary-tuning counters, incremented by the serve tier's background
+    // tuner (and, for write-back retries, the store persister). `pub` like
+    // the cluster counters so sibling tiers can bump them directly.
+    /// Times a tuned plan replaced an incumbent (cluster-wide convergence
+    /// watches this stabilise).
+    pub tune_generation: AtomicU64,
+    /// Candidate tunings measured by the canary scheduler.
+    pub tune_candidates_tried: AtomicU64,
+    /// Winning tunings installed into the cache and queued for write-back.
+    pub tune_winners_installed: AtomicU64,
+    /// Store write-back attempts retried after an I/O error.
+    pub tune_write_back_retries: AtomicU64,
+    /// Traced requests whose hop records were kept (monotonic, unlike the
+    /// bounded hop log itself).
+    pub traced_requests: AtomicU64,
+
+    /// Per-fingerprint canary progress, published by the tuner.
+    pub(crate) tune_states: Mutex<Vec<TuneState>>,
+    /// Bounded log of recent traced-request hops (newest at the back).
+    pub(crate) trace_log: Mutex<VecDeque<TraceHop>>,
 
     pub(crate) batches: AtomicU64,
     pub(crate) multi_column_batches: AtomicU64,
@@ -248,6 +329,13 @@ impl Default for Metrics {
             cluster_plans_served: AtomicU64::new(0),
             cluster_ring_epoch: AtomicU64::new(0),
             cluster_members: AtomicU64::new(0),
+            tune_generation: AtomicU64::new(0),
+            tune_candidates_tried: AtomicU64::new(0),
+            tune_winners_installed: AtomicU64::new(0),
+            tune_write_back_retries: AtomicU64::new(0),
+            traced_requests: AtomicU64::new(0),
+            tune_states: Mutex::new(Vec::new()),
+            trace_log: Mutex::new(VecDeque::new()),
             batches: AtomicU64::new(0),
             multi_column_batches: AtomicU64::new(0),
             batched_columns: AtomicU64::new(0),
@@ -277,6 +365,50 @@ impl Metrics {
         let counters = Arc::new(TenantCounters::default());
         tenants.push((Arc::from(name), counters.clone()));
         counters
+    }
+
+    /// Append one traced-request hop, evicting the oldest once the log
+    /// holds [`TRACE_LOG_CAP`] entries. The hop is also stamped into the
+    /// kernel-level [`SolveTrace`](recblock_kernels::trace::SolveTrace)
+    /// ring (when enabled) as a `RequestSpan` event, so one drained trace
+    /// interleaves request spans with the kernel stages they covered.
+    pub fn record_trace_hop(&self, hop: TraceHop) {
+        use recblock_kernels::trace::{EventKind, SolveTrace, TraceEvent};
+        SolveTrace::record(TraceEvent {
+            kind: EventKind::RequestSpan,
+            id: (hop.trace_id & 0xFF_FFFF) as u32,
+            rows: hop.k as u32,
+            chunks: u16::from(hop.proxied),
+            ns: hop.total_ns,
+        });
+        self.traced_requests.fetch_add(1, Relaxed);
+        let mut log = self.trace_log.lock().unwrap();
+        if log.len() >= TRACE_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(hop);
+    }
+
+    /// Every retained hop for `key`, oldest first — the answer to a
+    /// `TraceGet` wire request.
+    pub fn trace_hops_for(&self, key: &PlanKey) -> Vec<TraceHop> {
+        self.trace_log.lock().unwrap().iter().filter(|h| &h.key == key).cloned().collect()
+    }
+
+    /// Publish (replacing any previous state for the same fingerprint) the
+    /// canary tuner's progress on one plan.
+    pub fn publish_tune_state(&self, state: TuneState) {
+        let mut states = self.tune_states.lock().unwrap();
+        match states.iter_mut().find(|s| s.key == state.key) {
+            Some(s) => *s = state,
+            None => states.push(state),
+        }
+    }
+
+    /// The published canary progress for `key`, if the tuner has looked at
+    /// that fingerprint.
+    pub fn tune_state_for(&self, key: &PlanKey) -> Option<TuneState> {
+        self.tune_states.lock().unwrap().iter().find(|s| &s.key == key).cloned()
     }
 
     pub(crate) fn record_batch(&self, k: usize) {
@@ -403,6 +535,13 @@ impl Metrics {
             cluster_plans_served: self.cluster_plans_served.load(Relaxed),
             cluster_ring_epoch: self.cluster_ring_epoch.load(Relaxed),
             cluster_members: self.cluster_members.load(Relaxed),
+            tune_generation: self.tune_generation.load(Relaxed),
+            tune_candidates_tried: self.tune_candidates_tried.load(Relaxed),
+            tune_winners_installed: self.tune_winners_installed.load(Relaxed),
+            tune_write_back_retries: self.tune_write_back_retries.load(Relaxed),
+            traced_requests: self.traced_requests.load(Relaxed),
+            tune_states: self.tune_states.lock().unwrap().clone(),
+            trace_hops: self.trace_log.lock().unwrap().iter().cloned().collect(),
             batches: self.batches.load(Relaxed),
             multi_column_batches: self.multi_column_batches.load(Relaxed),
             batched_columns: self.batched_columns.load(Relaxed),
@@ -484,6 +623,22 @@ pub struct MetricsSnapshot {
     pub cluster_ring_epoch: u64,
     /// See [`Metrics::cluster_members`] (gauge).
     pub cluster_members: u64,
+    /// See [`Metrics::tune_generation`].
+    pub tune_generation: u64,
+    /// See [`Metrics::tune_candidates_tried`].
+    pub tune_candidates_tried: u64,
+    /// See [`Metrics::tune_winners_installed`].
+    pub tune_winners_installed: u64,
+    /// See [`Metrics::tune_write_back_retries`].
+    pub tune_write_back_retries: u64,
+    /// See [`Metrics::traced_requests`].
+    pub traced_requests: u64,
+    /// Per-fingerprint canary progress, in publication order (empty until
+    /// the canary tuner measures something).
+    pub tune_states: Vec<TuneState>,
+    /// The retained traced-request hops, oldest first (at most
+    /// [`TRACE_LOG_CAP`]).
+    pub trace_hops: Vec<TraceHop>,
     /// Wall-clock spent loading plans from the store — compare against
     /// `preprocess_time` to see what persistence saves.
     pub store_load_time: Duration,
@@ -644,6 +799,31 @@ impl fmt::Display for MetricsSnapshot {
                 self.cluster_plans_served
             )?;
         }
+        if self.tune_candidates_tried > 0 || !self.tune_states.is_empty() {
+            writeln!(
+                f,
+                "tuning: generation {}, {} candidates tried, {} winners installed, \
+                 {} write-back retries",
+                self.tune_generation,
+                self.tune_candidates_tried,
+                self.tune_winners_installed,
+                self.tune_write_back_retries
+            )?;
+            for t in &self.tune_states {
+                writeln!(
+                    f,
+                    "  plan {:016x}: {}/{} candidates, {}",
+                    t.key.structure.hash,
+                    t.tried,
+                    t.total,
+                    match (&t.winner, t.done) {
+                        (Some(w), _) => format!("winner {} (+{:.1}%)", w, t.gain * 100.0),
+                        (None, true) => "incumbent kept".to_string(),
+                        (None, false) => "undecided".to_string(),
+                    }
+                )?;
+            }
+        }
         writeln!(
             f,
             "batching: {} batches ({} multi-column), {} columns, mean size {:.2}",
@@ -799,6 +979,72 @@ mod tests {
     #[test]
     fn percentile_none_before_any_sample() {
         assert_eq!(Metrics::default().snapshot().latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn trace_log_is_bounded_and_filters_by_key() {
+        use recblock_matrix::Fingerprint;
+        let m = Metrics::default();
+        let key = |h: u64| PlanKey {
+            structure: Fingerprint { nrows: 8, ncols: 8, nnz: 8, hash: h },
+            values: h,
+        };
+        for i in 0..(TRACE_LOG_CAP as u64 + 10) {
+            m.record_trace_hop(TraceHop {
+                trace_id: i,
+                key: key(i % 2),
+                node: "n0".into(),
+                tenant: "t".into(),
+                k: 1,
+                solve_ns: 10,
+                respond_ns: 1,
+                total_ns: 11,
+                proxied: false,
+            });
+        }
+        let s = m.snapshot();
+        assert_eq!(s.trace_hops.len(), TRACE_LOG_CAP);
+        assert_eq!(s.traced_requests, TRACE_LOG_CAP as u64 + 10);
+        // The oldest hops fell off; the newest survived.
+        assert_eq!(s.trace_hops.last().unwrap().trace_id, TRACE_LOG_CAP as u64 + 9);
+        let hops = m.trace_hops_for(&key(0));
+        assert!(!hops.is_empty());
+        assert!(hops.iter().all(|h| h.key == key(0)));
+    }
+
+    #[test]
+    fn tune_state_publish_replaces_and_renders() {
+        use recblock_matrix::Fingerprint;
+        let m = Metrics::default();
+        let key = PlanKey {
+            structure: Fingerprint { nrows: 9, ncols: 9, nnz: 20, hash: 0xBEEF },
+            values: 7,
+        };
+        m.tune_candidates_tried.fetch_add(3, Relaxed);
+        m.publish_tune_state(TuneState {
+            key,
+            generation: 0,
+            tried: 3,
+            total: 8,
+            done: false,
+            winner: None,
+            gain: 0.0,
+        });
+        m.publish_tune_state(TuneState {
+            key,
+            generation: 1,
+            tried: 8,
+            total: 8,
+            done: true,
+            winner: Some("p2p-fine".into()),
+            gain: 0.12,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.tune_states.len(), 1, "publish replaces, never duplicates");
+        assert_eq!(m.tune_state_for(&key).unwrap().winner.as_deref(), Some("p2p-fine"));
+        let text = s.to_string();
+        assert!(text.contains("tuning: generation"), "{text}");
+        assert!(text.contains("p2p-fine"), "{text}");
     }
 
     #[test]

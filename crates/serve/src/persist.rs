@@ -7,6 +7,14 @@
 //! testable and drainable: [`Persister::flush`] blocks until every
 //! enqueued plan is on disk, and shutdown flushes before joining so
 //! accepted work is never silently dropped.
+//!
+//! Every write is verified (checksums re-read from disk) and retried a
+//! bounded number of times on failure — a torn or failed write is
+//! rewritten immediately rather than left for the boot-time recovery scan
+//! to quarantine. The in-memory plan keeps serving throughout; only the
+//! on-disk copy is stale between attempts. This is what lets the canary
+//! tuner trust `enqueue` with a freshly tuned plan: an I/O fault delays
+//! persistence, never the tuned plan itself.
 
 use crate::cache::PlanKey;
 use crate::metrics::Metrics;
@@ -22,11 +30,40 @@ struct Job<S> {
     plan: Arc<RecBlockSolver<S>>,
 }
 
+/// Total write attempts per job (first try + retries).
+const MAX_WRITE_ATTEMPTS: u32 = 3;
+
 /// Handle to the background writer thread.
 pub(crate) struct Persister<S> {
     tx: Option<mpsc::Sender<Job<S>>>,
     pending: Arc<(Mutex<u64>, Condvar)>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// A detachable enqueue-only handle to the writer thread, for sibling
+/// background tiers (the canary tuner) that persist plans of their own.
+///
+/// Holding one keeps the writer's channel alive, so any holder must be
+/// shut down *before* [`Persister::shutdown`] — otherwise the writer never
+/// sees disconnect and the join blocks forever.
+pub(crate) struct PersistHandle<S> {
+    tx: mpsc::Sender<Job<S>>,
+    pending: Arc<(Mutex<u64>, Condvar)>,
+}
+
+impl<S> PersistHandle<S> {
+    /// Queue a plan for persistence (see [`Persister::enqueue`]).
+    pub(crate) fn enqueue(&self, key: PlanKey, plan: Arc<RecBlockSolver<S>>) {
+        {
+            let (lock, _) = &*self.pending;
+            *lock.lock().unwrap() += 1;
+        }
+        if self.tx.send(Job { key, plan }).is_err() {
+            let (lock, cv) = &*self.pending;
+            *lock.lock().unwrap() -= 1;
+            cv.notify_all();
+        }
+    }
 }
 
 impl<S: Scalar> Persister<S> {
@@ -39,11 +76,23 @@ impl<S: Scalar> Persister<S> {
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let cost = job.plan.preprocess_time().as_secs_f64();
-                    match store.save(job.plan.blocked(), &job.key, cost) {
-                        Ok(_) => {
-                            metrics.store_writes.fetch_add(1, Relaxed);
+                    for attempt in 0..MAX_WRITE_ATTEMPTS {
+                        if attempt > 0 {
+                            metrics.store_errors.fetch_add(1, Relaxed);
+                            metrics.tune_write_back_retries.fetch_add(1, Relaxed);
                         }
-                        Err(_) => {
+                        // Save, then verify the bytes actually on disk: a
+                        // torn write (crash, lying disk, injected fault)
+                        // can report success while leaving a corrupt file,
+                        // and rewriting it now beats quarantining it at
+                        // the next boot.
+                        let ok = store.save(job.plan.blocked(), &job.key, cost).is_ok()
+                            && matches!(store.export_bytes(&job.key), Ok(Some(_)));
+                        if ok {
+                            metrics.store_writes.fetch_add(1, Relaxed);
+                            break;
+                        }
+                        if attempt + 1 == MAX_WRITE_ATTEMPTS {
                             metrics.store_errors.fetch_add(1, Relaxed);
                         }
                     }
@@ -55,6 +104,12 @@ impl<S: Scalar> Persister<S> {
             })
             .expect("spawn store writer");
         Persister { tx: Some(tx), pending, handle: Some(handle) }
+    }
+
+    /// An enqueue-only handle for a sibling background tier. `None` once
+    /// the writer has been shut down.
+    pub(crate) fn share(&self) -> Option<PersistHandle<S>> {
+        self.tx.as_ref().map(|tx| PersistHandle { tx: tx.clone(), pending: self.pending.clone() })
     }
 
     /// Queue a plan for persistence. Never blocks on I/O.

@@ -215,6 +215,99 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         );
     }
 
+    // Canary-tuning tier: only rendered once the tuner has measured
+    // something, so untuned deployments keep their exposition unchanged.
+    if snapshot.tune_candidates_tried > 0 || !snapshot.tune_states.is_empty() {
+        scalar(
+            &mut out,
+            "recblock_tune_generation",
+            "gauge",
+            "Times a tuned plan replaced an incumbent (stable once converged).",
+            snapshot.tune_generation as f64,
+        );
+        scalar(
+            &mut out,
+            "recblock_tune_candidates_tried_total",
+            "counter",
+            "Candidate tunings measured by the canary scheduler.",
+            snapshot.tune_candidates_tried as f64,
+        );
+        scalar(
+            &mut out,
+            "recblock_tune_winners_installed_total",
+            "counter",
+            "Winning tunings installed into the cache and queued for write-back.",
+            snapshot.tune_winners_installed as f64,
+        );
+        scalar(
+            &mut out,
+            "recblock_tune_write_back_retries_total",
+            "counter",
+            "Plan write-back attempts retried after an I/O error.",
+            snapshot.tune_write_back_retries as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP recblock_tune_plan_candidates_tried Candidates measured per plan fingerprint."
+        );
+        let _ = writeln!(out, "# TYPE recblock_tune_plan_candidates_tried gauge");
+        for t in &snapshot.tune_states {
+            let _ = writeln!(
+                out,
+                "recblock_tune_plan_candidates_tried{{plan=\"{:016x}\"}} {}",
+                t.key.structure.hash, t.tried
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP recblock_tune_plan_gain Fractional speedup of the winning tuning per plan."
+        );
+        let _ = writeln!(out, "# TYPE recblock_tune_plan_gain gauge");
+        for t in &snapshot.tune_states {
+            let _ = writeln!(
+                out,
+                "recblock_tune_plan_gain{{plan=\"{:016x}\",winner=\"{}\"}} {}",
+                t.key.structure.hash,
+                escape_label_value(t.winner.as_deref().unwrap_or("")),
+                t.gain
+            );
+        }
+    }
+
+    // Request-tracing tier: one series per retained hop and span. Bounded
+    // by the hop log's capacity; node and tenant labels arrive from the
+    // wire, so both are escaped like tenant names.
+    if snapshot.traced_requests > 0 {
+        scalar(
+            &mut out,
+            "recblock_trace_hops_total",
+            "counter",
+            "Traced request hops recorded on this node.",
+            snapshot.traced_requests as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP recblock_trace_hop_seconds Per-hop spans of recently traced requests."
+        );
+        let _ = writeln!(out, "# TYPE recblock_trace_hop_seconds gauge");
+        for h in &snapshot.trace_hops {
+            for (span, ns) in
+                [("solve", h.solve_ns), ("respond", h.respond_ns), ("total", h.total_ns)]
+            {
+                let _ = writeln!(
+                    out,
+                    "recblock_trace_hop_seconds{{trace_id=\"{:016x}\",node=\"{}\",tenant=\"{}\",\
+                     span=\"{span}\",proxied=\"{}\"}} {}",
+                    h.trace_id,
+                    escape_label_value(&h.node),
+                    escape_label_value(&h.tenant),
+                    h.proxied,
+                    ns as f64 / 1e9
+                );
+            }
+        }
+    }
+
     counter_family(
         &mut out,
         "recblock_resilience_events_total",
@@ -414,6 +507,89 @@ mod tests {
         assert!(text.contains("recblock_cluster_plan_migrations_total{direction=\"pushed\"} 1"));
         assert!(text.contains("recblock_cluster_ring_epoch 2"));
         assert!(text.contains("recblock_cluster_members 3"));
+    }
+
+    #[test]
+    fn tune_families_render_once_tuner_measured() {
+        use crate::metrics::TuneState;
+        use recblock_matrix::Fingerprint;
+        use recblock_store::PlanKey;
+        let m = Metrics::default();
+        let empty = m.snapshot().render_prometheus();
+        assert!(!empty.contains("recblock_tune_"), "{empty}");
+        m.tune_generation.store(1, std::sync::atomic::Ordering::Relaxed);
+        m.tune_candidates_tried.fetch_add(8, std::sync::atomic::Ordering::Relaxed);
+        m.tune_winners_installed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        m.publish_tune_state(TuneState {
+            key: PlanKey {
+                structure: Fingerprint { nrows: 5, ncols: 5, nnz: 9, hash: 0xABCD },
+                values: 1,
+            },
+            generation: 1,
+            tried: 8,
+            total: 8,
+            done: true,
+            winner: Some("p2p".into()),
+            gain: 0.1,
+        });
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("recblock_tune_generation 1"), "{text}");
+        assert!(text.contains("recblock_tune_candidates_tried_total 8"));
+        assert!(text.contains("recblock_tune_plan_candidates_tried{plan=\"000000000000abcd\"} 8"));
+        assert!(
+            text.contains("recblock_tune_plan_gain{plan=\"000000000000abcd\",winner=\"p2p\"} 0.1")
+        );
+    }
+
+    #[test]
+    fn trace_hops_render_with_escaped_labels() {
+        use crate::metrics::TraceHop;
+        use recblock_matrix::Fingerprint;
+        use recblock_store::PlanKey;
+        let m = Metrics::default();
+        let empty = m.snapshot().render_prometheus();
+        assert!(!empty.contains("recblock_trace_"), "{empty}");
+        // Hostile node and tenant names must not forge series.
+        m.record_trace_hop(TraceHop {
+            trace_id: 0xDEAD_BEEF,
+            key: PlanKey {
+                structure: Fingerprint { nrows: 4, ncols: 4, nnz: 4, hash: 1 },
+                values: 2,
+            },
+            node: "n\"} 1\nforged_metric{x=\"".into(),
+            tenant: "t\\".into(),
+            k: 2,
+            solve_ns: 2_000_000,
+            respond_ns: 1_000,
+            total_ns: 2_001_000,
+            proxied: true,
+        });
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("recblock_trace_hops_total 1"), "{text}");
+        assert!(text.contains("trace_id=\"00000000deadbeef\""), "{text}");
+        assert!(text.contains("span=\"solve\""), "{text}");
+        assert!(text.contains("proxied=\"true\""), "{text}");
+        assert!(!text.lines().any(|l| l.starts_with("forged_metric")), "{text}");
+        // Every sample line still parses as `name{labels} value` with
+        // balanced quotes (same grammar check as the tenant battery).
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in line: {line}");
+            let bytes = series.as_bytes();
+            if let Some(open) = series.find('{') {
+                let mut i = open + 1;
+                let mut in_value = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if in_value => i += 1,
+                        b'"' => in_value = !in_value,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                assert!(!in_value, "unterminated label value in line: {line}");
+            }
+        }
     }
 
     #[test]

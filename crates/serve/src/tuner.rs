@@ -1,0 +1,307 @@
+//! Canary autotuning: measure candidate tunings on real traffic, off the
+//! critical path.
+//!
+//! `planctl tune` can tune a plan offline, but the serve tier sees the
+//! actual right-hand sides and the actual machine under actual load — the
+//! numbers that matter. The canary tuner captures the first solves of a
+//! *cold* plan (fresh from a build or a store load) and replays them on a
+//! background thread against the bounded candidate grid from
+//! [`recblock::tune::candidate_grid`], one candidate per observed request.
+//! Nothing here ever runs on the submit path: observation clones the
+//! right-hand side and returns; measurement, verdict and installation all
+//! happen on the tuner thread.
+//!
+//! A winner must solve bit-identically to the incumbent *and* clear the
+//! hysteresis margin before it is installed: the tuned plan replaces the
+//! incumbent in the cache ([`PlanCache::replace`]) and is queued for
+//! store write-back through the persister, so a restart — or a cluster
+//! peer pulling the plan — gets the tuned version. Progress is published
+//! per fingerprint as [`TuneState`] and counted in the `tune_*` metrics;
+//! `recblock_tune_generation` stabilising is the converged signal.
+
+use crate::cache::{PlanCache, PlanKey};
+use crate::metrics::{Metrics, TuneState};
+use crate::persist::PersistHandle;
+use recblock::blocked::SolveWorkspace;
+use recblock::tune::{candidate_grid, TuneCandidate};
+use recblock::RecBlockSolver;
+use recblock_matrix::Scalar;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Untimed solves before each measurement.
+const WARMUP: u32 = 1;
+/// Timed batches per measurement; the median is the score.
+const SAMPLES: usize = 3;
+/// Minimum duration of one timed batch, in nanoseconds.
+const MIN_SAMPLE_NS: u64 = 100_000;
+/// Fractional improvement a candidate must show to win (hysteresis).
+const MIN_IMPROVEMENT: f64 = 0.03;
+/// Most observations allowed in flight per fingerprint; beyond this the
+/// submit path drops the sample instead of queueing unbounded clones.
+const MAX_INFLIGHT: u32 = 2;
+
+struct Job<S> {
+    key: PlanKey,
+    plan: Arc<RecBlockSolver<S>>,
+    rhs: Vec<S>,
+}
+
+#[derive(Default)]
+struct Gate {
+    inflight: u32,
+    done: bool,
+}
+
+/// Per-fingerprint measurement state, held only on the tuner thread.
+struct KeyState<S> {
+    incumbent: Arc<RecBlockSolver<S>>,
+    rhs: Vec<S>,
+    reference: Vec<S>,
+    base_ns: u64,
+    batch: u32,
+    grid: Vec<TuneCandidate>,
+    next: usize,
+    /// Best bit-identical candidate so far: `(grid index, median ns)`.
+    best: Option<(usize, u64)>,
+    finished: bool,
+}
+
+/// Handle to the background canary-tuning thread.
+pub(crate) struct CanaryTuner<S> {
+    tx: Option<mpsc::Sender<Job<S>>>,
+    gate: Arc<Mutex<HashMap<PlanKey, Gate>>>,
+    pending: Arc<(Mutex<u64>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<S: Scalar> CanaryTuner<S> {
+    pub(crate) fn spawn(
+        cache: Arc<PlanCache<S>>,
+        metrics: Arc<Metrics>,
+        persist: Option<PersistHandle<S>>,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job<S>>();
+        let gate = Arc::new(Mutex::new(HashMap::new()));
+        let pending = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let (gate_worker, pending_worker) = (gate.clone(), pending.clone());
+        let handle = std::thread::Builder::new()
+            .name("recblock-canary-tuner".into())
+            .spawn(move || {
+                let mut states: HashMap<PlanKey, KeyState<S>> = HashMap::new();
+                let mut ws = SolveWorkspace::new();
+                while let Ok(job) = rx.recv() {
+                    let key = job.key;
+                    step(&mut states, job, &mut ws, &cache, &metrics, &persist, &gate_worker);
+                    let mut gates = gate_worker.lock().unwrap();
+                    if let Some(g) = gates.get_mut(&key) {
+                        g.inflight = g.inflight.saturating_sub(1);
+                    }
+                    drop(gates);
+                    let (lock, cv) = &*pending_worker;
+                    *lock.lock().unwrap() -= 1;
+                    cv.notify_all();
+                }
+            })
+            .expect("spawn canary tuner");
+        CanaryTuner { tx: Some(tx), gate, pending, handle: Some(handle) }
+    }
+
+    /// Observe one real solve of `plan`. Cheap on the submit path: a gate
+    /// lookup, and — only while the fingerprint is still being tuned and
+    /// under its in-flight bound — one clone of the right-hand side.
+    pub(crate) fn observe(&self, key: PlanKey, plan: &Arc<RecBlockSolver<S>>, rhs: &[S]) {
+        let Some(tx) = &self.tx else { return };
+        {
+            let mut gates = self.gate.lock().unwrap();
+            let g = gates.entry(key).or_default();
+            if g.done || g.inflight >= MAX_INFLIGHT {
+                return;
+            }
+            g.inflight += 1;
+        }
+        {
+            let (lock, _) = &*self.pending;
+            *lock.lock().unwrap() += 1;
+        }
+        if tx.send(Job { key, plan: plan.clone(), rhs: rhs.to_vec() }).is_err() {
+            let (lock, cv) = &*self.pending;
+            *lock.lock().unwrap() -= 1;
+            cv.notify_all();
+        }
+    }
+
+    /// Block until every observed sample has been measured.
+    pub(crate) fn flush(&self) {
+        let (lock, cv) = &*self.pending;
+        let mut n = lock.lock().unwrap();
+        while *n > 0 {
+            n = cv.wait(n).unwrap();
+        }
+    }
+
+    /// Flush, stop the tuner thread and join it. Must run before the
+    /// persister shuts down: the thread holds a [`PersistHandle`].
+    pub(crate) fn shutdown(&mut self) {
+        self.flush();
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S> Drop for CanaryTuner<S> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Median nanoseconds of one solve of `plan` against `rhs`, leaving the
+/// solution in `x`.
+fn measure<S: Scalar>(
+    plan: &RecBlockSolver<S>,
+    rhs: &[S],
+    x: &mut [S],
+    ws: &mut SolveWorkspace<S>,
+    batch: u32,
+) -> Option<u64> {
+    for _ in 0..WARMUP {
+        plan.solve_into(rhs, x, ws).ok()?;
+    }
+    let mut samples = [0u64; SAMPLES];
+    for s in samples.iter_mut() {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            plan.solve_into(rhs, x, ws).ok()?;
+        }
+        *s = t0.elapsed().as_nanos() as u64 / batch.max(1) as u64;
+    }
+    samples.sort_unstable();
+    Some(samples[SAMPLES / 2])
+}
+
+/// Process one observed sample: the first for a fingerprint measures the
+/// incumbent, each later one measures the next grid candidate, and the
+/// last decides the verdict and installs a winner.
+#[allow(clippy::too_many_arguments)]
+fn step<S: Scalar>(
+    states: &mut HashMap<PlanKey, KeyState<S>>,
+    job: Job<S>,
+    ws: &mut SolveWorkspace<S>,
+    cache: &PlanCache<S>,
+    metrics: &Metrics,
+    persist: &Option<PersistHandle<S>>,
+    gate: &Mutex<HashMap<PlanKey, Gate>>,
+) {
+    let key = job.key;
+    let state = match states.get_mut(&key) {
+        Some(s) => s,
+        None => {
+            // First sample: calibrate the batch size on the incumbent,
+            // score it, and keep its solution as the bit-identity
+            // reference every candidate must match.
+            let mut x = vec![S::ZERO; job.plan.n()];
+            let t0 = Instant::now();
+            if job.plan.solve_into(&job.rhs, &mut x, ws).is_err() {
+                return;
+            }
+            let one = (t0.elapsed().as_nanos().max(1)) as u64;
+            let batch = MIN_SAMPLE_NS.div_ceil(one).clamp(1, 10_000) as u32;
+            let Some(base_ns) = measure(&job.plan, &job.rhs, &mut x, ws, batch) else { return };
+            let grid = candidate_grid(job.plan.blocked().tune());
+            states.insert(
+                key,
+                KeyState {
+                    incumbent: job.plan,
+                    rhs: job.rhs,
+                    reference: x,
+                    base_ns,
+                    batch,
+                    grid,
+                    next: 0,
+                    best: None,
+                    finished: false,
+                },
+            );
+            states.get_mut(&key).unwrap()
+        }
+    };
+    if state.finished {
+        return;
+    }
+    if state.next < state.grid.len() {
+        let i = state.next;
+        state.next += 1;
+        metrics.tune_candidates_tried.fetch_add(1, Relaxed);
+        // Candidates replay the *captured* right-hand side, not this
+        // request's, so every median compares against the same work.
+        if let Ok(candidate) = state.incumbent.retuned(state.grid[i].tune) {
+            let mut x = vec![S::ZERO; candidate.n()];
+            if let Some(ns) = measure(&candidate, &state.rhs, &mut x, ws, state.batch) {
+                // A diverging candidate is disqualified outright.
+                let identical = x == state.reference;
+                if identical && state.best.is_none_or(|(_, best)| ns < best) {
+                    state.best = Some((i, ns));
+                }
+            }
+        }
+    }
+    let undecided = state.next < state.grid.len();
+    if undecided {
+        publish(metrics, key, state, None, 0.0, false);
+        return;
+    }
+    // Every candidate measured: verdict time.
+    state.finished = true;
+    let bound = (state.base_ns as f64 * (1.0 - MIN_IMPROVEMENT)) as u64;
+    let mut winner = None;
+    let mut gain = 0.0;
+    if let Some((i, ns)) = state.best {
+        if ns < bound {
+            if let Ok(tuned) = state.incumbent.retuned(state.grid[i].tune) {
+                let tuned = Arc::new(tuned);
+                cache.replace(key, tuned.clone());
+                metrics.tune_winners_installed.fetch_add(1, Relaxed);
+                metrics.tune_generation.fetch_add(1, Relaxed);
+                if let Some(p) = persist {
+                    p.enqueue(key, tuned);
+                }
+                winner = Some(state.grid[i].name.to_string());
+                gain = 1.0 - ns as f64 / state.base_ns.max(1) as f64;
+            }
+        }
+    }
+    publish(metrics, key, state, winner, gain, true);
+    // Free the measurement state; keep only the gate's `done` flag so
+    // later observations of this fingerprint return immediately.
+    states.remove(&key);
+    if let Some(g) = gate.lock().unwrap().get_mut(&key) {
+        g.done = true;
+    }
+}
+
+fn publish<S>(
+    metrics: &Metrics,
+    key: PlanKey,
+    state: &KeyState<S>,
+    winner: Option<String>,
+    gain: f64,
+    done: bool,
+) {
+    metrics.publish_tune_state(TuneState {
+        key,
+        generation: u64::from(winner.is_some()),
+        tried: state.next as u32,
+        total: state.grid.len() as u32,
+        done,
+        winner,
+        gain,
+    });
+}

@@ -1,0 +1,107 @@
+//! Canary autotuning integration: the background tuner works through the
+//! candidate grid on real traffic, reaches a verdict, and the tune
+//! generation stabilises — while answers stay bit-identical throughout.
+
+use recblock_matrix::generate;
+use recblock_serve::{PlanKey, PlanSource, ServeConfig, SolveService, StoreOptions};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rbtune-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn canary_converges_and_generation_stabilises() {
+    let tmp = TempDir::new("converge");
+    let service = SolveService::<f64>::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_canary_tune(true)
+            .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+    );
+    let l = generate::layered::<f64>(700, 10, 2.0, generate::LayerShape::Uniform, 91);
+    let b: Vec<f64> = (0..700).map(|i| ((i % 23) as f64) - 11.0).collect();
+    let key = PlanKey::of(&l);
+
+    let expected = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+    // Each observed solve funds one canary measurement (base first, then
+    // one grid candidate each); flushing between submits makes the
+    // schedule deterministic. Answers must never change mid-tuning.
+    for _ in 0..16 {
+        let x = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert_eq!(x, expected, "tuning must be invisible in the answers");
+        service.flush_tuning();
+    }
+    let snap = service.metrics();
+    let st = snap
+        .tune_states
+        .iter()
+        .find(|s| s.key == key)
+        .expect("the canary must have looked at the plan");
+    assert!(st.done, "verdict must be in after enough observed solves: {st:?}");
+    assert_eq!(st.tried, st.total);
+    assert!(st.total >= 1, "default tuning has a non-empty candidate grid");
+    assert!(snap.tune_candidates_tried >= st.total as u64);
+    assert_eq!(snap.tune_generation, snap.tune_winners_installed);
+    let generation = snap.tune_generation;
+    assert!(generation <= 1, "one fingerprint tunes at most once");
+    if let Some(winner) = &st.winner {
+        assert_eq!(generation, 1, "a named winner must have been installed");
+        assert!(st.gain > 0.0, "winner {winner} must report its gain");
+    }
+
+    // Converged: further traffic changes neither the generation nor the
+    // number of measured candidates.
+    for _ in 0..6 {
+        let x = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert_eq!(x, expected);
+    }
+    service.flush_tuning();
+    let snap2 = service.metrics();
+    assert_eq!(snap2.tune_generation, generation, "generation must stabilise");
+    assert_eq!(snap2.tune_candidates_tried, snap.tune_candidates_tried);
+
+    // The tune block shows up in both human and Prometheus renderings.
+    let text = snap2.to_string();
+    assert!(text.contains("tuning: generation"), "{text}");
+    let prom = snap2.render_prometheus();
+    assert!(prom.contains("recblock_tune_generation"), "{prom}");
+
+    // Whatever was persisted (tuned or incumbent) reloads and solves
+    // bit-identically in a fresh service.
+    service.flush_store();
+    drop(service);
+    let second = SolveService::<f64>::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+    );
+    assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Store);
+    let x = second.submit(&l, b).unwrap().wait().unwrap();
+    assert_eq!(x, expected, "persisted (possibly tuned) plan must solve identically");
+    second.shutdown();
+}
+
+#[test]
+fn canary_off_by_default_keeps_exposition_clean() {
+    let service = SolveService::<f64>::new(ServeConfig::default().with_workers(1));
+    let l = generate::random_lower::<f64>(200, 3.0, 92);
+    service.submit(&l, vec![1.0; 200]).unwrap().wait().unwrap();
+    service.flush_tuning(); // no-op without the canary thread
+    let snap = service.shutdown();
+    assert_eq!(snap.tune_candidates_tried, 0);
+    assert!(snap.tune_states.is_empty());
+    assert!(!snap.render_prometheus().contains("recblock_tune_"));
+}

@@ -9,12 +9,29 @@
 
 use recblock_faults::{FaultPlan, FaultPoint, Trigger};
 use recblock_matrix::generate;
-use recblock_serve::{Health, ServeConfig, ServeError, SolveService};
+use recblock_serve::{Health, PlanSource, ServeConfig, ServeError, SolveService, StoreOptions};
 use std::sync::{Mutex, MutexGuard};
 
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
     LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("rbfault-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
 }
 
 #[test]
@@ -73,6 +90,57 @@ fn every_request_in_a_poisoned_batch_gets_an_answer() {
     assert_eq!(stats.worker_panics, 1);
     assert_eq!(stats.failed as usize, panicked);
     assert_eq!(stats.completed as usize, solved);
+}
+
+#[test]
+fn torn_write_back_is_retried_and_in_memory_plan_keeps_serving() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("tornwb");
+    // Canary tuning on: a measured winner goes through the same verified
+    // write-back as the initial build, so the armed tear covers the
+    // tuned-plan path whenever one wins.
+    let service = SolveService::<f64>::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_canary_tune(true)
+            .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+    );
+    let l = generate::random_lower::<f64>(400, 4.0, 96);
+    let b: Vec<f64> = (0..400).map(|i| (i as f64 * 0.017).sin()).collect();
+
+    // Tear exactly one store write: the writer's post-write verification
+    // must catch the silent corruption and rewrite the file in place —
+    // never leave it for the boot-time scan to quarantine.
+    FaultPlan::new(17).with(FaultPoint::StoreWrite, Trigger::OneShot).install();
+    let expected = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+    // Drive the canary to its verdict; the in-memory plan (tuned or not)
+    // serves bit-identically the whole time, torn disk state and all.
+    for _ in 0..12 {
+        let x = service.submit(&l, b.clone()).unwrap().wait().unwrap();
+        assert_eq!(x, expected, "a torn write-back must be invisible to solves");
+        service.flush_tuning();
+    }
+    service.flush_store();
+    FaultPlan::clear();
+
+    let stats = service.shutdown();
+    assert!(stats.store_writes >= 1, "the retried write must eventually land");
+    assert!(stats.tune_write_back_retries >= 1, "the torn attempt must be retried");
+    assert_eq!(stats.store_quarantined, 0, "retry beats quarantine");
+
+    // The on-disk plan is whole: a fresh service loads it (no quarantine,
+    // no rebuild) and solves bit-identically.
+    let second = SolveService::<f64>::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_store_options(StoreOptions::new(&tmp.0).with_warm_start(false)),
+    );
+    assert_eq!(second.warm_status(&l).unwrap(), PlanSource::Store);
+    let x = second.submit(&l, b).unwrap().wait().unwrap();
+    assert_eq!(x, expected);
+    let stats = second.shutdown();
+    assert_eq!(stats.store_quarantined, 0);
+    assert_eq!(stats.plan_builds, 0, "the retried file must decode, not rebuild");
 }
 
 #[test]

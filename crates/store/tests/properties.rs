@@ -14,6 +14,7 @@
 
 use proptest::prelude::*;
 use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
+use recblock_kernels::exec::{ScheduleMode, TuneParams};
 use recblock_matrix::{generate, Csr, Scalar};
 use recblock_store::{decode_plan, encode_plan, PlanKey};
 
@@ -26,6 +27,51 @@ fn arb_lower() -> impl Strategy<Value = Csr<f64>> {
 fn build<S: Scalar>(l: &Csr<S>, depth: usize) -> BlockedTri<S> {
     let opts = BlockedOptions { depth: DepthRule::Fixed(depth), ..BlockedOptions::default() };
     BlockedTri::build(l, &opts).expect("solvable system")
+}
+
+fn build_tuned<S: Scalar>(l: &Csr<S>, depth: usize, tune: TuneParams) -> BlockedTri<S> {
+    let opts = BlockedOptions { depth: DepthRule::Fixed(depth), tune, ..BlockedOptions::default() };
+    BlockedTri::build(l, &opts).expect("solvable system")
+}
+
+/// Strategy: arbitrary engine tuning across the whole persisted surface,
+/// including everything the autotuner's candidate grid can pick.
+fn arb_tune() -> impl Strategy<Value = TuneParams> {
+    ((0usize..3, 1usize..64, 1usize..4096), 1usize..1024, 1usize..32768, 1usize..32768, 1usize..16)
+        .prop_map(|((mode, p2p_min, p2p_chunk), par_rows, fuse_nnz, chunk_nnz, lanes)| TuneParams {
+            par_rows,
+            fuse_nnz,
+            chunk_nnz,
+            lanes,
+            schedule_mode: ScheduleMode::from_index(mode),
+            p2p_min_parallel: p2p_min,
+            p2p_chunk_nnz: p2p_chunk,
+        })
+}
+
+/// Synthesize a v2 plan file from v3 bytes: stamp the old version and strip
+/// the three scheduling-mode tune fields (u8 + 2 × u64) v3 appended after
+/// the four original tune words, then re-frame the body section. Mirrors
+/// the hand-built fixture in `store_roundtrip.rs`.
+fn synth_v2(bytes: &[u8]) -> Vec<u8> {
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+    let meta_len = u64_at(16);
+    let body_hdr = 12 + 16 + meta_len;
+    let body_len = u64_at(body_hdr + 4);
+    let body = &bytes[body_hdr + 16..body_hdr + 16 + body_len];
+    let nperm = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+    let cut = 8 + nperm * 8 + 4 * 8;
+    let mut v2_body = Vec::with_capacity(body_len - 17);
+    v2_body.extend_from_slice(&body[..cut]);
+    v2_body.extend_from_slice(&body[cut + 17..]);
+    let mut v2 = Vec::new();
+    v2.extend_from_slice(&bytes[..8]);
+    v2.extend_from_slice(&2u32.to_le_bytes());
+    v2.extend_from_slice(&bytes[12..body_hdr + 4]);
+    v2.extend_from_slice(&(v2_body.len() as u64).to_le_bytes());
+    v2.extend_from_slice(&recblock_store::crc::crc32(&v2_body).to_le_bytes());
+    v2.extend_from_slice(&v2_body);
+    v2
 }
 
 fn rhs_for<S: Scalar>(n: usize, seed: u64) -> Vec<S> {
@@ -79,6 +125,41 @@ proptest! {
         for (a, c) in x1.iter().zip(&x2) {
             prop_assert_eq!(a.to_bits(), c.to_bits());
         }
+    }
+
+    #[test]
+    fn tuned_params_roundtrip_v3(l in arb_lower(), tune in arb_tune(), rhs_seed in 0u64..50) {
+        let plan = build_tuned(&l, 2, tune);
+        let key = PlanKey::of(&l);
+        let bytes = encode_plan(&plan, &key, 0.1);
+        let (_, back) = decode_plan::<f64>(&bytes).expect("clean bytes decode");
+        prop_assert_eq!(back.tune(), tune);
+
+        let b = rhs_for::<f64>(l.nrows(), rhs_seed);
+        let x1 = plan.solve(&b).unwrap();
+        let x2 = back.solve(&b).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn tuned_params_survive_v2_read_compat(l in arb_lower(), tune in arb_tune()) {
+        let plan = build_tuned(&l, 1, tune);
+        let bytes = encode_plan(&plan, &PlanKey::of(&l), 0.0);
+        let v2 = synth_v2(&bytes);
+        let (_, back) = decode_plan::<f64>(&v2).expect("synthesized v2 file decodes");
+        let got = back.tune();
+        let d = TuneParams::default();
+        // The four words a v2 writer knew about survive verbatim…
+        prop_assert_eq!(got.par_rows, tune.par_rows);
+        prop_assert_eq!(got.fuse_nnz, tune.fuse_nnz);
+        prop_assert_eq!(got.chunk_nnz, tune.chunk_nnz);
+        prop_assert_eq!(got.lanes, tune.lanes);
+        // …while the v3 scheduling fields fall back to defaults.
+        prop_assert_eq!(got.schedule_mode, d.schedule_mode);
+        prop_assert_eq!(got.p2p_min_parallel, d.p2p_min_parallel);
+        prop_assert_eq!(got.p2p_chunk_nnz, d.p2p_chunk_nnz);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! planctl verify     <plan-file> <matrix.mtx>   full decode + key check + test solve
 //! planctl explain    <matrix.mtx|plan-file> [--kernels]
 //!                                               why each block got its kernel
+//! planctl tune       <matrix.mtx> <store-dir>   measure the candidate grid, persist the winner
 //! planctl ping       <host:port>                one RBNET round trip to a server
 //! planctl stat       <host:port>                warm status + per-tenant queues
+//! planctl trace      <host:port> <matrix.mtx>   dump recent traced request hops for the plan
 //! ```
 //!
 //! `precompute` is the deploy-time half of the workflow: run it once per
@@ -24,10 +26,18 @@
 //! a running `serve_demo --listen` (or any `recblock-net` server): `ping`
 //! measures liveness, `stat` prints warm-plan status and per-tenant queue
 //! depths for operators watching the QoS tier.
+//!
+//! `tune` closes the loop: it replays the stored plan under the bounded
+//! candidate grid (warmup + median-of-k per candidate, hysteresis against
+//! noise), prints the per-candidate timings, and — when a candidate wins —
+//! persists the retuned plan so every later load is pre-tuned. `trace`
+//! queries a server's recent end-to-end request spans for one plan; a
+//! proxied cluster solve shows up as two hops sharing one trace id, the
+//! origin's marked `via proxy`.
 
 use recblock::blocked::{BlockedOptions, BlockedTri, DepthRule};
-use recblock::explain::SelectionReport;
-use recblock::{RecBlockSolver, SolverOptions};
+use recblock::explain::{tune_drift, SelectionReport};
+use recblock::{tune_blocked, RecBlockSolver, SolverOptions, TuneOptions};
 use recblock_matrix::triangular::lower_with_diag;
 use recblock_matrix::vector::residual_inf;
 use recblock_matrix::{mm, Csr, Scalar};
@@ -48,8 +58,10 @@ fn main() {
                 _ => usage(),
             }
         }
+        Some("tune") if args.len() == 3 => tune(&args[1], &args[2]),
         Some("ping") if args.len() == 2 => ping(&args[1]),
         Some("stat") if args.len() == 2 => stat(&args[1]),
+        Some("trace") if args.len() == 3 => trace(&args[1], &args[2]),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -63,7 +75,9 @@ fn usage() -> Result<(), String> {
         "usage:\n  planctl precompute <matrix.mtx> <store-dir>\n  \
          planctl inspect <plan-file>\n  planctl verify <plan-file> <matrix.mtx>\n  \
          planctl explain <matrix.mtx|plan-file> [--kernels]\n  \
-         planctl ping <host:port>\n  planctl stat <host:port>"
+         planctl tune <matrix.mtx> <store-dir>\n  \
+         planctl ping <host:port>\n  planctl stat <host:port>\n  \
+         planctl trace <host:port> <matrix.mtx>"
     );
     std::process::exit(2);
 }
@@ -182,7 +196,76 @@ fn explain_plan<S: Scalar>(plan_file: &str, kernels: bool) -> Result<(), String>
         "plan file: {} ({} bytes, read {:.2?} + decode {:.2?})",
         plan_file, loaded.bytes, loaded.timings.read, loaded.timings.decode
     );
+    let drift = tune_drift(&loaded.blocked.tune());
+    if drift.is_empty() {
+        println!("tuning   : defaults (never tuned, or the incumbent kept its seat)");
+    } else {
+        println!("tuning   : persisted [{drift}]");
+    }
     print_report(loaded.blocked.selection_report(), kernels);
+    Ok(())
+}
+
+fn tune(mtx: &str, store_dir: &str) -> Result<(), String> {
+    let l = load_lower(mtx)?;
+    let key = PlanKey::of(&l);
+    let store = PlanStore::open(store_dir).map_err(|e| format!("opening store: {e}"))?;
+    let plan = match store.load::<f64>(&key).map_err(|e| format!("loading plan: {e}"))? {
+        Some(loaded) => {
+            println!("plan     : loaded from store for key {key}");
+            loaded.blocked
+        }
+        None => {
+            let built = BlockedTri::build(
+                &l,
+                &BlockedOptions { depth: DepthRule::Fixed(4), ..BlockedOptions::default() },
+            )
+            .map_err(|e| format!("preprocessing failed: {e}"))?;
+            println!("plan     : not in store, built fresh for key {key}");
+            built
+        }
+    };
+
+    let b: Vec<f64> = (0..l.nrows()).map(|i| 1.0 + ((i % 89) as f64) / 89.0).collect();
+    let report = tune_blocked(&plan, &b, &TuneOptions::default())
+        .map_err(|e| format!("tuning failed: {e}"))?;
+
+    println!("incumbent: {:>10.1} us/solve", report.base_ns as f64 / 1e3);
+    for o in &report.outcomes {
+        let verdict = if !o.bit_identical {
+            "DISQUALIFIED (solution diverged)"
+        } else if report.base_ns > 0 && o.median_ns < report.base_ns {
+            "faster"
+        } else {
+            "slower"
+        };
+        println!(
+            "  {:<12} {:>10.1} us/solve  {:>+7.1}%  {}",
+            o.name,
+            o.median_ns as f64 / 1e3,
+            (o.median_ns as f64 / report.base_ns.max(1) as f64 - 1.0) * 100.0,
+            verdict
+        );
+    }
+    match report.winner_tune() {
+        Some(win) => {
+            let outcome = report.winner_outcome().expect("winner implies outcome");
+            let tuned = plan.retuned(win).map_err(|e| format!("applying winner: {e}"))?;
+            let path = store.save(&tuned, &key, 0.0).map_err(|e| format!("saving plan: {e}"))?;
+            println!(
+                "winner   : {} ({:.1}% faster, beyond the {:.0}% hysteresis margin)",
+                outcome.name,
+                report.winner_gain() * 100.0,
+                TuneOptions::default().min_improvement * 100.0
+            );
+            println!("tuning   : [{}]", tune_drift(&win));
+            println!("persisted: {} (every later load is pre-tuned)", path.display());
+        }
+        None => println!(
+            "winner   : none — no candidate beat the incumbent by {:.0}%; plan unchanged",
+            TuneOptions::default().min_improvement * 100.0
+        ),
+    }
     Ok(())
 }
 
@@ -234,6 +317,42 @@ fn stat(addr: &str) -> Result<(), String> {
             outstanding,
             t.admission_rejected,
             t.shed
+        );
+    }
+    Ok(())
+}
+
+fn trace(addr: &str, mtx: &str) -> Result<(), String> {
+    let l = load_lower(mtx)?;
+    let key = PlanKey::of(&l);
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.set_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    let mut hops = client.trace(&key).map_err(|e| format!("trace: {e}"))?;
+    if hops.is_empty() {
+        println!("no traced requests recorded on {addr} for key {key}");
+        println!("(only solves sent with a trace id are recorded; plain solves stay untraced)");
+        return Ok(());
+    }
+    // Group hops into per-request timelines: one id spans every hop of a
+    // request, however many nodes proxied it.
+    hops.sort_by_key(|h| h.trace_id);
+    println!("{} hop(s) on {addr} for key {key}", hops.len());
+    let mut last_id = 0u64;
+    for h in &hops {
+        if h.trace_id != last_id {
+            println!("trace {:016x}", h.trace_id);
+            last_id = h.trace_id;
+        }
+        println!(
+            "  {:<16} tenant {:<12} k {:>3}  solve {:>10.1} us  respond {:>8.1} us  \
+             total {:>10.1} us{}",
+            h.node,
+            h.tenant,
+            h.k,
+            h.solve_ns as f64 / 1e3,
+            h.respond_ns as f64 / 1e3,
+            h.total_ns as f64 / 1e3,
+            if h.proxied { "  (via proxy)" } else { "" }
         );
     }
     Ok(())

@@ -134,6 +134,28 @@ proptest! {
     }
 
     #[test]
+    fn tuner_candidates_solve_bit_identically(l in arb_structured(), depth in 0usize..3, rhs_seed in 0u64..100) {
+        // Every tuning the autotuner's candidate grid may pick must solve
+        // bit-identically to the incumbent plan — retuning re-plans the
+        // schedule, never the arithmetic — and stay within tolerance of the
+        // serial reference.
+        let b = rhs_for(l.nrows(), rhs_seed);
+        let reference = serial_csr(&l, &b).unwrap();
+        let opts = BlockedOptions { depth: DepthRule::Fixed(depth), ..BlockedOptions::default() };
+        let plan = BlockedTri::build(&l, &opts).unwrap();
+        let incumbent = plan.solve(&b).unwrap();
+        prop_assert!(max_rel_diff(&incumbent, &reference) < 1e-9);
+        for c in recblock::tune::candidate_grid(plan.tune()) {
+            let cand = plan.retuned(c.tune).unwrap();
+            prop_assert_eq!(cand.tune(), c.tune, "{}", c.name);
+            let x = cand.solve(&b).unwrap();
+            for (a, r) in x.iter().zip(&incumbent) {
+                prop_assert_eq!(a.to_bits(), r.to_bits(), "candidate {} diverged", c.name);
+            }
+        }
+    }
+
+    #[test]
     fn syncfree_thread_count_invariance(l in arb_lower()) {
         let b = rhs_for(l.nrows(), 11);
         let x1 = SyncFreeSolver::with_threads(&l, 1).unwrap().solve(&b).unwrap();
